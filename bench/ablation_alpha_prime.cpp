@@ -1,0 +1,55 @@
+// Ablation A1: sensitivity of the max-lifetime strategy to the regression
+// exponent alpha' of the Theorem-1 approximation
+// (d_{i-1}/d_i)^{alpha'} = e_{i-1}/e_i.
+//
+// The paper obtains alpha' "through regression on historical data" and
+// does not report its value; this sweep shows how the lifetime ratio
+// responds, justifying the library default alpha' = alpha.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+
+  bench::print_header(
+      "Ablation A1 - max-lifetime alpha' sweep (lifetime ratio vs "
+      "baseline)");
+
+  util::Table table({"alpha'", "informed avg", "informed max",
+                     ">1 instances", "avg notifications"});
+  for (const double alpha_prime : {1.0, 1.5, 2.0, 3.0, 4.0}) {
+    exp::ScenarioParams p = bench::paper_defaults();
+    p.strategy = net::StrategyId::kMaxLifetime;
+    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.random_energy = true;
+    p.energy_lo_j = 5.0;
+    p.energy_hi_j = 100.0;
+    p.alpha_prime = alpha_prime;
+    p.seed = 20050611;
+
+    exp::RunOptions opts;
+    opts.stop_on_first_death = true;
+    const auto points = exp::run_comparison(p, flows, opts);
+
+    util::Summary ratio, notif;
+    std::size_t improved = 0;
+    for (const auto& pt : points) {
+      ratio.add(pt.lifetime_ratio_informed());
+      notif.add(static_cast<double>(pt.informed.notifications));
+      if (pt.lifetime_ratio_informed() > 1.001) ++improved;
+    }
+    table.add_row({util::Table::num(alpha_prime),
+                   util::Table::num(ratio.mean()),
+                   util::Table::num(ratio.max()),
+                   std::to_string(improved) + "/" +
+                       std::to_string(points.size()),
+                   util::Table::num(notif.mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: alpha' = alpha (= 2 here) solves the Theorem-1 "
+               "balance for the\namplifier-dominated regime; smaller "
+               "alpha' over-shifts relays toward rich\nneighbors, larger "
+               "alpha' flattens toward the midpoint rule.\n";
+  return 0;
+}

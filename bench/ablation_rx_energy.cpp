@@ -1,0 +1,52 @@
+// Ablation A8: receiver-side energy accounting.
+//
+// The paper's model charges the transmitter only (E_T at the sender); the
+// standard first-order radio model also charges receive electronics. A
+// nonzero rx cost changes the lifetime calculus: shortening your own
+// outgoing hop no longer helps if most of your drain is receiving, so the
+// max-lifetime strategy's advantage should shrink as rx grows.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+
+  bench::print_header(
+      "Ablation A8 - receiver energy (rx J/bit) vs lifetime gains");
+
+  util::Table table({"rx J/bit", "cost-unaware avg", "informed avg",
+                     "informed max", "baseline lifetime s (avg)"});
+  for (const double rx : {0.0, 5e-8, 2e-7, 1e-6}) {
+    exp::ScenarioParams p = bench::paper_defaults();
+    p.strategy = net::StrategyId::kMaxLifetime;
+    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.random_energy = true;
+    p.energy_lo_j = 5.0;
+    p.energy_hi_j = 100.0;
+    p.radio.rx_per_bit = rx;
+    p.seed = 20050611;
+
+    exp::RunOptions opts;
+    opts.stop_on_first_death = true;
+    const auto points = exp::run_comparison(p, flows, opts);
+
+    util::Summary cu, in, base;
+    for (const auto& pt : points) {
+      cu.add(pt.lifetime_ratio_cost_unaware());
+      in.add(pt.lifetime_ratio_informed());
+      base.add(pt.baseline.lifetime_s);
+    }
+    table.add_row({util::Table::num(rx), util::Table::num(cu.mean()),
+                   util::Table::num(in.mean()), util::Table::num(in.max()),
+                   util::Table::num(base.mean(), 5)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: rx = 0 is the paper's model. Growing rx "
+               "shortens every lifetime\n(receiving is unavoidable) and "
+               "compresses the informed strategy's edge -\nplacement can "
+               "only optimize the transmit share of the drain. The "
+               "informed\nframework stays safe throughout (never below the "
+               "cost-unaware curve).\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation A4: the per-packet movement cap ("maximum distance traveled in
+// each step"). Small steps converge slowly (savings arrive late in the
+// flow); large steps front-load movement cost and overshoot moving
+// targets.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+
+  bench::print_header("Ablation A4 - mobility step-size sweep");
+
+  util::Table table({"max step m", "cost-unaware avg ratio",
+                     "imobif avg ratio", "imobif moved m (avg)"});
+  for (const double step : {0.25, 0.5, 1.0, 2.0, 5.0}) {
+    exp::ScenarioParams p = bench::paper_defaults();
+    p.mobility.k = 0.1;
+    p.mobility.max_step_m = step;
+    p.mean_flow_bits = 1.0 * bench::kMB;
+
+    const auto points = exp::run_comparison(p, flows);
+    util::Summary cu, in, moved;
+    for (const auto& pt : points) {
+      cu.add(pt.energy_ratio_cost_unaware());
+      in.add(pt.energy_ratio_informed());
+      moved.add(pt.informed.moved_distance_m);
+    }
+    table.add_row({util::Table::num(step), util::Table::num(cu.mean()),
+                   util::Table::num(in.mean()),
+                   util::Table::num(moved.mean())});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: iMobif is insensitive to the cap (it only moves "
+               "when the full\nrelocation pays), while the cost-unaware "
+               "mover degrades past ~1-2 m/step:\nlarger steps chase the "
+               "moving midpoint targets and overshoot. The paper's\n1 "
+               "m/step (1 m/s at 1 packet/s) sits safely in the flat "
+               "region for both.\n";
+  return 0;
+}

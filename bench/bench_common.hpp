@@ -1,0 +1,78 @@
+// Shared helpers for the figure-reproduction binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace imobif::bench {
+
+/// Paper-default scenario (DESIGN.md parameter reconstruction).
+inline exp::ScenarioParams paper_defaults() {
+  exp::ScenarioParams p;
+  p.area_m = 1000.0;
+  p.node_count = 100;
+  p.comm_range_m = 180.0;
+  p.radio.a = 1e-7;
+  p.radio.b = 5e-10;
+  p.radio.alpha = 2.0;
+  p.mobility.k = 0.5;
+  p.mobility.max_step_m = 1.0;
+  p.initial_energy_j = 2000.0;
+  p.packet_bits = 8192.0;  // 1 KB packets
+  p.rate_bps = 8192.0;     // 1 KB/s = 8 Kbps
+  p.seed = 20050610;       // ICDCS 2005
+  return p;
+}
+
+inline constexpr double kKB = 1024.0 * 8.0;
+inline constexpr double kMB = 1024.0 * kKB;
+
+/// Amplifier coefficient for alpha = 3 runs (unit differs from alpha = 2;
+/// calibrated per DESIGN.md).
+inline constexpr double kAmplifierAlpha3 = 3e-12;
+
+struct SeriesStats {
+  util::Summary cost_unaware;
+  util::Summary informed;
+  std::size_t informed_enabled = 0;
+};
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n" << std::string(74, '=') << "\n"
+            << title << "\n"
+            << std::string(74, '=') << "\n";
+}
+
+/// Renders Fig-6-style per-instance ratio scatter: x = instance index,
+/// y = ratio, with the ratio-1 reference line.
+inline void print_ratio_scatter(const std::vector<double>& cost_unaware,
+                                const std::vector<double>& informed,
+                                const std::string& title) {
+  util::Series cu, in;
+  cu.name = "cost-unaware";
+  cu.marker = 'o';
+  in.name = "imobif";
+  in.marker = '*';
+  for (std::size_t i = 0; i < cost_unaware.size(); ++i) {
+    cu.xs.push_back(static_cast<double>(i));
+    cu.ys.push_back(cost_unaware[i]);
+  }
+  for (std::size_t i = 0; i < informed.size(); ++i) {
+    in.xs.push_back(static_cast<double>(i));
+    in.ys.push_back(informed[i]);
+  }
+  util::PlotOptions opts;
+  opts.title = title;
+  opts.x_label = "flow instance";
+  opts.y_label = "ratio vs no-mobility";
+  opts.h_line = 1.0;
+  std::cout << util::render_scatter({cu, in}, opts);
+}
+
+}  // namespace imobif::bench

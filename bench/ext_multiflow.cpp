@@ -1,0 +1,102 @@
+// Extension bench: multiple flows sharing relays (paper Section 2 notes
+// iMobif "supports multiple one-to-one, one-to-many, and many-to-one
+// flows" with the mechanism deferred to the TR). Two flows cross at a
+// shared relay whose per-flow targets disagree; the multi-flow blending
+// option weights the targets by residual flow bits instead of chasing
+// whichever flow's packet arrived last.
+#include "bench_common.hpp"
+
+#include "core/imobif.hpp"
+
+namespace {
+
+using namespace imobif;
+
+struct Outcome {
+  double total_j = 0.0;
+  double moved_m = 0.0;
+  bool all_complete = false;
+};
+
+Outcome run(core::MobilityMode mode, bool blending, double long_bits,
+            double short_bits) {
+  net::NetworkConfig config;
+  config.node.charge_hello_energy = false;
+  config.radio.b = 5e-10;
+  net::Network network(config);
+  // An X topology: flows 0->4 and 5->6 share the bent center relay 2,
+  // whose two per-flow midpoint targets disagree.
+  network.add_node({0, 80}, 4000.0);      // 0: source A
+  network.add_node({120, 70}, 4000.0);    // 1: relay A (off-line)
+  network.add_node({250, 30}, 4000.0);    // 2: shared center relay
+  network.add_node({390, -60}, 4000.0);   // 3: relay A' (off-line)
+  network.add_node({560, -80}, 4000.0);   // 4: dest A
+  network.add_node({280, 170}, 4000.0);   // 5: source B (via center)
+  network.add_node({250, -140}, 4000.0);  // 6: dest B
+
+  network.set_routing(std::make_unique<net::GreedyRouting>(network.medium()));
+  energy::MobilityParams mp;
+  mp.k = 0.1;
+  const energy::MobilityEnergyModel mobility(mp);
+  auto policy = core::make_default_policy(network.radio(), mobility, mode);
+  policy->set_multi_flow_blending(blending);
+  network.set_policy(policy.get());
+  network.warmup(25.0);
+
+  net::FlowSpec a;
+  a.id = 1;
+  a.source = 0;
+  a.destination = 4;
+  a.length_bits = long_bits;
+  a.strategy = net::StrategyId::kMinTotalEnergy;
+  a.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
+  net::FlowSpec b = a;
+  b.id = 2;
+  b.source = 5;
+  b.destination = 6;
+  b.length_bits = short_bits;
+  network.start_flow(a);
+  network.start_flow(b);
+  network.run_flows(long_bits / a.rate_bps * 4.0 + 300.0);
+
+  Outcome out;
+  out.total_j = network.total_consumed_energy();
+  out.moved_m = policy->total_distance_moved();
+  out.all_complete = network.all_flows_complete();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace imobif;
+  bench::print_header(
+      "Extension - crossing flows at a shared relay: target blending");
+
+  const double long_bits = 4.0 * bench::kMB;
+  const double short_bits = 1.0 * bench::kMB;
+
+  util::Table table({"approach", "blending", "total J", "moved m", "done"});
+  const auto add = [&](const char* name, core::MobilityMode mode,
+                       bool blending) {
+    const Outcome o = run(mode, blending, long_bits, short_bits);
+    table.add_row({name, blending ? "on" : "off",
+                   util::Table::num(o.total_j, 5),
+                   util::Table::num(o.moved_m, 4),
+                   o.all_complete ? "yes" : "NO"});
+  };
+  add("no-mobility", core::MobilityMode::kNoMobility, false);
+  add("cost-unaware", core::MobilityMode::kCostUnaware, false);
+  add("cost-unaware", core::MobilityMode::kCostUnaware, true);
+  add("imobif", core::MobilityMode::kInformed, false);
+  add("imobif", core::MobilityMode::kInformed, true);
+  table.print(std::cout);
+
+  std::cout << "\nReading: without blending the shared relay oscillates "
+               "between the two\nflows' disagreeing targets (more meters "
+               "moved for the same benefit);\nblending weights the "
+               "compromise position by residual traffic, cutting\nwasted "
+               "movement. This realizes the multi-flow support the paper "
+               "defers\nto its technical report.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 5: the effect of controlled mobility on a wireless network.
+//
+// (a) original placement of a flow's nodes, (b) steady state under the
+// min-total-energy strategy (evenly spaced on the source-destination
+// line, independent of residual energy), (c) steady state under the
+// max-lifetime strategy (on the line, hop length proportional to the
+// upstream node's residual energy). Node "size" in the paper maps here to
+// the printed residual energy.
+#include "bench_common.hpp"
+
+#include "geom/segment.hpp"
+
+namespace {
+
+using namespace imobif;
+
+exp::ScenarioParams scenario() {
+  exp::ScenarioParams p = bench::paper_defaults();
+  p.mean_flow_bits = 4.0 * bench::kMB;  // long flow: reaches steady state
+  p.min_hops = 5;                       // a visibly multi-hop flow
+  p.random_energy = true;               // energy-dependent placement visible
+  p.energy_lo_j = 400.0;
+  p.energy_hi_j = 2000.0;
+  p.seed = 9;
+  return p;
+}
+
+void print_snapshot(const char* label, const exp::PlacementSnapshot& snap,
+                    bool final_positions) {
+  util::Table table({"node", "x (m)", "y (m)", "energy (J)", "hop to next (m)"});
+  const auto& pos =
+      final_positions ? snap.final_positions : snap.initial_positions;
+  const auto& energy =
+      final_positions ? snap.final_energies : snap.initial_energies;
+  for (std::size_t i = 0; i < snap.path.size(); ++i) {
+    const double hop =
+        i + 1 < pos.size() ? geom::distance(pos[i], pos[i + 1]) : 0.0;
+    table.add_row({std::to_string(snap.path[i]),
+                   util::Table::num(pos[i].x, 5),
+                   util::Table::num(pos[i].y, 5),
+                   util::Table::num(energy[i], 4),
+                   i + 1 < pos.size() ? util::Table::num(hop, 4) : "-"});
+  }
+  std::cout << "\n--- " << label << " ---\n";
+  table.print(std::cout);
+
+  const geom::Segment line{pos.front(), pos.back()};
+  double worst = 0.0;
+  for (std::size_t i = 1; i + 1 < pos.size(); ++i) {
+    worst = std::max(worst, line.distance_to(pos[i]));
+  }
+  std::cout << "max relay distance from source-dest line: "
+            << util::Table::num(worst, 4) << " m   path tortuosity: "
+            << util::Table::num(geom::tortuosity(pos.data(), pos.size()), 6)
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 5 - node placement under controlled mobility\n"
+      "(a) original, (b) min-total-energy steady state, (c) max-lifetime "
+      "steady state");
+
+  exp::RunOptions opts;
+  opts.horizon_factor = 6.0;
+
+  // (a)+(b): min-total-energy strategy, unconditional movement so the
+  // steady state is reached regardless of profitability.
+  exp::ScenarioParams p = scenario();
+  p.strategy = net::StrategyId::kMinTotalEnergy;
+  const exp::PlacementSnapshot min_energy =
+      exp::run_placement(p, core::MobilityMode::kCostUnaware, opts);
+
+  print_snapshot("(a) original placement", min_energy, false);
+  print_snapshot("(b) min-total-energy steady state", min_energy, true);
+
+  // (c): max-lifetime strategy on the identical instance.
+  p.strategy = net::StrategyId::kMaxLifetime;
+  const exp::PlacementSnapshot lifetime =
+      exp::run_placement(p, core::MobilityMode::kCostUnaware, opts);
+  print_snapshot("(c) max-lifetime steady state", lifetime, true);
+
+  std::cout
+      << "\nPaper check: in (b) relays are evenly spaced on the line\n"
+         "independent of energy; in (c) they are on the same line but the\n"
+         "hop following a node grows with that node's residual energy\n"
+         "(Theorem 1), so (b) and (c) differ even though both look\n"
+         "straight.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 8: CDF of the system-lifetime ratio (vs the no-mobility
+// baseline) for cost-unaware mobility and iMobif with the max-lifetime
+// strategy.
+//
+// Setup per the paper: long flows (mean 1 MB), k = 0.5, alpha = 2, node
+// residual energy drawn uniformly from a deliberately low range so nodes
+// die mid-flow and lifetime differences are visible.
+//
+// Paper shape: cost-unaware lifetime is usually *shorter* than baseline
+// (average ~0.55 - bottleneck nodes waste energy moving); iMobif is at or
+// above baseline for most instances with improvements up to ~2-3x on some.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 60;
+
+  exp::ScenarioParams p = bench::paper_defaults();
+  p.strategy = net::StrategyId::kMaxLifetime;
+  p.mean_flow_bits = 1.0 * bench::kMB;
+  p.mobility.k = 0.5;
+  p.random_energy = true;  // "intentionally low residual energy"
+  p.energy_lo_j = 5.0;
+  p.energy_hi_j = 100.0;
+  p.seed = 20050611;
+
+  exp::RunOptions opts;
+  opts.stop_on_first_death = true;
+
+  const auto points = exp::run_comparison(p, flows, opts);
+
+  bench::print_header(
+      "Figure 8 - system lifetime ratio CDF (max-lifetime strategy)");
+  util::Summary cu, in;
+  util::Series cu_s, in_s;
+  cu_s.name = "cost-unaware";
+  cu_s.marker = 'o';
+  in_s.name = "informed (imobif)";
+  in_s.marker = '*';
+  util::Table table({"flow", "length KB", "baseline life s",
+                     "ratio cost-unaware", "ratio imobif", "death?"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    cu.add(pt.lifetime_ratio_cost_unaware());
+    in.add(pt.lifetime_ratio_informed());
+    cu_s.ys.push_back(pt.lifetime_ratio_cost_unaware());
+    in_s.ys.push_back(pt.lifetime_ratio_informed());
+    table.add_row({std::to_string(i),
+                   util::Table::num(pt.flow_bits / bench::kKB, 5),
+                   util::Table::num(pt.baseline.lifetime_s, 5),
+                   util::Table::num(pt.lifetime_ratio_cost_unaware()),
+                   util::Table::num(pt.lifetime_ratio_informed()),
+                   pt.baseline.any_death ? "yes" : "censored"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCost-Unaware: Average " << util::Table::num(cu.mean())
+            << "   Informed: Average " << util::Table::num(in.mean())
+            << "   Informed max " << util::Table::num(in.max()) << "\n"
+            << "KS distance between the two ratio distributions: "
+            << util::Table::num(util::ks_statistic(cu_s.ys, in_s.ys))
+            << "\n";
+
+  util::PlotOptions po;
+  po.title = "Figure 8 - CDF of system lifetime ratio";
+  po.x_label = "system lifetime ratio";
+  po.h_line = std::numeric_limits<double>::quiet_NaN();
+  std::cout << util::render_cdf({cu_s, in_s}, po);
+
+  std::cout << "\nPaper check: the cost-unaware CDF sits mostly left of "
+               "ratio 1 (shorter\nlifetime than static), while the "
+               "informed CDF hugs ratio 1 from above with a\ntail of "
+               "instances improved by 1.5-3x.\n";
+  return 0;
+}

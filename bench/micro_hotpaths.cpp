@@ -1,0 +1,124 @@
+// Microbenchmarks (google-benchmark) for the simulator's hot paths: the
+// event queue, greedy forwarding, the strategy math, and a full small
+// flow replay. These bound the cost of scaling experiments up.
+#include <benchmark/benchmark.h>
+
+#include "core/imobif.hpp"
+#include "exp/experiments.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace imobif;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(sim::Time::from_ticks(
+                     static_cast<std::int64_t>(rng.uniform_int(0, 1 << 20))),
+                 [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().when.ticks());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(256)->Arg(4096);
+
+void BM_RadioModelPower(benchmark::State& state) {
+  energy::RadioParams params;
+  params.alpha = 2.0;
+  const energy::RadioEnergyModel model(params);
+  double d = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.power_per_bit(d));
+    d = d < 300.0 ? d + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_RadioModelPower);
+
+void BM_MaxLifetimeTarget(benchmark::State& state) {
+  core::MaxLifetimeStrategy strategy(2.0);
+  core::RelayContext ctx;
+  ctx.prev_position = {0.0, 0.0};
+  ctx.next_position = {200.0, 40.0};
+  ctx.prev_energy = 35.0;
+  ctx.self_energy = 12.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.next_position(ctx));
+  }
+}
+BENCHMARK(BM_MaxLifetimeTarget);
+
+void BM_EvaluateHop(benchmark::State& state) {
+  energy::RadioParams params;
+  const energy::RadioEnergyModel radio(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_hop(
+        radio, 50.0, 3.0, {0, 0}, {10, 0}, {150, 0}, {140, 0}, 1e6, true));
+  }
+}
+BENCHMARK(BM_EvaluateHop);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(9);
+  net::GridIndex index(180.0);
+  std::vector<geom::Vec2> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Vec2 p{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    index.insert(static_cast<net::GridIndex::Id>(i), p);
+    points.push_back(p);
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    index.for_each_in_range(points[cursor], 180.0,
+                            [&hits](net::GridIndex::Id, geom::Vec2) {
+                              ++hits;
+                            });
+    benchmark::DoNotOptimize(hits);
+    cursor = (cursor + 1) % n;
+  }
+}
+BENCHMARK(BM_GridIndexQuery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ExactLifetimeSplit(benchmark::State& state) {
+  energy::RadioParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::exact_lifetime_split(params, 35.0, 12.0, 250.0));
+  }
+}
+BENCHMARK(BM_ExactLifetimeSplit);
+
+void BM_SampleInstance(benchmark::State& state) {
+  exp::ScenarioParams p;
+  p.seed = 3;
+  util::Rng rng(p.seed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp::sample_instance(p, rng));
+  }
+}
+BENCHMARK(BM_SampleInstance);
+
+void BM_FullFlowReplay(benchmark::State& state) {
+  exp::ScenarioParams p;
+  p.seed = 3;
+  p.mean_flow_bits = 100.0 * 1024.0 * 8.0;
+  util::Rng rng(p.seed);
+  const exp::FlowInstance inst = exp::sample_instance(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exp::run_instance(inst, p, core::MobilityMode::kInformed));
+  }
+}
+BENCHMARK(BM_FullFlowReplay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Bulk transfer over AODV-lite: demonstrates the framework on top of the
+// on-demand routing substrate the paper's Section 2 assumes (rather than
+// the greedy geographic routing its evaluation uses).
+//
+// A robot swarm must ship a large sensor log across a crooked relay chain.
+// AODV discovers the route; iMobif then decides per the cost/benefit
+// aggregate whether straightening the chain pays for this transfer.
+//
+//   $ ./bulk_transfer_aodv [megabytes]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/imobif.hpp"
+#include "geom/segment.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace imobif;
+
+struct Outcome {
+  double total_j = 0.0;
+  double tx_j = 0.0;
+  double move_j = 0.0;
+  double max_offline_m = 0.0;
+  std::uint64_t notifications = 0;
+  bool completed = false;
+};
+
+const std::vector<geom::Vec2> kChain = {
+    {0, 0}, {130, 70}, {260, -40}, {390, 60}, {520, -50}, {650, 0}};
+
+Outcome run(core::MobilityMode mode, double flow_bits) {
+  net::NetworkConfig config;
+  config.node.charge_hello_energy = false;
+  config.radio.b = 5e-10;
+  net::Network network(config);
+  for (const auto& pos : kChain) network.add_node(pos, 5000.0);
+
+  auto aodv = std::make_unique<net::AodvRouting>(network.medium());
+  net::AodvRouting* routing = aodv.get();
+  network.set_routing(std::move(aodv));
+
+  energy::MobilityParams mp;
+  mp.k = 0.1;
+  const energy::MobilityEnergyModel mobility(mp);
+  auto policy = core::make_default_policy(network.radio(), mobility, mode);
+  network.set_policy(policy.get());
+
+  network.warmup(25.0);
+  routing->prepare_route(network.node(0), 5);  // AODV discovery
+  network.simulator().run(network.simulator().now() +
+                          sim::Time::from_seconds(2.0));
+
+  net::FlowSpec spec;
+  spec.id = 1;
+  spec.source = 0;
+  spec.destination = 5;
+  spec.length_bits = flow_bits;
+  spec.strategy = net::StrategyId::kMinTotalEnergy;
+  spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
+  network.start_flow(spec);
+  network.run_flows(flow_bits / spec.rate_bps * 4.0 + 300.0);
+
+  Outcome out;
+  out.completed = network.progress(1).completed;
+  out.total_j = network.total_consumed_energy();
+  out.tx_j = network.total_transmit_energy();
+  out.move_j = network.total_movement_energy();
+  out.notifications = network.progress(1).notifications_from_dest;
+  const geom::Segment line{kChain.front(), kChain.back()};
+  for (std::size_t i = 1; i + 1 < kChain.size(); ++i) {
+    out.max_offline_m =
+        std::max(out.max_offline_m,
+                 line.distance_to(
+                     network.node(static_cast<net::NodeId>(i)).position()));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double megabytes = argc > 1 ? std::strtod(argv[1], nullptr) : 2.0;
+  const double flow_bits = megabytes * 1024.0 * 1024.0 * 8.0;
+
+  std::cout << "Bulk transfer of " << megabytes
+            << " MB over an AODV-discovered crooked relay chain "
+               "(k = 0.1 J/m).\n\n";
+
+  imobif::util::Table table({"approach", "done", "total J", "tx J", "move J",
+                             "max off-line m", "notifications"});
+  const auto add = [&](const char* name, const Outcome& o) {
+    table.add_row({name, o.completed ? "yes" : "NO",
+                   imobif::util::Table::num(o.total_j, 5),
+                   imobif::util::Table::num(o.tx_j, 5),
+                   imobif::util::Table::num(o.move_j, 4),
+                   imobif::util::Table::num(o.max_offline_m, 4),
+                   std::to_string(o.notifications)});
+  };
+  add("no-mobility", run(imobif::core::MobilityMode::kNoMobility, flow_bits));
+  add("cost-unaware",
+      run(imobif::core::MobilityMode::kCostUnaware, flow_bits));
+  add("imobif", run(imobif::core::MobilityMode::kInformed, flow_bits));
+  table.print(std::cout);
+
+  std::cout << "\nTry 0.1 MB: iMobif refuses to move (stays at the "
+               "baseline) while the\ncost-unaware swarm wastes movement "
+               "energy; at multi-MB sizes both move\nand iMobif matches "
+               "the cost-unaware transmission savings.\n";
+  return 0;
+}

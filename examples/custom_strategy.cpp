@@ -1,0 +1,121 @@
+// Extending the framework with a user-defined mobility strategy — the
+// paper's central design claim: "imobif can be tuned for different energy
+// optimization goals by changing the mobility strategy and the
+// corresponding cost-benefit aggregate function."
+//
+// The custom strategy here is *sink-gravity*: every relay drifts a fixed
+// fraction of the way toward its downstream neighbor (useful when the
+// tail of a flow is expected to carry follow-up flows to the same sink).
+// It reuses the min/sum aggregate of the min-energy strategy, and the
+// unchanged iMobif machinery decides per flow whether the drift pays.
+//
+//   $ ./custom_strategy
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "core/imobif.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace imobif;
+
+// Application-specific strategy ids live above the reserved built-ins.
+constexpr auto kSinkGravityId = static_cast<net::StrategyId>(200);
+
+class SinkGravityStrategy final : public core::MobilityStrategy {
+ public:
+  explicit SinkGravityStrategy(double pull) : pull_(pull) {}
+
+  net::StrategyId id() const override { return kSinkGravityId; }
+  const char* name() const override { return "sink-gravity"; }
+
+  geom::Vec2 next_position(const core::RelayContext& ctx) const override {
+    // Drift `pull_` of the way from the current position toward the next
+    // node, but never past the midpoint of prev/next (stay a relay).
+    const geom::Vec2 toward =
+        geom::lerp(ctx.self_position, ctx.next_position, pull_);
+    const geom::Vec2 cap =
+        geom::midpoint(ctx.prev_position, ctx.next_position);
+    return geom::distance(ctx.prev_position, toward) <
+                   geom::distance(ctx.prev_position, cap)
+               ? toward
+               : cap;
+  }
+
+  void aggregate(net::MobilityAggregate& agg,
+                 const core::LocalPerformance& local) const override {
+    agg.bits_mob = std::min(agg.bits_mob, local.bits_mob);
+    agg.resi_mob += local.resi_mob;
+    agg.bits_nomob = std::min(agg.bits_nomob, local.bits_nomob);
+    agg.resi_nomob += local.resi_nomob;
+  }
+
+  void init_aggregate(net::MobilityAggregate& agg) const override {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    agg = {kInf, 0.0, kInf, 0.0};
+  }
+
+ private:
+  double pull_;
+};
+
+double run(core::MobilityMode mode, double flow_bits) {
+  net::NetworkConfig config;
+  config.node.charge_hello_energy = false;
+  config.radio.b = 5e-10;
+  net::Network network(config);
+  for (const auto& pos : std::vector<geom::Vec2>{
+           {0, 0}, {130, 50}, {260, -50}, {390, 0}}) {
+    network.add_node(pos, 5000.0);
+  }
+  network.set_routing(std::make_unique<net::GreedyRouting>(network.medium()));
+
+  energy::MobilityParams mp;
+  mp.k = 0.1;
+  const energy::MobilityEnergyModel mobility(mp);
+
+  // A policy with ONLY the custom strategy registered.
+  auto policy = std::make_unique<core::ImobifPolicy>(network.radio(),
+                                                     mobility, mode);
+  policy->register_strategy(std::make_unique<SinkGravityStrategy>(0.15));
+  network.set_policy(policy.get());
+  network.warmup(25.0);
+
+  net::FlowSpec spec;
+  spec.id = 1;
+  spec.source = 0;
+  spec.destination = 3;
+  spec.length_bits = flow_bits;
+  spec.strategy = kSinkGravityId;
+  spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
+  network.start_flow(spec);
+  network.run_flows(flow_bits / spec.rate_bps * 4.0 + 300.0);
+  return network.total_consumed_energy();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Custom 'sink-gravity' strategy plugged into the unchanged "
+               "iMobif framework.\n\n";
+  imobif::util::Table table(
+      {"flow size", "baseline J", "cost-unaware J", "imobif J"});
+  for (const double kb : {100.0, 2048.0}) {
+    const double bits = kb * 1024.0 * 8.0;
+    table.add_row({imobif::util::Table::num(kb, 5) + " KB",
+                   imobif::util::Table::num(
+                       run(imobif::core::MobilityMode::kNoMobility, bits), 5),
+                   imobif::util::Table::num(
+                       run(imobif::core::MobilityMode::kCostUnaware, bits), 5),
+                   imobif::util::Table::num(
+                       run(imobif::core::MobilityMode::kInformed, bits), 5)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe framework needed no changes: the strategy supplies "
+               "GetNextPosition and\nAggregateMobilityPerformance (plus the "
+               "fold identity), and the cost/benefit\nplumbing, notification "
+               "protocol, and movement mechanics come for free.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Localization demo: the positioning substrate behind Assumption 2.
+//
+// Drops a sensor field with a handful of GPS anchors, runs the iterative
+// range-based localization of src/loc under increasing ranging noise, and
+// reports coverage and accuracy — the error magnitudes that the
+// `position_error_m` scenario knob (bench ablation A9) feeds back into
+// the mobility framework.
+//
+//   $ ./localization_demo [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "loc/localization.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 100 nodes uniform in the paper's 1000 m x 1000 m area.
+  util::Rng rng(seed);
+  std::vector<geom::Vec2> truth;
+  for (int i = 0; i < 100; ++i) {
+    truth.push_back({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+
+  std::cout << "Iterative range-based localization, 100 nodes in "
+               "1000 m x 1000 m, ranging\nradius 180 m (the paper's radio "
+               "range). Sweeping anchor density vs ranging\nnoise.\n\n";
+
+  util::Table table({"anchors", "noise sigma (m)", "localized",
+                     "mean error (m)", "max error (m)"});
+  for (const int anchor_count : {8, 16, 30}) {
+    std::vector<bool> anchors(truth.size(), false);
+    util::Rng pick(seed + 1);
+    int placed = 0;
+    while (placed < anchor_count) {
+      const auto i = static_cast<std::size_t>(pick.uniform_int(0, 99));
+      if (!anchors[i]) {
+        anchors[i] = true;
+        ++placed;
+      }
+    }
+    for (const double sigma : {0.0, 1.0, 2.0}) {
+      loc::LocalizationConfig config;
+      config.range_m = 180.0;
+      config.noise_sigma_m = sigma;
+      config.seed = seed + 2;
+      const auto result = loc::localize_network(truth, anchors, config);
+      table.add_row({std::to_string(anchor_count), util::Table::num(sigma),
+                     std::to_string(result.localized_count) + "/100",
+                     util::Table::num(result.mean_error_m),
+                     util::Table::num(result.max_error_m)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: exact ranging recovers every reachable node "
+               "exactly at any anchor\ndensity. Under noise, error "
+               "compounds along multilateration chains, so\naccuracy is "
+               "governed by the distance (in hops) to the nearest "
+               "anchors -\ndenser anchoring keeps it at meter scale. "
+               "These residual magnitudes are\nwhat imobif_sim "
+               "--position_error_m injects into the mobility framework\n"
+               "(harmless at meter scale, per ablation A9).\n";
+  return 0;
+}

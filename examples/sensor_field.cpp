@@ -1,0 +1,112 @@
+// Sensor-field scenario (the paper's motivating application): several
+// sensors stream reports across shared relays toward a collection point,
+// batteries are small, and the operator cares about the time until the
+// first node dies. Runs the max-lifetime strategy under the three
+// approaches and demonstrates the multi-flow target-blending extension at
+// relays serving more than one flow.
+//
+//   $ ./sensor_field [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/imobif.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace imobif;
+
+struct Outcome {
+  double lifetime_s = 0.0;
+  bool any_death = false;
+  double delivered_kb = 0.0;
+  double moved_m = 0.0;
+};
+
+Outcome run(core::MobilityMode mode, std::uint64_t seed) {
+  net::NetworkConfig config;
+  config.medium.comm_range_m = 180.0;
+  config.node.charge_hello_energy = false;
+  config.radio.b = 5e-10;
+
+  net::Network network(config);
+  util::Rng rng(seed);
+
+  // A collection sink, two sensor clusters, and shared relays between.
+  //   sensors 0,1 --- relays 2,3 --- sink 4; sensor 5 joins at relay 3.
+  network.add_node({0.0, 60.0}, rng.uniform(20.0, 60.0));     // sensor A
+  network.add_node({0.0, -60.0}, rng.uniform(20.0, 60.0));    // sensor B
+  network.add_node({150.0, 20.0}, rng.uniform(10.0, 40.0));   // relay
+  network.add_node({300.0, -20.0}, rng.uniform(10.0, 40.0));  // relay
+  network.add_node({450.0, 0.0}, 500.0);                      // sink (mains)
+  network.add_node({160.0, -140.0}, rng.uniform(20.0, 60.0)); // sensor C
+
+  network.set_routing(std::make_unique<net::GreedyRouting>(network.medium()));
+
+  energy::MobilityParams mp;
+  mp.k = 0.5;
+  mp.max_step_m = 1.0;
+  const energy::MobilityEnergyModel mobility(mp);
+  auto policy = core::make_default_policy(network.radio(), mobility, mode);
+  policy->set_multi_flow_blending(true);  // relays serve multiple flows
+  network.set_policy(policy.get());
+  network.set_stop_on_first_death(true);
+  network.warmup(25.0);
+
+  const double report_stream = 300.0 * 1024.0 * 8.0;  // 300 KB per sensor
+  for (net::NodeId sensor : {0u, 1u, 5u}) {
+    net::FlowSpec spec;
+    spec.id = sensor + 1;
+    spec.source = sensor;
+    spec.destination = 4;
+    spec.length_bits = report_stream;
+    spec.strategy = net::StrategyId::kMaxLifetime;
+    spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
+    network.start_flow(spec);
+  }
+  network.run_flows(4000.0);
+
+  Outcome out;
+  out.any_death = network.first_death_time().has_value();
+  out.lifetime_s = out.any_death
+                       ? network.first_death_time()->seconds()
+                       : network.simulator().now().seconds();
+  for (const auto* prog : network.all_progress()) {
+    out.delivered_kb += prog->delivered_bits / 8192.0;
+  }
+  out.moved_m = policy->total_distance_moved();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  std::cout << "Sensor field: 3 sensors -> shared relays -> sink, "
+               "max-lifetime strategy,\nmulti-flow target blending "
+               "enabled.\n\n";
+
+  imobif::util::Table table({"approach", "first death (s)", "delivered KB",
+                             "relays moved (m)"});
+  const auto add = [&](const char* name, const Outcome& o) {
+    table.add_row({name,
+                   o.any_death ? imobif::util::Table::num(o.lifetime_s, 5)
+                               : "none (flows done)",
+                   imobif::util::Table::num(o.delivered_kb, 5),
+                   imobif::util::Table::num(o.moved_m, 4)});
+  };
+  add("no-mobility", run(imobif::core::MobilityMode::kNoMobility, seed));
+  add("cost-unaware", run(imobif::core::MobilityMode::kCostUnaware, seed));
+  add("imobif", run(imobif::core::MobilityMode::kInformed, seed));
+  table.print(std::cout);
+
+  std::cout << "\nThe informed run only relocates relays when the expected "
+               "bottleneck\ncapacity improves after paying the movement "
+               "energy, so its first-death\ntime is never materially worse "
+               "than static and often better; the\ncost-unaware run drains "
+               "weak relays by moving them unconditionally.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "core/cost_benefit.hpp"
+
+#include <algorithm>
+
+namespace imobif::core {
+
+LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
+                                const energy::MobilityEnergyModel& mobility,
+                                double residual_energy, double residual_bits,
+                                geom::Vec2 current, geom::Vec2 target,
+                                geom::Vec2 next, bool cap_bits) {
+  LocalPerformance perf;
+  const double d_now = geom::distance(current, next);
+  const double d_after = geom::distance(target, next);
+  const double move_cost =
+      mobility.move_energy(geom::distance(current, target));
+
+  perf.resi_nomob =
+      residual_energy - radio.transmit_energy(d_now, residual_bits);
+  perf.bits_nomob = radio.sustainable_bits(d_now, residual_energy);
+
+  perf.resi_mob = residual_energy -
+                  radio.transmit_energy(d_after, residual_bits) - move_cost;
+  perf.bits_mob = radio.sustainable_bits(
+      d_after, std::max(0.0, residual_energy - move_cost));
+
+  if (cap_bits) {
+    perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
+    perf.bits_mob = std::min(perf.bits_mob, residual_bits);
+  }
+  return perf;
+}
+
+LocalPerformance evaluate_hop(const energy::RadioEnergyModel& radio,
+                              double sender_energy,
+                              double sender_pending_move_cost,
+                              geom::Vec2 sender_pos, geom::Vec2 sender_target,
+                              geom::Vec2 receiver_pos,
+                              geom::Vec2 receiver_target,
+                              double residual_bits, bool cap_bits) {
+  LocalPerformance perf;
+  const double d_now = geom::distance(sender_pos, receiver_pos);
+  const double d_plan = geom::distance(sender_target, receiver_target);
+
+  perf.resi_nomob =
+      sender_energy - radio.transmit_energy(d_now, residual_bits);
+  perf.bits_nomob = radio.sustainable_bits(d_now, sender_energy);
+
+  perf.resi_mob = sender_energy - sender_pending_move_cost -
+                  radio.transmit_energy(d_plan, residual_bits);
+  perf.bits_mob = radio.sustainable_bits(
+      d_plan, std::max(0.0, sender_energy - sender_pending_move_cost));
+
+  if (cap_bits) {
+    perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
+    perf.bits_mob = std::min(perf.bits_mob, residual_bits);
+  }
+  return perf;
+}
+
+LocalPerformance evaluate_source(const energy::RadioEnergyModel& radio,
+                                 double residual_energy, double residual_bits,
+                                 geom::Vec2 current, geom::Vec2 next,
+                                 bool cap_bits) {
+  LocalPerformance perf;
+  const double d = geom::distance(current, next);
+  perf.resi_nomob =
+      residual_energy - radio.transmit_energy(d, residual_bits);
+  perf.bits_nomob = radio.sustainable_bits(d, residual_energy);
+  if (cap_bits) perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
+  perf.resi_mob = perf.resi_nomob;
+  perf.bits_mob = perf.bits_nomob;
+  return perf;
+}
+
+}  // namespace imobif::core

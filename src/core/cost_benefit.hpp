@@ -1,0 +1,62 @@
+// The relay-local cost/benefit evaluation of Figure 1, lines 15-19:
+//
+//   resi_nomob = e - E_T(d(x, next), L)
+//   bits_nomob = e / E_T(d(x, next), 1)
+//   resi_mob   = e - E_T(d(x', next), L) - E_M(d(x, x'))
+//   bits_mob   = (e - E_M(d(x, x'))) / E_T(d(x', next), 1)
+//
+// where e is the node's residual energy, L the expected residual flow
+// length in bits, x the current position, x' the strategy target, and
+// `next` the next node's position. Sustainable-bits values are clamped at
+// zero (you cannot transmit a negative number of bits); residual-energy
+// values may go negative — a negative expectation means the alternative
+// cannot sustain the rest of the flow, which is exactly the signal the
+// destination needs.
+//
+// Sustainable bits are "the amount of *flow* traffic the node can support
+// with the current residual energy" (Section 2), so by default they are
+// capped at the residual flow length L: a node that can sustain the whole
+// rest of the flow under both alternatives reports a tie, and the decision
+// falls to expected residual energy — whose with/without difference is
+// exactly (transmission savings over L) - (movement cost), the
+// flow-length-dependent threshold of Goldenberg et al. that the paper's
+// Figure 6 exhibits. `cap_bits = false` selects the uncapped raw-capacity
+// variant (bench ablation).
+#pragma once
+
+#include "core/strategy.hpp"
+#include "energy/mobility_model.hpp"
+#include "energy/radio_model.hpp"
+#include "geom/vec2.hpp"
+
+namespace imobif::core {
+
+LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
+                                const energy::MobilityEnergyModel& mobility,
+                                double residual_energy, double residual_bits,
+                                geom::Vec2 current, geom::Vec2 target,
+                                geom::Vec2 next, bool cap_bits = true);
+
+/// Source-side variant: the source does not move, so target == current and
+/// both alternatives coincide.
+LocalPerformance evaluate_source(const energy::RadioEnergyModel& radio,
+                                 double residual_energy, double residual_bits,
+                                 geom::Vec2 current, geom::Vec2 next,
+                                 bool cap_bits = true);
+
+/// Hop-receiver estimator (see core/imobif_policy.hpp): the receiver of a
+/// hop evaluates the *sender's* expected performance on that hop, using the
+/// sender's stamped plan (intended position + remaining movement energy)
+/// and the receiver's own plan. Every path hop is thus evaluated exactly
+/// once, with both endpoints at their planned positions — removing the
+/// one-step myopia of the per-sender evaluation while still using only
+/// information carried in the packet header or the neighbor table.
+LocalPerformance evaluate_hop(const energy::RadioEnergyModel& radio,
+                              double sender_energy,
+                              double sender_pending_move_cost,
+                              geom::Vec2 sender_pos, geom::Vec2 sender_target,
+                              geom::Vec2 receiver_pos,
+                              geom::Vec2 receiver_target,
+                              double residual_bits, bool cap_bits = true);
+
+}  // namespace imobif::core

@@ -1,0 +1,289 @@
+#include "core/imobif_policy.hpp"
+
+#include <stdexcept>
+
+#include "core/cost_benefit.hpp"
+#include "core/max_lifetime_strategy.hpp"
+#include "core/min_energy_strategy.hpp"
+#include "net/node.hpp"
+
+namespace imobif::core {
+
+const char* to_string(MobilityMode mode) {
+  switch (mode) {
+    case MobilityMode::kNoMobility:
+      return "no-mobility";
+    case MobilityMode::kCostUnaware:
+      return "cost-unaware";
+    case MobilityMode::kInformed:
+      return "informed";
+  }
+  return "?";
+}
+
+const char* to_string(BenefitEstimator estimator) {
+  switch (estimator) {
+    case BenefitEstimator::kPaperLocal:
+      return "paper-local";
+    case BenefitEstimator::kHopReceiver:
+      return "hop-receiver";
+  }
+  return "?";
+}
+
+ImobifPolicy::ImobifPolicy(const energy::RadioEnergyModel& radio,
+                           const energy::MobilityEnergyModel& mobility,
+                           MobilityMode mode)
+    : radio_(radio), mobility_(mobility), mode_(mode) {}
+
+void ImobifPolicy::register_strategy(
+    std::unique_ptr<MobilityStrategy> strategy) {
+  if (strategy == nullptr) {
+    throw std::invalid_argument("register_strategy: null strategy");
+  }
+  const net::StrategyId id = strategy->id();
+  strategies_[id] = std::move(strategy);
+}
+
+const MobilityStrategy* ImobifPolicy::strategy(net::StrategyId id) const {
+  const auto it = strategies_.find(id);
+  return it == strategies_.end() ? nullptr : it->second.get();
+}
+
+void ImobifPolicy::seed_at_source(net::Node& source, net::DataBody& data,
+                                  net::FlowEntry& entry) {
+  if (mode_ == MobilityMode::kNoMobility) return;
+  const MobilityStrategy* strat = strategy(data.strategy);
+  if (strat == nullptr) return;
+
+  if (estimator_ == BenefitEstimator::kHopReceiver) {
+    // The source's own out-hop will be evaluated by the first relay; the
+    // source contributes only the fold identity and its (static) plan.
+    strat->init_aggregate(data.agg);
+    data.sender_has_plan = true;
+    data.sender_target = source.position();
+    data.sender_move_cost = 0.0;
+    return;
+  }
+  const geom::Vec2 next_pos = source.lookup(entry.next).position;
+  const LocalPerformance local = evaluate_source(
+      radio_, source.battery().residual(), data.residual_flow_bits,
+      source.position(), next_pos, cap_bits_);
+  strat->seed(data.agg, local);
+}
+
+void ImobifPolicy::on_relay(net::Node& relay, net::DataBody& data,
+                            net::FlowEntry& entry) {
+  if (mode_ == MobilityMode::kNoMobility) return;
+  const MobilityStrategy* strat = strategy(data.strategy);
+  if (strat == nullptr) return;
+
+  // Locally available flow-neighbor information: the previous node's stamp
+  // was just written into the neighbor table by this very packet; the next
+  // node's position comes from its HELLO beacons.
+  const net::NeighborInfo prev = relay.lookup(entry.prev);
+  const net::NeighborInfo next = relay.lookup(entry.next);
+
+  RelayContext ctx;
+  ctx.prev_position = prev.position;
+  ctx.prev_energy = prev.residual_energy;
+  ctx.self_position = relay.position();
+  ctx.self_energy = relay.battery().residual();
+  ctx.next_position = next.position;
+
+  const geom::Vec2 target = strat->next_position(ctx);
+  entry.target = target;
+
+  if (estimator_ == BenefitEstimator::kHopReceiver) {
+    // Evaluate the hop *into* this relay (sender = previous node) with both
+    // endpoints at their planned positions, then stamp our own plan for the
+    // next hop's receiver.
+    const LocalPerformance hop = evaluate_hop(
+        radio_, prev.residual_energy, data.sender_move_cost, prev.position,
+        data.sender_has_plan ? data.sender_target : prev.position,
+        relay.position(), target, data.residual_flow_bits, cap_bits_);
+    strat->aggregate(data.agg, hop);
+    data.sender_has_plan = true;
+    data.sender_target = target;
+    data.sender_move_cost =
+        mobility_.move_energy(geom::distance(relay.position(), target));
+    return;
+  }
+
+  const LocalPerformance local = evaluate_local(
+      radio_, mobility_, relay.battery().residual(), data.residual_flow_bits,
+      relay.position(), target, next.position, cap_bits_);
+  strat->aggregate(data.agg, local);
+}
+
+geom::Vec2 ImobifPolicy::movement_target(const net::Node& relay,
+                                         const net::FlowEntry& entry) const {
+  if (!multi_flow_blending_) return *entry.target;
+  // Blend the targets of all mobility-enabled flows traversing this relay,
+  // weighted by each flow's expected residual bits: the flow with more
+  // traffic left gets proportionally more say in where the node parks.
+  geom::Vec2 weighted{0.0, 0.0};
+  double total_weight = 0.0;
+  for (const net::FlowEntry* f : relay.flows().all()) {
+    if (!f->target.has_value() || !f->mobility_enabled) continue;
+    const double w = std::max(f->residual_bits, 1.0);
+    weighted += *f->target * w;
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) return *entry.target;
+  return weighted / total_weight;
+}
+
+void ImobifPolicy::after_forward(net::Node& relay, net::FlowEntry& entry) {
+  if (mode_ == MobilityMode::kNoMobility) return;
+  if (entry.mobility_enabled && entry.target.has_value()) {
+    const geom::Vec2 target = movement_target(relay, entry);
+    const double moved = relay.move_towards(target, mobility_.max_step(),
+                                            mobility_.params().k);
+    if (moved > 0.0) {
+      ++movements_applied_;
+      total_distance_moved_ += moved;
+      entry.moved_distance += moved;
+    }
+  }
+  if (recruitment_enabled_) maybe_recruit(relay, entry);
+}
+
+void ImobifPolicy::enable_recruitment(double margin,
+                                      std::uint32_t check_period_packets) {
+  if (margin <= 0.0 || check_period_packets == 0) {
+    throw std::invalid_argument("enable_recruitment: bad parameters");
+  }
+  recruitment_enabled_ = true;
+  recruit_margin_ = margin;
+  recruit_check_period_ = check_period_packets;
+}
+
+void ImobifPolicy::maybe_recruit(net::Node& relay, net::FlowEntry& entry) {
+  // Cadence: the first packet plus every check period; cap the number of
+  // recruitments a relay initiates per flow so hops cannot be split
+  // indefinitely on noise.
+  if (entry.recruits_initiated >= 2) return;
+  if (entry.packets_relayed % recruit_check_period_ != 1) return;
+  if (entry.next == net::kInvalidNode || entry.residual_bits <= 0.0) return;
+
+  const net::NeighborInfo next = relay.lookup(entry.next);
+  const double d = geom::distance(relay.position(), next.position);
+  const double direct_cost =
+      radio_.transmit_energy(d, entry.residual_bits);
+  const geom::Vec2 mid = geom::midpoint(relay.position(), next.position);
+
+  net::NodeId best = net::kInvalidNode;
+  geom::Vec2 best_pos;
+  double best_net = 0.0;
+  for (const net::NeighborInfo& cand :
+       relay.neighbors().snapshot(relay.now())) {
+    if (cand.id == relay.id() || cand.id == entry.prev ||
+        cand.id == entry.next || cand.id == entry.source ||
+        cand.id == entry.destination) {
+      continue;
+    }
+    const double d1 = geom::distance(relay.position(), cand.position);
+    const double d2 = geom::distance(cand.position, next.position);
+    // Benefit over the residual flow at the candidate's *current*
+    // position (mobility, if enabled, only improves on this), minus the
+    // candidate's expected relocation spend toward the hop midpoint.
+    const double split_cost =
+        radio_.transmit_energy(d1, entry.residual_bits) +
+        radio_.transmit_energy(d2, entry.residual_bits);
+    const double relocation =
+        mobility_.move_energy(geom::distance(cand.position, mid));
+    const double net_gain =
+        direct_cost - split_cost - recruit_margin_ * relocation;
+    if (net_gain <= best_net) continue;
+    // The invitee must be able to afford its share of the plan.
+    if (cand.residual_energy <
+        relocation + radio_.transmit_energy(d2, entry.residual_bits)) {
+      continue;
+    }
+    best = cand.id;
+    best_pos = cand.position;
+    best_net = net_gain;
+  }
+  if (best == net::kInvalidNode) return;
+
+  net::RecruitBody body;
+  body.flow_id = entry.id;
+  body.flow_source = entry.source;
+  body.flow_destination = entry.destination;
+  body.upstream = relay.id();
+  body.downstream = entry.next;
+  body.strategy = entry.strategy;
+  body.residual_flow_bits = entry.residual_bits;
+  body.mobility_enabled = entry.mobility_enabled;
+
+  net::Packet pkt;
+  pkt.type = net::PacketType::kRecruit;
+  pkt.sender = net::SenderStamp{relay.id(), relay.position(),
+                                relay.battery().residual()};
+  pkt.link_dest = best;
+  pkt.size_bits = 512.0;
+  pkt.body = body;
+  if (!relay.transmit(std::move(pkt), best, best_pos)) return;
+
+  entry.next = best;
+  entry.target.reset();  // the next packet recomputes against the new hop
+  ++entry.recruits_initiated;
+  ++recruits_initiated_;
+}
+
+std::optional<bool> ImobifPolicy::evaluate_at_destination(
+    net::Node& dest, const net::DataBody& data, net::FlowEntry& entry) {
+  if (mode_ != MobilityMode::kInformed) return std::nullopt;
+  const MobilityStrategy* strat = strategy(data.strategy);
+  if (strat == nullptr) return std::nullopt;
+
+  net::MobilityAggregate agg = data.agg;
+  if (estimator_ == BenefitEstimator::kHopReceiver) {
+    // Fold the final hop (last relay -> destination); the destination does
+    // not move, so its planned position is its current one.
+    const net::NeighborInfo prev = dest.lookup(entry.prev);
+    const LocalPerformance hop = evaluate_hop(
+        radio_, prev.residual_energy, data.sender_move_cost, prev.position,
+        data.sender_has_plan ? data.sender_target : prev.position,
+        dest.position(), dest.position(), data.residual_flow_bits,
+        cap_bits_);
+    strat->aggregate(agg, hop);
+  }
+  // Figure 1, UpdateMobilityStatus: sustainable bits dominate; expected
+  // residual energy breaks ties.
+  const bool mobility_worse =
+      agg.bits_mob < agg.bits_nomob ||
+      (agg.bits_mob == agg.bits_nomob && agg.resi_mob < agg.resi_nomob);
+  const bool mobility_better =
+      agg.bits_mob > agg.bits_nomob ||
+      (agg.bits_mob == agg.bits_nomob && agg.resi_mob > agg.resi_nomob);
+
+  std::optional<bool> desired;
+  if (mobility_worse && data.mobility_enabled) desired = false;
+  if (mobility_better && !data.mobility_enabled) desired = true;
+  if (!desired.has_value()) return std::nullopt;
+
+  // Optional damping: a request was sent recently and the source has not
+  // yet had `gap` packets to act on it (or flipped back) - hold off.
+  if (notification_min_gap_ > 0 && entry.last_notify_seq.has_value() &&
+      data.seq - *entry.last_notify_seq < notification_min_gap_) {
+    return std::nullopt;
+  }
+  entry.last_notify_seq = data.seq;
+  return desired;
+}
+
+std::unique_ptr<ImobifPolicy> make_default_policy(
+    const energy::RadioEnergyModel& radio,
+    const energy::MobilityEnergyModel& mobility, MobilityMode mode,
+    double alpha_prime) {
+  auto policy = std::make_unique<ImobifPolicy>(radio, mobility, mode);
+  policy->register_strategy(std::make_unique<MinEnergyStrategy>());
+  const double ap =
+      alpha_prime > 0.0 ? alpha_prime : radio.params().alpha;
+  policy->register_strategy(std::make_unique<MaxLifetimeStrategy>(ap));
+  return policy;
+}
+
+}  // namespace imobif::core

@@ -1,0 +1,50 @@
+#include "core/lifetime_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace imobif::core {
+
+double exact_lifetime_split(const energy::RadioParams& radio, double e_prev,
+                            double e_self, double total_distance,
+                            double tolerance_m) {
+  radio.validate();
+  if (total_distance < 0.0) {
+    throw std::invalid_argument("exact_lifetime_split: negative distance");
+  }
+  if (tolerance_m <= 0.0) {
+    throw std::invalid_argument("exact_lifetime_split: bad tolerance");
+  }
+  if (total_distance == 0.0) return 0.0;
+
+  constexpr double kEnergyFloor = 1e-12;
+  const double target =
+      std::max(e_prev, kEnergyFloor) / std::max(e_self, kEnergyFloor);
+
+  const auto power = [&](double d) {
+    return radio.a + radio.b * std::pow(d, radio.alpha);
+  };
+  // f(d) = P(d)/P(D-d) is continuous and strictly increasing on [0, D]
+  // (numerator grows, denominator shrinks), so bisection applies. Clamp to
+  // the achievable range first.
+  const double lo_ratio = power(0.0) / power(total_distance);
+  const double hi_ratio = power(total_distance) / power(0.0);
+  if (target <= lo_ratio) return 0.0;
+  if (target >= hi_ratio) return total_distance;
+
+  double lo = 0.0;
+  double hi = total_distance;
+  while (hi - lo > tolerance_m) {
+    const double mid = 0.5 * (lo + hi);
+    const double ratio = power(mid) / power(total_distance - mid);
+    if (ratio < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace imobif::core

@@ -1,0 +1,73 @@
+#include "core/max_lifetime_strategy.hpp"
+
+#include "core/lifetime_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace imobif::core {
+
+namespace {
+// Energies at or below zero would make the ratio degenerate; clamp to a tiny
+// positive floor so a nearly dead node simply claims (almost) no hop length.
+constexpr double kEnergyFloor = 1e-12;
+}  // namespace
+
+MaxLifetimeStrategy::MaxLifetimeStrategy(double alpha_prime)
+    : alpha_prime_(alpha_prime) {
+  if (alpha_prime <= 0.0) {
+    throw std::invalid_argument(
+        "MaxLifetimeStrategy: alpha_prime must be > 0");
+  }
+}
+
+MaxLifetimeStrategy::MaxLifetimeStrategy(const energy::RadioParams& radio)
+    : alpha_prime_(radio.alpha), exact_radio_(radio) {
+  radio.validate();
+}
+
+double MaxLifetimeStrategy::split_fraction(double prev_energy,
+                                           double self_energy) const {
+  const double ep = std::max(prev_energy, kEnergyFloor);
+  const double es = std::max(self_energy, kEnergyFloor);
+  const double rho = std::pow(ep / es, 1.0 / alpha_prime_);
+  if (!std::isfinite(rho)) return 1.0;  // prev >>> self: hand it the hop
+  return rho / (1.0 + rho);
+}
+
+geom::Vec2 MaxLifetimeStrategy::next_position(const RelayContext& ctx) const {
+  if (exact_radio_.has_value()) {
+    const double total =
+        geom::distance(ctx.prev_position, ctx.next_position);
+    const double d_prev = exact_lifetime_split(
+        *exact_radio_, ctx.prev_energy, ctx.self_energy, total);
+    const double frac = total > 0.0 ? d_prev / total : 0.0;
+    return geom::lerp(ctx.prev_position, ctx.next_position, frac);
+  }
+  // Figure 4: x' = prev + (next - prev) * rho / (1 + rho). The higher the
+  // previous node's residual energy relative to ours, the closer we park to
+  // the next node, lengthening the previous node's hop and shortening ours.
+  const double frac = split_fraction(ctx.prev_energy, ctx.self_energy);
+  return geom::lerp(ctx.prev_position, ctx.next_position, frac);
+}
+
+void MaxLifetimeStrategy::aggregate(net::MobilityAggregate& agg,
+                                    const LocalPerformance& local) const {
+  // Figure 4: both metrics fold with min (bottleneck node decides lifetime).
+  agg.bits_mob = std::min(agg.bits_mob, local.bits_mob);
+  agg.resi_mob = std::min(agg.resi_mob, local.resi_mob);
+  agg.bits_nomob = std::min(agg.bits_nomob, local.bits_nomob);
+  agg.resi_nomob = std::min(agg.resi_nomob, local.resi_nomob);
+}
+
+void MaxLifetimeStrategy::init_aggregate(net::MobilityAggregate& agg) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  agg.bits_mob = kInf;
+  agg.bits_nomob = kInf;
+  agg.resi_mob = kInf;  // identity of min
+  agg.resi_nomob = kInf;
+}
+
+}  // namespace imobif::core

@@ -1,0 +1,63 @@
+// Max-system-lifetime strategy (paper Section 3.2, Figure 4) — the novel
+// strategy of the paper.
+//
+// Theorem 1: at the lifetime optimum all relays lie on the source-
+// destination line with hop lengths satisfying
+//     P(d_{i-1}) / P(d_i) = e_{i-1} / e_i ,
+// i.e. the node with more residual energy takes the proportionally more
+// expensive (longer) hop. Closed-form solutions with P(d) = a + b d^alpha
+// are impractical, so the paper uses the approximation
+//     (d_{i-1}')^{alpha'} / (d_i')^{alpha'} = e_{i-1} / e_i
+// with d_{i-1}' + d_i' = |x_{i-1} - x_{i+1}|, giving
+//     x_i' = x_{i-1} + (x_{i+1} - x_{i-1}) * rho / (1 + rho),
+//     rho  = (e_{i-1} / e_i)^{1 / alpha'} ,
+// where alpha' is a tuning exponent "obtained through regression on
+// historical data" (defaults to the radio path-loss exponent alpha; bench
+// ablation A1 sweeps it).
+//
+// Aggregate: both metrics fold with min — system lifetime is decided by the
+// bottleneck node, so the destination must see the *worst* expected residual
+// energy, not the total (Section 3.2).
+#pragma once
+
+#include <optional>
+
+#include "core/strategy.hpp"
+#include "energy/radio_model.hpp"
+
+namespace imobif::core {
+
+class MaxLifetimeStrategy : public MobilityStrategy {
+ public:
+  /// Approximate mode (the paper's): `alpha_prime` must be positive.
+  explicit MaxLifetimeStrategy(double alpha_prime);
+
+  /// Exact mode: solves the Theorem-1 balance P(d_prev)/P(d_self) =
+  /// e_prev/e_self numerically under the given radio model (see
+  /// core/lifetime_solver.hpp).
+  explicit MaxLifetimeStrategy(const energy::RadioParams& radio);
+
+  net::StrategyId id() const override { return net::StrategyId::kMaxLifetime; }
+  const char* name() const override {
+    return exact() ? "max-lifetime-exact" : "max-lifetime";
+  }
+  double alpha_prime() const { return alpha_prime_; }
+  bool exact() const { return exact_radio_.has_value(); }
+
+  geom::Vec2 next_position(const RelayContext& ctx) const override;
+
+  void aggregate(net::MobilityAggregate& agg,
+                 const LocalPerformance& local) const override;
+
+  void init_aggregate(net::MobilityAggregate& agg) const override;
+
+  /// The hop-split fraction rho/(1+rho) for energies (e_prev, e_self);
+  /// exposed for tests of the Theorem-1 approximation.
+  double split_fraction(double prev_energy, double self_energy) const;
+
+ private:
+  double alpha_prime_;
+  std::optional<energy::RadioParams> exact_radio_;
+};
+
+}  // namespace imobif::core

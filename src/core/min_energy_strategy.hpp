@@ -1,0 +1,33 @@
+// Min-total-energy strategy (paper Section 3.1, Figures 2 and 3), adopted
+// from Goldenberg et al., "Towards mobility as a network control primitive"
+// (MobiHoc 2004).
+//
+// GetNextPosition: the midpoint of the previous and next nodes' positions.
+// Iterated packet-by-packet, relays converge to evenly spaced points on the
+// source-destination line — the proven total-energy optimum.
+//
+// Aggregate: sustainable bits fold with min (the flow sustains what its
+// weakest node sustains); expected residual energy folds with sum (total
+// energy is what this strategy optimizes).
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace imobif::core {
+
+class MinEnergyStrategy : public MobilityStrategy {
+ public:
+  net::StrategyId id() const override {
+    return net::StrategyId::kMinTotalEnergy;
+  }
+  const char* name() const override { return "min-total-energy"; }
+
+  geom::Vec2 next_position(const RelayContext& ctx) const override;
+
+  void aggregate(net::MobilityAggregate& agg,
+                 const LocalPerformance& local) const override;
+
+  void init_aggregate(net::MobilityAggregate& agg) const override;
+};
+
+}  // namespace imobif::core

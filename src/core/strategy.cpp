@@ -1,0 +1,13 @@
+#include "core/strategy.hpp"
+
+namespace imobif::core {
+
+void MobilityStrategy::seed(net::MobilityAggregate& agg,
+                            const LocalPerformance& source) const {
+  agg.bits_mob = source.bits_mob;
+  agg.resi_mob = source.resi_mob;
+  agg.bits_nomob = source.bits_nomob;
+  agg.resi_nomob = source.resi_nomob;
+}
+
+}  // namespace imobif::core

@@ -1,0 +1,65 @@
+// Mobility strategies (framework Section 2, assumption 1: "each node
+// maintains a list of application-specific mobility strategies and aggregate
+// functions").
+//
+// A strategy supplies the two application-specific functions of Figure 1:
+//   * GetNextPosition  -> next_position(): the relay's preferred location,
+//     computed from locally available information about the previous node,
+//     this node, and the next node on the flow path;
+//   * AggregateMobilityPerformance -> aggregate(): how a relay folds its
+//     local (sustainable-bits, expected-residual-energy) pair — for both the
+//     with-mobility and without-mobility alternatives — into the packet
+//     header aggregate.
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "net/packet.hpp"
+
+namespace imobif::core {
+
+/// Locally available flow-neighbor information at a relay: position and
+/// residual energy of the previous node (from its packet stamp / HELLOs),
+/// this node, and the position of the next node.
+struct RelayContext {
+  geom::Vec2 prev_position;
+  double prev_energy = 0.0;
+  geom::Vec2 self_position;
+  double self_energy = 0.0;
+  geom::Vec2 next_position;
+};
+
+/// The relay's local cost/benefit evaluation (Figure 1 lines 15-19).
+struct LocalPerformance {
+  double bits_mob = 0.0;
+  double resi_mob = 0.0;
+  double bits_nomob = 0.0;
+  double resi_nomob = 0.0;
+};
+
+class MobilityStrategy {
+ public:
+  virtual ~MobilityStrategy() = default;
+
+  virtual net::StrategyId id() const = 0;
+  virtual const char* name() const = 0;
+
+  /// GetNextPosition: the relay's preferred location.
+  virtual geom::Vec2 next_position(const RelayContext& ctx) const = 0;
+
+  /// AggregateMobilityPerformance: folds the relay's local values into the
+  /// header aggregate.
+  virtual void aggregate(net::MobilityAggregate& agg,
+                         const LocalPerformance& local) const = 0;
+
+  /// Initializes the aggregate with the source's own contribution. The
+  /// source does not move, so both alternatives carry its plain values.
+  virtual void seed(net::MobilityAggregate& agg,
+                    const LocalPerformance& source) const;
+
+  /// Identity element of the aggregate fold (hop-receiver estimator): bits
+  /// aggregate with min at every strategy so both start at +infinity; the
+  /// resi identity is strategy-specific (0 for sum, +infinity for min).
+  virtual void init_aggregate(net::MobilityAggregate& agg) const = 0;
+};
+
+}  // namespace imobif::core

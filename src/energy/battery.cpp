@@ -1,0 +1,43 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imobif::energy {
+
+Battery::Battery(double initial_j) : initial_(initial_j), residual_(initial_j) {
+  if (initial_j < 0.0) {
+    throw std::invalid_argument("Battery: negative initial energy");
+  }
+}
+
+double Battery::draw(double amount_j, DrawKind kind) {
+  if (amount_j < 0.0) throw std::invalid_argument("Battery: negative draw");
+  const bool was_alive = residual_ > 0.0;
+  const double drawn = std::min(amount_j, residual_);
+  residual_ -= drawn;
+  switch (kind) {
+    case DrawKind::kTransmit:
+      consumed_tx_ += drawn;
+      break;
+    case DrawKind::kMove:
+      consumed_move_ += drawn;
+      break;
+    case DrawKind::kOther:
+      consumed_other_ += drawn;
+      break;
+  }
+  if (was_alive && residual_ <= 0.0 && on_depleted_) on_depleted_();
+  return drawn;
+}
+
+void Battery::recharge(double initial_j) {
+  if (initial_j < 0.0) {
+    throw std::invalid_argument("Battery: negative recharge");
+  }
+  initial_ = initial_j;
+  residual_ = initial_j;
+  consumed_tx_ = consumed_move_ = consumed_other_ = 0.0;
+}
+
+}  // namespace imobif::energy

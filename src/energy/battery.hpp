@@ -1,0 +1,52 @@
+// Battery: residual-energy bookkeeping for a node.
+//
+// Tracks draws by category (transmission / movement / other) so experiments
+// can report the Fig-6(b) decomposition directly. A node dies when its
+// residual reaches zero; draws are clamped at zero and the shortfall
+// reported, matching the "node can measure its residual energy" assumption.
+#pragma once
+
+#include <functional>
+
+namespace imobif::energy {
+
+enum class DrawKind { kTransmit, kMove, kOther };
+
+class Battery {
+ public:
+  explicit Battery(double initial_j);
+
+  double residual() const { return residual_; }
+  double initial() const { return initial_; }
+  bool depleted() const { return residual_ <= 0.0; }
+
+  /// Draws up to `amount_j`; returns the energy actually drawn (less than
+  /// requested only when the battery empties).
+  double draw(double amount_j, DrawKind kind);
+
+  /// True when the battery currently holds at least `amount_j`.
+  bool can_afford(double amount_j) const { return residual_ >= amount_j; }
+
+  double consumed_total() const { return initial_ - residual_; }
+  double consumed_transmit() const { return consumed_tx_; }
+  double consumed_move() const { return consumed_move_; }
+  double consumed_other() const { return consumed_other_; }
+
+  /// Invoked exactly once, at the transition to depleted.
+  void set_depletion_callback(std::function<void()> cb) {
+    on_depleted_ = std::move(cb);
+  }
+
+  /// Experiment support: reset to a new initial charge (keeps callback).
+  void recharge(double initial_j);
+
+ private:
+  double initial_;
+  double residual_;
+  double consumed_tx_ = 0.0;
+  double consumed_move_ = 0.0;
+  double consumed_other_ = 0.0;
+  std::function<void()> on_depleted_;
+};
+
+}  // namespace imobif::energy

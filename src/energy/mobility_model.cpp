@@ -1,0 +1,35 @@
+#include "energy/mobility_model.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace imobif::energy {
+
+void MobilityParams::validate() const {
+  if (k < 0.0) throw std::invalid_argument("MobilityParams: k must be >= 0");
+  if (max_step_m <= 0.0) {
+    throw std::invalid_argument("MobilityParams: max_step_m must be > 0");
+  }
+}
+
+MobilityEnergyModel::MobilityEnergyModel(MobilityParams params)
+    : params_(params) {
+  params_.validate();
+}
+
+double MobilityEnergyModel::move_energy(double distance_m) const {
+  if (distance_m < 0.0) {
+    throw std::invalid_argument("move_energy: negative distance");
+  }
+  return params_.k * distance_m;
+}
+
+double MobilityEnergyModel::range_for_energy(double energy_j) const {
+  if (energy_j <= 0.0 || params_.k == 0.0) {
+    return energy_j <= 0.0 ? 0.0
+                           : std::numeric_limits<double>::infinity();
+  }
+  return energy_j / params_.k;
+}
+
+}  // namespace imobif::energy

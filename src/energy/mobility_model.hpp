@@ -1,0 +1,35 @@
+// Mobility cost model of the paper (Section 4): E_M(d) = k * d.
+//
+// k [J/m] captures terrain and node mass; the evaluation sweeps
+// k in {0.1, 0.5, 1.0}. The model also enforces the per-step distance cap
+// ("the maximum distance traveled is set to ... in each step").
+#pragma once
+
+namespace imobif::energy {
+
+struct MobilityParams {
+  double k = 0.5;          ///< J/m, movement cost per meter
+  double max_step_m = 1.0; ///< maximum travel distance per mobility step
+
+  void validate() const;
+};
+
+class MobilityEnergyModel {
+ public:
+  explicit MobilityEnergyModel(MobilityParams params);
+
+  const MobilityParams& params() const { return params_; }
+
+  /// E_M(d): energy to move `distance_m` meters.
+  double move_energy(double distance_m) const;
+
+  /// Distance movable with `energy_j` joules.
+  double range_for_energy(double energy_j) const;
+
+  double max_step() const { return params_.max_step_m; }
+
+ private:
+  MobilityParams params_;
+};
+
+}  // namespace imobif::energy

@@ -1,0 +1,61 @@
+#include "energy/power_distance_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace imobif::energy {
+
+PowerDistanceTable::PowerDistanceTable(double bin_width_m,
+                                       double max_distance_m)
+    : bin_width_(bin_width_m), max_distance_(max_distance_m) {
+  if (bin_width_m <= 0.0 || max_distance_m <= bin_width_m) {
+    throw std::invalid_argument("PowerDistanceTable: bad bin configuration");
+  }
+  bins_.resize(static_cast<std::size_t>(
+                   std::ceil(max_distance_m / bin_width_m)),
+               std::nullopt);
+}
+
+std::size_t PowerDistanceTable::bin_of(double distance_m) const {
+  const auto bin = static_cast<std::size_t>(distance_m / bin_width_);
+  return std::min(bin, bins_.size() - 1);
+}
+
+void PowerDistanceTable::observe(double distance_m, double power_per_bit) {
+  if (distance_m < 0.0 || power_per_bit < 0.0) {
+    throw std::invalid_argument("PowerDistanceTable: negative observation");
+  }
+  auto& cell = bins_[bin_of(distance_m)];
+  if (!cell || power_per_bit < *cell) cell = power_per_bit;
+}
+
+void PowerDistanceTable::seed_from_model(const RadioEnergyModel& model) {
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    // Use the far edge of the bin so the seeded value is always sufficient
+    // for any distance that maps into the bin.
+    const double far_edge = bin_width_ * static_cast<double>(i + 1);
+    const double p = model.power_per_bit(std::min(far_edge, max_distance_));
+    if (!bins_[i] || p < *bins_[i]) bins_[i] = p;
+  }
+}
+
+std::optional<double> PowerDistanceTable::min_power(double distance_m) const {
+  if (distance_m < 0.0) return std::nullopt;
+  if (distance_m > max_distance_) return std::nullopt;
+  // The first populated bin at or beyond the query distance gives a power
+  // known to cover it (bins record successes at distances >= their floor;
+  // a success in a farther bin is conservative for a nearer query).
+  for (std::size_t i = bin_of(distance_m); i < bins_.size(); ++i) {
+    if (bins_[i]) return bins_[i];
+  }
+  return std::nullopt;
+}
+
+std::size_t PowerDistanceTable::populated_bins() const {
+  return static_cast<std::size_t>(
+      std::count_if(bins_.begin(), bins_.end(),
+                    [](const auto& b) { return b.has_value(); }));
+}
+
+}  // namespace imobif::energy

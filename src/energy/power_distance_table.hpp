@@ -1,0 +1,47 @@
+// PowerDistanceTable — the paper's Assumption 4 substitute.
+//
+// "a node can maintain a power-distance table based on historical data, or
+// exploit hardware support." We implement the table: quantized distance bins
+// whose entries record the lowest per-bit power observed to succeed at that
+// distance. Lookup returns the learned value when available and falls back
+// to a conservative interpolation from neighbouring bins; a node with no
+// history can be seeded from an analytic model (the "hardware support" path).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+
+namespace imobif::energy {
+
+class PowerDistanceTable {
+ public:
+  /// `bin_width_m` controls quantization; `max_distance_m` the table extent.
+  PowerDistanceTable(double bin_width_m, double max_distance_m);
+
+  /// Records that transmitting at `power_per_bit` succeeded across
+  /// `distance_m`. Keeps the minimum successful power per bin.
+  void observe(double distance_m, double power_per_bit);
+
+  /// Seeds every bin from the analytic model (hardware-support path).
+  void seed_from_model(const RadioEnergyModel& model);
+
+  /// Minimum known per-bit power to reach `distance_m`, if the table has
+  /// any information at or beyond that distance.
+  std::optional<double> min_power(double distance_m) const;
+
+  /// Number of bins holding observations.
+  std::size_t populated_bins() const;
+  std::size_t bin_count() const { return bins_.size(); }
+  double bin_width() const { return bin_width_; }
+
+ private:
+  std::size_t bin_of(double distance_m) const;
+
+  double bin_width_;
+  double max_distance_;
+  std::vector<std::optional<double>> bins_;
+};
+
+}  // namespace imobif::energy

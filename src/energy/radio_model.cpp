@@ -1,0 +1,57 @@
+#include "energy/radio_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace imobif::energy {
+
+void RadioParams::validate() const {
+  if (a < 0.0) throw std::invalid_argument("RadioParams: a must be >= 0");
+  if (b <= 0.0) throw std::invalid_argument("RadioParams: b must be > 0");
+  if (alpha < 1.0) {
+    throw std::invalid_argument("RadioParams: alpha must be >= 1");
+  }
+  if (rx_per_bit < 0.0) {
+    throw std::invalid_argument("RadioParams: rx_per_bit must be >= 0");
+  }
+}
+
+RadioEnergyModel::RadioEnergyModel(RadioParams params) : params_(params) {
+  params_.validate();
+}
+
+double RadioEnergyModel::power_per_bit(double distance_m) const {
+  if (distance_m < 0.0) {
+    throw std::invalid_argument("power_per_bit: negative distance");
+  }
+  return params_.a + params_.b * std::pow(distance_m, params_.alpha);
+}
+
+double RadioEnergyModel::transmit_energy(double distance_m,
+                                         double bits) const {
+  if (bits < 0.0) {
+    throw std::invalid_argument("transmit_energy: negative bits");
+  }
+  return bits * power_per_bit(distance_m);
+}
+
+double RadioEnergyModel::sustainable_bits(double distance_m,
+                                          double energy_j) const {
+  if (energy_j <= 0.0) return 0.0;
+  return energy_j / power_per_bit(distance_m);
+}
+
+double RadioEnergyModel::receive_energy(double bits) const {
+  if (bits < 0.0) {
+    throw std::invalid_argument("receive_energy: negative bits");
+  }
+  return bits * params_.rx_per_bit;
+}
+
+double RadioEnergyModel::range_for_power(double power_per_bit_j) const {
+  if (power_per_bit_j <= params_.a) return 0.0;
+  return std::pow((power_per_bit_j - params_.a) / params_.b,
+                  1.0 / params_.alpha);
+}
+
+}  // namespace imobif::energy

@@ -1,0 +1,56 @@
+// Radio transmission power/energy model of the paper (Section 4):
+//
+//   P(d)      = a + b * d^alpha          [J/bit]
+//   E_T(d, l) = l * (a + b * d^alpha)    [J]    (paper's E_T)
+//
+// `a` is the distance-independent electronics cost per bit, `b` the amplifier
+// coefficient, and alpha the path-loss exponent (2 or 3 in the evaluation).
+#pragma once
+
+#include <cstdint>
+
+namespace imobif::energy {
+
+struct RadioParams {
+  double a = 1e-7;    ///< J/bit, electronics energy
+  double b = 1e-10;   ///< J * m^-alpha / bit, amplifier energy
+  double alpha = 2.0; ///< path-loss exponent
+  /// J/bit charged at the *receiver* per received bit. The paper's model
+  /// charges the sender only (rx = 0, the default); the full first-order
+  /// radio model charges receive electronics too — bench ablation A8
+  /// studies the impact on lifetime.
+  double rx_per_bit = 0.0;
+
+  /// Throws std::invalid_argument unless a >= 0, b > 0, alpha >= 1,
+  /// rx_per_bit >= 0.
+  void validate() const;
+};
+
+class RadioEnergyModel {
+ public:
+  explicit RadioEnergyModel(RadioParams params);
+
+  const RadioParams& params() const { return params_; }
+
+  /// Minimum per-bit transmission power to reach distance d: P(d) [J/bit].
+  double power_per_bit(double distance_m) const;
+
+  /// Energy to transmit `bits` across `distance_m`: E_T(d, l) [J].
+  double transmit_energy(double distance_m, double bits) const;
+
+  /// Number of bits transmittable across `distance_m` with `energy_j` joules
+  /// — the paper's "sustainable data bits" for a fixed next-hop distance.
+  double sustainable_bits(double distance_m, double energy_j) const;
+
+  /// Largest distance reachable with per-bit power `power` (inverse of P).
+  double range_for_power(double power_per_bit_j) const;
+
+  /// Energy drawn by a receiver for `bits` received bits (0 in the paper's
+  /// sender-pays model).
+  double receive_energy(double bits) const;
+
+ private:
+  RadioParams params_;
+};
+
+}  // namespace imobif::energy

@@ -1,0 +1,74 @@
+#include "exp/experiments.hpp"
+
+#include <stdexcept>
+
+namespace imobif::exp {
+
+namespace {
+double safe_ratio(double numerator, double denominator) {
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+}  // namespace
+
+double ComparisonPoint::energy_ratio_cost_unaware() const {
+  return safe_ratio(cost_unaware.total_energy_j, baseline.total_energy_j);
+}
+
+double ComparisonPoint::energy_ratio_informed() const {
+  return safe_ratio(informed.total_energy_j, baseline.total_energy_j);
+}
+
+double ComparisonPoint::lifetime_ratio_cost_unaware() const {
+  return safe_ratio(cost_unaware.lifetime_s, baseline.lifetime_s);
+}
+
+double ComparisonPoint::lifetime_ratio_informed() const {
+  return safe_ratio(informed.lifetime_s, baseline.lifetime_s);
+}
+
+std::vector<ComparisonPoint> run_comparison(const ScenarioParams& params,
+                                            std::size_t flow_count,
+                                            const RunOptions& options) {
+  params.validate();
+  util::Rng rng(params.seed);
+  std::vector<ComparisonPoint> points;
+  points.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    util::Rng instance_rng = rng.fork();
+    const FlowInstance instance = sample_instance(params, instance_rng);
+
+    ComparisonPoint point;
+    point.flow_bits = instance.flow_bits;
+    point.hops = instance.initial_path.size() - 1;
+    point.baseline = run_instance(instance, params,
+                                  core::MobilityMode::kNoMobility, options);
+    point.cost_unaware = run_instance(
+        instance, params, core::MobilityMode::kCostUnaware, options);
+    point.informed = run_instance(instance, params,
+                                  core::MobilityMode::kInformed, options);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+PlacementSnapshot run_placement(const ScenarioParams& params,
+                                core::MobilityMode mode,
+                                const RunOptions& options) {
+  params.validate();
+  util::Rng rng(params.seed);
+  const FlowInstance instance = sample_instance(params, rng);
+
+  PlacementSnapshot snap;
+  snap.run = run_instance(instance, params, mode, options);
+  snap.path = snap.run.path.empty() ? instance.initial_path : snap.run.path;
+  for (const net::NodeId id : snap.path) {
+    snap.initial_positions.push_back(instance.positions[id]);
+    snap.final_positions.push_back(snap.run.final_positions[id]);
+    snap.initial_energies.push_back(instance.energies[id]);
+    snap.final_energies.push_back(snap.run.final_energies[id]);
+  }
+  return snap;
+}
+
+}  // namespace imobif::exp

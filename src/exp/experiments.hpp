@@ -1,0 +1,53 @@
+// Figure-level experiment drivers (paper Section 4). Each driver replays N
+// sampled flow instances under the three approaches the paper compares —
+// no mobility (baseline), cost-unaware mobility, and iMobif — and returns
+// per-instance series shaped like the corresponding figure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace imobif::exp {
+
+/// One flow instance's outcome under all three approaches.
+struct ComparisonPoint {
+  double flow_bits = 0.0;
+  std::size_t hops = 0;
+
+  RunResult baseline;      // no mobility
+  RunResult cost_unaware;  // strategy always on, no cost/benefit check
+  RunResult informed;      // full iMobif
+
+  /// Fig 6: total-energy ratio vs the no-mobility baseline.
+  double energy_ratio_cost_unaware() const;
+  double energy_ratio_informed() const;
+
+  /// Fig 8: system-lifetime ratio vs the no-mobility baseline.
+  double lifetime_ratio_cost_unaware() const;
+  double lifetime_ratio_informed() const;
+};
+
+/// Runs `flow_count` instances of the scenario; deterministic in
+/// (params.seed, flow_count). `options` applies to every run.
+std::vector<ComparisonPoint> run_comparison(const ScenarioParams& params,
+                                            std::size_t flow_count,
+                                            const RunOptions& options = {});
+
+/// Fig 5: one instance run to steady state under a given mode+strategy;
+/// exposes the flow path with initial/final positions and energies.
+struct PlacementSnapshot {
+  std::vector<net::NodeId> path;
+  std::vector<geom::Vec2> initial_positions;  ///< path nodes, in order
+  std::vector<geom::Vec2> final_positions;    ///< path nodes, in order
+  std::vector<double> initial_energies;
+  std::vector<double> final_energies;
+  RunResult run;
+};
+
+PlacementSnapshot run_placement(const ScenarioParams& params,
+                                core::MobilityMode mode,
+                                const RunOptions& options = {});
+
+}  // namespace imobif::exp

@@ -1,0 +1,86 @@
+#include "exp/instance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imobif::exp {
+
+namespace {
+
+/// Greedy geographic path over raw positions (the same rule the in-network
+/// GreedyRouting applies, evaluated on ground truth for admission checks).
+std::vector<net::NodeId> greedy_path(const std::vector<geom::Vec2>& pos,
+                                     double range, net::NodeId src,
+                                     net::NodeId dst) {
+  std::vector<net::NodeId> path{src};
+  net::NodeId current = src;
+  while (current != dst && path.size() <= pos.size()) {
+    const double cur_dist = geom::distance(pos[current], pos[dst]);
+    if (geom::distance(pos[current], pos[dst]) <= range) {
+      path.push_back(dst);
+      return path;
+    }
+    net::NodeId best = net::kInvalidNode;
+    double best_dist = cur_dist;
+    for (net::NodeId cand = 0; cand < pos.size(); ++cand) {
+      if (cand == current) continue;
+      if (geom::distance(pos[current], pos[cand]) > range) continue;
+      const double d = geom::distance(pos[cand], pos[dst]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = cand;
+      }
+    }
+    if (best == net::kInvalidNode) return {};
+    path.push_back(best);
+    current = best;
+  }
+  return current == dst ? path : std::vector<net::NodeId>{};
+}
+
+}  // namespace
+
+FlowInstance sample_instance(const ScenarioParams& params, util::Rng& rng) {
+  params.validate();
+  constexpr int kTopologyAttempts = 64;
+  constexpr int kPairAttempts = 256;
+
+  for (int topo = 0; topo < kTopologyAttempts; ++topo) {
+    FlowInstance inst;
+    inst.positions.reserve(params.node_count);
+    for (std::size_t i = 0; i < params.node_count; ++i) {
+      inst.positions.emplace_back(rng.uniform(0.0, params.area_m),
+                                  rng.uniform(0.0, params.area_m));
+    }
+    for (int pair = 0; pair < kPairAttempts; ++pair) {
+      const auto src = static_cast<net::NodeId>(
+          rng.uniform_int(0, params.node_count - 1));
+      const auto dst = static_cast<net::NodeId>(
+          rng.uniform_int(0, params.node_count - 1));
+      if (src == dst) continue;
+      auto path =
+          greedy_path(inst.positions, params.comm_range_m, src, dst);
+      if (path.empty() || path.size() < params.min_hops + 1) continue;
+
+      inst.source = src;
+      inst.destination = dst;
+      inst.initial_path = std::move(path);
+      // At least one packet worth of data.
+      inst.flow_bits = std::max(params.packet_bits,
+                                rng.exponential(params.mean_flow_bits));
+      inst.energies.reserve(params.node_count);
+      for (std::size_t i = 0; i < params.node_count; ++i) {
+        inst.energies.push_back(
+            params.random_energy
+                ? rng.uniform(params.energy_lo_j, params.energy_hi_j)
+                : params.initial_energy_j);
+      }
+      return inst;
+    }
+  }
+  throw std::runtime_error(
+      "sample_instance: no routable source/destination pair found "
+      "(node density too low for greedy routing?)");
+}
+
+}  // namespace imobif::exp

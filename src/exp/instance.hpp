@@ -1,0 +1,31 @@
+// A flow instance: one sampled topology + source/destination pair + flow
+// length + initial energies. The same instance is replayed under each
+// mobility mode so Fig-6/8 ratios compare identical workloads.
+#pragma once
+
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::exp {
+
+struct FlowInstance {
+  std::vector<geom::Vec2> positions;
+  std::vector<double> energies;
+  net::NodeId source = net::kInvalidNode;
+  net::NodeId destination = net::kInvalidNode;
+  double flow_bits = 0.0;
+  /// Greedy path over the initial placement (oracle), source..destination.
+  std::vector<net::NodeId> initial_path;
+};
+
+/// Samples a routable instance: uniform node placement, a random
+/// greedy-routable (source, destination) pair with >= min_hops hops, an
+/// exponential flow length, and initial energies per the scenario.
+/// Re-samples the topology when no admissible pair exists.
+FlowInstance sample_instance(const ScenarioParams& params, util::Rng& rng);
+
+}  // namespace imobif::exp

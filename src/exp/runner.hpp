@@ -1,0 +1,62 @@
+// Replays one FlowInstance under a given mobility mode and collects the
+// metrics the paper's figures report.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/imobif_policy.hpp"
+#include "exp/instance.hpp"
+#include "exp/scenario.hpp"
+#include "net/network.hpp"
+
+namespace imobif::exp {
+
+struct RunResult {
+  core::MobilityMode mode = core::MobilityMode::kNoMobility;
+  bool completed = false;
+  double delivered_bits = 0.0;
+  double completion_s = 0.0;  ///< simulated seconds from flow start
+
+  double transmit_energy_j = 0.0;  ///< data + notification transmissions
+  double movement_energy_j = 0.0;
+  double total_energy_j = 0.0;
+
+  std::uint64_t notifications = 0;  ///< status-change packets from the dest
+  std::uint64_t recruits = 0;       ///< relays recruited into the flow (E2)
+  std::uint64_t movements = 0;
+  double moved_distance_m = 0.0;
+
+  /// Simulated time (from flow start) until the first node died; equals the
+  /// run duration when nobody died (censored).
+  double lifetime_s = 0.0;
+  bool any_death = false;
+
+  /// Flow path (source..destination) pinned by the first packet, and the
+  /// path nodes' final positions / residual energies (Fig 5 snapshots).
+  std::vector<net::NodeId> path;
+  std::vector<geom::Vec2> final_positions;   ///< all nodes
+  std::vector<double> final_energies;        ///< all nodes
+};
+
+struct RunOptions {
+  /// Stop the run at the first node death (lifetime experiments).
+  bool stop_on_first_death = false;
+  /// Wall on simulated time, as a multiple of the ideal flow duration.
+  double horizon_factor = 4.0;
+  double horizon_slack_s = 600.0;
+  /// Extension toggle: blend targets across flows at shared relays.
+  bool multi_flow_blending = false;
+};
+
+/// Runs `instance` under `mode`; deterministic given (instance, params).
+RunResult run_instance(const FlowInstance& instance,
+                       const ScenarioParams& params, core::MobilityMode mode,
+                       const RunOptions& options = {});
+
+/// Walks a flow's pinned path source -> destination via the nodes' flow
+/// tables. Returns an empty vector when the path is broken.
+std::vector<net::NodeId> trace_flow_path(net::Network& network,
+                                         net::FlowId flow);
+
+}  // namespace imobif::exp

@@ -1,0 +1,118 @@
+#include "exp/scenario_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace imobif::exp {
+
+void apply_config(const util::Config& config, ScenarioParams& params) {
+  params.area_m = config.get_double("area_m", params.area_m);
+  params.node_count = static_cast<std::size_t>(
+      config.get_int("node_count", static_cast<std::int64_t>(params.node_count)));
+  params.comm_range_m = config.get_double("comm_range_m", params.comm_range_m);
+  params.min_hops = static_cast<std::size_t>(
+      config.get_int("min_hops", static_cast<std::int64_t>(params.min_hops)));
+
+  params.radio.a = config.get_double("radio_a", params.radio.a);
+  params.radio.b = config.get_double("radio_b", params.radio.b);
+  params.radio.alpha = config.get_double("radio_alpha", params.radio.alpha);
+  params.radio.rx_per_bit =
+      config.get_double("radio_rx_per_bit", params.radio.rx_per_bit);
+  params.mobility.k = config.get_double("k", params.mobility.k);
+  params.mobility.max_step_m =
+      config.get_double("max_step_m", params.mobility.max_step_m);
+
+  params.initial_energy_j =
+      config.get_double("initial_energy_j", params.initial_energy_j);
+  params.random_energy =
+      config.get_bool("random_energy", params.random_energy);
+  params.energy_lo_j = config.get_double("energy_lo_j", params.energy_lo_j);
+  params.energy_hi_j = config.get_double("energy_hi_j", params.energy_hi_j);
+
+  if (config.has("mean_flow_kb")) {
+    params.mean_flow_bits =
+        config.get_double("mean_flow_kb", 0.0) * 1024.0 * 8.0;
+  }
+  params.packet_bits = config.get_double("packet_bits", params.packet_bits);
+  params.rate_bps = config.get_double("rate_bps", params.rate_bps);
+  params.length_estimate_factor = config.get_double(
+      "length_estimate_factor", params.length_estimate_factor);
+
+  params.hello_interval_s =
+      config.get_double("hello_interval_s", params.hello_interval_s);
+  params.warmup_s = config.get_double("warmup_s", params.warmup_s);
+  params.charge_hello_energy =
+      config.get_bool("charge_hello_energy", params.charge_hello_energy);
+  params.position_error_m =
+      config.get_double("position_error_m", params.position_error_m);
+
+  if (config.has("strategy")) {
+    const std::string name = config.get_string("strategy");
+    if (name == "min-energy" || name == "min-total-energy") {
+      params.strategy = net::StrategyId::kMinTotalEnergy;
+    } else if (name == "max-lifetime" || name == "lifetime") {
+      params.strategy = net::StrategyId::kMaxLifetime;
+    } else {
+      throw std::invalid_argument("apply_config: unknown strategy " + name);
+    }
+  }
+  params.alpha_prime = config.get_double("alpha_prime", params.alpha_prime);
+  params.line_bias_weight =
+      config.get_double("line_bias_weight", params.line_bias_weight);
+  params.cap_bits = config.get_bool("cap_bits", params.cap_bits);
+  params.paper_local_estimator = config.get_bool(
+      "paper_local_estimator", params.paper_local_estimator);
+  params.exact_lifetime_split = config.get_bool(
+      "exact_lifetime_split", params.exact_lifetime_split);
+  params.notification_min_gap = static_cast<std::uint32_t>(config.get_int(
+      "notification_min_gap",
+      static_cast<std::int64_t>(params.notification_min_gap)));
+  params.recruit_margin =
+      config.get_double("recruit_margin", params.recruit_margin);
+  params.seed = static_cast<std::uint64_t>(
+      config.get_int("seed", static_cast<std::int64_t>(params.seed)));
+}
+
+std::string to_config_string(const ScenarioParams& p) {
+  std::ostringstream os;
+  os << "area_m = " << p.area_m << "\n"
+     << "node_count = " << p.node_count << "\n"
+     << "comm_range_m = " << p.comm_range_m << "\n"
+     << "min_hops = " << p.min_hops << "\n"
+     << "radio_a = " << p.radio.a << "\n"
+     << "radio_b = " << p.radio.b << "\n"
+     << "radio_alpha = " << p.radio.alpha << "\n"
+     << "radio_rx_per_bit = " << p.radio.rx_per_bit << "\n"
+     << "k = " << p.mobility.k << "\n"
+     << "max_step_m = " << p.mobility.max_step_m << "\n"
+     << "initial_energy_j = " << p.initial_energy_j << "\n"
+     << "random_energy = " << (p.random_energy ? "true" : "false") << "\n"
+     << "energy_lo_j = " << p.energy_lo_j << "\n"
+     << "energy_hi_j = " << p.energy_hi_j << "\n"
+     << "mean_flow_kb = " << p.mean_flow_bits / (1024.0 * 8.0) << "\n"
+     << "packet_bits = " << p.packet_bits << "\n"
+     << "rate_bps = " << p.rate_bps << "\n"
+     << "length_estimate_factor = " << p.length_estimate_factor << "\n"
+     << "hello_interval_s = " << p.hello_interval_s << "\n"
+     << "warmup_s = " << p.warmup_s << "\n"
+     << "charge_hello_energy = "
+     << (p.charge_hello_energy ? "true" : "false") << "\n"
+     << "position_error_m = " << p.position_error_m << "\n"
+     << "strategy = "
+     << (p.strategy == net::StrategyId::kMaxLifetime ? "max-lifetime"
+                                                     : "min-energy")
+     << "\n"
+     << "alpha_prime = " << p.alpha_prime << "\n"
+     << "line_bias_weight = " << p.line_bias_weight << "\n"
+     << "cap_bits = " << (p.cap_bits ? "true" : "false") << "\n"
+     << "paper_local_estimator = "
+     << (p.paper_local_estimator ? "true" : "false") << "\n"
+     << "exact_lifetime_split = "
+     << (p.exact_lifetime_split ? "true" : "false") << "\n"
+     << "notification_min_gap = " << p.notification_min_gap << "\n"
+     << "recruit_margin = " << p.recruit_margin << "\n"
+     << "seed = " << p.seed << "\n";
+  return os.str();
+}
+
+}  // namespace imobif::exp

@@ -1,0 +1,27 @@
+// Config-file / command-line binding for ScenarioParams, used by the
+// imobif_sim CLI. Key names mirror the field names in scenario.hpp.
+#pragma once
+
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "util/config.hpp"
+
+namespace imobif::exp {
+
+/// Overrides fields of `params` from config keys (unknown keys are left to
+/// the caller to validate; absent keys keep their current value).
+/// Recognized keys: area_m, node_count, comm_range_m, min_hops, radio_a,
+/// radio_b, radio_alpha, k, max_step_m, initial_energy_j, random_energy,
+/// energy_lo_j, energy_hi_j, mean_flow_kb, packet_bits, rate_bps,
+/// length_estimate_factor, hello_interval_s, warmup_s,
+/// charge_hello_energy, strategy (min-energy|max-lifetime), alpha_prime,
+/// line_bias_weight, cap_bits, paper_local_estimator,
+/// exact_lifetime_split, notification_min_gap, seed.
+void apply_config(const util::Config& config, ScenarioParams& params);
+
+/// Human-readable dump of every scenario field (one `key = value` line
+/// each) — valid as a config file, closing the round trip.
+std::string to_config_string(const ScenarioParams& params);
+
+}  // namespace imobif::exp

@@ -1,0 +1,61 @@
+// TraceRecorder: captures the network's event stream (deliveries,
+// notifications, deaths, drops) as timestamped rows for post-hoc analysis
+// or CSV export. Install with Network::set_event_tap().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/table.hpp"
+
+namespace imobif::exp {
+
+class TraceRecorder : public net::NetworkEvents {
+ public:
+  enum class Kind {
+    kDelivered,
+    kNotificationInitiated,
+    kNotificationAtSource,
+    kNodeDepleted,
+    kDrop,
+    kRecruited,
+  };
+
+  struct Entry {
+    double time_s = 0.0;
+    Kind kind = Kind::kDelivered;
+    net::NodeId node = net::kInvalidNode;
+    net::FlowId flow = net::kInvalidFlow;
+    std::string detail;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t count(Kind kind) const;
+  void clear() { entries_.clear(); }
+
+  /// Renders all entries as a table (time, event, node, flow, detail).
+  util::Table to_table() const;
+
+  static const char* to_string(Kind kind);
+
+  // net::NetworkEvents
+  void on_delivered(net::Node& dest, const net::DataBody& data) override;
+  void on_notification_initiated(net::Node& dest,
+                                 const net::NotificationBody& body) override;
+  void on_notification_at_source(net::Node& source,
+                                 const net::NotificationBody& body) override;
+  void on_node_depleted(net::Node& node) override;
+  void on_drop(net::Node& where, net::PacketType type,
+               net::DropReason reason) override;
+  void on_recruited(net::Node& recruit,
+                    const net::RecruitBody& body) override;
+
+ private:
+  void record(net::Node& node, Kind kind, net::FlowId flow,
+              std::string detail);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace imobif::exp

@@ -1,0 +1,72 @@
+// 2-D vector / point arithmetic used throughout the simulator.
+//
+// Positions are in meters. Vec2 is a plain value type with no invariant
+// (Core Guidelines C.2), so it is a struct with public members.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace imobif::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  constexpr double norm_sq() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return (a - b).norm_sq();
+}
+
+/// Point at parameter t on the segment a->b (t=0 -> a, t=1 -> b).
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Midpoint of a and b — the min-total-energy relay target of Goldenberg
+/// et al. adopted by the paper's Figure 3.
+constexpr Vec2 midpoint(Vec2 a, Vec2 b) { return lerp(a, b, 0.5); }
+
+/// True when a and b differ by at most eps in each coordinate.
+inline bool almost_equal(Vec2 a, Vec2 b, double eps = 1e-9) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps;
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace imobif::geom

@@ -1,0 +1,84 @@
+#include "loc/localization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imobif::loc {
+
+LocalizationResult localize_network(const std::vector<geom::Vec2>& truth,
+                                    const std::vector<bool>& is_anchor,
+                                    const LocalizationConfig& config) {
+  if (truth.size() != is_anchor.size()) {
+    throw std::invalid_argument("localize_network: size mismatch");
+  }
+  if (config.range_m <= 0.0 || config.noise_sigma_m < 0.0 ||
+      config.max_rounds < 1) {
+    throw std::invalid_argument("localize_network: bad config");
+  }
+
+  const std::size_t n = truth.size();
+  LocalizationResult result;
+  result.estimates.assign(n, std::nullopt);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_anchor[i]) result.estimates[i] = truth[i];
+  }
+
+  const double rms_gate = config.max_rms_m > 0.0
+                              ? config.max_rms_m
+                              : 3.0 * config.noise_sigma_m + 0.01;
+
+  util::Rng rng(config.seed);
+  for (int round = 0; round < config.max_rounds; ++round) {
+    bool progress = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (result.estimates[i].has_value()) continue;
+      // Gather references: nodes with known/estimated positions within
+      // ranging distance (true geometry decides measurability; the
+      // *estimate* is what enters the solver).
+      std::vector<RangeSample> samples;
+      geom::Vec2 centroid{0.0, 0.0};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i || !result.estimates[j].has_value()) continue;
+        const double true_dist = geom::distance(truth[i], truth[j]);
+        if (true_dist > config.range_m) continue;
+        RangeSample sample;
+        sample.reference = *result.estimates[j];
+        sample.distance =
+            std::max(0.0, true_dist + rng.normal(0.0, config.noise_sigma_m));
+        centroid += sample.reference;
+        samples.push_back(sample);
+      }
+      if (samples.size() < std::max<std::size_t>(3, config.min_references)) {
+        continue;
+      }
+      centroid = centroid / static_cast<double>(samples.size());
+      const auto estimate = multilaterate(samples, centroid, 50, 1e-9,
+                                          config.min_relative_det);
+      if (!estimate.has_value()) continue;
+      if (range_rms(samples, *estimate) > rms_gate) continue;
+      result.estimates[i] = estimate;
+      progress = true;
+    }
+    result.rounds_used = round + 1;
+    if (!progress) break;
+  }
+
+  double error_sum = 0.0;
+  std::size_t non_anchor_localized = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!result.estimates[i].has_value()) continue;
+    ++result.localized_count;
+    if (is_anchor[i]) continue;
+    const double err = geom::distance(*result.estimates[i], truth[i]);
+    error_sum += err;
+    result.max_error_m = std::max(result.max_error_m, err);
+    ++non_anchor_localized;
+  }
+  result.mean_error_m =
+      non_anchor_localized > 0
+          ? error_sum / static_cast<double>(non_anchor_localized)
+          : 0.0;
+  return result;
+}
+
+}  // namespace imobif::loc

@@ -1,0 +1,52 @@
+// Network-wide iterative localization (Hu & Evans style): anchor nodes
+// know their positions (GPS); every other node measures noisy ranges to
+// in-range references and multilaterates; freshly localized nodes serve
+// as references in subsequent rounds, propagating coverage inward from
+// the anchors.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "loc/multilateration.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::loc {
+
+struct LocalizationConfig {
+  double range_m = 180.0;        ///< ranging radius (radio range)
+  double noise_sigma_m = 0.0;    ///< gaussian ranging noise
+  int max_rounds = 8;            ///< propagation rounds
+  std::uint64_t seed = 1;        ///< noise stream seed
+  /// Estimates whose RMS range residual exceeds this are rejected (they
+  /// would poison later rounds — e.g. mirror solutions of ill-conditioned
+  /// reference geometry). <= 0 selects an automatic gate of
+  /// 3 * noise_sigma + 0.01 m.
+  double max_rms_m = 0.0;
+  /// Reference-geometry conditioning gate (see multilaterate); rejects
+  /// the truly degenerate (near-collinear) reference sets while keeping
+  /// narrow-but-usable ones. Raise it to trade coverage for accuracy.
+  double min_relative_det = 1e-3;
+  /// Minimum references per estimate. 3 is the geometric minimum; with
+  /// noisy ranges use 4+ — an overdetermined fit makes mirror solutions
+  /// (which match any 3 nearly-collinear ranges) fail the residual gate.
+  std::size_t min_references = 3;
+};
+
+struct LocalizationResult {
+  /// Estimated position per node; anchors carry their true position,
+  /// unlocalizable nodes carry nullopt.
+  std::vector<std::optional<geom::Vec2>> estimates;
+  std::size_t localized_count = 0;  ///< including anchors
+  double mean_error_m = 0.0;        ///< over localized non-anchor nodes
+  double max_error_m = 0.0;
+  int rounds_used = 0;
+};
+
+/// Localizes a network of `truth` positions where `is_anchor[i]` marks
+/// position-aware nodes. Deterministic in the config seed.
+LocalizationResult localize_network(const std::vector<geom::Vec2>& truth,
+                                    const std::vector<bool>& is_anchor,
+                                    const LocalizationConfig& config);
+
+}  // namespace imobif::loc

@@ -1,0 +1,61 @@
+#include "loc/multilateration.hpp"
+
+#include <cmath>
+
+namespace imobif::loc {
+
+double range_rms(const std::vector<RangeSample>& samples, geom::Vec2 x) {
+  if (samples.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (const RangeSample& s : samples) {
+    const double r = geom::distance(x, s.reference) - s.distance;
+    sum_sq += r * r;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(samples.size()));
+}
+
+std::optional<geom::Vec2> multilaterate(
+    const std::vector<RangeSample>& samples, geom::Vec2 initial_guess,
+    int max_iterations, double tolerance_m, double min_relative_det) {
+  if (samples.size() < 3) return std::nullopt;
+
+  geom::Vec2 x = initial_guess;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Gauss-Newton: residual r_i = |x - a_i| - d_i with Jacobian row
+    // J_i = (x - a_i) / |x - a_i|. Solve (J^T J) step = -J^T r.
+    double jtj00 = 0.0, jtj01 = 0.0, jtj11 = 0.0;
+    double jtr0 = 0.0, jtr1 = 0.0;
+    for (const RangeSample& s : samples) {
+      const geom::Vec2 diff = x - s.reference;
+      double norm = diff.norm();
+      geom::Vec2 unit;
+      if (norm < 1e-12) {
+        // Sitting exactly on a reference: nudge deterministically so the
+        // Jacobian row is defined.
+        unit = {1.0, 0.0};
+        norm = 1e-12;
+      } else {
+        unit = diff / norm;
+      }
+      const double residual = norm - s.distance;
+      jtj00 += unit.x * unit.x;
+      jtj01 += unit.x * unit.y;
+      jtj11 += unit.y * unit.y;
+      jtr0 += unit.x * residual;
+      jtr1 += unit.y * residual;
+    }
+    const double det = jtj00 * jtj11 - jtj01 * jtj01;
+    const double trace = jtj00 + jtj11;
+    // Relative degeneracy test: nearly collinear references make the
+    // normal equations ill-conditioned and the solution reflects across
+    // the reference line.
+    if (det < min_relative_det * trace * trace) return std::nullopt;
+    const geom::Vec2 step{-(jtj11 * jtr0 - jtj01 * jtr1) / det,
+                          -(jtj00 * jtr1 - jtj01 * jtr0) / det};
+    x += step;
+    if (step.norm() < tolerance_m) return x;
+  }
+  return x;  // ran out of iterations; best effort
+}
+
+}  // namespace imobif::loc

@@ -1,0 +1,43 @@
+// Range-based position estimation (paper Assumption 2: "a node can detect
+// its current location using GPS or other positioning
+// devices/algorithms", citing Hu & Evans' localization for mobile sensor
+// networks). This module implements the "other algorithms" path: a node
+// that can measure (noisy) distances to reference nodes with known
+// positions solves for its own coordinates by nonlinear least squares.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace imobif::loc {
+
+/// One range measurement to a reference node at a known position.
+struct RangeSample {
+  geom::Vec2 reference;
+  double distance = 0.0;
+};
+
+/// Gauss-Newton least-squares solution of
+///     min_x  sum_i (|x - reference_i| - distance_i)^2 .
+///
+/// Requires >= 3 samples; with fewer, or when the references are (nearly)
+/// collinear so the normal equations degenerate, returns nullopt. The
+/// iteration starts from `initial_guess` (a centroid of the references
+/// works well) and stops when the step drops below `tolerance_m`.
+/// `min_relative_det` rejects ill-conditioned reference geometry: the
+/// Gauss-Newton normal matrix must satisfy det >= threshold * trace^2
+/// (a well-spread reference triangle scores ~0.1-0.25; nearly collinear
+/// references — whose solutions reflect across the reference line with
+/// small residuals — score near 0).
+std::optional<geom::Vec2> multilaterate(
+    const std::vector<RangeSample>& samples, geom::Vec2 initial_guess,
+    int max_iterations = 50, double tolerance_m = 1e-9,
+    double min_relative_det = 1e-6);
+
+/// Root-mean-square range residual of a position against the samples —
+/// the quality score callers can threshold on.
+double range_rms(const std::vector<RangeSample>& samples, geom::Vec2 x);
+
+}  // namespace imobif::loc

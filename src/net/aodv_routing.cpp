@@ -1,0 +1,134 @@
+#include "net/aodv_routing.hpp"
+
+#include "net/node.hpp"
+
+namespace imobif::net {
+
+namespace {
+constexpr double kControlBits = 512.0;
+}  // namespace
+
+NodeId AodvRouting::next_hop(const Node& self, NodeId dest) {
+  const auto state_it = states_.find(self.id());
+  if (state_it == states_.end()) return kInvalidNode;
+  const auto route_it = state_it->second.routes.find(dest);
+  if (route_it == state_it->second.routes.end()) return kInvalidNode;
+  return route_it->second.next_hop;
+}
+
+const AodvRouting::RouteInfo* AodvRouting::route(NodeId node,
+                                                 NodeId dest) const {
+  const auto state_it = states_.find(node);
+  if (state_it == states_.end()) return nullptr;
+  const auto route_it = state_it->second.routes.find(dest);
+  if (route_it == state_it->second.routes.end()) return nullptr;
+  return &route_it->second;
+}
+
+void AodvRouting::install_route(NodeState& state, NodeId dest, NodeId via,
+                                std::uint16_t hops, std::uint32_t seq) {
+  auto& route = state.routes[dest];
+  const bool fresher = seq > route.dest_seq;
+  const bool shorter = seq == route.dest_seq && hops < route.hop_count;
+  if (route.next_hop == kInvalidNode || fresher || shorter) {
+    route.next_hop = via;
+    route.hop_count = hops;
+    route.dest_seq = seq;
+  }
+}
+
+void AodvRouting::broadcast_control(Node& self, const Packet& pkt) {
+  ++rreq_sent_;
+  self.broadcast_packet(pkt);
+}
+
+void AodvRouting::send_reply(Node& self, NodeId origin, NodeId target,
+                             std::uint32_t target_seq,
+                             std::uint16_t hop_count) {
+  NodeState& state = states_[self.id()];
+  const auto reverse = state.routes.find(origin);
+  if (reverse == state.routes.end() ||
+      reverse->second.next_hop == kInvalidNode) {
+    return;  // reverse path lost; the origin will re-discover on timeout
+  }
+  RouteReplyBody body;
+  body.origin = origin;
+  body.target = target;
+  body.target_seq = target_seq;
+  body.hop_count = hop_count;
+
+  Packet pkt;
+  pkt.type = PacketType::kRouteReply;
+  pkt.sender = SenderStamp{self.id(), self.position(),
+                           self.battery().residual()};
+  pkt.link_dest = reverse->second.next_hop;
+  pkt.size_bits = kControlBits;
+  pkt.body = body;
+  ++rrep_sent_;
+  self.transmit(std::move(pkt), reverse->second.next_hop,
+                self.lookup(reverse->second.next_hop).position);
+}
+
+void AodvRouting::prepare_route(Node& origin, NodeId dest) {
+  NodeState& state = states_[origin.id()];
+  const auto existing = state.routes.find(dest);
+  if (existing != state.routes.end() &&
+      existing->second.next_hop != kInvalidNode) {
+    return;
+  }
+  RouteRequestBody body;
+  body.origin = origin.id();
+  body.target = dest;
+  body.request_id = state.next_request_id++;
+  body.origin_seq = ++state.own_seq;
+  body.hop_count = 0;
+  state.seen_requests.insert(request_key(body.origin, body.request_id));
+
+  Packet pkt;
+  pkt.type = PacketType::kRouteRequest;
+  pkt.sender = SenderStamp{origin.id(), origin.position(),
+                           origin.battery().residual()};
+  pkt.link_dest = kBroadcast;
+  pkt.size_bits = kControlBits;
+  pkt.body = body;
+  broadcast_control(origin, pkt);
+}
+
+void AodvRouting::handle_control(Node& self, const Packet& pkt) {
+  NodeState& state = states_[self.id()];
+  if (pkt.type == PacketType::kRouteRequest) {
+    const auto body = std::get<RouteRequestBody>(pkt.body);
+    const std::uint64_t key = request_key(body.origin, body.request_id);
+    if (state.seen_requests.count(key) != 0) return;  // duplicate flood copy
+    state.seen_requests.insert(key);
+
+    const auto hops = static_cast<std::uint16_t>(body.hop_count + 1);
+    install_route(state, body.origin, pkt.sender.id, hops, body.origin_seq);
+
+    if (body.target == self.id()) {
+      send_reply(self, body.origin, self.id(), ++state.own_seq, 0);
+      return;
+    }
+    RouteRequestBody forwarded = body;
+    forwarded.hop_count = hops;
+    Packet out;
+    out.type = PacketType::kRouteRequest;
+    out.sender =
+        SenderStamp{self.id(), self.position(), self.battery().residual()};
+    out.link_dest = kBroadcast;
+    out.size_bits = kControlBits;
+    out.body = forwarded;
+    broadcast_control(self, out);
+    return;
+  }
+
+  if (pkt.type == PacketType::kRouteReply) {
+    const auto body = std::get<RouteReplyBody>(pkt.body);
+    const auto hops = static_cast<std::uint16_t>(body.hop_count + 1);
+    install_route(state, body.target, pkt.sender.id, hops, body.target_seq);
+    if (body.origin == self.id()) return;  // discovery complete
+    send_reply(self, body.origin, body.target, body.target_seq, hops);
+  }
+}
+
+}  // namespace imobif::net

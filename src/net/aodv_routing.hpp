@@ -1,0 +1,72 @@
+// AODV-lite: on-demand distance-vector routing.
+//
+// The framework description (Section 2) assumes an AODV-style substrate —
+// "In protocols such as AODV, each node periodically sends HELLO messages to
+// probe and collect neighbor information" — and iMobif piggybacks
+// position/energy on those HELLOs. This module provides the route-discovery
+// half: RREQ flooding with duplicate suppression and reverse-path setup,
+// RREP unicast back along the reverse path installing forward routes, and
+// destination sequence numbers for freshness. Route errors / repairs are out
+// of scope (links only shorten under the mobility strategies studied here).
+//
+// Implementation note: per-node routing state is held inside the protocol
+// object keyed by NodeId — the protocol instance is shared by all nodes of
+// one simulated network, mirroring how a per-node daemon would own it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/medium.hpp"
+#include "net/routing.hpp"
+
+namespace imobif::net {
+
+class AodvRouting : public RoutingProtocol {
+ public:
+  explicit AodvRouting(Medium& medium) : medium_(medium) {}
+
+  const char* name() const override { return "aodv-lite"; }
+
+  NodeId next_hop(const Node& self, NodeId dest) override;
+  void handle_control(Node& self, const Packet& pkt) override;
+  void prepare_route(Node& origin, NodeId dest) override;
+
+  struct RouteInfo {
+    NodeId next_hop = kInvalidNode;
+    std::uint16_t hop_count = 0;
+    std::uint32_t dest_seq = 0;
+  };
+
+  /// Inspection for tests: route entry at `node` toward `dest`, if any.
+  const RouteInfo* route(NodeId node, NodeId dest) const;
+
+  std::uint64_t rreq_sent() const { return rreq_sent_; }
+  std::uint64_t rrep_sent() const { return rrep_sent_; }
+
+ private:
+  struct NodeState {
+    std::unordered_map<NodeId, RouteInfo> routes;
+    std::unordered_set<std::uint64_t> seen_requests;  // origin<<32 | req id
+    std::uint32_t own_seq = 0;
+    std::uint32_t next_request_id = 1;
+  };
+
+  static std::uint64_t request_key(NodeId origin, std::uint32_t request_id) {
+    return (static_cast<std::uint64_t>(origin) << 32) | request_id;
+  }
+
+  void install_route(NodeState& state, NodeId dest, NodeId via,
+                     std::uint16_t hops, std::uint32_t seq);
+  void broadcast_control(Node& self, const Packet& pkt);
+  void send_reply(Node& self, NodeId origin, NodeId target,
+                  std::uint32_t target_seq, std::uint16_t hop_count);
+
+  Medium& medium_;
+  std::unordered_map<NodeId, NodeState> states_;
+  std::uint64_t rreq_sent_ = 0;
+  std::uint64_t rrep_sent_ = 0;
+};
+
+}  // namespace imobif::net

@@ -1,0 +1,127 @@
+#include "net/flow_groups.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace imobif::net {
+
+namespace {
+
+void check_members(NodeId hub, const std::vector<NodeId>& members,
+                   const char* what) {
+  if (members.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty member set");
+  }
+  std::set<NodeId> seen;
+  for (const NodeId member : members) {
+    if (member == hub) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": hub node among members");
+    }
+    if (!seen.insert(member).second) {
+      throw std::invalid_argument(std::string(what) + ": duplicate member");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FlowId> start_one_to_many(Network& network,
+                                      const OneToManySpec& spec) {
+  if (spec.base_id == kInvalidFlow) {
+    throw std::invalid_argument("start_one_to_many: invalid base id");
+  }
+  check_members(spec.source, spec.destinations, "start_one_to_many");
+
+  std::vector<FlowId> ids;
+  ids.reserve(spec.destinations.size());
+  for (std::size_t i = 0; i < spec.destinations.size(); ++i) {
+    FlowSpec flow;
+    flow.id = spec.base_id + static_cast<FlowId>(i);
+    flow.source = spec.source;
+    flow.destination = spec.destinations[i];
+    flow.length_bits = spec.length_bits_each;
+    flow.packet_bits = spec.packet_bits;
+    flow.rate_bps = spec.rate_bps;
+    flow.strategy = spec.strategy;
+    flow.initially_enabled = spec.initially_enabled;
+    network.start_flow(flow);
+    ids.push_back(flow.id);
+  }
+  return ids;
+}
+
+std::vector<FlowId> start_many_to_one(Network& network,
+                                      const ManyToOneSpec& spec) {
+  if (spec.base_id == kInvalidFlow) {
+    throw std::invalid_argument("start_many_to_one: invalid base id");
+  }
+  check_members(spec.sink, spec.sources, "start_many_to_one");
+
+  std::vector<FlowId> ids;
+  ids.reserve(spec.sources.size());
+  for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+    FlowSpec flow;
+    flow.id = spec.base_id + static_cast<FlowId>(i);
+    flow.source = spec.sources[i];
+    flow.destination = spec.sink;
+    flow.length_bits = spec.length_bits_each;
+    flow.packet_bits = spec.packet_bits;
+    flow.rate_bps = spec.rate_bps;
+    flow.strategy = spec.strategy;
+    flow.initially_enabled = spec.initially_enabled;
+    network.start_flow(flow);
+    ids.push_back(flow.id);
+  }
+  return ids;
+}
+
+bool group_complete(const Network& network, const std::vector<FlowId>& ids) {
+  return std::all_of(ids.begin(), ids.end(), [&](FlowId id) {
+    return network.progress(id).completed;
+  });
+}
+
+double group_delivered_bits(const Network& network,
+                            const std::vector<FlowId>& ids) {
+  double sum = 0.0;
+  for (const FlowId id : ids) sum += network.progress(id).delivered_bits;
+  return sum;
+}
+
+std::uint64_t group_notifications(const Network& network,
+                                  const std::vector<FlowId>& ids) {
+  std::uint64_t sum = 0;
+  for (const FlowId id : ids) {
+    sum += network.progress(id).notifications_from_dest;
+  }
+  return sum;
+}
+
+std::vector<NodeId> shared_relays(Network& network,
+                                  const std::vector<FlowId>& ids,
+                                  std::size_t min_flows) {
+  std::map<NodeId, std::size_t> counts;
+  for (const FlowId id : ids) {
+    const FlowProgress& prog = network.progress(id);
+    for (std::size_t n = 0; n < network.node_count(); ++n) {
+      const auto node_id = static_cast<NodeId>(n);
+      if (node_id == prog.spec.source || node_id == prog.spec.destination) {
+        continue;
+      }
+      const FlowEntry* entry = network.node(node_id).flows().find(id);
+      if (entry != nullptr && entry->packets_relayed > 0) {
+        ++counts[node_id];
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (const auto& [node_id, count] : counts) {
+    if (count >= min_flows) out.push_back(node_id);
+  }
+  return out;
+}
+
+}  // namespace imobif::net

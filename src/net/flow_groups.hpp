@@ -1,0 +1,66 @@
+// One-to-many and many-to-one flow groups (paper Section 2: "imobif
+// supports multiple one-to-one, one-to-many, and many-to-one flows").
+//
+// Following the technical-report extension, a group is realized as a set
+// of one-to-one flows that naturally share relays; a shared relay combines
+// the per-flow movement targets via the policy's residual-bits-weighted
+// blending (ImobifPolicy::set_multi_flow_blending). Each destination runs
+// its own cost/benefit evaluation and notifies the common source
+// independently, so a branch whose mobility does not pay stays put while
+// another branch moves — exactly the per-flow granularity the framework's
+// header mechanism provides.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace imobif::net {
+
+struct OneToManySpec {
+  FlowId base_id = kInvalidFlow;  ///< member i gets id base_id + i
+  NodeId source = kInvalidNode;
+  std::vector<NodeId> destinations;
+  double length_bits_each = 0.0;
+  double packet_bits = 8192.0;
+  double rate_bps = 8192.0;
+  StrategyId strategy = StrategyId::kMinTotalEnergy;
+  bool initially_enabled = false;
+};
+
+struct ManyToOneSpec {
+  FlowId base_id = kInvalidFlow;
+  std::vector<NodeId> sources;
+  NodeId sink = kInvalidNode;
+  double length_bits_each = 0.0;
+  double packet_bits = 8192.0;
+  double rate_bps = 8192.0;
+  StrategyId strategy = StrategyId::kMaxLifetime;
+  bool initially_enabled = false;
+};
+
+/// Starts one flow per destination; returns the member flow ids in
+/// destination order. Throws on invalid specs (empty destination set,
+/// duplicate destinations, source among destinations).
+std::vector<FlowId> start_one_to_many(Network& network,
+                                      const OneToManySpec& spec);
+
+/// Starts one flow per source toward the sink; returns member flow ids in
+/// source order.
+std::vector<FlowId> start_many_to_one(Network& network,
+                                      const ManyToOneSpec& spec);
+
+/// Group-level progress helpers.
+bool group_complete(const Network& network, const std::vector<FlowId>& ids);
+double group_delivered_bits(const Network& network,
+                            const std::vector<FlowId>& ids);
+std::uint64_t group_notifications(const Network& network,
+                                  const std::vector<FlowId>& ids);
+
+/// Relays serving at least `min_flows` of the group's flows — the shared
+/// tree trunk (useful for asserting that a group actually shares relays).
+std::vector<NodeId> shared_relays(Network& network,
+                                  const std::vector<FlowId>& ids,
+                                  std::size_t min_flows = 2);
+
+}  // namespace imobif::net

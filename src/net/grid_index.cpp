@@ -1,0 +1,67 @@
+#include "net/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace imobif::net {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  if (cell_size <= 0.0) {
+    throw std::invalid_argument("GridIndex: cell_size must be > 0");
+  }
+}
+
+GridIndex::Cell GridIndex::cell_of(geom::Vec2 p) const {
+  return Cell{static_cast<std::int64_t>(std::floor(p.x / cell_size_)),
+              static_cast<std::int64_t>(std::floor(p.y / cell_size_))};
+}
+
+std::uint64_t GridIndex::key(Cell c) {
+  // Interleave-free pairing: offset into unsigned halves.
+  const auto ux = static_cast<std::uint64_t>(c.x + (1LL << 31));
+  const auto uy = static_cast<std::uint64_t>(c.y + (1LL << 31));
+  return (ux << 32) | (uy & 0xffffffffULL);
+}
+
+void GridIndex::insert(Id id, geom::Vec2 position) {
+  if (!positions_.emplace(id, position).second) {
+    throw std::invalid_argument("GridIndex: duplicate id");
+  }
+  cells_[key(cell_of(position))].push_back(id);
+}
+
+void GridIndex::update(Id id, geom::Vec2 new_position) {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) {
+    throw std::out_of_range("GridIndex: update of unknown id");
+  }
+  const Cell old_cell = cell_of(it->second);
+  const Cell new_cell = cell_of(new_position);
+  it->second = new_position;
+  if (old_cell.x == new_cell.x && old_cell.y == new_cell.y) return;
+
+  auto& old_bucket = cells_[key(old_cell)];
+  old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+  if (old_bucket.empty()) cells_.erase(key(old_cell));
+  cells_[key(new_cell)].push_back(id);
+}
+
+void GridIndex::remove(Id id) {
+  const auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  auto& bucket = cells_[key(cell_of(it->second))];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) cells_.erase(key(cell_of(it->second)));
+  positions_.erase(it);
+}
+
+std::vector<GridIndex::Id> GridIndex::query(geom::Vec2 center,
+                                            double radius) const {
+  std::vector<Id> out;
+  for_each_in_range(center, radius,
+                    [&out](Id id, geom::Vec2) { out.push_back(id); });
+  return out;
+}
+
+}  // namespace imobif::net

@@ -1,0 +1,74 @@
+// Uniform-grid spatial index for range-limited neighbor queries.
+//
+// Medium::broadcast must find every node within the communication range
+// of a transmitter; a linear scan is O(n) per broadcast and dominates at
+// 1000+ nodes. This index hashes positions into square cells of side
+// `cell_size` (use the communication range), so a range query touches at
+// most the 3x3 cell block around the query point. Entries are updated
+// in-place when a node moves (the medium forwards movement updates).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace imobif::net {
+
+class GridIndex {
+ public:
+  using Id = std::uint32_t;
+
+  explicit GridIndex(double cell_size);
+
+  /// Inserts an id at a position; the id must not already be present.
+  void insert(Id id, geom::Vec2 position);
+
+  /// Moves an existing id; cheap when the cell does not change.
+  void update(Id id, geom::Vec2 new_position);
+
+  /// Removes an id; no-op when absent.
+  void remove(Id id);
+
+  std::size_t size() const { return positions_.size(); }
+  bool contains(Id id) const { return positions_.count(id) != 0; }
+
+  /// All ids within `radius` of `center` (inclusive), in unspecified
+  /// order. Requires radius <= cell_size (one cell ring); larger radii
+  /// widen the scanned block automatically.
+  std::vector<Id> query(geom::Vec2 center, double radius) const;
+
+  /// Visits ids within `radius` of `center` without allocating.
+  template <typename Fn>
+  void for_each_in_range(geom::Vec2 center, double radius, Fn&& fn) const {
+    const auto ring = static_cast<std::int64_t>(radius / cell_size_) + 1;
+    const Cell base = cell_of(center);
+    const double radius_sq = radius * radius;
+    for (std::int64_t dx = -ring; dx <= ring; ++dx) {
+      for (std::int64_t dy = -ring; dy <= ring; ++dy) {
+        const auto it = cells_.find(key(Cell{base.x + dx, base.y + dy}));
+        if (it == cells_.end()) continue;
+        for (const Id id : it->second) {
+          const geom::Vec2 pos = positions_.at(id);
+          if (geom::distance_sq(pos, center) <= radius_sq) fn(id, pos);
+        }
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    std::int64_t x;
+    std::int64_t y;
+  };
+
+  Cell cell_of(geom::Vec2 p) const;
+  static std::uint64_t key(Cell c);
+
+  double cell_size_;
+  std::unordered_map<std::uint64_t, std::vector<Id>> cells_;
+  std::unordered_map<Id, geom::Vec2> positions_;
+};
+
+}  // namespace imobif::net

@@ -1,0 +1,15 @@
+// Strongly-named identifier types for nodes and flows.
+#pragma once
+
+#include <cstdint>
+
+namespace imobif::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr NodeId kBroadcast = 0xfffffffeu;
+inline constexpr FlowId kInvalidFlow = 0xffffffffu;
+
+}  // namespace imobif::net

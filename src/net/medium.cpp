@@ -1,0 +1,86 @@
+#include "net/medium.hpp"
+
+#include <stdexcept>
+
+#include "net/node.hpp"
+
+namespace imobif::net {
+
+Medium::Medium(sim::Simulator& sim, MediumConfig config)
+    : sim_(sim),
+      config_(config),
+      index_(config.comm_range_m > 0.0 ? config.comm_range_m : 1.0) {
+  if (config_.comm_range_m <= 0.0) {
+    throw std::invalid_argument("Medium: comm_range must be > 0");
+  }
+}
+
+void Medium::attach(Node& node) {
+  if (by_id_.count(node.id()) != 0) {
+    throw std::invalid_argument("Medium: duplicate node id");
+  }
+  nodes_.push_back(&node);
+  by_id_.emplace(node.id(), &node);
+  index_.insert(node.id(), node.position());
+}
+
+void Medium::node_moved(NodeId id, geom::Vec2 new_position) {
+  // Nodes not (yet) attached to this medium are ignored: tests construct
+  // free-standing nodes, and attach() will index the final position.
+  if (by_id_.count(id) != 0) index_.update(id, new_position);
+}
+
+Node* Medium::find_node(NodeId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+geom::Vec2 Medium::true_position(NodeId id) const {
+  const Node* node = find_node(id);
+  if (node == nullptr) {
+    throw std::out_of_range("Medium::true_position: unknown node");
+  }
+  return node->position();
+}
+
+void Medium::deliver_later(Node& receiver, const Packet& pkt) {
+  ++counters_.delivered;
+  Node* target = &receiver;
+  sim_.after(config_.prop_delay,
+             [target, pkt] { target->handle_receive(pkt); });
+}
+
+void Medium::broadcast(const Node& sender, const Packet& pkt) {
+  ++counters_.broadcasts;
+  const geom::Vec2 origin = sender.position();
+  index_.for_each_in_range(
+      origin, config_.comm_range_m, [&](NodeId id, geom::Vec2) {
+        if (id == sender.id()) return;
+        Node* node = by_id_.at(id);
+        if (!node->alive()) return;
+        deliver_later(*node, pkt);
+      });
+}
+
+bool Medium::unicast(const Node& sender, NodeId dest, const Packet& pkt) {
+  ++counters_.unicasts;
+  Node* node = find_node(dest);
+  if (node == nullptr) {
+    ++counters_.dropped_unknown;
+    return false;
+  }
+  if (!node->alive()) {
+    ++counters_.dropped_dead;
+    return false;
+  }
+  if (config_.unicast_range_gated &&
+      geom::distance(sender.position(), node->position()) >
+          config_.comm_range_m) {
+    ++counters_.dropped_out_of_range;
+    return false;
+  }
+  deliver_later(*node, pkt);
+  return true;
+}
+
+}  // namespace imobif::net

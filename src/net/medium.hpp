@@ -1,0 +1,88 @@
+// Broadcast wireless medium with a fixed communication range.
+//
+// Delivery model: a transmission from position p reaches every live node
+// within `comm_range_m` of p after a constant propagation/processing delay.
+// Unicasts outside the range (or to dead nodes) are dropped and counted.
+// Transmission *energy* is charged by the sender (Node::transmit) according
+// to the actual hop distance — range gates connectivity, power control
+// scales cost, exactly as in the paper's model.
+//
+// The medium also doubles as the experiment's ground-truth position oracle
+// (`true_position`), standing in for GPS (paper Assumption 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/grid_index.hpp"
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace imobif::net {
+
+class Node;
+
+struct MediumConfig {
+  double comm_range_m = 180.0;
+  sim::Time prop_delay = sim::Time::from_seconds(0.005);
+  /// Unicasts model power-controlled links (paper Assumption 4): a sender
+  /// reaches its flow neighbor at any distance by paying E_T(d, l), so by
+  /// default only broadcasts (HELLO/RREQ neighbor discovery) are gated by
+  /// comm_range_m. Set true to gate unicasts as well.
+  bool unicast_range_gated = false;
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, MediumConfig config);
+
+  /// Registers a node; the medium does not own it.
+  void attach(Node& node);
+
+  /// Keeps the spatial index current; Node calls this on every position
+  /// change.
+  void node_moved(NodeId id, geom::Vec2 new_position);
+
+  Node* find_node(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<Node*>& all_nodes() const { return nodes_; }
+
+  /// Ground-truth position (GPS oracle). Throws for unknown ids.
+  geom::Vec2 true_position(NodeId id) const;
+
+  double comm_range() const { return config_.comm_range_m; }
+
+  /// Delivers to every live node in range of the sender (HELLO beacons).
+  void broadcast(const Node& sender, const Packet& pkt);
+
+  /// Delivers to `dest` iff it is alive and in range of the sender's
+  /// position at transmit time. Returns true when the packet was accepted
+  /// for delivery.
+  bool unicast(const Node& sender, NodeId dest, const Packet& pkt);
+
+  struct Counters {
+    std::uint64_t broadcasts = 0;
+    std::uint64_t unicasts = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_out_of_range = 0;
+    std::uint64_t dropped_dead = 0;
+    std::uint64_t dropped_unknown = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void deliver_later(Node& receiver, const Packet& pkt);
+
+  sim::Simulator& sim_;
+  MediumConfig config_;
+  std::vector<Node*> nodes_;
+  std::unordered_map<NodeId, Node*> by_id_;
+  GridIndex index_;
+  Counters counters_;
+};
+
+}  // namespace imobif::net

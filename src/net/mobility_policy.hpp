@@ -1,0 +1,45 @@
+// Seam between the network substrate and the iMobif decision logic.
+//
+// net::Node drives the packet pipeline and calls into this interface at the
+// four points of the Figure-1 algorithm; src/core provides the
+// implementation (strategies, aggregate functions, cost/benefit math). The
+// interface lives in net so the substrate has no dependency on core.
+#pragma once
+
+#include <optional>
+
+#include "net/flow_table.hpp"
+#include "net/packet.hpp"
+
+namespace imobif::net {
+
+class Node;
+
+class MobilityPolicy {
+ public:
+  virtual ~MobilityPolicy() = default;
+
+  /// Called at the flow source before each packet leaves: initializes the
+  /// header aggregate with the source's own (bits, resi) contribution.
+  virtual void seed_at_source(Node& source, DataBody& data,
+                              FlowEntry& entry) = 0;
+
+  /// Called at a relay after the flow entry is refreshed and the next hop
+  /// resolved, before forwarding (Figure 1 lines 13-21): computes the
+  /// preferred position, the local cost/benefit values, and folds them into
+  /// the packet aggregate. Must not move the node.
+  virtual void on_relay(Node& relay, DataBody& data, FlowEntry& entry) = 0;
+
+  /// Called at a relay after the packet has been forwarded (Figure 1 lines
+  /// 23-26): applies one bounded mobility step toward the cached target when
+  /// the carried status enables mobility.
+  virtual void after_forward(Node& relay, FlowEntry& entry) = 0;
+
+  /// Called at the destination (Figure 1, UpdateMobilityStatus): compares
+  /// the aggregates and returns the desired status when it differs from the
+  /// status the packet carried; nullopt keeps the current status.
+  virtual std::optional<bool> evaluate_at_destination(
+      Node& dest, const DataBody& data, FlowEntry& entry) = 0;
+};
+
+}  // namespace imobif::net

@@ -1,0 +1,40 @@
+#include "net/neighbor_table.hpp"
+
+namespace imobif::net {
+
+void NeighborTable::upsert(NodeId id, geom::Vec2 position,
+                           double residual_energy, sim::Time now) {
+  auto& entry = entries_[id];
+  entry.id = id;
+  entry.position = position;
+  entry.residual_energy = residual_energy;
+  entry.last_heard = now;
+}
+
+std::optional<NeighborInfo> NeighborTable::find(NodeId id,
+                                                sim::Time now) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || expired(it->second, now)) return std::nullopt;
+  return it->second;
+}
+
+void NeighborTable::purge(sim::Time now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (expired(it->second, now)) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<NeighborInfo> NeighborTable::snapshot(sim::Time now) const {
+  std::vector<NeighborInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, info] : entries_) {
+    if (!expired(info, now)) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace imobif::net

@@ -1,0 +1,55 @@
+// Neighbor table (framework Section 2, node state item 2):
+// "a neighbor table with the identity, location, and residual energy of each
+// neighbor", populated from HELLO beacons (and refreshed from the sender
+// stamp of any overheard packet). Entries expire after a timeout.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace imobif::net {
+
+struct NeighborInfo {
+  NodeId id = kInvalidNode;
+  geom::Vec2 position;
+  double residual_energy = 0.0;
+  sim::Time last_heard;
+};
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(sim::Time timeout = sim::Time::from_seconds(45.0))
+      : timeout_(timeout) {}
+
+  /// Inserts or refreshes an entry.
+  void upsert(NodeId id, geom::Vec2 position, double residual_energy,
+              sim::Time now);
+
+  /// Entry lookup; expired entries are treated as absent.
+  std::optional<NeighborInfo> find(NodeId id, sim::Time now) const;
+
+  /// Drops entries not heard from within the timeout.
+  void purge(sim::Time now);
+
+  /// Live entries as of `now` (expired entries excluded but not removed).
+  std::vector<NeighborInfo> snapshot(sim::Time now) const;
+
+  std::size_t size() const { return entries_.size(); }
+  sim::Time timeout() const { return timeout_; }
+  void set_timeout(sim::Time timeout) { timeout_ = timeout; }
+
+ private:
+  bool expired(const NeighborInfo& info, sim::Time now) const {
+    return now - info.last_heard > timeout_;
+  }
+
+  sim::Time timeout_;
+  std::unordered_map<NodeId, NeighborInfo> entries_;
+};
+
+}  // namespace imobif::net

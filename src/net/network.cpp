@@ -1,0 +1,246 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace imobif::net {
+
+Network::Network(NetworkConfig config)
+    : config_(config),
+      radio_(config.radio),
+      medium_(sim_, config.medium) {}
+
+Network::~Network() = default;
+
+Node::Services Network::services() {
+  Node::Services s;
+  s.sim = &sim_;
+  s.medium = &medium_;
+  s.radio = &radio_;
+  s.routing = routing_.get();
+  s.policy = policy_;
+  s.events = this;
+  return s;
+}
+
+Node& Network::add_node(geom::Vec2 position, double initial_energy) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, position, initial_energy,
+                                          services(), config_.node));
+  medium_.attach(*nodes_.back());
+  return *nodes_.back();
+}
+
+Node& Network::node(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::node: bad id");
+  return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Network::node: bad id");
+  return *nodes_[id];
+}
+
+namespace {
+// Services are captured by value inside each Node at construction; when the
+// routing protocol or policy is installed later, refresh them. Node exposes
+// services() as const ref only, so Network re-creates nodes' service
+// bindings through a dedicated hook.
+}  // namespace
+
+void Network::set_routing(std::unique_ptr<RoutingProtocol> routing) {
+  routing_ = std::move(routing);
+  for (auto& n : nodes_) n->rebind_services(services());
+}
+
+void Network::set_policy(MobilityPolicy* policy) {
+  policy_ = policy;
+  for (auto& n : nodes_) n->rebind_services(services());
+}
+
+void Network::start_hellos() {
+  for (auto& n : nodes_) n->start_hello();
+}
+
+void Network::warmup(double warmup_s) {
+  start_hellos();
+  sim_.run(sim_.now() + sim::Time::from_seconds(warmup_s));
+}
+
+void Network::start_flow(const FlowSpec& spec) {
+  if (spec.id == kInvalidFlow || spec.source >= nodes_.size() ||
+      spec.destination >= nodes_.size() || spec.source == spec.destination) {
+    throw std::invalid_argument("start_flow: invalid spec");
+  }
+  if (spec.length_bits <= 0.0 || spec.packet_bits <= 0.0 ||
+      spec.rate_bps <= 0.0) {
+    throw std::invalid_argument("start_flow: non-positive sizes");
+  }
+  auto [it, inserted] = flows_.emplace(spec.id, FlowProgress{});
+  if (!inserted) throw std::invalid_argument("start_flow: duplicate flow id");
+  it->second.spec = spec;
+
+  // The source's flow entry carries the authoritative residual length and
+  // the current mobility status (flipped by notifications).
+  Node& src = node(spec.source);
+  FlowEntry& entry = src.flows().ensure(spec.id);
+  entry.source = spec.source;
+  entry.destination = spec.destination;
+  entry.strategy = spec.strategy;
+  entry.residual_bits = spec.length_bits;
+  entry.mobility_enabled = spec.initially_enabled;
+
+  const double interval_s = spec.packet_bits / spec.rate_bps;
+  sim_.after(sim::Time::from_seconds(interval_s),
+             [this, id = spec.id] { emit_packet(id); });
+}
+
+void Network::emit_packet(FlowId id) {
+  auto& prog = flows_.at(id);
+  const FlowSpec& spec = prog.spec;
+  Node& src = node(spec.source);
+  FlowEntry* entry = src.flows().find(id);
+  if (!src.alive() || entry == nullptr) {
+    prog.emission_done = true;
+    return;
+  }
+  if (entry->residual_bits <= 0.0) {
+    prog.emission_done = true;
+    return;
+  }
+  const double bits = std::min(spec.packet_bits, entry->residual_bits);
+  entry->residual_bits -= bits;
+
+  DataBody data;
+  data.flow_id = id;
+  data.source = spec.source;
+  data.destination = spec.destination;
+  data.seq = static_cast<std::uint32_t>(prog.packets_emitted);
+  data.payload_bits = bits;
+  data.residual_flow_bits =
+      entry->residual_bits * spec.length_estimate_factor;
+  data.strategy = spec.strategy;
+  data.mobility_enabled = entry->mobility_enabled;
+
+  ++prog.packets_emitted;
+  prog.emitted_bits += bits;
+  src.originate_data(data);
+
+  const double interval_s = spec.packet_bits / spec.rate_bps;
+  sim_.after(sim::Time::from_seconds(interval_s),
+             [this, id] { emit_packet(id); });
+}
+
+const FlowProgress& Network::progress(FlowId id) const {
+  return flows_.at(id);
+}
+
+std::vector<const FlowProgress*> Network::all_progress() const {
+  std::vector<const FlowProgress*> out;
+  out.reserve(flows_.size());
+  for (const auto& [id, prog] : flows_) out.push_back(&prog);
+  return out;
+}
+
+bool Network::all_flows_complete() const {
+  if (flows_.empty()) return true;
+  return std::all_of(flows_.begin(), flows_.end(),
+                     [](const auto& kv) { return kv.second.completed; });
+}
+
+double Network::run_flows(double horizon_s, double stall_window_s) {
+  const sim::Time start = sim_.now();
+  const sim::Time horizon = start + sim::Time::from_seconds(horizon_s);
+  const sim::Time stall_window = sim::Time::from_seconds(stall_window_s);
+  last_progress_ = sim_.now();
+
+  // Chunked execution: between chunks, check completion and stall.
+  const sim::Time chunk = sim::Time::from_seconds(5.0);
+  while (sim_.now() < horizon) {
+    if (all_flows_complete()) break;
+    if (stop_on_first_death_ && first_death_time_.has_value()) break;
+    if (sim_.now() - last_progress_ > stall_window) break;
+    const sim::Time next = std::min(horizon, sim_.now() + chunk);
+    sim_.run(next);
+    if (sim_.pending_events() == 0) break;
+  }
+  return (sim_.now() - start).seconds();
+}
+
+double Network::total_transmit_energy() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n->battery().consumed_transmit();
+  return sum;
+}
+
+double Network::total_movement_energy() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n->battery().consumed_move();
+  return sum;
+}
+
+double Network::total_consumed_energy() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) sum += n->battery().consumed_total();
+  return sum;
+}
+
+std::vector<geom::Vec2> Network::positions() const {
+  std::vector<geom::Vec2> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->position());
+  return out;
+}
+
+void Network::on_delivered(Node& dest, const DataBody& data) {
+  auto it = flows_.find(data.flow_id);
+  if (it == flows_.end()) return;
+  FlowProgress& prog = it->second;
+  prog.delivered_bits += data.payload_bits;
+  ++prog.packets_delivered;
+  prog.last_delivery_time = sim_.now();
+  last_progress_ = sim_.now();
+  if (!prog.completed &&
+      prog.delivered_bits >= prog.spec.length_bits - 1e-9) {
+    prog.completed = true;
+    prog.completion_time = sim_.now();
+  }
+  if (all_flows_complete()) sim_.stop();
+  if (tap_ != nullptr) tap_->on_delivered(dest, data);
+}
+
+void Network::on_notification_initiated(Node& dest,
+                                        const NotificationBody& body) {
+  auto it = flows_.find(body.flow_id);
+  if (it != flows_.end()) ++it->second.notifications_from_dest;
+  if (tap_ != nullptr) tap_->on_notification_initiated(dest, body);
+}
+
+void Network::on_notification_at_source(Node& source,
+                                        const NotificationBody& body) {
+  auto it = flows_.find(body.flow_id);
+  if (it != flows_.end()) ++it->second.notifications_at_source;
+  if (tap_ != nullptr) tap_->on_notification_at_source(source, body);
+}
+
+void Network::on_node_depleted(Node& node) {
+  ++dead_nodes_;
+  if (!first_death_time_.has_value()) first_death_time_ = sim_.now();
+  if (stop_on_first_death_) sim_.stop();
+  if (tap_ != nullptr) tap_->on_node_depleted(node);
+}
+
+void Network::on_recruited(Node& recruit, const RecruitBody& body) {
+  auto it = flows_.find(body.flow_id);
+  if (it != flows_.end()) ++it->second.recruits;
+  if (tap_ != nullptr) tap_->on_recruited(recruit, body);
+}
+
+void Network::on_drop(Node& where, PacketType type, DropReason why) {
+  // Attributing a drop to a specific flow is impossible without the packet
+  // body; data drops are tracked globally per network instead.
+  if (type == PacketType::kData) ++total_data_drops_;
+  if (tap_ != nullptr) tap_->on_drop(where, type, why);
+}
+
+}  // namespace imobif::net

@@ -1,0 +1,148 @@
+// Network: owns the simulator, medium, nodes, routing protocol, and flow
+// pumps; collects flow progress and fate events for the experiment harness.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "net/medium.hpp"
+#include "net/node.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace imobif::net {
+
+struct NetworkConfig {
+  MediumConfig medium;
+  NodeConfig node;
+  energy::RadioParams radio;
+};
+
+/// Everything the source needs to drive one one-to-one flow.
+struct FlowSpec {
+  FlowId id = kInvalidFlow;
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+  double length_bits = 0.0;
+  double packet_bits = 8192.0;  ///< 1 KB payloads
+  double rate_bps = 8192.0;     ///< paper: 1 KBps = 8 Kbps
+  StrategyId strategy = StrategyId::kNone;
+  bool initially_enabled = false;  ///< paper: "mobility is initially disabled"
+  /// Multiplier applied to the true residual length when stamping the
+  /// header estimate; 1.0 = perfect estimate (ablation A2 sweeps this).
+  double length_estimate_factor = 1.0;
+};
+
+struct FlowProgress {
+  FlowSpec spec;
+  double emitted_bits = 0.0;
+  double delivered_bits = 0.0;
+  std::uint64_t packets_emitted = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t notifications_from_dest = 0;
+  std::uint64_t notifications_at_source = 0;
+  std::uint64_t recruits = 0;
+  std::uint64_t drops = 0;
+  bool emission_done = false;
+  bool completed = false;
+  std::optional<sim::Time> completion_time;
+  std::optional<sim::Time> last_delivery_time;
+};
+
+class Network : public NetworkEvents {
+ public:
+  explicit Network(NetworkConfig config = {});
+  ~Network() override;
+
+  sim::Simulator& simulator() { return sim_; }
+  Medium& medium() { return medium_; }
+  const Medium& medium() const { return medium_; }
+  const energy::RadioEnergyModel& radio() const { return radio_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Adds a node; ids are dense, starting at 0.
+  Node& add_node(geom::Vec2 position, double initial_energy);
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Installs the routing protocol (owned by the network, shared by nodes).
+  void set_routing(std::unique_ptr<RoutingProtocol> routing);
+  RoutingProtocol* routing() { return routing_.get(); }
+
+  /// Installs the mobility policy (not owned; typically a core::* object).
+  void set_policy(MobilityPolicy* policy);
+
+  /// Optional secondary observer (not owned): every NetworkEvents callback
+  /// is forwarded to it after the network's own bookkeeping. Used by the
+  /// exp::TraceRecorder to capture per-packet event logs.
+  void set_event_tap(NetworkEvents* tap) { tap_ = tap; }
+
+  /// Starts HELLO beaconing on every node and runs `warmup_s` simulated
+  /// seconds so neighbor tables populate before flows begin.
+  void start_hellos();
+  void warmup(double warmup_s);
+
+  /// Registers and starts emitting a flow; emissions begin one packet
+  /// interval from now.
+  void start_flow(const FlowSpec& spec);
+
+  const FlowProgress& progress(FlowId id) const;
+  std::vector<const FlowProgress*> all_progress() const;
+  bool all_flows_complete() const;
+
+  /// Runs until all flows complete, no delivery progress occurs for
+  /// `stall_window_s`, or `horizon_s` elapses — whichever is first.
+  /// Returns simulated seconds elapsed during this call.
+  double run_flows(double horizon_s, double stall_window_s = 120.0);
+
+  /// Stops the event loop as soon as any node depletes (lifetime runs).
+  void set_stop_on_first_death(bool stop) { stop_on_first_death_ = stop; }
+  std::optional<sim::Time> first_death_time() const {
+    return first_death_time_;
+  }
+  std::size_t dead_node_count() const { return dead_nodes_; }
+  std::uint64_t total_data_drops() const { return total_data_drops_; }
+
+  /// Aggregate energy drawn across all nodes, by category.
+  double total_transmit_energy() const;
+  double total_movement_energy() const;
+  double total_consumed_energy() const;
+
+  /// Current positions of all nodes (Fig-5 snapshots).
+  std::vector<geom::Vec2> positions() const;
+
+  // NetworkEvents overrides.
+  void on_delivered(Node& dest, const DataBody& data) override;
+  void on_notification_initiated(Node& dest,
+                                 const NotificationBody& body) override;
+  void on_notification_at_source(Node& source,
+                                 const NotificationBody& body) override;
+  void on_node_depleted(Node& node) override;
+  void on_drop(Node& where, PacketType type, DropReason reason) override;
+  void on_recruited(Node& recruit, const RecruitBody& body) override;
+
+ private:
+  void emit_packet(FlowId id);
+  Node::Services services();
+
+  NetworkConfig config_;
+  sim::Simulator sim_;
+  energy::RadioEnergyModel radio_;
+  Medium medium_;
+  std::unique_ptr<RoutingProtocol> routing_;
+  MobilityPolicy* policy_ = nullptr;
+  NetworkEvents* tap_ = nullptr;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<FlowId, FlowProgress> flows_;
+  bool stop_on_first_death_ = false;
+  std::optional<sim::Time> first_death_time_;
+  std::size_t dead_nodes_ = 0;
+  std::uint64_t total_data_drops_ = 0;
+  sim::Time last_progress_ = sim::Time::zero();
+};
+
+}  // namespace imobif::net

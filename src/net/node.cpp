@@ -1,0 +1,405 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geom/segment.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::net {
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kDeadNode:
+      return "dead-node";
+    case DropReason::kNoRoute:
+      return "no-route";
+    case DropReason::kNoEnergy:
+      return "no-energy";
+    case DropReason::kOutOfRange:
+      return "out-of-range";
+    case DropReason::kUnknownFlow:
+      return "unknown-flow";
+  }
+  return "?";
+}
+
+void NetworkEvents::on_delivered(Node&, const DataBody&) {}
+void NetworkEvents::on_notification_initiated(Node&,
+                                              const NotificationBody&) {}
+void NetworkEvents::on_notification_at_source(Node&,
+                                              const NotificationBody&) {}
+void NetworkEvents::on_node_depleted(Node&) {}
+void NetworkEvents::on_drop(Node&, PacketType, DropReason) {}
+void NetworkEvents::on_recruited(Node&, const RecruitBody&) {}
+
+Node::Node(NodeId id, geom::Vec2 position, double initial_energy,
+           Services services, NodeConfig config)
+    : id_(id),
+      position_(position),
+      battery_(initial_energy),
+      neighbors_(config.neighbor_timeout),
+      services_(services),
+      config_(config) {
+  if (services_.sim == nullptr || services_.medium == nullptr ||
+      services_.radio == nullptr) {
+    throw std::invalid_argument("Node: sim, medium and radio are required");
+  }
+  battery_.set_depletion_callback([this] {
+    stop_hello();
+    if (services_.events != nullptr) services_.events->on_node_depleted(*this);
+  });
+}
+
+sim::Time Node::now() const { return services_.sim->now(); }
+
+void Node::set_position(geom::Vec2 p) {
+  position_ = p;
+  services_.medium->node_moved(id_, position_);
+}
+
+geom::Vec2 Node::advertised_position() const {
+  if (config_.position_error_m <= 0.0) return position_;
+  // Localization error is a slowly varying per-node *bias*, not white
+  // noise: multilateration against quasi-static references drifts over
+  // re-localization periods, so the offset is re-drawn once per 100 s
+  // epoch (not per packet — per-packet jitter would make strategy targets
+  // chase noise, which no real position service exhibits).
+  const std::int64_t epoch =
+      now().ticks() / (100 * sim::Time::kTicksPerSecond);
+  std::uint64_t state = (static_cast<std::uint64_t>(id_) << 32) ^
+                        static_cast<std::uint64_t>(epoch) ^
+                        0x9e3779b97f4a7c15ULL;
+  const double u1 = static_cast<double>(util::splitmix64(state) >> 11) *
+                    0x1.0p-53;
+  const double u2 = static_cast<double>(util::splitmix64(state) >> 11) *
+                    0x1.0p-53;
+  const double angle = 2.0 * M_PI * u1;
+  const double radius = config_.position_error_m * std::sqrt(u2);
+  return position_ +
+         geom::Vec2{radius * std::cos(angle), radius * std::sin(angle)};
+}
+
+Packet Node::stamp(PacketType type, NodeId link_dest, double size_bits) const {
+  Packet pkt;
+  pkt.type = type;
+  pkt.sender = SenderStamp{id_, advertised_position(), battery_.residual()};
+  pkt.link_dest = link_dest;
+  pkt.size_bits = size_bits;
+  return pkt;
+}
+
+void Node::start_hello() {
+  stop_hello();
+  if (!alive()) return;
+  // Deterministic per-node phase: spread beacons across the interval so all
+  // nodes do not transmit on the same tick.
+  std::uint64_t h = id_ + 0x12345;
+  const std::uint64_t hash = util::splitmix64(h);
+  const auto phase_ticks = static_cast<std::int64_t>(
+      hash % static_cast<std::uint64_t>(
+                 std::max<std::int64_t>(1, config_.hello_interval.ticks())));
+  hello_event_ = services_.sim->after(sim::Time::from_ticks(phase_ticks),
+                                      [this] { hello_tick(); });
+}
+
+void Node::stop_hello() {
+  if (hello_event_ != 0) {
+    services_.sim->cancel(hello_event_);
+    hello_event_ = 0;
+  }
+}
+
+void Node::send_hello_now() {
+  if (!alive()) return;
+  Packet pkt = stamp(PacketType::kHello, kBroadcast, config_.hello_bits);
+  pkt.body = HelloBody{};
+  if (config_.charge_hello_energy) {
+    const double cost = services_.radio->transmit_energy(
+        services_.medium->comm_range(), config_.hello_bits);
+    const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
+    if (drawn + 1e-15 < cost) return;  // died mid-beacon; nothing goes out
+  }
+  services_.medium->broadcast(*this, pkt);
+}
+
+void Node::hello_tick() {
+  hello_event_ = 0;
+  if (!alive()) return;
+  send_hello_now();
+  neighbors_.purge(now());
+  if (!alive()) return;  // beacon cost may have finished the battery
+  hello_event_ =
+      services_.sim->after(config_.hello_interval, [this] { hello_tick(); });
+}
+
+NeighborInfo Node::lookup(NodeId other) const {
+  if (const auto hit = neighbors_.find(other, now())) return *hit;
+  // GPS-oracle fallback (documented substitution): position is ground
+  // truth, energy unknown (reported as 0).
+  NeighborInfo info;
+  info.id = other;
+  info.position = services_.medium->true_position(other);
+  info.residual_energy = 0.0;
+  info.last_heard = now();
+  return info;
+}
+
+bool Node::transmit(Packet pkt, NodeId next, geom::Vec2 next_position) {
+  if (!alive()) return false;
+  // Perfect power control (Assumption 4, hardware-support path): the
+  // radio pays exactly the energy needed to reach the next hop's true
+  // position; the caller's estimate is the fallback for unknown nodes.
+  const Node* peer = services_.medium->find_node(next);
+  const geom::Vec2 actual =
+      peer != nullptr ? peer->position() : next_position;
+  const double dist = geom::distance(position_, actual);
+  const double cost = services_.radio->transmit_energy(dist, pkt.size_bits);
+  const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
+  if (drawn + 1e-15 < cost) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, pkt.type, DropReason::kNoEnergy);
+    }
+    return false;
+  }
+  return services_.medium->unicast(*this, next, pkt);
+}
+
+bool Node::broadcast_packet(Packet pkt) {
+  if (!alive()) return false;
+  const double cost = services_.radio->transmit_energy(
+      services_.medium->comm_range(), pkt.size_bits);
+  const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
+  if (drawn + 1e-15 < cost) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, pkt.type, DropReason::kNoEnergy);
+    }
+    return false;
+  }
+  services_.medium->broadcast(*this, pkt);
+  return true;
+}
+
+double Node::move_towards(geom::Vec2 target, double max_step,
+                          double cost_per_meter) {
+  if (!alive()) return 0.0;
+  geom::Vec2 desired = geom::step_towards(position_, target, max_step);
+  double dist = geom::distance(position_, desired);
+  if (dist <= 0.0) return 0.0;
+  if (cost_per_meter > 0.0) {
+    const double affordable = battery_.residual() / cost_per_meter;
+    if (affordable < dist) {
+      // Move as far as the battery allows, then die en route.
+      desired = geom::step_towards(position_, desired, affordable);
+      dist = geom::distance(position_, desired);
+    }
+    battery_.draw(dist * cost_per_meter, energy::DrawKind::kMove);
+  }
+  position_ = desired;
+  services_.medium->node_moved(id_, position_);
+  total_moved_ += dist;
+  return dist;
+}
+
+bool Node::originate_data(DataBody data) {
+  if (!alive()) return false;
+  FlowEntry& entry = flows_.ensure(data.flow_id);
+  entry.source = data.source;
+  entry.destination = data.destination;
+  entry.strategy = data.strategy;
+  entry.residual_bits = data.residual_flow_bits;
+
+  if (entry.next == kInvalidNode && services_.routing != nullptr) {
+    entry.next = services_.routing->next_hop(*this, data.destination);
+  }
+  if (entry.next == kInvalidNode) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, PacketType::kData,
+                                DropReason::kNoRoute);
+    }
+    return false;
+  }
+  if (services_.policy != nullptr) {
+    services_.policy->seed_at_source(*this, data, entry);
+  }
+  return forward_with_repair(data, entry);
+}
+
+void Node::handle_receive(const Packet& pkt) {
+  if (!alive()) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, pkt.type, DropReason::kDeadNode);
+    }
+    return;
+  }
+  // Receive electronics (0 under the paper's sender-pays model). Drawing
+  // may deplete the battery; a node that dies *receiving* still processed
+  // the packet's bits, so handling proceeds only if it survives.
+  const double rx_cost = services_.radio->receive_energy(pkt.size_bits);
+  if (rx_cost > 0.0) {
+    battery_.draw(rx_cost, energy::DrawKind::kOther);
+    if (!alive()) {
+      if (services_.events != nullptr) {
+        services_.events->on_drop(*this, pkt.type, DropReason::kNoEnergy);
+      }
+      return;
+    }
+  }
+  // Piggybacked sender stamp refreshes the neighbor table on any reception.
+  if (pkt.sender.id != kInvalidNode) {
+    neighbors_.upsert(pkt.sender.id, pkt.sender.position,
+                      pkt.sender.residual_energy, now());
+  }
+  switch (pkt.type) {
+    case PacketType::kHello:
+      break;  // stamp processing above is the whole protocol
+    case PacketType::kData:
+      handle_data(std::get<DataBody>(pkt.body), pkt.sender);
+      break;
+    case PacketType::kNotification:
+      handle_notification(std::get<NotificationBody>(pkt.body));
+      break;
+    case PacketType::kRouteRequest:
+    case PacketType::kRouteReply:
+      if (services_.routing != nullptr) {
+        services_.routing->handle_control(*this, pkt);
+      }
+      break;
+    case PacketType::kRecruit:
+      handle_recruit(std::get<RecruitBody>(pkt.body));
+      break;
+  }
+}
+
+void Node::handle_recruit(const RecruitBody& body) {
+  // Pre-install the flow entry so subsequent DATA packets from the
+  // recruiter route through us toward its old next hop (instead of being
+  // re-resolved by the routing protocol).
+  FlowEntry& entry = flows_.ensure(body.flow_id);
+  entry.source = body.flow_source;
+  entry.destination = body.flow_destination;
+  entry.prev = body.upstream;
+  entry.next = body.downstream;
+  entry.strategy = body.strategy;
+  entry.residual_bits = body.residual_flow_bits;
+  entry.mobility_enabled = body.mobility_enabled;
+  if (services_.events != nullptr) {
+    services_.events->on_recruited(*this, body);
+  }
+}
+
+void Node::handle_data(DataBody data, const SenderStamp& from) {
+  // Figure 1, lines 4-6: fetch or allocate the flow entry, then refresh the
+  // fields carried in the header.
+  FlowEntry& entry = flows_.get_or_create(data);
+  entry.prev = from.id;
+  entry.strategy = data.strategy;
+  entry.residual_bits = data.residual_flow_bits;
+
+  if (data.destination == id_) {
+    // Figure 1, lines 7-11: deliver and run UpdateMobilityStatus.
+    if (services_.events != nullptr) services_.events->on_delivered(*this, data);
+    if (services_.policy != nullptr) {
+      const std::optional<bool> change =
+          services_.policy->evaluate_at_destination(*this, data, entry);
+      if (change.has_value()) send_notification(entry, *change, data.agg);
+    }
+    entry.mobility_enabled = data.mobility_enabled;
+    return;
+  }
+
+  // Figure 1, lines 12-27: relay.
+  if (entry.next == kInvalidNode && services_.routing != nullptr) {
+    entry.next = services_.routing->next_hop(*this, data.destination);
+  }
+  if (entry.next == kInvalidNode) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, PacketType::kData,
+                                DropReason::kNoRoute);
+    }
+    return;
+  }
+  ++entry.packets_relayed;
+  if (services_.policy != nullptr) {
+    services_.policy->on_relay(*this, data, entry);
+  }
+  ++data.hop_count;
+  const bool sent = forward_with_repair(data, entry);
+
+  // Figure 1, lines 23-26: adopt the carried status, then move if enabled.
+  entry.mobility_enabled = data.mobility_enabled;
+  if (sent && alive() && services_.policy != nullptr) {
+    services_.policy->after_forward(*this, entry);
+  }
+}
+
+bool Node::forward_with_repair(const DataBody& data, FlowEntry& entry) {
+  Packet pkt = stamp(PacketType::kData, entry.next, data.payload_bits);
+  pkt.body = data;
+  if (transmit(std::move(pkt), entry.next, lookup(entry.next).position)) {
+    return true;
+  }
+  // Local repair: the link layer reported a delivery failure (typically a
+  // dead next hop). Re-resolve the route once, excluding nothing but what
+  // the routing protocol itself skips, and retry.
+  if (!alive() || services_.routing == nullptr) return false;
+  const NodeId failed = entry.next;
+  const NodeId repaired =
+      services_.routing->next_hop(*this, data.destination);
+  if (repaired == kInvalidNode || repaired == failed) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, PacketType::kData,
+                                DropReason::kNoRoute);
+    }
+    return false;
+  }
+  entry.next = repaired;
+  Packet retry = stamp(PacketType::kData, entry.next, data.payload_bits);
+  retry.body = data;
+  return transmit(std::move(retry), entry.next,
+                  lookup(entry.next).position);
+}
+
+void Node::send_notification(FlowEntry& entry, bool enable,
+                             const MobilityAggregate& agg) {
+  if (entry.prev == kInvalidNode) return;
+  NotificationBody body;
+  body.flow_id = entry.id;
+  body.flow_source = entry.source;
+  body.enable = enable;
+  body.agg = agg;
+  if (services_.events != nullptr) {
+    services_.events->on_notification_initiated(*this, body);
+  }
+  Packet pkt =
+      stamp(PacketType::kNotification, entry.prev, config_.notification_bits);
+  pkt.body = body;
+  transmit(std::move(pkt), entry.prev, lookup(entry.prev).position);
+}
+
+void Node::handle_notification(NotificationBody body) {
+  FlowEntry* entry = flows_.find(body.flow_id);
+  if (entry == nullptr) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, PacketType::kNotification,
+                                DropReason::kUnknownFlow);
+    }
+    return;
+  }
+  if (body.flow_source == id_) {
+    // Source updates the flow's mobility status; the next data packet
+    // carries it to every node on the path.
+    entry->mobility_enabled = body.enable;
+    if (services_.events != nullptr) {
+      services_.events->on_notification_at_source(*this, body);
+    }
+    return;
+  }
+  if (entry->prev == kInvalidNode) return;  // path broke upstream
+  Packet pkt =
+      stamp(PacketType::kNotification, entry->prev, config_.notification_bits);
+  pkt.body = body;
+  transmit(std::move(pkt), entry->prev, lookup(entry->prev).position);
+}
+
+}  // namespace imobif::net

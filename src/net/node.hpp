@@ -1,0 +1,172 @@
+// Node: a wireless ad hoc node with position, battery, neighbor table, flow
+// table, HELLO beaconing, and the Figure-1 data-plane pipeline.
+//
+// The node implements the *mechanics* (receive, forward, transmit energy
+// accounting, bounded movement); all mobility *decisions* are delegated to
+// the installed MobilityPolicy (src/core).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "energy/battery.hpp"
+#include "energy/radio_model.hpp"
+#include "geom/vec2.hpp"
+#include "net/flow_table.hpp"
+#include "net/ids.hpp"
+#include "net/medium.hpp"
+#include "net/mobility_policy.hpp"
+#include "net/neighbor_table.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace imobif::net {
+
+enum class DropReason : std::uint8_t {
+  kDeadNode,
+  kNoRoute,
+  kNoEnergy,
+  kOutOfRange,
+  kUnknownFlow,
+};
+
+const char* to_string(DropReason reason);
+
+/// Observer through which Network collects flow progress and fate events.
+class NetworkEvents {
+ public:
+  virtual ~NetworkEvents() = default;
+  virtual void on_delivered(Node& dest, const DataBody& data);
+  virtual void on_notification_initiated(Node& dest,
+                                         const NotificationBody& body);
+  virtual void on_notification_at_source(Node& source,
+                                         const NotificationBody& body);
+  virtual void on_node_depleted(Node& node);
+  virtual void on_drop(Node& where, PacketType type, DropReason reason);
+  /// A node accepted a relay-recruitment invitation into a flow.
+  virtual void on_recruited(Node& recruit, const RecruitBody& body);
+};
+
+struct NodeConfig {
+  sim::Time hello_interval = sim::Time::from_seconds(10.0);
+  sim::Time hello_jitter = sim::Time::from_seconds(1.0);
+  sim::Time neighbor_timeout = sim::Time::from_seconds(45.0);
+  double hello_bits = 256.0;
+  double notification_bits = 512.0;
+  /// When false, HELLO beacons are free (ideal control plane); when true
+  /// they are charged at full-range power like any transmission.
+  bool charge_hello_energy = true;
+  /// Localization error radius: the position a node *advertises* (in
+  /// HELLO beacons and packet stamps) is its true position plus a
+  /// deterministic pseudo-random offset uniform in a disc of this radius,
+  /// modeling Assumption 2 backed by imperfect localization (src/loc)
+  /// instead of GPS. 0 = perfect positions. Transmit power control still
+  /// uses true distances (the radio, not the position service, handles
+  /// that); only *decisions* (routing, strategy targets, cost estimates)
+  /// see the error.
+  double position_error_m = 0.0;
+};
+
+class Node {
+ public:
+  struct Services {
+    sim::Simulator* sim = nullptr;
+    Medium* medium = nullptr;
+    const energy::RadioEnergyModel* radio = nullptr;
+    RoutingProtocol* routing = nullptr;
+    MobilityPolicy* policy = nullptr;
+    NetworkEvents* events = nullptr;
+  };
+
+  Node(NodeId id, geom::Vec2 position, double initial_energy,
+       Services services, NodeConfig config = {});
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  geom::Vec2 position() const { return position_; }
+  void set_position(geom::Vec2 p);
+  /// The position this node advertises in stamps/HELLOs — the true one
+  /// plus the configured localization error (see NodeConfig).
+  geom::Vec2 advertised_position() const;
+  bool alive() const { return !battery_.depleted(); }
+  sim::Time now() const;
+
+  energy::Battery& battery() { return battery_; }
+  const energy::Battery& battery() const { return battery_; }
+  NeighborTable& neighbors() { return neighbors_; }
+  const NeighborTable& neighbors() const { return neighbors_; }
+  FlowTable& flows() { return flows_; }
+  const FlowTable& flows() const { return flows_; }
+  const NodeConfig& config() const { return config_; }
+  const energy::RadioEnergyModel& radio() const { return *services_.radio; }
+  const Services& services() const { return services_; }
+
+  /// Refreshes service bindings after the network installs a routing
+  /// protocol or mobility policy post-construction.
+  void rebind_services(Services services) { services_ = services; }
+
+  /// Starts (or restarts) periodic HELLO beaconing with a random-free
+  /// deterministic phase derived from the node id.
+  void start_hello();
+  void stop_hello();
+  /// Emits one HELLO immediately.
+  void send_hello_now();
+  bool hello_active() const { return hello_event_ != 0; }
+
+  /// Flow-source entry point: resolves the next hop, lets the policy seed
+  /// the header aggregate, and transmits. Returns false when the packet
+  /// could not be sent (no route / no energy / dead).
+  bool originate_data(DataBody data);
+
+  /// Medium delivery entry point.
+  void handle_receive(const Packet& pkt);
+
+  /// Bounded mobility step: moves at most `max_step` toward `target`,
+  /// drawing `cost_per_meter * distance` from the battery (movement is
+  /// truncated to what the battery can afford). Returns the distance moved.
+  double move_towards(geom::Vec2 target, double max_step,
+                      double cost_per_meter);
+
+  /// Total distance this node has moved via move_towards().
+  double total_moved() const { return total_moved_; }
+
+  /// Charges E_T(distance-to-next, size) and hands the packet to the
+  /// medium. `next_position` is the sender's local estimate of the next
+  /// hop's location (neighbor table / packet stamps).
+  bool transmit(Packet pkt, NodeId next, geom::Vec2 next_position);
+
+  /// Charges full-range transmit energy and broadcasts (RREQ flooding).
+  bool broadcast_packet(Packet pkt);
+
+  /// Best local estimate of another node's info: neighbor table first,
+  /// ground-truth oracle as fallback (documented GPS substitution).
+  NeighborInfo lookup(NodeId other) const;
+
+ private:
+  void hello_tick();
+  void handle_data(DataBody data, const SenderStamp& from);
+  void handle_recruit(const RecruitBody& body);
+  /// Transmits toward entry.next; on link-layer failure re-resolves the
+  /// route once (local repair) and retries. Returns true when some copy
+  /// was accepted by the medium.
+  bool forward_with_repair(const DataBody& data, FlowEntry& entry);
+  void handle_notification(NotificationBody body);
+  void send_notification(FlowEntry& entry, bool enable,
+                         const MobilityAggregate& agg);
+  Packet stamp(PacketType type, NodeId link_dest, double size_bits) const;
+
+  NodeId id_;
+  geom::Vec2 position_;
+  energy::Battery battery_;
+  NeighborTable neighbors_;
+  FlowTable flows_;
+  Services services_;
+  NodeConfig config_;
+  sim::EventId hello_event_ = 0;
+  double total_moved_ = 0.0;
+};
+
+}  // namespace imobif::net

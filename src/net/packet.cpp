@@ -1,0 +1,52 @@
+#include "net/packet.hpp"
+
+#include <ostream>
+
+namespace imobif::net {
+
+const char* to_string(PacketType type) {
+  switch (type) {
+    case PacketType::kHello:
+      return "HELLO";
+    case PacketType::kData:
+      return "DATA";
+    case PacketType::kNotification:
+      return "NOTIFY";
+    case PacketType::kRouteRequest:
+      return "RREQ";
+    case PacketType::kRouteReply:
+      return "RREP";
+    case PacketType::kRecruit:
+      return "RECRUIT";
+  }
+  return "?";
+}
+
+const char* to_string(StrategyId id) {
+  switch (id) {
+    case StrategyId::kNone:
+      return "none";
+    case StrategyId::kMinTotalEnergy:
+      return "min-total-energy";
+    case StrategyId::kMaxLifetime:
+      return "max-lifetime";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Packet& pkt) {
+  os << to_string(pkt.type) << " from=" << pkt.sender.id << " to=";
+  if (pkt.link_dest == kBroadcast) {
+    os << "broadcast";
+  } else {
+    os << pkt.link_dest;
+  }
+  if (const auto* data = std::get_if<DataBody>(&pkt.body)) {
+    os << " flow=" << data->flow_id << " seq=" << data->seq
+       << " dst=" << data->destination
+       << " mob=" << (data->mobility_enabled ? "on" : "off");
+  }
+  return os;
+}
+
+}  // namespace imobif::net

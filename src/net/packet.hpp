@@ -1,0 +1,144 @@
+// Packet formats.
+//
+// Every packet carries a SenderStamp (the transmitting node's identity,
+// position and residual energy) — the paper embeds exactly this information
+// in HELLO messages, and piggybacking it on all traffic keeps the
+// flow-neighbor information used by the mobility strategies fresh.
+//
+// DATA packets carry the iMobif header of Section 2: the flow's mobility
+// strategy and status chosen by the source, the expected residual flow
+// length in bits, and the cost/benefit aggregate (sustainable-bits and
+// expected-residual-energy, each for the with-mobility and without-mobility
+// alternatives) folded in hop by hop.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <variant>
+
+#include "geom/vec2.hpp"
+#include "net/ids.hpp"
+
+namespace imobif::net {
+
+enum class PacketType : std::uint8_t {
+  kHello,
+  kData,
+  kNotification,
+  kRouteRequest,
+  kRouteReply,
+  kRecruit,
+};
+
+const char* to_string(PacketType type);
+
+/// Identity of the mobility strategy stamped into DATA headers.
+enum class StrategyId : std::uint8_t {
+  kNone = 0,
+  kMinTotalEnergy = 1,  ///< Section 3.1 (Goldenberg et al. midpoint rule)
+  kMaxLifetime = 2,     ///< Section 3.2 (Theorem 1 approximation)
+};
+
+const char* to_string(StrategyId id);
+
+/// Link-layer sender information piggybacked on every packet.
+struct SenderStamp {
+  NodeId id = kInvalidNode;
+  geom::Vec2 position;
+  double residual_energy = 0.0;
+};
+
+/// The two application-independent metrics of Section 2, carried twice:
+/// once for the mobility alternative and once for the non-mobility one.
+/// `bits` aggregates with min at every strategy; `resi` aggregates with the
+/// strategy-specific function (sum for min-total-energy, min for
+/// max-lifetime).
+struct MobilityAggregate {
+  double bits_mob = 0.0;
+  double resi_mob = 0.0;
+  double bits_nomob = 0.0;
+  double resi_nomob = 0.0;
+};
+
+struct HelloBody {};
+
+struct DataBody {
+  FlowId flow_id = kInvalidFlow;
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+  std::uint32_t seq = 0;
+  double payload_bits = 0.0;
+  /// Expected residual flow length in bits *after* this packet, as estimated
+  /// by the source (Section 2: "the flow length estimate is provided by the
+  /// application").
+  double residual_flow_bits = 0.0;
+  StrategyId strategy = StrategyId::kNone;
+  bool mobility_enabled = false;
+  MobilityAggregate agg;
+  std::uint16_t hop_count = 0;
+
+  /// Hop-receiver benefit estimator (see core/imobif_policy.hpp): the
+  /// transmitting node's planned position and the movement energy it still
+  /// needs to get there. Local information, carried one hop downstream so
+  /// the receiver can evaluate the hop with both endpoints at their planned
+  /// positions.
+  bool sender_has_plan = false;
+  geom::Vec2 sender_target;
+  double sender_move_cost = 0.0;
+};
+
+/// Destination -> source status-change request (Figure 1,
+/// UpdateMobilityStatus). Carries the aggregate that justified the change.
+struct NotificationBody {
+  FlowId flow_id = kInvalidFlow;
+  NodeId flow_source = kInvalidNode;
+  bool enable = false;
+  MobilityAggregate agg;
+};
+
+/// AODV-lite route discovery (substrate referenced by the framework
+/// description; the evaluation itself uses greedy geographic routing).
+struct RouteRequestBody {
+  NodeId origin = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::uint32_t request_id = 0;
+  std::uint32_t origin_seq = 0;
+  std::uint16_t hop_count = 0;
+};
+
+struct RouteReplyBody {
+  NodeId origin = kInvalidNode;
+  NodeId target = kInvalidNode;
+  std::uint32_t target_seq = 0;
+  std::uint16_t hop_count = 0;
+};
+
+/// Relay-recruitment invitation (paper Section 5 future work: optimizing
+/// the *selection* of intermediate flow nodes): an existing relay with an
+/// expensive hop invites an idle neighbor to join the flow path between
+/// itself and its current next hop. The invitee pre-installs a flow entry
+/// so subsequent DATA packets route through it.
+struct RecruitBody {
+  FlowId flow_id = kInvalidFlow;
+  NodeId flow_source = kInvalidNode;
+  NodeId flow_destination = kInvalidNode;
+  NodeId upstream = kInvalidNode;    ///< the recruiting relay
+  NodeId downstream = kInvalidNode;  ///< the recruiter's old next hop
+  StrategyId strategy = StrategyId::kNone;
+  double residual_flow_bits = 0.0;
+  bool mobility_enabled = false;
+};
+
+struct Packet {
+  PacketType type = PacketType::kHello;
+  SenderStamp sender;
+  NodeId link_dest = kBroadcast;  ///< kBroadcast or a unicast node id
+  double size_bits = 0.0;
+  std::variant<HelloBody, DataBody, NotificationBody, RouteRequestBody,
+               RouteReplyBody, RecruitBody>
+      body;
+};
+
+std::ostream& operator<<(std::ostream& os, const Packet& pkt);
+
+}  // namespace imobif::net

@@ -1,0 +1,8 @@
+#include "net/routing.hpp"
+
+namespace imobif::net {
+
+void RoutingProtocol::handle_control(Node& /*self*/, const Packet& /*pkt*/) {}
+void RoutingProtocol::prepare_route(Node& /*origin*/, NodeId /*dest*/) {}
+
+}  // namespace imobif::net

@@ -1,0 +1,34 @@
+// Routing protocol seam.
+//
+// The framework sits on top of "lower level routing protocols" (Section 2);
+// the evaluation uses greedy geographic routing (Section 4). Both are
+// provided, plus an AODV-lite distance-vector protocol matching the
+// framework's AODV reference, and a line-biased greedy variant implementing
+// the paper's future-work idea of optimizing relay *selection*.
+#pragma once
+
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+
+namespace imobif::net {
+
+class Node;
+
+class RoutingProtocol {
+ public:
+  virtual ~RoutingProtocol() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Next hop from `self` toward `dest`; kInvalidNode when no route exists.
+  virtual NodeId next_hop(const Node& self, NodeId dest) = 0;
+
+  /// Control-packet hook (RREQ/RREP); default protocols ignore these.
+  virtual void handle_control(Node& self, const Packet& pkt);
+
+  /// Proactive route setup before a flow starts (AODV discovery); greedy
+  /// protocols need none.
+  virtual void prepare_route(Node& origin, NodeId dest);
+};
+
+}  // namespace imobif::net

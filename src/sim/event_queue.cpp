@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace imobif::sim {
+
+EventId EventQueue::schedule(Time when, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? Time::infinity() : heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  const auto it = callbacks_.find(top.id);
+  Popped out{top.when, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return out;
+}
+
+}  // namespace imobif::sim

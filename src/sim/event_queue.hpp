@@ -1,0 +1,69 @@
+// Discrete-event queue: a binary heap of (time, sequence, callback) with
+// O(log n) push/pop and lazy cancellation.
+//
+// Ties in time are broken by insertion sequence, so same-tick events run in
+// the order they were scheduled — this determinism is what makes the
+// packet-by-packet mobility protocol of the paper reproducible in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace imobif::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `when`; returns a handle for cancel().
+  EventId schedule(Time when, Callback fn);
+
+  /// Cancels a pending event. Returns false when the event already ran,
+  /// was already cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; Time::infinity() when empty.
+  Time next_time() const;
+
+  struct Popped {
+    Time when;
+    Callback fn;
+  };
+  /// Removes and returns the earliest live event. Requires !empty().
+  Popped pop();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace imobif::sim

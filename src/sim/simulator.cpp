@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace imobif::sim {
+
+EventId Simulator::at(Time when, EventQueue::Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::at: scheduling in the past");
+  }
+  return queue_.schedule(when, std::move(fn));
+}
+
+bool Simulator::step(Time until) {
+  if (queue_.empty() || queue_.next_time() > until) return false;
+  auto [when, fn] = queue_.pop();
+  now_ = when;
+  ++executed_;
+  if (event_budget_ != 0 && executed_ > event_budget_) {
+    throw std::runtime_error("Simulator: event budget exceeded");
+  }
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run(Time until) {
+  stopped_ = false;
+  const std::size_t start = executed_;
+  while (!stopped_ && step(until)) {
+  }
+  // When stopping on the time horizon, advance the clock to it so callers
+  // observe a consistent "simulated until" time.
+  if (until != Time::infinity() && now_ < until &&
+      (queue_.empty() || queue_.next_time() > until)) {
+    now_ = until;
+  }
+  return executed_ - start;
+}
+
+}  // namespace imobif::sim

@@ -1,0 +1,52 @@
+// Simulator: the event loop that owns the clock.
+//
+// Components schedule callbacks at absolute or relative times; run() drains
+// events in order, advancing the clock monotonically. A stop flag and event
+// budget guard against runaway protocols in tests.
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace imobif::sim {
+
+class Simulator {
+ public:
+  Time now() const { return now_; }
+
+  /// Schedules at absolute time `when`; must not be in the past.
+  EventId at(Time when, EventQueue::Callback fn);
+
+  /// Schedules `delay` after the current time.
+  EventId after(Time delay, EventQueue::Callback fn) {
+    return at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue is empty, `until` is passed, or stop() is called.
+  /// Returns the number of events executed.
+  std::size_t run(Time until = Time::infinity());
+
+  /// Executes at most one pending event (if due before `until`).
+  /// Returns true when an event ran.
+  bool step(Time until = Time::infinity());
+
+  /// Request run() to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t executed_events() const { return executed_; }
+
+  /// Aborts run() with an exception after this many events (0 = unlimited).
+  void set_event_budget(std::size_t budget) { event_budget_ = budget; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = Time::zero();
+  bool stopped_ = false;
+  std::size_t executed_ = 0;
+  std::size_t event_budget_ = 0;
+};
+
+}  // namespace imobif::sim

@@ -1,0 +1,11 @@
+#include "sim/time.hpp"
+
+#include <ostream>
+
+namespace imobif::sim {
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.seconds() << "s";
+}
+
+}  // namespace imobif::sim

@@ -1,0 +1,53 @@
+// Simulation time as an integer microsecond count.
+//
+// Integer ticks keep event ordering exact and runs bit-reproducible; doubles
+// are converted only at the API edge (seconds in, seconds out).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+namespace imobif::sim {
+
+class Time {
+ public:
+  static constexpr std::int64_t kTicksPerSecond = 1'000'000;
+
+  constexpr Time() = default;
+
+  static constexpr Time from_ticks(std::int64_t ticks) { return Time(ticks); }
+  static Time from_seconds(double seconds) {
+    return Time(static_cast<std::int64_t>(
+        std::llround(seconds * static_cast<double>(kTicksPerSecond))));
+  }
+  static constexpr Time zero() { return Time(0); }
+  /// Sentinel later than any schedulable event.
+  static constexpr Time infinity() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ticks() const { return ticks_; }
+  constexpr double seconds() const {
+    return static_cast<double>(ticks_) / static_cast<double>(kTicksPerSecond);
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time o) const { return Time(ticks_ + o.ticks_); }
+  constexpr Time operator-(Time o) const { return Time(ticks_ - o.ticks_); }
+  constexpr Time& operator+=(Time o) {
+    ticks_ += o.ticks_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t ticks) : ticks_(ticks) {}
+  std::int64_t ticks_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace imobif::sim

@@ -1,0 +1,150 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace imobif::util {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range axis_range(const std::vector<Series>& series, bool x_axis,
+                 double extra = std::numeric_limits<double>::quiet_NaN()) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    const auto& v = x_axis ? s.xs : s.ys;
+    for (double value : v) {
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  if (!std::isnan(extra)) {
+    lo = std::min(lo, extra);
+    hi = std::max(hi, extra);
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return {0.0, 1.0};
+  if (lo == hi) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  return {lo, hi};
+}
+
+class Grid {
+ public:
+  Grid(int width, int height) : width_(width), height_(height) {
+    cells_.assign(static_cast<std::size_t>(width * height), ' ');
+  }
+
+  void put(int col, int row, char ch) {
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) return;
+    char& cell = cells_[static_cast<std::size_t>(row * width_ + col)];
+    // Later series win over reference lines but never blank out markers.
+    if (cell == ' ' || cell == '-' || ch != '-') cell = ch;
+  }
+
+  std::string row(int r) const {
+    return std::string(cells_.begin() + r * width_,
+                       cells_.begin() + (r + 1) * width_);
+  }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<char> cells_;
+};
+
+std::string frame(const Grid& grid, const PlotOptions& opts, Range xr,
+                  Range yr, const std::vector<Series>& series) {
+  std::ostringstream out;
+  if (!opts.title.empty()) out << opts.title << '\n';
+  const int label_w = 10;
+  for (int r = 0; r < opts.height; ++r) {
+    const double frac =
+        1.0 - static_cast<double>(r) / std::max(1, opts.height - 1);
+    const double yv = yr.lo + frac * (yr.hi - yr.lo);
+    out << std::setw(label_w) << std::setprecision(3) << yv << " |"
+        << grid.row(r) << '\n';
+  }
+  out << std::string(label_w + 1, ' ') << '+'
+      << std::string(static_cast<std::size_t>(opts.width), '-') << '\n';
+  std::ostringstream xl, xr_label;
+  xl << std::setprecision(3) << xr.lo;
+  xr_label << std::setprecision(3) << xr.hi;
+  out << std::string(label_w + 2, ' ') << xl.str()
+      << std::string(std::max<std::size_t>(
+             1, static_cast<std::size_t>(opts.width) -
+                    xl.str().size() - xr_label.str().size()),
+         ' ')
+      << xr_label.str() << '\n';
+  if (!opts.x_label.empty() || !opts.y_label.empty()) {
+    out << std::string(label_w + 2, ' ') << "x: " << opts.x_label
+        << "   y: " << opts.y_label << '\n';
+  }
+  for (const auto& s : series) {
+    out << std::string(label_w + 2, ' ') << s.marker << " = " << s.name
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_scatter(const std::vector<Series>& series,
+                           const PlotOptions& opts) {
+  const Range xr = axis_range(series, /*x_axis=*/true);
+  const Range yr = axis_range(series, /*x_axis=*/false, opts.h_line);
+  Grid grid(opts.width, opts.height);
+
+  auto col_of = [&](double x) {
+    return static_cast<int>(std::lround((x - xr.lo) / (xr.hi - xr.lo) *
+                                        (opts.width - 1)));
+  };
+  auto row_of = [&](double y) {
+    return static_cast<int>(std::lround(
+        (1.0 - (y - yr.lo) / (yr.hi - yr.lo)) * (opts.height - 1)));
+  };
+
+  if (!std::isnan(opts.h_line)) {
+    const int r = row_of(opts.h_line);
+    for (int c = 0; c < opts.width; ++c) grid.put(c, r, '-');
+  }
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      grid.put(col_of(s.xs[i]), row_of(s.ys[i]), s.marker);
+    }
+  }
+  return frame(grid, opts, xr, yr, series);
+}
+
+std::string render_cdf(const std::vector<Series>& samples,
+                       const PlotOptions& opts) {
+  // Convert each sample set (stored in ys) into a step-CDF series.
+  std::vector<Series> curves;
+  curves.reserve(samples.size());
+  for (const auto& s : samples) {
+    Series curve;
+    curve.name = s.name;
+    curve.marker = s.marker;
+    std::vector<double> sorted = s.ys;
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      curve.xs.push_back(sorted[i]);
+      curve.ys.push_back(static_cast<double>(i + 1) / n);
+    }
+    curves.push_back(std::move(curve));
+  }
+  PlotOptions o = opts;
+  if (o.y_label.empty()) o.y_label = "CDF";
+  return render_scatter(curves, o);
+}
+
+}  // namespace imobif::util

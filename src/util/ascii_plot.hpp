@@ -1,0 +1,36 @@
+// Minimal ASCII plotting so bench binaries can render the paper's figures
+// (per-instance scatter series and CDFs) directly on the console.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace imobif::util {
+
+struct Series {
+  std::string name;
+  char marker = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot-area columns
+  int height = 20;   ///< plot-area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Horizontal reference line (e.g. ratio = 1 in Figs 6/8); NaN disables it.
+  double h_line = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Renders all series into one character grid with axes and a legend.
+std::string render_scatter(const std::vector<Series>& series,
+                           const PlotOptions& opts);
+
+/// Renders empirical CDFs of the given samples (step curves), as in Fig 8.
+std::string render_cdf(const std::vector<Series>& samples,
+                       const PlotOptions& opts);
+
+}  // namespace imobif::util

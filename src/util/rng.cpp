@@ -1,0 +1,51 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace imobif::util {
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  const std::uint64_t span = hi - lo + 1;  // wraps to 0 for the full range
+  if (span == 0) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + draw % span;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential: mean <= 0");
+  // uniform01() can return exactly 0; 1-u is then 1 and log(1)=0, fine.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+double Rng::normal(double mean, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("normal: negative sigma");
+  // Box-Muller; u1 in (0, 1] so the log is finite.
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + sigma * z;
+}
+
+Rng Rng::fork() {
+  Rng child(0);
+  child.state_[0] = (*this)();
+  child.state_[1] = (*this)();
+  child.state_[2] = (*this)();
+  child.state_[3] = (*this)();
+  // All-zero state would be degenerate for xoshiro; nudge if it happens.
+  if ((child.state_[0] | child.state_[1] | child.state_[2] |
+       child.state_[3]) == 0) {
+    child.state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+  return child;
+}
+
+}  // namespace imobif::util

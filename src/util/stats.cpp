@@ -1,0 +1,187 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace imobif::util {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Empirical::add_all(const std::vector<double>& xs) {
+  data_.insert(data_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+const std::vector<double>& Empirical::sorted() const {
+  if (!sorted_) {
+    std::sort(data_.begin(), data_.end());
+    sorted_ = true;
+  }
+  return data_;
+}
+
+double Empirical::quantile(double q) const {
+  if (data_.empty()) throw std::logic_error("quantile of empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double Empirical::cdf(double x) const {
+  if (data_.empty()) return 0.0;
+  const auto& s = sorted();
+  const auto it = std::upper_bound(s.begin(), s.end(), x);
+  return static_cast<double>(it - s.begin()) / static_cast<double>(s.size());
+}
+
+double Empirical::mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+double Empirical::fraction_below(double x) const {
+  if (data_.empty()) return 0.0;
+  const auto& s = sorted();
+  const auto it = std::lower_bound(s.begin(), s.end(), x);
+  return static_cast<double>(it - s.begin()) / static_cast<double>(s.size());
+}
+
+double Empirical::fraction_above(double x) const {
+  if (data_.empty()) return 0.0;
+  const auto& s = sorted();
+  const auto it = std::upper_bound(s.begin(), s.end(), x);
+  return static_cast<double>(s.end() - it) / static_cast<double>(s.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<long>((x - lo_) / width);
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_power_law: need >= 2 paired samples");
+  }
+  // Linear regression of log(y) on log(x).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0) {
+      throw std::invalid_argument("fit_power_law: samples must be positive");
+    }
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    throw std::invalid_argument("fit_power_law: degenerate x values");
+  }
+  PowerFit fit;
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  fit.coefficient = std::exp((sy - fit.exponent * sx) / n);
+  return fit;
+}
+
+Interval bootstrap_mean_ci(const std::vector<double>& samples,
+                           double confidence, std::size_t resamples,
+                           std::uint64_t seed) {
+  if (samples.empty()) {
+    throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap_mean_ci: bad confidence");
+  }
+  if (resamples == 0) {
+    throw std::invalid_argument("bootstrap_mean_ci: zero resamples");
+  }
+  Rng rng(seed);
+  Empirical means;
+  const std::size_t n = samples.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += samples[rng.uniform_int(0, n - 1)];
+    }
+    means.add(sum / static_cast<double>(n));
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  return Interval{means.quantile(tail), means.quantile(1.0 - tail)};
+}
+
+double ks_statistic(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::vector<double> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    // Advance whichever CDF steps next; on ties advance both.
+    const double xa = sa[ia];
+    const double xb = sb[ib];
+    if (xa <= xb) {
+      while (ia < sa.size() && sa[ia] == xa) ++ia;
+    }
+    if (xb <= xa) {
+      while (ib < sb.size() && sb[ib] == xb) ++ib;
+    }
+    d = std::max(d, std::fabs(static_cast<double>(ia) / na -
+                              static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+}  // namespace imobif::util

@@ -1,0 +1,37 @@
+// Fixed-width console tables and CSV output for bench/experiment results.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace imobif::util {
+
+/// Accumulates rows of strings and renders them as an aligned console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing comma/quote are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes a CSV file; throws std::runtime_error on I/O failure.
+void write_csv(const std::string& path, const Table& table);
+
+}  // namespace imobif::util

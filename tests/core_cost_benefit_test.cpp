@@ -1,0 +1,160 @@
+#include "core/cost_benefit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace imobif::core {
+namespace {
+
+energy::RadioEnergyModel radio() {
+  energy::RadioParams p;
+  p.a = 1e-7;
+  p.b = 1e-10;
+  p.alpha = 2.0;
+  return energy::RadioEnergyModel(p);
+}
+
+energy::MobilityEnergyModel mobility(double k = 0.5) {
+  energy::MobilityParams p;
+  p.k = k;
+  p.max_step_m = 1.0;
+  return energy::MobilityEnergyModel(p);
+}
+
+TEST(EvaluateLocal, MatchesFigure1Formulas) {
+  const auto r = radio();
+  const auto m = mobility(0.5);
+  const double e = 100.0;
+  const double L = 1e6;
+  const geom::Vec2 x{0, 0}, xp{30, 0}, next{150, 0};
+
+  const LocalPerformance p =
+      evaluate_local(r, m, e, L, x, xp, next, /*cap_bits=*/false);
+
+  const double d_now = 150.0, d_after = 120.0, move = 30.0;
+  EXPECT_DOUBLE_EQ(p.resi_nomob, e - r.transmit_energy(d_now, L));
+  EXPECT_DOUBLE_EQ(p.bits_nomob, e / r.power_per_bit(d_now));
+  EXPECT_DOUBLE_EQ(p.resi_mob,
+                   e - r.transmit_energy(d_after, L) - 0.5 * move);
+  EXPECT_DOUBLE_EQ(p.bits_mob,
+                   (e - 0.5 * move) / r.power_per_bit(d_after));
+}
+
+TEST(EvaluateLocal, CapBindsBothAlternatives) {
+  const auto r = radio();
+  const auto m = mobility(0.5);
+  // Plenty of energy: uncapped bits far exceed the 1000-bit residual flow.
+  const LocalPerformance p = evaluate_local(r, m, 100.0, 1000.0, {0, 0},
+                                            {10, 0}, {150, 0},
+                                            /*cap_bits=*/true);
+  EXPECT_DOUBLE_EQ(p.bits_mob, 1000.0);
+  EXPECT_DOUBLE_EQ(p.bits_nomob, 1000.0);
+}
+
+TEST(EvaluateLocal, CapDoesNotBindWeakNode) {
+  const auto r = radio();
+  const auto m = mobility(0.5);
+  // Tiny battery: capacity below the residual flow, cap irrelevant.
+  const LocalPerformance capped = evaluate_local(
+      r, m, 1e-3, 1e9, {0, 0}, {10, 0}, {150, 0}, /*cap_bits=*/true);
+  const LocalPerformance raw = evaluate_local(
+      r, m, 1e-3, 1e9, {0, 0}, {10, 0}, {150, 0}, /*cap_bits=*/false);
+  EXPECT_DOUBLE_EQ(capped.bits_nomob, raw.bits_nomob);
+  EXPECT_DOUBLE_EQ(capped.bits_mob, raw.bits_mob);
+}
+
+TEST(EvaluateLocal, MoveCostExceedingEnergyClampsBits) {
+  const auto r = radio();
+  const auto m = mobility(1.0);
+  // Moving 200 m at 1 J/m with only 50 J: bits_mob must clamp to zero, not
+  // go negative; resi_mob goes negative (the deficit signal).
+  const LocalPerformance p = evaluate_local(r, m, 50.0, 1e6, {0, 0},
+                                            {200, 0}, {250, 0},
+                                            /*cap_bits=*/false);
+  EXPECT_DOUBLE_EQ(p.bits_mob, 0.0);
+  EXPECT_LT(p.resi_mob, 0.0);
+}
+
+TEST(EvaluateLocal, NoMoveMeansAlternativesCoincide) {
+  const auto r = radio();
+  const auto m = mobility(0.5);
+  const geom::Vec2 x{10, 20};
+  const LocalPerformance p =
+      evaluate_local(r, m, 42.0, 5e5, x, x, {150, 20}, true);
+  EXPECT_DOUBLE_EQ(p.bits_mob, p.bits_nomob);
+  EXPECT_DOUBLE_EQ(p.resi_mob, p.resi_nomob);
+}
+
+TEST(EvaluateSource, AlternativesAlwaysCoincide) {
+  const auto r = radio();
+  const LocalPerformance p =
+      evaluate_source(r, 42.0, 5e5, {0, 0}, {150, 0}, true);
+  EXPECT_DOUBLE_EQ(p.bits_mob, p.bits_nomob);
+  EXPECT_DOUBLE_EQ(p.resi_mob, p.resi_nomob);
+  EXPECT_DOUBLE_EQ(p.resi_nomob,
+                   42.0 - r.transmit_energy(150.0, 5e5));
+}
+
+TEST(EvaluateHop, UsesPlannedEndpointsForMobility) {
+  const auto r = radio();
+  // Sender at (0,0) planning to hold (0,0); receiver at (150,0) planning to
+  // move to (100,0): the planned hop is 100 m.
+  const LocalPerformance p = evaluate_hop(
+      r, /*sender_energy=*/50.0, /*pending_move=*/0.0, {0, 0}, {0, 0},
+      {150, 0}, {100, 0}, /*residual_bits=*/1e9, /*cap_bits=*/false);
+  EXPECT_DOUBLE_EQ(p.bits_nomob, 50.0 / r.power_per_bit(150.0));
+  EXPECT_DOUBLE_EQ(p.bits_mob, 50.0 / r.power_per_bit(100.0));
+  EXPECT_GT(p.bits_mob, p.bits_nomob);
+}
+
+TEST(EvaluateHop, SenderMoveCostDebitsMobilityAlternative) {
+  const auto r = radio();
+  const LocalPerformance p = evaluate_hop(
+      r, 50.0, /*pending_move=*/20.0, {0, 0}, {50, 0}, {150, 0}, {150, 0},
+      1e6, false);
+  EXPECT_DOUBLE_EQ(p.resi_mob,
+                   50.0 - 20.0 - r.transmit_energy(100.0, 1e6));
+  EXPECT_DOUBLE_EQ(p.bits_mob, 30.0 / r.power_per_bit(100.0));
+}
+
+TEST(EvaluateHop, PendingMoveBeyondEnergyClampsBits) {
+  const auto r = radio();
+  const LocalPerformance p =
+      evaluate_hop(r, 10.0, 25.0, {0, 0}, {50, 0}, {150, 0}, {150, 0},
+                   1e6, false);
+  EXPECT_DOUBLE_EQ(p.bits_mob, 0.0);
+  EXPECT_LT(p.resi_mob, 0.0);
+}
+
+TEST(EvaluateHop, CapAppliesToBothAlternatives) {
+  const auto r = radio();
+  const LocalPerformance p = evaluate_hop(r, 1e6, 0.0, {0, 0}, {0, 0},
+                                          {150, 0}, {150, 0},
+                                          /*residual_bits=*/500.0, true);
+  EXPECT_DOUBLE_EQ(p.bits_mob, 500.0);
+  EXPECT_DOUBLE_EQ(p.bits_nomob, 500.0);
+}
+
+TEST(EvaluateHop, TotalEnergyTradeoffEmergesFromSum) {
+  // Sanity for the hop-receiver design: summing (resi_mob - resi_nomob)
+  // across hops equals transmission savings minus movement cost.
+  const auto r = radio();
+  const double L = 1e6;
+  // Two hops: A(0,0) -> B(150,0) -> C(300,0); B plans to move to (140,0)
+  // at a pending cost of 5 J.
+  const LocalPerformance hop1 =
+      evaluate_hop(r, 100.0, 0.0, {0, 0}, {0, 0}, {150, 0}, {140, 0}, L,
+                   false);
+  const LocalPerformance hop2 = evaluate_hop(r, 100.0, 5.0, {150, 0},
+                                             {140, 0}, {300, 0}, {300, 0},
+                                             L, false);
+  const double delta = (hop1.resi_mob - hop1.resi_nomob) +
+                       (hop2.resi_mob - hop2.resi_nomob);
+  const double savings = (r.transmit_energy(150.0, L) -
+                          r.transmit_energy(140.0, L)) +
+                         (r.transmit_energy(150.0, L) -
+                          r.transmit_energy(160.0, L));
+  EXPECT_NEAR(delta, savings - 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace imobif::core

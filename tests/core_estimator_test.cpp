@@ -1,0 +1,139 @@
+// Direct unit tests of the two benefit estimators' header plumbing
+// (seed_at_source / on_relay / evaluate_at_destination), complementing the
+// end-to-end coverage in core_policy_test and ablation A5.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "test_helpers.hpp"
+
+namespace imobif::core {
+namespace {
+
+using test::make_harness;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Fixture {
+  test::Harness h = test::make_harness(
+      {{0, 0}, {150, 20}, {300, 0}});  // source, relay, dest
+  net::FlowEntry source_entry;
+  net::FlowEntry relay_entry;
+  net::DataBody data;
+
+  Fixture() {
+    h.net().warmup(25.0);
+    source_entry.id = 1;
+    source_entry.source = 0;
+    source_entry.destination = 2;
+    source_entry.next = 1;
+    relay_entry = source_entry;
+    relay_entry.prev = 0;
+    relay_entry.next = 2;
+    data.flow_id = 1;
+    data.source = 0;
+    data.destination = 2;
+    data.strategy = net::StrategyId::kMinTotalEnergy;
+    data.residual_flow_bits = 1e6;
+  }
+};
+
+TEST(HopReceiverEstimator, SeedInitializesIdentityAndPlan) {
+  Fixture f;
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  EXPECT_EQ(f.data.agg.bits_mob, kInf);
+  EXPECT_EQ(f.data.agg.bits_nomob, kInf);
+  EXPECT_EQ(f.data.agg.resi_mob, 0.0);  // sum identity for min-energy
+  EXPECT_TRUE(f.data.sender_has_plan);
+  EXPECT_EQ(f.data.sender_target, f.h.net().node(0).position());
+  EXPECT_DOUBLE_EQ(f.data.sender_move_cost, 0.0);
+}
+
+TEST(HopReceiverEstimator, RelayFoldsHopAndStampsOwnPlan) {
+  Fixture f;
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
+
+  // The fold replaced the identities with the source->relay hop values.
+  EXPECT_LT(f.data.agg.bits_mob, kInf);
+  EXPECT_LT(f.data.agg.bits_nomob, kInf);
+  EXPECT_NE(f.data.agg.resi_nomob, 0.0);
+
+  // The relay stamped its own plan: the min-energy target is the midpoint
+  // of source and dest, and the move cost is k times the distance to it.
+  ASSERT_TRUE(f.relay_entry.target.has_value());
+  EXPECT_TRUE(f.data.sender_has_plan);
+  EXPECT_EQ(f.data.sender_target, *f.relay_entry.target);
+  const double dist = geom::distance(f.h.net().node(1).position(),
+                                     *f.relay_entry.target);
+  EXPECT_NEAR(f.data.sender_move_cost, 0.5 * dist, 1e-9);
+  EXPECT_EQ(*f.relay_entry.target,
+            geom::midpoint(f.h.net().node(0).position(),
+                           f.h.net().node(2).position()));
+}
+
+TEST(HopReceiverEstimator, CapBindsAggregatedBits) {
+  Fixture f;
+  f.data.residual_flow_bits = 1000.0;  // tiny residual: cap binds
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
+  EXPECT_DOUBLE_EQ(f.data.agg.bits_mob, 1000.0);
+  EXPECT_DOUBLE_EQ(f.data.agg.bits_nomob, 1000.0);
+}
+
+TEST(HopReceiverEstimator, UncappedExceedsResidual) {
+  Fixture f;
+  f.h.policy->set_cap_bits(false);
+  f.data.residual_flow_bits = 1000.0;
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
+  EXPECT_GT(f.data.agg.bits_nomob, 1000.0);
+}
+
+TEST(PaperLocalEstimator, SeedCarriesSourceValues) {
+  Fixture f;
+  f.h.policy->set_estimator(BenefitEstimator::kPaperLocal);
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  // No plan stamping in the literal Figure-1 listing.
+  EXPECT_FALSE(f.data.sender_has_plan);
+  // Source values coincide across alternatives (the source cannot move).
+  EXPECT_DOUBLE_EQ(f.data.agg.bits_mob, f.data.agg.bits_nomob);
+  EXPECT_DOUBLE_EQ(f.data.agg.resi_mob, f.data.agg.resi_nomob);
+  EXPECT_GT(f.data.agg.bits_nomob, 0.0);
+}
+
+TEST(PaperLocalEstimator, RelayAggregatesOwnOutHop) {
+  Fixture f;
+  f.h.policy->set_estimator(BenefitEstimator::kPaperLocal);
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  const double seed_resi = f.data.agg.resi_nomob;
+  f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
+  // Sum-aggregation added the relay's own expected residual.
+  EXPECT_NE(f.data.agg.resi_nomob, seed_resi);
+  ASSERT_TRUE(f.relay_entry.target.has_value());
+}
+
+TEST(Estimators, NoMobilityModeNeverTouchesHeaders) {
+  test::HarnessOptions opts;
+  opts.mode = MobilityMode::kNoMobility;
+  auto h = make_harness({{0, 0}, {150, 20}, {300, 0}}, opts);
+  net::FlowEntry entry;
+  entry.next = 1;
+  net::DataBody data;
+  data.strategy = net::StrategyId::kMinTotalEnergy;
+  h.policy->seed_at_source(h.net().node(0), data, entry);
+  EXPECT_FALSE(data.sender_has_plan);
+  EXPECT_EQ(data.agg.bits_mob, 0.0);
+}
+
+TEST(Estimators, UnknownStrategyIgnored) {
+  Fixture f;
+  f.data.strategy = static_cast<net::StrategyId>(123);
+  f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
+  EXPECT_FALSE(f.data.sender_has_plan);
+  f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
+  EXPECT_FALSE(f.relay_entry.target.has_value());
+}
+
+}  // namespace
+}  // namespace imobif::core

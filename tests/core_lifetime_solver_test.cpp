@@ -1,0 +1,130 @@
+#include "core/lifetime_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/max_lifetime_strategy.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::core {
+namespace {
+
+energy::RadioParams radio(double a, double b, double alpha) {
+  energy::RadioParams p;
+  p.a = a;
+  p.b = b;
+  p.alpha = alpha;
+  return p;
+}
+
+double power(const energy::RadioParams& p, double d) {
+  return p.a + p.b * std::pow(d, p.alpha);
+}
+
+TEST(LifetimeSolver, EqualEnergiesSplitInHalf) {
+  const auto p = radio(1e-7, 1e-10, 2.0);
+  EXPECT_NEAR(exact_lifetime_split(p, 10.0, 10.0, 200.0), 100.0, 1e-4);
+}
+
+TEST(LifetimeSolver, SolutionSatisfiesTheoremCondition) {
+  util::Rng rng(4);
+  for (const double alpha : {1.5, 2.0, 3.0, 4.0}) {
+    const auto p = radio(1e-7, 1e-10, alpha);
+    for (int i = 0; i < 200; ++i) {
+      const double e_prev = rng.uniform(1.0, 100.0);
+      const double e_self = rng.uniform(1.0, 100.0);
+      const double total = rng.uniform(50.0, 400.0);
+      const double d_prev =
+          exact_lifetime_split(p, e_prev, e_self, total, 1e-9);
+      if (d_prev <= 0.0 || d_prev >= total) continue;  // clamped case
+      const double ratio = power(p, d_prev) / power(p, total - d_prev);
+      EXPECT_NEAR(ratio, e_prev / e_self, 1e-5 * (e_prev / e_self))
+          << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(LifetimeSolver, ClampsUnreachableRatios) {
+  // With a large electronics constant, P varies little; an extreme energy
+  // ratio cannot be balanced and the split saturates.
+  const auto p = radio(1.0, 1e-10, 2.0);
+  EXPECT_DOUBLE_EQ(exact_lifetime_split(p, 1e9, 1.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(exact_lifetime_split(p, 1.0, 1e9, 100.0), 0.0);
+}
+
+TEST(LifetimeSolver, ZeroDistance) {
+  const auto p = radio(1e-7, 1e-10, 2.0);
+  EXPECT_DOUBLE_EQ(exact_lifetime_split(p, 5.0, 7.0, 0.0), 0.0);
+}
+
+TEST(LifetimeSolver, Validation) {
+  const auto p = radio(1e-7, 1e-10, 2.0);
+  EXPECT_THROW(exact_lifetime_split(p, 1.0, 1.0, -5.0),
+               std::invalid_argument);
+  EXPECT_THROW(exact_lifetime_split(p, 1.0, 1.0, 5.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LifetimeSolver, MonotoneInEnergyRatio) {
+  const auto p = radio(1e-7, 1e-10, 2.0);
+  double prev = -1.0;
+  for (double e_prev = 1.0; e_prev <= 200.0; e_prev *= 1.5) {
+    const double d = exact_lifetime_split(p, e_prev, 10.0, 300.0);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(LifetimeSolver, MatchesApproximationWhenElectronicsVanish) {
+  // With a = 0, P(d) = b d^alpha and the paper's power-law approximation
+  // with alpha' = alpha is exact — the solver must agree with it.
+  const auto p = radio(0.0, 1e-10, 2.0);
+  MaxLifetimeStrategy approx(2.0);
+  util::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double e_prev = rng.uniform(1.0, 50.0);
+    const double e_self = rng.uniform(1.0, 50.0);
+    const double total = rng.uniform(50.0, 300.0);
+    const double exact = exact_lifetime_split(p, e_prev, e_self, total, 1e-9);
+    const double approx_d = approx.split_fraction(e_prev, e_self) * total;
+    EXPECT_NEAR(exact, approx_d, 1e-4 * total);
+  }
+}
+
+TEST(LifetimeSolver, DivergesFromApproximationWithElectronics) {
+  // A nonzero electronics constant flattens P at short distances, so the
+  // exact split must be more extreme than the approximation for lopsided
+  // energies.
+  const auto p = radio(5e-6, 1e-10, 2.0);
+  MaxLifetimeStrategy approx(2.0);
+  const double exact = exact_lifetime_split(p, 40.0, 10.0, 200.0);
+  const double approx_d = approx.split_fraction(40.0, 10.0) * 200.0;
+  EXPECT_GT(exact, approx_d + 1.0);
+}
+
+TEST(ExactStrategy, NextPositionUsesSolver) {
+  const auto p = radio(1e-7, 1e-10, 2.0);
+  MaxLifetimeStrategy exact(p);
+  EXPECT_TRUE(exact.exact());
+  EXPECT_STREQ(exact.name(), "max-lifetime-exact");
+
+  RelayContext ctx;
+  ctx.prev_position = {0.0, 0.0};
+  ctx.next_position = {200.0, 0.0};
+  ctx.prev_energy = 30.0;
+  ctx.self_energy = 10.0;
+  const geom::Vec2 x = exact.next_position(ctx);
+  const double ratio =
+      power(p, x.x) / power(p, 200.0 - x.x);
+  EXPECT_NEAR(ratio, 3.0, 1e-3);
+}
+
+TEST(ExactStrategy, ApproxStrategyReportsNotExact) {
+  MaxLifetimeStrategy approx(2.0);
+  EXPECT_FALSE(approx.exact());
+  EXPECT_STREQ(approx.name(), "max-lifetime");
+}
+
+}  // namespace
+}  // namespace imobif::core

@@ -1,0 +1,67 @@
+#include "energy/mobility_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace imobif::energy {
+namespace {
+
+MobilityParams params(double k, double max_step) {
+  MobilityParams p;
+  p.k = k;
+  p.max_step_m = max_step;
+  return p;
+}
+
+TEST(MobilityParams, Validation) {
+  EXPECT_THROW(params(-0.1, 1.0).validate(), std::invalid_argument);
+  EXPECT_THROW(params(0.5, 0.0).validate(), std::invalid_argument);
+  EXPECT_THROW(params(0.5, -1.0).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(params(0.0, 1.0).validate());  // free movement allowed
+}
+
+TEST(MobilityModel, MoveEnergyLinear) {
+  const MobilityEnergyModel m(params(0.5, 1.0));
+  EXPECT_DOUBLE_EQ(m.move_energy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(100.0), 50.0);
+}
+
+TEST(MobilityModel, NegativeDistanceThrows) {
+  const MobilityEnergyModel m(params(0.5, 1.0));
+  EXPECT_THROW(m.move_energy(-1.0), std::invalid_argument);
+}
+
+TEST(MobilityModel, RangeForEnergyInverts) {
+  const MobilityEnergyModel m(params(0.5, 1.0));
+  EXPECT_DOUBLE_EQ(m.range_for_energy(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.range_for_energy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.range_for_energy(-3.0), 0.0);
+}
+
+TEST(MobilityModel, FreeMovementHasInfiniteRange) {
+  const MobilityEnergyModel m(params(0.0, 1.0));
+  EXPECT_EQ(m.range_for_energy(1.0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(m.move_energy(100.0), 0.0);
+}
+
+TEST(MobilityModel, MaxStepExposed) {
+  const MobilityEnergyModel m(params(0.5, 2.5));
+  EXPECT_DOUBLE_EQ(m.max_step(), 2.5);
+}
+
+// Parameterized over the paper's k values.
+class MobilityK : public ::testing::TestWithParam<double> {};
+
+TEST_P(MobilityK, EnergyProportionalToK) {
+  const MobilityEnergyModel m(params(GetParam(), 1.0));
+  EXPECT_DOUBLE_EQ(m.move_energy(42.0), GetParam() * 42.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKs, MobilityK,
+                         ::testing::Values(0.1, 0.5, 1.0));
+
+}  // namespace
+}  // namespace imobif::energy

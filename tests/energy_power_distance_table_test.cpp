@@ -1,0 +1,96 @@
+#include "energy/power_distance_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace imobif::energy {
+namespace {
+
+RadioEnergyModel test_model() {
+  RadioParams p;
+  p.a = 1e-7;
+  p.b = 1e-10;
+  p.alpha = 2.0;
+  return RadioEnergyModel(p);
+}
+
+TEST(PowerDistanceTable, RejectsBadConfig) {
+  EXPECT_THROW(PowerDistanceTable(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(PowerDistanceTable(10.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(PowerDistanceTable(10.0, 5.0), std::invalid_argument);
+}
+
+TEST(PowerDistanceTable, EmptyTableKnowsNothing) {
+  PowerDistanceTable t(10.0, 200.0);
+  EXPECT_EQ(t.populated_bins(), 0u);
+  EXPECT_FALSE(t.min_power(50.0).has_value());
+}
+
+TEST(PowerDistanceTable, ObserveThenLookup) {
+  PowerDistanceTable t(10.0, 200.0);
+  t.observe(55.0, 3e-7);
+  const auto p = t.min_power(52.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(*p, 3e-7);
+}
+
+TEST(PowerDistanceTable, KeepsMinimumPerBin) {
+  PowerDistanceTable t(10.0, 200.0);
+  t.observe(55.0, 5e-7);
+  t.observe(57.0, 3e-7);
+  t.observe(51.0, 4e-7);
+  EXPECT_DOUBLE_EQ(*t.min_power(55.0), 3e-7);
+}
+
+TEST(PowerDistanceTable, FartherBinCoversNearerQuery) {
+  PowerDistanceTable t(10.0, 200.0);
+  t.observe(150.0, 9e-7);  // only a far observation
+  // A nearer query can use the far bin's power (conservative).
+  const auto p = t.min_power(40.0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(*p, 9e-7);
+}
+
+TEST(PowerDistanceTable, BeyondTableIsUnknown) {
+  PowerDistanceTable t(10.0, 200.0);
+  t.observe(50.0, 1e-7);
+  EXPECT_FALSE(t.min_power(250.0).has_value());
+  EXPECT_FALSE(t.min_power(-1.0).has_value());
+}
+
+TEST(PowerDistanceTable, NegativeObservationThrows) {
+  PowerDistanceTable t(10.0, 200.0);
+  EXPECT_THROW(t.observe(-5.0, 1e-7), std::invalid_argument);
+  EXPECT_THROW(t.observe(5.0, -1e-7), std::invalid_argument);
+}
+
+TEST(PowerDistanceTable, SeedFromModelPopulatesAllBins) {
+  PowerDistanceTable t(10.0, 200.0);
+  t.seed_from_model(test_model());
+  EXPECT_EQ(t.populated_bins(), t.bin_count());
+}
+
+TEST(PowerDistanceTable, SeededValuesAreSufficient) {
+  // Property (Assumption 4 soundness): the table's answer is always enough
+  // power to actually reach the queried distance under the true model.
+  PowerDistanceTable t(5.0, 200.0);
+  const RadioEnergyModel model = test_model();
+  t.seed_from_model(model);
+  for (double d = 1.0; d < 200.0; d += 3.7) {
+    const auto p = t.min_power(d);
+    ASSERT_TRUE(p.has_value()) << "d=" << d;
+    EXPECT_GE(*p, model.power_per_bit(d) - 1e-15) << "d=" << d;
+    // And not absurdly conservative: at most one bin-width worth extra.
+    EXPECT_LE(*p, model.power_per_bit(d + t.bin_width()) + 1e-15);
+  }
+}
+
+TEST(PowerDistanceTable, LearningRefinesSeededTable) {
+  PowerDistanceTable t(10.0, 200.0);
+  t.seed_from_model(test_model());
+  const double seeded = *t.min_power(45.0);
+  t.observe(49.0, seeded * 0.5);  // hardware did better than the model
+  EXPECT_DOUBLE_EQ(*t.min_power(45.0), seeded * 0.5);
+}
+
+}  // namespace
+}  // namespace imobif::energy

@@ -1,0 +1,98 @@
+#include "energy/radio_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace imobif::energy {
+namespace {
+
+RadioParams params(double a, double b, double alpha) {
+  RadioParams p;
+  p.a = a;
+  p.b = b;
+  p.alpha = alpha;
+  return p;
+}
+
+TEST(RadioParams, ValidationRejectsBadValues) {
+  EXPECT_THROW(params(-1e-7, 1e-10, 2.0).validate(), std::invalid_argument);
+  EXPECT_THROW(params(1e-7, 0.0, 2.0).validate(), std::invalid_argument);
+  EXPECT_THROW(params(1e-7, -1e-10, 2.0).validate(), std::invalid_argument);
+  EXPECT_THROW(params(1e-7, 1e-10, 0.5).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(params(0.0, 1e-10, 1.0).validate());
+}
+
+TEST(RadioModel, PowerPerBitMatchesFormula) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
+  EXPECT_DOUBLE_EQ(m.power_per_bit(0.0), 1e-7);
+  EXPECT_DOUBLE_EQ(m.power_per_bit(100.0), 1e-7 + 1e-10 * 1e4);
+}
+
+TEST(RadioModel, NegativeDistanceThrows) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
+  EXPECT_THROW(m.power_per_bit(-1.0), std::invalid_argument);
+}
+
+TEST(RadioModel, TransmitEnergyLinearInBits) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
+  const double one = m.transmit_energy(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.transmit_energy(100.0, 1000.0), 1000.0 * one);
+  EXPECT_DOUBLE_EQ(m.transmit_energy(100.0, 0.0), 0.0);
+  EXPECT_THROW(m.transmit_energy(100.0, -1.0), std::invalid_argument);
+}
+
+TEST(RadioModel, SustainableBitsInvertsTransmit) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
+  const double bits = m.sustainable_bits(150.0, 10.0);
+  EXPECT_NEAR(m.transmit_energy(150.0, bits), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.sustainable_bits(150.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.sustainable_bits(150.0, -5.0), 0.0);
+}
+
+TEST(RadioModel, RangeForPowerInvertsPower) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
+  const double p = m.power_per_bit(123.0);
+  EXPECT_NEAR(m.range_for_power(p), 123.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.range_for_power(1e-7), 0.0);   // only electronics
+  EXPECT_DOUBLE_EQ(m.range_for_power(1e-8), 0.0);   // below electronics
+}
+
+// Parameterized over path-loss exponents: monotonicity and convexity of P.
+class RadioAlpha : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadioAlpha, PowerMonotoneIncreasing) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, GetParam()));
+  double prev = m.power_per_bit(0.0);
+  for (double d = 10.0; d <= 300.0; d += 10.0) {
+    const double cur = m.power_per_bit(d);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_P(RadioAlpha, EvenSplitNeverWorseThanDirect) {
+  // Relaying at the midpoint halves the per-hop distance; with alpha >= 1
+  // and two transmissions, total amplifier energy never exceeds the direct
+  // transmission's amplifier energy (this is what makes relay placement on
+  // the line optimal).
+  const RadioEnergyModel m(params(0.0, 1e-10, GetParam()));
+  for (double d = 20.0; d <= 300.0; d += 20.0) {
+    const double direct = m.transmit_energy(d, 1000.0);
+    const double two_hop = 2.0 * m.transmit_energy(d / 2.0, 1000.0);
+    EXPECT_LE(two_hop, direct + 1e-12);
+  }
+}
+
+TEST_P(RadioAlpha, RangeForPowerRoundTrip) {
+  const RadioEnergyModel m(params(1e-7, 1e-10, GetParam()));
+  for (double d = 1.0; d <= 250.0; d += 7.0) {
+    EXPECT_NEAR(m.range_for_power(m.power_per_bit(d)), d, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, RadioAlpha,
+                         ::testing::Values(1.0, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace imobif::energy

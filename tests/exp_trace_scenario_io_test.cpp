@@ -1,0 +1,149 @@
+// TraceRecorder and scenario-config binding tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/scenario_io.hpp"
+#include "exp/trace.hpp"
+#include "test_helpers.hpp"
+
+namespace imobif::exp {
+namespace {
+
+using test::default_flow;
+using test::line_positions;
+using test::make_harness;
+
+TEST(TraceRecorder, CapturesDeliveries) {
+  auto h = make_harness(line_positions(3, 300.0));
+  TraceRecorder trace;
+  h.net().set_event_tap(&trace);
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 3));
+  h.net().run_flows(60.0);
+
+  EXPECT_EQ(trace.count(TraceRecorder::Kind::kDelivered), 3u);
+  ASSERT_FALSE(trace.entries().empty());
+  const auto& first = trace.entries().front();
+  EXPECT_EQ(first.kind, TraceRecorder::Kind::kDelivered);
+  EXPECT_EQ(first.node, 2u);
+  EXPECT_EQ(first.flow, 1u);
+  EXPECT_NE(first.detail.find("seq=0"), std::string::npos);
+  EXPECT_GT(first.time_s, 0.0);
+}
+
+TEST(TraceRecorder, CapturesNotifications) {
+  // A long flow over a bent path in the informed mode produces at least
+  // one enable notification (see core_policy_test).
+  std::vector<geom::Vec2> bent{{0, 0}, {130, 50}, {260, -50}, {390, 0}};
+  test::HarnessOptions opts;
+  opts.mode = core::MobilityMode::kInformed;
+  auto h = make_harness(bent, opts);
+  TraceRecorder trace;
+  h.net().set_event_tap(&trace);
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 4000));
+  h.net().run_flows(8192.0 * 4000 / 8192.0 * 4.0);
+
+  EXPECT_GE(trace.count(TraceRecorder::Kind::kNotificationInitiated), 1u);
+  EXPECT_GE(trace.count(TraceRecorder::Kind::kNotificationAtSource), 1u);
+}
+
+TEST(TraceRecorder, CapturesDeaths) {
+  test::HarnessOptions opts;
+  opts.initial_energy_j = 0.2;
+  auto h = make_harness(line_positions(3, 300.0), opts);
+  TraceRecorder trace;
+  h.net().set_event_tap(&trace);
+  h.net().warmup(5.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 1000));
+  h.net().run_flows(300.0, 30.0);
+  EXPECT_GE(trace.count(TraceRecorder::Kind::kNodeDepleted), 1u);
+}
+
+TEST(TraceRecorder, TableRendersAllRows) {
+  auto h = make_harness(line_positions(3, 300.0));
+  TraceRecorder trace;
+  h.net().set_event_tap(&trace);
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 2));
+  h.net().run_flows(60.0);
+  const util::Table table = trace.to_table();
+  EXPECT_EQ(table.row_count(), trace.entries().size());
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("delivered"), std::string::npos);
+}
+
+TEST(TraceRecorder, ClearEmpties) {
+  TraceRecorder trace;
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().set_event_tap(&trace);
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0));
+  h.net().run_flows(30.0);
+  EXPECT_FALSE(trace.entries().empty());
+  trace.clear();
+  EXPECT_TRUE(trace.entries().empty());
+}
+
+TEST(ScenarioIo, AppliesOverrides) {
+  ScenarioParams p;
+  const util::Config config = util::Config::from_string(
+      "k = 0.1\n"
+      "radio_alpha = 3\n"
+      "radio_b = 3e-12\n"
+      "mean_flow_kb = 1024\n"
+      "strategy = max-lifetime\n"
+      "random_energy = true\n"
+      "notification_min_gap = 4\n"
+      "exact_lifetime_split = yes\n"
+      "seed = 77\n");
+  apply_config(config, p);
+  EXPECT_DOUBLE_EQ(p.mobility.k, 0.1);
+  EXPECT_DOUBLE_EQ(p.radio.alpha, 3.0);
+  EXPECT_DOUBLE_EQ(p.radio.b, 3e-12);
+  EXPECT_DOUBLE_EQ(p.mean_flow_bits, 1024.0 * 1024.0 * 8.0);
+  EXPECT_EQ(p.strategy, net::StrategyId::kMaxLifetime);
+  EXPECT_TRUE(p.random_energy);
+  EXPECT_EQ(p.notification_min_gap, 4u);
+  EXPECT_TRUE(p.exact_lifetime_split);
+  EXPECT_EQ(p.seed, 77u);
+}
+
+TEST(ScenarioIo, AbsentKeysKeepDefaults) {
+  ScenarioParams p;
+  const ScenarioParams before = p;
+  apply_config(util::Config::from_string(""), p);
+  EXPECT_DOUBLE_EQ(p.mobility.k, before.mobility.k);
+  EXPECT_EQ(p.node_count, before.node_count);
+  EXPECT_EQ(p.strategy, before.strategy);
+}
+
+TEST(ScenarioIo, UnknownStrategyThrows) {
+  ScenarioParams p;
+  EXPECT_THROW(
+      apply_config(util::Config::from_string("strategy = warp\n"), p),
+      std::invalid_argument);
+}
+
+TEST(ScenarioIo, ConfigStringRoundTrips) {
+  ScenarioParams p;
+  p.mobility.k = 0.1;
+  p.strategy = net::StrategyId::kMaxLifetime;
+  p.exact_lifetime_split = true;
+  p.seed = 123;
+  p.mean_flow_bits = 512.0 * 1024.0 * 8.0;
+
+  ScenarioParams q;  // defaults differ from p
+  apply_config(util::Config::from_string(to_config_string(p)), q);
+  EXPECT_DOUBLE_EQ(q.mobility.k, p.mobility.k);
+  EXPECT_EQ(q.strategy, p.strategy);
+  EXPECT_TRUE(q.exact_lifetime_split);
+  EXPECT_EQ(q.seed, 123u);
+  EXPECT_DOUBLE_EQ(q.mean_flow_bits, p.mean_flow_bits);
+  EXPECT_DOUBLE_EQ(q.radio.b, p.radio.b);
+}
+
+}  // namespace
+}  // namespace imobif::exp

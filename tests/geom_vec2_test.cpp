@@ -1,0 +1,111 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace imobif::geom {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+  Vec2 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(a.cross(a), 0.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, v), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, NormalizedUnitLength) {
+  const Vec2 v{3.0, 4.0};
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+  EXPECT_NEAR(u.y, 0.8, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroStaysZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, LerpEndpointsAndMidpoint) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 20.0};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), midpoint(a, b));
+  EXPECT_EQ(midpoint(a, b), (Vec2{5.0, 10.0}));
+}
+
+TEST(Vec2, AlmostEqual) {
+  EXPECT_TRUE(almost_equal({1.0, 1.0}, {1.0 + 1e-10, 1.0 - 1e-10}));
+  EXPECT_FALSE(almost_equal({1.0, 1.0}, {1.1, 1.0}));
+  EXPECT_TRUE(almost_equal({1.0, 1.0}, {1.05, 1.0}, 0.1));
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2.5};
+  EXPECT_EQ(os.str(), "(1.5, -2.5)");
+}
+
+// Property: the triangle inequality holds for random points.
+TEST(Vec2Property, TriangleInequality) {
+  util::Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec2 a{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    const Vec2 b{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    const Vec2 c{rng.uniform(-100, 100), rng.uniform(-100, 100)};
+    EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c) + 1e-9);
+  }
+}
+
+// Property: lerp(a, b, t) lies on the segment, at the expected distance.
+TEST(Vec2Property, LerpDistanceProportional) {
+  util::Rng rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec2 a{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const Vec2 b{rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const double t = rng.uniform01();
+    const Vec2 p = lerp(a, b, t);
+    EXPECT_NEAR(distance(a, p), t * distance(a, b), 1e-9);
+    EXPECT_NEAR(distance(p, b), (1.0 - t) * distance(a, b), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace imobif::geom

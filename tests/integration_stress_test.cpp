@@ -1,0 +1,128 @@
+// Randomized stress: many simultaneous flows over random topologies under
+// every mobility mode, asserting global invariants that must hold no
+// matter what the protocol machinery does:
+//
+//   * per-node energy conservation (initial = residual + consumed);
+//   * consumption decomposes exactly into tx + move + other;
+//   * delivered bits never exceed emitted bits per flow;
+//   * medium counters are internally consistent;
+//   * simulated time advances monotonically and the run terminates.
+#include <gtest/gtest.h>
+
+#include "exp/trace.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::net {
+namespace {
+
+struct StressCase {
+  std::uint64_t seed;
+  core::MobilityMode mode;
+};
+
+class StressAcrossModes : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(StressAcrossModes, InvariantsHold) {
+  const StressCase param = GetParam();
+  util::Rng rng(param.seed);
+
+  // Random connected-ish topology: nodes uniform in a square sized so the
+  // density is comfortably above the greedy-routing threshold.
+  std::vector<geom::Vec2> positions;
+  const std::size_t n = 40;
+  for (std::size_t i = 0; i < n; ++i) {
+    positions.push_back({rng.uniform(0.0, 600.0), rng.uniform(0.0, 600.0)});
+  }
+  test::HarnessOptions opts;
+  opts.mode = param.mode;
+  opts.initial_energy_j = 50.0;  // some nodes will die mid-run
+  opts.k = 0.3;
+  auto h = test::make_harness(positions, opts);
+  exp::TraceRecorder trace;
+  h.net().set_event_tap(&trace);
+  h.net().warmup(25.0);
+
+  // Several random flows; some pairs may be unroutable — that is part of
+  // the stress (the pump emits, greedy fails, drops count).
+  int started = 0;
+  for (FlowId id = 1; id <= 6; ++id) {
+    FlowSpec spec;
+    spec.id = id;
+    spec.source = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    spec.destination = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    if (spec.source == spec.destination) continue;
+    spec.length_bits = 8192.0 * rng.uniform(1.0, 200.0);
+    spec.strategy = (id % 2 == 0) ? StrategyId::kMaxLifetime
+                                  : StrategyId::kMinTotalEnergy;
+    spec.initially_enabled = (param.mode == core::MobilityMode::kCostUnaware);
+    h.net().start_flow(spec);
+    ++started;
+  }
+  ASSERT_GT(started, 0);
+
+  const double elapsed = h.net().run_flows(2500.0, 60.0);
+  EXPECT_GT(elapsed, 0.0);
+
+  // Energy conservation and decomposition, every node.
+  for (std::size_t i = 0; i < h.net().node_count(); ++i) {
+    const auto& b = h.net().node(static_cast<NodeId>(i)).battery();
+    EXPECT_NEAR(b.initial(), b.residual() + b.consumed_total(), 1e-6);
+    EXPECT_NEAR(b.consumed_total(),
+                b.consumed_transmit() + b.consumed_move() +
+                    b.consumed_other(),
+                1e-6);
+    EXPECT_GE(b.residual(), 0.0);
+  }
+
+  // Flow accounting.
+  for (const FlowProgress* prog : h.net().all_progress()) {
+    EXPECT_LE(prog->delivered_bits, prog->emitted_bits + 1e-9);
+    EXPECT_LE(prog->packets_delivered, prog->packets_emitted);
+    if (prog->completed) {
+      EXPECT_NEAR(prog->delivered_bits, prog->spec.length_bits, 1e-6);
+      ASSERT_TRUE(prog->completion_time.has_value());
+    }
+  }
+
+  // Medium counters: every delivery stems from some transmission.
+  const auto& counters = h.net().medium().counters();
+  EXPECT_LE(counters.dropped_dead + counters.dropped_out_of_range +
+                counters.dropped_unknown,
+            counters.unicasts);
+
+  // Movement bookkeeping agrees between policy and nodes.
+  double node_moved = 0.0;
+  for (std::size_t i = 0; i < h.net().node_count(); ++i) {
+    node_moved += h.net().node(static_cast<NodeId>(i)).total_moved();
+  }
+  EXPECT_NEAR(h.policy->total_distance_moved(), node_moved, 1e-9);
+  if (param.mode == core::MobilityMode::kNoMobility) {
+    EXPECT_DOUBLE_EQ(node_moved, 0.0);
+  }
+
+  // Trace entries are time-ordered.
+  double prev = 0.0;
+  for (const auto& entry : trace.entries()) {
+    EXPECT_GE(entry.time_s, prev);
+    prev = entry.time_s;
+  }
+}
+
+std::vector<StressCase> cases() {
+  std::vector<StressCase> out;
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    for (const auto mode :
+         {core::MobilityMode::kNoMobility, core::MobilityMode::kCostUnaware,
+          core::MobilityMode::kInformed}) {
+      out.push_back({seed, mode});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, StressAcrossModes,
+                         ::testing::ValuesIn(cases()));
+
+}  // namespace
+}  // namespace imobif::net

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "loc/localization.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::loc {
+namespace {
+
+TEST(Multilaterate, ExactWithPerfectRanges) {
+  const geom::Vec2 target{37.0, -12.0};
+  std::vector<RangeSample> samples;
+  for (const geom::Vec2 a :
+       {geom::Vec2{0, 0}, geom::Vec2{100, 0}, geom::Vec2{0, 100}}) {
+    samples.push_back({a, geom::distance(target, a)});
+  }
+  const auto x = multilaterate(samples, {30.0, 30.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(x->x, target.x, 1e-6);
+  EXPECT_NEAR(x->y, target.y, 1e-6);
+  EXPECT_NEAR(range_rms(samples, *x), 0.0, 1e-6);
+}
+
+TEST(Multilaterate, NeedsThreeSamples) {
+  std::vector<RangeSample> samples{{{0, 0}, 5.0}, {{10, 0}, 5.0}};
+  EXPECT_FALSE(multilaterate(samples, {5.0, 0.0}).has_value());
+}
+
+TEST(Multilaterate, CollinearReferencesDegenerate) {
+  // All references on the x-axis: the y-coordinate is unobservable when
+  // the iterate sits on the axis too.
+  std::vector<RangeSample> samples{
+      {{0, 0}, 10.0}, {{10, 0}, 5.0}, {{20, 0}, 10.0}};
+  EXPECT_FALSE(multilaterate(samples, {10.0, 0.0}).has_value());
+}
+
+TEST(Multilaterate, RobustToModerateNoise) {
+  util::Rng rng(5);
+  const geom::Vec2 target{120.0, 80.0};
+  int good = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<RangeSample> samples;
+    geom::Vec2 centroid{0, 0};
+    for (int i = 0; i < 6; ++i) {
+      const geom::Vec2 a{rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)};
+      samples.push_back(
+          {a, geom::distance(target, a) + rng.normal(0.0, 2.0)});
+      centroid += a;
+    }
+    const auto x = multilaterate(samples, centroid / 6.0);
+    if (x.has_value() && geom::distance(*x, target) < 6.0) ++good;
+  }
+  EXPECT_GE(good, 45);  // >= 90% of trials land within 3 sigma
+}
+
+TEST(Multilaterate, StartingOnReferenceStillConverges) {
+  const geom::Vec2 target{50.0, 50.0};
+  std::vector<RangeSample> samples;
+  for (const geom::Vec2 a :
+       {geom::Vec2{0, 0}, geom::Vec2{100, 10}, geom::Vec2{10, 100}}) {
+    samples.push_back({a, geom::distance(target, a)});
+  }
+  const auto x = multilaterate(samples, samples[0].reference);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(geom::distance(*x, target), 0.0, 1e-5);
+}
+
+std::vector<geom::Vec2> grid_field(std::size_t per_side, double spacing) {
+  std::vector<geom::Vec2> out;
+  for (std::size_t r = 0; r < per_side; ++r) {
+    for (std::size_t c = 0; c < per_side; ++c) {
+      out.push_back({spacing * static_cast<double>(c),
+                     spacing * static_cast<double>(r)});
+    }
+  }
+  return out;
+}
+
+TEST(LocalizeNetwork, PerfectRangesRecoverEveryPosition) {
+  const auto truth = grid_field(5, 80.0);  // 25 nodes, 80 m pitch
+  std::vector<bool> anchors(truth.size(), false);
+  // Four corner anchors plus one center anchor.
+  anchors[0] = anchors[4] = anchors[20] = anchors[24] = anchors[12] = true;
+
+  LocalizationConfig config;
+  config.range_m = 180.0;
+  config.noise_sigma_m = 0.0;
+  const auto result = localize_network(truth, anchors, config);
+
+  EXPECT_EQ(result.localized_count, truth.size());
+  EXPECT_LT(result.mean_error_m, 1e-4);
+  EXPECT_LT(result.max_error_m, 1e-3);
+}
+
+TEST(LocalizeNetwork, PropagatesBeyondAnchorRange) {
+  // A ladder advancing rightward from three anchors at the left end:
+  // every rung sees >= 3 earlier references, so estimates propagate node
+  // by node until the far end — which is well outside every anchor's
+  // ranging radius — is localized too.
+  std::vector<geom::Vec2> truth{{0, 0},    {0, 80},   {80, 0},
+                                {80, 80},  {160, 0},  {160, 80},
+                                {240, 0},  {240, 80}, {320, 40}};
+  std::vector<bool> anchors(truth.size(), false);
+  anchors[0] = anchors[1] = anchors[2] = true;
+  LocalizationConfig config;
+  config.range_m = 180.0;
+  const auto result = localize_network(truth, anchors, config);
+  // Node 8 at x = 320 is > 180 m from every anchor yet localized.
+  ASSERT_TRUE(result.estimates[8].has_value());
+  EXPECT_LT(geom::distance(*result.estimates[8], truth[8]), 1e-3);
+  EXPECT_EQ(result.localized_count, truth.size());
+}
+
+TEST(LocalizeNetwork, IsolatedNodesStayUnlocalized) {
+  std::vector<geom::Vec2> truth{{0, 0}, {0, 100}, {100, 0}, {5000, 5000}};
+  std::vector<bool> anchors{true, true, true, false};
+  LocalizationConfig config;
+  config.range_m = 180.0;
+  const auto result = localize_network(truth, anchors, config);
+  EXPECT_FALSE(result.estimates[3].has_value());
+  EXPECT_EQ(result.localized_count, 3u);
+}
+
+TEST(LocalizeNetwork, NoiseDegradesGracefully) {
+  const auto truth = grid_field(5, 80.0);
+  std::vector<bool> anchors(truth.size(), false);
+  anchors[0] = anchors[4] = anchors[20] = anchors[24] = anchors[12] = true;
+
+  LocalizationConfig quiet;
+  quiet.noise_sigma_m = 0.5;
+  quiet.seed = 3;
+  LocalizationConfig loud = quiet;
+  loud.noise_sigma_m = 5.0;
+
+  const auto a = localize_network(truth, anchors, quiet);
+  const auto b = localize_network(truth, anchors, loud);
+  EXPECT_GT(a.localized_count, truth.size() - 3);
+  EXPECT_LT(a.mean_error_m, b.mean_error_m);
+  EXPECT_LT(a.mean_error_m, 3.0);
+}
+
+TEST(LocalizeNetwork, DeterministicInSeed) {
+  const auto truth = grid_field(4, 90.0);
+  std::vector<bool> anchors(truth.size(), false);
+  anchors[0] = anchors[3] = anchors[12] = anchors[15] = true;
+  LocalizationConfig config;
+  config.noise_sigma_m = 2.0;
+  config.seed = 11;
+  const auto a = localize_network(truth, anchors, config);
+  const auto b = localize_network(truth, anchors, config);
+  EXPECT_DOUBLE_EQ(a.mean_error_m, b.mean_error_m);
+  EXPECT_EQ(a.localized_count, b.localized_count);
+}
+
+TEST(LocalizeNetwork, Validation) {
+  std::vector<geom::Vec2> truth{{0, 0}};
+  std::vector<bool> anchors{true, false};
+  LocalizationConfig config;
+  EXPECT_THROW(localize_network(truth, anchors, config),
+               std::invalid_argument);
+  anchors = {true};
+  config.range_m = 0.0;
+  EXPECT_THROW(localize_network(truth, anchors, config),
+               std::invalid_argument);
+}
+
+TEST(RngNormal, MomentsMatch) {
+  util::Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal(3.0, 2.0);
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imobif::loc

@@ -1,0 +1,125 @@
+#include "net/aodv_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace imobif::net {
+namespace {
+
+using test::line_positions;
+using test::make_harness;
+
+struct AodvFixture {
+  test::Harness h;
+  AodvRouting* aodv = nullptr;
+
+  explicit AodvFixture(std::vector<geom::Vec2> positions)
+      : h(make_harness(std::move(positions))) {
+    auto routing = std::make_unique<AodvRouting>(h.net().medium());
+    aodv = routing.get();
+    h.net().set_routing(std::move(routing));
+  }
+
+  void discover(NodeId origin, NodeId target) {
+    aodv->prepare_route(h.net().node(origin), target);
+    h.net().simulator().run(h.net().simulator().now() +
+                            sim::Time::from_seconds(5.0));
+  }
+};
+
+TEST(Aodv, NoRouteBeforeDiscovery) {
+  AodvFixture f(line_positions(4, 450.0));
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(0), 3), kInvalidNode);
+}
+
+TEST(Aodv, DiscoveryInstallsForwardRoute) {
+  AodvFixture f(line_positions(4, 450.0));
+  f.discover(0, 3);
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(0), 3), 1u);
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(1), 3), 2u);
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(2), 3), 3u);
+}
+
+TEST(Aodv, DiscoveryInstallsReverseRoute) {
+  AodvFixture f(line_positions(4, 450.0));
+  f.discover(0, 3);
+  // RREQ flooding installed routes back to the origin everywhere it went.
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(3), 0), 2u);
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(2), 0), 1u);
+}
+
+TEST(Aodv, RouteInfoHopCounts) {
+  AodvFixture f(line_positions(4, 450.0));
+  f.discover(0, 3);
+  const auto* route = f.aodv->route(0, 3);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->hop_count, 3u);
+  const auto* mid = f.aodv->route(1, 3);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->hop_count, 2u);
+}
+
+TEST(Aodv, DuplicateRequestsSuppressed) {
+  AodvFixture f(line_positions(4, 450.0));
+  f.discover(0, 3);
+  const auto rreq_first = f.aodv->rreq_sent();
+  // Re-discovery with an existing route is a no-op.
+  f.discover(0, 3);
+  EXPECT_EQ(f.aodv->rreq_sent(), rreq_first);
+}
+
+TEST(Aodv, FloodingIsBoundedByTopology) {
+  AodvFixture f(line_positions(5, 600.0));
+  f.discover(0, 4);
+  // Each of the 5 nodes forwards a given RREQ at most once.
+  EXPECT_LE(f.aodv->rreq_sent(), 5u);
+  EXPECT_GE(f.aodv->rrep_sent(), 1u);
+}
+
+TEST(Aodv, WorksOnBranchedTopology) {
+  // Two disjoint relay chains between 0 and 4:
+  //   upper: 0 - 1 - 3 - 4
+  //   lower: 0 - 2 - 5 - 4
+  AodvFixture f({{0, 0},
+                 {120, 90},
+                 {120, -90},
+                 {280, 90},
+                 {400, 0},
+                 {280, -90}});
+  f.discover(0, 4);
+  const NodeId hop = f.aodv->next_hop(f.h.net().node(0), 4);
+  EXPECT_TRUE(hop == 1u || hop == 2u);
+  // The route actually leads to the target.
+  NodeId cur = 0;
+  int steps = 0;
+  while (cur != 4 && steps++ < 6) {
+    cur = f.aodv->next_hop(f.h.net().node(cur), 4);
+    ASSERT_NE(cur, kInvalidNode);
+  }
+  EXPECT_EQ(cur, 4u);
+}
+
+TEST(Aodv, UnreachableTargetYieldsNoRoute) {
+  AodvFixture f({{0, 0}, {150, 0}, {1000, 0}});
+  f.discover(0, 2);
+  EXPECT_EQ(f.aodv->next_hop(f.h.net().node(0), 2), kInvalidNode);
+}
+
+TEST(Aodv, ControlTrafficConsumesEnergy) {
+  AodvFixture f(line_positions(4, 450.0));
+  const double before = f.h.net().node(1).battery().residual();
+  f.discover(0, 3);
+  EXPECT_LT(f.h.net().node(1).battery().residual(), before);
+}
+
+TEST(Aodv, DataFlowRunsOverDiscoveredRoutes) {
+  AodvFixture f(line_positions(4, 450.0));
+  f.discover(0, 3);
+  f.h.net().start_flow(test::default_flow(f.h.net(), 8192.0 * 2));
+  f.h.net().run_flows(30.0);
+  EXPECT_TRUE(f.h.net().progress(1).completed);
+}
+
+}  // namespace
+}  // namespace imobif::net

@@ -1,0 +1,141 @@
+#include "net/flow_groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace imobif::net {
+namespace {
+
+using test::make_harness;
+
+// A fan topology: source 0 reaches destinations 4 and 5 through the shared
+// relays 1 and 2; destination 6 hangs off relay 2 as well.
+//
+//        0 -- 1 -- 2 -- 4
+//                   \-- 5 (below)
+std::vector<geom::Vec2> fan() {
+  return {{0, 0},     {150, 0},  {300, 0},
+          {450, 80},  {450, 0},  {450, -80}};
+}
+
+TEST(FlowGroups, OneToManyDeliversToEveryDestination) {
+  auto h = make_harness(fan());
+  h.net().warmup(25.0);
+  OneToManySpec spec;
+  spec.base_id = 10;
+  spec.source = 0;
+  spec.destinations = {3, 4, 5};
+  spec.length_bits_each = 8192.0 * 4;
+  const auto ids = start_one_to_many(h.net(), spec);
+  EXPECT_EQ(ids, (std::vector<FlowId>{10, 11, 12}));
+  h.net().run_flows(120.0);
+
+  EXPECT_TRUE(group_complete(h.net(), ids));
+  EXPECT_DOUBLE_EQ(group_delivered_bits(h.net(), ids), 3 * 8192.0 * 4);
+  for (const FlowId id : ids) {
+    EXPECT_TRUE(h.net().progress(id).completed);
+  }
+}
+
+TEST(FlowGroups, OneToManySharesTrunkRelays) {
+  auto h = make_harness(fan());
+  h.net().warmup(25.0);
+  OneToManySpec spec;
+  spec.base_id = 10;
+  spec.source = 0;
+  spec.destinations = {3, 4, 5};
+  spec.length_bits_each = 8192.0 * 4;
+  const auto ids = start_one_to_many(h.net(), spec);
+  h.net().run_flows(120.0);
+
+  const auto trunk = shared_relays(h.net(), ids, /*min_flows=*/3);
+  // Relays 1 and 2 carry all three member flows.
+  EXPECT_EQ(trunk, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(FlowGroups, OneToManyValidation) {
+  auto h = make_harness(fan());
+  OneToManySpec spec;
+  spec.base_id = 10;
+  spec.source = 0;
+  spec.length_bits_each = 8192.0;
+  spec.destinations = {};
+  EXPECT_THROW(start_one_to_many(h.net(), spec), std::invalid_argument);
+  spec.destinations = {3, 3};
+  EXPECT_THROW(start_one_to_many(h.net(), spec), std::invalid_argument);
+  spec.destinations = {0, 3};
+  EXPECT_THROW(start_one_to_many(h.net(), spec), std::invalid_argument);
+  spec.destinations = {3};
+  spec.base_id = kInvalidFlow;
+  EXPECT_THROW(start_one_to_many(h.net(), spec), std::invalid_argument);
+}
+
+TEST(FlowGroups, ManyToOneConverges) {
+  auto h = make_harness(fan());
+  h.net().warmup(25.0);
+  ManyToOneSpec spec;
+  spec.base_id = 20;
+  spec.sources = {3, 4, 5};
+  spec.sink = 0;
+  spec.length_bits_each = 8192.0 * 3;
+  spec.strategy = StrategyId::kMaxLifetime;
+  const auto ids = start_many_to_one(h.net(), spec);
+  h.net().run_flows(120.0);
+
+  EXPECT_TRUE(group_complete(h.net(), ids));
+  // The sink's flow table has an entry per member flow.
+  for (const FlowId id : ids) {
+    EXPECT_NE(h.net().node(0).flows().find(id), nullptr);
+  }
+}
+
+TEST(FlowGroups, ManyToOneValidation) {
+  auto h = make_harness(fan());
+  ManyToOneSpec spec;
+  spec.base_id = 20;
+  spec.sink = 0;
+  spec.length_bits_each = 8192.0;
+  spec.sources = {0, 3};
+  EXPECT_THROW(start_many_to_one(h.net(), spec), std::invalid_argument);
+}
+
+TEST(FlowGroups, GroupNotificationsAggregates) {
+  auto h = make_harness(fan());
+  h.net().warmup(25.0);
+  OneToManySpec spec;
+  spec.base_id = 10;
+  spec.source = 0;
+  spec.destinations = {3, 4};
+  spec.length_bits_each = 8192.0 * 2;
+  const auto ids = start_one_to_many(h.net(), spec);
+  h.net().run_flows(60.0);
+  // Short flows: no destination asks for mobility.
+  EXPECT_EQ(group_notifications(h.net(), ids), 0u);
+}
+
+TEST(FlowGroups, BlendedRelayServesBothBranches) {
+  // With blending on, the shared relay's movement target is a compromise;
+  // the flows still complete and the relay ends between the branch lines.
+  test::HarnessOptions opts;
+  opts.mode = core::MobilityMode::kCostUnaware;
+  opts.k = 0.0;
+  auto h = make_harness(fan(), opts);
+  h.policy->set_multi_flow_blending(true);
+  h.net().warmup(25.0);
+  OneToManySpec spec;
+  spec.base_id = 10;
+  spec.source = 0;
+  spec.destinations = {3, 5};  // symmetric branches up/down
+  spec.length_bits_each = 8192.0 * 500;
+  spec.initially_enabled = true;
+  const auto ids = start_one_to_many(h.net(), spec);
+  h.net().run_flows(2500.0);
+  EXPECT_TRUE(group_complete(h.net(), ids));
+  // Relay 2 feeds both branches symmetrically: blending keeps it near
+  // y = 0 instead of oscillating toward either branch.
+  EXPECT_NEAR(h.net().node(2).position().y, 0.0, 15.0);
+}
+
+}  // namespace
+}  // namespace imobif::net

@@ -1,0 +1,115 @@
+#include "net/greedy_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace imobif::net {
+namespace {
+
+using test::line_positions;
+using test::make_harness;
+
+// Populate every node's neighbor table from ground truth.
+void sync_neighbors(Network& network) {
+  network.start_hellos();
+  network.simulator().run(network.simulator().now() +
+                          sim::Time::from_seconds(15.0));
+}
+
+TEST(GreedyRouting, ForwardsToNeighborClosestToDest) {
+  auto h = make_harness(line_positions(4, 450.0));  // 0-150-300-450
+  sync_neighbors(h.net());
+  GreedyRouting routing(h.net().medium());
+  EXPECT_EQ(routing.next_hop(h.net().node(0), 3), 1u);
+  EXPECT_EQ(routing.next_hop(h.net().node(1), 3), 2u);
+}
+
+TEST(GreedyRouting, DeliversDirectlyWhenDestInRange) {
+  auto h = make_harness(line_positions(4, 450.0));
+  sync_neighbors(h.net());
+  GreedyRouting routing(h.net().medium());
+  EXPECT_EQ(routing.next_hop(h.net().node(2), 3), 3u);
+}
+
+TEST(GreedyRouting, DeadEndReturnsInvalid) {
+  // Node 1 is a local optimum: its only neighbor (0) is farther from dest.
+  auto h = make_harness({{0, 0}, {150, 0}, {900, 0}});
+  sync_neighbors(h.net());
+  GreedyRouting routing(h.net().medium());
+  EXPECT_EQ(routing.next_hop(h.net().node(1), 2), kInvalidNode);
+}
+
+TEST(GreedyRouting, NoBackwardProgress) {
+  // A neighbor farther from the destination than self is never chosen.
+  auto h = make_harness({{100, 0}, {0, 0}, {250, 0}});
+  sync_neighbors(h.net());
+  GreedyRouting routing(h.net().medium());
+  EXPECT_EQ(routing.next_hop(h.net().node(0), 2), 2u);  // direct, in range
+}
+
+TEST(GreedyRouting, EmptyNeighborTableFails) {
+  auto h = make_harness(line_positions(4, 450.0));
+  GreedyRouting routing(h.net().medium());
+  // No hellos ran: tables empty.
+  EXPECT_EQ(routing.next_hop(h.net().node(0), 3), kInvalidNode);
+}
+
+TEST(GreedyPathOracle, FindsMultiHopPath) {
+  auto h = make_harness(line_positions(5, 600.0));
+  const auto path = greedy_path_oracle(h.net().medium(), 0, 4);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(GreedyPathOracle, DirectWhenInRange) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  const auto path = greedy_path_oracle(h.net().medium(), 0, 1);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(GreedyPathOracle, DeadEndReturnsEmpty) {
+  auto h = make_harness({{0, 0}, {150, 0}, {900, 0}});
+  EXPECT_TRUE(greedy_path_oracle(h.net().medium(), 0, 2).empty());
+}
+
+TEST(GreedyPathOracle, SkipsDeadNodes) {
+  auto h = make_harness(line_positions(5, 600.0));
+  h.net().node(2).battery().draw(1e9, energy::DrawKind::kOther);
+  // With relay 2 dead the chain is broken (hops of 300 m exceed range).
+  EXPECT_TRUE(greedy_path_oracle(h.net().medium(), 0, 4).empty());
+}
+
+TEST(LineBiasedGreedy, PrefersOnLineRelay) {
+  // Two candidate relays make identical forward progress; the line-biased
+  // variant must pick the one on the source-destination line.
+  //   src(0,0) -> dest(300,0); A=(150,0) on-line, B=(160,50) off-line.
+  // B sits slightly closer to the destination, so plain greedy picks B
+  // while the line-biased variant picks A.
+  auto h = make_harness({{0, 0}, {150, 0}, {160, 50}, {300, 0}});
+  sync_neighbors(h.net());
+  GreedyRouting plain(h.net().medium());
+  LineBiasedGreedyRouting biased(h.net().medium(), 2.0);
+  const NodeId plain_pick = plain.next_hop(h.net().node(0), 3);
+  const NodeId biased_pick = biased.next_hop(h.net().node(0), 3);
+  EXPECT_EQ(biased_pick, 1u);
+  EXPECT_EQ(plain_pick, 2u);
+}
+
+TEST(LineBiasedGreedy, ZeroWeightMatchesPlainGreedy) {
+  auto h = make_harness({{0, 0}, {150, 0}, {160, 50}, {300, 0}});
+  sync_neighbors(h.net());
+  GreedyRouting plain(h.net().medium());
+  LineBiasedGreedyRouting biased(h.net().medium(), 0.0);
+  EXPECT_EQ(biased.next_hop(h.net().node(0), 3),
+            plain.next_hop(h.net().node(0), 3));
+}
+
+TEST(LineBiasedGreedy, StillRequiresProgress) {
+  auto h = make_harness({{0, 0}, {150, 0}, {900, 0}});
+  sync_neighbors(h.net());
+  LineBiasedGreedyRouting biased(h.net().medium(), 2.0);
+  EXPECT_EQ(biased.next_hop(h.net().node(1), 2), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace imobif::net

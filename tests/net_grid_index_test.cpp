@@ -1,0 +1,127 @@
+#include "net/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace imobif::net {
+namespace {
+
+TEST(GridIndex, RejectsBadCellSize) {
+  EXPECT_THROW(GridIndex(0.0), std::invalid_argument);
+  EXPECT_THROW(GridIndex(-1.0), std::invalid_argument);
+}
+
+TEST(GridIndex, InsertAndQuery) {
+  GridIndex index(100.0);
+  index.insert(1, {10.0, 10.0});
+  index.insert(2, {50.0, 10.0});
+  index.insert(3, {500.0, 500.0});
+  const auto hits = index.query({0.0, 0.0}, 80.0);
+  const std::set<GridIndex::Id> ids(hits.begin(), hits.end());
+  EXPECT_EQ(ids, (std::set<GridIndex::Id>{1, 2}));
+}
+
+TEST(GridIndex, DuplicateInsertThrows) {
+  GridIndex index(100.0);
+  index.insert(1, {0.0, 0.0});
+  EXPECT_THROW(index.insert(1, {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(GridIndex, RadiusIsInclusive) {
+  GridIndex index(100.0);
+  index.insert(1, {100.0, 0.0});
+  EXPECT_EQ(index.query({0.0, 0.0}, 100.0).size(), 1u);
+  EXPECT_EQ(index.query({0.0, 0.0}, 99.999).size(), 0u);
+}
+
+TEST(GridIndex, UpdateMovesAcrossCells) {
+  GridIndex index(100.0);
+  index.insert(7, {10.0, 10.0});
+  index.update(7, {950.0, 950.0});
+  EXPECT_TRUE(index.query({0.0, 0.0}, 50.0).empty());
+  const auto hits = index.query({940.0, 940.0}, 50.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+}
+
+TEST(GridIndex, UpdateWithinCellKeepsEntry) {
+  GridIndex index(100.0);
+  index.insert(7, {10.0, 10.0});
+  index.update(7, {20.0, 15.0});
+  const auto hits = index.query({20.0, 15.0}, 1.0);
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST(GridIndex, UpdateUnknownThrows) {
+  GridIndex index(100.0);
+  EXPECT_THROW(index.update(5, {0.0, 0.0}), std::out_of_range);
+}
+
+TEST(GridIndex, RemoveIsIdempotent) {
+  GridIndex index(100.0);
+  index.insert(3, {0.0, 0.0});
+  index.remove(3);
+  EXPECT_FALSE(index.contains(3));
+  EXPECT_EQ(index.size(), 0u);
+  index.remove(3);  // no-op
+  EXPECT_TRUE(index.query({0.0, 0.0}, 100.0).empty());
+}
+
+TEST(GridIndex, NegativeCoordinatesWork) {
+  GridIndex index(100.0);
+  index.insert(1, {-350.0, -220.0});
+  const auto hits = index.query({-340.0, -210.0}, 20.0);
+  ASSERT_EQ(hits.size(), 1u);
+}
+
+TEST(GridIndex, LargerRadiusThanCellWidens) {
+  GridIndex index(50.0);
+  index.insert(1, {180.0, 0.0});
+  const auto hits = index.query({0.0, 0.0}, 200.0);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+// Property: query() agrees with brute force over random insert / move /
+// remove workloads.
+TEST(GridIndexProperty, MatchesBruteForce) {
+  util::Rng rng(99);
+  GridIndex index(180.0);
+  std::unordered_map<GridIndex::Id, geom::Vec2> truth;
+
+  for (GridIndex::Id id = 0; id < 200; ++id) {
+    const geom::Vec2 p{rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)};
+    index.insert(id, p);
+    truth[id] = p;
+  }
+  for (int step = 0; step < 500; ++step) {
+    const auto op = rng.uniform_int(0, 2);
+    const auto id = static_cast<GridIndex::Id>(rng.uniform_int(0, 199));
+    if (op == 0 && truth.count(id)) {
+      const geom::Vec2 p{rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)};
+      index.update(id, p);
+      truth[id] = p;
+    } else if (op == 1 && truth.count(id)) {
+      index.remove(id);
+      truth.erase(id);
+    } else {
+      const geom::Vec2 center{rng.uniform(-1000, 1000),
+                              rng.uniform(-1000, 1000)};
+      const double radius = rng.uniform(10.0, 400.0);
+      auto hits = index.query(center, radius);
+      std::sort(hits.begin(), hits.end());
+      std::vector<GridIndex::Id> expected;
+      for (const auto& [tid, pos] : truth) {
+        if (geom::distance(pos, center) <= radius) expected.push_back(tid);
+      }
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(hits, expected) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace imobif::net

@@ -1,0 +1,176 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace imobif::net {
+namespace {
+
+using test::default_flow;
+using test::line_positions;
+using test::make_harness;
+
+TEST(Network, AddNodeAssignsDenseIds) {
+  auto h = make_harness({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_EQ(h.net().node_count(), 3u);
+  EXPECT_EQ(h.net().node(0).id(), 0u);
+  EXPECT_EQ(h.net().node(2).id(), 2u);
+  EXPECT_THROW(h.net().node(3), std::out_of_range);
+}
+
+TEST(Network, StartFlowValidatesSpec) {
+  auto h = make_harness(line_positions(3, 300.0));
+  FlowSpec bad = default_flow(h.net(), 8192.0);
+  bad.id = kInvalidFlow;
+  EXPECT_THROW(h.net().start_flow(bad), std::invalid_argument);
+
+  bad = default_flow(h.net(), 8192.0);
+  bad.source = bad.destination;
+  EXPECT_THROW(h.net().start_flow(bad), std::invalid_argument);
+
+  bad = default_flow(h.net(), 0.0);
+  EXPECT_THROW(h.net().start_flow(bad), std::invalid_argument);
+
+  FlowSpec good = default_flow(h.net(), 8192.0);
+  h.net().start_flow(good);
+  EXPECT_THROW(h.net().start_flow(good), std::invalid_argument);  // dup id
+}
+
+TEST(Network, FlowEmitsExpectedPacketCount) {
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  FlowSpec spec = default_flow(h.net(), 8192.0 * 5);
+  h.net().start_flow(spec);
+  h.net().run_flows(60.0);
+  const FlowProgress& prog = h.net().progress(spec.id);
+  EXPECT_EQ(prog.packets_emitted, 5u);
+  EXPECT_EQ(prog.packets_delivered, 5u);
+  EXPECT_TRUE(prog.completed);
+  EXPECT_TRUE(prog.completion_time.has_value());
+}
+
+TEST(Network, PartialFinalPacket) {
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  FlowSpec spec = default_flow(h.net(), 8192.0 * 2.5);
+  h.net().start_flow(spec);
+  h.net().run_flows(60.0);
+  const FlowProgress& prog = h.net().progress(spec.id);
+  EXPECT_EQ(prog.packets_emitted, 3u);  // 2 full + 1 half packet
+  EXPECT_TRUE(prog.completed);
+  EXPECT_DOUBLE_EQ(prog.delivered_bits, 8192.0 * 2.5);
+}
+
+TEST(Network, FlowPacingMatchesRate) {
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  const double start_s = h.net().simulator().now().seconds();
+  FlowSpec spec = default_flow(h.net(), 8192.0 * 10);  // 10 packets at 1/s
+  h.net().start_flow(spec);
+  h.net().run_flows(120.0);
+  const FlowProgress& prog = h.net().progress(spec.id);
+  ASSERT_TRUE(prog.completion_time.has_value());
+  const double elapsed = prog.completion_time->seconds() - start_s;
+  EXPECT_NEAR(elapsed, 10.0, 0.5);  // 10 x 1 s intervals + prop delays
+}
+
+TEST(Network, RunFlowsStopsOnCompletion) {
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0));
+  const double elapsed = h.net().run_flows(10000.0);
+  EXPECT_LT(elapsed, 100.0);  // returned long before the horizon
+  EXPECT_TRUE(h.net().all_flows_complete());
+}
+
+TEST(Network, StallDetectionEndsRun) {
+  // Break the path by killing the middle relay: the flow can never finish,
+  // and run_flows must give up after the stall window.
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 100));
+  const double elapsed = h.net().run_flows(10000.0, /*stall_window_s=*/30.0);
+  EXPECT_FALSE(h.net().progress(1).completed);
+  EXPECT_LT(elapsed, 200.0);
+}
+
+TEST(Network, FirstDeathRecorded) {
+  test::HarnessOptions opts;
+  opts.initial_energy_j = 0.2;  // relays die quickly
+  auto h = make_harness(line_positions(3, 300.0), opts);
+  h.net().warmup(5.0);
+  EXPECT_FALSE(h.net().first_death_time().has_value());
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 1000));
+  h.net().run_flows(300.0, 30.0);
+  EXPECT_TRUE(h.net().first_death_time().has_value());
+  EXPECT_GT(h.net().dead_node_count(), 0u);
+}
+
+TEST(Network, StopOnFirstDeathEndsRunImmediately) {
+  test::HarnessOptions opts;
+  opts.initial_energy_j = 0.2;
+  auto h = make_harness(line_positions(3, 300.0), opts);
+  h.net().set_stop_on_first_death(true);
+  h.net().warmup(5.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 1000));
+  h.net().run_flows(5000.0, 1000.0);
+  ASSERT_TRUE(h.net().first_death_time().has_value());
+  // The run ended at (or just after) the death, not at the stall window.
+  EXPECT_LE((h.net().simulator().now() - *h.net().first_death_time())
+                .seconds(),
+            6.0);
+}
+
+TEST(Network, EnergyAccountingSumsNodeBatteries) {
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 4));
+  h.net().run_flows(60.0);
+  double tx = 0.0, move = 0.0, total = 0.0;
+  for (NodeId id = 0; id < 3; ++id) {
+    tx += h.net().node(id).battery().consumed_transmit();
+    move += h.net().node(id).battery().consumed_move();
+    total += h.net().node(id).battery().consumed_total();
+  }
+  EXPECT_DOUBLE_EQ(h.net().total_transmit_energy(), tx);
+  EXPECT_DOUBLE_EQ(h.net().total_movement_energy(), move);
+  EXPECT_DOUBLE_EQ(h.net().total_consumed_energy(), total);
+  EXPECT_GT(tx, 0.0);
+}
+
+TEST(Network, PositionsSnapshot) {
+  auto h = make_harness({{0, 0}, {5, 7}});
+  const auto pos = h.net().positions();
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[1], (geom::Vec2{5, 7}));
+}
+
+TEST(Network, ProgressUnknownFlowThrows) {
+  auto h = make_harness({{0, 0}, {5, 7}});
+  EXPECT_THROW(h.net().progress(99), std::out_of_range);
+}
+
+TEST(Network, AllProgressListsFlows) {
+  auto h = make_harness(line_positions(3, 300.0));
+  h.net().warmup(25.0);
+  FlowSpec a = default_flow(h.net(), 8192.0);
+  FlowSpec b = default_flow(h.net(), 8192.0);
+  b.id = 2;
+  b.source = 2;
+  b.destination = 0;
+  h.net().start_flow(a);
+  h.net().start_flow(b);
+  EXPECT_EQ(h.net().all_progress().size(), 2u);
+  h.net().run_flows(60.0);
+  EXPECT_TRUE(h.net().all_flows_complete());
+}
+
+TEST(Network, EmptyNetworkFlowsComplete) {
+  auto h = make_harness({{0, 0}, {1, 1}});
+  EXPECT_TRUE(h.net().all_flows_complete());
+}
+
+}  // namespace
+}  // namespace imobif::net

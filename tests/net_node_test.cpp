@@ -1,0 +1,195 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace imobif::net {
+namespace {
+
+using test::default_flow;
+using test::line_positions;
+using test::make_harness;
+
+TEST(Node, RequiresCoreServices) {
+  Node::Services empty;
+  EXPECT_THROW(Node(0, {0, 0}, 1.0, empty), std::invalid_argument);
+}
+
+TEST(Node, HelloPopulatesNeighborTables) {
+  auto h = make_harness(line_positions(3, 300.0));  // hops of 150 m
+  h.net().start_hellos();
+  h.net().simulator().run(sim::Time::from_seconds(15.0));
+  const auto now = h.net().simulator().now();
+  // Adjacent nodes (150 m < 180 m range) know each other; the ends do not.
+  EXPECT_TRUE(h.net().node(1).neighbors().find(0, now).has_value());
+  EXPECT_TRUE(h.net().node(1).neighbors().find(2, now).has_value());
+  EXPECT_FALSE(h.net().node(0).neighbors().find(2, now).has_value());
+}
+
+TEST(Node, HelloCarriesPositionAndEnergy) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  h.net().node(0).battery().draw(500.0, energy::DrawKind::kOther);
+  h.net().node(0).send_hello_now();
+  h.net().simulator().run();
+  const auto info =
+      h.net().node(1).neighbors().find(0, h.net().simulator().now());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->position, (geom::Vec2{0, 0}));
+  EXPECT_DOUBLE_EQ(info->residual_energy, 1500.0);
+}
+
+TEST(Node, HelloEnergyChargedWhenConfigured) {
+  test::HarnessOptions opts;
+  opts.charge_hello_energy = true;
+  auto h = make_harness({{0, 0}, {100, 0}}, opts);
+  const double before = h.net().node(0).battery().residual();
+  h.net().node(0).send_hello_now();
+  EXPECT_LT(h.net().node(0).battery().residual(), before);
+}
+
+TEST(Node, HelloEnergyFreeByDefaultInTests) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  const double before = h.net().node(0).battery().residual();
+  h.net().node(0).send_hello_now();
+  EXPECT_DOUBLE_EQ(h.net().node(0).battery().residual(), before);
+}
+
+TEST(Node, StartStopHello) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& n = h.net().node(0);
+  n.start_hello();
+  EXPECT_TRUE(n.hello_active());
+  n.stop_hello();
+  EXPECT_FALSE(n.hello_active());
+  h.net().simulator().run(sim::Time::from_seconds(60.0));
+  EXPECT_FALSE(h.net()
+                   .node(1)
+                   .neighbors()
+                   .find(0, h.net().simulator().now())
+                   .has_value());
+}
+
+TEST(Node, TransmitChargesDistanceDependentEnergy) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& src = h.net().node(0);
+  Packet pkt;
+  pkt.type = PacketType::kHello;
+  pkt.sender = SenderStamp{src.id(), src.position(), src.battery().residual()};
+  pkt.link_dest = 1;
+  pkt.size_bits = 8192.0;
+  const double before = src.battery().residual();
+  EXPECT_TRUE(src.transmit(pkt, 1, {100, 0}));
+  const double expected =
+      src.radio().transmit_energy(100.0, 8192.0);
+  EXPECT_NEAR(before - src.battery().residual(), expected, 1e-12);
+  EXPECT_NEAR(src.battery().consumed_transmit(),
+              before - src.battery().residual(), 1e-9);
+}
+
+TEST(Node, TransmitFailsWhenEnergyInsufficient) {
+  test::HarnessOptions opts;
+  opts.initial_energy_j = 1e-9;
+  auto h = make_harness({{0, 0}, {100, 0}}, opts);
+  Node& src = h.net().node(0);
+  Packet pkt;
+  pkt.type = PacketType::kHello;
+  pkt.link_dest = 1;
+  pkt.size_bits = 8192.0;
+  EXPECT_FALSE(src.transmit(pkt, 1, {100, 0}));
+  EXPECT_TRUE(src.battery().depleted());
+  EXPECT_FALSE(src.alive());
+}
+
+TEST(Node, MoveTowardsBoundedStep) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& n = h.net().node(0);
+  const double moved = n.move_towards({10.0, 0.0}, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(moved, 1.0);
+  EXPECT_EQ(n.position(), (geom::Vec2{1.0, 0.0}));
+  EXPECT_DOUBLE_EQ(n.battery().consumed_move(), 0.5);
+  EXPECT_DOUBLE_EQ(n.total_moved(), 1.0);
+}
+
+TEST(Node, MoveTowardsReachesNearTarget) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& n = h.net().node(0);
+  const double moved = n.move_towards({0.4, 0.0}, 1.0, 0.5);
+  EXPECT_NEAR(moved, 0.4, 1e-12);
+  EXPECT_NEAR(n.position().x, 0.4, 1e-12);
+}
+
+TEST(Node, MoveTruncatedByBattery) {
+  test::HarnessOptions opts;
+  opts.initial_energy_j = 0.3;  // can afford 0.6 m at 0.5 J/m
+  auto h = make_harness({{0, 0}, {100, 0}}, opts);
+  Node& n = h.net().node(0);
+  const double moved = n.move_towards({10.0, 0.0}, 1.0, 0.5);
+  EXPECT_NEAR(moved, 0.6, 1e-9);
+  EXPECT_TRUE(n.battery().depleted());
+  // Dead nodes do not move further.
+  EXPECT_DOUBLE_EQ(n.move_towards({10.0, 0.0}, 1.0, 0.5), 0.0);
+}
+
+TEST(Node, FreeMovementWithZeroCost) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& n = h.net().node(0);
+  const double before = n.battery().residual();
+  n.move_towards({1.0, 0.0}, 2.0, 0.0);
+  EXPECT_DOUBLE_EQ(n.battery().residual(), before);
+  EXPECT_EQ(n.position(), (geom::Vec2{1.0, 0.0}));
+}
+
+TEST(Node, LookupPrefersNeighborTable) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& n = h.net().node(0);
+  n.neighbors().upsert(1, {90, 0}, 7.0, h.net().simulator().now());
+  const NeighborInfo info = n.lookup(1);
+  EXPECT_EQ(info.position, (geom::Vec2{90, 0}));  // stale table value wins
+  EXPECT_DOUBLE_EQ(info.residual_energy, 7.0);
+}
+
+TEST(Node, LookupFallsBackToOracle) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  const NeighborInfo info = h.net().node(0).lookup(1);
+  EXPECT_EQ(info.position, (geom::Vec2{100, 0}));  // ground truth
+  EXPECT_DOUBLE_EQ(info.residual_energy, 0.0);     // energy unknown
+}
+
+TEST(Node, DeadNodeDropsReceivedPackets) {
+  auto h = make_harness({{0, 0}, {100, 0}});
+  Node& dead = h.net().node(1);
+  dead.battery().draw(1e9, energy::DrawKind::kOther);
+  Packet pkt;
+  pkt.type = PacketType::kHello;
+  pkt.sender = SenderStamp{0, {0, 0}, 1.0};
+  dead.handle_receive(pkt);
+  EXPECT_EQ(dead.neighbors().size(), 0u);
+}
+
+TEST(Node, DataPipelineDeliversAlongLine) {
+  auto h = make_harness(line_positions(4, 450.0));  // hops of 150 m
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 3));
+  h.net().run_flows(60.0);
+  const auto& prog = h.net().progress(1);
+  EXPECT_TRUE(prog.completed);
+  EXPECT_DOUBLE_EQ(prog.delivered_bits, 8192.0 * 3);
+  // Relays pinned prev/next along the line.
+  const FlowEntry* relay = h.net().node(1).flows().find(1);
+  ASSERT_NE(relay, nullptr);
+  EXPECT_EQ(relay->prev, 0u);
+  EXPECT_EQ(relay->next, 2u);
+}
+
+TEST(Node, HopCountIncrementsPerRelay) {
+  auto h = make_harness(line_positions(4, 450.0));
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0));
+  h.net().run_flows(60.0);
+  // 3 hops: relays at 1 and 2 each increment once.
+  EXPECT_TRUE(h.net().progress(1).completed);
+}
+
+}  // namespace
+}  // namespace imobif::net

@@ -1,0 +1,68 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace imobif::net {
+namespace {
+
+TEST(PacketType, Names) {
+  EXPECT_STREQ(to_string(PacketType::kHello), "HELLO");
+  EXPECT_STREQ(to_string(PacketType::kData), "DATA");
+  EXPECT_STREQ(to_string(PacketType::kNotification), "NOTIFY");
+  EXPECT_STREQ(to_string(PacketType::kRouteRequest), "RREQ");
+  EXPECT_STREQ(to_string(PacketType::kRouteReply), "RREP");
+}
+
+TEST(StrategyId, Names) {
+  EXPECT_STREQ(to_string(StrategyId::kNone), "none");
+  EXPECT_STREQ(to_string(StrategyId::kMinTotalEnergy), "min-total-energy");
+  EXPECT_STREQ(to_string(StrategyId::kMaxLifetime), "max-lifetime");
+  // Application-defined ids (custom strategies) fall through gracefully.
+  EXPECT_STREQ(to_string(static_cast<StrategyId>(200)), "?");
+}
+
+TEST(Packet, DefaultsAreSane) {
+  Packet pkt;
+  EXPECT_EQ(pkt.type, PacketType::kHello);
+  EXPECT_EQ(pkt.link_dest, kBroadcast);
+  EXPECT_EQ(pkt.sender.id, kInvalidNode);
+  EXPECT_TRUE(std::holds_alternative<HelloBody>(pkt.body));
+}
+
+TEST(DataBody, DefaultsAreSane) {
+  DataBody d;
+  EXPECT_EQ(d.flow_id, kInvalidFlow);
+  EXPECT_FALSE(d.mobility_enabled);
+  EXPECT_FALSE(d.sender_has_plan);
+  EXPECT_EQ(d.hop_count, 0);
+  EXPECT_DOUBLE_EQ(d.agg.bits_mob, 0.0);
+}
+
+TEST(Packet, StreamFormatBroadcast) {
+  Packet pkt;
+  pkt.sender.id = 4;
+  std::ostringstream os;
+  os << pkt;
+  EXPECT_EQ(os.str(), "HELLO from=4 to=broadcast");
+}
+
+TEST(Packet, StreamFormatData) {
+  Packet pkt;
+  pkt.type = PacketType::kData;
+  pkt.sender.id = 1;
+  pkt.link_dest = 2;
+  DataBody d;
+  d.flow_id = 9;
+  d.seq = 3;
+  d.destination = 7;
+  d.mobility_enabled = true;
+  pkt.body = d;
+  std::ostringstream os;
+  os << pkt;
+  EXPECT_EQ(os.str(), "DATA from=1 to=2 flow=9 seq=3 dst=7 mob=on");
+}
+
+}  // namespace
+}  // namespace imobif::net

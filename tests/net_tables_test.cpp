@@ -1,0 +1,132 @@
+// NeighborTable and FlowTable unit tests.
+#include <gtest/gtest.h>
+
+#include "net/flow_table.hpp"
+#include "net/neighbor_table.hpp"
+
+namespace imobif::net {
+namespace {
+
+sim::Time sec(double s) { return sim::Time::from_seconds(s); }
+
+TEST(NeighborTable, UpsertAndFind) {
+  NeighborTable t(sec(30.0));
+  t.upsert(5, {1.0, 2.0}, 9.5, sec(0.0));
+  const auto hit = t.find(5, sec(10.0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 5u);
+  EXPECT_EQ(hit->position, (geom::Vec2{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(hit->residual_energy, 9.5);
+}
+
+TEST(NeighborTable, MissingIsAbsent) {
+  NeighborTable t;
+  EXPECT_FALSE(t.find(7, sec(0.0)).has_value());
+}
+
+TEST(NeighborTable, UpsertRefreshes) {
+  NeighborTable t(sec(30.0));
+  t.upsert(5, {1.0, 2.0}, 9.5, sec(0.0));
+  t.upsert(5, {3.0, 4.0}, 8.0, sec(10.0));
+  const auto hit = t.find(5, sec(15.0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->position, (geom::Vec2{3.0, 4.0}));
+  EXPECT_DOUBLE_EQ(hit->residual_energy, 8.0);
+  EXPECT_EQ(hit->last_heard, sec(10.0));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(NeighborTable, ExpiredEntriesAreHidden) {
+  NeighborTable t(sec(30.0));
+  t.upsert(5, {1.0, 2.0}, 9.5, sec(0.0));
+  EXPECT_TRUE(t.find(5, sec(30.0)).has_value());   // exactly at timeout: ok
+  EXPECT_FALSE(t.find(5, sec(30.1)).has_value());  // past timeout: gone
+}
+
+TEST(NeighborTable, PurgeRemovesExpired) {
+  NeighborTable t(sec(30.0));
+  t.upsert(1, {0, 0}, 1.0, sec(0.0));
+  t.upsert(2, {0, 0}, 1.0, sec(20.0));
+  t.purge(sec(40.0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.find(2, sec(40.0)).has_value());
+}
+
+TEST(NeighborTable, SnapshotExcludesExpired) {
+  NeighborTable t(sec(30.0));
+  t.upsert(1, {0, 0}, 1.0, sec(0.0));
+  t.upsert(2, {0, 0}, 1.0, sec(25.0));
+  const auto snap = t.snapshot(sec(40.0));
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].id, 2u);
+}
+
+TEST(NeighborTable, TimeoutAdjustable) {
+  NeighborTable t(sec(30.0));
+  t.upsert(1, {0, 0}, 1.0, sec(0.0));
+  t.set_timeout(sec(100.0));
+  EXPECT_TRUE(t.find(1, sec(90.0)).has_value());
+}
+
+TEST(FlowTable, GetOrCreateInitializesFromHeader) {
+  FlowTable t;
+  DataBody d;
+  d.flow_id = 9;
+  d.source = 1;
+  d.destination = 5;
+  d.strategy = StrategyId::kMaxLifetime;
+  FlowEntry& e = t.get_or_create(d);
+  EXPECT_EQ(e.id, 9u);
+  EXPECT_EQ(e.source, 1u);
+  EXPECT_EQ(e.destination, 5u);
+  EXPECT_EQ(e.strategy, StrategyId::kMaxLifetime);
+  EXPECT_EQ(e.prev, kInvalidNode);
+  EXPECT_EQ(e.next, kInvalidNode);
+}
+
+TEST(FlowTable, GetOrCreateIsIdempotent) {
+  FlowTable t;
+  DataBody d;
+  d.flow_id = 9;
+  d.source = 1;
+  d.destination = 5;
+  FlowEntry& e1 = t.get_or_create(d);
+  e1.next = 3;
+  FlowEntry& e2 = t.get_or_create(d);
+  EXPECT_EQ(&e1, &e2);
+  EXPECT_EQ(e2.next, 3u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTable, FindReturnsNullWhenAbsent) {
+  FlowTable t;
+  EXPECT_EQ(t.find(1), nullptr);
+  const FlowTable& ct = t;
+  EXPECT_EQ(ct.find(1), nullptr);
+}
+
+TEST(FlowTable, EnsureCreatesBareEntry) {
+  FlowTable t;
+  FlowEntry& e = t.ensure(4);
+  EXPECT_EQ(e.id, 4u);
+  EXPECT_EQ(t.find(4), &e);
+}
+
+TEST(FlowTable, EraseRemoves) {
+  FlowTable t;
+  t.ensure(4);
+  t.erase(4);
+  EXPECT_EQ(t.find(4), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, AllListsEveryEntry) {
+  FlowTable t;
+  t.ensure(1);
+  t.ensure(2);
+  t.ensure(3);
+  EXPECT_EQ(t.all().size(), 3u);
+}
+
+}  // namespace
+}  // namespace imobif::net

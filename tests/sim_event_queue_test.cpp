@@ -1,0 +1,128 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imobif::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), Time::infinity());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::from_seconds(3.0), [&] { order.push_back(3); });
+  q.schedule(Time::from_seconds(1.0), [&] { order.push_back(1); });
+  q.schedule(Time::from_seconds(2.0), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const Time t = Time::from_seconds(1.0);
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopReturnsScheduledTime) {
+  EventQueue q;
+  q.schedule(Time::from_seconds(7.5), [] {});
+  EXPECT_EQ(q.pop().when, Time::from_seconds(7.5));
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.schedule(Time::from_seconds(5.0), [] {});
+  q.schedule(Time::from_seconds(2.0), [] {});
+  EXPECT_EQ(q.next_time(), Time::from_seconds(2.0));
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(Time::from_seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), Time::infinity());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(Time::from_seconds(1.0), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.schedule(Time::from_seconds(1.0), [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::from_seconds(1.0), [&] { order.push_back(1); });
+  const EventId mid =
+      q.schedule(Time::from_seconds(2.0), [&] { order.push_back(2); });
+  q.schedule(Time::from_seconds(3.0), [&] { order.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(Time::from_seconds(1.0), [] {});
+  q.schedule(Time::from_seconds(2.0), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<std::int64_t> times;
+  // Deterministic pseudo-random times via a simple LCG.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    times.push_back(static_cast<std::int64_t>(x % 100000));
+  }
+  for (const auto t : times) q.schedule(Time::from_ticks(t), [] {});
+  Time prev = Time::zero();
+  while (!q.empty()) {
+    const Time cur = q.pop().when;
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace imobif::sim

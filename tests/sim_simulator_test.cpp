@@ -1,0 +1,126 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace imobif::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsAndAdvancesClock) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.at(Time::from_seconds(1.0), [&] { times.push_back(sim.now().seconds()); });
+  sim.at(Time::from_seconds(2.0), [&] { times.push_back(sim.now().seconds()); });
+  const std::size_t ran = sim.run();
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 2.0);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  sim.at(Time::from_seconds(5.0), [&] {
+    sim.after(Time::from_seconds(2.0), [] {});
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 7.0);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.at(Time::from_seconds(5.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(Time::from_seconds(1.0), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilHorizonLeavesLaterEvents) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.at(Time::from_seconds(1.0), [&] { early = true; });
+  sim.at(Time::from_seconds(10.0), [&] { late = true; });
+  sim.run(Time::from_seconds(5.0));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // Clock advanced to the horizon even though no event sits there.
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 5.0);
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.at(Time::from_seconds(1.0), [&] { ++count; });
+  sim.at(Time::from_seconds(2.0), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StopEndsRunEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.at(Time::from_seconds(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+  // A subsequent run resumes.
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(Time::from_seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventBudgetAborts) {
+  Simulator sim;
+  sim.set_event_budget(10);
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    sim.after(Time::from_seconds(1.0), tick);
+  };
+  sim.after(Time::from_seconds(1.0), tick);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, NestedSchedulingSameTickRuns) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(Time::from_seconds(1.0), [&] {
+    order.push_back(1);
+    sim.after(Time::zero(), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, ExecutedEventsCounter) {
+  Simulator sim;
+  for (int i = 1; i <= 5; ++i) sim.at(Time::from_seconds(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+}  // namespace
+}  // namespace imobif::sim

@@ -1,0 +1,53 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace imobif::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time{}, Time::zero());
+  EXPECT_EQ(Time{}.ticks(), 0);
+}
+
+TEST(Time, SecondsRoundTrip) {
+  const Time t = Time::from_seconds(1.5);
+  EXPECT_EQ(t.ticks(), 1'500'000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+}
+
+TEST(Time, SubMicrosecondRounds) {
+  EXPECT_EQ(Time::from_seconds(1e-7).ticks(), 0);
+  EXPECT_EQ(Time::from_seconds(6e-7).ticks(), 1);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::from_seconds(1.0), Time::from_seconds(2.0));
+  EXPECT_LE(Time::from_seconds(1.0), Time::from_seconds(1.0));
+  EXPECT_GT(Time::infinity(), Time::from_seconds(1e12));
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::from_seconds(2.0);
+  const Time b = Time::from_seconds(0.5);
+  EXPECT_DOUBLE_EQ((a + b).seconds(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).seconds(), 1.5);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(Time, FromTicks) {
+  EXPECT_EQ(Time::from_ticks(42).ticks(), 42);
+}
+
+TEST(Time, StreamOutput) {
+  std::ostringstream os;
+  os << Time::from_seconds(2.5);
+  EXPECT_EQ(os.str(), "2.5s");
+}
+
+}  // namespace
+}  // namespace imobif::sim

@@ -1,0 +1,77 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace imobif::util {
+namespace {
+
+PlotOptions small_opts() {
+  PlotOptions o;
+  o.width = 40;
+  o.height = 10;
+  o.title = "test-plot";
+  o.x_label = "x";
+  o.y_label = "y";
+  return o;
+}
+
+TEST(RenderScatter, ContainsTitleMarkersAndLegend) {
+  Series s;
+  s.name = "series-a";
+  s.marker = '#';
+  s.xs = {0.0, 1.0, 2.0};
+  s.ys = {0.0, 1.0, 4.0};
+  const std::string out = render_scatter({s}, small_opts());
+  EXPECT_NE(out.find("test-plot"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("series-a"), std::string::npos);
+  EXPECT_NE(out.find("x: x"), std::string::npos);
+}
+
+TEST(RenderScatter, EmptySeriesStillRenders) {
+  const std::string out = render_scatter({}, small_opts());
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(RenderScatter, HorizontalReferenceLine) {
+  Series s;
+  s.name = "pts";
+  s.marker = '*';
+  s.xs = {0.0, 1.0};
+  s.ys = {0.0, 2.0};
+  PlotOptions o = small_opts();
+  o.h_line = 1.0;
+  const std::string out = render_scatter({s}, o);
+  // The reference line row should contain a run of dashes.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(RenderScatter, TwoSeriesBothPresent) {
+  Series a{.name = "a", .marker = 'o', .xs = {0, 1}, .ys = {0, 1}};
+  Series b{.name = "b", .marker = 'x', .xs = {0, 1}, .ys = {1, 0}};
+  const std::string out = render_scatter({a, b}, small_opts());
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(RenderScatter, ConstantSeriesDoesNotDivideByZero) {
+  Series s{.name = "flat", .marker = '*', .xs = {1, 2, 3}, .ys = {5, 5, 5}};
+  const std::string out = render_scatter({s}, small_opts());
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(RenderCdf, UsesSamplesFromYs) {
+  Series s;
+  s.name = "lifetimes";
+  s.marker = '+';
+  s.ys = {1.0, 2.0, 2.0, 3.0, 10.0};
+  PlotOptions o = small_opts();
+  o.y_label.clear();
+  const std::string out = render_cdf({s}, o);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find("CDF"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace imobif::util

@@ -1,0 +1,271 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace imobif::util {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Empirical, QuantileInterpolation) {
+  Empirical e;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) e.add(v);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.median(), 3.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.125), 1.5);  // interpolated
+}
+
+TEST(Empirical, QuantileThrowsOnEmpty) {
+  Empirical e;
+  EXPECT_THROW(e.quantile(0.5), std::logic_error);
+}
+
+TEST(Empirical, CdfStepBehaviour) {
+  Empirical e;
+  e.add_all({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(e.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.cdf(99.0), 1.0);
+}
+
+TEST(Empirical, Fractions) {
+  Empirical e;
+  e.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.fraction_below(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.fraction_above(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.fraction_below(1.0), 0.0);   // strictly below
+  EXPECT_DOUBLE_EQ(e.fraction_above(4.0), 0.0);   // strictly above
+  EXPECT_DOUBLE_EQ(e.fraction_below(5.0), 1.0);
+}
+
+TEST(Empirical, MeanAndSorted) {
+  Empirical e;
+  e.add(3.0);
+  e.add(1.0);
+  e.add(2.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+  const auto& s = e.sorted();
+  EXPECT_EQ(s, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(PowerFit, RecoversExactLaw) {
+  // y = 2.5 * x^1.7
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 10.0; x += 0.5) {
+    xs.push_back(x);
+    ys.push_back(2.5 * std::pow(x, 1.7));
+  }
+  const PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 1.7, 1e-9);
+  EXPECT_NEAR(fit.coefficient, 2.5, 1e-9);
+}
+
+TEST(PowerFit, RecoversUnderNoise) {
+  util::Rng rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(1.0, 100.0);
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 2.0) * (1.0 + rng.uniform(-0.05, 0.05)));
+  }
+  const PowerFit fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.05);
+  EXPECT_NEAR(fit.coefficient, 3.0, 0.3);
+}
+
+TEST(PowerFit, Validation) {
+  EXPECT_THROW(fit_power_law({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, -2.0}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, 1.0}, {2.0, 3.0}),
+               std::invalid_argument);  // degenerate x
+}
+
+// Property: quantiles are monotone in q.
+TEST(EmpiricalProperty, QuantileMonotone) {
+  util::Rng rng(7);
+  Empirical e;
+  for (int i = 0; i < 500; ++i) e.add(rng.uniform(-10, 10));
+  double prev = e.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = e.quantile(q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(BootstrapCi, ContainsSampleMean) {
+  util::Rng rng(31);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.uniform(0.0, 10.0));
+  double mean = 0.0;
+  for (double v : samples) mean += v;
+  mean /= static_cast<double>(samples.size());
+  const Interval ci = bootstrap_mean_ci(samples);
+  EXPECT_LE(ci.lo, mean);
+  EXPECT_GE(ci.hi, mean);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(BootstrapCi, NarrowsWithSampleSize) {
+  util::Rng rng(32);
+  std::vector<double> small, large;
+  for (int i = 0; i < 20; ++i) small.push_back(rng.exponential(3.0));
+  for (int i = 0; i < 2000; ++i) large.push_back(rng.exponential(3.0));
+  const Interval s = bootstrap_mean_ci(small);
+  const Interval l = bootstrap_mean_ci(large);
+  EXPECT_LT(l.hi - l.lo, s.hi - s.lo);
+}
+
+TEST(BootstrapCi, DeterministicInSeed) {
+  const std::vector<double> samples{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Interval a = bootstrap_mean_ci(samples, 0.95, 500, 7);
+  const Interval b = bootstrap_mean_ci(samples, 0.95, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapCi, ConstantSampleDegenerates) {
+  const std::vector<double> samples{4.0, 4.0, 4.0};
+  const Interval ci = bootstrap_mean_ci(samples);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.0);
+}
+
+TEST(KsStatistic, IdenticalSamplesAreZero) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_statistic(s, s), 0.0);
+}
+
+TEST(KsStatistic, DisjointSamplesAreOne) {
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 2.0}, {10.0, 11.0}), 1.0);
+  EXPECT_DOUBLE_EQ(ks_statistic({10.0, 11.0}, {1.0, 2.0}), 1.0);
+}
+
+TEST(KsStatistic, KnownSmallCase) {
+  // a = {1, 3}, b = {2, 4}: after x=1 CDFs are (0.5, 0); after 2: (0.5,
+  // 0.5); after 3: (1, 0.5); after 4: (1, 1). Max gap 0.5.
+  EXPECT_DOUBLE_EQ(ks_statistic({1.0, 3.0}, {2.0, 4.0}), 0.5);
+}
+
+TEST(KsStatistic, SymmetricAndBounded) {
+  util::Rng rng(44);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.uniform(0.0, 1.0));
+    b.push_back(rng.uniform(0.2, 1.2));
+  }
+  const double ab = ks_statistic(a, b);
+  const double ba = ks_statistic(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GT(ab, 0.05);  // shifted distributions separate
+  EXPECT_LE(ab, 1.0);
+}
+
+TEST(KsStatistic, SameDistributionIsSmall) {
+  util::Rng rng(45);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.exponential(2.0));
+    b.push_back(rng.exponential(2.0));
+  }
+  EXPECT_LT(ks_statistic(a, b), 0.08);
+}
+
+TEST(KsStatistic, EmptyThrows) {
+  EXPECT_THROW(ks_statistic({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ks_statistic({1.0}, {}), std::invalid_argument);
+}
+
+TEST(BootstrapCi, Validation) {
+  EXPECT_THROW(bootstrap_mean_ci({}), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci({1.0}, 0.95, 0), std::invalid_argument);
+}
+
+// Property: Summary mean equals Empirical mean on the same data.
+TEST(StatsProperty, SummaryMatchesEmpirical) {
+  util::Rng rng(8);
+  Summary s;
+  Empirical e;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.exponential(2.0);
+    s.add(v);
+    e.add(v);
+  }
+  EXPECT_NEAR(s.mean(), e.mean(), 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), e.min());
+  EXPECT_DOUBLE_EQ(s.max(), e.max());
+}
+
+}  // namespace
+}  // namespace imobif::util

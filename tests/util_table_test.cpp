@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace imobif::util {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "v"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // The second column starts at the same offset in every data row:
+  // first-column width (18) + 2-space gutter = 20.
+  std::istringstream is(out);
+  std::string header, sep, row1, row2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  EXPECT_EQ(row1.find('1'), 20u);
+  EXPECT_EQ(row2.find('2'), 20u);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456789, 3), "1.23");
+  EXPECT_EQ(Table::num(2.0), "2");
+}
+
+TEST(TableCsv, PlainFields) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableCsv, EscapesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(WriteCsv, RoundTripsThroughFile) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  const std::string path = ::testing::TempDir() + "/imobif_table_test.csv";
+  write_csv(path, t);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), "k,v\nx,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsv, ThrowsOnBadPath) {
+  Table t({"a"});
+  EXPECT_THROW(write_csv("/nonexistent-dir-xyz/file.csv", t),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace imobif::util
