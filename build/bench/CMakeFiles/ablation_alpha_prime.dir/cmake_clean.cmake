@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_prime.dir/ablation_alpha_prime.cpp.o"
+  "CMakeFiles/ablation_alpha_prime.dir/ablation_alpha_prime.cpp.o.d"
+  "ablation_alpha_prime"
+  "ablation_alpha_prime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_prime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact_split.dir/ablation_exact_split.cpp.o"
+  "CMakeFiles/ablation_exact_split.dir/ablation_exact_split.cpp.o.d"
+  "ablation_exact_split"
+  "ablation_exact_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flow_estimate.dir/ablation_flow_estimate.cpp.o"
+  "CMakeFiles/ablation_flow_estimate.dir/ablation_flow_estimate.cpp.o.d"
+  "ablation_flow_estimate"
+  "ablation_flow_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flow_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_position_noise.dir/ablation_position_noise.cpp.o"
+  "CMakeFiles/ablation_position_noise.dir/ablation_position_noise.cpp.o.d"
+  "ablation_position_noise"
+  "ablation_position_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_position_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relay_selection.dir/ablation_relay_selection.cpp.o"
+  "CMakeFiles/ablation_relay_selection.dir/ablation_relay_selection.cpp.o.d"
+  "ablation_relay_selection"
+  "ablation_relay_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relay_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_recruitment.dir/ext_recruitment.cpp.o"
+  "CMakeFiles/ext_recruitment.dir/ext_recruitment.cpp.o.d"
+  "ext_recruitment"
+  "ext_recruitment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_recruitment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

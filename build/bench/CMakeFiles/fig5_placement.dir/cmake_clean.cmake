@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_placement.dir/fig5_placement.cpp.o"
+  "CMakeFiles/fig5_placement.dir/fig5_placement.cpp.o.d"
+  "fig5_placement"
+  "fig5_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

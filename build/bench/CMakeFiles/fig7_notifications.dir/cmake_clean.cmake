@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_notifications.dir/fig7_notifications.cpp.o"
+  "CMakeFiles/fig7_notifications.dir/fig7_notifications.cpp.o.d"
+  "fig7_notifications"
+  "fig7_notifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_notifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

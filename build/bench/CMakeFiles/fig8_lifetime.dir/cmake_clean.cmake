@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lifetime.dir/fig8_lifetime.cpp.o"
+  "CMakeFiles/fig8_lifetime.dir/fig8_lifetime.cpp.o.d"
+  "fig8_lifetime"
+  "fig8_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_transfer_aodv.dir/bulk_transfer_aodv.cpp.o"
+  "CMakeFiles/bulk_transfer_aodv.dir/bulk_transfer_aodv.cpp.o.d"
+  "bulk_transfer_aodv"
+  "bulk_transfer_aodv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_transfer_aodv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

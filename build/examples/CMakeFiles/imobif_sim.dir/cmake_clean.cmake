@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imobif_sim.dir/imobif_sim.cpp.o"
+  "CMakeFiles/imobif_sim.dir/imobif_sim.cpp.o.d"
+  "imobif_sim"
+  "imobif_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imobif_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

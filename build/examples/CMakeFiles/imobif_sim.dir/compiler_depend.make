@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for imobif_sim.
+# This may be replaced when dependencies are built.

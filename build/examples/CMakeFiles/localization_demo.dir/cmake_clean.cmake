@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localization_demo.dir/localization_demo.cpp.o"
+  "CMakeFiles/localization_demo.dir/localization_demo.cpp.o.d"
+  "localization_demo"
+  "localization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_benefit.cpp" "src/CMakeFiles/imobif.dir/core/cost_benefit.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/core/cost_benefit.cpp.o.d"
+  "/root/repo/src/core/imobif_policy.cpp" "src/CMakeFiles/imobif.dir/core/imobif_policy.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/core/imobif_policy.cpp.o.d"
+  "/root/repo/src/core/lifetime_solver.cpp" "src/CMakeFiles/imobif.dir/core/lifetime_solver.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/core/lifetime_solver.cpp.o.d"
+  "/root/repo/src/core/max_lifetime_strategy.cpp" "src/CMakeFiles/imobif.dir/core/max_lifetime_strategy.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/core/max_lifetime_strategy.cpp.o.d"
+  "/root/repo/src/core/min_energy_strategy.cpp" "src/CMakeFiles/imobif.dir/core/min_energy_strategy.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/core/min_energy_strategy.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/CMakeFiles/imobif.dir/core/strategy.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/core/strategy.cpp.o.d"
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/imobif.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/mobility_model.cpp" "src/CMakeFiles/imobif.dir/energy/mobility_model.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/energy/mobility_model.cpp.o.d"
+  "/root/repo/src/energy/power_distance_table.cpp" "src/CMakeFiles/imobif.dir/energy/power_distance_table.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/energy/power_distance_table.cpp.o.d"
+  "/root/repo/src/energy/radio_model.cpp" "src/CMakeFiles/imobif.dir/energy/radio_model.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/energy/radio_model.cpp.o.d"
+  "/root/repo/src/exp/experiments.cpp" "src/CMakeFiles/imobif.dir/exp/experiments.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/exp/experiments.cpp.o.d"
+  "/root/repo/src/exp/instance.cpp" "src/CMakeFiles/imobif.dir/exp/instance.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/exp/instance.cpp.o.d"
+  "/root/repo/src/exp/runner.cpp" "src/CMakeFiles/imobif.dir/exp/runner.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/exp/runner.cpp.o.d"
+  "/root/repo/src/exp/scenario.cpp" "src/CMakeFiles/imobif.dir/exp/scenario.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/exp/scenario.cpp.o.d"
+  "/root/repo/src/exp/scenario_io.cpp" "src/CMakeFiles/imobif.dir/exp/scenario_io.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/exp/scenario_io.cpp.o.d"
+  "/root/repo/src/exp/trace.cpp" "src/CMakeFiles/imobif.dir/exp/trace.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/exp/trace.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/CMakeFiles/imobif.dir/geom/segment.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/geom/segment.cpp.o.d"
+  "/root/repo/src/geom/vec2.cpp" "src/CMakeFiles/imobif.dir/geom/vec2.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/geom/vec2.cpp.o.d"
+  "/root/repo/src/loc/localization.cpp" "src/CMakeFiles/imobif.dir/loc/localization.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/loc/localization.cpp.o.d"
+  "/root/repo/src/loc/multilateration.cpp" "src/CMakeFiles/imobif.dir/loc/multilateration.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/loc/multilateration.cpp.o.d"
+  "/root/repo/src/net/aodv_routing.cpp" "src/CMakeFiles/imobif.dir/net/aodv_routing.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/aodv_routing.cpp.o.d"
+  "/root/repo/src/net/flow_groups.cpp" "src/CMakeFiles/imobif.dir/net/flow_groups.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/flow_groups.cpp.o.d"
+  "/root/repo/src/net/flow_table.cpp" "src/CMakeFiles/imobif.dir/net/flow_table.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/flow_table.cpp.o.d"
+  "/root/repo/src/net/greedy_routing.cpp" "src/CMakeFiles/imobif.dir/net/greedy_routing.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/greedy_routing.cpp.o.d"
+  "/root/repo/src/net/grid_index.cpp" "src/CMakeFiles/imobif.dir/net/grid_index.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/grid_index.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/CMakeFiles/imobif.dir/net/medium.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/medium.cpp.o.d"
+  "/root/repo/src/net/neighbor_table.cpp" "src/CMakeFiles/imobif.dir/net/neighbor_table.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/neighbor_table.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/imobif.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/imobif.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/imobif.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/imobif.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/net/routing.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/imobif.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/imobif.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/imobif.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/sim/time.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/imobif.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/imobif.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/imobif.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/imobif.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/imobif.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/imobif.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/imobif.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

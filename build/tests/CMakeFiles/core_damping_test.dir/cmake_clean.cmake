@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_damping_test.dir/core_damping_test.cpp.o"
+  "CMakeFiles/core_damping_test.dir/core_damping_test.cpp.o.d"
+  "core_damping_test"
+  "core_damping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_damping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recruitment_test.dir/core_recruitment_test.cpp.o"
+  "CMakeFiles/core_recruitment_test.dir/core_recruitment_test.cpp.o.d"
+  "core_recruitment_test"
+  "core_recruitment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recruitment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for core_recruitment_test.
+# This may be replaced when dependencies are built.

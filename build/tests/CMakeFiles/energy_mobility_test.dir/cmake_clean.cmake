@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_mobility_test.dir/energy_mobility_test.cpp.o"
+  "CMakeFiles/energy_mobility_test.dir/energy_mobility_test.cpp.o.d"
+  "energy_mobility_test"
+  "energy_mobility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

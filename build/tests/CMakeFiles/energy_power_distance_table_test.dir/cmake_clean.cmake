@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_power_distance_table_test.dir/energy_power_distance_table_test.cpp.o"
+  "CMakeFiles/energy_power_distance_table_test.dir/energy_power_distance_table_test.cpp.o.d"
+  "energy_power_distance_table_test"
+  "energy_power_distance_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_power_distance_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

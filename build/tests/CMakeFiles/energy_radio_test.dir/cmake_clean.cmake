@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_radio_test.dir/energy_radio_test.cpp.o"
+  "CMakeFiles/energy_radio_test.dir/energy_radio_test.cpp.o.d"
+  "energy_radio_test"
+  "energy_radio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_radio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_rx_model_test.dir/energy_rx_model_test.cpp.o"
+  "CMakeFiles/energy_rx_model_test.dir/energy_rx_model_test.cpp.o.d"
+  "energy_rx_model_test"
+  "energy_rx_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_rx_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

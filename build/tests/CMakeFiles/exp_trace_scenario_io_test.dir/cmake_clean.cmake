@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_trace_scenario_io_test.dir/exp_trace_scenario_io_test.cpp.o"
+  "CMakeFiles/exp_trace_scenario_io_test.dir/exp_trace_scenario_io_test.cpp.o.d"
+  "exp_trace_scenario_io_test"
+  "exp_trace_scenario_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_trace_scenario_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

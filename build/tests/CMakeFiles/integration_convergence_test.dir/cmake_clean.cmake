@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_convergence_test.dir/integration_convergence_test.cpp.o"
+  "CMakeFiles/integration_convergence_test.dir/integration_convergence_test.cpp.o.d"
+  "integration_convergence_test"
+  "integration_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_experiments_test.dir/integration_experiments_test.cpp.o"
+  "CMakeFiles/integration_experiments_test.dir/integration_experiments_test.cpp.o.d"
+  "integration_experiments_test"
+  "integration_experiments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_safety_property_test.dir/integration_safety_property_test.cpp.o"
+  "CMakeFiles/integration_safety_property_test.dir/integration_safety_property_test.cpp.o.d"
+  "integration_safety_property_test"
+  "integration_safety_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_safety_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

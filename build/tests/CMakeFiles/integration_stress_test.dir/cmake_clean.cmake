@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_stress_test.dir/integration_stress_test.cpp.o"
+  "CMakeFiles/integration_stress_test.dir/integration_stress_test.cpp.o.d"
+  "integration_stress_test"
+  "integration_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loc_localization_test.dir/loc_localization_test.cpp.o"
+  "CMakeFiles/loc_localization_test.dir/loc_localization_test.cpp.o.d"
+  "loc_localization_test"
+  "loc_localization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loc_localization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for loc_localization_test.
+# This may be replaced when dependencies are built.

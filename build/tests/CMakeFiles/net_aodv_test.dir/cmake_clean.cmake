@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_aodv_test.dir/net_aodv_test.cpp.o"
+  "CMakeFiles/net_aodv_test.dir/net_aodv_test.cpp.o.d"
+  "net_aodv_test"
+  "net_aodv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_aodv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

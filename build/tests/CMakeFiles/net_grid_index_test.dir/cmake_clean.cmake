@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_grid_index_test.dir/net_grid_index_test.cpp.o"
+  "CMakeFiles/net_grid_index_test.dir/net_grid_index_test.cpp.o.d"
+  "net_grid_index_test"
+  "net_grid_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_grid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_medium_test.dir/net_medium_test.cpp.o"
+  "CMakeFiles/net_medium_test.dir/net_medium_test.cpp.o.d"
+  "net_medium_test"
+  "net_medium_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_medium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_node_test.dir/net_node_test.cpp.o"
+  "CMakeFiles/net_node_test.dir/net_node_test.cpp.o.d"
+  "net_node_test"
+  "net_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

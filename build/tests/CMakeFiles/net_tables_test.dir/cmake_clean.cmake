@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tables_test.dir/net_tables_test.cpp.o"
+  "CMakeFiles/net_tables_test.dir/net_tables_test.cpp.o.d"
+  "net_tables_test"
+  "net_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
