@@ -9,8 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_alpha_prime");
 
   bench::print_header(
       "Ablation A1 - max-lifetime alpha' sweep (lifetime ratio vs "
@@ -28,12 +29,17 @@ int main(int argc, char** argv) {
     p.alpha_prime = alpha_prime;
     p.seed = 20050611;
 
+    bench::apply_seed(p, config);
+
     exp::RunOptions opts;
     opts.stop_on_first_death = true;
-    const auto points = exp::run_comparison(p, flows, opts);
+    const auto points = bench::run_comparison(p, config, opts);
 
     util::Summary ratio, notif;
     std::size_t improved = 0;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.lifetime_ratio_informed());
+    report.add_series(util::Table::num(alpha_prime) + std::string(" lifetime_ratio_informed"), series_values);
     for (const auto& pt : points) {
       ratio.add(pt.lifetime_ratio_informed());
       notif.add(static_cast<double>(pt.informed.notifications));
@@ -51,5 +57,6 @@ int main(int argc, char** argv) {
                "balance for the\namplifier-dominated regime; smaller "
                "alpha' over-shifts relays toward rich\nneighbors, larger "
                "alpha' flattens toward the midpoint rule.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -9,8 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 40;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 40);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_damping");
 
   bench::print_header("Ablation A7 - notification damping gap sweep");
 
@@ -22,8 +23,13 @@ int main(int argc, char** argv) {
     p.mobility.k = 0.5;
     p.notification_min_gap = gap;
 
-    const auto points = exp::run_comparison(p, flows);
+    bench::apply_seed(p, config);
+
+    const auto points = bench::run_comparison(p, config);
     util::Summary ratio, notif;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
+    report.add_series(std::to_string(gap) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
       ratio.add(pt.energy_ratio_informed());
       notif.add(static_cast<double>(pt.informed.notifications));
@@ -37,5 +43,6 @@ int main(int argc, char** argv) {
                "(max) without\nmoving the energy ratio - the decision is "
                "only delayed by a handful of\npackets on a flow thousands "
                "of packets long.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

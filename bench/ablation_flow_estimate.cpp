@@ -11,8 +11,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_flow_estimate");
 
   bench::print_header(
       "Ablation A2 - flow-length estimate error vs iMobif energy ratio");
@@ -26,9 +27,14 @@ int main(int argc, char** argv) {
     p.mean_flow_bits = 1.0 * bench::kMB;
     p.length_estimate_factor = factor;
 
-    const auto points = exp::run_comparison(p, flows);
+    bench::apply_seed(p, config);
+
+    const auto points = bench::run_comparison(p, config);
     util::Summary ratio, notif;
     std::size_t enabled = 0;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
+    report.add_series(util::Table::num(factor) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
       ratio.add(pt.energy_ratio_informed());
       notif.add(static_cast<double>(pt.informed.notifications));
@@ -50,5 +56,6 @@ int main(int argc, char** argv) {
                "counts, occasional ~1.8x instance). Accurate estimates\n"
                "dominate both; errors degrade gracefully rather than "
                "catastrophically.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

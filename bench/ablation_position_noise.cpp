@@ -10,8 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_position_noise");
 
   bench::print_header(
       "Ablation A9 - localization error in advertised positions");
@@ -24,10 +25,15 @@ int main(int argc, char** argv) {
     p.mean_flow_bits = 1.0 * bench::kMB;
     p.position_error_m = err;
 
-    const auto points = exp::run_comparison(p, flows);
+    bench::apply_seed(p, config);
+
+    const auto points = bench::run_comparison(p, config);
     util::Summary cu, in;
     double worst = 0.0;
     std::size_t enabled = 0;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
+    report.add_series(util::Table::num(err) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
       cu.add(pt.energy_ratio_cost_unaware());
       in.add(pt.energy_ratio_informed());
@@ -47,5 +53,6 @@ int main(int argc, char** argv) {
                "estimate and enabling becomes conservative; the safety "
                "property (never\nmaterially above baseline) holds "
                "throughout.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

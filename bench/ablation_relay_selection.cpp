@@ -10,8 +10,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_relay_selection");
 
   bench::print_header(
       "Ablation A3 - line-biased relay selection (weight sweep)");
@@ -24,9 +25,14 @@ int main(int argc, char** argv) {
     p.mean_flow_bits = 1.0 * bench::kMB;
     p.line_bias_weight = weight;
 
-    const auto points = exp::run_comparison(p, flows);
+    bench::apply_seed(p, config);
+
+    const auto points = bench::run_comparison(p, config);
     util::Summary baseline_j, ratio, moved;
     std::size_t enabled = 0;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
+    report.add_series(util::Table::num(weight) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
       baseline_j.add(pt.baseline.total_energy_j);
       ratio.add(pt.energy_ratio_informed());
@@ -45,5 +51,6 @@ int main(int argc, char** argv) {
                "(moved m) while\nkeeping the static baseline competitive; "
                "selection and positioning\ncompose, as the paper "
                "conjectured in its future work.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -9,8 +9,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_rx_energy");
 
   bench::print_header(
       "Ablation A8 - receiver energy (rx J/bit) vs lifetime gains");
@@ -27,11 +28,16 @@ int main(int argc, char** argv) {
     p.radio.rx_per_bit = rx;
     p.seed = 20050611;
 
+    bench::apply_seed(p, config);
+
     exp::RunOptions opts;
     opts.stop_on_first_death = true;
-    const auto points = exp::run_comparison(p, flows, opts);
+    const auto points = bench::run_comparison(p, config, opts);
 
     util::Summary cu, in, base;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.lifetime_ratio_informed());
+    report.add_series(util::Table::num(rx) + std::string(" lifetime_ratio_informed"), series_values);
     for (const auto& pt : points) {
       cu.add(pt.lifetime_ratio_cost_unaware());
       in.add(pt.lifetime_ratio_informed());
@@ -48,5 +54,6 @@ int main(int argc, char** argv) {
                "only optimize the transmit share of the drain. The "
                "informed\nframework stays safe throughout (never below the "
                "cost-unaware curve).\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

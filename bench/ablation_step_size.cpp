@@ -6,8 +6,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ablation_step_size");
 
   bench::print_header("Ablation A4 - mobility step-size sweep");
 
@@ -19,8 +20,13 @@ int main(int argc, char** argv) {
     p.mobility.max_step_m = step;
     p.mean_flow_bits = 1.0 * bench::kMB;
 
-    const auto points = exp::run_comparison(p, flows);
+    bench::apply_seed(p, config);
+
+    const auto points = bench::run_comparison(p, config);
     util::Summary cu, in, moved;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
+    report.add_series(util::Table::num(step) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
       cu.add(pt.energy_ratio_cost_unaware());
       in.add(pt.energy_ratio_informed());
@@ -37,5 +43,6 @@ int main(int argc, char** argv) {
                "moving midpoint targets and overshoot. The paper's\n1 "
                "m/step (1 m/s at 1 packet/s) sits safely in the flat "
                "region for both.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -1,16 +1,110 @@
 // Shared helpers for the figure-reproduction binaries.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "exp/experiments.hpp"
+#include "runtime/report.hpp"
+#include "runtime/sweep.hpp"
+#include "util/args.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace imobif::bench {
+
+/// Flags shared by every figure/ablation binary:
+///   --instances N   flow instances per series (positional N still works)
+///   --seed S        override the scenario base seed
+///   --jobs N        worker threads for the sweep (default 1)
+///   --json PATH     write a BENCH_*.json artifact of the result series
+struct BenchConfig {
+  std::size_t instances = 0;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::size_t jobs = 1;
+  std::string json_path;
+};
+
+inline BenchConfig parse_bench_args(int argc, char** argv,
+                                    std::size_t default_instances) {
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: " << args.program()
+              << " [N] [--instances N] [--seed S] [--jobs N] [--json PATH]\n"
+                 "  N / --instances  flow instances per series (default "
+              << default_instances
+              << ")\n"
+                 "  --seed           override the scenario base seed\n"
+                 "  --jobs           worker threads (default 1)\n"
+                 "  --json           write results as a JSON artifact\n";
+    std::exit(0);
+  }
+  BenchConfig config;
+  config.instances = default_instances;
+  if (!args.positional().empty()) {
+    config.instances = std::stoul(args.positional().front());
+  }
+  config.instances = static_cast<std::size_t>(
+      args.get_int("instances", static_cast<std::int64_t>(config.instances)));
+  config.seed_set = args.has("seed");
+  if (config.seed_set) {
+    config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  }
+  const std::int64_t jobs = args.get_int("jobs", 1);
+  config.jobs = jobs < 1 ? 1 : static_cast<std::size_t>(jobs);
+  config.json_path = args.get_string("json", "");
+  return config;
+}
+
+/// Applies the --seed override (benches keep their figure-specific
+/// defaults otherwise).
+inline void apply_seed(exp::ScenarioParams& params, const BenchConfig& config) {
+  if (config.seed_set) params.seed = config.seed;
+}
+
+/// run_comparison routed through the parallel sweep runtime; bit-identical
+/// results for any --jobs value.
+inline std::vector<exp::ComparisonPoint> run_comparison(
+    const exp::ScenarioParams& params, const BenchConfig& config,
+    const exp::RunOptions& options = {}) {
+  return runtime::run_comparison_parallel(params, config.instances, options,
+                                          config.jobs);
+}
+
+/// Monotonic milliseconds-since-construction stopwatch for wall_ms.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes the report when --json was given; stamps the common meta first.
+/// --jobs is deliberately NOT recorded: aside from the wall_ms line, the
+/// artifact must be byte-identical regardless of worker count.
+inline void export_report(runtime::SweepReport& report,
+                          const BenchConfig& config,
+                          const Stopwatch& stopwatch) {
+  if (config.json_path.empty()) return;
+  report.set_meta("instances", static_cast<std::uint64_t>(config.instances));
+  report.set_wall_ms(stopwatch.elapsed_ms());
+  report.write_file(config.json_path);
+  std::cout << "\nwrote " << config.json_path << " (" << config.jobs
+            << " jobs, " << util::Table::num(stopwatch.elapsed_ms(), 5)
+            << " ms)\n";
+}
 
 /// Paper-default scenario (DESIGN.md parameter reconstruction).
 inline exp::ScenarioParams paper_defaults() {

@@ -68,8 +68,11 @@ Outcome run(core::MobilityMode mode, bool blending, double long_bits,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace imobif;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 1);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ext_multiflow");
   bench::print_header(
       "Extension - crossing flows at a shared relay: target blending");
 
@@ -84,6 +87,8 @@ int main() {
                    util::Table::num(o.total_j, 5),
                    util::Table::num(o.moved_m, 4),
                    o.all_complete ? "yes" : "NO"});
+    report.add_series(std::string(name) + (blending ? " blend" : " direct"),
+                      {o.total_j, o.moved_m});
   };
   add("no-mobility", core::MobilityMode::kNoMobility, false);
   add("cost-unaware", core::MobilityMode::kCostUnaware, false);
@@ -98,5 +103,6 @@ int main() {
                "compromise position by residual traffic, cutting\nwasted "
                "movement. This realizes the multi-flow support the paper "
                "defers\nto its technical report.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -6,8 +6,9 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 25;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 25);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("ext_recruitment");
 
   bench::print_header(
       "Extension E2 - relay recruitment (selection + positioning)");
@@ -21,9 +22,14 @@ int main(int argc, char** argv) {
     p.mean_flow_bits = 1.0 * bench::kMB;
     p.recruit_margin = margin;
 
-    const auto points = exp::run_comparison(p, flows);
+    bench::apply_seed(p, config);
+
+    const auto points = bench::run_comparison(p, config);
     util::Summary ratio, recruits, moved;
     bool complete = true;
+    std::vector<double> series_values;
+    for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
+    report.add_series(util::Table::num(margin) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
       ratio.add(pt.energy_ratio_informed());
       recruits.add(static_cast<double>(pt.informed.recruits));
@@ -44,5 +50,6 @@ int main(int argc, char** argv) {
                "pay. This prototypes the paper's 'optimize both the "
                "selection and\npositions of the intermediate flow nodes' "
                "future work.\n";
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -57,7 +57,9 @@ void print_snapshot(const char* label, const exp::PlacementSnapshot& snap,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 1);
+  const bench::Stopwatch stopwatch;
   bench::print_header(
       "Figure 5 - node placement under controlled mobility\n"
       "(a) original, (b) min-total-energy steady state, (c) max-lifetime "
@@ -69,6 +71,7 @@ int main() {
   // (a)+(b): min-total-energy strategy, unconditional movement so the
   // steady state is reached regardless of profitability.
   exp::ScenarioParams p = scenario();
+  bench::apply_seed(p, config);
   p.strategy = net::StrategyId::kMinTotalEnergy;
   const exp::PlacementSnapshot min_energy =
       exp::run_placement(p, core::MobilityMode::kCostUnaware, opts);
@@ -88,5 +91,10 @@ int main() {
          "hop following a node grows with that node's residual energy\n"
          "(Theorem 1), so (b) and (c) differ even though both look\n"
          "straight.\n";
+
+  runtime::SweepReport report("fig5_placement");
+  report.add_series("min_energy_final_energies", min_energy.final_energies);
+  report.add_series("max_lifetime_final_energies", lifetime.final_energies);
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

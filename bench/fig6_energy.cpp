@@ -26,15 +26,16 @@ struct PanelSpec {
   double mean_flow_bits;
 };
 
-void run_panel(const PanelSpec& spec, std::size_t flows,
-               bool print_decomposition) {
+void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
+               bool print_decomposition, runtime::SweepReport& report) {
   exp::ScenarioParams p = bench::paper_defaults();
   p.mobility.k = spec.k;
   p.radio.alpha = spec.alpha;
   if (spec.alpha == 3.0) p.radio.b = bench::kAmplifierAlpha3;
   p.mean_flow_bits = spec.mean_flow_bits;
+  bench::apply_seed(p, config);
 
-  const auto points = exp::run_comparison(p, flows);
+  const auto points = bench::run_comparison(p, config);
 
   util::Summary cu, in, mobility_j, transmit_j;
   std::vector<double> cu_ratios, in_ratios;
@@ -71,6 +72,10 @@ void run_panel(const PanelSpec& spec, std::size_t flows,
                              std::string("Figure 6") + spec.name +
                                  " - energy consumption ratio");
 
+  const std::string panel(spec.name, 3);  // "(a)", "(c)", ...
+  report.add_series(panel + " ratio_cost_unaware", cu_ratios);
+  report.add_series(panel + " ratio_informed", in_ratios);
+
   if (print_decomposition) {
     bench::print_header(
         "Figure 6(b) - mobility vs transmission energy (cost-unaware, "
@@ -102,9 +107,10 @@ void run_panel(const PanelSpec& spec, std::size_t flows,
 
 int main(int argc, char** argv) {
   // Smaller default than the paper's 100 so the whole suite runs in
-  // seconds; pass a count to reproduce at full scale.
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 40;
+  // seconds; pass a count (or --instances) to reproduce at full scale.
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 40);
+  const bench::Stopwatch stopwatch;
+  runtime::SweepReport report("fig6_energy");
 
   const PanelSpec panels[] = {
       {"(a) k=0.5 alpha=2 mean=100KB", 0.5, 2.0, 100.0 * bench::kKB},
@@ -114,9 +120,11 @@ int main(int argc, char** argv) {
       {"(f) k=0.5 alpha=3 mean=1MB", 0.5, 3.0, 1.0 * bench::kMB},
   };
   for (const auto& panel : panels) {
-    run_panel(panel, flows, /*print_decomposition=*/panel.k == 0.5 &&
-                                panel.alpha == 2.0 &&
-                                panel.mean_flow_bits < bench::kMB);
+    run_panel(panel, config,
+              /*print_decomposition=*/panel.k == 0.5 && panel.alpha == 2.0 &&
+                  panel.mean_flow_bits < bench::kMB,
+              report);
   }
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -7,13 +7,14 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 60;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 60);
+  const bench::Stopwatch stopwatch;
 
   exp::ScenarioParams p = bench::paper_defaults();
   p.mean_flow_bits = 1.0 * bench::kMB;  // the long-flow case of Fig 6(c)
+  bench::apply_seed(p, config);
 
-  const auto points = exp::run_comparison(p, flows);
+  const auto points = bench::run_comparison(p, config);
 
   bench::print_header("Figure 7 - notification packets per flow (iMobif)");
   util::Summary notif;
@@ -45,5 +46,9 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper check: averages in the low single digits and no "
                "flow with a large\nnotification count indicate the "
                "cost/benefit signal is stable packet-to-packet.\n";
+
+  runtime::SweepReport report("fig7_notifications");
+  report.add_series("notifications", series.ys);
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

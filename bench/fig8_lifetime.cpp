@@ -13,8 +13,8 @@
 
 int main(int argc, char** argv) {
   using namespace imobif;
-  const std::size_t flows =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 60;
+  const bench::BenchConfig config = bench::parse_bench_args(argc, argv, 60);
+  const bench::Stopwatch stopwatch;
 
   exp::ScenarioParams p = bench::paper_defaults();
   p.strategy = net::StrategyId::kMaxLifetime;
@@ -24,11 +24,12 @@ int main(int argc, char** argv) {
   p.energy_lo_j = 5.0;
   p.energy_hi_j = 100.0;
   p.seed = 20050611;
+  bench::apply_seed(p, config);
 
   exp::RunOptions opts;
   opts.stop_on_first_death = true;
 
-  const auto points = exp::run_comparison(p, flows, opts);
+  const auto points = bench::run_comparison(p, config, opts);
 
   bench::print_header(
       "Figure 8 - system lifetime ratio CDF (max-lifetime strategy)");
@@ -72,5 +73,10 @@ int main(int argc, char** argv) {
                "ratio 1 (shorter\nlifetime than static), while the "
                "informed CDF hugs ratio 1 from above with a\ntail of "
                "instances improved by 1.5-3x.\n";
+
+  runtime::SweepReport report("fig8_lifetime");
+  report.add_series("lifetime_ratio_cost_unaware", cu_s.ys);
+  report.add_series("lifetime_ratio_informed", in_s.ys);
+  bench::export_report(report, config, stopwatch);
   return 0;
 }

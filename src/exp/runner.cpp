@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "core/imobif.hpp"
 
@@ -9,10 +10,15 @@ namespace imobif::exp {
 std::vector<net::NodeId> trace_flow_path(net::Network& network,
                                          net::FlowId flow) {
   std::vector<net::NodeId> path;
+  std::unordered_set<net::NodeId> visited;
   const net::FlowProgress& prog = network.progress(flow);
   net::NodeId current = prog.spec.source;
   const net::NodeId dest = prog.spec.destination;
+  // A routing cycle revisits a node before reaching the destination; treat
+  // that as a broken path explicitly rather than walking until the
+  // node-count bound trips.
   while (current != net::kInvalidNode && path.size() <= network.node_count()) {
+    if (!visited.insert(current).second) return {};
     path.push_back(current);
     if (current == dest) return path;
     const net::FlowEntry* entry = network.node(current).flows().find(flow);

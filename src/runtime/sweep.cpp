@@ -1,0 +1,113 @@
+#include "runtime/sweep.hpp"
+
+#include <future>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::runtime {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
+  std::uint64_t state = base_seed + job_index;
+  return util::splitmix64(state);
+}
+
+SweepEngine::SweepEngine(std::size_t workers)
+    : workers_(workers == 0 ? 1 : workers) {}
+
+namespace {
+
+SweepOutcome run_sweep_job(const SweepJob& job, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const exp::FlowInstance instance = exp::sample_instance(job.params, rng);
+  SweepOutcome outcome;
+  outcome.seed = seed;
+  outcome.flow_bits = instance.flow_bits;
+  outcome.hops = instance.initial_path.size() - 1;
+  outcome.result =
+      exp::run_instance(instance, job.params, job.mode, job.options);
+  return outcome;
+}
+
+exp::ComparisonPoint run_comparison_point(const exp::ScenarioParams& params,
+                                          const exp::RunOptions& options,
+                                          util::Rng rng) {
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  exp::ComparisonPoint point;
+  point.flow_bits = instance.flow_bits;
+  point.hops = instance.initial_path.size() - 1;
+  point.baseline = exp::run_instance(instance, params,
+                                     core::MobilityMode::kNoMobility, options);
+  point.cost_unaware = exp::run_instance(
+      instance, params, core::MobilityMode::kCostUnaware, options);
+  point.informed = exp::run_instance(instance, params,
+                                     core::MobilityMode::kInformed, options);
+  return point;
+}
+
+}  // namespace
+
+std::vector<SweepOutcome> SweepEngine::run(const std::vector<SweepJob>& jobs,
+                                           std::uint64_t base_seed) const {
+  for (const SweepJob& job : jobs) job.params.validate();
+
+  std::vector<SweepOutcome> outcomes(jobs.size());
+  if (workers_ <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      outcomes[i] = run_sweep_job(jobs[i], derive_seed(base_seed, i));
+    }
+    return outcomes;
+  }
+
+  ThreadPool pool(workers_);
+  std::vector<std::future<SweepOutcome>> futures;
+  futures.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::uint64_t seed = derive_seed(base_seed, i);
+    futures.push_back(
+        pool.submit([&job = jobs[i], seed] { return run_sweep_job(job, seed); }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    outcomes[i] = futures[i].get();  // ordered collection
+  }
+  return outcomes;
+}
+
+std::vector<exp::ComparisonPoint> run_comparison_parallel(
+    const exp::ScenarioParams& params, std::size_t flow_count,
+    const exp::RunOptions& options, std::size_t workers) {
+  params.validate();
+
+  // Reproduce the sequential fork chain exactly: instance i's generator is
+  // the i-th fork of Rng(params.seed), drawn here in order on one thread.
+  util::Rng root(params.seed);
+  std::vector<util::Rng> instance_rngs;
+  instance_rngs.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    instance_rngs.push_back(root.fork());
+  }
+
+  std::vector<exp::ComparisonPoint> points(flow_count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < flow_count; ++i) {
+      points[i] = run_comparison_point(params, options, instance_rngs[i]);
+    }
+    return points;
+  }
+
+  ThreadPool pool(workers);
+  std::vector<std::future<exp::ComparisonPoint>> futures;
+  futures.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    futures.push_back(pool.submit([&params, &options, rng = instance_rngs[i]] {
+      return run_comparison_point(params, options, rng);
+    }));
+  }
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    points[i] = futures[i].get();
+  }
+  return points;
+}
+
+}  // namespace imobif::runtime

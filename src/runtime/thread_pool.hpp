@@ -1,0 +1,66 @@
+// Fixed-size worker pool with a lock-guarded task queue and futures-based
+// results. This is the execution substrate for the sweep engine: bench
+// sweeps submit independent jobs and collect ordered futures, so results
+// never depend on scheduling.
+//
+// Shutdown is graceful: the destructor (or an explicit shutdown()) lets
+// every already-queued task finish before joining the workers. Exceptions
+// thrown by a task are captured in its future and rethrown at get().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace imobif::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. Throws
+  /// std::runtime_error after shutdown() has begun.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.push([task] { (*task)(); });
+    }
+    available_.notify_one();
+    return future;
+  }
+
+  /// Drains the queue, then joins every worker. Idempotent; further
+  /// submits throw.
+  void shutdown();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace imobif::runtime

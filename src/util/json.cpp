@@ -1,0 +1,175 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace imobif::util {
+
+Json::Json(double v) : type_(Type::kNumber), number_(number_to_string(v)) {
+  if (number_ == "null") type_ = Type::kNull;
+}
+
+Json::Json(std::int64_t v) : type_(Type::kNumber) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  number_.assign(buf, res.ptr);
+}
+
+Json::Json(std::uint64_t v) : type_(Type::kNumber) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  number_.assign(buf, res.ptr);
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::kArray)
+    throw std::logic_error("Json::push_back on non-array");
+  array_.push_back(std::move(value));
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) throw std::logic_error("Json::set on non-object");
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::size_t Json::size() const {
+  switch (type_) {
+    case Type::kArray:
+      return array_.size();
+    case Type::kObject:
+      return object_.size();
+    default:
+      return 0;
+  }
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::number_to_string(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // Shortest form that round-trips to the same double (C++17 to_chars).
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      out += number_;
+      break;
+    case Type::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += pretty ? "," : ",";
+        newline_pad(depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ",";
+        newline_pad(depth + 1);
+        out += '"';
+        out += escape(object_[i].first);
+        out += pretty ? "\": " : "\":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace imobif::util

@@ -1,0 +1,77 @@
+// Minimal JSON document builder for results export (no external deps).
+//
+// A `Json` value is a tagged union of null / bool / number / string /
+// array / object. Objects preserve insertion order so serialized reports
+// are stable and diffable; numbers serialize via std::to_chars shortest
+// round-trip form so re-parsing recovers the exact double. Writer only —
+// the repo's result artifacts are produced here and parsed elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace imobif::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v);
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v);
+  Json(std::uint64_t v);
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json array() { return Json(Type::kArray); }
+  static Json object() { return Json(Type::kObject); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Array append. Requires an array.
+  void push_back(Json value);
+
+  /// Object insert; overwrites in place when the key exists, otherwise
+  /// appends (insertion order preserved). Requires an object.
+  void set(const std::string& key, Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+
+  /// Element count of an array/object; 0 for scalars.
+  std::size_t size() const;
+
+  /// Serializes the value. indent == 0 gives compact one-line output;
+  /// indent > 0 pretty-prints with that many spaces per nesting level.
+  std::string dump(int indent = 0) const;
+
+  /// JSON string escaping (quotes, backslash, control characters) without
+  /// the surrounding quotes.
+  static std::string escape(const std::string& s);
+
+  /// Shortest round-trip decimal form of `v`; non-finite values serialize
+  /// as null (JSON has no NaN/Inf).
+  static std::string number_to_string(double v);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string number_;  ///< pre-formatted decimal form
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace imobif::util

@@ -1,0 +1,155 @@
+// SweepEngine / run_comparison_parallel: results must be bit-identical
+// regardless of worker count, and the parallel comparison must match the
+// sequential exp::run_comparison exactly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/experiments.hpp"
+#include "runtime/report.hpp"
+#include "runtime/sweep.hpp"
+
+namespace imobif::runtime {
+namespace {
+
+exp::ScenarioParams small_params() {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = 800.0;
+  p.mean_flow_bits = 60.0 * 1024.0 * 8.0;
+  p.seed = 42;
+  return p;
+}
+
+void expect_same_run(const exp::RunResult& a, const exp::RunResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.delivered_bits, b.delivered_bits);
+  EXPECT_EQ(a.completion_s, b.completion_s);
+  EXPECT_EQ(a.transmit_energy_j, b.transmit_energy_j);
+  EXPECT_EQ(a.movement_energy_j, b.movement_energy_j);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.movements, b.movements);
+  EXPECT_EQ(a.moved_distance_m, b.moved_distance_m);
+  EXPECT_EQ(a.lifetime_s, b.lifetime_s);
+  EXPECT_EQ(a.path, b.path);
+  ASSERT_EQ(a.final_energies.size(), b.final_energies.size());
+  for (std::size_t i = 0; i < a.final_energies.size(); ++i) {
+    EXPECT_EQ(a.final_energies[i], b.final_energies[i]);  // bitwise
+  }
+}
+
+TEST(DeriveSeed, StatelessAndIndexSensitive) {
+  EXPECT_EQ(derive_seed(123, 0), derive_seed(123, 0));
+  EXPECT_NE(derive_seed(123, 0), derive_seed(123, 1));
+  EXPECT_NE(derive_seed(123, 0), derive_seed(124, 0));
+  // Adjacent (base, index) pairs that sum equally collide by construction
+  // of splitmix64(base + index); sweeps use one base, so only index
+  // variation matters.
+  EXPECT_EQ(derive_seed(10, 5), derive_seed(11, 4));
+}
+
+TEST(SweepEngine, WorkerCountDoesNotChangeOutcomes) {
+  std::vector<SweepJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    SweepJob job;
+    job.params = small_params();
+    job.mode = (i % 2 == 0) ? core::MobilityMode::kInformed
+                            : core::MobilityMode::kCostUnaware;
+    jobs.push_back(job);
+  }
+
+  const auto serial = SweepEngine(1).run(jobs, 99);
+  const auto parallel = SweepEngine(4).run(jobs, 99);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, derive_seed(99, i));
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    EXPECT_EQ(serial[i].flow_bits, parallel[i].flow_bits);
+    EXPECT_EQ(serial[i].hops, parallel[i].hops);
+    expect_same_run(serial[i].result, parallel[i].result);
+  }
+}
+
+TEST(RunComparisonParallel, JobCountsProduceIdenticalPoints) {
+  const exp::ScenarioParams p = small_params();
+  const std::size_t kInstances = 12;
+
+  const auto one = run_comparison_parallel(p, kInstances, {}, 1);
+  const auto eight = run_comparison_parallel(p, kInstances, {}, 8);
+  ASSERT_EQ(one.size(), kInstances);
+  ASSERT_EQ(eight.size(), kInstances);
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    EXPECT_EQ(one[i].flow_bits, eight[i].flow_bits);
+    EXPECT_EQ(one[i].hops, eight[i].hops);
+    expect_same_run(one[i].baseline, eight[i].baseline);
+    expect_same_run(one[i].cost_unaware, eight[i].cost_unaware);
+    expect_same_run(one[i].informed, eight[i].informed);
+  }
+}
+
+TEST(RunComparisonParallel, MatchesSequentialRunComparison) {
+  const exp::ScenarioParams p = small_params();
+  const std::size_t kInstances = 4;
+
+  const auto sequential = exp::run_comparison(p, kInstances);
+  const auto parallel = run_comparison_parallel(p, kInstances, {}, 3);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    EXPECT_EQ(sequential[i].flow_bits, parallel[i].flow_bits);
+    expect_same_run(sequential[i].baseline, parallel[i].baseline);
+    expect_same_run(sequential[i].informed, parallel[i].informed);
+  }
+}
+
+TEST(SweepReport, JsonPayloadIdenticalAcrossJobCounts) {
+  const exp::ScenarioParams p = small_params();
+  const auto build = [&p](std::size_t workers) {
+    const auto points = run_comparison_parallel(p, 6, {}, workers);
+    SweepReport report("determinism_check");
+    std::vector<double> informed, cost_unaware;
+    for (const auto& pt : points) {
+      informed.push_back(pt.energy_ratio_informed());
+      cost_unaware.push_back(pt.energy_ratio_cost_unaware());
+    }
+    report.set_meta("seed", p.seed);
+    report.add_series("ratio_informed", informed);
+    report.add_series("ratio_cost_unaware", cost_unaware);
+    // wall_ms deliberately unset: the payload must be byte-identical.
+    return report.to_string();
+  };
+  EXPECT_EQ(build(1), build(8));
+}
+
+TEST(SweepReport, JsonShapeAndStats) {
+  SweepReport report("shape");
+  report.set_meta("k", 0.5);
+  report.add_series("vals", {1.0, 2.0, 3.0});
+  report.add_series("no_raw", {4.0, 6.0}, /*include_values=*/false);
+  const util::Json json = report.to_json();
+
+  ASSERT_NE(json.find("bench"), nullptr);
+  EXPECT_EQ(json.find("bench")->dump(), "\"shape\"");
+  EXPECT_EQ(json.find("wall_ms"), nullptr);  // unset -> omitted
+
+  const util::Json* series = json.find("series");
+  ASSERT_NE(series, nullptr);
+  const util::Json* vals = series->find("vals");
+  ASSERT_NE(vals, nullptr);
+  EXPECT_EQ(vals->find("count")->dump(), "3");
+  EXPECT_EQ(vals->find("mean")->dump(), "2");
+  EXPECT_EQ(vals->find("min")->dump(), "1");
+  EXPECT_EQ(vals->find("max")->dump(), "3");
+  ASSERT_NE(vals->find("ci95"), nullptr);
+  EXPECT_NE(vals->find("values"), nullptr);
+  EXPECT_EQ(series->find("no_raw")->find("values"), nullptr);
+
+  SweepReport timed("timed");
+  timed.set_wall_ms(12.5);
+  ASSERT_NE(timed.to_json().find("wall_ms"), nullptr);
+  EXPECT_EQ(timed.to_json().find("wall_ms")->dump(), "12.5");
+}
+
+}  // namespace
+}  // namespace imobif::runtime

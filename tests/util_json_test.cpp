@@ -1,0 +1,109 @@
+// JSON writer: escaping, nested objects/arrays, number round-tripping.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/json.hpp"
+
+namespace imobif::util {
+namespace {
+
+TEST(Json, ScalarSerialization) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::string("hi")).dump(), "\"hi\"");
+}
+
+TEST(Json, RoundNumbersSerializeShortest) {
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  EXPECT_EQ(Json(1.0).dump(), "1");
+  EXPECT_EQ(Json(-3.0).dump(), "-3");
+  EXPECT_EQ(Json(0.5).dump(), "0.5");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");  // shortest round-trip, not 0.1000...
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-9007199254740993}).dump(),
+            "-9007199254740993");  // past 2^53: int path keeps full precision
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(),
+            "18446744073709551615");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json::number_to_string(1.25), "1.25");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab\r").dump(), "\"line\\nbreak\\ttab\\r\"");
+  EXPECT_EQ(Json(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+  EXPECT_EQ(Json::escape("\b\f"), "\\b\\f");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  Json inner = Json::array();
+  inner.push_back(3.5);
+  arr.push_back(inner);
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.dump(), "[1,\"two\",[3.5]]");
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndOverwrite) {
+  Json obj = Json::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2}");
+  obj.set("zeta", 9);  // overwrite in place, order unchanged
+  EXPECT_EQ(obj.dump(), "{\"zeta\":9,\"alpha\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+
+  ASSERT_NE(obj.find("alpha"), nullptr);
+  EXPECT_EQ(obj.find("alpha")->dump(), "2");
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_EQ(Json::object().dump(), "{}");
+}
+
+TEST(Json, NestedObjectPrettyPrint) {
+  Json obj = Json::object();
+  obj.set("name", "sweep");
+  Json stats = Json::object();
+  stats.set("mean", 1.5);
+  stats.set("count", 3);
+  obj.set("stats", stats);
+  Json values = Json::array();
+  values.push_back(1);
+  values.push_back(2);
+  obj.set("values", values);
+
+  EXPECT_EQ(obj.dump(2),
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"stats\": {\n"
+            "    \"mean\": 1.5,\n"
+            "    \"count\": 3\n"
+            "  },\n"
+            "  \"values\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ]\n"
+            "}");
+}
+
+TEST(Json, TypeErrorsThrow) {
+  Json scalar(1);
+  EXPECT_THROW(scalar.push_back(2), std::logic_error);
+  EXPECT_THROW(scalar.set("k", 2), std::logic_error);
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace imobif::util
