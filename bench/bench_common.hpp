@@ -23,12 +23,17 @@ namespace imobif::bench {
 ///   --seed S        override the scenario base seed
 ///   --jobs N        worker threads for the sweep (default 1)
 ///   --json PATH     write a BENCH_*.json artifact of the result series
+///   --loss P        injected per-delivery channel loss probability
+///   --fault-seed S  fault-injection seed (default: the scenario seed)
 struct BenchConfig {
   std::size_t instances = 0;
   std::uint64_t seed = 0;
   bool seed_set = false;
   std::size_t jobs = 1;
   std::string json_path;
+  double loss = 0.0;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
 };
 
 inline BenchConfig parse_bench_args(int argc, char** argv,
@@ -36,13 +41,19 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
   const util::Args args(argc, argv);
   if (args.has("help")) {
     std::cout << "usage: " << args.program()
-              << " [N] [--instances N] [--seed S] [--jobs N] [--json PATH]\n"
+              << " [N] [--instances N] [--seed S] [--jobs N] [--json PATH]"
+                 " [--loss P] [--fault-seed S]\n"
                  "  N / --instances  flow instances per series (default "
               << default_instances
               << ")\n"
                  "  --seed           override the scenario base seed\n"
                  "  --jobs           worker threads (default 1)\n"
-                 "  --json           write results as a JSON artifact\n";
+                 "  --json           write results as a JSON artifact\n"
+                 "  --loss           injected channel loss probability in "
+                 "[0, 1) (default 0,\n"
+                 "                   enables notification retries when > 0)\n"
+                 "  --fault-seed     seed for the fault injector (default: "
+                 "scenario seed)\n";
     std::exit(0);
   }
   BenchConfig config;
@@ -59,6 +70,12 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
   const std::int64_t jobs = args.get_int("jobs", 1);
   config.jobs = jobs < 1 ? 1 : static_cast<std::size_t>(jobs);
   config.json_path = args.get_string("json", "");
+  config.loss = args.get_double("loss", 0.0);
+  config.fault_seed_set = args.has("fault-seed");
+  if (config.fault_seed_set) {
+    config.fault_seed =
+        static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
   return config;
 }
 
@@ -66,6 +83,88 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
 /// defaults otherwise).
 inline void apply_seed(exp::ScenarioParams& params, const BenchConfig& config) {
   if (config.seed_set) params.seed = config.seed;
+}
+
+/// Retry cap used whenever a bench turns loss on: enough attempts that a
+/// notification survives heavy loss (0.5^6 ~ 1.6% residual failure) while
+/// the backoff keeps the extra traffic negligible.
+inline constexpr std::uint32_t kBenchNotifyRetryCap = 6;
+
+/// Applies the --loss / --fault-seed overrides. With --loss 0 (the
+/// default) this leaves `params` untouched so every artifact stays
+/// byte-identical to a build without the fault layer; with loss > 0 it
+/// arms the injector and the notification retry machinery.
+inline void apply_fault(exp::ScenarioParams& params, const BenchConfig& config) {
+  if (config.loss <= 0.0 && !config.fault_seed_set) return;
+  params.fault.loss_rate = config.loss;
+  params.fault.seed = config.fault_seed_set ? config.fault_seed : params.seed;
+  params.notify_retry_cap = kBenchNotifyRetryCap;
+}
+
+/// Accumulates medium drop counters and notification-reliability totals
+/// across runs, for the "counters" block of a JSON artifact.
+struct FaultCounters {
+  net::Medium::Counters medium;
+  std::uint64_t notify_retries = 0;
+  std::uint64_t notifications_applied = 0;
+
+  void add(const exp::RunResult& run) {
+    medium.broadcasts += run.medium.broadcasts;
+    medium.unicasts += run.medium.unicasts;
+    medium.delivered += run.medium.delivered;
+    medium.dropped_out_of_range += run.medium.dropped_out_of_range;
+    medium.dropped_dead += run.medium.dropped_dead;
+    medium.dropped_unknown += run.medium.dropped_unknown;
+    medium.dropped_injected += run.medium.dropped_injected;
+    medium.dropped_faulted += run.medium.dropped_faulted;
+    notify_retries += run.notify_retries;
+    notifications_applied += run.notifications_applied;
+  }
+
+  void add(const std::vector<exp::ComparisonPoint>& points) {
+    for (const auto& pt : points) {
+      add(pt.baseline);
+      add(pt.cost_unaware);
+      add(pt.informed);
+    }
+  }
+
+  void add(const FaultCounters& other) {
+    medium.broadcasts += other.medium.broadcasts;
+    medium.unicasts += other.medium.unicasts;
+    medium.delivered += other.medium.delivered;
+    medium.dropped_out_of_range += other.medium.dropped_out_of_range;
+    medium.dropped_dead += other.medium.dropped_dead;
+    medium.dropped_unknown += other.medium.dropped_unknown;
+    medium.dropped_injected += other.medium.dropped_injected;
+    medium.dropped_faulted += other.medium.dropped_faulted;
+    notify_retries += other.notify_retries;
+    notifications_applied += other.notifications_applied;
+  }
+
+  void export_to(runtime::SweepReport& report) const {
+    report.set_counter("unicasts", medium.unicasts);
+    report.set_counter("delivered", medium.delivered);
+    report.set_counter("dropped_out_of_range", medium.dropped_out_of_range);
+    report.set_counter("dropped_dead", medium.dropped_dead);
+    report.set_counter("dropped_unknown", medium.dropped_unknown);
+    report.set_counter("dropped_injected", medium.dropped_injected);
+    report.set_counter("dropped_faulted", medium.dropped_faulted);
+    report.set_counter("notify_retries", notify_retries);
+    report.set_counter("notifications_applied", notifications_applied);
+  }
+};
+
+/// Adds the drop/retry counters to the artifact, but only when fault
+/// injection is armed: with --loss 0 the "counters" object must stay
+/// absent so fig artifacts remain byte-identical to pre-fault builds.
+inline void export_fault_counters(
+    runtime::SweepReport& report, const BenchConfig& config,
+    const std::vector<exp::ComparisonPoint>& points) {
+  if (config.loss <= 0.0) return;
+  FaultCounters totals;
+  totals.add(points);
+  totals.export_to(report);
 }
 
 /// run_comparison routed through the parallel sweep runtime; bit-identical

@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
   // steady state is reached regardless of profitability.
   exp::ScenarioParams p = scenario();
   bench::apply_seed(p, config);
+  bench::apply_fault(p, config);
   p.strategy = net::StrategyId::kMinTotalEnergy;
   const exp::PlacementSnapshot min_energy =
       exp::run_placement(p, core::MobilityMode::kCostUnaware, opts);
@@ -95,6 +96,12 @@ int main(int argc, char** argv) {
   runtime::SweepReport report("fig5_placement");
   report.add_series("min_energy_final_energies", min_energy.final_energies);
   report.add_series("max_lifetime_final_energies", lifetime.final_energies);
+  if (config.loss > 0.0) {
+    bench::FaultCounters totals;
+    totals.add(min_energy.run);
+    totals.add(lifetime.run);
+    totals.export_to(report);
+  }
   bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -27,15 +27,18 @@ struct PanelSpec {
 };
 
 void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
-               bool print_decomposition, runtime::SweepReport& report) {
+               bool print_decomposition, runtime::SweepReport& report,
+               bench::FaultCounters& fault_totals) {
   exp::ScenarioParams p = bench::paper_defaults();
   p.mobility.k = spec.k;
   p.radio.alpha = spec.alpha;
   if (spec.alpha == 3.0) p.radio.b = bench::kAmplifierAlpha3;
   p.mean_flow_bits = spec.mean_flow_bits;
   bench::apply_seed(p, config);
+  bench::apply_fault(p, config);
 
   const auto points = bench::run_comparison(p, config);
+  if (config.loss > 0.0) fault_totals.add(points);
 
   util::Summary cu, in, mobility_j, transmit_j;
   std::vector<double> cu_ratios, in_ratios;
@@ -119,12 +122,14 @@ int main(int argc, char** argv) {
       {"(e) k=0.1 alpha=2 mean=1MB", 0.1, 2.0, 1.0 * bench::kMB},
       {"(f) k=0.5 alpha=3 mean=1MB", 0.5, 3.0, 1.0 * bench::kMB},
   };
+  bench::FaultCounters fault_totals;
   for (const auto& panel : panels) {
     run_panel(panel, config,
               /*print_decomposition=*/panel.k == 0.5 && panel.alpha == 2.0 &&
                   panel.mean_flow_bits < bench::kMB,
-              report);
+              report, fault_totals);
   }
+  if (config.loss > 0.0) fault_totals.export_to(report);
   bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   exp::ScenarioParams p = bench::paper_defaults();
   p.mean_flow_bits = 1.0 * bench::kMB;  // the long-flow case of Fig 6(c)
   bench::apply_seed(p, config);
+  bench::apply_fault(p, config);
 
   const auto points = bench::run_comparison(p, config);
 
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
 
   runtime::SweepReport report("fig7_notifications");
   report.add_series("notifications", series.ys);
+  bench::export_fault_counters(report, config, points);
   bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   p.energy_hi_j = 100.0;
   p.seed = 20050611;
   bench::apply_seed(p, config);
+  bench::apply_fault(p, config);
 
   exp::RunOptions opts;
   opts.stop_on_first_death = true;
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
   runtime::SweepReport report("fig8_lifetime");
   report.add_series("lifetime_ratio_cost_unaware", cu_s.ys);
   report.add_series("lifetime_ratio_informed", in_s.ys);
+  bench::export_fault_counters(report, config, points);
   bench::export_report(report, config, stopwatch);
   return 0;
 }

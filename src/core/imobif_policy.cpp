@@ -264,6 +264,13 @@ std::optional<bool> ImobifPolicy::evaluate_at_destination(
   if (mobility_better && !data.mobility_enabled) desired = true;
   if (!desired.has_value()) return std::nullopt;
 
+  // Reliability layer (node retry cap > 0): an identical request is
+  // already awaiting confirmation — the retry timer owns retransmission,
+  // so per-packet re-evaluation must not flood duplicates upstream.
+  if (entry.pending_status.has_value() && *entry.pending_status == *desired) {
+    return std::nullopt;
+  }
+
   // Optional damping: a request was sent recently and the source has not
   // yet had `gap` packets to act on it (or flipped back) - hold off.
   if (notification_min_gap_ > 0 && entry.last_notify_seq.has_value() &&

@@ -41,6 +41,9 @@ RunResult run_instance(const FlowInstance& instance,
       sim::Time::from_seconds(4.5 * params.hello_interval_s);
   config.node.charge_hello_energy = params.charge_hello_energy;
   config.node.position_error_m = params.position_error_m;
+  config.node.notify_retry_cap = params.notify_retry_cap;
+  config.node.notify_retry_timeout =
+      sim::Time::from_seconds(params.notify_retry_timeout_s);
   config.radio = params.radio;
 
   net::Network network(config);
@@ -73,6 +76,7 @@ RunResult run_instance(const FlowInstance& instance,
   }
   network.set_policy(policy.get());
   network.set_stop_on_first_death(options.stop_on_first_death);
+  network.medium().install_fault_plan(params.fault);
 
   network.warmup(params.warmup_s);
   const double warmup_consumed = network.total_consumed_energy();
@@ -112,6 +116,9 @@ RunResult run_instance(const FlowInstance& instance,
   result.total_energy_j = network.total_consumed_energy() - warmup_consumed;
 
   result.notifications = prog.notifications_from_dest;
+  result.notify_retries = prog.notification_retries;
+  result.notifications_applied = prog.notifications_at_source;
+  result.medium = network.medium().counters();
   result.recruits = prog.recruits;
   result.movements = policy->movements_applied();
   result.moved_distance_m = policy->total_distance_moved();

@@ -23,9 +23,15 @@ struct RunResult {
   double total_energy_j = 0.0;
 
   std::uint64_t notifications = 0;  ///< status-change packets from the dest
+  std::uint64_t notify_retries = 0; ///< notification retransmissions
+  std::uint64_t notifications_applied = 0;  ///< flips applied at the source
   std::uint64_t recruits = 0;       ///< relays recruited into the flow (E2)
   std::uint64_t movements = 0;
   double moved_distance_m = 0.0;
+
+  /// Medium-level drop counters (out-of-range, dead/faulted receivers,
+  /// injected channel loss, ...) accumulated over warmup + flow.
+  net::Medium::Counters medium;
 
   /// Simulated time (from flow start) until the first node died; equals the
   /// run duration when nobody died (censored).

@@ -27,6 +27,10 @@ void ScenarioParams::validate() const {
   if (length_estimate_factor < 0.0) {
     throw std::invalid_argument("Scenario: negative estimate factor");
   }
+  fault.validate();
+  if (notify_retry_timeout_s <= 0.0) {
+    throw std::invalid_argument("Scenario: notify retry timeout <= 0");
+  }
 }
 
 }  // namespace imobif::exp

@@ -11,6 +11,7 @@
 
 #include "energy/mobility_model.hpp"
 #include "energy/radio_model.hpp"
+#include "net/fault.hpp"
 #include "net/packet.hpp"
 
 namespace imobif::exp {
@@ -75,6 +76,16 @@ struct ScenarioParams {
   /// Relay recruitment margin (extension E2); 0 disables recruitment,
   /// > 0 enables it with that relocation-cost margin.
   double recruit_margin = 0.0;
+
+  // Fault model (DESIGN.md §7). The default plan is disabled and injects
+  // nothing; with loss/crashes configured, every fault sequence is
+  // deterministic in fault.seed alone (independent of the scenario seed).
+  net::FaultPlan fault;
+  /// Destination-side notification reliability: retransmit an unconfirmed
+  /// status-change request up to this many times with doubling backoff.
+  /// 0 = the paper's fire-and-forget notification (default).
+  std::uint32_t notify_retry_cap = 0;
+  double notify_retry_timeout_s = 2.0;
 
   std::uint64_t seed = 1;
 

@@ -69,6 +69,24 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
       static_cast<std::int64_t>(params.notification_min_gap)));
   params.recruit_margin =
       config.get_double("recruit_margin", params.recruit_margin);
+
+  params.fault.loss_rate =
+      config.get_double("loss_rate", params.fault.loss_rate);
+  params.fault.gilbert_elliott =
+      config.get_bool("gilbert_elliott", params.fault.gilbert_elliott);
+  params.fault.p_good_to_bad =
+      config.get_double("p_good_to_bad", params.fault.p_good_to_bad);
+  params.fault.p_bad_to_good =
+      config.get_double("p_bad_to_good", params.fault.p_bad_to_good);
+  params.fault.loss_good = config.get_double("loss_good", params.fault.loss_good);
+  params.fault.loss_bad = config.get_double("loss_bad", params.fault.loss_bad);
+  params.fault.seed = static_cast<std::uint64_t>(config.get_int(
+      "fault_seed", static_cast<std::int64_t>(params.fault.seed)));
+  params.notify_retry_cap = static_cast<std::uint32_t>(config.get_int(
+      "notify_retry_cap", static_cast<std::int64_t>(params.notify_retry_cap)));
+  params.notify_retry_timeout_s = config.get_double(
+      "notify_retry_timeout_s", params.notify_retry_timeout_s);
+
   params.seed = static_cast<std::uint64_t>(
       config.get_int("seed", static_cast<std::int64_t>(params.seed)));
 }
@@ -111,6 +129,16 @@ std::string to_config_string(const ScenarioParams& p) {
      << (p.exact_lifetime_split ? "true" : "false") << "\n"
      << "notification_min_gap = " << p.notification_min_gap << "\n"
      << "recruit_margin = " << p.recruit_margin << "\n"
+     << "loss_rate = " << p.fault.loss_rate << "\n"
+     << "gilbert_elliott = " << (p.fault.gilbert_elliott ? "true" : "false")
+     << "\n"
+     << "p_good_to_bad = " << p.fault.p_good_to_bad << "\n"
+     << "p_bad_to_good = " << p.fault.p_bad_to_good << "\n"
+     << "loss_good = " << p.fault.loss_good << "\n"
+     << "loss_bad = " << p.fault.loss_bad << "\n"
+     << "fault_seed = " << p.fault.seed << "\n"
+     << "notify_retry_cap = " << p.notify_retry_cap << "\n"
+     << "notify_retry_timeout_s = " << p.notify_retry_timeout_s << "\n"
      << "seed = " << p.seed << "\n";
   return os.str();
 }

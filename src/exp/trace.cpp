@@ -12,6 +12,8 @@ const char* TraceRecorder::to_string(Kind kind) {
       return "delivered";
     case Kind::kNotificationInitiated:
       return "notify-sent";
+    case Kind::kNotificationRetry:
+      return "notify-retry";
     case Kind::kNotificationAtSource:
       return "notify-at-source";
     case Kind::kNodeDepleted:
@@ -52,6 +54,13 @@ void TraceRecorder::on_notification_initiated(
     net::Node& dest, const net::NotificationBody& body) {
   record(dest, Kind::kNotificationInitiated, body.flow_id,
          body.enable ? "enable" : "disable");
+}
+
+void TraceRecorder::on_notification_retry(
+    net::Node& dest, const net::NotificationBody& body) {
+  record(dest, Kind::kNotificationRetry, body.flow_id,
+         std::string(body.enable ? "enable" : "disable") +
+             " attempt=" + std::to_string(body.attempt));
 }
 
 void TraceRecorder::on_notification_at_source(

@@ -16,6 +16,7 @@ class TraceRecorder : public net::NetworkEvents {
   enum class Kind {
     kDelivered,
     kNotificationInitiated,
+    kNotificationRetry,
     kNotificationAtSource,
     kNodeDepleted,
     kDrop,
@@ -43,6 +44,8 @@ class TraceRecorder : public net::NetworkEvents {
   void on_delivered(net::Node& dest, const net::DataBody& data) override;
   void on_notification_initiated(net::Node& dest,
                                  const net::NotificationBody& body) override;
+  void on_notification_retry(net::Node& dest,
+                             const net::NotificationBody& body) override;
   void on_notification_at_source(net::Node& source,
                                  const net::NotificationBody& body) override;
   void on_node_depleted(net::Node& node) override;

@@ -1,0 +1,98 @@
+// Fault injection for the wireless medium (DESIGN.md §7).
+//
+// A FaultPlan describes everything that can go wrong in a run: independent
+// per-delivery packet loss, bursty Gilbert–Elliott channel loss, and a node
+// crash/pause schedule. The plan is pure data; the FaultInjector turns it
+// into per-packet drop decisions that are *stateless hashes* of
+// (seed, link, per-link packet index). Every fault sequence is therefore
+// deterministic and replayable from the seed alone: adding nodes, reordering
+// unrelated traffic, or changing the worker count of a sweep never perturbs
+// the decision a given link makes for its k-th packet.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace imobif::net {
+
+struct FaultPlan {
+  /// Independent per-delivery drop probability in [0, 1), applied to every
+  /// unicast delivery and to each broadcast receiver separately. Channel
+  /// loss is *silent*: the sender pays transmit energy and sees no
+  /// link-layer failure (unlike dead/unknown destinations).
+  double loss_rate = 0.0;
+
+  /// Gilbert–Elliott burst loss: each link runs a two-state (good/bad)
+  /// Markov chain advanced once per packet; the packet is then dropped
+  /// with the state's loss probability. Stationary loss fraction is
+  /// p_good_to_bad / (p_good_to_bad + p_bad_to_good) * loss_bad (+ the
+  /// good-state term); mean bad-burst length is 1 / p_bad_to_good.
+  /// Overrides `loss_rate` when enabled.
+  bool gilbert_elliott = false;
+  double p_good_to_bad = 0.0;
+  double p_bad_to_good = 0.1;
+  double loss_good = 0.0;
+  double loss_bad = 1.0;
+
+  /// Node crash/pause schedule, executed through the simulator: at `at_s`
+  /// (absolute simulated seconds) the node stops transmitting, receiving,
+  /// and beaconing; with `duration_s` >= 0 it resumes that many seconds
+  /// later, otherwise the crash is permanent. Deliveries to a crashed node
+  /// fail link-layer-visibly (like a dead node), so routing can repair
+  /// around it.
+  struct CrashEvent {
+    NodeId node = kInvalidNode;
+    double at_s = 0.0;
+    double duration_s = -1.0;  ///< < 0 = permanent crash
+  };
+  std::vector<CrashEvent> crashes;
+
+  /// Seed for every drop decision; independent of the scenario seed so a
+  /// sweep can vary the fault world while replaying identical instances.
+  std::uint64_t seed = 0;
+
+  /// True when the plan injects anything at all; a default-constructed
+  /// plan is a no-op and installing it changes nothing.
+  bool has_loss() const { return loss_rate > 0.0 || gilbert_elliott; }
+  bool enabled() const { return has_loss() || !crashes.empty(); }
+
+  void validate() const;
+};
+
+/// Turns a FaultPlan's loss model into per-delivery drop decisions.
+/// One injector serves one Medium (one simulated network); sweeps build a
+/// fresh Network per job, so injectors are never shared across threads.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decides the fate of the next packet on the directed link from -> to.
+  /// The decision depends only on (plan.seed, from, to, k) where k counts
+  /// this link's prior decisions — never on other links or node count.
+  bool should_drop(NodeId from, NodeId to);
+
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  struct LinkState {
+    std::uint64_t packets = 0;
+    bool bad = false;  ///< Gilbert–Elliott channel state
+  };
+
+  /// Uniform [0, 1) hash of (seed, link, packet index, draw index).
+  double link_uniform(std::uint64_t link_key, std::uint64_t index,
+                      std::uint64_t draw) const;
+
+  FaultPlan plan_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace imobif::net

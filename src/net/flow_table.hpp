@@ -11,6 +11,7 @@
 #include "geom/vec2.hpp"
 #include "net/ids.hpp"
 #include "net/packet.hpp"
+#include "sim/event_queue.hpp"
 
 namespace imobif::net {
 
@@ -33,6 +34,21 @@ struct FlowEntry {
   /// Destination-side notification damping state (core policy option):
   /// sequence number of the last status-change request sent upstream.
   std::optional<std::uint32_t> last_notify_seq;
+
+  /// Notification-reliability state (destination side, active when
+  /// NodeConfig::notify_retry_cap > 0): the requested status awaiting
+  /// confirmation via the source's stamped mobility_enabled, the aggregate
+  /// that justified it (re-sent verbatim on retries), the decision
+  /// sequence number, attempts so far, and the pending retry timer.
+  std::optional<bool> pending_status;
+  MobilityAggregate notify_agg;
+  std::uint32_t notify_decision_seq = 0;
+  std::uint32_t notify_attempts = 0;
+  sim::EventId notify_retry_event = 0;
+
+  /// Source side: highest decision sequence already applied; stale or
+  /// duplicate notifications (<= this) are ignored instead of re-applied.
+  std::uint32_t notify_applied_seq = 0;
 
   /// Relay-recruitment bookkeeping (core policy option): how many times
   /// this node split its own downstream hop for this flow.

@@ -58,6 +58,14 @@ void Medium::broadcast(const Node& sender, const Packet& pkt) {
         if (id == sender.id()) return;
         Node* node = by_id_.at(id);
         if (!node->alive()) return;
+        if (node->faulted()) {
+          ++counters_.dropped_faulted;
+          return;
+        }
+        if (injector_ != nullptr && injector_->should_drop(sender.id(), id)) {
+          ++counters_.dropped_injected;
+          return;
+        }
         deliver_later(*node, pkt);
       });
 }
@@ -73,14 +81,43 @@ bool Medium::unicast(const Node& sender, NodeId dest, const Packet& pkt) {
     ++counters_.dropped_dead;
     return false;
   }
+  // A crashed/paused node fails link-layer-visibly like a dead one, so the
+  // sender's local repair can route around it.
+  if (node->faulted()) {
+    ++counters_.dropped_faulted;
+    return false;
+  }
   if (config_.unicast_range_gated &&
       geom::distance(sender.position(), node->position()) >
           config_.comm_range_m) {
     ++counters_.dropped_out_of_range;
     return false;
   }
+  if (injector_ != nullptr && injector_->should_drop(sender.id(), dest)) {
+    ++counters_.dropped_injected;
+    return true;  // silent loss: accepted by the channel, never delivered
+  }
   deliver_later(*node, pkt);
   return true;
+}
+
+void Medium::install_fault_plan(const FaultPlan& plan) {
+  plan.validate();
+  if (!plan.enabled()) return;
+  if (plan.has_loss()) injector_ = std::make_unique<FaultInjector>(plan);
+  for (const FaultPlan::CrashEvent& crash : plan.crashes) {
+    sim_.at(sim::Time::from_seconds(crash.at_s), [this, id = crash.node] {
+      Node* node = find_node(id);
+      if (node != nullptr) node->set_faulted(true);
+    });
+    if (crash.duration_s >= 0.0) {
+      sim_.at(sim::Time::from_seconds(crash.at_s + crash.duration_s),
+              [this, id = crash.node] {
+                Node* node = find_node(id);
+                if (node != nullptr) node->set_faulted(false);
+              });
+    }
+  }
 }
 
 }  // namespace imobif::net

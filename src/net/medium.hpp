@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "geom/vec2.hpp"
+#include "net/fault.hpp"
 #include "net/grid_index.hpp"
 #include "net/ids.hpp"
 #include "net/packet.hpp"
@@ -61,8 +62,18 @@ class Medium {
 
   /// Delivers to `dest` iff it is alive and in range of the sender's
   /// position at transmit time. Returns true when the packet was accepted
-  /// for delivery.
+  /// for delivery. Injected channel loss (see install_fault_plan) is
+  /// *silent*: the packet is counted as dropped_injected but unicast still
+  /// returns true — a wireless sender cannot tell a lost frame from a
+  /// delivered one without an ACK.
   bool unicast(const Node& sender, NodeId dest, const Packet& pkt);
+
+  /// Installs a fault plan (DESIGN.md §7): deterministic injected link
+  /// loss and a node crash/pause schedule executed through the simulator.
+  /// Installing a disabled (default) plan is a no-op. Call before running
+  /// the simulation; crash times are absolute simulated seconds.
+  void install_fault_plan(const FaultPlan& plan);
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
   struct Counters {
     std::uint64_t broadcasts = 0;
@@ -71,6 +82,8 @@ class Medium {
     std::uint64_t dropped_out_of_range = 0;
     std::uint64_t dropped_dead = 0;
     std::uint64_t dropped_unknown = 0;
+    std::uint64_t dropped_injected = 0;  ///< fault-injected channel loss
+    std::uint64_t dropped_faulted = 0;   ///< receiver crashed/paused
   };
   const Counters& counters() const { return counters_; }
 
@@ -83,6 +96,7 @@ class Medium {
   std::unordered_map<NodeId, Node*> by_id_;
   GridIndex index_;
   Counters counters_;
+  std::unique_ptr<FaultInjector> injector_;
 };
 
 }  // namespace imobif::net

@@ -216,6 +216,13 @@ void Network::on_notification_initiated(Node& dest,
   if (tap_ != nullptr) tap_->on_notification_initiated(dest, body);
 }
 
+void Network::on_notification_retry(Node& dest,
+                                    const NotificationBody& body) {
+  auto it = flows_.find(body.flow_id);
+  if (it != flows_.end()) ++it->second.notification_retries;
+  if (tap_ != nullptr) tap_->on_notification_retry(dest, body);
+}
+
 void Network::on_notification_at_source(Node& source,
                                         const NotificationBody& body) {
   auto it = flows_.find(body.flow_id);

@@ -43,6 +43,7 @@ struct FlowProgress {
   std::uint64_t packets_emitted = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t notifications_from_dest = 0;
+  std::uint64_t notification_retries = 0;  ///< reliability retransmissions
   std::uint64_t notifications_at_source = 0;
   std::uint64_t recruits = 0;
   std::uint64_t drops = 0;
@@ -119,6 +120,8 @@ class Network : public NetworkEvents {
   void on_delivered(Node& dest, const DataBody& data) override;
   void on_notification_initiated(Node& dest,
                                  const NotificationBody& body) override;
+  void on_notification_retry(Node& dest,
+                             const NotificationBody& body) override;
   void on_notification_at_source(Node& source,
                                  const NotificationBody& body) override;
   void on_node_depleted(Node& node) override;

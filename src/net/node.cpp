@@ -20,6 +20,10 @@ const char* to_string(DropReason reason) {
       return "out-of-range";
     case DropReason::kUnknownFlow:
       return "unknown-flow";
+    case DropReason::kFaulted:
+      return "faulted";
+    case DropReason::kStaleNotify:
+      return "stale-notify";
   }
   return "?";
 }
@@ -27,6 +31,7 @@ const char* to_string(DropReason reason) {
 void NetworkEvents::on_delivered(Node&, const DataBody&) {}
 void NetworkEvents::on_notification_initiated(Node&,
                                               const NotificationBody&) {}
+void NetworkEvents::on_notification_retry(Node&, const NotificationBody&) {}
 void NetworkEvents::on_notification_at_source(Node&,
                                               const NotificationBody&) {}
 void NetworkEvents::on_node_depleted(Node&) {}
@@ -52,6 +57,16 @@ Node::Node(NodeId id, geom::Vec2 position, double initial_energy,
 }
 
 sim::Time Node::now() const { return services_.sim->now(); }
+
+void Node::set_faulted(bool faulted) {
+  if (faulted_ == faulted) return;
+  faulted_ = faulted;
+  if (faulted_) {
+    stop_hello();
+  } else if (alive()) {
+    start_hello();
+  }
+}
 
 void Node::set_position(geom::Vec2 p) {
   position_ = p;
@@ -111,7 +126,7 @@ void Node::stop_hello() {
 }
 
 void Node::send_hello_now() {
-  if (!alive()) return;
+  if (!alive() || faulted_) return;
   Packet pkt = stamp(PacketType::kHello, kBroadcast, config_.hello_bits);
   pkt.body = HelloBody{};
   if (config_.charge_hello_energy) {
@@ -146,7 +161,7 @@ NeighborInfo Node::lookup(NodeId other) const {
 }
 
 bool Node::transmit(Packet pkt, NodeId next, geom::Vec2 next_position) {
-  if (!alive()) return false;
+  if (!alive() || faulted_) return false;
   // Perfect power control (Assumption 4, hardware-support path): the
   // radio pays exactly the energy needed to reach the next hop's true
   // position; the caller's estimate is the fallback for unknown nodes.
@@ -166,7 +181,7 @@ bool Node::transmit(Packet pkt, NodeId next, geom::Vec2 next_position) {
 }
 
 bool Node::broadcast_packet(Packet pkt) {
-  if (!alive()) return false;
+  if (!alive() || faulted_) return false;
   const double cost = services_.radio->transmit_energy(
       services_.medium->comm_range(), pkt.size_bits);
   const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
@@ -182,7 +197,7 @@ bool Node::broadcast_packet(Packet pkt) {
 
 double Node::move_towards(geom::Vec2 target, double max_step,
                           double cost_per_meter) {
-  if (!alive()) return 0.0;
+  if (!alive() || faulted_) return 0.0;
   geom::Vec2 desired = geom::step_towards(position_, target, max_step);
   double dist = geom::distance(position_, desired);
   if (dist <= 0.0) return 0.0;
@@ -229,6 +244,14 @@ void Node::handle_receive(const Packet& pkt) {
   if (!alive()) {
     if (services_.events != nullptr) {
       services_.events->on_drop(*this, pkt.type, DropReason::kDeadNode);
+    }
+    return;
+  }
+  // In-flight packets scheduled before a crash arrive after it took
+  // effect; a crashed radio hears nothing.
+  if (faulted_) {
+    if (services_.events != nullptr) {
+      services_.events->on_drop(*this, pkt.type, DropReason::kFaulted);
     }
     return;
   }
@@ -299,6 +322,14 @@ void Node::handle_data(DataBody data, const SenderStamp& from) {
   if (data.destination == id_) {
     // Figure 1, lines 7-11: deliver and run UpdateMobilityStatus.
     if (services_.events != nullptr) services_.events->on_delivered(*this, data);
+    // Reliability layer: the source's stamped status now reflects the
+    // pending request — the flip is confirmed, stop retransmitting.
+    if (entry.pending_status.has_value() &&
+        data.mobility_enabled == *entry.pending_status) {
+      entry.pending_status.reset();
+      entry.notify_attempts = 0;
+      cancel_notify_retry(entry);
+    }
     if (services_.policy != nullptr) {
       const std::optional<bool> change =
           services_.policy->evaluate_at_destination(*this, data, entry);
@@ -363,11 +394,23 @@ bool Node::forward_with_repair(const DataBody& data, FlowEntry& entry) {
 void Node::send_notification(FlowEntry& entry, bool enable,
                              const MobilityAggregate& agg) {
   if (entry.prev == kInvalidNode) return;
+  // A new decision supersedes any pending one: bump the sequence, reset
+  // the attempt counter, and restart the retry clock.
+  cancel_notify_retry(entry);
+  ++entry.notify_decision_seq;
+  entry.notify_attempts = 0;
+  entry.notify_agg = agg;
+  entry.pending_status =
+      config_.notify_retry_cap > 0 ? std::optional<bool>(enable)
+                                   : std::nullopt;
+
   NotificationBody body;
   body.flow_id = entry.id;
   body.flow_source = entry.source;
   body.enable = enable;
   body.agg = agg;
+  body.decision_seq = entry.notify_decision_seq;
+  body.attempt = 0;
   if (services_.events != nullptr) {
     services_.events->on_notification_initiated(*this, body);
   }
@@ -375,6 +418,69 @@ void Node::send_notification(FlowEntry& entry, bool enable,
       stamp(PacketType::kNotification, entry.prev, config_.notification_bits);
   pkt.body = body;
   transmit(std::move(pkt), entry.prev, lookup(entry.prev).position);
+  schedule_notify_retry(entry);
+}
+
+void Node::transmit_notification(FlowEntry& entry) {
+  NotificationBody body;
+  body.flow_id = entry.id;
+  body.flow_source = entry.source;
+  body.enable = *entry.pending_status;
+  body.agg = entry.notify_agg;
+  body.decision_seq = entry.notify_decision_seq;
+  body.attempt = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(entry.notify_attempts, 255));
+  if (services_.events != nullptr) {
+    services_.events->on_notification_retry(*this, body);
+  }
+  Packet pkt =
+      stamp(PacketType::kNotification, entry.prev, config_.notification_bits);
+  pkt.body = body;
+  transmit(std::move(pkt), entry.prev, lookup(entry.prev).position);
+  schedule_notify_retry(entry);
+}
+
+void Node::notify_retry_tick(FlowId flow) {
+  FlowEntry* entry = flows_.find(flow);
+  if (entry == nullptr) return;
+  entry->notify_retry_event = 0;
+  if (!entry->pending_status.has_value()) return;
+  if (!alive()) return;
+  if (faulted_ || entry->prev == kInvalidNode) {
+    // A crashed destination (or a path broken right at the last hop)
+    // abandons the request; a later packet re-evaluates from scratch.
+    entry->pending_status.reset();
+    return;
+  }
+  ++entry->notify_attempts;
+  transmit_notification(*entry);
+}
+
+void Node::schedule_notify_retry(FlowEntry& entry) {
+  if (config_.notify_retry_cap == 0 || !entry.pending_status.has_value()) {
+    return;
+  }
+  if (entry.notify_attempts >= config_.notify_retry_cap) {
+    // Retry cap hit: give up gracefully. The request stays un-applied and
+    // the destination may issue a fresh decision on a later packet.
+    entry.pending_status.reset();
+    return;
+  }
+  // Exponential backoff: timeout * 2^attempts (shift capped well below
+  // overflow; the retry cap keeps attempts small anyway).
+  const int shift = static_cast<int>(std::min<std::uint32_t>(
+      entry.notify_attempts, 16));
+  const sim::Time delay =
+      sim::Time::from_ticks(config_.notify_retry_timeout.ticks() << shift);
+  entry.notify_retry_event = services_.sim->after(
+      delay, [this, flow = entry.id] { notify_retry_tick(flow); });
+}
+
+void Node::cancel_notify_retry(FlowEntry& entry) {
+  if (entry.notify_retry_event != 0) {
+    services_.sim->cancel(entry.notify_retry_event);
+    entry.notify_retry_event = 0;
+  }
 }
 
 void Node::handle_notification(NotificationBody body) {
@@ -387,6 +493,20 @@ void Node::handle_notification(NotificationBody body) {
     return;
   }
   if (body.flow_source == id_) {
+    // Stale/duplicate filter: retransmissions (and reordered copies after
+    // a path repair) of decisions at or below the last applied one are
+    // ignored so the status can only move forward, never flip back.
+    if (body.decision_seq != 0 &&
+        body.decision_seq <= entry->notify_applied_seq) {
+      if (services_.events != nullptr) {
+        services_.events->on_drop(*this, PacketType::kNotification,
+                                  DropReason::kStaleNotify);
+      }
+      return;
+    }
+    // Unstamped (legacy) notifications bypass the filter without
+    // resetting the monotone counter.
+    if (body.decision_seq != 0) entry->notify_applied_seq = body.decision_seq;
     // Source updates the flow's mobility status; the next data packet
     // carries it to every node on the path.
     entry->mobility_enabled = body.enable;

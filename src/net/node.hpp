@@ -29,6 +29,8 @@ enum class DropReason : std::uint8_t {
   kNoEnergy,
   kOutOfRange,
   kUnknownFlow,
+  kFaulted,       ///< node crashed/paused by a fault plan
+  kStaleNotify,   ///< notification older than the last applied decision
 };
 
 const char* to_string(DropReason reason);
@@ -40,6 +42,10 @@ class NetworkEvents {
   virtual void on_delivered(Node& dest, const DataBody& data);
   virtual void on_notification_initiated(Node& dest,
                                          const NotificationBody& body);
+  /// The destination retransmitted an unconfirmed status-change request
+  /// (reliability layer; body.attempt > 0).
+  virtual void on_notification_retry(Node& dest,
+                                     const NotificationBody& body);
   virtual void on_notification_at_source(Node& source,
                                          const NotificationBody& body);
   virtual void on_node_depleted(Node& node);
@@ -57,6 +63,13 @@ struct NodeConfig {
   /// When false, HELLO beacons are free (ideal control plane); when true
   /// they are charged at full-range power like any transmission.
   bool charge_hello_energy = true;
+  /// Notification reliability (DESIGN.md §7): when retry_cap > 0 the
+  /// destination retransmits an unconfirmed status-change request after
+  /// notify_retry_timeout (doubling on every attempt) until the source's
+  /// stamped status confirms the flip or the cap is hit; 0 reproduces the
+  /// paper's fire-and-forget notification exactly.
+  std::uint32_t notify_retry_cap = 0;
+  sim::Time notify_retry_timeout = sim::Time::from_seconds(2.0);
   /// Localization error radius: the position a node *advertises* (in
   /// HELLO beacons and packet stamps) is its true position plus a
   /// deterministic pseudo-random offset uniform in a disc of this radius,
@@ -92,6 +105,10 @@ class Node {
   /// plus the configured localization error (see NodeConfig).
   geom::Vec2 advertised_position() const;
   bool alive() const { return !battery_.depleted(); }
+  /// Crash/pause state driven by the medium's fault plan: a faulted node
+  /// neither transmits, receives, nor beacons until resumed.
+  bool faulted() const { return faulted_; }
+  void set_faulted(bool faulted);
   sim::Time now() const;
 
   energy::Battery& battery() { return battery_; }
@@ -156,6 +173,12 @@ class Node {
   void handle_notification(NotificationBody body);
   void send_notification(FlowEntry& entry, bool enable,
                          const MobilityAggregate& agg);
+  /// Transmits the current pending decision upstream and (re-)arms the
+  /// retry timer; shared by the first transmission and every retry.
+  void transmit_notification(FlowEntry& entry);
+  void notify_retry_tick(FlowId flow);
+  void schedule_notify_retry(FlowEntry& entry);
+  void cancel_notify_retry(FlowEntry& entry);
   Packet stamp(PacketType type, NodeId link_dest, double size_bits) const;
 
   NodeId id_;
@@ -167,6 +190,7 @@ class Node {
   NodeConfig config_;
   sim::EventId hello_event_ = 0;
   double total_moved_ = 0.0;
+  bool faulted_ = false;
 };
 
 }  // namespace imobif::net

@@ -94,6 +94,15 @@ struct NotificationBody {
   NodeId flow_source = kInvalidNode;
   bool enable = false;
   MobilityAggregate agg;
+  /// Destination's per-flow decision number, monotonically increasing.
+  /// The source applies a notification only when its sequence exceeds the
+  /// last applied one, so a retransmission of an old decision arriving
+  /// after a newer one (possible once paths repair mid-flow) can never
+  /// flip the status backwards.
+  std::uint32_t decision_seq = 0;
+  /// 0 on the first transmission of a decision; > 0 on reliability-layer
+  /// retransmissions (saturates at 255).
+  std::uint8_t attempt = 0;
 };
 
 /// AODV-lite route discovery (substrate referenced by the framework

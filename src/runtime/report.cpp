@@ -16,6 +16,10 @@ void SweepReport::set_meta(const std::string& key, util::Json value) {
   meta_.set(key, std::move(value));
 }
 
+void SweepReport::set_counter(const std::string& key, std::uint64_t value) {
+  counters_.set(key, value);
+}
+
 void SweepReport::add_series(const std::string& name,
                              const std::vector<double>& values,
                              bool include_values) {
@@ -27,6 +31,7 @@ util::Json SweepReport::to_json() const {
   root.set("bench", bench_name_);
   if (wall_ms_ >= 0.0) root.set("wall_ms", wall_ms_);
   if (meta_.size() > 0) root.set("meta", meta_);
+  if (counters_.size() > 0) root.set("counters", counters_);
 
   util::Json series = util::Json::object();
   for (const SeriesEntry& entry : series_) {

@@ -23,6 +23,11 @@ class SweepReport {
   /// Attaches a scenario/config datum under "meta" (insertion-ordered).
   void set_meta(const std::string& key, util::Json value);
 
+  /// Attaches an event counter under "counters" (insertion-ordered). The
+  /// "counters" object is emitted only when at least one counter was set,
+  /// so reports that never call this keep their exact legacy layout.
+  void set_counter(const std::string& key, std::uint64_t value);
+
   /// Adds a result series. `include_values` false drops the raw values
   /// from the artifact (summary stats only), for very large sweeps.
   void add_series(const std::string& name, const std::vector<double>& values,
@@ -50,6 +55,7 @@ class SweepReport {
 
   std::string bench_name_;
   util::Json meta_ = util::Json::object();
+  util::Json counters_ = util::Json::object();
   std::vector<SeriesEntry> series_;
   double wall_ms_ = -1.0;
 };

@@ -1,0 +1,236 @@
+// FaultPlan / FaultInjector / Medium fault wiring (DESIGN.md §7):
+// deterministic replayable drop sequences, Gilbert-Elliott burst
+// statistics, crash schedules, and the disabled-plan no-op guarantee.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "test_helpers.hpp"
+
+namespace imobif::net {
+namespace {
+
+std::vector<bool> drop_sequence(FaultInjector& injector, NodeId from,
+                                NodeId to, std::size_t count) {
+  std::vector<bool> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(injector.should_drop(from, to));
+  }
+  return out;
+}
+
+FaultPlan iid_plan(double loss, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.loss_rate = loss;
+  plan.seed = seed;
+  return plan;
+}
+
+TEST(FaultInjector, SameSeedSameDropSequence) {
+  FaultInjector a(iid_plan(0.3, 77));
+  FaultInjector b(iid_plan(0.3, 77));
+  EXPECT_EQ(drop_sequence(a, 1, 2, 500), drop_sequence(b, 1, 2, 500));
+
+  FaultInjector c(iid_plan(0.3, 78));
+  EXPECT_NE(drop_sequence(a, 1, 2, 500), drop_sequence(c, 1, 2, 500));
+}
+
+// The property the sweep runtime and the "any node count" acceptance
+// criterion rest on: a link's k-th decision depends only on
+// (seed, link, k), so interleaving traffic from any number of other
+// links/nodes never perturbs it.
+TEST(FaultInjector, LinkSequenceIndependentOfOtherTraffic) {
+  FaultInjector quiet(iid_plan(0.25, 9));
+  const auto reference = drop_sequence(quiet, 3, 4, 200);
+
+  FaultInjector busy(iid_plan(0.25, 9));
+  std::vector<bool> interleaved;
+  for (std::size_t i = 0; i < 200; ++i) {
+    // A 40-node network's worth of unrelated links fire between every
+    // packet of the observed link.
+    for (NodeId n = 10; n < 50; ++n) busy.should_drop(n, n + 1);
+    interleaved.push_back(busy.should_drop(3, 4));
+  }
+  EXPECT_EQ(reference, interleaved);
+
+  // Directionality: (4, 3) is a different link with a different stream.
+  FaultInjector reversed(iid_plan(0.25, 9));
+  EXPECT_NE(reference, drop_sequence(reversed, 4, 3, 200));
+}
+
+TEST(FaultInjector, IidLossRateMatchesConfigured) {
+  FaultInjector injector(iid_plan(0.2, 123));
+  const std::size_t kN = 100000;
+  std::size_t drops = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (injector.should_drop(0, 1)) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / kN;
+  EXPECT_NEAR(rate, 0.2, 0.01);
+  EXPECT_EQ(injector.decisions(), kN);
+  EXPECT_EQ(injector.drops(), drops);
+}
+
+TEST(FaultInjector, GilbertElliottMatchesChainStatistics) {
+  FaultPlan plan;
+  plan.gilbert_elliott = true;
+  plan.p_good_to_bad = 0.05;
+  plan.p_bad_to_good = 0.2;
+  plan.loss_good = 0.0;
+  plan.loss_bad = 1.0;
+  plan.seed = 2718;
+  FaultInjector injector(plan);
+
+  // With loss_bad = 1 and loss_good = 0, drops mirror the channel state:
+  // stationary bad fraction p_gb / (p_gb + p_bg) = 0.2 and mean bad-burst
+  // length 1 / p_bg = 5.
+  const std::size_t kN = 200000;
+  std::size_t drops = 0, bursts = 0;
+  bool in_burst = false;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const bool drop = injector.should_drop(0, 1);
+    if (drop) {
+      ++drops;
+      if (!in_burst) ++bursts;
+    }
+    in_burst = drop;
+  }
+  const double loss_fraction = static_cast<double>(drops) / kN;
+  const double mean_burst = static_cast<double>(drops) / bursts;
+  EXPECT_NEAR(loss_fraction, 0.2, 0.01);
+  EXPECT_NEAR(mean_burst, 5.0, 0.25);
+}
+
+TEST(FaultInjector, GilbertElliottBurstsAreClustered) {
+  // Same stationary loss as iid 0.2, but conditional loss after a loss
+  // must be far higher than the marginal (that is what "bursty" means).
+  FaultPlan plan;
+  plan.gilbert_elliott = true;
+  plan.p_good_to_bad = 0.05;
+  plan.p_bad_to_good = 0.2;
+  plan.seed = 31415;
+  FaultInjector injector(plan);
+
+  const std::size_t kN = 200000;
+  std::size_t drops = 0, pairs = 0;
+  bool prev = false;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const bool drop = injector.should_drop(0, 1);
+    if (drop) {
+      ++drops;
+      if (prev) ++pairs;
+    }
+    prev = drop;
+  }
+  const double marginal = static_cast<double>(drops) / kN;
+  const double conditional = static_cast<double>(pairs) / drops;
+  // P(drop | previous drop) = 1 - p_bad_to_good = 0.8 >> 0.2.
+  EXPECT_NEAR(conditional, 0.8, 0.02);
+  EXPECT_GT(conditional, 2.0 * marginal);
+}
+
+TEST(FaultPlan, ValidateRejectsBadParameters) {
+  FaultPlan plan;
+  plan.loss_rate = 1.5;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = {};
+  plan.gilbert_elliott = true;
+  plan.p_bad_to_good = 0.0;  // bad state would be absorbing
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = {};
+  plan.gilbert_elliott = true;
+  plan.p_good_to_bad = -0.1;
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = {};
+  plan.crashes.push_back({kInvalidNode, 1.0, -1.0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = {};
+  plan.crashes.push_back({0, -1.0, -1.0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  plan = {};
+  plan.loss_rate = 0.5;
+  plan.crashes.push_back({3, 10.0, 5.0});
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(MediumFaults, DisabledPlanIsANoOp) {
+  auto h = test::make_harness(test::line_positions(3, 200.0));
+  h.net().medium().install_fault_plan(FaultPlan{});
+  EXPECT_EQ(h.net().medium().fault_injector(), nullptr);
+  h.net().warmup(30.0);
+  EXPECT_EQ(h.net().medium().counters().dropped_injected, 0u);
+  EXPECT_EQ(h.net().medium().counters().dropped_faulted, 0u);
+  EXPECT_GT(h.net().medium().counters().delivered, 0u);
+}
+
+TEST(MediumFaults, InjectedLossIsSilentAndCounted) {
+  auto h = test::make_harness(test::line_positions(2, 100.0));
+  FaultPlan plan;
+  plan.loss_rate = 1.0 - 1e-12;  // drop (essentially) everything
+  plan.seed = 4;
+  h.net().medium().install_fault_plan(plan);
+
+  Packet pkt;
+  pkt.type = PacketType::kHello;
+  pkt.sender.id = 0;
+  pkt.link_dest = 1;
+  // Silent loss: the channel accepts the frame but never delivers it.
+  EXPECT_TRUE(h.net().medium().unicast(h.net().node(0), 1, pkt));
+  EXPECT_EQ(h.net().medium().counters().dropped_injected, 1u);
+  EXPECT_EQ(h.net().medium().counters().delivered, 0u);
+}
+
+TEST(MediumFaults, CrashWindowDropsThenResumes) {
+  auto h = test::make_harness(test::line_positions(3, 200.0));
+  FaultPlan plan;
+  plan.crashes.push_back({1, 5.0, 20.0});  // node 1 down on [5 s, 25 s)
+  h.net().medium().install_fault_plan(plan);
+  // No loss model -> no injector, but the crash schedule still runs.
+  EXPECT_EQ(h.net().medium().fault_injector(), nullptr);
+
+  auto& sim = h.net().simulator();
+  h.net().start_hellos();
+
+  sim.run(sim::Time::from_seconds(4.0));
+  EXPECT_FALSE(h.net().node(1).faulted());
+
+  sim.run(sim::Time::from_seconds(10.0));
+  EXPECT_TRUE(h.net().node(1).faulted());
+  Packet pkt;
+  pkt.type = PacketType::kHello;
+  pkt.sender.id = 0;
+  pkt.link_dest = 1;
+  // Visible failure, unlike injected channel loss. (HELLO broadcasts into
+  // the crash window count too, so compare before/after.)
+  const std::uint64_t before = h.net().medium().counters().dropped_faulted;
+  EXPECT_FALSE(h.net().medium().unicast(h.net().node(0), 1, pkt));
+  EXPECT_EQ(h.net().medium().counters().dropped_faulted, before + 1);
+
+  sim.run(sim::Time::from_seconds(30.0));
+  EXPECT_FALSE(h.net().node(1).faulted());
+  EXPECT_TRUE(h.net().node(1).alive());
+  EXPECT_TRUE(h.net().medium().unicast(h.net().node(0), 1, pkt));
+}
+
+TEST(MediumFaults, PermanentCrashNeverResumes) {
+  auto h = test::make_harness(test::line_positions(2, 100.0));
+  FaultPlan plan;
+  plan.crashes.push_back({1, 1.0, -1.0});
+  h.net().medium().install_fault_plan(plan);
+
+  auto& sim = h.net().simulator();
+  sim.run(sim::Time::from_seconds(1000.0));
+  EXPECT_TRUE(h.net().node(1).faulted());
+  EXPECT_TRUE(h.net().node(1).alive());  // crashed, not depleted
+}
+
+}  // namespace
+}  // namespace imobif::net

@@ -21,6 +21,20 @@ exp::ScenarioParams small_params() {
   return p;
 }
 
+/// Paper-scale geometry with an armed fault injector and notification
+/// retries — the lossy world must be exactly as deterministic as the
+/// clean one. Long flows at this density make informed mode actually
+/// send notifications, so the retry machinery is exercised too.
+exp::ScenarioParams lossy_params() {
+  exp::ScenarioParams p;  // paper defaults: 100 nodes / 1000 m
+  p.mean_flow_bits = 1024.0 * 1024.0 * 8.0;
+  p.seed = 20050610;
+  p.fault.loss_rate = 0.2;
+  p.fault.seed = 777;
+  p.notify_retry_cap = 5;
+  return p;
+}
+
 void expect_same_run(const exp::RunResult& a, const exp::RunResult& b) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.delivered_bits, b.delivered_bits);
@@ -29,6 +43,10 @@ void expect_same_run(const exp::RunResult& a, const exp::RunResult& b) {
   EXPECT_EQ(a.movement_energy_j, b.movement_energy_j);
   EXPECT_EQ(a.total_energy_j, b.total_energy_j);
   EXPECT_EQ(a.notifications, b.notifications);
+  EXPECT_EQ(a.notify_retries, b.notify_retries);
+  EXPECT_EQ(a.notifications_applied, b.notifications_applied);
+  EXPECT_EQ(a.medium.dropped_injected, b.medium.dropped_injected);
+  EXPECT_EQ(a.medium.dropped_faulted, b.medium.dropped_faulted);
   EXPECT_EQ(a.movements, b.movements);
   EXPECT_EQ(a.moved_distance_m, b.moved_distance_m);
   EXPECT_EQ(a.lifetime_s, b.lifetime_s);
@@ -101,6 +119,55 @@ TEST(RunComparisonParallel, MatchesSequentialRunComparison) {
     expect_same_run(sequential[i].baseline, parallel[i].baseline);
     expect_same_run(sequential[i].informed, parallel[i].informed);
   }
+}
+
+TEST(RunComparisonParallel, LossyJobCountsProduceIdenticalPoints) {
+  // Fault injection must not reintroduce worker-count sensitivity: drop
+  // decisions are stateless per-link hashes, so a lossy sweep is as
+  // reproducible as a clean one.
+  const exp::ScenarioParams p = lossy_params();
+  const std::size_t kInstances = 6;
+
+  const auto one = run_comparison_parallel(p, kInstances, {}, 1);
+  const auto eight = run_comparison_parallel(p, kInstances, {}, 8);
+  ASSERT_EQ(one.size(), kInstances);
+  ASSERT_EQ(eight.size(), kInstances);
+  bool any_injected = false, any_retry = false;
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    EXPECT_EQ(one[i].flow_bits, eight[i].flow_bits);
+    EXPECT_EQ(one[i].hops, eight[i].hops);
+    expect_same_run(one[i].baseline, eight[i].baseline);
+    expect_same_run(one[i].cost_unaware, eight[i].cost_unaware);
+    expect_same_run(one[i].informed, eight[i].informed);
+    any_injected |= one[i].informed.medium.dropped_injected > 0;
+    any_retry |= one[i].informed.notify_retries > 0;
+  }
+  EXPECT_TRUE(any_injected);  // the faults really were exercised
+  EXPECT_TRUE(any_retry);
+}
+
+TEST(SweepReport, LossyJsonPayloadIdenticalAcrossJobCounts) {
+  // The full artifact path under loss — series AND drop counters — must
+  // be byte-identical for --jobs 1 vs --jobs 8 (only wall_ms may differ,
+  // and it is deliberately left unset here).
+  const exp::ScenarioParams p = lossy_params();
+  const auto build = [&p](std::size_t workers) {
+    const auto points = run_comparison_parallel(p, 4, {}, workers);
+    SweepReport report("lossy_determinism_check");
+    std::vector<double> retries, delivered;
+    std::uint64_t injected = 0;
+    for (const auto& pt : points) {
+      retries.push_back(static_cast<double>(pt.informed.notify_retries));
+      delivered.push_back(pt.informed.delivered_bits);
+      injected += pt.informed.medium.dropped_injected;
+    }
+    report.set_meta("seed", p.seed);
+    report.add_series("notify_retries", retries);
+    report.add_series("delivered_bits", delivered);
+    report.set_counter("dropped_injected", injected);
+    return report.to_string();
+  };
+  EXPECT_EQ(build(1), build(8));
 }
 
 TEST(SweepReport, JsonPayloadIdenticalAcrossJobCounts) {

@@ -31,6 +31,9 @@ struct HarnessOptions {
   bool unicast_range_gated = false;
   core::MobilityMode mode = core::MobilityMode::kInformed;
   double alpha_prime = 0.0;
+  /// Notification reliability (0 keeps the fire-and-forget default).
+  std::uint32_t notify_retry_cap = 0;
+  double notify_retry_timeout_s = 2.0;
 };
 
 /// Builds a network with nodes at the given positions (ids 0..n-1), greedy
@@ -45,6 +48,9 @@ inline Harness make_harness(const std::vector<geom::Vec2>& positions,
   config.node.neighbor_timeout =
       sim::Time::from_seconds(4.5 * opts.hello_interval_s);
   config.node.charge_hello_energy = opts.charge_hello_energy;
+  config.node.notify_retry_cap = opts.notify_retry_cap;
+  config.node.notify_retry_timeout =
+      sim::Time::from_seconds(opts.notify_retry_timeout_s);
   config.radio.a = opts.radio_a;
   config.radio.b = opts.radio_b;
   config.radio.alpha = opts.radio_alpha;
