@@ -1,8 +1,24 @@
 #include "core/cost_benefit.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
 
 namespace imobif::core {
+
+namespace {
+
+// The sustainable-bits terms may legitimately saturate to +inf (a zero-cost
+// hop sustains unboundedly many bits), but NaN means an inf-inf or 0*inf
+// slipped into the fold and every downstream comparison is garbage.
+void check_not_nan([[maybe_unused]] const LocalPerformance& perf) {
+  IMOBIF_ASSERT(!std::isnan(perf.bits_mob) && !std::isnan(perf.resi_mob) &&
+                    !std::isnan(perf.bits_nomob) && !std::isnan(perf.resi_nomob),
+                "NaN in local cost/benefit evaluation");
+}
+
+}  // namespace
 
 LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
                                 const energy::MobilityEnergyModel& mobility,
@@ -28,6 +44,7 @@ LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
     perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
     perf.bits_mob = std::min(perf.bits_mob, residual_bits);
   }
+  check_not_nan(perf);
   return perf;
 }
 
@@ -55,6 +72,7 @@ LocalPerformance evaluate_hop(const energy::RadioEnergyModel& radio,
     perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
     perf.bits_mob = std::min(perf.bits_mob, residual_bits);
   }
+  check_not_nan(perf);
   return perf;
 }
 
@@ -70,6 +88,7 @@ LocalPerformance evaluate_source(const energy::RadioEnergyModel& radio,
   if (cap_bits) perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
   perf.resi_mob = perf.resi_nomob;
   perf.bits_mob = perf.bits_nomob;
+  check_not_nan(perf);
   return perf;
 }
 

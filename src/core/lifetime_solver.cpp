@@ -16,7 +16,8 @@ double exact_lifetime_split(const energy::RadioParams& radio, double e_prev,
   if (tolerance_m <= 0.0) {
     throw std::invalid_argument("exact_lifetime_split: bad tolerance");
   }
-  if (total_distance == 0.0) return 0.0;
+  // Exact zero: callers pass 0.0 literally for the co-located case.
+  if (total_distance == 0.0) return 0.0;  // lint:allow(float-equality)
 
   constexpr double kEnergyFloor = 1e-12;
   const double target =

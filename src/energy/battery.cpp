@@ -1,21 +1,27 @@
 #include "energy/battery.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace imobif::energy {
 
 Battery::Battery(double initial_j) : initial_(initial_j), residual_(initial_j) {
+  IMOBIF_ENSURE(std::isfinite(initial_j), "battery charge must be finite");
   if (initial_j < 0.0) {
     throw std::invalid_argument("Battery: negative initial energy");
   }
 }
 
 double Battery::draw(double amount_j, DrawKind kind) {
+  IMOBIF_ENSURE(std::isfinite(amount_j), "battery draw must be finite");
   if (amount_j < 0.0) throw std::invalid_argument("Battery: negative draw");
   const bool was_alive = residual_ > 0.0;
   const double drawn = std::min(amount_j, residual_);
   residual_ -= drawn;
+  IMOBIF_ASSERT(residual_ >= 0.0, "battery residual can never go negative");
   switch (kind) {
     case DrawKind::kTransmit:
       consumed_tx_ += drawn;
@@ -32,6 +38,7 @@ double Battery::draw(double amount_j, DrawKind kind) {
 }
 
 void Battery::recharge(double initial_j) {
+  IMOBIF_ENSURE(std::isfinite(initial_j), "battery charge must be finite");
   if (initial_j < 0.0) {
     throw std::invalid_argument("Battery: negative recharge");
   }

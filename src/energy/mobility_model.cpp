@@ -1,7 +1,10 @@
 #include "energy/mobility_model.hpp"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace imobif::energy {
 
@@ -18,14 +21,18 @@ MobilityEnergyModel::MobilityEnergyModel(MobilityParams params)
 }
 
 double MobilityEnergyModel::move_energy(double distance_m) const {
+  IMOBIF_ENSURE(std::isfinite(distance_m), "move distance must be finite");
   if (distance_m < 0.0) {
     throw std::invalid_argument("move_energy: negative distance");
   }
-  return params_.k * distance_m;
+  const double energy = params_.k * distance_m;
+  IMOBIF_ASSERT(std::isfinite(energy), "move energy overflowed to non-finite");
+  return energy;
 }
 
 double MobilityEnergyModel::range_for_energy(double energy_j) const {
-  if (energy_j <= 0.0 || params_.k == 0.0) {
+  // Exact sentinel: k is a configured constant, not a computed quantity.
+  if (energy_j <= 0.0 || params_.k == 0.0) {  // lint:allow(float-equality)
     return energy_j <= 0.0 ? 0.0
                            : std::numeric_limits<double>::infinity();
   }

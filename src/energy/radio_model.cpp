@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace imobif::energy {
 
 void RadioParams::validate() const {
@@ -21,10 +23,14 @@ RadioEnergyModel::RadioEnergyModel(RadioParams params) : params_(params) {
 }
 
 double RadioEnergyModel::power_per_bit(double distance_m) const {
+  IMOBIF_ENSURE(std::isfinite(distance_m), "radio distance must be finite");
   if (distance_m < 0.0) {
     throw std::invalid_argument("power_per_bit: negative distance");
   }
-  return params_.a + params_.b * std::pow(distance_m, params_.alpha);
+  const double cost = params_.a + params_.b * std::pow(distance_m, params_.alpha);
+  IMOBIF_ASSERT(std::isfinite(cost),
+                "per-bit transmission cost overflowed to non-finite");
+  return cost;
 }
 
 double RadioEnergyModel::transmit_energy(double distance_m,
@@ -32,7 +38,10 @@ double RadioEnergyModel::transmit_energy(double distance_m,
   if (bits < 0.0) {
     throw std::invalid_argument("transmit_energy: negative bits");
   }
-  return bits * power_per_bit(distance_m);
+  const double energy = bits * power_per_bit(distance_m);
+  IMOBIF_ASSERT(std::isfinite(energy),
+                "transmit energy overflowed to non-finite");
+  return energy;
 }
 
 double RadioEnergyModel::sustainable_bits(double distance_m,
@@ -45,7 +54,10 @@ double RadioEnergyModel::receive_energy(double bits) const {
   if (bits < 0.0) {
     throw std::invalid_argument("receive_energy: negative bits");
   }
-  return bits * params_.rx_per_bit;
+  const double energy = bits * params_.rx_per_bit;
+  IMOBIF_ASSERT(std::isfinite(energy),
+                "receive energy overflowed to non-finite");
+  return energy;
 }
 
 double RadioEnergyModel::range_for_power(double power_per_bit_j) const {

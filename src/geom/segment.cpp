@@ -7,7 +7,8 @@ namespace imobif::geom {
 double Segment::project_clamped(Vec2 p) const {
   const Vec2 d = b - a;
   const double len_sq = d.norm_sq();
-  if (len_sq == 0.0) return 0.0;  // degenerate segment
+  // Exact zero only for a truly degenerate (a == b) segment.
+  if (len_sq == 0.0) return 0.0;  // lint:allow(float-equality)
   const double t = (p - a).dot(d) / len_sq;
   return std::clamp(t, 0.0, 1.0);
 }

@@ -124,7 +124,14 @@ void Network::emit_packet(FlowId id) {
 
   ++prog.packets_emitted;
   prog.emitted_bits += bits;
+  // originate_data() adopts the header's residual estimate into the source's
+  // flow entry, but the source must keep tracking the *true* residual: with
+  // an estimate factor != 1 the header value would otherwise be fed back
+  // into the next packet's estimate, compounding the factor every packet
+  // until the estimate overflows to infinity.
+  const double true_residual_bits = entry->residual_bits;
   src.originate_data(data);
+  entry->residual_bits = true_residual_bits;
 
   const double interval_s = spec.packet_bits / spec.rate_bps;
   sim_.after(sim::Time::from_seconds(interval_s),

@@ -1,9 +1,11 @@
 #include "net/node.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "geom/segment.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace imobif::net {
@@ -197,9 +199,13 @@ bool Node::broadcast_packet(Packet pkt) {
 
 double Node::move_towards(geom::Vec2 target, double max_step,
                           double cost_per_meter) {
+  IMOBIF_ENSURE(std::isfinite(target.x) && std::isfinite(target.y),
+                "movement target must be finite");
   if (!alive() || faulted_) return 0.0;
   geom::Vec2 desired = geom::step_towards(position_, target, max_step);
   double dist = geom::distance(position_, desired);
+  IMOBIF_ASSERT(dist <= max_step * (1.0 + 1e-12) + 1e-9,
+                "per-packet mobility step exceeded its bound");
   if (dist <= 0.0) return 0.0;
   if (cost_per_meter > 0.0) {
     const double affordable = battery_.residual() / cost_per_meter;
@@ -211,12 +217,20 @@ double Node::move_towards(geom::Vec2 target, double max_step,
     battery_.draw(dist * cost_per_meter, energy::DrawKind::kMove);
   }
   position_ = desired;
+  IMOBIF_ASSERT(std::isfinite(position_.x) && std::isfinite(position_.y),
+                "node position must stay finite after a mobility step");
   services_.medium->node_moved(id_, position_);
   total_moved_ += dist;
   return dist;
 }
 
 bool Node::originate_data(DataBody data) {
+  IMOBIF_ENSURE(
+      std::isfinite(data.payload_bits) && data.payload_bits >= 0.0,
+      "payload size must be finite and non-negative");
+  IMOBIF_ENSURE(
+      std::isfinite(data.residual_flow_bits) && data.residual_flow_bits >= 0.0,
+      "residual flow estimate must be finite and non-negative");
   if (!alive()) return false;
   FlowEntry& entry = flows_.ensure(data.flow_id);
   entry.source = data.source;
@@ -312,6 +326,17 @@ void Node::handle_recruit(const RecruitBody& body) {
 }
 
 void Node::handle_data(DataBody data, const SenderStamp& from) {
+  // The enable/disable decision at the destination is computed from these
+  // hop-by-hop folds. Sustainable-bits terms may saturate to +inf (a
+  // zero-cost hop), but a NaN introduced anywhere upstream would silently
+  // poison every comparison downstream of it.
+  IMOBIF_ASSERT(
+      !std::isnan(data.agg.bits_mob) && !std::isnan(data.agg.resi_mob) &&
+          !std::isnan(data.agg.bits_nomob) && !std::isnan(data.agg.resi_nomob),
+      "NaN mobility aggregate in DATA header");
+  IMOBIF_ASSERT(
+      std::isfinite(data.residual_flow_bits) && data.residual_flow_bits >= 0.0,
+      "residual flow length must be finite and non-negative");
   // Figure 1, lines 4-6: fetch or allocate the flow entry, then refresh the
   // fields carried in the header.
   FlowEntry& entry = flows_.get_or_create(data);

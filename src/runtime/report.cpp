@@ -30,8 +30,8 @@ util::Json SweepReport::to_json() const {
   util::Json root = util::Json::object();
   root.set("bench", bench_name_);
   if (wall_ms_ >= 0.0) root.set("wall_ms", wall_ms_);
-  if (meta_.size() > 0) root.set("meta", meta_);
-  if (counters_.size() > 0) root.set("counters", counters_);
+  if (!meta_.empty()) root.set("meta", meta_);
+  if (!counters_.empty()) root.set("counters", counters_);
 
   util::Json series = util::Json::object();
   for (const SeriesEntry& entry : series_) {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "runtime/thread_pool.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace imobif::runtime {
@@ -14,7 +15,9 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
 }
 
 SweepEngine::SweepEngine(std::size_t workers)
-    : workers_(workers == 0 ? 1 : workers) {}
+    : workers_(workers == 0 ? 1 : workers) {
+  IMOBIF_ASSERT(workers_ >= 1, "sweep engine needs at least one worker");
+}
 
 namespace {
 
@@ -70,6 +73,12 @@ std::vector<SweepOutcome> SweepEngine::run(const std::vector<SweepJob>& jobs,
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     outcomes[i] = futures[i].get();  // ordered collection
+    // Reproducibility contract: the seed a job ran with must be a pure
+    // function of (base_seed, job index) — never of scheduling, worker
+    // count, or completion order.
+    IMOBIF_ASSERT(outcomes[i].seed == derive_seed(base_seed, i),
+                  "sweep outcome seed depends on something other than "
+                  "base seed and job index");
   }
   return outcomes;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace imobif::runtime {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -10,6 +12,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  IMOBIF_ASSERT(!workers_.empty(), "pool must own at least one worker");
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
@@ -32,6 +35,8 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(mutex_);
       available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      IMOBIF_ASSERT(stopping_ || !queue_.empty(),
+                    "worker woke without work or a shutdown request");
       // Graceful shutdown: drain the queue before exiting.
       if (queue_.empty()) return;
       task = std::move(queue_.front());

@@ -2,9 +2,14 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace imobif::sim {
 
 EventId EventQueue::schedule(Time when, Callback fn) {
+  IMOBIF_ENSURE(fn != nullptr, "scheduled a null callback");
+  IMOBIF_ENSURE(when != Time::infinity(),
+                "infinity is the empty-queue sentinel, not a schedulable time");
   const EventId id = next_id_++;
   heap_.push(Entry{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
@@ -37,6 +42,9 @@ EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
   const Entry top = heap_.top();
+  IMOBIF_ASSERT(top.when >= last_popped_,
+                "event times must be popped in non-decreasing order");
+  last_popped_ = top.when;
   heap_.pop();
   const auto it = callbacks_.find(top.id);
   Popped out{top.when, std::move(it->second)};

@@ -64,6 +64,9 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
+  // Time of the last event handed out by pop(); pop() contracts that the
+  // stream of popped times never regresses.
+  Time last_popped_ = Time::zero();
 };
 
 }  // namespace imobif::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace imobif::sim {
 
 EventId Simulator::at(Time when, EventQueue::Callback fn) {
@@ -14,6 +16,7 @@ EventId Simulator::at(Time when, EventQueue::Callback fn) {
 bool Simulator::step(Time until) {
   if (queue_.empty() || queue_.next_time() > until) return false;
   auto [when, fn] = queue_.pop();
+  IMOBIF_ASSERT(when >= now_, "simulation clock must advance monotonically");
   now_ = when;
   ++executed_;
   if (event_budget_ != 0 && executed_ > event_budget_) {

@@ -10,6 +10,8 @@
 #include <iosfwd>
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace imobif::sim {
 
 class Time {
@@ -20,6 +22,8 @@ class Time {
 
   static constexpr Time from_ticks(std::int64_t ticks) { return Time(ticks); }
   static Time from_seconds(double seconds) {
+    IMOBIF_ENSURE(std::isfinite(seconds),
+                  "non-finite seconds cannot convert to ticks");
     return Time(static_cast<std::int64_t>(
         std::llround(seconds * static_cast<double>(kTicksPerSecond))));
   }

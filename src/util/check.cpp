@@ -1,0 +1,16 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace imobif::util {
+
+void check_fail(const char* kind, const char* expr, const char* file, int line,
+                const char* msg) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d)%s%s\n", kind, expr, file, line,
+               msg != nullptr ? ": " : "", msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace imobif::util

@@ -1,0 +1,58 @@
+// Debug contract macros: machine-checked invariants for the hot layers.
+//
+// IMOBIF_ASSERT(cond[, msg])  — internal invariant (bug in imobif if false).
+// IMOBIF_ENSURE(cond[, msg])  — pre/postcondition at a subsystem boundary.
+//
+// Both are active when the build defines IMOBIF_ENABLE_CHECKS (the
+// -DIMOBIF_CHECKS=ON CMake option) or in any build without NDEBUG (i.e.
+// Debug). Otherwise they expand to ((void)0): the condition is *not*
+// evaluated, so Release binaries are bit-identical to pre-contract builds.
+// Defining IMOBIF_CHECKS_OFF force-disables them regardless of build type
+// (used by the self-test to pin the disabled expansion).
+//
+// On failure they print `kind failed: expr (file:line): msg` to stderr and
+// abort() — loud, sanitizer-friendly, and matched by gtest death tests.
+#pragma once
+
+namespace imobif::util {
+
+/// Reports a contract violation and aborts. `msg` may be nullptr.
+[[noreturn]] void check_fail(const char* kind, const char* expr,
+                             const char* file, int line, const char* msg);
+
+}  // namespace imobif::util
+
+#if defined(IMOBIF_CHECKS_OFF)
+#define IMOBIF_CHECKS_ENABLED 0
+#elif defined(IMOBIF_ENABLE_CHECKS) || !defined(NDEBUG)
+#define IMOBIF_CHECKS_ENABLED 1
+#else
+#define IMOBIF_CHECKS_ENABLED 0
+#endif
+
+#if IMOBIF_CHECKS_ENABLED
+
+#define IMOBIF_CHECK_IMPL_(kind, cond, msg)                                 \
+  (static_cast<bool>(cond)                                                  \
+       ? static_cast<void>(0)                                               \
+       : ::imobif::util::check_fail(kind, #cond, __FILE__, __LINE__, msg))
+
+#else  // contracts compiled out: the condition is not evaluated.
+
+#define IMOBIF_CHECK_IMPL_(kind, cond, msg) static_cast<void>(0)
+
+#endif
+
+// Dispatch on 1 vs 2 arguments so both IMOBIF_ASSERT(cond) and
+// IMOBIF_ASSERT(cond, "msg") work.
+#define IMOBIF_CHECK_SELECT_(a1, a2, name, ...) name
+#define IMOBIF_CHECK_1_(kind, cond) IMOBIF_CHECK_IMPL_(kind, cond, nullptr)
+#define IMOBIF_CHECK_2_(kind, cond, msg) IMOBIF_CHECK_IMPL_(kind, cond, msg)
+
+#define IMOBIF_ASSERT(...)                                              \
+  IMOBIF_CHECK_SELECT_(__VA_ARGS__, IMOBIF_CHECK_2_, IMOBIF_CHECK_1_, ) \
+  ("IMOBIF_ASSERT", __VA_ARGS__)
+
+#define IMOBIF_ENSURE(...)                                              \
+  IMOBIF_CHECK_SELECT_(__VA_ARGS__, IMOBIF_CHECK_2_, IMOBIF_CHECK_1_, ) \
+  ("IMOBIF_ENSURE", __VA_ARGS__)

@@ -5,9 +5,15 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace imobif::util {
 
 Json::Json(double v) : type_(Type::kNumber), number_(number_to_string(v)) {
+  // A NaN/Inf reaching the results writer means an upstream metric is
+  // garbage; fail loudly in checked builds. Release keeps the documented
+  // fallback of emitting null (JSON has no NaN/Inf).
+  IMOBIF_ASSERT(std::isfinite(v), "non-finite double written to Json");
   if (number_ == "null") type_ = Type::kNull;
 }
 

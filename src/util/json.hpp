@@ -48,6 +48,7 @@ class Json {
 
   /// Element count of an array/object; 0 for scalars.
   std::size_t size() const;
+  bool empty() const { return size() == 0; }
 
   /// Serializes the value. indent == 0 gives compact one-line output;
   /// indent > 0 pretty-prints with that many spaces per nesting level.

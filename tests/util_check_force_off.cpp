@@ -1,0 +1,34 @@
+// Compiled with IMOBIF_CHECKS_OFF=1 (see tests/CMakeLists.txt), which
+// overrides both Debug and -DIMOBIF_CHECKS=ON: contracts here must expand
+// to nothing.
+#include "util/check.hpp"
+#include "util_check_probe.hpp"
+
+static_assert(IMOBIF_CHECKS_ENABLED == 0,
+              "this TU must be built with contracts forced off");
+
+namespace imobif::test {
+namespace {
+
+void trip_assert([[maybe_unused]] bool cond) {
+  IMOBIF_ASSERT(cond, "forced assert");
+}
+void trip_ensure([[maybe_unused]] bool cond) {
+  IMOBIF_ENSURE(cond, "forced ensure");
+}
+
+int count_evaluations() {
+  int calls = 0;
+  IMOBIF_ASSERT(++calls > 0);
+  return calls;
+}
+
+}  // namespace
+
+const CheckProbe& checks_forced_off() {
+  static const CheckProbe probe{IMOBIF_CHECKS_ENABLED == 1, &trip_assert,
+                                &trip_ensure, &count_evaluations};
+  return probe;
+}
+
+}  // namespace imobif::test

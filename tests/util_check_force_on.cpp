@@ -1,0 +1,28 @@
+// Compiled with IMOBIF_ENABLE_CHECKS=1 (see tests/CMakeLists.txt).
+#include "util/check.hpp"
+#include "util_check_probe.hpp"
+
+static_assert(IMOBIF_CHECKS_ENABLED == 1,
+              "this TU must be built with contracts forced on");
+
+namespace imobif::test {
+namespace {
+
+void trip_assert(bool cond) { IMOBIF_ASSERT(cond, "forced assert"); }
+void trip_ensure(bool cond) { IMOBIF_ENSURE(cond, "forced ensure"); }
+
+int count_evaluations() {
+  int calls = 0;
+  IMOBIF_ASSERT(++calls > 0);
+  return calls;
+}
+
+}  // namespace
+
+const CheckProbe& checks_forced_on() {
+  static const CheckProbe probe{IMOBIF_CHECKS_ENABLED == 1, &trip_assert,
+                                &trip_ensure, &count_evaluations};
+  return probe;
+}
+
+}  // namespace imobif::test

@@ -1,0 +1,21 @@
+// Probe functions for util_check_test: the same contract-tripping code
+// compiled twice, once with checks forced on (IMOBIF_ENABLE_CHECKS) and
+// once forced off (IMOBIF_CHECKS_OFF), so a single test binary can pin
+// both the death behaviour and the zero-cost expansion regardless of the
+// build's own mode.
+#pragma once
+
+namespace imobif::test {
+
+struct CheckProbe {
+  bool active;                  ///< IMOBIF_CHECKS_ENABLED in that TU
+  void (*trip_assert)(bool);    ///< runs IMOBIF_ASSERT(cond, ...)
+  void (*trip_ensure)(bool);    ///< runs IMOBIF_ENSURE(cond, ...)
+  int (*count_evaluations)();   ///< how often a condition with a side
+                                ///< effect is evaluated (0 when compiled out)
+};
+
+const CheckProbe& checks_forced_on();
+const CheckProbe& checks_forced_off();
+
+}  // namespace imobif::test

@@ -1,0 +1,56 @@
+// Contract layer: IMOBIF_ASSERT/IMOBIF_ENSURE death and no-op behaviour.
+//
+// The probe TUs compile identical contract-tripping code with checks
+// forced on and forced off, so every build configuration (Debug, Release,
+// -DIMOBIF_CHECKS=ON, sanitizers) pins both sides of the contract:
+// enabled checks abort loudly, disabled checks cost nothing and do not
+// even evaluate their condition.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util_check_probe.hpp"
+
+namespace imobif::test {
+namespace {
+
+TEST(UtilCheck, ModesReportTheirActivation) {
+  EXPECT_TRUE(checks_forced_on().active);
+  EXPECT_FALSE(checks_forced_off().active);
+}
+
+TEST(UtilCheck, PassingContractsAreSilentInBothModes) {
+  checks_forced_on().trip_assert(true);
+  checks_forced_on().trip_ensure(true);
+  checks_forced_off().trip_assert(true);
+  checks_forced_off().trip_ensure(true);
+}
+
+TEST(UtilCheckDeathTest, EnabledAssertAbortsWithDiagnostics) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(checks_forced_on().trip_assert(false),
+               "IMOBIF_ASSERT failed: cond.*forced assert");
+  EXPECT_DEATH(checks_forced_on().trip_ensure(false),
+               "IMOBIF_ENSURE failed: cond.*forced ensure");
+}
+
+TEST(UtilCheck, DisabledContractsAreNoOps) {
+  checks_forced_off().trip_assert(false);  // must not abort
+  checks_forced_off().trip_ensure(false);  // must not abort
+}
+
+TEST(UtilCheck, DisabledContractsDoNotEvaluateTheCondition) {
+  EXPECT_EQ(checks_forced_on().count_evaluations(), 1);
+  EXPECT_EQ(checks_forced_off().count_evaluations(), 0);
+}
+
+// The build-mode default: active without NDEBUG or with IMOBIF_CHECKS=ON.
+TEST(UtilCheck, BuildModeMatchesMacro) {
+#if defined(IMOBIF_ENABLE_CHECKS) || !defined(NDEBUG)
+  EXPECT_EQ(IMOBIF_CHECKS_ENABLED, 1);
+#else
+  EXPECT_EQ(IMOBIF_CHECKS_ENABLED, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace imobif::test

@@ -3,6 +3,7 @@
 
 #include <limits>
 
+#include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace imobif::util {
@@ -30,10 +31,30 @@ TEST(Json, RoundNumbersSerializeShortest) {
             "18446744073709551615");
 }
 
+// A non-finite double is a contract violation in checked builds (bad
+// metrics must fail loudly); Release pins the silent `null` fallback so
+// downstream JSON consumers never see a bare NaN token.
+#if IMOBIF_CHECKS_ENABLED
+TEST(JsonDeathTest, NonFiniteNumbersAbortWhenChecked) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(Json(std::numeric_limits<double>::quiet_NaN()),
+               "non-finite double written to Json");
+  EXPECT_DEATH(Json(std::numeric_limits<double>::infinity()),
+               "non-finite double written to Json");
+}
+#else
 TEST(Json, NonFiniteNumbersBecomeNull) {
   EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
   EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+#endif
+
+TEST(Json, NumberToStringShortestRoundTrip) {
   EXPECT_EQ(Json::number_to_string(1.25), "1.25");
+  // number_to_string is the raw formatter below the contract; it keeps the
+  // null mapping in every mode.
+  EXPECT_EQ(Json::number_to_string(std::numeric_limits<double>::quiet_NaN()),
+            "null");
 }
 
 TEST(Json, StringEscaping) {

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""imobif determinism linter.
+
+Enforces repo-specific invariants that generic static analyzers cannot
+express. The simulator's headline claim — bit-reproducible runs from a
+single 64-bit seed, for any worker count — only survives if no code path
+consults ambient state, so this linter bans the ambient-state escape
+hatches outright in library code (``src/``):
+
+  banned-random    rand()/srand()/std::random_device/...: all randomness
+                   must flow through util::rng seed derivation.
+  wall-clock       time()/clock()/std::chrono::*_clock::now()/...:
+                   simulated time comes from sim::Simulator, wall time is
+                   measured only by drivers (bench/, tools/).
+  iostream         #include <iostream> or std::cout/cerr/clog: library
+                   code reports through return values and callbacks, not
+                   by printing (contract failures use check.cpp's stderr).
+  pragma-once      every header carries #pragma once.
+  float-equality   ==/!= against a floating-point literal: energy and
+                   position quantities accumulate rounding error; compare
+                   with a tolerance or restructure.
+  include-hygiene  no parent-relative ("../") includes, and a .cpp file's
+                   first project include is its own header.
+
+A finding can be waived by putting ``// lint:allow(<rule>)`` on the same
+line or the line directly above it; use sparingly and leave a comment
+explaining why the exact construct is safe.
+
+Usage: imobif_lint.py [--rules] [PATH ...]   (default path: src)
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "banned-random": "ambient randomness is banned; use util::Rng",
+    "wall-clock": "wall-clock time is banned in library code",
+    "iostream": "iostream/global streams are banned in library code",
+    "pragma-once": "header must contain #pragma once",
+    "float-equality": "==/!= on floating-point quantities",
+    "include-hygiene": "include style violation",
+}
+
+HEADER_EXTS = (".hpp", ".h")
+SOURCE_EXTS = (".cpp", ".cc", ".cxx") + HEADER_EXTS
+
+WAIVER_RE = re.compile(r"//\s*lint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+BANNED_RANDOM_RE = re.compile(
+    r"(?<![\w:])(?:std::)?(?:rand|srand|random|drand48|lrand48|mrand48)\s*\("
+    r"|std::random_device"
+)
+WALL_CLOCK_RE = re.compile(
+    r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+    r"|(?<![\w:])clock\s*\(\s*\)"
+    r"|(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now"
+    r"|(?<![\w:])(?:gettimeofday|localtime|gmtime|ctime)\s*\("
+)
+IOSTREAM_RE = re.compile(
+    r"#\s*include\s*<iostream>|std::(?:cout|cerr|clog)\b"
+)
+# A floating literal: 1.0, .5, 2., 1e-9, 1.5e3, optional f suffix. The
+# lookarounds keep 'v1.method()' and version strings out.
+FLOAT_LIT = r"(?:\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)[fF]?"
+# ==/!= token (not <=, >=, ===, or the = of an assignment).
+EQ_TOKEN = r"(?:==|!=)(?!=)"
+FLOAT_EQ_RE = re.compile(
+    rf"{EQ_TOKEN}\s*[-+]?{FLOAT_LIT}(?![\w.])"
+    rf"|(?<![\w.]){FLOAT_LIT}\s*{EQ_TOKEN}"
+)
+PARENT_INCLUDE_RE = re.compile(r'#\s*include\s*"[^"]*\.\./')
+PROJECT_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def strip_code(line, in_block_comment):
+    """Removes comments and string/char literal contents from a line.
+
+    Returns (stripped_line, in_block_comment). Keeps the line's length
+    roughly intact where it matters (matching is content-based).
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            break  # rest of line is a comment
+        if c == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+class Finding:
+    def __init__(self, path, line_no, rule, detail):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.detail = detail
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.detail}"
+
+
+def lint_file(path):
+    findings = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            raw_lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as err:
+        return [Finding(path, 0, "include-hygiene", f"unreadable file: {err}")]
+
+    waivers = {}  # line_no -> set of rule names covering that line
+    for no, line in enumerate(raw_lines, 1):
+        m = WAIVER_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            waivers.setdefault(no, set()).update(rules)
+            waivers.setdefault(no + 1, set()).update(rules)
+
+    def report(no, rule, detail):
+        if rule in waivers.get(no, set()):
+            return
+        findings.append(Finding(path, no, rule, detail))
+
+    pragma_re = re.compile(r"^\s*#\s*pragma\s+once\b")
+    is_header = path.endswith(HEADER_EXTS)
+    if is_header and not any(pragma_re.match(l) for l in raw_lines):
+        report(1, "pragma-once", RULES["pragma-once"])
+
+    in_block = False
+    first_project_include = None
+    for no, raw in enumerate(raw_lines, 1):
+        line, in_block = strip_code(raw, in_block)
+        if not line.strip():
+            continue
+        if BANNED_RANDOM_RE.search(line):
+            report(no, "banned-random", RULES["banned-random"])
+        if WALL_CLOCK_RE.search(line):
+            report(no, "wall-clock", RULES["wall-clock"])
+        if IOSTREAM_RE.search(line):
+            report(no, "iostream", RULES["iostream"])
+        if FLOAT_EQ_RE.search(line):
+            report(no, "float-equality", RULES["float-equality"])
+        # Include directives carry their payload inside string quotes, so
+        # match them against the raw line, not the literal-stripped one.
+        if PARENT_INCLUDE_RE.search(raw):
+            report(no, "include-hygiene",
+                   'parent-relative #include "../..." is banned')
+        m = PROJECT_INCLUDE_RE.search(raw)
+        if m and first_project_include is None:
+            first_project_include = (no, m.group(1))
+
+    if not is_header and first_project_include is not None:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        no, inc = first_project_include
+        inc_stem = os.path.splitext(os.path.basename(inc))[0]
+        own_header_exists = any(
+            os.path.exists(os.path.splitext(path)[0] + ext)
+            for ext in HEADER_EXTS
+        )
+        if own_header_exists and inc_stem != stem:
+            report(no, "include-hygiene",
+                   f"first project include should be the file's own header "
+                   f"({stem}.hpp), found \"{inc}\"")
+    return findings
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"imobif_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--rules", action="store_true",
+                        help="list rule names and exit")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule, desc in RULES.items():
+            print(f"{rule}: {desc}")
+        return 0
+
+    paths = args.paths or ["src"]
+    findings = []
+    files = collect_files(paths)
+    for path in files:
+        findings.extend(lint_file(path))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"imobif_lint: {len(findings)} finding(s) in {len(files)} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"imobif_lint: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,3 @@
+// Fixture: exact floating-point comparison must be flagged.
+bool drained(double residual_j) { return residual_j == 0.0; }
+bool moved(double dist_m) { return 0.5 != dist_m; }

@@ -1,0 +1,4 @@
+// Fixture: parent-relative include must be flagged.
+#include "../escape_hatch.hpp"
+
+int escape() { return 1; }

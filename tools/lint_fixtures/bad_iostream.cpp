@@ -1,0 +1,4 @@
+// Fixture: global stream output must be flagged.
+#include <iostream>
+
+void chatty() { std::cout << "library code must not print\n"; }

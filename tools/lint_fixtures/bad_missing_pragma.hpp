@@ -1,0 +1,5 @@
+// Fixture: an unguarded header must be flagged.
+
+namespace fixture {
+struct Unguarded {};
+}  // namespace fixture

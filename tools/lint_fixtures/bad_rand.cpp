@@ -1,0 +1,7 @@
+// Fixture: ambient randomness must be flagged.
+#include <cstdlib>
+
+int noisy() {
+  std::srand(42);
+  return std::rand();
+}

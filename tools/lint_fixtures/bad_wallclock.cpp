@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads must be flagged.
+#include <chrono>
+#include <ctime>
+
+long long stamps() {
+  const auto a = std::chrono::steady_clock::now().time_since_epoch().count();
+  const auto b = static_cast<long long>(time(nullptr));
+  return a + b;
+}

@@ -1,0 +1,15 @@
+// Fixture: idiomatic library code must pass. Comments and strings that
+// mention rand(), time(NULL) or std::cout are not code, and 1.0 == 1.0
+// inside this comment is not a comparison.
+#include <cmath>
+#include <string>
+
+namespace fixture {
+
+inline bool nearly(double a, double b) { return std::abs(a - b) < 1e-9; }
+
+inline std::string banner() {
+  return "calls like rand() or time(NULL) in a string are fine";
+}
+
+}  // namespace fixture

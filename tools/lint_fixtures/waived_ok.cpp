@@ -1,0 +1,5 @@
+// Fixture: waivers must suppress findings on the same and the next line.
+bool sentinel_same_line(double k) { return k == 0.0; }  // lint:allow(float-equality)
+
+// lint:allow(float-equality)
+bool sentinel_next_line(double k) { return k == 0.0; }
