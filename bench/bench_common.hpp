@@ -25,6 +25,9 @@ namespace imobif::bench {
 ///   --json PATH     write a BENCH_*.json artifact of the result series
 ///   --loss P        injected per-delivery channel loss probability
 ///   --fault-seed S  fault-injection seed (default: the scenario seed)
+///   --checkpoint-dir D  persist per-unit results/checkpoints under D
+///   --resume        reuse results/checkpoints found in --checkpoint-dir
+///   --checkpoint-every-s T  checkpoint cadence in sim-seconds (default 30)
 struct BenchConfig {
   std::size_t instances = 0;
   std::uint64_t seed = 0;
@@ -34,6 +37,7 @@ struct BenchConfig {
   double loss = 0.0;
   std::uint64_t fault_seed = 0;
   bool fault_seed_set = false;
+  runtime::CheckpointOptions checkpoint;
 };
 
 inline BenchConfig parse_bench_args(int argc, char** argv,
@@ -43,6 +47,8 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
     std::cout << "usage: " << args.program()
               << " [N] [--instances N] [--seed S] [--jobs N] [--json PATH]"
                  " [--loss P] [--fault-seed S]\n"
+                 "       [--checkpoint-dir D] [--resume]"
+                 " [--checkpoint-every-s T]\n"
                  "  N / --instances  flow instances per series (default "
               << default_instances
               << ")\n"
@@ -53,7 +59,12 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
                  "[0, 1) (default 0,\n"
                  "                   enables notification retries when > 0)\n"
                  "  --fault-seed     seed for the fault injector (default: "
-                 "scenario seed)\n";
+                 "scenario seed)\n"
+                 "  --checkpoint-dir persist per-unit results and periodic\n"
+                 "                   checkpoints so a killed sweep can resume\n"
+                 "  --resume         reuse files found in --checkpoint-dir\n"
+                 "  --checkpoint-every-s  checkpoint cadence in simulated\n"
+                 "                   seconds (default 30)\n";
     std::exit(0);
   }
   BenchConfig config;
@@ -76,6 +87,10 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
     config.fault_seed =
         static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
   }
+  config.checkpoint.dir = args.get_string("checkpoint-dir", "");
+  config.checkpoint.resume = args.get_bool("resume", false);
+  config.checkpoint.every_sim_s =
+      args.get_double("checkpoint-every-s", config.checkpoint.every_sim_s);
   return config;
 }
 
@@ -94,7 +109,8 @@ inline constexpr std::uint32_t kBenchNotifyRetryCap = 6;
 /// default) this leaves `params` untouched so every artifact stays
 /// byte-identical to a build without the fault layer; with loss > 0 it
 /// arms the injector and the notification retry machinery.
-inline void apply_fault(exp::ScenarioParams& params, const BenchConfig& config) {
+inline void apply_fault(exp::ScenarioParams& params,
+                        const BenchConfig& config) {
   if (config.loss <= 0.0 && !config.fault_seed_set) return;
   params.fault.loss_rate = config.loss;
   params.fault.seed = config.fault_seed_set ? config.fault_seed : params.seed;
@@ -168,12 +184,19 @@ inline void export_fault_counters(
 }
 
 /// run_comparison routed through the parallel sweep runtime; bit-identical
-/// results for any --jobs value.
+/// results for any --jobs value, and crash-resumable when --checkpoint-dir
+/// is set. Each call gets a distinct checkpoint scope ("s0-", "s1-", ...)
+/// from a per-process counter: bench binaries run panels/variants in a
+/// fixed order, so the Nth sweep maps to the same files in the original
+/// and the resuming process, while two sweeps never collide.
 inline std::vector<exp::ComparisonPoint> run_comparison(
     const exp::ScenarioParams& params, const BenchConfig& config,
     const exp::RunOptions& options = {}) {
+  static int sweep_counter = 0;
+  runtime::CheckpointOptions checkpoint = config.checkpoint;
+  checkpoint.scope = "s" + std::to_string(sweep_counter++) + "-";
   return runtime::run_comparison_parallel(params, config.instances, options,
-                                          config.jobs);
+                                          config.jobs, checkpoint);
 }
 
 /// Monotonic milliseconds-since-construction stopwatch for wall_ms.

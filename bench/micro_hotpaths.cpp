@@ -1,8 +1,17 @@
 // Microbenchmarks (google-benchmark) for the simulator's hot paths: the
 // event queue, greedy forwarding, the strategy math, and a full small
 // flow replay. These bound the cost of scaling experiments up.
+//
+// `--json PATH` (stripped before google-benchmark sees the argv) exports
+// the per-benchmark timings as a BENCH_micro.json SweepReport artifact so
+// CI can archive them next to the figure artifacts.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/imobif.hpp"
 #include "exp/experiments.hpp"
 #include "sim/event_queue.hpp"
@@ -119,6 +128,71 @@ void BM_FullFlowReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFlowReplay);
 
+/// ConsoleReporter that also keeps every iteration run's adjusted timings
+/// (nanoseconds, the suite's default unit) for the JSON artifact.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      entries_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                          run.GetAdjustedCPUTime()});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json before google-benchmark validates the remaining flags.
+  std::string json_path;
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(filtered.size());
+
+  const imobif::bench::Stopwatch stopwatch;
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, filtered.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    imobif::runtime::SweepReport report("micro_hotpaths");
+    report.set_meta("benchmarks",
+                    static_cast<std::uint64_t>(reporter.entries().size()));
+    for (const CollectingReporter::Entry& entry : reporter.entries()) {
+      report.add_series(entry.name + ":real_ns", {entry.real_ns});
+      report.add_series(entry.name + ":cpu_ns", {entry.cpu_ns});
+    }
+    report.set_wall_ms(stopwatch.elapsed_ms());
+    report.write_file(json_path);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

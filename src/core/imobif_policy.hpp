@@ -124,6 +124,14 @@ class ImobifPolicy : public net::MobilityPolicy {
   std::uint64_t movements_applied() const { return movements_applied_; }
   double total_distance_moved() const { return total_distance_moved_; }
 
+  /// Checkpoint restore: overwrites the run counters (src/snap).
+  void restore_counters(std::uint64_t movements, double distance_moved,
+                        std::uint64_t recruits) {
+    movements_applied_ = movements;
+    total_distance_moved_ = distance_moved;
+    recruits_initiated_ = recruits;
+  }
+
  private:
   geom::Vec2 movement_target(const net::Node& relay,
                              const net::FlowEntry& entry) const;

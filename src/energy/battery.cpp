@@ -37,6 +37,21 @@ double Battery::draw(double amount_j, DrawKind kind) {
   return drawn;
 }
 
+void Battery::restore(double initial_j, double residual_j,
+                      double consumed_tx_j, double consumed_move_j,
+                      double consumed_other_j) {
+  IMOBIF_ENSURE(std::isfinite(initial_j) && std::isfinite(residual_j),
+                "battery restore values must be finite");
+  if (initial_j < 0.0 || residual_j < 0.0 || residual_j > initial_j) {
+    throw std::invalid_argument("Battery: inconsistent restore state");
+  }
+  initial_ = initial_j;
+  residual_ = residual_j;
+  consumed_tx_ = consumed_tx_j;
+  consumed_move_ = consumed_move_j;
+  consumed_other_ = consumed_other_j;
+}
+
 void Battery::recharge(double initial_j) {
   IMOBIF_ENSURE(std::isfinite(initial_j), "battery charge must be finite");
   if (initial_j < 0.0) {

@@ -40,6 +40,12 @@ class Battery {
   /// Experiment support: reset to a new initial charge (keeps callback).
   void recharge(double initial_j);
 
+  /// Checkpoint restore: overwrite the full accounting state (keeps the
+  /// callback, never re-fires it — a battery restored as depleted already
+  /// announced its death before the snapshot was taken).
+  void restore(double initial_j, double residual_j, double consumed_tx_j,
+               double consumed_move_j, double consumed_other_j);
+
  private:
   double initial_;
   double residual_;

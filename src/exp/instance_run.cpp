@@ -1,0 +1,224 @@
+#include "exp/instance_run.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/imobif.hpp"
+
+namespace imobif::exp {
+
+namespace {
+/// Chunk length and stall window of the legacy Network::run_flows() loop;
+/// advance() must match them exactly for bit-identical replays.
+const sim::Time kChunk = sim::Time::from_seconds(5.0);
+const sim::Time kStallWindow = sim::Time::from_seconds(120.0);
+}  // namespace
+
+InstanceRun::InstanceRun(const FlowInstance& instance,
+                         const ScenarioParams& params, core::MobilityMode mode,
+                         const RunOptions& options)
+    : instance_(instance),
+      params_(params),
+      mode_(mode),
+      options_(options),
+      mobility_model_(params.mobility),
+      stall_window_(kStallWindow) {}
+
+void InstanceRun::build_network() {
+  net::NetworkConfig config;
+  config.medium.comm_range_m = params_.comm_range_m;
+  config.node.hello_interval =
+      sim::Time::from_seconds(params_.hello_interval_s);
+  config.node.neighbor_timeout =
+      sim::Time::from_seconds(4.5 * params_.hello_interval_s);
+  config.node.charge_hello_energy = params_.charge_hello_energy;
+  config.node.position_error_m = params_.position_error_m;
+  config.node.notify_retry_cap = params_.notify_retry_cap;
+  config.node.notify_retry_timeout =
+      sim::Time::from_seconds(params_.notify_retry_timeout_s);
+  config.radio = params_.radio;
+
+  network_ = std::make_unique<net::Network>(config);
+  for (std::size_t i = 0; i < instance_.positions.size(); ++i) {
+    network_->add_node(instance_.positions[i], instance_.energies[i]);
+  }
+  if (params_.line_bias_weight > 0.0) {
+    network_->set_routing(std::make_unique<net::LineBiasedGreedyRouting>(
+        network_->medium(), params_.line_bias_weight));
+  } else {
+    network_->set_routing(
+        std::make_unique<net::GreedyRouting>(network_->medium()));
+  }
+
+  policy_ = core::make_default_policy(network_->radio(), mobility_model_,
+                                      mode_, params_.alpha_prime);
+  policy_->set_multi_flow_blending(options_.multi_flow_blending ||
+                                   params_.multi_flow_blending);
+  policy_->set_cap_bits(params_.cap_bits);
+  policy_->set_estimator(params_.paper_local_estimator
+                             ? core::BenefitEstimator::kPaperLocal
+                             : core::BenefitEstimator::kHopReceiver);
+  policy_->set_notification_min_gap(params_.notification_min_gap);
+  if (params_.recruit_margin > 0.0) {
+    policy_->enable_recruitment(params_.recruit_margin);
+  }
+  if (params_.exact_lifetime_split) {
+    policy_->register_strategy(
+        std::make_unique<core::MaxLifetimeStrategy>(params_.radio));
+  }
+  network_->set_policy(policy_.get());
+  network_->set_stop_on_first_death(options_.stop_on_first_death);
+}
+
+void InstanceRun::compute_horizon() {
+  const double ideal_duration_s = instance_.flow_bits / params_.rate_bps;
+  const double horizon_s =
+      ideal_duration_s * options_.horizon_factor + options_.horizon_slack_s;
+  horizon_ = flow_start_ + sim::Time::from_seconds(horizon_s);
+}
+
+std::unique_ptr<InstanceRun> InstanceRun::create(const FlowInstance& instance,
+                                                 const ScenarioParams& params,
+                                                 core::MobilityMode mode,
+                                                 const RunOptions& options) {
+  params.validate();
+  std::unique_ptr<InstanceRun> run(
+      new InstanceRun(instance, params, mode, options));
+  run->build_network();
+  net::Network& network = *run->network_;
+  network.medium().install_fault_plan(params.fault);
+
+  network.warmup(params.warmup_s);
+  run->warmup_consumed_ = network.total_consumed_energy();
+  run->flow_start_ = network.simulator().now();
+
+  net::FlowSpec spec;
+  spec.id = kMainFlowId;
+  spec.source = instance.source;
+  spec.destination = instance.destination;
+  spec.length_bits = instance.flow_bits;
+  spec.packet_bits = params.packet_bits;
+  spec.rate_bps = params.rate_bps;
+  spec.strategy = params.strategy;
+  // Cost-unaware mobility moves from the first packet on; iMobif starts
+  // disabled (paper Section 4) and the baseline never moves at all.
+  spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
+  spec.length_estimate_factor = params.length_estimate_factor;
+  network.start_flow(spec);
+  for (const net::FlowSpec& extra : options.extra_flows) {
+    network.start_flow(extra);
+  }
+
+  run->compute_horizon();
+  // Matches the last_progress reset at the top of run_flows().
+  network.restore_last_progress(run->flow_start_);
+  return run;
+}
+
+std::unique_ptr<InstanceRun> InstanceRun::create_shell(
+    const FlowInstance& instance, const ScenarioParams& params,
+    core::MobilityMode mode, const RunOptions& options) {
+  params.validate();
+  std::unique_ptr<InstanceRun> run(
+      new InstanceRun(instance, params, mode, options));
+  run->build_network();
+  return run;
+}
+
+void InstanceRun::restore_run_state(double warmup_consumed,
+                                    sim::Time flow_start, bool in_chunk,
+                                    sim::Time chunk_end, bool done) {
+  warmup_consumed_ = warmup_consumed;
+  flow_start_ = flow_start;
+  in_chunk_ = in_chunk;
+  chunk_end_ = chunk_end;
+  done_ = done;
+  compute_horizon();
+}
+
+bool InstanceRun::at_completion() const {
+  if (done_) return true;
+  if (in_chunk_) return false;
+  // Between-chunk checks, in the exact order of run_flows().
+  const sim::Simulator& sim = network_->simulator();
+  return sim.now() >= horizon_ || network_->all_flows_complete() ||
+         (network_->stop_on_first_death() &&
+          network_->first_death_time().has_value()) ||
+         sim.now() - network_->last_progress() > stall_window_;
+}
+
+bool InstanceRun::advance(std::size_t max_events) {
+  if (done_) return true;
+  sim::Simulator& sim = network_->simulator();
+  std::size_t remaining = max_events;
+  for (;;) {
+    if (!in_chunk_) {
+      if (at_completion()) {
+        done_ = true;
+        return true;
+      }
+      if (checkpoint_hook_) checkpoint_hook_(*this);
+      chunk_end_ = std::min(horizon_, sim.now() + kChunk);
+      in_chunk_ = true;
+    }
+    const std::size_t executed = sim.run(chunk_end_, remaining);
+    if (max_events != 0) {
+      remaining = executed >= remaining ? 0 : remaining - executed;
+    }
+    // The chunk is over when the simulator stopped itself (completion /
+    // first death), reached the chunk horizon, or drained the queue; an
+    // event-capped return with none of those is a mid-chunk pause.
+    const bool chunk_over = sim.stop_requested() ||
+                            sim.now() >= chunk_end_ ||
+                            sim.pending_events() == 0;
+    if (!chunk_over) return false;
+    in_chunk_ = false;
+    if (sim.pending_events() == 0) {
+      done_ = true;
+      return true;
+    }
+    if (max_events != 0 && remaining == 0) return false;
+  }
+}
+
+RunResult InstanceRun::result() {
+  net::Network& network = *network_;
+  const net::FlowProgress& prog = network.progress(kMainFlowId);
+  RunResult result;
+  result.mode = mode_;
+  result.completed = prog.completed;
+  result.delivered_bits = prog.delivered_bits;
+  result.completion_s =
+      prog.completion_time.has_value()
+          ? (*prog.completion_time - flow_start_).seconds()
+          : (network.simulator().now() - flow_start_).seconds();
+
+  result.transmit_energy_j = network.total_transmit_energy();
+  result.movement_energy_j = network.total_movement_energy();
+  result.total_energy_j = network.total_consumed_energy() - warmup_consumed_;
+
+  result.notifications = prog.notifications_from_dest;
+  result.notify_retries = prog.notification_retries;
+  result.notifications_applied = prog.notifications_at_source;
+  result.medium = network.medium().counters();
+  result.recruits = prog.recruits;
+  result.movements = policy_->movements_applied();
+  result.moved_distance_m = policy_->total_distance_moved();
+
+  result.any_death = network.first_death_time().has_value();
+  result.lifetime_s =
+      result.any_death
+          ? (*network.first_death_time() - flow_start_).seconds()
+          : (network.simulator().now() - flow_start_).seconds();
+
+  result.path = trace_flow_path(network, kMainFlowId);
+  result.final_positions = network.positions();
+  result.final_energies.reserve(network.node_count());
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    result.final_energies.push_back(
+        network.node(static_cast<net::NodeId>(i)).battery().residual());
+  }
+  return result;
+}
+
+}  // namespace imobif::exp

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/imobif.hpp"
+#include "exp/instance_run.hpp"
 
 namespace imobif::exp {
 
@@ -31,112 +32,9 @@ std::vector<net::NodeId> trace_flow_path(net::Network& network,
 RunResult run_instance(const FlowInstance& instance,
                        const ScenarioParams& params, core::MobilityMode mode,
                        const RunOptions& options) {
-  params.validate();
-
-  net::NetworkConfig config;
-  config.medium.comm_range_m = params.comm_range_m;
-  config.node.hello_interval =
-      sim::Time::from_seconds(params.hello_interval_s);
-  config.node.neighbor_timeout =
-      sim::Time::from_seconds(4.5 * params.hello_interval_s);
-  config.node.charge_hello_energy = params.charge_hello_energy;
-  config.node.position_error_m = params.position_error_m;
-  config.node.notify_retry_cap = params.notify_retry_cap;
-  config.node.notify_retry_timeout =
-      sim::Time::from_seconds(params.notify_retry_timeout_s);
-  config.radio = params.radio;
-
-  net::Network network(config);
-  for (std::size_t i = 0; i < instance.positions.size(); ++i) {
-    network.add_node(instance.positions[i], instance.energies[i]);
-  }
-  if (params.line_bias_weight > 0.0) {
-    network.set_routing(std::make_unique<net::LineBiasedGreedyRouting>(
-        network.medium(), params.line_bias_weight));
-  } else {
-    network.set_routing(
-        std::make_unique<net::GreedyRouting>(network.medium()));
-  }
-
-  const energy::MobilityEnergyModel mobility_model(params.mobility);
-  auto policy = core::make_default_policy(network.radio(), mobility_model,
-                                          mode, params.alpha_prime);
-  policy->set_multi_flow_blending(options.multi_flow_blending);
-  policy->set_cap_bits(params.cap_bits);
-  policy->set_estimator(params.paper_local_estimator
-                            ? core::BenefitEstimator::kPaperLocal
-                            : core::BenefitEstimator::kHopReceiver);
-  policy->set_notification_min_gap(params.notification_min_gap);
-  if (params.recruit_margin > 0.0) {
-    policy->enable_recruitment(params.recruit_margin);
-  }
-  if (params.exact_lifetime_split) {
-    policy->register_strategy(
-        std::make_unique<core::MaxLifetimeStrategy>(params.radio));
-  }
-  network.set_policy(policy.get());
-  network.set_stop_on_first_death(options.stop_on_first_death);
-  network.medium().install_fault_plan(params.fault);
-
-  network.warmup(params.warmup_s);
-  const double warmup_consumed = network.total_consumed_energy();
-  const sim::Time flow_start = network.simulator().now();
-
-  net::FlowSpec spec;
-  spec.id = 1;
-  spec.source = instance.source;
-  spec.destination = instance.destination;
-  spec.length_bits = instance.flow_bits;
-  spec.packet_bits = params.packet_bits;
-  spec.rate_bps = params.rate_bps;
-  spec.strategy = params.strategy;
-  // Cost-unaware mobility moves from the first packet on; iMobif starts
-  // disabled (paper Section 4) and the baseline never moves at all.
-  spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
-  spec.length_estimate_factor = params.length_estimate_factor;
-  network.start_flow(spec);
-
-  const double ideal_duration_s = instance.flow_bits / params.rate_bps;
-  const double horizon_s =
-      ideal_duration_s * options.horizon_factor + options.horizon_slack_s;
-  network.run_flows(horizon_s);
-
-  const net::FlowProgress& prog = network.progress(spec.id);
-  RunResult result;
-  result.mode = mode;
-  result.completed = prog.completed;
-  result.delivered_bits = prog.delivered_bits;
-  result.completion_s =
-      prog.completion_time.has_value()
-          ? (*prog.completion_time - flow_start).seconds()
-          : (network.simulator().now() - flow_start).seconds();
-
-  result.transmit_energy_j = network.total_transmit_energy();
-  result.movement_energy_j = network.total_movement_energy();
-  result.total_energy_j = network.total_consumed_energy() - warmup_consumed;
-
-  result.notifications = prog.notifications_from_dest;
-  result.notify_retries = prog.notification_retries;
-  result.notifications_applied = prog.notifications_at_source;
-  result.medium = network.medium().counters();
-  result.recruits = prog.recruits;
-  result.movements = policy->movements_applied();
-  result.moved_distance_m = policy->total_distance_moved();
-
-  result.any_death = network.first_death_time().has_value();
-  result.lifetime_s =
-      result.any_death
-          ? (*network.first_death_time() - flow_start).seconds()
-          : (network.simulator().now() - flow_start).seconds();
-
-  result.path = trace_flow_path(network, spec.id);
-  result.final_positions = network.positions();
-  result.final_energies.reserve(network.node_count());
-  for (std::size_t i = 0; i < network.node_count(); ++i) {
-    result.final_energies.push_back(
-        network.node(static_cast<net::NodeId>(i)).battery().residual());
-  }
-  return result;
+  auto run = InstanceRun::create(instance, params, mode, options);
+  run->advance();
+  return run->result();
 }
 
 }  // namespace imobif::exp

@@ -53,6 +53,10 @@ struct RunOptions {
   double horizon_slack_s = 600.0;
   /// Extension toggle: blend targets across flows at shared relays.
   bool multi_flow_blending = false;
+  /// Additional flows started alongside the main flow (multi-flow runs).
+  /// The RunResult still reports the main flow; extra flows contribute to
+  /// the run's energy totals, horizon checks, and completion condition.
+  std::vector<net::FlowSpec> extra_flows;
 };
 
 /// Runs `instance` under `mode`; deterministic given (instance, params).

@@ -76,6 +76,9 @@ struct ScenarioParams {
   /// Relay recruitment margin (extension E2); 0 disables recruitment,
   /// > 0 enables it with that relocation-cost margin.
   double recruit_margin = 0.0;
+  /// Blend strategy targets across flows at shared relays (extension E1);
+  /// effective when this OR RunOptions::multi_flow_blending is set.
+  bool multi_flow_blending = false;
 
   // Fault model (DESIGN.md §7). The default plan is disabled and injects
   // nothing; with loss/crashes configured, every fault sequence is

@@ -1,14 +1,84 @@
 #include "exp/scenario_io.hpp"
 
+#include <cstddef>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/json.hpp"
+
 namespace imobif::exp {
+
+namespace {
+// Shortest decimal form that re-parses to the exact double: the config
+// round trip (to_config_string -> apply_config) must be lossless because
+// snapshots embed the scenario through it (src/snap).
+std::string num(double v) { return util::Json::number_to_string(v); }
+}  // namespace
+
+std::string format_crashes(
+    const std::vector<net::FaultPlan::CrashEvent>& crashes) {
+  // Comma-separated: `;` starts a comment in the config grammar, so a
+  // semicolon-joined list would silently truncate after the first crash
+  // when round-tripped through util::Config (snapshot meta embedding).
+  std::ostringstream os;
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    if (i != 0) os << ",";
+    os << crashes[i].node << ":" << num(crashes[i].at_s) << ":"
+       << num(crashes[i].duration_s);
+  }
+  return os.str();
+}
+
+namespace {
+/// Splits on ',' (canonical) or ';' (legacy, config-hostile) separators.
+std::vector<std::string> split_crash_items(const std::string& text) {
+  std::vector<std::string> items;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',' || c == ';') {
+      items.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  items.push_back(current);
+  return items;
+}
+}  // namespace
+
+std::vector<net::FaultPlan::CrashEvent> parse_crashes(
+    const std::string& text) {
+  std::vector<net::FaultPlan::CrashEvent> out;
+  for (const std::string& item : split_crash_items(text)) {
+    // Skip blank segments (trailing separators, all-whitespace input).
+    if (item.find_first_not_of(" \t") == std::string::npos) continue;
+    const std::size_t c1 = item.find(':');
+    const std::size_t c2 =
+        c1 == std::string::npos ? std::string::npos : item.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw std::invalid_argument(
+          "parse_crashes: expected node:at_s:duration_s, got '" + item + "'");
+    }
+    try {
+      net::FaultPlan::CrashEvent crash;
+      crash.node = static_cast<net::NodeId>(std::stoul(item.substr(0, c1)));
+      crash.at_s = std::stod(item.substr(c1 + 1, c2 - c1 - 1));
+      crash.duration_s = std::stod(item.substr(c2 + 1));
+      out.push_back(crash);
+    } catch (const std::logic_error&) {
+      throw std::invalid_argument("parse_crashes: bad number in '" + item +
+                                  "'");
+    }
+  }
+  return out;
+}
 
 void apply_config(const util::Config& config, ScenarioParams& params) {
   params.area_m = config.get_double("area_m", params.area_m);
   params.node_count = static_cast<std::size_t>(
-      config.get_int("node_count", static_cast<std::int64_t>(params.node_count)));
+      config.get_int("node_count",
+                     static_cast<std::int64_t>(params.node_count)));
   params.comm_range_m = config.get_double("comm_range_m", params.comm_range_m);
   params.min_hops = static_cast<std::size_t>(
       config.get_int("min_hops", static_cast<std::int64_t>(params.min_hops)));
@@ -69,6 +139,8 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
       static_cast<std::int64_t>(params.notification_min_gap)));
   params.recruit_margin =
       config.get_double("recruit_margin", params.recruit_margin);
+  params.multi_flow_blending =
+      config.get_bool("multi_flow_blending", params.multi_flow_blending);
 
   params.fault.loss_rate =
       config.get_double("loss_rate", params.fault.loss_rate);
@@ -78,10 +150,14 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
       config.get_double("p_good_to_bad", params.fault.p_good_to_bad);
   params.fault.p_bad_to_good =
       config.get_double("p_bad_to_good", params.fault.p_bad_to_good);
-  params.fault.loss_good = config.get_double("loss_good", params.fault.loss_good);
+  params.fault.loss_good =
+      config.get_double("loss_good", params.fault.loss_good);
   params.fault.loss_bad = config.get_double("loss_bad", params.fault.loss_bad);
   params.fault.seed = static_cast<std::uint64_t>(config.get_int(
       "fault_seed", static_cast<std::int64_t>(params.fault.seed)));
+  if (config.has("crashes")) {
+    params.fault.crashes = parse_crashes(config.get_string("crashes"));
+  }
   params.notify_retry_cap = static_cast<std::uint32_t>(config.get_int(
       "notify_retry_cap", static_cast<std::int64_t>(params.notify_retry_cap)));
   params.notify_retry_timeout_s = config.get_double(
@@ -93,52 +169,59 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
 
 std::string to_config_string(const ScenarioParams& p) {
   std::ostringstream os;
-  os << "area_m = " << p.area_m << "\n"
+  os << "area_m = " << num(p.area_m) << "\n"
      << "node_count = " << p.node_count << "\n"
-     << "comm_range_m = " << p.comm_range_m << "\n"
+     << "comm_range_m = " << num(p.comm_range_m) << "\n"
      << "min_hops = " << p.min_hops << "\n"
-     << "radio_a = " << p.radio.a << "\n"
-     << "radio_b = " << p.radio.b << "\n"
-     << "radio_alpha = " << p.radio.alpha << "\n"
-     << "radio_rx_per_bit = " << p.radio.rx_per_bit << "\n"
-     << "k = " << p.mobility.k << "\n"
-     << "max_step_m = " << p.mobility.max_step_m << "\n"
-     << "initial_energy_j = " << p.initial_energy_j << "\n"
+     << "radio_a = " << num(p.radio.a) << "\n"
+     << "radio_b = " << num(p.radio.b) << "\n"
+     << "radio_alpha = " << num(p.radio.alpha) << "\n"
+     << "radio_rx_per_bit = " << num(p.radio.rx_per_bit) << "\n"
+     << "k = " << num(p.mobility.k) << "\n"
+     << "max_step_m = " << num(p.mobility.max_step_m) << "\n"
+     << "initial_energy_j = " << num(p.initial_energy_j) << "\n"
      << "random_energy = " << (p.random_energy ? "true" : "false") << "\n"
-     << "energy_lo_j = " << p.energy_lo_j << "\n"
-     << "energy_hi_j = " << p.energy_hi_j << "\n"
-     << "mean_flow_kb = " << p.mean_flow_bits / (1024.0 * 8.0) << "\n"
-     << "packet_bits = " << p.packet_bits << "\n"
-     << "rate_bps = " << p.rate_bps << "\n"
-     << "length_estimate_factor = " << p.length_estimate_factor << "\n"
-     << "hello_interval_s = " << p.hello_interval_s << "\n"
-     << "warmup_s = " << p.warmup_s << "\n"
+     << "energy_lo_j = " << num(p.energy_lo_j) << "\n"
+     << "energy_hi_j = " << num(p.energy_hi_j) << "\n"
+     // Division by 2^13 is exact in binary floating point, so the
+     // kb <-> bits conversion round-trips losslessly.
+     << "mean_flow_kb = " << num(p.mean_flow_bits / (1024.0 * 8.0)) << "\n"
+     << "packet_bits = " << num(p.packet_bits) << "\n"
+     << "rate_bps = " << num(p.rate_bps) << "\n"
+     << "length_estimate_factor = " << num(p.length_estimate_factor) << "\n"
+     << "hello_interval_s = " << num(p.hello_interval_s) << "\n"
+     << "warmup_s = " << num(p.warmup_s) << "\n"
      << "charge_hello_energy = "
      << (p.charge_hello_energy ? "true" : "false") << "\n"
-     << "position_error_m = " << p.position_error_m << "\n"
+     << "position_error_m = " << num(p.position_error_m) << "\n"
      << "strategy = "
      << (p.strategy == net::StrategyId::kMaxLifetime ? "max-lifetime"
                                                      : "min-energy")
      << "\n"
-     << "alpha_prime = " << p.alpha_prime << "\n"
-     << "line_bias_weight = " << p.line_bias_weight << "\n"
+     << "alpha_prime = " << num(p.alpha_prime) << "\n"
+     << "line_bias_weight = " << num(p.line_bias_weight) << "\n"
      << "cap_bits = " << (p.cap_bits ? "true" : "false") << "\n"
      << "paper_local_estimator = "
      << (p.paper_local_estimator ? "true" : "false") << "\n"
      << "exact_lifetime_split = "
      << (p.exact_lifetime_split ? "true" : "false") << "\n"
      << "notification_min_gap = " << p.notification_min_gap << "\n"
-     << "recruit_margin = " << p.recruit_margin << "\n"
-     << "loss_rate = " << p.fault.loss_rate << "\n"
+     << "recruit_margin = " << num(p.recruit_margin) << "\n"
+     << "multi_flow_blending = "
+     << (p.multi_flow_blending ? "true" : "false") << "\n"
+     << "loss_rate = " << num(p.fault.loss_rate) << "\n"
      << "gilbert_elliott = " << (p.fault.gilbert_elliott ? "true" : "false")
      << "\n"
-     << "p_good_to_bad = " << p.fault.p_good_to_bad << "\n"
-     << "p_bad_to_good = " << p.fault.p_bad_to_good << "\n"
-     << "loss_good = " << p.fault.loss_good << "\n"
-     << "loss_bad = " << p.fault.loss_bad << "\n"
-     << "fault_seed = " << p.fault.seed << "\n"
-     << "notify_retry_cap = " << p.notify_retry_cap << "\n"
-     << "notify_retry_timeout_s = " << p.notify_retry_timeout_s << "\n"
+     << "p_good_to_bad = " << num(p.fault.p_good_to_bad) << "\n"
+     << "p_bad_to_good = " << num(p.fault.p_bad_to_good) << "\n"
+     << "loss_good = " << num(p.fault.loss_good) << "\n"
+     << "loss_bad = " << num(p.fault.loss_bad) << "\n"
+     << "fault_seed = " << p.fault.seed << "\n";
+  if (!p.fault.crashes.empty()) {
+    os << "crashes = " << format_crashes(p.fault.crashes) << "\n";
+  }
+  os << "notify_retry_cap = " << p.notify_retry_cap << "\n"
+     << "notify_retry_timeout_s = " << num(p.notify_retry_timeout_s) << "\n"
      << "seed = " << p.seed << "\n";
   return os.str();
 }

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "exp/scenario.hpp"
 #include "util/config.hpp"
@@ -17,11 +18,22 @@ namespace imobif::exp {
 /// length_estimate_factor, hello_interval_s, warmup_s,
 /// charge_hello_energy, strategy (min-energy|max-lifetime), alpha_prime,
 /// line_bias_weight, cap_bits, paper_local_estimator,
-/// exact_lifetime_split, notification_min_gap, seed.
+/// exact_lifetime_split, notification_min_gap, recruit_margin,
+/// multi_flow_blending, position_error_m, loss_rate, gilbert_elliott,
+/// p_good_to_bad, p_bad_to_good, loss_good, loss_bad, fault_seed, crashes,
+/// notify_retry_cap, notify_retry_timeout_s, seed.
 void apply_config(const util::Config& config, ScenarioParams& params);
 
 /// Human-readable dump of every scenario field (one `key = value` line
 /// each) — valid as a config file, closing the round trip.
 std::string to_config_string(const ScenarioParams& params);
+
+/// Crash-schedule encoding for the `crashes` config key: semicolon-
+/// separated `node:at_s:duration_s` triples (duration < 0 = permanent),
+/// e.g. "7:120:30;12:300:-1". Whitespace around separators is ignored.
+std::string format_crashes(
+    const std::vector<net::FaultPlan::CrashEvent>& crashes);
+std::vector<net::FaultPlan::CrashEvent> parse_crashes(
+    const std::string& text);
 
 }  // namespace imobif::exp

@@ -38,7 +38,20 @@ class TraceRecorder : public net::NetworkEvents {
   /// Renders all entries as a table (time, event, node, flow, detail).
   util::Table to_table() const;
 
+  /// Serializes all entries as JSON Lines: one compact object per entry,
+  /// {"time_s":…,"event":…,"node":…,"flow":…,"detail":…}, where flow is
+  /// null for events not tied to a flow. Machine-readable counterpart of
+  /// to_table() for post-hoc analysis pipelines.
+  std::string to_jsonl() const;
+
+  /// Parses a to_jsonl() dump back into entries (exact round trip for
+  /// recorder-produced lines; blank lines are skipped). Throws
+  /// std::invalid_argument on malformed lines or unknown event names.
+  static std::vector<Entry> parse_jsonl(const std::string& text);
+
   static const char* to_string(Kind kind);
+  /// Inverse of to_string; throws std::invalid_argument on unknown names.
+  static Kind kind_from_string(const std::string& name);
 
   // net::NetworkEvents
   void on_delivered(net::Node& dest, const net::DataBody& data) override;

@@ -1,5 +1,6 @@
 #include "net/fault.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -81,6 +82,24 @@ bool FaultInjector::should_drop(NodeId from, NodeId to) {
   }
   if (drop) ++drops_;
   return drop;
+}
+
+std::vector<FaultInjector::LinkSnapshot> FaultInjector::link_states() const {
+  std::vector<LinkSnapshot> out;
+  out.reserve(links_.size());
+  for (const auto& [key, state] : links_) {
+    out.push_back(LinkSnapshot{key, state.packets, state.bad});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkSnapshot& a, const LinkSnapshot& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+void FaultInjector::restore_link(std::uint64_t key, std::uint64_t packets,
+                                 bool bad) {
+  links_[key] = LinkState{packets, bad};
 }
 
 }  // namespace imobif::net

@@ -79,6 +79,22 @@ class FaultInjector {
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t drops() const { return drops_; }
 
+  // --- Checkpoint restore support (src/snap) ---
+
+  /// One directed link's channel state, keyed by (from << 32) | to.
+  struct LinkSnapshot {
+    std::uint64_t key = 0;
+    std::uint64_t packets = 0;
+    bool bad = false;
+  };
+  /// All per-link states, sorted by key for deterministic encoding.
+  std::vector<LinkSnapshot> link_states() const;
+  void restore_link(std::uint64_t key, std::uint64_t packets, bool bad);
+  void restore_counts(std::uint64_t decisions, std::uint64_t drops) {
+    decisions_ = decisions;
+    drops_ = drops;
+  }
+
  private:
   struct LinkState {
     std::uint64_t packets = 0;

@@ -45,9 +45,33 @@ geom::Vec2 Medium::true_position(NodeId id) const {
 
 void Medium::deliver_later(Node& receiver, const Packet& pkt) {
   ++counters_.delivered;
+  schedule_delivery(receiver, std::make_shared<const Packet>(pkt),
+                    sim_.now() + config_.prop_delay);
+}
+
+void Medium::schedule_delivery(Node& receiver,
+                               std::shared_ptr<const Packet> pkt,
+                               sim::Time when) {
   Node* target = &receiver;
-  sim_.after(config_.prop_delay,
-             [target, pkt] { target->handle_receive(pkt); });
+  // The tag shares ownership of the packet with the closure, so the
+  // snapshot encoder can serialize the in-flight copy without another one.
+  sim::EventTag tag = sim::EventTag::deliver(receiver.id(), pkt);
+  sim_.at(
+      when,
+      [target, pkt = std::move(pkt)] { target->handle_receive(*pkt); },
+      std::move(tag));
+}
+
+void Medium::restore_delivery_at(NodeId receiver,
+                                 std::shared_ptr<const Packet> pkt,
+                                 sim::Time when) {
+  Node* node = find_node(receiver);
+  if (node == nullptr) {
+    throw std::out_of_range("Medium::restore_delivery_at: unknown node");
+  }
+  // No counter bump: `delivered` was incremented when the original
+  // transmission was scheduled, before the snapshot.
+  schedule_delivery(*node, std::move(pkt), when);
 }
 
 void Medium::broadcast(const Node& sender, const Packet& pkt) {
@@ -101,23 +125,38 @@ bool Medium::unicast(const Node& sender, NodeId dest, const Packet& pkt) {
   return true;
 }
 
+void Medium::schedule_fault_set(NodeId id, bool on, sim::Time when) {
+  sim_.at(
+      when,
+      [this, id, on] {
+        Node* node = find_node(id);
+        if (node != nullptr) node->set_faulted(on);
+      },
+      sim::EventTag::fault_set(id, on));
+}
+
 void Medium::install_fault_plan(const FaultPlan& plan) {
   plan.validate();
   if (!plan.enabled()) return;
   if (plan.has_loss()) injector_ = std::make_unique<FaultInjector>(plan);
   for (const FaultPlan::CrashEvent& crash : plan.crashes) {
-    sim_.at(sim::Time::from_seconds(crash.at_s), [this, id = crash.node] {
-      Node* node = find_node(id);
-      if (node != nullptr) node->set_faulted(true);
-    });
+    schedule_fault_set(crash.node, true, sim::Time::from_seconds(crash.at_s));
     if (crash.duration_s >= 0.0) {
-      sim_.at(sim::Time::from_seconds(crash.at_s + crash.duration_s),
-              [this, id = crash.node] {
-                Node* node = find_node(id);
-                if (node != nullptr) node->set_faulted(false);
-              });
+      schedule_fault_set(
+          crash.node, false,
+          sim::Time::from_seconds(crash.at_s + crash.duration_s));
     }
   }
+}
+
+FaultInjector& Medium::restore_fault_injector(const FaultPlan& plan) {
+  plan.validate();
+  injector_ = std::make_unique<FaultInjector>(plan);
+  return *injector_;
+}
+
+void Medium::restore_fault_event_at(NodeId id, bool on, sim::Time when) {
+  schedule_fault_set(id, on, when);
 }
 
 }  // namespace imobif::net

@@ -87,8 +87,26 @@ class Medium {
   };
   const Counters& counters() const { return counters_; }
 
+  // --- Checkpoint restore support (src/snap) ---
+
+  void restore_counters(const Counters& counters) { counters_ = counters; }
+  /// Re-schedules an in-flight delivery at an absolute time. Unlike the
+  /// internal path this does NOT bump the delivered counter (it was counted
+  /// when the original transmission was scheduled, before the snapshot).
+  void restore_delivery_at(NodeId receiver, std::shared_ptr<const Packet> pkt,
+                           sim::Time when);
+  /// Re-creates the loss injector from its plan WITHOUT scheduling the
+  /// crash events (those are restored as pending simulator events); returns
+  /// it so the caller can restore per-link channel state.
+  FaultInjector& restore_fault_injector(const FaultPlan& plan);
+  /// Re-schedules one pending crash/resume event at an absolute time.
+  void restore_fault_event_at(NodeId id, bool on, sim::Time when);
+
  private:
   void deliver_later(Node& receiver, const Packet& pkt);
+  void schedule_delivery(Node& receiver, std::shared_ptr<const Packet> pkt,
+                         sim::Time when);
+  void schedule_fault_set(NodeId id, bool on, sim::Time when);
 
   sim::Simulator& sim_;
   MediumConfig config_;

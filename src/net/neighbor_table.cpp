@@ -1,5 +1,7 @@
 #include "net/neighbor_table.hpp"
 
+#include <algorithm>
+
 namespace imobif::net {
 
 void NeighborTable::upsert(NodeId id, geom::Vec2 position,
@@ -29,11 +31,29 @@ void NeighborTable::purge(sim::Time now) {
 }
 
 std::vector<NeighborInfo> NeighborTable::snapshot(sim::Time now) const {
+  // Sorted by id so every scan over the snapshot (routing, recruitment)
+  // visits neighbors in a deterministic order independent of hash layout —
+  // a prerequisite for bit-identical checkpoint/restore equivalence.
   std::vector<NeighborInfo> out;
   out.reserve(entries_.size());
   for (const auto& [id, info] : entries_) {
     if (!expired(info, now)) out.push_back(info);
   }
+  std::sort(out.begin(), out.end(),
+            [](const NeighborInfo& a, const NeighborInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<NeighborInfo> NeighborTable::all_entries() const {
+  std::vector<NeighborInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, info] : entries_) out.push_back(info);
+  std::sort(out.begin(), out.end(),
+            [](const NeighborInfo& a, const NeighborInfo& b) {
+              return a.id < b.id;
+            });
   return out;
 }
 

@@ -36,8 +36,15 @@ class NeighborTable {
   /// Drops entries not heard from within the timeout.
   void purge(sim::Time now);
 
-  /// Live entries as of `now` (expired entries excluded but not removed).
+  /// Live entries as of `now`, sorted by id (expired entries excluded but
+  /// not removed).
   std::vector<NeighborInfo> snapshot(sim::Time now) const;
+
+  /// Every stored entry — including expired ones awaiting a purge — sorted
+  /// by id. Checkpointing serializes these verbatim (restoring only live
+  /// entries would be behaviorally equivalent but break state-hash
+  /// comparison against the original).
+  std::vector<NeighborInfo> all_entries() const;
 
   std::size_t size() const { return entries_.size(); }
   sim::Time timeout() const { return timeout_; }

@@ -91,8 +91,10 @@ void Network::start_flow(const FlowSpec& spec) {
   entry.mobility_enabled = spec.initially_enabled;
 
   const double interval_s = spec.packet_bits / spec.rate_bps;
-  sim_.after(sim::Time::from_seconds(interval_s),
-             [this, id = spec.id] { emit_packet(id); });
+  sim_.after(
+      sim::Time::from_seconds(interval_s),
+      [this, id = spec.id] { emit_packet(id); },
+      sim::EventTag::emit_packet(spec.id));
 }
 
 void Network::emit_packet(FlowId id) {
@@ -135,17 +137,39 @@ void Network::emit_packet(FlowId id) {
 
   const double interval_s = spec.packet_bits / spec.rate_bps;
   sim_.after(sim::Time::from_seconds(interval_s),
-             [this, id] { emit_packet(id); });
+             [this, id] { emit_packet(id); },
+             sim::EventTag::emit_packet(id));
 }
 
 const FlowProgress& Network::progress(FlowId id) const {
   return flows_.at(id);
 }
 
+void Network::restore_flow_progress(const FlowProgress& prog) {
+  auto [it, inserted] = flows_.emplace(prog.spec.id, prog);
+  if (!inserted) {
+    throw std::invalid_argument(
+        "restore_flow_progress: duplicate flow id");
+  }
+}
+
+void Network::restore_emission_at(FlowId id, sim::Time when) {
+  if (flows_.count(id) == 0) {
+    throw std::invalid_argument("restore_emission_at: unknown flow");
+  }
+  sim_.at(when, [this, id] { emit_packet(id); },
+          sim::EventTag::emit_packet(id));
+}
+
 std::vector<const FlowProgress*> Network::all_progress() const {
+  // Sorted by flow id for deterministic multi-flow reporting and encoding.
   std::vector<const FlowProgress*> out;
   out.reserve(flows_.size());
   for (const auto& [id, prog] : flows_) out.push_back(&prog);
+  std::sort(out.begin(), out.end(),
+            [](const FlowProgress* a, const FlowProgress* b) {
+              return a->spec.id < b->spec.id;
+            });
   return out;
 }
 

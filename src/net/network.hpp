@@ -102,11 +102,32 @@ class Network : public NetworkEvents {
 
   /// Stops the event loop as soon as any node depletes (lifetime runs).
   void set_stop_on_first_death(bool stop) { stop_on_first_death_ = stop; }
+  bool stop_on_first_death() const { return stop_on_first_death_; }
   std::optional<sim::Time> first_death_time() const {
     return first_death_time_;
   }
   std::size_t dead_node_count() const { return dead_nodes_; }
   std::uint64_t total_data_drops() const { return total_data_drops_; }
+
+  /// Time of the most recent delivery progress (stall detection).
+  sim::Time last_progress() const { return last_progress_; }
+
+  // --- Checkpoint restore support (src/snap) ---
+
+  /// Registers a flow's progress record verbatim, WITHOUT creating the
+  /// source's flow entry or scheduling an emission (both restored
+  /// separately from the snapshot).
+  void restore_flow_progress(const FlowProgress& prog);
+  /// Re-schedules the next packet emission for `id` at an absolute time.
+  void restore_emission_at(FlowId id, sim::Time when);
+  void restore_last_progress(sim::Time t) { last_progress_ = t; }
+  void restore_first_death(std::optional<sim::Time> t) {
+    first_death_time_ = t;
+  }
+  void restore_dead_nodes(std::size_t count) { dead_nodes_ = count; }
+  void restore_total_data_drops(std::uint64_t count) {
+    total_data_drops_ = count;
+  }
 
   /// Aggregate energy drawn across all nodes, by category.
   double total_transmit_energy() const;

@@ -116,8 +116,9 @@ void Node::start_hello() {
   const auto phase_ticks = static_cast<std::int64_t>(
       hash % static_cast<std::uint64_t>(
                  std::max<std::int64_t>(1, config_.hello_interval.ticks())));
-  hello_event_ = services_.sim->after(sim::Time::from_ticks(phase_ticks),
-                                      [this] { hello_tick(); });
+  hello_event_ = services_.sim->after(
+      sim::Time::from_ticks(phase_ticks), [this] { hello_tick(); },
+      sim::EventTag::hello_tick(id_));
 }
 
 void Node::stop_hello() {
@@ -146,8 +147,9 @@ void Node::hello_tick() {
   send_hello_now();
   neighbors_.purge(now());
   if (!alive()) return;  // beacon cost may have finished the battery
-  hello_event_ =
-      services_.sim->after(config_.hello_interval, [this] { hello_tick(); });
+  hello_event_ = services_.sim->after(
+      config_.hello_interval, [this] { hello_tick(); },
+      sim::EventTag::hello_tick(id_));
 }
 
 NeighborInfo Node::lookup(NodeId other) const {
@@ -346,7 +348,9 @@ void Node::handle_data(DataBody data, const SenderStamp& from) {
 
   if (data.destination == id_) {
     // Figure 1, lines 7-11: deliver and run UpdateMobilityStatus.
-    if (services_.events != nullptr) services_.events->on_delivered(*this, data);
+    if (services_.events != nullptr) {
+      services_.events->on_delivered(*this, data);
+    }
     // Reliability layer: the source's stamped status now reflects the
     // pending request — the flip is confirmed, stop retransmitting.
     if (entry.pending_status.has_value() &&
@@ -498,7 +502,25 @@ void Node::schedule_notify_retry(FlowEntry& entry) {
   const sim::Time delay =
       sim::Time::from_ticks(config_.notify_retry_timeout.ticks() << shift);
   entry.notify_retry_event = services_.sim->after(
-      delay, [this, flow = entry.id] { notify_retry_tick(flow); });
+      delay, [this, flow = entry.id] { notify_retry_tick(flow); },
+      sim::EventTag::notify_retry(id_, entry.id));
+}
+
+void Node::restore_hello_at(sim::Time when) {
+  stop_hello();
+  hello_event_ = services_.sim->at(
+      when, [this] { hello_tick(); },
+      sim::EventTag::hello_tick(id_));
+}
+
+void Node::restore_notify_retry_at(FlowId flow, sim::Time when) {
+  FlowEntry& entry = flows_.ensure(flow);
+  if (entry.notify_retry_event != 0) {
+    services_.sim->cancel(entry.notify_retry_event);
+  }
+  entry.notify_retry_event = services_.sim->at(
+      when, [this, flow] { notify_retry_tick(flow); },
+      sim::EventTag::notify_retry(id_, flow));
 }
 
 void Node::cancel_notify_retry(FlowEntry& entry) {

@@ -162,6 +162,19 @@ class Node {
   /// ground-truth oracle as fallback (documented GPS substitution).
   NeighborInfo lookup(NodeId other) const;
 
+  // --- Checkpoint restore support (src/snap) ---
+  // These bypass the usual side effects: restore re-materializes state that
+  // already had its side effects before the snapshot was taken.
+
+  /// Overwrites the crash flag without the beacon start/stop side effects
+  /// of set_faulted(); pending HELLO events are restored separately.
+  void restore_faulted(bool faulted) { faulted_ = faulted; }
+  void restore_total_moved(double meters) { total_moved_ = meters; }
+  /// Re-arms the periodic HELLO timer at an absolute simulated time.
+  void restore_hello_at(sim::Time when);
+  /// Re-arms a pending notification retry for `flow` at an absolute time.
+  void restore_notify_retry_at(FlowId flow, sim::Time when);
+
  private:
   void hello_tick();
   void handle_data(DataBody data, const SenderStamp& from);

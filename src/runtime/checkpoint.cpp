@@ -1,0 +1,56 @@
+#include "runtime/checkpoint.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "snap/checkpointer.hpp"
+#include "snap/result_io.hpp"
+#include "snap/snapshot.hpp"
+
+namespace imobif::runtime {
+
+void prepare_checkpoint_dir(const CheckpointOptions& options) {
+  if (!options.enabled()) return;
+  std::filesystem::create_directories(options.dir);
+}
+
+exp::RunResult run_checkpointed_unit(
+    const CheckpointOptions& options, const std::string& unit,
+    const std::function<std::unique_ptr<exp::InstanceRun>()>& make_fresh) {
+  if (!options.enabled()) {
+    throw std::invalid_argument(
+        "run_checkpointed_unit: checkpointing is disabled (empty dir)");
+  }
+  const std::filesystem::path dir(options.dir);
+  const std::string stem = options.scope + unit;
+  const std::string result_path = (dir / (stem + ".result")).string();
+  const std::string ckpt_path = (dir / (stem + ".ckpt")).string();
+
+  if (options.resume && std::filesystem::exists(result_path)) {
+    return snap::load_result(result_path);
+  }
+
+  std::unique_ptr<exp::InstanceRun> run;
+  if (options.resume && std::filesystem::exists(ckpt_path)) {
+    run = snap::restore_file(ckpt_path);
+  } else {
+    run = make_fresh();
+  }
+
+  snap::CheckpointPolicy policy;
+  policy.every_sim_s = options.every_sim_s;
+  policy.every_delivered_packets = options.every_delivered_packets;
+  snap::Checkpointer checkpointer(ckpt_path, policy);
+  checkpointer.install(*run);
+  run->advance();
+
+  const exp::RunResult result = run->result();
+  snap::save_result(result_path, result);
+  // The .result supersedes the mid-flight snapshot; a best-effort removal
+  // keeps the directory to one file per finished unit.
+  std::error_code ec;
+  std::filesystem::remove(ckpt_path, ec);
+  return result;
+}
+
+}  // namespace imobif::runtime

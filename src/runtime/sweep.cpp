@@ -1,6 +1,8 @@
 #include "runtime/sweep.hpp"
 
+#include <array>
 #include <future>
+#include <string>
 #include <utility>
 
 #include "runtime/thread_pool.hpp"
@@ -21,44 +23,77 @@ SweepEngine::SweepEngine(std::size_t workers)
 
 namespace {
 
-SweepOutcome run_sweep_job(const SweepJob& job, std::uint64_t seed) {
+/// One mode replay of a sampled instance, routed through the checkpoint
+/// layer when enabled; otherwise the legacy direct path.
+exp::RunResult run_one_mode(const exp::FlowInstance& instance,
+                            const exp::ScenarioParams& params,
+                            core::MobilityMode mode,
+                            const exp::RunOptions& options,
+                            const std::array<std::uint64_t, 4>& sampler_state,
+                            const CheckpointOptions& checkpoint,
+                            const std::string& unit) {
+  if (!checkpoint.enabled()) {
+    return exp::run_instance(instance, params, mode, options);
+  }
+  return run_checkpointed_unit(checkpoint, unit, [&] {
+    auto run = exp::InstanceRun::create(instance, params, mode, options);
+    run->set_sampler_rng_state(sampler_state);
+    return run;
+  });
+}
+
+SweepOutcome run_sweep_job(const SweepJob& job, std::uint64_t seed,
+                           const CheckpointOptions& checkpoint,
+                           const std::string& unit) {
   util::Rng rng(seed);
   const exp::FlowInstance instance = exp::sample_instance(job.params, rng);
   SweepOutcome outcome;
   outcome.seed = seed;
   outcome.flow_bits = instance.flow_bits;
   outcome.hops = instance.initial_path.size() - 1;
-  outcome.result =
-      exp::run_instance(instance, job.params, job.mode, job.options);
+  outcome.result = run_one_mode(instance, job.params, job.mode, job.options,
+                                rng.state(), checkpoint, unit);
   return outcome;
 }
 
 exp::ComparisonPoint run_comparison_point(const exp::ScenarioParams& params,
                                           const exp::RunOptions& options,
-                                          util::Rng rng) {
+                                          util::Rng rng,
+                                          const CheckpointOptions& checkpoint,
+                                          const std::string& unit_prefix) {
   const exp::FlowInstance instance = exp::sample_instance(params, rng);
   exp::ComparisonPoint point;
   point.flow_bits = instance.flow_bits;
   point.hops = instance.initial_path.size() - 1;
-  point.baseline = exp::run_instance(instance, params,
-                                     core::MobilityMode::kNoMobility, options);
-  point.cost_unaware = exp::run_instance(
-      instance, params, core::MobilityMode::kCostUnaware, options);
-  point.informed = exp::run_instance(instance, params,
-                                     core::MobilityMode::kInformed, options);
+  point.baseline =
+      run_one_mode(instance, params, core::MobilityMode::kNoMobility, options,
+                   rng.state(), checkpoint, unit_prefix + "-baseline");
+  point.cost_unaware =
+      run_one_mode(instance, params, core::MobilityMode::kCostUnaware, options,
+                   rng.state(), checkpoint, unit_prefix + "-cost_unaware");
+  point.informed =
+      run_one_mode(instance, params, core::MobilityMode::kInformed, options,
+                   rng.state(), checkpoint, unit_prefix + "-informed");
   return point;
+}
+
+std::string job_unit(std::size_t index) {
+  return "job-" + std::to_string(index);
 }
 
 }  // namespace
 
-std::vector<SweepOutcome> SweepEngine::run(const std::vector<SweepJob>& jobs,
-                                           std::uint64_t base_seed) const {
+std::vector<SweepOutcome> SweepEngine::run(
+    const std::vector<SweepJob>& jobs, std::uint64_t base_seed,
+    const CheckpointOptions& checkpoint) const {
   for (const SweepJob& job : jobs) job.params.validate();
+  prepare_checkpoint_dir(checkpoint);
 
   std::vector<SweepOutcome> outcomes(jobs.size());
   if (workers_ <= 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      outcomes[i] = run_sweep_job(jobs[i], derive_seed(base_seed, i));
+      outcomes[i] = run_sweep_job(jobs[i], derive_seed(base_seed, i),
+                                  checkpoint, job_unit(i));
     }
     return outcomes;
   }
@@ -68,8 +103,9 @@ std::vector<SweepOutcome> SweepEngine::run(const std::vector<SweepJob>& jobs,
   futures.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const std::uint64_t seed = derive_seed(base_seed, i);
-    futures.push_back(
-        pool.submit([&job = jobs[i], seed] { return run_sweep_job(job, seed); }));
+    futures.push_back(pool.submit([&job = jobs[i], seed, &checkpoint, i] {
+      return run_sweep_job(job, seed, checkpoint, job_unit(i));
+    }));
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     outcomes[i] = futures[i].get();  // ordered collection
@@ -85,8 +121,10 @@ std::vector<SweepOutcome> SweepEngine::run(const std::vector<SweepJob>& jobs,
 
 std::vector<exp::ComparisonPoint> run_comparison_parallel(
     const exp::ScenarioParams& params, std::size_t flow_count,
-    const exp::RunOptions& options, std::size_t workers) {
+    const exp::RunOptions& options, std::size_t workers,
+    const CheckpointOptions& checkpoint) {
   params.validate();
+  prepare_checkpoint_dir(checkpoint);
 
   // Reproduce the sequential fork chain exactly: instance i's generator is
   // the i-th fork of Rng(params.seed), drawn here in order on one thread.
@@ -100,7 +138,8 @@ std::vector<exp::ComparisonPoint> run_comparison_parallel(
   std::vector<exp::ComparisonPoint> points(flow_count);
   if (workers <= 1) {
     for (std::size_t i = 0; i < flow_count; ++i) {
-      points[i] = run_comparison_point(params, options, instance_rngs[i]);
+      points[i] = run_comparison_point(params, options, instance_rngs[i],
+                                       checkpoint, "cmp-" + std::to_string(i));
     }
     return points;
   }
@@ -109,9 +148,11 @@ std::vector<exp::ComparisonPoint> run_comparison_parallel(
   std::vector<std::future<exp::ComparisonPoint>> futures;
   futures.reserve(flow_count);
   for (std::size_t i = 0; i < flow_count; ++i) {
-    futures.push_back(pool.submit([&params, &options, rng = instance_rngs[i]] {
-      return run_comparison_point(params, options, rng);
-    }));
+    futures.push_back(pool.submit(
+        [&params, &options, rng = instance_rngs[i], &checkpoint, i] {
+          return run_comparison_point(params, options, rng, checkpoint,
+                                      "cmp-" + std::to_string(i));
+        }));
   }
   for (std::size_t i = 0; i < flow_count; ++i) {
     points[i] = futures[i].get();

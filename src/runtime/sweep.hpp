@@ -17,6 +17,7 @@
 #include "exp/instance.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace imobif::runtime {
 
@@ -48,9 +49,12 @@ class SweepEngine {
   std::size_t workers() const { return workers_; }
 
   /// Runs every job; outcome i corresponds to jobs[i] and was sampled from
-  /// derive_seed(base_seed, i).
+  /// derive_seed(base_seed, i). With checkpointing enabled, job i persists
+  /// under unit name "job-<i>" (see runtime/checkpoint.hpp); the outcomes
+  /// are bit-identical to an uncheckpointed run.
   std::vector<SweepOutcome> run(const std::vector<SweepJob>& jobs,
-                                std::uint64_t base_seed) const;
+                                std::uint64_t base_seed,
+                                const CheckpointOptions& checkpoint = {}) const;
 
  private:
   std::size_t workers_;
@@ -58,9 +62,12 @@ class SweepEngine {
 
 /// Parallel equivalent of exp::run_comparison: same (params.seed,
 /// flow_count) -> bit-identical ComparisonPoints for any worker count,
-/// including the sequential implementation's fork chain.
+/// including the sequential implementation's fork chain. With
+/// checkpointing enabled, instance i's three mode runs persist as units
+/// "cmp-<i>-baseline" / "cmp-<i>-cost_unaware" / "cmp-<i>-informed".
 std::vector<exp::ComparisonPoint> run_comparison_parallel(
     const exp::ScenarioParams& params, std::size_t flow_count,
-    const exp::RunOptions& options = {}, std::size_t workers = 1);
+    const exp::RunOptions& options = {}, std::size_t workers = 1,
+    const CheckpointOptions& checkpoint = {});
 
 }  // namespace imobif::runtime

@@ -1,18 +1,21 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace imobif::sim {
 
-EventId EventQueue::schedule(Time when, Callback fn) {
+EventId EventQueue::schedule(Time when, Callback fn, EventTag tag) {
   IMOBIF_ENSURE(fn != nullptr, "scheduled a null callback");
   IMOBIF_ENSURE(when != Time::infinity(),
                 "infinity is the empty-queue sentinel, not a schedulable time");
   const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  heap_.push_back(Entry{when, next_seq_++, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  callbacks_.emplace(id, Scheduled{std::move(fn), std::move(tag)});
   ++live_count_;
   return id;
 }
@@ -27,29 +30,47 @@ bool EventQueue::cancel(EventId id) {
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-    cancelled_.erase(heap_.top().id);
-    heap_.pop();
+  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 Time EventQueue::next_time() const {
   drop_cancelled();
-  return heap_.empty() ? Time::infinity() : heap_.top().when;
+  return heap_.empty() ? Time::infinity() : heap_.front().when;
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  const Entry top = heap_.top();
+  const Entry top = heap_.front();
   IMOBIF_ASSERT(top.when >= last_popped_,
                 "event times must be popped in non-decreasing order");
   last_popped_ = top.when;
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   const auto it = callbacks_.find(top.id);
-  Popped out{top.when, std::move(it->second)};
+  Popped out{top.when, std::move(it->second.fn)};
   callbacks_.erase(it);
   --live_count_;
+  return out;
+}
+
+std::vector<EventQueue::PendingEvent> EventQueue::pending_tagged() const {
+  std::vector<PendingEvent> out;
+  out.reserve(live_count_);
+  for (const Entry& entry : heap_) {
+    const auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled, not yet dropped
+    out.push_back(PendingEvent{entry.when, entry.seq, &it->second.tag});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              return a.seq < b.seq;
+            });
   return out;
 }
 

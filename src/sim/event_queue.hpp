@@ -4,15 +4,20 @@
 // Ties in time are broken by insertion sequence, so same-tick events run in
 // the order they were scheduled — this determinism is what makes the
 // packet-by-packet mobility protocol of the paper reproducible in tests.
+//
+// The heap is a std::vector managed with std::push_heap/pop_heap (not a
+// std::priority_queue) so live events can be *enumerated* for
+// checkpointing: pending_tagged() returns every live event's (time, seq,
+// tag) in execution order without disturbing the queue.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/event_tag.hpp"
 #include "sim/time.hpp"
 
 namespace imobif::sim {
@@ -24,7 +29,8 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Schedules `fn` at absolute time `when`; returns a handle for cancel().
-  EventId schedule(Time when, Callback fn);
+  /// The optional tag describes the event for checkpointing (event_tag.hpp).
+  EventId schedule(Time when, Callback fn, EventTag tag = {});
 
   /// Cancels a pending event. Returns false when the event already ran,
   /// was already cancelled, or never existed.
@@ -43,6 +49,16 @@ class EventQueue {
   /// Removes and returns the earliest live event. Requires !empty().
   Popped pop();
 
+  /// A live event's schedule entry, for checkpoint enumeration.
+  struct PendingEvent {
+    Time when;
+    std::uint64_t seq = 0;
+    const EventTag* tag = nullptr;  ///< owned by the queue; never null
+  };
+  /// Every live event in execution order (time, then insertion sequence).
+  /// Tags point into the queue and are invalidated by any mutation.
+  std::vector<PendingEvent> pending_tagged() const;
+
  private:
   struct Entry {
     Time when;
@@ -55,12 +71,16 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Scheduled {
+    Callback fn;
+    EventTag tag;
+  };
 
   void drop_cancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::vector<Entry> heap_;  ///< max-heap under Later (min-time first)
   mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Scheduled> callbacks_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;

@@ -1,0 +1,59 @@
+// EventTag: a serializable description of a scheduled event.
+//
+// Pending events are type-erased callbacks, which a checkpoint cannot
+// serialize. Every *domain* scheduling site therefore attaches a tag naming
+// the event's kind and its identifying operands; restore() re-materializes
+// the callback from the tag (src/snap/snapshot.cpp owns that mapping). The
+// sim layer stays network-agnostic: kinds are a closed enum shared with the
+// net layer by convention, and bulky payloads (an in-flight packet) ride in
+// a std::any the tagging layer alone understands.
+//
+// Events scheduled without a tag (tests, ad-hoc callers) remain fully
+// functional; they are merely rejected by the snapshot encoder, which
+// refuses to checkpoint state it cannot reconstruct.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+namespace imobif::sim {
+
+struct EventTag {
+  enum class Kind : std::uint8_t {
+    kUntagged = 0,
+    kHelloTick = 1,     ///< a = node id
+    kEmitPacket = 2,    ///< a = flow id
+    kDeliver = 3,       ///< a = receiver node id; payload = the packet
+    kNotifyRetry = 4,   ///< a = node id, b = flow id
+    kFaultSet = 5,      ///< a = node id, b = 1 (crash) / 0 (resume)
+  };
+
+  Kind kind = Kind::kUntagged;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  /// Kind-specific payload; kDeliver carries a
+  /// std::shared_ptr<const net::Packet> (shared with the closure so the
+  /// packet is stored once).
+  std::any payload;
+
+  bool tagged() const { return kind != Kind::kUntagged; }
+
+  // Named constructors (the net layer's scheduling sites use these).
+  static EventTag hello_tick(std::uint64_t node) {
+    return EventTag{Kind::kHelloTick, node, 0, {}};
+  }
+  static EventTag emit_packet(std::uint64_t flow) {
+    return EventTag{Kind::kEmitPacket, flow, 0, {}};
+  }
+  static EventTag deliver(std::uint64_t receiver, std::any packet) {
+    return EventTag{Kind::kDeliver, receiver, 0, std::move(packet)};
+  }
+  static EventTag notify_retry(std::uint64_t node, std::uint64_t flow) {
+    return EventTag{Kind::kNotifyRetry, node, flow, {}};
+  }
+  static EventTag fault_set(std::uint64_t node, bool on) {
+    return EventTag{Kind::kFaultSet, node, on ? 1u : 0u, {}};
+  }
+};
+
+}  // namespace imobif::sim

@@ -1,16 +1,17 @@
 #include "sim/simulator.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/check.hpp"
 
 namespace imobif::sim {
 
-EventId Simulator::at(Time when, EventQueue::Callback fn) {
+EventId Simulator::at(Time when, EventQueue::Callback fn, EventTag tag) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::at: scheduling in the past");
   }
-  return queue_.schedule(when, std::move(fn));
+  return queue_.schedule(when, std::move(fn), std::move(tag));
 }
 
 bool Simulator::step(Time until) {
@@ -26,18 +27,30 @@ bool Simulator::step(Time until) {
   return true;
 }
 
-std::size_t Simulator::run(Time until) {
+std::size_t Simulator::run(Time until, std::size_t max_events) {
   stopped_ = false;
   const std::size_t start = executed_;
-  while (!stopped_ && step(until)) {
+  while (!stopped_ && (max_events == 0 || executed_ - start < max_events) &&
+         step(until)) {
   }
   // When stopping on the time horizon, advance the clock to it so callers
-  // observe a consistent "simulated until" time.
+  // observe a consistent "simulated until" time. An event-capped return
+  // with due events still pending leaves the clock where it is (the
+  // next_time() > until guard below).
   if (until != Time::infinity() && now_ < until &&
       (queue_.empty() || queue_.next_time() > until)) {
     now_ = until;
   }
   return executed_ - start;
+}
+
+void Simulator::restore_clock(Time now, std::size_t executed) {
+  if (!queue_.empty() || executed_ != 0 || now_ != Time::zero()) {
+    throw std::logic_error(
+        "Simulator::restore_clock: simulator already in use");
+  }
+  now_ = now;
+  executed_ = executed;
 }
 
 }  // namespace imobif::sim

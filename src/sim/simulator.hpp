@@ -14,19 +14,21 @@ class Simulator {
  public:
   Time now() const { return now_; }
 
-  /// Schedules at absolute time `when`; must not be in the past.
-  EventId at(Time when, EventQueue::Callback fn);
+  /// Schedules at absolute time `when`; must not be in the past. The
+  /// optional tag describes the event for checkpointing (event_tag.hpp).
+  EventId at(Time when, EventQueue::Callback fn, EventTag tag = {});
 
   /// Schedules `delay` after the current time.
-  EventId after(Time delay, EventQueue::Callback fn) {
-    return at(now_ + delay, std::move(fn));
+  EventId after(Time delay, EventQueue::Callback fn, EventTag tag = {}) {
+    return at(now_ + delay, std::move(fn), std::move(tag));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
 
-  /// Runs until the queue is empty, `until` is passed, or stop() is called.
-  /// Returns the number of events executed.
-  std::size_t run(Time until = Time::infinity());
+  /// Runs until the queue is empty, `until` is passed, stop() is called, or
+  /// (max_events > 0) that many events have executed — whichever is first.
+  /// Returns the number of events executed by this call.
+  std::size_t run(Time until = Time::infinity(), std::size_t max_events = 0);
 
   /// Executes at most one pending event (if due before `until`).
   /// Returns true when an event ran.
@@ -35,8 +37,27 @@ class Simulator {
   /// Request run() to return after the current event completes.
   void stop() { stopped_ = true; }
 
+  /// True when stop() was called during the last (or current) run(); run()
+  /// clears the flag on entry, so after a return this tells why it ended.
+  bool stop_requested() const { return stopped_; }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t executed_events() const { return executed_; }
+
+  /// Time of the earliest pending event; Time::infinity() when none.
+  Time next_event_time() const { return queue_.next_time(); }
+
+  /// Every pending event's (time, seq, tag) in execution order, for
+  /// checkpointing (see event_tag.hpp).
+  std::vector<EventQueue::PendingEvent> pending_tagged() const {
+    return queue_.pending_tagged();
+  }
+
+  /// Checkpoint restore: re-seats the clock and the executed-event count.
+  /// Only valid on a pristine simulator (no pending events, nothing
+  /// executed) — restore re-schedules events *after* the clock is seated so
+  /// their absolute times are never "in the past".
+  void restore_clock(Time now, std::size_t executed);
 
   /// Aborts run() with an exception after this many events (0 = unlimited).
   void set_event_budget(std::size_t budget) { event_budget_ = budget; }

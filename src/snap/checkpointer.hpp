@@ -1,0 +1,58 @@
+// Checkpointer: periodic snapshot writer for a running InstanceRun.
+//
+// Hooks into InstanceRun's chunk-boundary callback (the only points where
+// a run can be suspended with no loop bookkeeping in flight) and saves a
+// snapshot whenever enough simulated time has passed or enough packets
+// have been delivered since the last write. Writes are atomic
+// (tmp + rename), so a process killed mid-checkpoint leaves the previous
+// snapshot intact — the crash-resume contract of the sweep engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/instance_run.hpp"
+#include "sim/time.hpp"
+
+namespace imobif::snap {
+
+struct CheckpointPolicy {
+  /// Snapshot when this much simulated time elapsed since the last write
+  /// (0 disables the time trigger).
+  double every_sim_s = 0.0;
+  /// Snapshot when this many packets were delivered (medium counter)
+  /// since the last write (0 disables the packet trigger).
+  std::uint64_t every_delivered_packets = 0;
+
+  bool enabled() const {
+    return every_sim_s > 0.0 || every_delivered_packets > 0;
+  }
+};
+
+class Checkpointer {
+ public:
+  Checkpointer(std::string path, CheckpointPolicy policy);
+
+  /// Installs the chunk-boundary hook on `run`. The first hook call only
+  /// baselines the triggers; writes start once a trigger fires relative
+  /// to that baseline. A disabled policy installs nothing.
+  void install(exp::InstanceRun& run);
+
+  /// Snapshot `run` to the configured path right now, triggers aside.
+  void write_now(exp::InstanceRun& run);
+
+  std::uint64_t checkpoints_written() const { return written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void on_chunk_boundary(exp::InstanceRun& run);
+
+  std::string path_;
+  CheckpointPolicy policy_;
+  bool armed_ = false;
+  sim::Time last_time_ = sim::Time::zero();
+  std::uint64_t last_delivered_ = 0;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace imobif::snap

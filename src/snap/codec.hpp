@@ -1,0 +1,124 @@
+// Canonical binary codec for simulation snapshots (DESIGN.md §9).
+//
+// Layout: a 4-byte magic "IMSN" and a little-endian u32 codec version,
+// followed by a flat stream of tagged values. Every value is prefixed by a
+// one-byte Tag, so the reader verifies it consumes exactly the layout the
+// writer produced — a field-order bug surfaces immediately as a typed
+// mismatch with a byte offset, never as silently garbled state. Named
+// sections bracket logical groups; they keep mismatch errors local and make
+// the stream self-describing enough for a generic JSON dump (debug_dump).
+//
+// All multi-byte values are little-endian regardless of host order; doubles
+// travel as the IEEE-754 bit pattern, so encode/decode round-trips are
+// bit-exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace imobif::snap {
+
+/// Bumped whenever the snapshot layout changes; readers reject any other
+/// version with a clear error instead of misinterpreting the stream.
+inline constexpr std::uint32_t kCodecVersion = 1;
+
+enum class Tag : std::uint8_t {
+  kU8 = 1,
+  kU32 = 2,
+  kU64 = 3,
+  kI64 = 4,
+  kF64 = 5,
+  kBool = 6,
+  kString = 7,
+  kSectionBegin = 8,
+  kSectionEnd = 9,
+};
+
+const char* to_string(Tag tag);
+
+/// Serializes tagged values into an in-memory byte string. Also the model
+/// for the Sink concept shared with snap::StateHash: any type with this
+/// method set can consume the same encode_*() template.
+class StateWriter {
+ public:
+  StateWriter();
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  void str(std::string_view v);
+  void begin_section(std::string_view name);
+  void end_section();
+
+  const std::string& data() const { return out_; }
+
+  /// Atomic write: the bytes land in `path + ".tmp"` and are renamed into
+  /// place, so a crash mid-write never leaves a truncated snapshot under
+  /// the final name. Throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  void tag(Tag t);
+  void raw_u32(std::uint32_t v);
+  void raw_u64(std::uint64_t v);
+
+  std::string out_;
+  int open_sections_ = 0;
+};
+
+/// Consumes a StateWriter stream with per-value type checking. Every
+/// mismatch (wrong tag, wrong section name, truncation, unknown version)
+/// throws std::runtime_error naming the byte offset and what was expected.
+class StateReader {
+ public:
+  /// Validates magic and version. Rejects any version other than
+  /// kCodecVersion: snapshots are not forward- or backward-compatible.
+  explicit StateReader(std::string data);
+
+  /// Reads the whole file into memory. Throws std::runtime_error when the
+  /// file is unreadable or fails header validation.
+  static StateReader from_file(const std::string& path);
+
+  std::uint32_t version() const { return version_; }
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean();
+  std::string str();
+  void begin_section(std::string_view expected);
+  void end_section();
+
+  /// True once every byte has been consumed (well-formed stream end).
+  bool at_end() const { return pos_ >= data_.size(); }
+
+ private:
+  Tag take_tag(Tag expected);
+  std::uint32_t raw_u32();
+  std::uint64_t raw_u64();
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::string data_;
+  std::size_t pos_ = 0;
+  std::uint32_t version_ = 0;
+};
+
+/// Renders any codec stream as indented JSON for inspection: sections
+/// become {"section": name, "items": [...]} objects, scalars their plain
+/// JSON values. Throws std::runtime_error on malformed input.
+std::string debug_dump(const std::string& data);
+
+/// Writes `data` to `path` via a same-directory ".tmp" file and an atomic
+/// rename. Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& data);
+
+/// Reads a whole file as bytes. Throws std::runtime_error when unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace imobif::snap

@@ -1,0 +1,68 @@
+#include "snap/replay.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "net/network.hpp"
+#include "snap/snapshot.hpp"
+
+namespace imobif::snap {
+
+std::string Divergence::describe() const {
+  std::ostringstream os;
+  if (diverged) {
+    os << "diverged at event " << event_index << ": hash 0x" << std::hex
+       << hash_a << " vs 0x" << hash_b << std::dec;
+    if (finished_a != finished_b) {
+      os << " (run " << (finished_a ? "A" : "B") << " finished first)";
+    }
+  } else if (truncated) {
+    os << "no divergence within the scanned window (gave up at event "
+       << event_index << ")";
+  } else {
+    os << "no divergence: both runs finished identically after "
+       << event_index << " events";
+  }
+  return os.str();
+}
+
+Divergence find_divergence(exp::InstanceRun& a, exp::InstanceRun& b,
+                           std::size_t max_events) {
+  if (a.network().simulator().executed_events() !=
+      b.network().simulator().executed_events()) {
+    throw std::invalid_argument(
+        "find_divergence: runs must start at the same executed-event count");
+  }
+  Divergence d;
+  std::size_t stepped = 0;
+  for (;;) {
+    d.hash_a = state_hash(a);
+    d.hash_b = state_hash(b);
+    // at_completion(), not done(): an event-capped advance that stopped
+    // exactly at the finish line has not flipped done() yet, but its state
+    // is identical to a run that did — the two must not read as diverged.
+    d.finished_a = a.at_completion();
+    d.finished_b = b.at_completion();
+    d.event_index = a.network().simulator().executed_events();
+    if (d.hash_a != d.hash_b) {
+      d.diverged = true;
+      return d;
+    }
+    if (d.finished_a && d.finished_b) return d;
+    if (d.finished_a != d.finished_b) {
+      // Same dynamic state but one run's loop declared completion (e.g. a
+      // horizon difference from perturbed meta parameters).
+      d.diverged = true;
+      return d;
+    }
+    if (max_events != 0 && stepped >= max_events) {
+      d.truncated = true;
+      return d;
+    }
+    a.advance(1);
+    b.advance(1);
+    ++stepped;
+  }
+}
+
+}  // namespace imobif::snap

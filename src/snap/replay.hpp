@@ -1,0 +1,43 @@
+// Replay bisection: find the first event at which two runs diverge.
+//
+// Steps both runs forward one simulator event at a time, comparing their
+// dynamic state hashes after every event. Because snapshots restore runs
+// bit-exactly, two runs restored from the same checkpoint stay hash-equal
+// forever; the first unequal hash pinpoints the earliest event whose
+// effect differed — the debugging entry point when a restore, a code
+// change, or an intentionally perturbed parameter (e.g. a different fault
+// seed) makes two runs drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/instance_run.hpp"
+
+namespace imobif::snap {
+
+struct Divergence {
+  bool diverged = false;
+  /// Executed-event count at the first differing hash: the runs matched
+  /// after `event_index - 1` events and differ after `event_index` (0 =
+  /// they differed before either executed anything).
+  std::uint64_t event_index = 0;
+  std::uint64_t hash_a = 0;
+  std::uint64_t hash_b = 0;
+  bool finished_a = false;
+  bool finished_b = false;
+  /// True when the scan gave up at `max_events` without a verdict.
+  bool truncated = false;
+
+  /// One-line human-readable summary.
+  std::string describe() const;
+};
+
+/// Lock-step scan. Requires both runs to stand at the same executed-event
+/// count (e.g. both restored from the same checkpoint, or two fresh runs);
+/// throws std::invalid_argument otherwise. `max_events` bounds the scan
+/// (0 = until both runs finish).
+Divergence find_divergence(exp::InstanceRun& a, exp::InstanceRun& b,
+                           std::size_t max_events = 0);
+
+}  // namespace imobif::snap

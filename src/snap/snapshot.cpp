@@ -1,0 +1,752 @@
+#include "snap/snapshot.hpp"
+
+#include <any>
+#include <array>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "exp/scenario_io.hpp"
+#include "net/fault.hpp"
+#include "net/flow_table.hpp"
+#include "net/neighbor_table.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/event_tag.hpp"
+#include "snap/codec.hpp"
+#include "snap/state_hash.hpp"
+#include "util/config.hpp"
+
+namespace imobif::snap {
+
+namespace {
+
+// --- shared encode templates (Sink = StateWriter or StateHash) ---
+
+template <class Sink>
+void encode_agg(Sink& s, const net::MobilityAggregate& agg) {
+  s.f64(agg.bits_mob);
+  s.f64(agg.resi_mob);
+  s.f64(agg.bits_nomob);
+  s.f64(agg.resi_nomob);
+}
+
+net::MobilityAggregate decode_agg(StateReader& r) {
+  net::MobilityAggregate agg;
+  agg.bits_mob = r.f64();
+  agg.resi_mob = r.f64();
+  agg.bits_nomob = r.f64();
+  agg.resi_nomob = r.f64();
+  return agg;
+}
+
+template <class Sink>
+void encode_flow_spec(Sink& s, const net::FlowSpec& spec) {
+  s.u64(spec.id);
+  s.u64(spec.source);
+  s.u64(spec.destination);
+  s.f64(spec.length_bits);
+  s.f64(spec.packet_bits);
+  s.f64(spec.rate_bps);
+  s.u8(static_cast<std::uint8_t>(spec.strategy));
+  s.boolean(spec.initially_enabled);
+  s.f64(spec.length_estimate_factor);
+}
+
+net::StrategyId decode_strategy(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(net::StrategyId::kMaxLifetime)) {
+    throw std::runtime_error("snapshot: invalid strategy id " +
+                             std::to_string(raw));
+  }
+  return static_cast<net::StrategyId>(raw);
+}
+
+net::FlowSpec decode_flow_spec(StateReader& r) {
+  net::FlowSpec spec;
+  spec.id = static_cast<net::FlowId>(r.u64());
+  spec.source = static_cast<net::NodeId>(r.u64());
+  spec.destination = static_cast<net::NodeId>(r.u64());
+  spec.length_bits = r.f64();
+  spec.packet_bits = r.f64();
+  spec.rate_bps = r.f64();
+  spec.strategy = decode_strategy(r.u8());
+  spec.initially_enabled = r.boolean();
+  spec.length_estimate_factor = r.f64();
+  return spec;
+}
+
+template <class Sink>
+void encode_packet(Sink& s, const net::Packet& pkt) {
+  s.u8(static_cast<std::uint8_t>(pkt.type));
+  s.u64(pkt.sender.id);
+  s.f64(pkt.sender.position.x);
+  s.f64(pkt.sender.position.y);
+  s.f64(pkt.sender.residual_energy);
+  s.u64(pkt.link_dest);
+  s.f64(pkt.size_bits);
+  s.u8(static_cast<std::uint8_t>(pkt.body.index()));
+  if (const auto* data = std::get_if<net::DataBody>(&pkt.body)) {
+    s.u64(data->flow_id);
+    s.u64(data->source);
+    s.u64(data->destination);
+    s.u32(data->seq);
+    s.f64(data->payload_bits);
+    s.f64(data->residual_flow_bits);
+    s.u8(static_cast<std::uint8_t>(data->strategy));
+    s.boolean(data->mobility_enabled);
+    encode_agg(s, data->agg);
+    s.u32(data->hop_count);
+    s.boolean(data->sender_has_plan);
+    s.f64(data->sender_target.x);
+    s.f64(data->sender_target.y);
+    s.f64(data->sender_move_cost);
+  } else if (const auto* notify =
+                 std::get_if<net::NotificationBody>(&pkt.body)) {
+    s.u64(notify->flow_id);
+    s.u64(notify->flow_source);
+    s.boolean(notify->enable);
+    encode_agg(s, notify->agg);
+    s.u32(notify->decision_seq);
+    s.u8(notify->attempt);
+  } else if (const auto* rreq =
+                 std::get_if<net::RouteRequestBody>(&pkt.body)) {
+    s.u64(rreq->origin);
+    s.u64(rreq->target);
+    s.u32(rreq->request_id);
+    s.u32(rreq->origin_seq);
+    s.u32(rreq->hop_count);
+  } else if (const auto* rrep = std::get_if<net::RouteReplyBody>(&pkt.body)) {
+    s.u64(rrep->origin);
+    s.u64(rrep->target);
+    s.u32(rrep->target_seq);
+    s.u32(rrep->hop_count);
+  } else if (const auto* recruit = std::get_if<net::RecruitBody>(&pkt.body)) {
+    s.u64(recruit->flow_id);
+    s.u64(recruit->flow_source);
+    s.u64(recruit->flow_destination);
+    s.u64(recruit->upstream);
+    s.u64(recruit->downstream);
+    s.u8(static_cast<std::uint8_t>(recruit->strategy));
+    s.f64(recruit->residual_flow_bits);
+    s.boolean(recruit->mobility_enabled);
+  }
+  // HelloBody carries no fields.
+}
+
+net::Packet decode_packet(StateReader& r) {
+  net::Packet pkt;
+  pkt.type = static_cast<net::PacketType>(r.u8());
+  pkt.sender.id = static_cast<net::NodeId>(r.u64());
+  pkt.sender.position.x = r.f64();
+  pkt.sender.position.y = r.f64();
+  pkt.sender.residual_energy = r.f64();
+  pkt.link_dest = static_cast<net::NodeId>(r.u64());
+  pkt.size_bits = r.f64();
+  const std::uint8_t body_index = r.u8();
+  switch (body_index) {
+    case 0:
+      pkt.body = net::HelloBody{};
+      break;
+    case 1: {
+      net::DataBody data;
+      data.flow_id = static_cast<net::FlowId>(r.u64());
+      data.source = static_cast<net::NodeId>(r.u64());
+      data.destination = static_cast<net::NodeId>(r.u64());
+      data.seq = r.u32();
+      data.payload_bits = r.f64();
+      data.residual_flow_bits = r.f64();
+      data.strategy = decode_strategy(r.u8());
+      data.mobility_enabled = r.boolean();
+      data.agg = decode_agg(r);
+      data.hop_count = static_cast<std::uint16_t>(r.u32());
+      data.sender_has_plan = r.boolean();
+      data.sender_target.x = r.f64();
+      data.sender_target.y = r.f64();
+      data.sender_move_cost = r.f64();
+      pkt.body = data;
+      break;
+    }
+    case 2: {
+      net::NotificationBody notify;
+      notify.flow_id = static_cast<net::FlowId>(r.u64());
+      notify.flow_source = static_cast<net::NodeId>(r.u64());
+      notify.enable = r.boolean();
+      notify.agg = decode_agg(r);
+      notify.decision_seq = r.u32();
+      notify.attempt = r.u8();
+      pkt.body = notify;
+      break;
+    }
+    case 3: {
+      net::RouteRequestBody rreq;
+      rreq.origin = static_cast<net::NodeId>(r.u64());
+      rreq.target = static_cast<net::NodeId>(r.u64());
+      rreq.request_id = r.u32();
+      rreq.origin_seq = r.u32();
+      rreq.hop_count = static_cast<std::uint16_t>(r.u32());
+      pkt.body = rreq;
+      break;
+    }
+    case 4: {
+      net::RouteReplyBody rrep;
+      rrep.origin = static_cast<net::NodeId>(r.u64());
+      rrep.target = static_cast<net::NodeId>(r.u64());
+      rrep.target_seq = r.u32();
+      rrep.hop_count = static_cast<std::uint16_t>(r.u32());
+      pkt.body = rrep;
+      break;
+    }
+    case 5: {
+      net::RecruitBody recruit;
+      recruit.flow_id = static_cast<net::FlowId>(r.u64());
+      recruit.flow_source = static_cast<net::NodeId>(r.u64());
+      recruit.flow_destination = static_cast<net::NodeId>(r.u64());
+      recruit.upstream = static_cast<net::NodeId>(r.u64());
+      recruit.downstream = static_cast<net::NodeId>(r.u64());
+      recruit.strategy = decode_strategy(r.u8());
+      recruit.residual_flow_bits = r.f64();
+      recruit.mobility_enabled = r.boolean();
+      pkt.body = recruit;
+      break;
+    }
+    default:
+      throw std::runtime_error("snapshot: unknown packet body index " +
+                               std::to_string(body_index));
+  }
+  return pkt;
+}
+
+template <class Sink>
+void encode_meta(Sink& s, const exp::InstanceRun& run) {
+  s.begin_section("meta");
+  s.str(exp::to_config_string(run.params()));
+  s.u8(static_cast<std::uint8_t>(run.mode()));
+
+  const exp::RunOptions& options = run.options();
+  s.boolean(options.stop_on_first_death);
+  s.f64(options.horizon_factor);
+  s.f64(options.horizon_slack_s);
+  s.boolean(options.multi_flow_blending);
+  s.u64(options.extra_flows.size());
+  for (const net::FlowSpec& spec : options.extra_flows) {
+    encode_flow_spec(s, spec);
+  }
+
+  const exp::FlowInstance& instance = run.instance();
+  s.u64(instance.positions.size());
+  for (const geom::Vec2& p : instance.positions) {
+    s.f64(p.x);
+    s.f64(p.y);
+  }
+  s.u64(instance.energies.size());
+  for (const double e : instance.energies) s.f64(e);
+  s.u64(instance.source);
+  s.u64(instance.destination);
+  s.f64(instance.flow_bits);
+  s.u64(instance.initial_path.size());
+  for (const net::NodeId id : instance.initial_path) s.u64(id);
+
+  const auto& sampler = run.sampler_rng_state();
+  s.boolean(sampler.has_value());
+  if (sampler.has_value()) {
+    for (const std::uint64_t word : *sampler) s.u64(word);
+  }
+
+  s.f64(run.warmup_consumed_j());
+  s.i64(run.flow_start().ticks());
+  s.boolean(run.in_chunk());
+  s.i64(run.chunk_end().ticks());
+  s.boolean(run.done());
+  s.end_section();
+}
+
+template <class Sink>
+void encode_dynamic(Sink& s, exp::InstanceRun& run) {
+  net::Network& network = run.network();
+  sim::Simulator& sim = network.simulator();
+
+  s.begin_section("sim");
+  s.i64(sim.now().ticks());
+  s.u64(sim.executed_events());
+  s.end_section();
+
+  s.begin_section("network");
+  s.i64(network.last_progress().ticks());
+  const std::optional<sim::Time> first_death = network.first_death_time();
+  s.boolean(first_death.has_value());
+  if (first_death.has_value()) s.i64(first_death->ticks());
+  s.u64(network.dead_node_count());
+  s.u64(network.total_data_drops());
+  const std::vector<const net::FlowProgress*> progress =
+      network.all_progress();
+  s.u64(progress.size());
+  for (const net::FlowProgress* prog : progress) {
+    encode_flow_spec(s, prog->spec);
+    s.f64(prog->emitted_bits);
+    s.f64(prog->delivered_bits);
+    s.u64(prog->packets_emitted);
+    s.u64(prog->packets_delivered);
+    s.u64(prog->notifications_from_dest);
+    s.u64(prog->notification_retries);
+    s.u64(prog->notifications_at_source);
+    s.u64(prog->recruits);
+    s.u64(prog->drops);
+    s.boolean(prog->emission_done);
+    s.boolean(prog->completed);
+    s.boolean(prog->completion_time.has_value());
+    if (prog->completion_time.has_value()) {
+      s.i64(prog->completion_time->ticks());
+    }
+    s.boolean(prog->last_delivery_time.has_value());
+    if (prog->last_delivery_time.has_value()) {
+      s.i64(prog->last_delivery_time->ticks());
+    }
+  }
+  s.end_section();
+
+  s.begin_section("medium");
+  const net::Medium::Counters& counters = network.medium().counters();
+  s.u64(counters.broadcasts);
+  s.u64(counters.unicasts);
+  s.u64(counters.delivered);
+  s.u64(counters.dropped_out_of_range);
+  s.u64(counters.dropped_dead);
+  s.u64(counters.dropped_unknown);
+  s.u64(counters.dropped_injected);
+  s.u64(counters.dropped_faulted);
+  const net::FaultInjector* injector = network.medium().fault_injector();
+  s.boolean(injector != nullptr);
+  if (injector != nullptr) {
+    const std::vector<net::FaultInjector::LinkSnapshot> links =
+        injector->link_states();
+    s.u64(links.size());
+    for (const net::FaultInjector::LinkSnapshot& link : links) {
+      s.u64(link.key);
+      s.u64(link.packets);
+      s.boolean(link.bad);
+    }
+    s.u64(injector->decisions());
+    s.u64(injector->drops());
+  }
+  s.end_section();
+
+  s.begin_section("nodes");
+  s.u64(network.node_count());
+  for (std::size_t i = 0; i < network.node_count(); ++i) {
+    const net::Node& node = network.node(static_cast<net::NodeId>(i));
+    s.f64(node.position().x);
+    s.f64(node.position().y);
+    s.boolean(node.faulted());
+    s.f64(node.total_moved());
+
+    const energy::Battery& battery = node.battery();
+    s.f64(battery.initial());
+    s.f64(battery.residual());
+    s.f64(battery.consumed_transmit());
+    s.f64(battery.consumed_move());
+    s.f64(battery.consumed_other());
+
+    const std::vector<net::NeighborInfo> neighbors =
+        node.neighbors().all_entries();
+    s.u64(neighbors.size());
+    for (const net::NeighborInfo& info : neighbors) {
+      s.u64(info.id);
+      s.f64(info.position.x);
+      s.f64(info.position.y);
+      s.f64(info.residual_energy);
+      s.i64(info.last_heard.ticks());
+    }
+
+    const std::vector<const net::FlowEntry*> entries = node.flows().all();
+    s.u64(entries.size());
+    for (const net::FlowEntry* entry : entries) {
+      s.u64(entry->id);
+      s.u64(entry->source);
+      s.u64(entry->destination);
+      s.u64(entry->prev);
+      s.u64(entry->next);
+      s.f64(entry->residual_bits);
+      s.u8(static_cast<std::uint8_t>(entry->strategy));
+      s.boolean(entry->mobility_enabled);
+      s.boolean(entry->target.has_value());
+      if (entry->target.has_value()) {
+        s.f64(entry->target->x);
+        s.f64(entry->target->y);
+      }
+      s.u64(entry->packets_relayed);
+      s.f64(entry->moved_distance);
+      s.boolean(entry->last_notify_seq.has_value());
+      if (entry->last_notify_seq.has_value()) s.u32(*entry->last_notify_seq);
+      s.boolean(entry->pending_status.has_value());
+      if (entry->pending_status.has_value()) {
+        s.boolean(*entry->pending_status);
+      }
+      encode_agg(s, entry->notify_agg);
+      s.u32(entry->notify_decision_seq);
+      s.u32(entry->notify_attempts);
+      s.u32(entry->notify_applied_seq);
+      s.u32(entry->recruits_initiated);
+    }
+  }
+  s.end_section();
+
+  s.begin_section("policy");
+  s.u64(run.policy().movements_applied());
+  s.f64(run.policy().total_distance_moved());
+  s.u64(run.policy().recruits_initiated());
+  s.end_section();
+
+  s.begin_section("events");
+  const std::vector<sim::EventQueue::PendingEvent> pending =
+      sim.pending_tagged();
+  s.u64(pending.size());
+  for (const sim::EventQueue::PendingEvent& event : pending) {
+    if (!event.tag->tagged()) {
+      throw std::invalid_argument(
+          "snapshot: pending event at t=" +
+          std::to_string(event.when.seconds()) +
+          "s has no EventTag; only tagged events can be checkpointed");
+    }
+    s.i64(event.when.ticks());
+    s.u8(static_cast<std::uint8_t>(event.tag->kind));
+    s.u64(event.tag->a);
+    s.u64(event.tag->b);
+    if (event.tag->kind == sim::EventTag::Kind::kDeliver) {
+      const auto& pkt =
+          std::any_cast<const std::shared_ptr<const net::Packet>&>(
+              event.tag->payload);
+      encode_packet(s, *pkt);
+    }
+  }
+  s.end_section();
+}
+
+}  // namespace
+
+std::string encode(exp::InstanceRun& run) {
+  StateWriter writer;
+  encode_meta(writer, run);
+  encode_dynamic(writer, run);
+  return writer.data();
+}
+
+void save(exp::InstanceRun& run, const std::string& path) {
+  write_file_atomic(path, encode(run));
+}
+
+std::uint64_t state_hash(exp::InstanceRun& run) {
+  StateHash hash;
+  encode_dynamic(hash, run);
+  return hash.digest();
+}
+
+std::string debug_json(exp::InstanceRun& run) {
+  return debug_dump(encode(run));
+}
+
+namespace {
+
+/// Everything the "meta" section carries; shared by restore() and
+/// restore_fresh().
+struct DecodedMeta {
+  exp::ScenarioParams params;
+  core::MobilityMode mode = core::MobilityMode::kInformed;
+  exp::RunOptions options;
+  exp::FlowInstance instance;
+  bool has_sampler = false;
+  std::array<std::uint64_t, 4> sampler_state{};
+  double warmup_consumed = 0.0;
+  sim::Time flow_start = sim::Time::zero();
+  bool in_chunk = false;
+  sim::Time chunk_end = sim::Time::zero();
+  bool done = false;
+};
+
+DecodedMeta decode_meta(StateReader& r) {
+  DecodedMeta meta;
+  r.begin_section("meta");
+  {
+    const std::string config_text = r.str();
+    exp::apply_config(util::Config::from_string(config_text), meta.params);
+  }
+  const std::uint8_t mode_raw = r.u8();
+  if (mode_raw > static_cast<std::uint8_t>(core::MobilityMode::kInformed)) {
+    throw std::runtime_error("snapshot: invalid mobility mode " +
+                             std::to_string(mode_raw));
+  }
+  meta.mode = static_cast<core::MobilityMode>(mode_raw);
+
+  meta.options.stop_on_first_death = r.boolean();
+  meta.options.horizon_factor = r.f64();
+  meta.options.horizon_slack_s = r.f64();
+  meta.options.multi_flow_blending = r.boolean();
+  const std::uint64_t extra_count = r.u64();
+  meta.options.extra_flows.reserve(extra_count);
+  for (std::uint64_t i = 0; i < extra_count; ++i) {
+    meta.options.extra_flows.push_back(decode_flow_spec(r));
+  }
+
+  const std::uint64_t position_count = r.u64();
+  meta.instance.positions.reserve(position_count);
+  for (std::uint64_t i = 0; i < position_count; ++i) {
+    geom::Vec2 p;
+    p.x = r.f64();
+    p.y = r.f64();
+    meta.instance.positions.push_back(p);
+  }
+  const std::uint64_t energy_count = r.u64();
+  meta.instance.energies.reserve(energy_count);
+  for (std::uint64_t i = 0; i < energy_count; ++i) {
+    meta.instance.energies.push_back(r.f64());
+  }
+  meta.instance.source = static_cast<net::NodeId>(r.u64());
+  meta.instance.destination = static_cast<net::NodeId>(r.u64());
+  meta.instance.flow_bits = r.f64();
+  const std::uint64_t path_count = r.u64();
+  meta.instance.initial_path.reserve(path_count);
+  for (std::uint64_t i = 0; i < path_count; ++i) {
+    meta.instance.initial_path.push_back(static_cast<net::NodeId>(r.u64()));
+  }
+
+  meta.has_sampler = r.boolean();
+  if (meta.has_sampler) {
+    for (std::uint64_t& word : meta.sampler_state) word = r.u64();
+  }
+
+  meta.warmup_consumed = r.f64();
+  meta.flow_start = sim::Time::from_ticks(r.i64());
+  meta.in_chunk = r.boolean();
+  meta.chunk_end = sim::Time::from_ticks(r.i64());
+  meta.done = r.boolean();
+  r.end_section();
+  return meta;
+}
+
+}  // namespace
+
+std::unique_ptr<exp::InstanceRun> restore_fresh(const std::string& data) {
+  StateReader r(data);
+  const DecodedMeta meta = decode_meta(r);
+  std::unique_ptr<exp::InstanceRun> run = exp::InstanceRun::create(
+      meta.instance, meta.params, meta.mode, meta.options);
+  if (meta.has_sampler) run->set_sampler_rng_state(meta.sampler_state);
+  return run;
+}
+
+std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
+  StateReader r(data);
+  const DecodedMeta meta = decode_meta(r);
+  const exp::ScenarioParams& params = meta.params;
+
+  std::unique_ptr<exp::InstanceRun> run = exp::InstanceRun::create_shell(
+      meta.instance, params, meta.mode, meta.options);
+  if (meta.has_sampler) run->set_sampler_rng_state(meta.sampler_state);
+  run->restore_run_state(meta.warmup_consumed, meta.flow_start, meta.in_chunk,
+                         meta.chunk_end, meta.done);
+
+  net::Network& network = run->network();
+  sim::Simulator& sim = network.simulator();
+
+  // Clock first: at() rejects scheduling in the past, so every restored
+  // event below needs `now` already seated.
+  r.begin_section("sim");
+  const sim::Time now = sim::Time::from_ticks(r.i64());
+  const std::uint64_t executed = r.u64();
+  sim.restore_clock(now, static_cast<std::size_t>(executed));
+  r.end_section();
+
+  r.begin_section("network");
+  network.restore_last_progress(sim::Time::from_ticks(r.i64()));
+  const bool has_first_death = r.boolean();
+  if (has_first_death) {
+    network.restore_first_death(sim::Time::from_ticks(r.i64()));
+  } else {
+    network.restore_first_death(std::nullopt);
+  }
+  network.restore_dead_nodes(static_cast<std::size_t>(r.u64()));
+  network.restore_total_data_drops(r.u64());
+  const std::uint64_t flow_count = r.u64();
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    net::FlowProgress prog;
+    prog.spec = decode_flow_spec(r);
+    prog.emitted_bits = r.f64();
+    prog.delivered_bits = r.f64();
+    prog.packets_emitted = r.u64();
+    prog.packets_delivered = r.u64();
+    prog.notifications_from_dest = r.u64();
+    prog.notification_retries = r.u64();
+    prog.notifications_at_source = r.u64();
+    prog.recruits = r.u64();
+    prog.drops = r.u64();
+    prog.emission_done = r.boolean();
+    prog.completed = r.boolean();
+    const bool has_completion = r.boolean();
+    if (has_completion) {
+      prog.completion_time = sim::Time::from_ticks(r.i64());
+    }
+    const bool has_last_delivery = r.boolean();
+    if (has_last_delivery) {
+      prog.last_delivery_time = sim::Time::from_ticks(r.i64());
+    }
+    network.restore_flow_progress(prog);
+  }
+  r.end_section();
+
+  r.begin_section("medium");
+  net::Medium::Counters counters;
+  counters.broadcasts = r.u64();
+  counters.unicasts = r.u64();
+  counters.delivered = r.u64();
+  counters.dropped_out_of_range = r.u64();
+  counters.dropped_dead = r.u64();
+  counters.dropped_unknown = r.u64();
+  counters.dropped_injected = r.u64();
+  counters.dropped_faulted = r.u64();
+  network.medium().restore_counters(counters);
+  const bool has_injector = r.boolean();
+  if (has_injector) {
+    net::FaultInjector& injector =
+        network.medium().restore_fault_injector(params.fault);
+    const std::uint64_t link_count = r.u64();
+    for (std::uint64_t i = 0; i < link_count; ++i) {
+      const std::uint64_t key = r.u64();
+      const std::uint64_t packets = r.u64();
+      const bool bad = r.boolean();
+      injector.restore_link(key, packets, bad);
+    }
+    const std::uint64_t decisions = r.u64();
+    const std::uint64_t drops = r.u64();
+    injector.restore_counts(decisions, drops);
+  }
+  r.end_section();
+
+  r.begin_section("nodes");
+  const std::uint64_t node_count = r.u64();
+  if (node_count != network.node_count()) {
+    throw std::runtime_error(
+        "snapshot: node count mismatch (snapshot " +
+        std::to_string(node_count) + ", rebuilt network " +
+        std::to_string(network.node_count()) + ")");
+  }
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    net::Node& node = network.node(static_cast<net::NodeId>(i));
+    geom::Vec2 position;
+    position.x = r.f64();
+    position.y = r.f64();
+    node.set_position(position);
+    node.restore_faulted(r.boolean());
+    node.restore_total_moved(r.f64());
+
+    const double battery_initial = r.f64();
+    const double battery_residual = r.f64();
+    const double battery_tx = r.f64();
+    const double battery_move = r.f64();
+    const double battery_other = r.f64();
+    node.battery().restore(battery_initial, battery_residual, battery_tx,
+                           battery_move, battery_other);
+
+    const std::uint64_t neighbor_count = r.u64();
+    for (std::uint64_t n = 0; n < neighbor_count; ++n) {
+      const net::NodeId id = static_cast<net::NodeId>(r.u64());
+      geom::Vec2 neighbor_position;
+      neighbor_position.x = r.f64();
+      neighbor_position.y = r.f64();
+      const double residual_energy = r.f64();
+      const sim::Time last_heard = sim::Time::from_ticks(r.i64());
+      node.neighbors().upsert(id, neighbor_position, residual_energy,
+                              last_heard);
+    }
+
+    const std::uint64_t entry_count = r.u64();
+    for (std::uint64_t n = 0; n < entry_count; ++n) {
+      const net::FlowId flow_id = static_cast<net::FlowId>(r.u64());
+      net::FlowEntry& entry = node.flows().ensure(flow_id);
+      entry.source = static_cast<net::NodeId>(r.u64());
+      entry.destination = static_cast<net::NodeId>(r.u64());
+      entry.prev = static_cast<net::NodeId>(r.u64());
+      entry.next = static_cast<net::NodeId>(r.u64());
+      entry.residual_bits = r.f64();
+      entry.strategy = decode_strategy(r.u8());
+      entry.mobility_enabled = r.boolean();
+      const bool has_target = r.boolean();
+      if (has_target) {
+        geom::Vec2 target;
+        target.x = r.f64();
+        target.y = r.f64();
+        entry.target = target;
+      }
+      entry.packets_relayed = r.u64();
+      entry.moved_distance = r.f64();
+      const bool has_last_notify = r.boolean();
+      if (has_last_notify) entry.last_notify_seq = r.u32();
+      const bool has_pending_status = r.boolean();
+      if (has_pending_status) entry.pending_status = r.boolean();
+      entry.notify_agg = decode_agg(r);
+      entry.notify_decision_seq = r.u32();
+      entry.notify_attempts = r.u32();
+      entry.notify_applied_seq = r.u32();
+      entry.recruits_initiated = r.u32();
+    }
+  }
+  r.end_section();
+
+  r.begin_section("policy");
+  const std::uint64_t movements = r.u64();
+  const double distance_moved = r.f64();
+  const std::uint64_t recruits = r.u64();
+  run->policy().restore_counters(movements, distance_moved, recruits);
+  r.end_section();
+
+  // Events last, in encoded (time, sequence) order: the queue hands out
+  // fresh sequence numbers in insertion order, so same-tick events keep
+  // their exact relative ordering.
+  r.begin_section("events");
+  const std::uint64_t event_count = r.u64();
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    const sim::Time when = sim::Time::from_ticks(r.i64());
+    const std::uint8_t kind_raw = r.u8();
+    const std::uint64_t a = r.u64();
+    const std::uint64_t b = r.u64();
+    switch (static_cast<sim::EventTag::Kind>(kind_raw)) {
+      case sim::EventTag::Kind::kHelloTick:
+        network.node(static_cast<net::NodeId>(a)).restore_hello_at(when);
+        break;
+      case sim::EventTag::Kind::kEmitPacket:
+        network.restore_emission_at(static_cast<net::FlowId>(a), when);
+        break;
+      case sim::EventTag::Kind::kDeliver: {
+        auto pkt = std::make_shared<const net::Packet>(decode_packet(r));
+        network.medium().restore_delivery_at(static_cast<net::NodeId>(a),
+                                             std::move(pkt), when);
+        break;
+      }
+      case sim::EventTag::Kind::kNotifyRetry:
+        network.node(static_cast<net::NodeId>(a))
+            .restore_notify_retry_at(static_cast<net::FlowId>(b), when);
+        break;
+      case sim::EventTag::Kind::kFaultSet:
+        network.medium().restore_fault_event_at(static_cast<net::NodeId>(a),
+                                                b != 0, when);
+        break;
+      default:
+        throw std::runtime_error("snapshot: unknown event kind " +
+                                 std::to_string(kind_raw));
+    }
+  }
+  r.end_section();
+
+  if (!r.at_end()) {
+    throw std::runtime_error("snapshot: trailing bytes after event section");
+  }
+  return run;
+}
+
+std::unique_ptr<exp::InstanceRun> restore_file(const std::string& path) {
+  return restore(read_file(path));
+}
+
+}  // namespace imobif::snap

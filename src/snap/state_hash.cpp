@@ -1,0 +1,61 @@
+#include "snap/state_hash.hpp"
+
+#include <bit>
+
+#include "snap/codec.hpp"
+
+namespace imobif::snap {
+
+void StateHash::bytes_le(std::uint64_t v, int n) {
+  for (int i = 0; i < n; ++i) {
+    byte(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void StateHash::u8(std::uint8_t v) {
+  byte(static_cast<std::uint8_t>(Tag::kU8));
+  byte(v);
+}
+
+void StateHash::u32(std::uint32_t v) {
+  byte(static_cast<std::uint8_t>(Tag::kU32));
+  bytes_le(v, 4);
+}
+
+void StateHash::u64(std::uint64_t v) {
+  byte(static_cast<std::uint8_t>(Tag::kU64));
+  bytes_le(v, 8);
+}
+
+void StateHash::i64(std::int64_t v) {
+  byte(static_cast<std::uint8_t>(Tag::kI64));
+  bytes_le(static_cast<std::uint64_t>(v), 8);
+}
+
+void StateHash::f64(double v) {
+  byte(static_cast<std::uint8_t>(Tag::kF64));
+  bytes_le(std::bit_cast<std::uint64_t>(v), 8);
+}
+
+void StateHash::boolean(bool v) {
+  byte(static_cast<std::uint8_t>(Tag::kBool));
+  byte(v ? 1 : 0);
+}
+
+void StateHash::str(std::string_view v) {
+  byte(static_cast<std::uint8_t>(Tag::kString));
+  bytes_le(static_cast<std::uint32_t>(v.size()), 4);
+  for (const char c : v) byte(static_cast<std::uint8_t>(c));
+}
+
+void StateHash::begin_section(std::string_view name) {
+  byte(static_cast<std::uint8_t>(Tag::kSectionBegin));
+  bytes_le(static_cast<std::uint32_t>(name.size()), 4);
+  for (const char c : name) byte(static_cast<std::uint8_t>(c));
+}
+
+void StateHash::end_section() {
+  byte(static_cast<std::uint8_t>(Tag::kSectionEnd));
+}
+
+}  // namespace imobif::snap

@@ -34,6 +34,13 @@ double Rng::normal(double mean, double sigma) {
   return mean + sigma * z;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  if ((state[0] | state[1] | state[2] | state[3]) == 0) {
+    throw std::invalid_argument("Rng::set_state: all-zero state");
+  }
+  state_ = state;
+}
+
 Rng Rng::fork() {
   Rng child(0);
   child.state_[0] = (*this)();

@@ -70,6 +70,12 @@ class Rng {
   /// own stream so adding draws in one place does not perturb another.
   Rng fork();
 
+  /// Mid-stream save/restore of the generator state (checkpointing).
+  /// set_state rejects the all-zero word, which is a fixed point of
+  /// xoshiro256** and would freeze the stream.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
     return (v << k) | (v >> (64 - k));

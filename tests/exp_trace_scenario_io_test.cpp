@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "exp/scenario_io.hpp"
 #include "exp/trace.hpp"
@@ -75,6 +78,45 @@ TEST(TraceRecorder, TableRendersAllRows) {
   EXPECT_NE(os.str().find("delivered"), std::string::npos);
 }
 
+TEST(TraceRecorder, JsonlRoundTripsExactly) {
+  // A bent-path informed run produces a mix of kinds (deliveries plus
+  // notification traffic), so the round trip covers flow-less entries too.
+  std::vector<geom::Vec2> bent{{0, 0}, {130, 50}, {260, -50}, {390, 0}};
+  test::HarnessOptions opts;
+  opts.mode = core::MobilityMode::kInformed;
+  auto h = make_harness(bent, opts);
+  TraceRecorder trace;
+  h.net().set_event_tap(&trace);
+  h.net().warmup(25.0);
+  h.net().start_flow(default_flow(h.net(), 8192.0 * 4000));
+  h.net().run_flows(8192.0 * 4000 / 8192.0 * 4.0);
+  ASSERT_GE(trace.entries().size(), 2u);
+
+  const std::string jsonl = trace.to_jsonl();
+  const std::vector<TraceRecorder::Entry> parsed =
+      TraceRecorder::parse_jsonl(jsonl);
+  ASSERT_EQ(parsed.size(), trace.entries().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const auto& original = trace.entries()[i];
+    EXPECT_EQ(parsed[i].time_s, original.time_s);  // bit-exact, not near
+    EXPECT_EQ(parsed[i].kind, original.kind);
+    EXPECT_EQ(parsed[i].node, original.node);
+    EXPECT_EQ(parsed[i].flow, original.flow);
+    EXPECT_EQ(parsed[i].detail, original.detail);
+  }
+  EXPECT_EQ(TraceRecorder::parse_jsonl(jsonl + "\n\n").size(), parsed.size())
+      << "blank lines must be skipped";
+}
+
+TEST(TraceRecorder, ParseJsonlRejectsMalformedLines) {
+  EXPECT_THROW(TraceRecorder::parse_jsonl("not json\n"),
+               std::invalid_argument);
+  EXPECT_THROW(TraceRecorder::parse_jsonl(
+                   R"({"time_s":1,"event":"warp","node":0,"flow":null,)"
+                   R"("detail":""})"),
+               std::invalid_argument);
+}
+
 TEST(TraceRecorder, ClearEmpties) {
   TraceRecorder trace;
   auto h = make_harness(line_positions(3, 300.0));
@@ -143,6 +185,73 @@ TEST(ScenarioIo, ConfigStringRoundTrips) {
   EXPECT_EQ(q.seed, 123u);
   EXPECT_DOUBLE_EQ(q.mean_flow_bits, p.mean_flow_bits);
   EXPECT_DOUBLE_EQ(q.radio.b, p.radio.b);
+}
+
+TEST(ScenarioIo, EveryOptionalKeyRoundTrips) {
+  // Exercise every optional scenario key at once: the full fault plan
+  // (independent loss, Gilbert–Elliott, a crash schedule), the
+  // notification retry knobs, and multiflow blending — all with values
+  // chosen to be awkward (non-defaults, fractional, shortest-round-trip
+  // sensitive).
+  ScenarioParams p;
+  p.fault.loss_rate = 0.123456789;
+  p.fault.gilbert_elliott = true;
+  p.fault.p_good_to_bad = 0.07;
+  p.fault.p_bad_to_good = 0.31;
+  p.fault.loss_good = 0.015;
+  p.fault.loss_bad = 0.775;
+  p.fault.seed = 991;
+  p.fault.crashes = {{3, 12.5, -1.0}, {7, 30.25, 5.125}, {11, 0.1, 0.0}};
+  p.notify_retry_cap = 9;
+  p.notify_retry_timeout_s = 1.75;
+  p.multi_flow_blending = true;
+  p.random_energy = true;
+  p.energy_lo_j = 123.25;
+  p.energy_hi_j = 456.75;
+  p.position_error_m = 2.5;
+
+  ScenarioParams q;  // starts at defaults
+  apply_config(util::Config::from_string(to_config_string(p)), q);
+
+  EXPECT_DOUBLE_EQ(q.fault.loss_rate, p.fault.loss_rate);
+  EXPECT_TRUE(q.fault.gilbert_elliott);
+  EXPECT_DOUBLE_EQ(q.fault.p_good_to_bad, p.fault.p_good_to_bad);
+  EXPECT_DOUBLE_EQ(q.fault.p_bad_to_good, p.fault.p_bad_to_good);
+  EXPECT_DOUBLE_EQ(q.fault.loss_good, p.fault.loss_good);
+  EXPECT_DOUBLE_EQ(q.fault.loss_bad, p.fault.loss_bad);
+  EXPECT_EQ(q.fault.seed, 991u);
+  ASSERT_EQ(q.fault.crashes.size(), p.fault.crashes.size());
+  for (std::size_t i = 0; i < p.fault.crashes.size(); ++i) {
+    EXPECT_EQ(q.fault.crashes[i].node, p.fault.crashes[i].node);
+    EXPECT_EQ(q.fault.crashes[i].at_s, p.fault.crashes[i].at_s);
+    EXPECT_EQ(q.fault.crashes[i].duration_s, p.fault.crashes[i].duration_s);
+  }
+  EXPECT_EQ(q.notify_retry_cap, 9u);
+  EXPECT_DOUBLE_EQ(q.notify_retry_timeout_s, 1.75);
+  EXPECT_TRUE(q.multi_flow_blending);
+  EXPECT_TRUE(q.random_energy);
+  EXPECT_DOUBLE_EQ(q.energy_lo_j, 123.25);
+  EXPECT_DOUBLE_EQ(q.energy_hi_j, 456.75);
+  EXPECT_DOUBLE_EQ(q.position_error_m, 2.5);
+
+  // The decisive check (what snapshot embedding relies on): a second
+  // generation of the config string is byte-identical to the first.
+  EXPECT_EQ(to_config_string(q), to_config_string(p));
+}
+
+TEST(ScenarioIo, CrashListRoundTripsThroughFormatter) {
+  const std::vector<net::FaultPlan::CrashEvent> crashes = {
+      {1, 0.5, -1.0}, {2, 100.125, 30.0}};
+  const std::vector<net::FaultPlan::CrashEvent> parsed =
+      parse_crashes(format_crashes(crashes));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].node, 1u);
+  EXPECT_EQ(parsed[0].at_s, 0.5);
+  EXPECT_EQ(parsed[0].duration_s, -1.0);
+  EXPECT_EQ(parsed[1].node, 2u);
+  EXPECT_EQ(parsed[1].at_s, 100.125);
+  EXPECT_EQ(parsed[1].duration_s, 30.0);
+  EXPECT_THROW(parse_crashes("5:1.0"), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,188 @@
+// Crash-resumable sweeps: a checkpointed sweep's outcomes are
+// bit-identical to an uncheckpointed one, --resume short-circuits from
+// .result files, picks a mid-flight .ckpt back up exactly, and the whole
+// contract holds at any worker count.
+#include "runtime/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/instance.hpp"
+#include "runtime/sweep.hpp"
+#include "snap/result_io.hpp"
+#include "snap/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::runtime {
+namespace {
+
+exp::ScenarioParams sweep_params(std::uint64_t seed) {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = 800.0;
+  p.mean_flow_bits = 40.0 * 1024.0 * 8.0;
+  p.seed = seed;
+  return p;
+}
+
+std::string json(const exp::RunResult& result) {
+  return snap::result_to_json(result).dump(2);
+}
+
+/// Fresh scratch directory under the test temp root.
+std::filesystem::path scratch_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(RuntimeCheckpoint, CheckpointedSweepMatchesPlainSweep) {
+  std::vector<SweepJob> jobs;
+  for (std::uint64_t s : {11u, 12u, 13u}) {
+    SweepJob job;
+    job.params = sweep_params(s);
+    jobs.push_back(job);
+  }
+
+  const SweepEngine engine(2);
+  const std::vector<SweepOutcome> plain = engine.run(jobs, 5);
+
+  const auto dir = scratch_dir("rt_ckpt_plain");
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir.string();
+  checkpoint.every_sim_s = 15.0;
+  const std::vector<SweepOutcome> checked = engine.run(jobs, 5, checkpoint);
+
+  ASSERT_EQ(plain.size(), checked.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].seed, checked[i].seed);
+    EXPECT_EQ(json(plain[i].result), json(checked[i].result));
+    EXPECT_TRUE(std::filesystem::exists(
+        dir / ("job-" + std::to_string(i) + ".result")));
+    // Finished units keep only their .result.
+    EXPECT_FALSE(std::filesystem::exists(
+        dir / ("job-" + std::to_string(i) + ".ckpt")));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RuntimeCheckpoint, ResumeShortCircuitsFromResultFiles) {
+  std::vector<SweepJob> jobs(2);
+  jobs[0].params = sweep_params(21);
+  jobs[1].params = sweep_params(22);
+
+  const auto dir = scratch_dir("rt_ckpt_resume");
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir.string();
+  const SweepEngine engine(1);
+  const std::vector<SweepOutcome> first = engine.run(jobs, 9, checkpoint);
+
+  checkpoint.resume = true;
+  const std::vector<SweepOutcome> second = engine.run(jobs, 9, checkpoint);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(json(first[i].result), json(second[i].result));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RuntimeCheckpoint, ResumePicksUpMidFlightCheckpoint) {
+  SweepJob job;
+  job.params = sweep_params(31);
+  const std::vector<SweepJob> jobs{job};
+  const SweepEngine engine(1);
+  const std::vector<SweepOutcome> reference = engine.run(jobs, 4);
+
+  // Simulate a kill: run job 0 partway by hand and leave only its .ckpt
+  // behind, exactly as a SIGKILLed sweep would.
+  const auto dir = scratch_dir("rt_ckpt_kill");
+  {
+    const std::uint64_t seed = derive_seed(4, 0);
+    util::Rng rng(seed);
+    const exp::FlowInstance instance = exp::sample_instance(job.params, rng);
+    auto run = exp::InstanceRun::create(instance, job.params, job.mode,
+                                        job.options);
+    run->set_sampler_rng_state(rng.state());
+    run->advance(1200);
+    ASSERT_FALSE(run->done());
+    snap::save(*run, (dir / "job-0.ckpt").string());
+  }
+
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir.string();
+  checkpoint.resume = true;
+  const std::vector<SweepOutcome> resumed = engine.run(jobs, 4, checkpoint);
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_EQ(json(resumed[0].result), json(reference[0].result));
+  EXPECT_EQ(resumed[0].seed, reference[0].seed);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RuntimeCheckpoint, ComparisonSweepResumesIdenticallyAtAnyWorkerCount) {
+  const exp::ScenarioParams params = sweep_params(41);
+  const std::vector<exp::ComparisonPoint> reference =
+      run_comparison_parallel(params, 2);
+
+  const auto dir = scratch_dir("rt_ckpt_cmp");
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir.string();
+  const std::vector<exp::ComparisonPoint> first =
+      run_comparison_parallel(params, 2, {}, 1, checkpoint);
+  // Per-unit files use the cmp-<i>-<mode> naming.
+  EXPECT_TRUE(std::filesystem::exists(dir / "cmp-0-baseline.result"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "cmp-1-informed.result"));
+
+  checkpoint.resume = true;
+  const std::vector<exp::ComparisonPoint> resumed =
+      run_comparison_parallel(params, 2, {}, 4, checkpoint);
+
+  ASSERT_EQ(reference.size(), resumed.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(json(reference[i].baseline), json(first[i].baseline));
+    EXPECT_EQ(json(reference[i].baseline), json(resumed[i].baseline));
+    EXPECT_EQ(json(reference[i].cost_unaware), json(resumed[i].cost_unaware));
+    EXPECT_EQ(json(reference[i].informed), json(resumed[i].informed));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RuntimeCheckpoint, ScopeSeparatesSweepsSharingADirectory) {
+  // A process running several sweeps against one directory (bench panels)
+  // must namespace them: without distinct scopes, the second sweep's
+  // cmp-0-* units resolve to the first sweep's files and a resume returns
+  // the wrong results.
+  const exp::ScenarioParams first = sweep_params(51);
+  exp::ScenarioParams second = sweep_params(52);
+  second.mean_flow_bits *= 4.0;
+
+  const std::vector<exp::ComparisonPoint> ref_first =
+      run_comparison_parallel(first, 1);
+  const std::vector<exp::ComparisonPoint> ref_second =
+      run_comparison_parallel(second, 1);
+
+  const auto dir = scratch_dir("rt_ckpt_scope");
+  CheckpointOptions checkpoint;
+  checkpoint.dir = dir.string();
+  checkpoint.scope = "s0-";
+  (void)run_comparison_parallel(first, 1, {}, 1, checkpoint);
+  EXPECT_TRUE(std::filesystem::exists(dir / "s0-cmp-0-baseline.result"));
+
+  // The second sweep resumes against the same directory under its own
+  // scope: nothing matches, so it runs fresh and stays correct.
+  checkpoint.scope = "s1-";
+  checkpoint.resume = true;
+  const std::vector<exp::ComparisonPoint> resumed_second =
+      run_comparison_parallel(second, 1, {}, 1, checkpoint);
+  ASSERT_EQ(resumed_second.size(), ref_second.size());
+  EXPECT_EQ(json(resumed_second[0].informed), json(ref_second[0].informed));
+  EXPECT_NE(json(ref_first[0].informed), json(ref_second[0].informed));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace imobif::runtime

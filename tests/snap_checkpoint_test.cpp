@@ -1,0 +1,205 @@
+// Checkpoint/restore equivalence (DESIGN.md §9): a run snapshotted at an
+// arbitrary event boundary and restored from bytes must (a) hash equal to
+// the original, (b) re-encode to the identical snapshot, and (c) finish
+// with a byte-identical canonical RunResult JSON — across a clean
+// fig6-style scenario, a bursty Gilbert–Elliott lossy one, and a
+// multi-flow one.
+#include "snap/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/instance.hpp"
+#include "snap/checkpointer.hpp"
+#include "snap/result_io.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::snap {
+namespace {
+
+exp::ScenarioParams base_params() {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = 800.0;
+  p.mean_flow_bits = 60.0 * 1024.0 * 8.0;
+  p.seed = 42;
+  return p;
+}
+
+exp::ScenarioParams lossy_ge_params() {
+  exp::ScenarioParams p = base_params();
+  p.seed = 97;
+  p.fault.gilbert_elliott = true;
+  p.fault.p_good_to_bad = 0.05;
+  p.fault.p_bad_to_good = 0.3;
+  p.fault.loss_bad = 0.8;
+  p.fault.seed = 777;
+  p.notify_retry_cap = 4;
+  return p;
+}
+
+std::string result_json(exp::InstanceRun& run) {
+  return result_to_json(run.result()).dump(2);
+}
+
+/// Runs the scenario uninterrupted, then re-runs it with a snapshot taken
+/// after `boundary_events` simulator events and restored in a fresh
+/// object graph; both must finish identically.
+void expect_checkpoint_equivalence(const exp::ScenarioParams& params,
+                                   core::MobilityMode mode,
+                                   const exp::RunOptions& options,
+                                   std::size_t boundary_events) {
+  SCOPED_TRACE("boundary_events=" + std::to_string(boundary_events));
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+
+  auto reference = exp::InstanceRun::create(instance, params, mode, options);
+  EXPECT_TRUE(reference->advance());
+  const std::string expected = result_json(*reference);
+
+  util::Rng rng2(params.seed);
+  const exp::FlowInstance instance2 = exp::sample_instance(params, rng2);
+  auto original = exp::InstanceRun::create(instance2, params, mode, options);
+  original->set_sampler_rng_state(rng2.state());
+  original->advance(boundary_events);
+
+  const std::uint64_t hash_before = state_hash(*original);
+  const std::string bytes = encode(*original);
+
+  auto restored = restore(bytes);
+  // Bit-exact state: same dynamic hash, and re-encoding reproduces the
+  // snapshot byte for byte (meta included).
+  EXPECT_EQ(state_hash(*restored), hash_before);
+  EXPECT_EQ(encode(*restored), bytes);
+  ASSERT_TRUE(restored->sampler_rng_state().has_value());
+  EXPECT_EQ(*restored->sampler_rng_state(), rng2.state());
+
+  // Both halves of the split run finish with the reference result.
+  EXPECT_TRUE(restored->advance());
+  EXPECT_EQ(result_json(*restored), expected);
+  EXPECT_TRUE(original->advance());
+  EXPECT_EQ(result_json(*original), expected);
+}
+
+TEST(SnapCheckpoint, BaselineScenarioEquivalentAtManyBoundaries) {
+  for (const std::size_t boundary : {std::size_t{1}, std::size_t{487},
+                                     std::size_t{5000}}) {
+    expect_checkpoint_equivalence(base_params(),
+                                  core::MobilityMode::kInformed, {},
+                                  boundary);
+  }
+}
+
+TEST(SnapCheckpoint, LossyGilbertElliottScenarioEquivalent) {
+  for (const std::size_t boundary : {std::size_t{311}, std::size_t{4000}}) {
+    expect_checkpoint_equivalence(lossy_ge_params(),
+                                  core::MobilityMode::kInformed, {},
+                                  boundary);
+  }
+}
+
+TEST(SnapCheckpoint, MultiflowScenarioEquivalent) {
+  exp::ScenarioParams params = base_params();
+  params.seed = 7;
+  util::Rng probe(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, probe);
+
+  exp::RunOptions options;
+  options.multi_flow_blending = true;
+  net::FlowSpec extra;
+  extra.id = 2;
+  extra.source = instance.destination;
+  extra.destination = instance.source;
+  extra.length_bits = 30.0 * 1024.0 * 8.0;
+  extra.packet_bits = params.packet_bits;
+  extra.rate_bps = params.rate_bps;
+  extra.strategy = params.strategy;
+  options.extra_flows.push_back(extra);
+
+  for (const std::size_t boundary : {std::size_t{701}, std::size_t{6000}}) {
+    expect_checkpoint_equivalence(params, core::MobilityMode::kInformed,
+                                  options, boundary);
+  }
+}
+
+TEST(SnapCheckpoint, CostUnawareAndBaselineModesEquivalent) {
+  expect_checkpoint_equivalence(base_params(),
+                                core::MobilityMode::kNoMobility, {}, 1500);
+  expect_checkpoint_equivalence(base_params(),
+                                core::MobilityMode::kCostUnaware, {}, 1500);
+}
+
+TEST(SnapCheckpoint, SaveRestoreFileRoundTrip) {
+  const exp::ScenarioParams params = base_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  auto run = exp::InstanceRun::create(instance, params,
+                                      core::MobilityMode::kInformed, {});
+  run->advance(2000);
+
+  const std::string path = ::testing::TempDir() + "snap_checkpoint_rt.ckpt";
+  save(*run, path);
+  auto restored = restore_file(path);
+  EXPECT_EQ(state_hash(*restored), state_hash(*run));
+  std::remove(path.c_str());
+}
+
+TEST(SnapCheckpoint, DebugJsonNamesEverySection) {
+  const exp::ScenarioParams params = base_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  auto run = exp::InstanceRun::create(instance, params,
+                                      core::MobilityMode::kInformed, {});
+  run->advance(500);
+  const std::string json = debug_json(*run);
+  for (const char* section :
+       {"meta", "sim", "network", "medium", "nodes", "policy", "events"}) {
+    EXPECT_NE(json.find("\"section\": \"" + std::string(section) + "\""),
+              std::string::npos)
+        << "missing section " << section;
+  }
+}
+
+TEST(SnapCheckpoint, CheckpointerWritesAtChunkBoundaries) {
+  const exp::ScenarioParams params = base_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  auto run = exp::InstanceRun::create(instance, params,
+                                      core::MobilityMode::kInformed, {});
+
+  const std::string path = ::testing::TempDir() + "snap_checkpointer.ckpt";
+  CheckpointPolicy policy;
+  policy.every_sim_s = 20.0;
+  Checkpointer checkpointer(path, policy);
+  checkpointer.install(*run);
+  EXPECT_TRUE(run->advance());
+  EXPECT_GE(checkpointer.checkpoints_written(), 1u);
+
+  // The last checkpoint restores and finishes with the same result.
+  auto restored = restore_file(path);
+  EXPECT_TRUE(restored->advance());
+  EXPECT_EQ(result_json(*restored), result_json(*run));
+  std::remove(path.c_str());
+}
+
+TEST(SnapCheckpoint, RunResultBinaryRoundTrip) {
+  const exp::ScenarioParams params = base_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  auto run = exp::InstanceRun::create(instance, params,
+                                      core::MobilityMode::kInformed, {});
+  EXPECT_TRUE(run->advance());
+  const exp::RunResult result = run->result();
+
+  const std::string path = ::testing::TempDir() + "snap_result_rt.bin";
+  save_result(path, result);
+  const exp::RunResult loaded = load_result(path);
+  EXPECT_EQ(result_to_json(result).dump(), result_to_json(loaded).dump());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace imobif::snap

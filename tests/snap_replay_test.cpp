@@ -1,0 +1,115 @@
+// Replay bisection: state hashes must stay equal along identical runs,
+// detect a perturbed restore immediately, and pinpoint the first
+// diverging event between two runs that differ only in the fault seed.
+#include "snap/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/instance.hpp"
+#include "snap/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::snap {
+namespace {
+
+exp::ScenarioParams replay_params(std::uint64_t fault_seed) {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = 800.0;
+  p.mean_flow_bits = 40.0 * 1024.0 * 8.0;
+  p.seed = 42;
+  // No warmup: drop decisions happen when deliveries are *scheduled*, so
+  // any executed warmup traffic would already split the fault worlds.
+  // With zero warmup both runs start from the identical pristine state and
+  // diverge at the first differing drop decision during the scan.
+  p.warmup_s = 0.0;
+  p.fault.loss_rate = 0.25;
+  p.fault.seed = fault_seed;
+  return p;
+}
+
+std::unique_ptr<exp::InstanceRun> make_run(const exp::ScenarioParams& params) {
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  return exp::InstanceRun::create(instance, params,
+                                  core::MobilityMode::kInformed, {});
+}
+
+TEST(SnapReplay, IdenticalRunsNeverDiverge) {
+  const exp::ScenarioParams params = replay_params(1);
+  auto a = make_run(params);
+  auto b = make_run(params);
+  const Divergence d = find_divergence(*a, *b);
+  EXPECT_FALSE(d.diverged) << d.describe();
+  EXPECT_FALSE(d.truncated);
+  EXPECT_TRUE(d.finished_a);
+  EXPECT_TRUE(d.finished_b);
+  EXPECT_NE(d.describe().find("no divergence"), std::string::npos);
+}
+
+TEST(SnapReplay, RestoredRunTracksOriginalToCompletion) {
+  const exp::ScenarioParams params = replay_params(5);
+  auto original = make_run(params);
+  original->advance(3000);
+  auto restored = restore(encode(*original));
+  const Divergence d = find_divergence(*original, *restored);
+  EXPECT_FALSE(d.diverged) << d.describe();
+}
+
+TEST(SnapReplay, DifferentFaultSeedsBisectToFirstDivergingEvent) {
+  // A rare loss keeps the first few events' drop decisions in agreement so
+  // the divergence lands deep enough to exercise the truncated pre-scan.
+  exp::ScenarioParams pa = replay_params(1001);
+  exp::ScenarioParams pb = replay_params(2002);
+  pa.fault.loss_rate = pb.fault.loss_rate = 0.01;
+  auto a = make_run(pa);
+  auto b = make_run(pb);
+  // Same topology, same instance, same initial state: the fault seed only
+  // influences drop decisions, which are made as traffic flows.
+  EXPECT_EQ(state_hash(*a), state_hash(*b));
+
+  const Divergence d = find_divergence(*a, *b);
+  ASSERT_TRUE(d.diverged) << d.describe();
+  ASSERT_GT(d.event_index, 1u) << d.describe();
+  EXPECT_NE(d.hash_a, d.hash_b);
+  EXPECT_NE(d.describe().find("diverged at event"), std::string::npos);
+
+  // The scan stopped at the *first* differing event: re-running two fresh
+  // copies up to the event before must still agree.
+  auto a2 = make_run(pa);
+  auto b2 = make_run(pb);
+  const Divergence before =
+      find_divergence(*a2, *b2, static_cast<std::size_t>(d.event_index) - 1);
+  EXPECT_FALSE(before.diverged) << before.describe();
+  EXPECT_TRUE(before.truncated);
+}
+
+TEST(SnapReplay, PerturbedRestoreIsDetected) {
+  const exp::ScenarioParams params = replay_params(9);
+  auto original = make_run(params);
+  original->advance(2500);
+  auto perturbed = restore(encode(*original));
+  // Nudge one node's battery by a microjoule — the hash flags it at once.
+  net::Node& node = perturbed->network().node(0);
+  const energy::Battery& b = node.battery();
+  node.battery().restore(b.initial(), b.residual() - 1e-6,
+                         b.consumed_transmit(), b.consumed_move(),
+                         b.consumed_other());
+  const Divergence d = find_divergence(*original, *perturbed);
+  EXPECT_TRUE(d.diverged);
+  EXPECT_EQ(d.event_index,
+            original->network().simulator().executed_events());
+}
+
+TEST(SnapReplay, MismatchedStartingPointsRejected) {
+  const exp::ScenarioParams params = replay_params(3);
+  auto a = make_run(params);
+  auto b = make_run(params);
+  a->advance(100);
+  EXPECT_THROW(find_divergence(*a, *b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace imobif::snap

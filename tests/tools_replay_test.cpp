@@ -1,0 +1,127 @@
+// Drives the imobif_replay binary (IMOBIF_REPLAY_BIN, injected by CMake):
+// finishing a checkpoint in a *fresh process* must reproduce the in-process
+// result byte for byte, and the bisect/replay modes must report divergence
+// through their exit codes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "energy/battery.hpp"
+#include "exp/instance.hpp"
+#include "net/network.hpp"
+#include "net/node.hpp"
+#include "snap/result_io.hpp"
+#include "snap/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace imobif {
+namespace {
+
+exp::ScenarioParams tool_params() {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = 800.0;
+  // Long enough that the advance() caps below pause mid-run: the
+  // checkpoints these tests exercise are genuinely mid-flight.
+  p.mean_flow_bits = 200.0 * 1024.0 * 8.0;
+  p.seed = 4242;
+  return p;
+}
+
+std::unique_ptr<exp::InstanceRun> make_run() {
+  const exp::ScenarioParams params = tool_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  return exp::InstanceRun::create(instance, params,
+                                  core::MobilityMode::kInformed, {});
+}
+
+std::filesystem::path scratch_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+int run_tool(const std::string& args) {
+  const std::string command = std::string(IMOBIF_REPLAY_BIN) + " " + args +
+                              " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+TEST(ToolsReplay, ContinueInFreshProcessMatchesInProcessResult) {
+  const auto dir = scratch_dir("tools_replay_continue");
+  const std::string ckpt = (dir / "mid.ckpt").string();
+  const std::string out = (dir / "result.json").string();
+
+  auto run = make_run();
+  run->advance(2000);
+  snap::save(*run, ckpt);
+
+  // In-process continuation of an identical restored copy.
+  auto mirror = snap::restore_file(ckpt);
+  EXPECT_TRUE(mirror->advance());
+  const std::string expected =
+      snap::result_to_json(mirror->result()).dump(2) + "\n";
+
+  ASSERT_EQ(run_tool("--continue " + ckpt + " --out " + out), 0);
+  EXPECT_EQ(slurp(out), expected);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ToolsReplay, BisectReportsIdenticalAndPerturbedCheckpoints) {
+  const auto dir = scratch_dir("tools_replay_bisect");
+  const std::string ckpt = (dir / "a.ckpt").string();
+  const std::string twin = (dir / "b.ckpt").string();
+  const std::string bad = (dir / "bad.ckpt").string();
+
+  auto run = make_run();
+  run->advance(1500);
+  snap::save(*run, ckpt);
+  snap::save(*run, twin);
+
+  auto perturbed = snap::restore_file(ckpt);
+  net::Node& node = perturbed->network().node(0);
+  const energy::Battery& b = node.battery();
+  node.battery().restore(b.initial(), b.residual() - 1e-6,
+                         b.consumed_transmit(), b.consumed_move(),
+                         b.consumed_other());
+  snap::save(*perturbed, bad);
+
+  EXPECT_EQ(run_tool("--bisect " + ckpt + " " + twin), 0);
+  EXPECT_EQ(run_tool("--bisect " + ckpt + " " + bad), 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ToolsReplay, ReplayModeVerifiesCheckpointAgainstFreshRun) {
+  const auto dir = scratch_dir("tools_replay_fresh");
+  const std::string ckpt = (dir / "mid.ckpt").string();
+  auto run = make_run();
+  run->advance(1000);
+  snap::save(*run, ckpt);
+  // The simulator is deterministic, so a fresh replay of the embedded
+  // scenario must track the checkpoint to completion: exit 0.
+  EXPECT_EQ(run_tool("--replay " + ckpt), 0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ToolsReplay, UsageAndMissingFileFailures) {
+  EXPECT_EQ(run_tool(""), 1);
+  EXPECT_EQ(run_tool("--continue /nonexistent/x.ckpt"), 1);
+}
+
+}  // namespace
+}  // namespace imobif
