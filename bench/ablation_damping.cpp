@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
                      "notifications avg", "notifications max"});
   for (const std::uint32_t gap : {0u, 2u, 4u, 8u, 16u}) {
     exp::ScenarioParams p = bench::paper_defaults();
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
     p.mobility.k = 0.5;
     p.notification_min_gap = gap;
 

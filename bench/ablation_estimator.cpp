@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     for (const bool paper_local : {false, true}) {
       exp::ScenarioParams p = bench::paper_defaults();
       p.mobility.k = k;
-      p.mean_flow_bits = 1.0 * bench::kMB;
+      p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
       p.paper_local_estimator = paper_local;
 
       bench::apply_seed(p, config);
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       for (const auto& pt : points) {
         ratio.add(pt.energy_ratio_informed());
         notif.add(static_cast<double>(pt.informed.notifications));
-        if (pt.informed.moved_distance_m > 0.0) ++enabled;
+        if (pt.informed.moved_distance_m.value() > 0.0) ++enabled;
       }
       table.add_row({paper_local ? "paper-local" : "hop-receiver",
                      util::Table::num(k), util::Table::num(ratio.mean()),

@@ -21,10 +21,10 @@ int main(int argc, char** argv) {
   for (const bool exact : {false, true}) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.strategy = net::StrategyId::kMaxLifetime;
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
     p.random_energy = true;
-    p.energy_lo_j = 5.0;
-    p.energy_hi_j = 100.0;
+    p.energy_lo_j = util::Joules{5.0};
+    p.energy_hi_j = util::Joules{100.0};
     p.exact_lifetime_split = exact;
     p.seed = 20050611;
 

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   for (const double factor : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.mobility.k = 0.1;  // a regime where mobility often pays
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
     p.length_estimate_factor = factor;
 
     bench::apply_seed(p, config);
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     for (const auto& pt : points) {
       ratio.add(pt.energy_ratio_informed());
       notif.add(static_cast<double>(pt.informed.notifications));
-      if (pt.informed.moved_distance_m > 0.0) ++enabled;
+      if (pt.informed.moved_distance_m.value() > 0.0) ++enabled;
     }
     table.add_row({util::Table::num(factor), util::Table::num(ratio.mean()),
                    util::Table::num(ratio.max()),

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   for (const double err : {0.0, 2.0, 5.0, 10.0, 25.0}) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.mobility.k = 0.1;
-    p.mean_flow_bits = 1.0 * bench::kMB;
-    p.position_error_m = err;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
+    p.position_error_m = util::Meters{err};
 
     bench::apply_seed(p, config);
 
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       cu.add(pt.energy_ratio_cost_unaware());
       in.add(pt.energy_ratio_informed());
       worst = std::max(worst, pt.energy_ratio_informed());
-      if (pt.informed.moved_distance_m > 0.0) ++enabled;
+      if (pt.informed.moved_distance_m.value() > 0.0) ++enabled;
     }
     table.add_row({util::Table::num(err), util::Table::num(cu.mean()),
                    util::Table::num(in.mean()), util::Table::num(worst),

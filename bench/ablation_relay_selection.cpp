@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   for (const double weight : {0.0, 0.5, 1.0, 2.0, 4.0}) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.mobility.k = 0.1;
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
     p.line_bias_weight = weight;
 
     bench::apply_seed(p, config);
@@ -34,10 +34,10 @@ int main(int argc, char** argv) {
     for (const auto& pt : points) series_values.push_back(pt.energy_ratio_informed());
     report.add_series(util::Table::num(weight) + std::string(" energy_ratio_informed"), series_values);
     for (const auto& pt : points) {
-      baseline_j.add(pt.baseline.total_energy_j);
+      baseline_j.add(pt.baseline.total_energy_j.value());
       ratio.add(pt.energy_ratio_informed());
-      moved.add(pt.informed.moved_distance_m);
-      if (pt.informed.moved_distance_m > 0.0) ++enabled;
+      moved.add(pt.informed.moved_distance_m.value());
+      if (pt.informed.moved_distance_m.value() > 0.0) ++enabled;
     }
     table.add_row({util::Table::num(weight),
                    util::Table::num(baseline_j.mean()),

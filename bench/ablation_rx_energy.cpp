@@ -21,10 +21,10 @@ int main(int argc, char** argv) {
   for (const double rx : {0.0, 5e-8, 2e-7, 1e-6}) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.strategy = net::StrategyId::kMaxLifetime;
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
     p.random_energy = true;
-    p.energy_lo_j = 5.0;
-    p.energy_hi_j = 100.0;
+    p.energy_lo_j = util::Joules{5.0};
+    p.energy_hi_j = util::Joules{100.0};
     p.radio.rx_per_bit = rx;
     p.seed = 20050611;
 
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     for (const auto& pt : points) {
       cu.add(pt.lifetime_ratio_cost_unaware());
       in.add(pt.lifetime_ratio_informed());
-      base.add(pt.baseline.lifetime_s);
+      base.add(pt.baseline.lifetime_s.value());
     }
     table.add_row({util::Table::num(rx), util::Table::num(cu.mean()),
                    util::Table::num(in.mean()), util::Table::num(in.max()),

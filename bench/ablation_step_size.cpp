@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.mobility.k = 0.1;
     p.mobility.max_step_m = step;
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
 
     bench::apply_seed(p, config);
 
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     for (const auto& pt : points) {
       cu.add(pt.energy_ratio_cost_unaware());
       in.add(pt.energy_ratio_informed());
-      moved.add(pt.informed.moved_distance_m);
+      moved.add(pt.informed.moved_distance_m.value());
     }
     table.add_row({util::Table::num(step), util::Table::num(cu.mean()),
                    util::Table::num(in.mean()),

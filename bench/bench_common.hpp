@@ -231,17 +231,17 @@ inline void export_report(runtime::SweepReport& report,
 /// Paper-default scenario (DESIGN.md parameter reconstruction).
 inline exp::ScenarioParams paper_defaults() {
   exp::ScenarioParams p;
-  p.area_m = 1000.0;
+  p.area_m = util::Meters{1000.0};
   p.node_count = 100;
-  p.comm_range_m = 180.0;
+  p.comm_range_m = util::Meters{180.0};
   p.radio.a = 1e-7;
   p.radio.b = 5e-10;
   p.radio.alpha = 2.0;
   p.mobility.k = 0.5;
   p.mobility.max_step_m = 1.0;
-  p.initial_energy_j = 2000.0;
-  p.packet_bits = 8192.0;  // 1 KB packets
-  p.rate_bps = 8192.0;     // 1 KB/s = 8 Kbps
+  p.initial_energy_j = util::Joules{2000.0};
+  p.packet_bits = util::Bits{8192.0};        // 1 KB packets
+  p.rate_bps = util::BitsPerSecond{8192.0};  // 1 KB/s = 8 Kbps
   p.seed = 20050610;       // ICDCS 2005
   return p;
 }

@@ -30,7 +30,7 @@ struct LevelOutcome {
 
 exp::ScenarioParams lossy_params(const bench::BenchConfig& config) {
   exp::ScenarioParams p = bench::paper_defaults();
-  p.mean_flow_bits = 1.0 * bench::kMB;  // long flows: notifications matter
+  p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
   bench::apply_seed(p, config);
   p.notify_retry_cap = bench::kBenchNotifyRetryCap;
   return p;

@@ -26,13 +26,14 @@ Outcome run(core::MobilityMode mode, bool blending, double long_bits,
   net::Network network(config);
   // An X topology: flows 0->4 and 5->6 share the bent center relay 2,
   // whose two per-flow midpoint targets disagree.
-  network.add_node({0, 80}, 4000.0);      // 0: source A
-  network.add_node({120, 70}, 4000.0);    // 1: relay A (off-line)
-  network.add_node({250, 30}, 4000.0);    // 2: shared center relay
-  network.add_node({390, -60}, 4000.0);   // 3: relay A' (off-line)
-  network.add_node({560, -80}, 4000.0);   // 4: dest A
-  network.add_node({280, 170}, 4000.0);   // 5: source B (via center)
-  network.add_node({250, -140}, 4000.0);  // 6: dest B
+  const util::Joules battery{4000.0};
+  network.add_node({0, 80}, battery);      // 0: source A
+  network.add_node({120, 70}, battery);    // 1: relay A (off-line)
+  network.add_node({250, 30}, battery);    // 2: shared center relay
+  network.add_node({390, -60}, battery);   // 3: relay A' (off-line)
+  network.add_node({560, -80}, battery);   // 4: dest A
+  network.add_node({280, 170}, battery);   // 5: source B (via center)
+  network.add_node({250, -140}, battery);  // 6: dest B
 
   network.set_routing(std::make_unique<net::GreedyRouting>(network.medium()));
   energy::MobilityParams mp;
@@ -41,27 +42,28 @@ Outcome run(core::MobilityMode mode, bool blending, double long_bits,
   auto policy = core::make_default_policy(network.radio(), mobility, mode);
   policy->set_multi_flow_blending(blending);
   network.set_policy(policy.get());
-  network.warmup(25.0);
+  network.warmup(util::Seconds{25.0});
 
   net::FlowSpec a;
   a.id = 1;
   a.source = 0;
   a.destination = 4;
-  a.length_bits = long_bits;
+  a.length_bits = util::Bits{long_bits};
   a.strategy = net::StrategyId::kMinTotalEnergy;
   a.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
   net::FlowSpec b = a;
   b.id = 2;
   b.source = 5;
   b.destination = 6;
-  b.length_bits = short_bits;
+  b.length_bits = util::Bits{short_bits};
   network.start_flow(a);
   network.start_flow(b);
-  network.run_flows(long_bits / a.rate_bps * 4.0 + 300.0);
+  network.run_flows(
+      util::Seconds{long_bits / a.rate_bps.value() * 4.0 + 300.0});
 
   Outcome out;
-  out.total_j = network.total_consumed_energy();
-  out.moved_m = policy->total_distance_moved();
+  out.total_j = network.total_consumed_energy().value();
+  out.moved_m = policy->total_distance_moved().value();
   out.all_complete = network.all_flows_complete();
   return out;
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   for (const double margin : {0.0, 1.0, 1.5, 3.0}) {
     exp::ScenarioParams p = bench::paper_defaults();
     p.mobility.k = 0.1;
-    p.mean_flow_bits = 1.0 * bench::kMB;
+    p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
     p.recruit_margin = margin;
 
     bench::apply_seed(p, config);
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     for (const auto& pt : points) {
       ratio.add(pt.energy_ratio_informed());
       recruits.add(static_cast<double>(pt.informed.recruits));
-      moved.add(pt.informed.moved_distance_m);
+      moved.add(pt.informed.moved_distance_m.value());
       complete = complete && pt.informed.completed;
     }
     table.add_row({margin == 0.0 ? "off" : util::Table::num(margin),

@@ -16,11 +16,11 @@ using namespace imobif;
 
 exp::ScenarioParams scenario() {
   exp::ScenarioParams p = bench::paper_defaults();
-  p.mean_flow_bits = 4.0 * bench::kMB;  // long flow: reaches steady state
+  p.mean_flow_bits = util::Bits{4.0 * bench::kMB};
   p.min_hops = 5;                       // a visibly multi-hop flow
   p.random_energy = true;               // energy-dependent placement visible
-  p.energy_lo_j = 400.0;
-  p.energy_hi_j = 2000.0;
+  p.energy_lo_j = util::Joules{400.0};
+  p.energy_hi_j = util::Joules{2000.0};
   p.seed = 9;
   return p;
 }
@@ -38,7 +38,7 @@ void print_snapshot(const char* label, const exp::PlacementSnapshot& snap,
     table.add_row({std::to_string(snap.path[i]),
                    util::Table::num(pos[i].x, 5),
                    util::Table::num(pos[i].y, 5),
-                   util::Table::num(energy[i], 4),
+                   util::Table::num(energy[i].value(), 4),
                    i + 1 < pos.size() ? util::Table::num(hop, 4) : "-"});
   }
   std::cout << "\n--- " << label << " ---\n";
@@ -94,8 +94,16 @@ int main(int argc, char** argv) {
          "straight.\n";
 
   runtime::SweepReport report("fig5_placement");
-  report.add_series("min_energy_final_energies", min_energy.final_energies);
-  report.add_series("max_lifetime_final_energies", lifetime.final_energies);
+  const auto to_doubles = [](const std::vector<util::Joules>& v) {
+    std::vector<double> out;
+    out.reserve(v.size());
+    for (const util::Joules e : v) out.push_back(e.value());
+    return out;
+  };
+  report.add_series("min_energy_final_energies",
+                    to_doubles(min_energy.final_energies));
+  report.add_series("max_lifetime_final_energies",
+                    to_doubles(lifetime.final_energies));
   if (config.loss > 0.0) {
     bench::FaultCounters totals;
     totals.add(min_energy.run);

@@ -33,7 +33,7 @@ void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
   p.mobility.k = spec.k;
   p.radio.alpha = spec.alpha;
   if (spec.alpha == 3.0) p.radio.b = bench::kAmplifierAlpha3;
-  p.mean_flow_bits = spec.mean_flow_bits;
+  p.mean_flow_bits = util::Bits{spec.mean_flow_bits};
   bench::apply_seed(p, config);
   bench::apply_fault(p, config);
 
@@ -48,9 +48,9 @@ void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
     in.add(pt.energy_ratio_informed());
     cu_ratios.push_back(pt.energy_ratio_cost_unaware());
     in_ratios.push_back(pt.energy_ratio_informed());
-    mobility_j.add(pt.cost_unaware.movement_energy_j);
-    transmit_j.add(pt.cost_unaware.transmit_energy_j);
-    if (pt.informed.moved_distance_m > 0.0) ++enabled;
+    mobility_j.add(pt.cost_unaware.movement_energy_j.value());
+    transmit_j.add(pt.cost_unaware.transmit_energy_j.value());
+    if (pt.informed.moved_distance_m.value() > 0.0) ++enabled;
   }
 
   bench::print_header(std::string("Figure 6") + spec.name);
@@ -59,7 +59,7 @@ void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
     table.add_row({std::to_string(i),
-                   util::Table::num(pt.flow_bits / bench::kKB, 5),
+                   util::Table::num(pt.flow_bits.value() / bench::kKB, 5),
                    std::to_string(pt.hops),
                    util::Table::num(pt.energy_ratio_cost_unaware()),
                    util::Table::num(pt.energy_ratio_informed()),
@@ -94,9 +94,9 @@ void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
     tx.marker = '*';
     for (std::size_t i = 0; i < points.size(); ++i) {
       mob.xs.push_back(static_cast<double>(i));
-      mob.ys.push_back(points[i].cost_unaware.movement_energy_j);
+      mob.ys.push_back(points[i].cost_unaware.movement_energy_j.value());
       tx.xs.push_back(static_cast<double>(i));
-      tx.ys.push_back(points[i].cost_unaware.transmit_energy_j);
+      tx.ys.push_back(points[i].cost_unaware.transmit_energy_j.value());
     }
     util::PlotOptions po;
     po.title = "Figure 6(b) - energy decomposition per flow instance";

@@ -11,7 +11,7 @@ int main(int argc, char** argv) {
   const bench::Stopwatch stopwatch;
 
   exp::ScenarioParams p = bench::paper_defaults();
-  p.mean_flow_bits = 1.0 * bench::kMB;  // the long-flow case of Fig 6(c)
+  p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
   bench::apply_seed(p, config);
   bench::apply_fault(p, config);
 
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     series.xs.push_back(static_cast<double>(i));
     series.ys.push_back(static_cast<double>(run.notifications));
     table.add_row({std::to_string(i),
-                   util::Table::num(points[i].flow_bits / bench::kKB, 5),
+                   util::Table::num(points[i].flow_bits.value() / bench::kKB, 5),
                    std::to_string(run.notifications),
                    std::to_string(run.notifications)});
   }

@@ -18,11 +18,11 @@ int main(int argc, char** argv) {
 
   exp::ScenarioParams p = bench::paper_defaults();
   p.strategy = net::StrategyId::kMaxLifetime;
-  p.mean_flow_bits = 1.0 * bench::kMB;
+  p.mean_flow_bits = util::Bits{1.0 * bench::kMB};
   p.mobility.k = 0.5;
   p.random_energy = true;  // "intentionally low residual energy"
-  p.energy_lo_j = 5.0;
-  p.energy_hi_j = 100.0;
+  p.energy_lo_j = util::Joules{5.0};
+  p.energy_hi_j = util::Joules{100.0};
   p.seed = 20050611;
   bench::apply_seed(p, config);
   bench::apply_fault(p, config);
@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
     cu_s.ys.push_back(pt.lifetime_ratio_cost_unaware());
     in_s.ys.push_back(pt.lifetime_ratio_informed());
     table.add_row({std::to_string(i),
-                   util::Table::num(pt.flow_bits / bench::kKB, 5),
-                   util::Table::num(pt.baseline.lifetime_s, 5),
+                   util::Table::num(pt.flow_bits.value() / bench::kKB, 5),
+                   util::Table::num(pt.baseline.lifetime_s.value(), 5),
                    util::Table::num(pt.lifetime_ratio_cost_unaware()),
                    util::Table::num(pt.lifetime_ratio_informed()),
                    pt.baseline.any_death ? "yes" : "censored"});

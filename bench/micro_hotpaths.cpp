@@ -44,7 +44,7 @@ void BM_RadioModelPower(benchmark::State& state) {
   const energy::RadioEnergyModel model(params);
   double d = 1.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.power_per_bit(d));
+    benchmark::DoNotOptimize(model.power_per_bit(util::Meters{d}));
     d = d < 300.0 ? d + 1.0 : 1.0;
   }
 }
@@ -55,8 +55,8 @@ void BM_MaxLifetimeTarget(benchmark::State& state) {
   core::RelayContext ctx;
   ctx.prev_position = {0.0, 0.0};
   ctx.next_position = {200.0, 40.0};
-  ctx.prev_energy = 35.0;
-  ctx.self_energy = 12.0;
+  ctx.prev_energy = util::Joules{35.0};
+  ctx.self_energy = util::Joules{12.0};
   for (auto _ : state) {
     benchmark::DoNotOptimize(strategy.next_position(ctx));
   }
@@ -68,7 +68,8 @@ void BM_EvaluateHop(benchmark::State& state) {
   const energy::RadioEnergyModel radio(params);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::evaluate_hop(
-        radio, 50.0, 3.0, {0, 0}, {10, 0}, {150, 0}, {140, 0}, 1e6, true));
+        radio, util::Joules{50.0}, util::Joules{3.0}, {0, 0}, {10, 0},
+        {150, 0}, {140, 0}, util::Bits{1e6}, true));
   }
 }
 BENCHMARK(BM_EvaluateHop);
@@ -100,7 +101,8 @@ void BM_ExactLifetimeSplit(benchmark::State& state) {
   energy::RadioParams params;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::exact_lifetime_split(params, 35.0, 12.0, 250.0));
+        core::exact_lifetime_split(params, util::Joules{35.0},
+                                   util::Joules{12.0}, util::Meters{250.0}));
   }
 }
 BENCHMARK(BM_ExactLifetimeSplit);
@@ -118,7 +120,7 @@ BENCHMARK(BM_SampleInstance);
 void BM_FullFlowReplay(benchmark::State& state) {
   exp::ScenarioParams p;
   p.seed = 3;
-  p.mean_flow_bits = 100.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{100.0 * 1024.0 * 8.0};
   util::Rng rng(p.seed);
   const exp::FlowInstance inst = exp::sample_instance(p, rng);
   for (auto _ : state) {

@@ -35,7 +35,9 @@ Outcome run(core::MobilityMode mode, double flow_bits) {
   config.node.charge_hello_energy = false;
   config.radio.b = 5e-10;
   net::Network network(config);
-  for (const auto& pos : kChain) network.add_node(pos, 5000.0);
+  for (const auto& pos : kChain) {
+    network.add_node(pos, util::Joules{5000.0});
+  }
 
   auto aodv = std::make_unique<net::AodvRouting>(network.medium());
   net::AodvRouting* routing = aodv.get();
@@ -47,7 +49,7 @@ Outcome run(core::MobilityMode mode, double flow_bits) {
   auto policy = core::make_default_policy(network.radio(), mobility, mode);
   network.set_policy(policy.get());
 
-  network.warmup(25.0);
+  network.warmup(util::Seconds{25.0});
   routing->prepare_route(network.node(0), 5);  // AODV discovery
   network.simulator().run(network.simulator().now() +
                           sim::Time::from_seconds(2.0));
@@ -56,17 +58,18 @@ Outcome run(core::MobilityMode mode, double flow_bits) {
   spec.id = 1;
   spec.source = 0;
   spec.destination = 5;
-  spec.length_bits = flow_bits;
+  spec.length_bits = util::Bits{flow_bits};
   spec.strategy = net::StrategyId::kMinTotalEnergy;
   spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
   network.start_flow(spec);
-  network.run_flows(flow_bits / spec.rate_bps * 4.0 + 300.0);
+  network.run_flows(
+      util::Seconds{flow_bits / spec.rate_bps.value() * 4.0 + 300.0});
 
   Outcome out;
   out.completed = network.progress(1).completed;
-  out.total_j = network.total_consumed_energy();
-  out.tx_j = network.total_transmit_energy();
-  out.move_j = network.total_movement_energy();
+  out.total_j = network.total_consumed_energy().value();
+  out.tx_j = network.total_transmit_energy().value();
+  out.move_j = network.total_movement_energy().value();
   out.notifications = network.progress(1).notifications_from_dest;
   const geom::Segment line{kChain.front(), kChain.back()};
   for (std::size_t i = 1; i + 1 < kChain.size(); ++i) {

@@ -54,7 +54,8 @@ class SinkGravityStrategy final : public core::MobilityStrategy {
 
   void init_aggregate(net::MobilityAggregate& agg) const override {
     constexpr double kInf = std::numeric_limits<double>::infinity();
-    agg = {kInf, 0.0, kInf, 0.0};
+    agg = {util::Bits{kInf}, util::Joules{0.0}, util::Bits{kInf},
+           util::Joules{0.0}};
   }
 
  private:
@@ -68,7 +69,7 @@ double run(core::MobilityMode mode, double flow_bits) {
   net::Network network(config);
   for (const auto& pos : std::vector<geom::Vec2>{
            {0, 0}, {130, 50}, {260, -50}, {390, 0}}) {
-    network.add_node(pos, 5000.0);
+    network.add_node(pos, util::Joules{5000.0});
   }
   network.set_routing(std::make_unique<net::GreedyRouting>(network.medium()));
 
@@ -81,18 +82,19 @@ double run(core::MobilityMode mode, double flow_bits) {
                                                      mobility, mode);
   policy->register_strategy(std::make_unique<SinkGravityStrategy>(0.15));
   network.set_policy(policy.get());
-  network.warmup(25.0);
+  network.warmup(util::Seconds{25.0});
 
   net::FlowSpec spec;
   spec.id = 1;
   spec.source = 0;
   spec.destination = 3;
-  spec.length_bits = flow_bits;
+  spec.length_bits = util::Bits{flow_bits};
   spec.strategy = kSinkGravityId;
   spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
   network.start_flow(spec);
-  network.run_flows(flow_bits / spec.rate_bps * 4.0 + 300.0);
-  return network.total_consumed_energy();
+  network.run_flows(
+      util::Seconds{flow_bits / spec.rate_bps.value() * 4.0 + 300.0});
+  return network.total_consumed_energy().value();
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   }
 
   exp::ScenarioParams params;
-  params.mean_flow_bits = 1024.0 * 1024.0 * 8.0;
+  params.mean_flow_bits = util::Bits{1024.0 * 1024.0 * 8.0};
   try {
     if (args.has("config")) {
       exp::apply_config(util::Config::from_file(args.get_string("config")),
@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
     cu.push_back(rc);
     in.push_back(ri);
     table.add_row({std::to_string(i),
-                   util::Table::num(pt.flow_bits / 8192.0, 5),
+                   util::Table::num(pt.flow_bits.value() / 8192.0, 5),
                    std::to_string(pt.hops), util::Table::num(rc),
                    util::Table::num(ri),
                    std::to_string(pt.informed.notifications)});

@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
 
   exp::ScenarioParams params;
   params.node_count = 60;
-  params.area_m = 800.0;
-  params.mean_flow_bits = 100.0 * 1024.0 * 8.0;
+  params.area_m = util::Meters{800.0};
+  params.mean_flow_bits = util::Bits{100.0 * 1024.0 * 8.0};
 
   // One job per instance, every job replayed under iMobif.
   std::vector<runtime::SweepJob> sweep(instances);
@@ -40,11 +40,12 @@ int main(int argc, char** argv) {
 
   std::vector<double> total_energy, moved_m;
   for (const auto& outcome : outcomes) {
-    total_energy.push_back(outcome.result.total_energy_j);
-    moved_m.push_back(outcome.result.moved_distance_m);
+    total_energy.push_back(outcome.result.total_energy_j.value());
+    moved_m.push_back(outcome.result.moved_distance_m.value());
     std::cout << "seed " << outcome.seed << "  hops " << outcome.hops
-              << "  energy " << outcome.result.total_energy_j << " J  moved "
-              << outcome.result.moved_distance_m << " m\n";
+              << "  energy " << outcome.result.total_energy_j.value()
+              << " J  moved " << outcome.result.moved_distance_m.value()
+              << " m\n";
   }
 
   runtime::SweepReport report("parallel_sweep_example");

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
 
   exp::ScenarioParams params;
   params.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
-  params.mean_flow_bits = 1024.0 * 1024.0 * 8.0;  // 1 MB: a long flow
+  params.mean_flow_bits = util::Bits{1024.0 * 1024.0 * 8.0};
   params.mobility.k = 0.5;
   params.radio.alpha = 2.0;
   params.strategy = net::StrategyId::kMinTotalEnergy;
@@ -25,19 +25,20 @@ int main(int argc, char** argv) {
   const auto points = exp::run_comparison(params, /*flow_count=*/1);
   const exp::ComparisonPoint& pt = points.front();
 
-  std::cout << "flow length: " << pt.flow_bits / 8192.0 << " KB over "
+  std::cout << "flow length: " << pt.flow_bits.value() / 8192.0
+            << " KB over "
             << pt.hops << " greedy hops\n\n";
 
   util::Table table({"approach", "total J", "tx J", "move J", "ratio",
                      "notifications", "moved m"});
   auto add = [&](const char* name, const exp::RunResult& run,
                  double ratio) {
-    table.add_row({name, util::Table::num(run.total_energy_j),
-                   util::Table::num(run.transmit_energy_j),
-                   util::Table::num(run.movement_energy_j),
+    table.add_row({name, util::Table::num(run.total_energy_j.value()),
+                   util::Table::num(run.transmit_energy_j.value()),
+                   util::Table::num(run.movement_energy_j.value()),
                    util::Table::num(ratio),
                    std::to_string(run.notifications),
-                   util::Table::num(run.moved_distance_m)});
+                   util::Table::num(run.moved_distance_m.value())});
   };
   add("no-mobility", pt.baseline, 1.0);
   add("cost-unaware", pt.cost_unaware, pt.energy_ratio_cost_unaware());

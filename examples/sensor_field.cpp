@@ -35,12 +35,17 @@ Outcome run(core::MobilityMode mode, std::uint64_t seed) {
 
   // A collection sink, two sensor clusters, and shared relays between.
   //   sensors 0,1 --- relays 2,3 --- sink 4; sensor 5 joins at relay 3.
-  network.add_node({0.0, 60.0}, rng.uniform(20.0, 60.0));     // sensor A
-  network.add_node({0.0, -60.0}, rng.uniform(20.0, 60.0));    // sensor B
-  network.add_node({150.0, 20.0}, rng.uniform(10.0, 40.0));   // relay
-  network.add_node({300.0, -20.0}, rng.uniform(10.0, 40.0));  // relay
-  network.add_node({450.0, 0.0}, 500.0);                      // sink (mains)
-  network.add_node({160.0, -140.0}, rng.uniform(20.0, 60.0)); // sensor C
+  network.add_node({0.0, 60.0},
+                   util::Joules{rng.uniform(20.0, 60.0)});  // sensor A
+  network.add_node({0.0, -60.0},
+                   util::Joules{rng.uniform(20.0, 60.0)});  // sensor B
+  network.add_node({150.0, 20.0},
+                   util::Joules{rng.uniform(10.0, 40.0)});  // relay
+  network.add_node({300.0, -20.0},
+                   util::Joules{rng.uniform(10.0, 40.0)});  // relay
+  network.add_node({450.0, 0.0}, util::Joules{500.0});  // sink (mains)
+  network.add_node({160.0, -140.0},
+                   util::Joules{rng.uniform(20.0, 60.0)});  // sensor C
 
   network.set_routing(std::make_unique<net::GreedyRouting>(network.medium()));
 
@@ -52,7 +57,7 @@ Outcome run(core::MobilityMode mode, std::uint64_t seed) {
   policy->set_multi_flow_blending(true);  // relays serve multiple flows
   network.set_policy(policy.get());
   network.set_stop_on_first_death(true);
-  network.warmup(25.0);
+  network.warmup(util::Seconds{25.0});
 
   const double report_stream = 300.0 * 1024.0 * 8.0;  // 300 KB per sensor
   for (net::NodeId sensor : {0u, 1u, 5u}) {
@@ -60,12 +65,12 @@ Outcome run(core::MobilityMode mode, std::uint64_t seed) {
     spec.id = sensor + 1;
     spec.source = sensor;
     spec.destination = 4;
-    spec.length_bits = report_stream;
+    spec.length_bits = util::Bits{report_stream};
     spec.strategy = net::StrategyId::kMaxLifetime;
     spec.initially_enabled = (mode == core::MobilityMode::kCostUnaware);
     network.start_flow(spec);
   }
-  network.run_flows(4000.0);
+  network.run_flows(util::Seconds{4000.0});
 
   Outcome out;
   out.any_death = network.first_death_time().has_value();
@@ -73,9 +78,9 @@ Outcome run(core::MobilityMode mode, std::uint64_t seed) {
                        ? network.first_death_time()->seconds()
                        : network.simulator().now().seconds();
   for (const auto* prog : network.all_progress()) {
-    out.delivered_kb += prog->delivered_bits / 8192.0;
+    out.delivered_kb += prog->delivered_bits.value() / 8192.0;
   }
-  out.moved_m = policy->total_distance_moved();
+  out.moved_m = policy->total_distance_moved().value();
   return out;
 }
 

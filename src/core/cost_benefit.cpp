@@ -1,11 +1,14 @@
 #include "core/cost_benefit.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
 
 namespace imobif::core {
+
+using util::Bits;
+using util::Joules;
+using util::Meters;
 
 namespace {
 
@@ -13,8 +16,9 @@ namespace {
 // hop sustains unboundedly many bits), but NaN means an inf-inf or 0*inf
 // slipped into the fold and every downstream comparison is garbage.
 void check_not_nan([[maybe_unused]] const LocalPerformance& perf) {
-  IMOBIF_ASSERT(!std::isnan(perf.bits_mob) && !std::isnan(perf.resi_mob) &&
-                    !std::isnan(perf.bits_nomob) && !std::isnan(perf.resi_nomob),
+  IMOBIF_ASSERT(!util::isnan(perf.bits_mob) && !util::isnan(perf.resi_mob) &&
+                    !util::isnan(perf.bits_nomob) &&
+                    !util::isnan(perf.resi_nomob),
                 "NaN in local cost/benefit evaluation");
 }
 
@@ -22,14 +26,14 @@ void check_not_nan([[maybe_unused]] const LocalPerformance& perf) {
 
 LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
                                 const energy::MobilityEnergyModel& mobility,
-                                double residual_energy, double residual_bits,
+                                Joules residual_energy, Bits residual_bits,
                                 geom::Vec2 current, geom::Vec2 target,
                                 geom::Vec2 next, bool cap_bits) {
   LocalPerformance perf;
-  const double d_now = geom::distance(current, next);
-  const double d_after = geom::distance(target, next);
-  const double move_cost =
-      mobility.move_energy(geom::distance(current, target));
+  const Meters d_now{geom::distance(current, next)};
+  const Meters d_after{geom::distance(target, next)};
+  const Joules move_cost =
+      mobility.move_energy(Meters{geom::distance(current, target)});
 
   perf.resi_nomob =
       residual_energy - radio.transmit_energy(d_now, residual_bits);
@@ -38,26 +42,26 @@ LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
   perf.resi_mob = residual_energy -
                   radio.transmit_energy(d_after, residual_bits) - move_cost;
   perf.bits_mob = radio.sustainable_bits(
-      d_after, std::max(0.0, residual_energy - move_cost));
+      d_after, util::max(Joules{0.0}, residual_energy - move_cost));
 
   if (cap_bits) {
-    perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
-    perf.bits_mob = std::min(perf.bits_mob, residual_bits);
+    perf.bits_nomob = util::min(perf.bits_nomob, residual_bits);
+    perf.bits_mob = util::min(perf.bits_mob, residual_bits);
   }
   check_not_nan(perf);
   return perf;
 }
 
 LocalPerformance evaluate_hop(const energy::RadioEnergyModel& radio,
-                              double sender_energy,
-                              double sender_pending_move_cost,
+                              Joules sender_energy,
+                              Joules sender_pending_move_cost,
                               geom::Vec2 sender_pos, geom::Vec2 sender_target,
                               geom::Vec2 receiver_pos,
-                              geom::Vec2 receiver_target,
-                              double residual_bits, bool cap_bits) {
+                              geom::Vec2 receiver_target, Bits residual_bits,
+                              bool cap_bits) {
   LocalPerformance perf;
-  const double d_now = geom::distance(sender_pos, receiver_pos);
-  const double d_plan = geom::distance(sender_target, receiver_target);
+  const Meters d_now{geom::distance(sender_pos, receiver_pos)};
+  const Meters d_plan{geom::distance(sender_target, receiver_target)};
 
   perf.resi_nomob =
       sender_energy - radio.transmit_energy(d_now, residual_bits);
@@ -66,26 +70,27 @@ LocalPerformance evaluate_hop(const energy::RadioEnergyModel& radio,
   perf.resi_mob = sender_energy - sender_pending_move_cost -
                   radio.transmit_energy(d_plan, residual_bits);
   perf.bits_mob = radio.sustainable_bits(
-      d_plan, std::max(0.0, sender_energy - sender_pending_move_cost));
+      d_plan,
+      util::max(Joules{0.0}, sender_energy - sender_pending_move_cost));
 
   if (cap_bits) {
-    perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
-    perf.bits_mob = std::min(perf.bits_mob, residual_bits);
+    perf.bits_nomob = util::min(perf.bits_nomob, residual_bits);
+    perf.bits_mob = util::min(perf.bits_mob, residual_bits);
   }
   check_not_nan(perf);
   return perf;
 }
 
 LocalPerformance evaluate_source(const energy::RadioEnergyModel& radio,
-                                 double residual_energy, double residual_bits,
+                                 Joules residual_energy, Bits residual_bits,
                                  geom::Vec2 current, geom::Vec2 next,
                                  bool cap_bits) {
   LocalPerformance perf;
-  const double d = geom::distance(current, next);
+  const Meters d{geom::distance(current, next)};
   perf.resi_nomob =
       residual_energy - radio.transmit_energy(d, residual_bits);
   perf.bits_nomob = radio.sustainable_bits(d, residual_energy);
-  if (cap_bits) perf.bits_nomob = std::min(perf.bits_nomob, residual_bits);
+  if (cap_bits) perf.bits_nomob = util::min(perf.bits_nomob, residual_bits);
   perf.resi_mob = perf.resi_nomob;
   perf.bits_mob = perf.bits_nomob;
   check_not_nan(perf);

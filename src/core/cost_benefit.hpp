@@ -33,16 +33,17 @@ namespace imobif::core {
 
 LocalPerformance evaluate_local(const energy::RadioEnergyModel& radio,
                                 const energy::MobilityEnergyModel& mobility,
-                                double residual_energy, double residual_bits,
-                                geom::Vec2 current, geom::Vec2 target,
-                                geom::Vec2 next, bool cap_bits = true);
+                                util::Joules residual_energy,
+                                util::Bits residual_bits, geom::Vec2 current,
+                                geom::Vec2 target, geom::Vec2 next,
+                                bool cap_bits = true);
 
 /// Source-side variant: the source does not move, so target == current and
 /// both alternatives coincide.
 LocalPerformance evaluate_source(const energy::RadioEnergyModel& radio,
-                                 double residual_energy, double residual_bits,
-                                 geom::Vec2 current, geom::Vec2 next,
-                                 bool cap_bits = true);
+                                 util::Joules residual_energy,
+                                 util::Bits residual_bits, geom::Vec2 current,
+                                 geom::Vec2 next, bool cap_bits = true);
 
 /// Hop-receiver estimator (see core/imobif_policy.hpp): the receiver of a
 /// hop evaluates the *sender's* expected performance on that hop, using the
@@ -52,11 +53,11 @@ LocalPerformance evaluate_source(const energy::RadioEnergyModel& radio,
 /// one-step myopia of the per-sender evaluation while still using only
 /// information carried in the packet header or the neighbor table.
 LocalPerformance evaluate_hop(const energy::RadioEnergyModel& radio,
-                              double sender_energy,
-                              double sender_pending_move_cost,
+                              util::Joules sender_energy,
+                              util::Joules sender_pending_move_cost,
                               geom::Vec2 sender_pos, geom::Vec2 sender_target,
                               geom::Vec2 receiver_pos,
                               geom::Vec2 receiver_target,
-                              double residual_bits, bool cap_bits = true);
+                              util::Bits residual_bits, bool cap_bits = true);
 
 }  // namespace imobif::core

@@ -9,6 +9,10 @@
 
 namespace imobif::core {
 
+using util::Bits;
+using util::Joules;
+using util::Meters;
+
 const char* to_string(MobilityMode mode) {
   switch (mode) {
     case MobilityMode::kNoMobility:
@@ -62,7 +66,7 @@ void ImobifPolicy::seed_at_source(net::Node& source, net::DataBody& data,
     strat->init_aggregate(data.agg);
     data.sender_has_plan = true;
     data.sender_target = source.position();
-    data.sender_move_cost = 0.0;
+    data.sender_move_cost = Joules{0.0};
     return;
   }
   const geom::Vec2 next_pos = source.lookup(entry.next).position;
@@ -106,7 +110,7 @@ void ImobifPolicy::on_relay(net::Node& relay, net::DataBody& data,
     data.sender_has_plan = true;
     data.sender_target = target;
     data.sender_move_cost =
-        mobility_.move_energy(geom::distance(relay.position(), target));
+        mobility_.move_energy(Meters{geom::distance(relay.position(), target)});
     return;
   }
 
@@ -126,7 +130,9 @@ geom::Vec2 ImobifPolicy::movement_target(const net::Node& relay,
   double total_weight = 0.0;
   for (const net::FlowEntry* f : relay.flows().all()) {
     if (!f->target.has_value() || !f->mobility_enabled) continue;
-    const double w = std::max(f->residual_bits, 1.0);
+    // Geometry is untyped (Vec2 is raw meters), so the dimensionless blend
+    // weight scalarizes here: bits cancel in w_i / sum(w).
+    const double w = std::max(f->residual_bits.value(), 1.0);
     weighted += *f->target * w;
     total_weight += w;
   }
@@ -138,9 +144,9 @@ void ImobifPolicy::after_forward(net::Node& relay, net::FlowEntry& entry) {
   if (mode_ == MobilityMode::kNoMobility) return;
   if (entry.mobility_enabled && entry.target.has_value()) {
     const geom::Vec2 target = movement_target(relay, entry);
-    const double moved = relay.move_towards(target, mobility_.max_step(),
-                                            mobility_.params().k);
-    if (moved > 0.0) {
+    const Meters moved = relay.move_towards(target, mobility_.max_step(),
+                                            mobility_.cost_per_meter());
+    if (moved > Meters{0.0}) {
       ++movements_applied_;
       total_distance_moved_ += moved;
       entry.moved_distance += moved;
@@ -165,17 +171,19 @@ void ImobifPolicy::maybe_recruit(net::Node& relay, net::FlowEntry& entry) {
   // indefinitely on noise.
   if (entry.recruits_initiated >= 2) return;
   if (entry.packets_relayed % recruit_check_period_ != 1) return;
-  if (entry.next == net::kInvalidNode || entry.residual_bits <= 0.0) return;
+  if (entry.next == net::kInvalidNode || entry.residual_bits <= Bits{0.0}) {
+    return;
+  }
 
   const net::NeighborInfo next = relay.lookup(entry.next);
-  const double d = geom::distance(relay.position(), next.position);
-  const double direct_cost =
+  const Meters d{geom::distance(relay.position(), next.position)};
+  const Joules direct_cost =
       radio_.transmit_energy(d, entry.residual_bits);
   const geom::Vec2 mid = geom::midpoint(relay.position(), next.position);
 
   net::NodeId best = net::kInvalidNode;
   geom::Vec2 best_pos;
-  double best_net = 0.0;
+  Joules best_net{0.0};
   for (const net::NeighborInfo& cand :
        relay.neighbors().snapshot(relay.now())) {
     if (cand.id == relay.id() || cand.id == entry.prev ||
@@ -183,17 +191,17 @@ void ImobifPolicy::maybe_recruit(net::Node& relay, net::FlowEntry& entry) {
         cand.id == entry.destination) {
       continue;
     }
-    const double d1 = geom::distance(relay.position(), cand.position);
-    const double d2 = geom::distance(cand.position, next.position);
+    const Meters d1{geom::distance(relay.position(), cand.position)};
+    const Meters d2{geom::distance(cand.position, next.position)};
     // Benefit over the residual flow at the candidate's *current*
     // position (mobility, if enabled, only improves on this), minus the
     // candidate's expected relocation spend toward the hop midpoint.
-    const double split_cost =
+    const Joules split_cost =
         radio_.transmit_energy(d1, entry.residual_bits) +
         radio_.transmit_energy(d2, entry.residual_bits);
-    const double relocation =
-        mobility_.move_energy(geom::distance(cand.position, mid));
-    const double net_gain =
+    const Joules relocation =
+        mobility_.move_energy(Meters{geom::distance(cand.position, mid)});
+    const Joules net_gain =
         direct_cost - split_cost - recruit_margin_ * relocation;
     if (net_gain <= best_net) continue;
     // The invitee must be able to afford its share of the plan.
@@ -222,7 +230,7 @@ void ImobifPolicy::maybe_recruit(net::Node& relay, net::FlowEntry& entry) {
   pkt.sender = net::SenderStamp{relay.id(), relay.position(),
                                 relay.battery().residual()};
   pkt.link_dest = best;
-  pkt.size_bits = 512.0;
+  pkt.size_bits = Bits{512.0};
   pkt.body = body;
   if (!relay.transmit(std::move(pkt), best, best_pos)) return;
 

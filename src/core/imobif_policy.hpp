@@ -23,6 +23,7 @@
 #include "energy/mobility_model.hpp"
 #include "energy/radio_model.hpp"
 #include "net/mobility_policy.hpp"
+#include "util/units.hpp"
 
 namespace imobif::core {
 
@@ -122,10 +123,10 @@ class ImobifPolicy : public net::MobilityPolicy {
                                               net::FlowEntry& entry) override;
 
   std::uint64_t movements_applied() const { return movements_applied_; }
-  double total_distance_moved() const { return total_distance_moved_; }
+  util::Meters total_distance_moved() const { return total_distance_moved_; }
 
   /// Checkpoint restore: overwrites the run counters (src/snap).
-  void restore_counters(std::uint64_t movements, double distance_moved,
+  void restore_counters(std::uint64_t movements, util::Meters distance_moved,
                         std::uint64_t recruits) {
     movements_applied_ = movements;
     total_distance_moved_ = distance_moved;
@@ -151,7 +152,7 @@ class ImobifPolicy : public net::MobilityPolicy {
   std::unordered_map<net::StrategyId, std::unique_ptr<MobilityStrategy>>
       strategies_;
   std::uint64_t movements_applied_ = 0;
-  double total_distance_moved_ = 0.0;
+  util::Meters total_distance_moved_;
 };
 
 /// Builds a policy with both paper strategies registered; `alpha_prime`

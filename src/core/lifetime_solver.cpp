@@ -6,46 +6,52 @@
 
 namespace imobif::core {
 
-double exact_lifetime_split(const energy::RadioParams& radio, double e_prev,
-                            double e_self, double total_distance,
-                            double tolerance_m) {
+using util::Joules;
+using util::Meters;
+
+Meters exact_lifetime_split(const energy::RadioParams& radio, Joules e_prev,
+                            Joules e_self, Meters total_distance,
+                            Meters tolerance) {
   radio.validate();
-  if (total_distance < 0.0) {
+  if (total_distance < Meters{0.0}) {
     throw std::invalid_argument("exact_lifetime_split: negative distance");
   }
-  if (tolerance_m <= 0.0) {
+  if (tolerance <= Meters{0.0}) {
     throw std::invalid_argument("exact_lifetime_split: bad tolerance");
   }
   // Exact zero: callers pass 0.0 literally for the co-located case.
-  if (total_distance == 0.0) return 0.0;  // lint:allow(float-equality)
+  if (total_distance == Meters{0.0}) return Meters{0.0};
 
-  constexpr double kEnergyFloor = 1e-12;
+  constexpr Joules kEnergyFloor{1e-12};
   const double target =
-      std::max(e_prev, kEnergyFloor) / std::max(e_self, kEnergyFloor);
+      util::max(e_prev, kEnergyFloor) / util::max(e_self, kEnergyFloor);
 
+  // Bisection interior works on raw meters: power() mixes the runtime
+  // exponent alpha, whose dimension Quantity cannot express.
+  const double total = total_distance.value();
   const auto power = [&](double d) {
     return radio.a + radio.b * std::pow(d, radio.alpha);
   };
   // f(d) = P(d)/P(D-d) is continuous and strictly increasing on [0, D]
   // (numerator grows, denominator shrinks), so bisection applies. Clamp to
   // the achievable range first.
-  const double lo_ratio = power(0.0) / power(total_distance);
-  const double hi_ratio = power(total_distance) / power(0.0);
-  if (target <= lo_ratio) return 0.0;
+  const double lo_ratio = power(0.0) / power(total);
+  const double hi_ratio = power(total) / power(0.0);
+  if (target <= lo_ratio) return Meters{0.0};
   if (target >= hi_ratio) return total_distance;
 
   double lo = 0.0;
-  double hi = total_distance;
-  while (hi - lo > tolerance_m) {
+  double hi = total;
+  while (hi - lo > tolerance.value()) {
     const double mid = 0.5 * (lo + hi);
-    const double ratio = power(mid) / power(total_distance - mid);
+    const double ratio = power(mid) / power(total - mid);
     if (ratio < target) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  return 0.5 * (lo + hi);
+  return Meters{0.5 * (lo + hi)};
 }
 
 }  // namespace imobif::core

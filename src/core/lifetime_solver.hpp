@@ -12,6 +12,7 @@
 #pragma once
 
 #include "energy/radio_model.hpp"
+#include "util/units.hpp"
 
 namespace imobif::core {
 
@@ -19,9 +20,10 @@ namespace imobif::core {
 /// P(d_prev)/P(D - d_prev) = e_prev/e_self exactly (clamped to the
 /// achievable ratio range when the energies are too lopsided for any
 /// split to balance). Energies are clamped to a tiny positive floor.
-/// `tolerance_m` bounds the bisection error in meters.
-double exact_lifetime_split(const energy::RadioParams& radio, double e_prev,
-                            double e_self, double total_distance,
-                            double tolerance_m = 1e-6);
+/// `tolerance` bounds the bisection error.
+util::Meters exact_lifetime_split(const energy::RadioParams& radio,
+                                  util::Joules e_prev, util::Joules e_self,
+                                  util::Meters total_distance,
+                                  util::Meters tolerance = util::Meters{1e-6});
 
 }  // namespace imobif::core

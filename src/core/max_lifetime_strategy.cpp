@@ -2,17 +2,20 @@
 
 #include "core/lifetime_solver.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
 namespace imobif::core {
 
+using util::Bits;
+using util::Joules;
+using util::Meters;
+
 namespace {
 // Energies at or below zero would make the ratio degenerate; clamp to a tiny
 // positive floor so a nearly dead node simply claims (almost) no hop length.
-constexpr double kEnergyFloor = 1e-12;
+constexpr Joules kEnergyFloor{1e-12};
 }  // namespace
 
 MaxLifetimeStrategy::MaxLifetimeStrategy(double alpha_prime)
@@ -28,10 +31,10 @@ MaxLifetimeStrategy::MaxLifetimeStrategy(const energy::RadioParams& radio)
   radio.validate();
 }
 
-double MaxLifetimeStrategy::split_fraction(double prev_energy,
-                                           double self_energy) const {
-  const double ep = std::max(prev_energy, kEnergyFloor);
-  const double es = std::max(self_energy, kEnergyFloor);
+double MaxLifetimeStrategy::split_fraction(Joules prev_energy,
+                                           Joules self_energy) const {
+  const Joules ep = util::max(prev_energy, kEnergyFloor);
+  const Joules es = util::max(self_energy, kEnergyFloor);
   const double rho = std::pow(ep / es, 1.0 / alpha_prime_);
   if (!std::isfinite(rho)) return 1.0;  // prev >>> self: hand it the hop
   return rho / (1.0 + rho);
@@ -39,11 +42,10 @@ double MaxLifetimeStrategy::split_fraction(double prev_energy,
 
 geom::Vec2 MaxLifetimeStrategy::next_position(const RelayContext& ctx) const {
   if (exact_radio_.has_value()) {
-    const double total =
-        geom::distance(ctx.prev_position, ctx.next_position);
-    const double d_prev = exact_lifetime_split(
+    const Meters total{geom::distance(ctx.prev_position, ctx.next_position)};
+    const Meters d_prev = exact_lifetime_split(
         *exact_radio_, ctx.prev_energy, ctx.self_energy, total);
-    const double frac = total > 0.0 ? d_prev / total : 0.0;
+    const double frac = total > Meters{0.0} ? d_prev / total : 0.0;
     return geom::lerp(ctx.prev_position, ctx.next_position, frac);
   }
   // Figure 4: x' = prev + (next - prev) * rho / (1 + rho). The higher the
@@ -56,18 +58,18 @@ geom::Vec2 MaxLifetimeStrategy::next_position(const RelayContext& ctx) const {
 void MaxLifetimeStrategy::aggregate(net::MobilityAggregate& agg,
                                     const LocalPerformance& local) const {
   // Figure 4: both metrics fold with min (bottleneck node decides lifetime).
-  agg.bits_mob = std::min(agg.bits_mob, local.bits_mob);
-  agg.resi_mob = std::min(agg.resi_mob, local.resi_mob);
-  agg.bits_nomob = std::min(agg.bits_nomob, local.bits_nomob);
-  agg.resi_nomob = std::min(agg.resi_nomob, local.resi_nomob);
+  agg.bits_mob = util::min(agg.bits_mob, local.bits_mob);
+  agg.resi_mob = util::min(agg.resi_mob, local.resi_mob);
+  agg.bits_nomob = util::min(agg.bits_nomob, local.bits_nomob);
+  agg.resi_nomob = util::min(agg.resi_nomob, local.resi_nomob);
 }
 
 void MaxLifetimeStrategy::init_aggregate(net::MobilityAggregate& agg) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  agg.bits_mob = kInf;
-  agg.bits_nomob = kInf;
-  agg.resi_mob = kInf;  // identity of min
-  agg.resi_nomob = kInf;
+  agg.bits_mob = Bits{kInf};
+  agg.bits_nomob = Bits{kInf};
+  agg.resi_mob = Joules{kInf};  // identity of min
+  agg.resi_nomob = Joules{kInf};
 }
 
 }  // namespace imobif::core

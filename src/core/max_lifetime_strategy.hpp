@@ -53,7 +53,8 @@ class MaxLifetimeStrategy : public MobilityStrategy {
 
   /// The hop-split fraction rho/(1+rho) for energies (e_prev, e_self);
   /// exposed for tests of the Theorem-1 approximation.
-  double split_fraction(double prev_energy, double self_energy) const;
+  double split_fraction(util::Joules prev_energy,
+                        util::Joules self_energy) const;
 
  private:
   double alpha_prime_;

@@ -1,9 +1,11 @@
 #include "core/min_energy_strategy.hpp"
 
-#include <algorithm>
 #include <limits>
 
 namespace imobif::core {
+
+using util::Bits;
+using util::Joules;
 
 geom::Vec2 MinEnergyStrategy::next_position(const RelayContext& ctx) const {
   // Figure 3: return (f.prev.x + f.next.x) / 2.
@@ -13,18 +15,18 @@ geom::Vec2 MinEnergyStrategy::next_position(const RelayContext& ctx) const {
 void MinEnergyStrategy::aggregate(net::MobilityAggregate& agg,
                                   const LocalPerformance& local) const {
   // Figure 3: bits fold with min, resi folds with sum.
-  agg.bits_mob = std::min(agg.bits_mob, local.bits_mob);
+  agg.bits_mob = util::min(agg.bits_mob, local.bits_mob);
   agg.resi_mob = agg.resi_mob + local.resi_mob;
-  agg.bits_nomob = std::min(agg.bits_nomob, local.bits_nomob);
+  agg.bits_nomob = util::min(agg.bits_nomob, local.bits_nomob);
   agg.resi_nomob = agg.resi_nomob + local.resi_nomob;
 }
 
 void MinEnergyStrategy::init_aggregate(net::MobilityAggregate& agg) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  agg.bits_mob = kInf;
-  agg.bits_nomob = kInf;
-  agg.resi_mob = 0.0;    // identity of sum
-  agg.resi_nomob = 0.0;
+  agg.bits_mob = Bits{kInf};
+  agg.bits_nomob = Bits{kInf};
+  agg.resi_mob = Joules{0.0};  // identity of sum
+  agg.resi_nomob = Joules{0.0};
 }
 
 }  // namespace imobif::core

@@ -14,6 +14,7 @@
 
 #include "geom/vec2.hpp"
 #include "net/packet.hpp"
+#include "util/units.hpp"
 
 namespace imobif::core {
 
@@ -22,18 +23,18 @@ namespace imobif::core {
 /// this node, and the position of the next node.
 struct RelayContext {
   geom::Vec2 prev_position;
-  double prev_energy = 0.0;
+  util::Joules prev_energy;
   geom::Vec2 self_position;
-  double self_energy = 0.0;
+  util::Joules self_energy;
   geom::Vec2 next_position;
 };
 
 /// The relay's local cost/benefit evaluation (Figure 1 lines 15-19).
 struct LocalPerformance {
-  double bits_mob = 0.0;
-  double resi_mob = 0.0;
-  double bits_nomob = 0.0;
-  double resi_nomob = 0.0;
+  util::Bits bits_mob;
+  util::Joules resi_mob;
+  util::Bits bits_nomob;
+  util::Joules resi_nomob;
 };
 
 class MobilityStrategy {

@@ -1,27 +1,30 @@
 #include "energy/battery.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 #include "util/check.hpp"
 
 namespace imobif::energy {
 
-Battery::Battery(double initial_j) : initial_(initial_j), residual_(initial_j) {
-  IMOBIF_ENSURE(std::isfinite(initial_j), "battery charge must be finite");
-  if (initial_j < 0.0) {
+using util::Joules;
+
+Battery::Battery(Joules initial) : initial_(initial), residual_(initial) {
+  IMOBIF_ENSURE(util::isfinite(initial), "battery charge must be finite");
+  if (initial < Joules{0.0}) {
     throw std::invalid_argument("Battery: negative initial energy");
   }
 }
 
-double Battery::draw(double amount_j, DrawKind kind) {
-  IMOBIF_ENSURE(std::isfinite(amount_j), "battery draw must be finite");
-  if (amount_j < 0.0) throw std::invalid_argument("Battery: negative draw");
-  const bool was_alive = residual_ > 0.0;
-  const double drawn = std::min(amount_j, residual_);
+Joules Battery::draw(Joules amount, DrawKind kind) {
+  IMOBIF_ENSURE(util::isfinite(amount), "battery draw must be finite");
+  if (amount < Joules{0.0}) {
+    throw std::invalid_argument("Battery: negative draw");
+  }
+  const bool was_alive = residual_ > Joules{0.0};
+  const Joules drawn = util::min(amount, residual_);
   residual_ -= drawn;
-  IMOBIF_ASSERT(residual_ >= 0.0, "battery residual can never go negative");
+  IMOBIF_ASSERT(residual_ >= Joules{0.0},
+                "battery residual can never go negative");
   switch (kind) {
     case DrawKind::kTransmit:
       consumed_tx_ += drawn;
@@ -33,33 +36,32 @@ double Battery::draw(double amount_j, DrawKind kind) {
       consumed_other_ += drawn;
       break;
   }
-  if (was_alive && residual_ <= 0.0 && on_depleted_) on_depleted_();
+  if (was_alive && residual_ <= Joules{0.0} && on_depleted_) on_depleted_();
   return drawn;
 }
 
-void Battery::restore(double initial_j, double residual_j,
-                      double consumed_tx_j, double consumed_move_j,
-                      double consumed_other_j) {
-  IMOBIF_ENSURE(std::isfinite(initial_j) && std::isfinite(residual_j),
+void Battery::restore(Joules initial, Joules residual, Joules consumed_tx,
+                      Joules consumed_move, Joules consumed_other) {
+  IMOBIF_ENSURE(util::isfinite(initial) && util::isfinite(residual),
                 "battery restore values must be finite");
-  if (initial_j < 0.0 || residual_j < 0.0 || residual_j > initial_j) {
+  if (initial < Joules{0.0} || residual < Joules{0.0} || residual > initial) {
     throw std::invalid_argument("Battery: inconsistent restore state");
   }
-  initial_ = initial_j;
-  residual_ = residual_j;
-  consumed_tx_ = consumed_tx_j;
-  consumed_move_ = consumed_move_j;
-  consumed_other_ = consumed_other_j;
+  initial_ = initial;
+  residual_ = residual;
+  consumed_tx_ = consumed_tx;
+  consumed_move_ = consumed_move;
+  consumed_other_ = consumed_other;
 }
 
-void Battery::recharge(double initial_j) {
-  IMOBIF_ENSURE(std::isfinite(initial_j), "battery charge must be finite");
-  if (initial_j < 0.0) {
+void Battery::recharge(Joules initial) {
+  IMOBIF_ENSURE(util::isfinite(initial), "battery charge must be finite");
+  if (initial < Joules{0.0}) {
     throw std::invalid_argument("Battery: negative recharge");
   }
-  initial_ = initial_j;
-  residual_ = initial_j;
-  consumed_tx_ = consumed_move_ = consumed_other_ = 0.0;
+  initial_ = initial;
+  residual_ = initial;
+  consumed_tx_ = consumed_move_ = consumed_other_ = Joules{0.0};
 }
 
 }  // namespace imobif::energy

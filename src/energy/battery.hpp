@@ -4,9 +4,14 @@
 // can report the Fig-6(b) decomposition directly. A node dies when its
 // residual reaches zero; draws are clamped at zero and the shortfall
 // reported, matching the "node can measure its residual energy" assumption.
+//
+// All quantities are strongly typed util::Joules; raw doubles enter only at
+// the I/O boundary (snapshot codec, scenario parsing).
 #pragma once
 
 #include <functional>
+
+#include "util/units.hpp"
 
 namespace imobif::energy {
 
@@ -14,23 +19,23 @@ enum class DrawKind { kTransmit, kMove, kOther };
 
 class Battery {
  public:
-  explicit Battery(double initial_j);
+  explicit Battery(util::Joules initial);
 
-  double residual() const { return residual_; }
-  double initial() const { return initial_; }
-  bool depleted() const { return residual_ <= 0.0; }
+  util::Joules residual() const { return residual_; }
+  util::Joules initial() const { return initial_; }
+  bool depleted() const { return residual_ <= util::Joules{0.0}; }
 
-  /// Draws up to `amount_j`; returns the energy actually drawn (less than
+  /// Draws up to `amount`; returns the energy actually drawn (less than
   /// requested only when the battery empties).
-  double draw(double amount_j, DrawKind kind);
+  util::Joules draw(util::Joules amount, DrawKind kind);
 
-  /// True when the battery currently holds at least `amount_j`.
-  bool can_afford(double amount_j) const { return residual_ >= amount_j; }
+  /// True when the battery currently holds at least `amount`.
+  bool can_afford(util::Joules amount) const { return residual_ >= amount; }
 
-  double consumed_total() const { return initial_ - residual_; }
-  double consumed_transmit() const { return consumed_tx_; }
-  double consumed_move() const { return consumed_move_; }
-  double consumed_other() const { return consumed_other_; }
+  util::Joules consumed_total() const { return initial_ - residual_; }
+  util::Joules consumed_transmit() const { return consumed_tx_; }
+  util::Joules consumed_move() const { return consumed_move_; }
+  util::Joules consumed_other() const { return consumed_other_; }
 
   /// Invoked exactly once, at the transition to depleted.
   void set_depletion_callback(std::function<void()> cb) {
@@ -38,20 +43,21 @@ class Battery {
   }
 
   /// Experiment support: reset to a new initial charge (keeps callback).
-  void recharge(double initial_j);
+  void recharge(util::Joules initial);
 
   /// Checkpoint restore: overwrite the full accounting state (keeps the
   /// callback, never re-fires it — a battery restored as depleted already
   /// announced its death before the snapshot was taken).
-  void restore(double initial_j, double residual_j, double consumed_tx_j,
-               double consumed_move_j, double consumed_other_j);
+  void restore(util::Joules initial, util::Joules residual,
+               util::Joules consumed_tx, util::Joules consumed_move,
+               util::Joules consumed_other);
 
  private:
-  double initial_;
-  double residual_;
-  double consumed_tx_ = 0.0;
-  double consumed_move_ = 0.0;
-  double consumed_other_ = 0.0;
+  util::Joules initial_;
+  util::Joules residual_;
+  util::Joules consumed_tx_;
+  util::Joules consumed_move_;
+  util::Joules consumed_other_;
   std::function<void()> on_depleted_;
 };
 

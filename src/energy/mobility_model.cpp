@@ -1,12 +1,14 @@
 #include "energy/mobility_model.hpp"
 
-#include <cmath>
 #include <limits>
 #include <stdexcept>
 
 #include "util/check.hpp"
 
 namespace imobif::energy {
+
+using util::Joules;
+using util::Meters;
 
 void MobilityParams::validate() const {
   if (k < 0.0) throw std::invalid_argument("MobilityParams: k must be >= 0");
@@ -20,23 +22,24 @@ MobilityEnergyModel::MobilityEnergyModel(MobilityParams params)
   params_.validate();
 }
 
-double MobilityEnergyModel::move_energy(double distance_m) const {
-  IMOBIF_ENSURE(std::isfinite(distance_m), "move distance must be finite");
-  if (distance_m < 0.0) {
+Joules MobilityEnergyModel::move_energy(Meters distance) const {
+  IMOBIF_ENSURE(util::isfinite(distance), "move distance must be finite");
+  if (distance < Meters{0.0}) {
     throw std::invalid_argument("move_energy: negative distance");
   }
-  const double energy = params_.k * distance_m;
-  IMOBIF_ASSERT(std::isfinite(energy), "move energy overflowed to non-finite");
+  const Joules energy{params_.k * distance.value()};
+  IMOBIF_ASSERT(util::isfinite(energy), "move energy overflowed to non-finite");
   return energy;
 }
 
-double MobilityEnergyModel::range_for_energy(double energy_j) const {
+Meters MobilityEnergyModel::range_for_energy(Joules energy) const {
   // Exact sentinel: k is a configured constant, not a computed quantity.
-  if (energy_j <= 0.0 || params_.k == 0.0) {  // lint:allow(float-equality)
-    return energy_j <= 0.0 ? 0.0
-                           : std::numeric_limits<double>::infinity();
+  if (energy <= Joules{0.0} || params_.k == 0.0) {  // lint:allow(float-equality)
+    return energy <= Joules{0.0}
+               ? Meters{0.0}
+               : Meters{std::numeric_limits<double>::infinity()};
   }
-  return energy_j / params_.k;
+  return Meters{energy.value() / params_.k};
 }
 
 }  // namespace imobif::energy

@@ -3,7 +3,12 @@
 // k [J/m] captures terrain and node mass; the evaluation sweeps
 // k in {0.1, 0.5, 1.0}. The model also enforces the per-step distance cap
 // ("the maximum distance traveled is set to ... in each step").
+//
+// MobilityParams stays raw double (it is filled by the config/scenario text
+// parsers); the model's methods are the typed boundary.
 #pragma once
+
+#include "util/units.hpp"
 
 namespace imobif::energy {
 
@@ -20,13 +25,18 @@ class MobilityEnergyModel {
 
   const MobilityParams& params() const { return params_; }
 
-  /// E_M(d): energy to move `distance_m` meters.
-  double move_energy(double distance_m) const;
+  /// E_M(d): energy to move `distance` meters.
+  util::Joules move_energy(util::Meters distance) const;
 
-  /// Distance movable with `energy_j` joules.
-  double range_for_energy(double energy_j) const;
+  /// Distance movable with `energy` joules.
+  util::Meters range_for_energy(util::Joules energy) const;
 
-  double max_step() const { return params_.max_step_m; }
+  /// The per-meter movement cost k as a typed quantity.
+  util::JoulesPerMeter cost_per_meter() const {
+    return util::JoulesPerMeter{params_.k};
+  }
+
+  util::Meters max_step() const { return util::Meters{params_.max_step_m}; }
 
  private:
   MobilityParams params_;

@@ -6,47 +6,50 @@
 
 namespace imobif::energy {
 
-PowerDistanceTable::PowerDistanceTable(double bin_width_m,
-                                       double max_distance_m)
-    : bin_width_(bin_width_m), max_distance_(max_distance_m) {
-  if (bin_width_m <= 0.0 || max_distance_m <= bin_width_m) {
+using util::JoulesPerBit;
+using util::Meters;
+
+PowerDistanceTable::PowerDistanceTable(Meters bin_width, Meters max_distance)
+    : bin_width_(bin_width), max_distance_(max_distance) {
+  if (bin_width <= Meters{0.0} || max_distance <= bin_width) {
     throw std::invalid_argument("PowerDistanceTable: bad bin configuration");
   }
-  bins_.resize(static_cast<std::size_t>(
-                   std::ceil(max_distance_m / bin_width_m)),
+  bins_.resize(static_cast<std::size_t>(std::ceil(max_distance / bin_width)),
                std::nullopt);
 }
 
-std::size_t PowerDistanceTable::bin_of(double distance_m) const {
-  const auto bin = static_cast<std::size_t>(distance_m / bin_width_);
+std::size_t PowerDistanceTable::bin_of(Meters distance) const {
+  const auto bin = static_cast<std::size_t>(distance / bin_width_);
   return std::min(bin, bins_.size() - 1);
 }
 
-void PowerDistanceTable::observe(double distance_m, double power_per_bit) {
-  if (distance_m < 0.0 || power_per_bit < 0.0) {
+void PowerDistanceTable::observe(Meters distance, JoulesPerBit power) {
+  if (distance < Meters{0.0} || power < JoulesPerBit{0.0}) {
     throw std::invalid_argument("PowerDistanceTable: negative observation");
   }
-  auto& cell = bins_[bin_of(distance_m)];
-  if (!cell || power_per_bit < *cell) cell = power_per_bit;
+  auto& cell = bins_[bin_of(distance)];
+  if (!cell || power < *cell) cell = power;
 }
 
 void PowerDistanceTable::seed_from_model(const RadioEnergyModel& model) {
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     // Use the far edge of the bin so the seeded value is always sufficient
     // for any distance that maps into the bin.
-    const double far_edge = bin_width_ * static_cast<double>(i + 1);
-    const double p = model.power_per_bit(std::min(far_edge, max_distance_));
+    const Meters far_edge = bin_width_ * static_cast<double>(i + 1);
+    const JoulesPerBit p =
+        model.power_per_bit(util::min(far_edge, max_distance_));
     if (!bins_[i] || p < *bins_[i]) bins_[i] = p;
   }
 }
 
-std::optional<double> PowerDistanceTable::min_power(double distance_m) const {
-  if (distance_m < 0.0) return std::nullopt;
-  if (distance_m > max_distance_) return std::nullopt;
+std::optional<JoulesPerBit> PowerDistanceTable::min_power(
+    Meters distance) const {
+  if (distance < Meters{0.0}) return std::nullopt;
+  if (distance > max_distance_) return std::nullopt;
   // The first populated bin at or beyond the query distance gives a power
   // known to cover it (bins record successes at distances >= their floor;
   // a success in a farther bin is conservative for a nearer query).
-  for (std::size_t i = bin_of(distance_m); i < bins_.size(); ++i) {
+  for (std::size_t i = bin_of(distance); i < bins_.size(); ++i) {
     if (bins_[i]) return bins_[i];
   }
   return std::nullopt;

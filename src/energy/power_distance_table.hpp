@@ -12,36 +12,37 @@
 #include <vector>
 
 #include "energy/radio_model.hpp"
+#include "util/units.hpp"
 
 namespace imobif::energy {
 
 class PowerDistanceTable {
  public:
-  /// `bin_width_m` controls quantization; `max_distance_m` the table extent.
-  PowerDistanceTable(double bin_width_m, double max_distance_m);
+  /// `bin_width` controls quantization; `max_distance` the table extent.
+  PowerDistanceTable(util::Meters bin_width, util::Meters max_distance);
 
-  /// Records that transmitting at `power_per_bit` succeeded across
-  /// `distance_m`. Keeps the minimum successful power per bin.
-  void observe(double distance_m, double power_per_bit);
+  /// Records that transmitting at `power` succeeded across `distance`.
+  /// Keeps the minimum successful power per bin.
+  void observe(util::Meters distance, util::JoulesPerBit power);
 
   /// Seeds every bin from the analytic model (hardware-support path).
   void seed_from_model(const RadioEnergyModel& model);
 
-  /// Minimum known per-bit power to reach `distance_m`, if the table has
+  /// Minimum known per-bit power to reach `distance`, if the table has
   /// any information at or beyond that distance.
-  std::optional<double> min_power(double distance_m) const;
+  std::optional<util::JoulesPerBit> min_power(util::Meters distance) const;
 
   /// Number of bins holding observations.
   std::size_t populated_bins() const;
   std::size_t bin_count() const { return bins_.size(); }
-  double bin_width() const { return bin_width_; }
+  util::Meters bin_width() const { return bin_width_; }
 
  private:
-  std::size_t bin_of(double distance_m) const;
+  std::size_t bin_of(util::Meters distance) const;
 
-  double bin_width_;
-  double max_distance_;
-  std::vector<std::optional<double>> bins_;
+  util::Meters bin_width_;
+  util::Meters max_distance_;
+  std::vector<std::optional<util::JoulesPerBit>> bins_;
 };
 
 }  // namespace imobif::energy

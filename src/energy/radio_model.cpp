@@ -7,6 +7,11 @@
 
 namespace imobif::energy {
 
+using util::Bits;
+using util::Joules;
+using util::JoulesPerBit;
+using util::Meters;
+
 void RadioParams::validate() const {
   if (a < 0.0) throw std::invalid_argument("RadioParams: a must be >= 0");
   if (b <= 0.0) throw std::invalid_argument("RadioParams: b must be > 0");
@@ -22,48 +27,48 @@ RadioEnergyModel::RadioEnergyModel(RadioParams params) : params_(params) {
   params_.validate();
 }
 
-double RadioEnergyModel::power_per_bit(double distance_m) const {
-  IMOBIF_ENSURE(std::isfinite(distance_m), "radio distance must be finite");
-  if (distance_m < 0.0) {
+JoulesPerBit RadioEnergyModel::power_per_bit(Meters distance) const {
+  IMOBIF_ENSURE(util::isfinite(distance), "radio distance must be finite");
+  if (distance < Meters{0.0}) {
     throw std::invalid_argument("power_per_bit: negative distance");
   }
-  const double cost = params_.a + params_.b * std::pow(distance_m, params_.alpha);
-  IMOBIF_ASSERT(std::isfinite(cost),
+  // Raw-double interior: b's unit depends on the runtime alpha (see header).
+  const JoulesPerBit cost{params_.a +
+                          params_.b * std::pow(distance.value(), params_.alpha)};
+  IMOBIF_ASSERT(util::isfinite(cost),
                 "per-bit transmission cost overflowed to non-finite");
   return cost;
 }
 
-double RadioEnergyModel::transmit_energy(double distance_m,
-                                         double bits) const {
-  if (bits < 0.0) {
+Joules RadioEnergyModel::transmit_energy(Meters distance, Bits bits) const {
+  if (bits < Bits{0.0}) {
     throw std::invalid_argument("transmit_energy: negative bits");
   }
-  const double energy = bits * power_per_bit(distance_m);
-  IMOBIF_ASSERT(std::isfinite(energy),
+  const Joules energy = bits * power_per_bit(distance);
+  IMOBIF_ASSERT(util::isfinite(energy),
                 "transmit energy overflowed to non-finite");
   return energy;
 }
 
-double RadioEnergyModel::sustainable_bits(double distance_m,
-                                          double energy_j) const {
-  if (energy_j <= 0.0) return 0.0;
-  return energy_j / power_per_bit(distance_m);
+Bits RadioEnergyModel::sustainable_bits(Meters distance, Joules energy) const {
+  if (energy <= Joules{0.0}) return Bits{0.0};
+  return energy / power_per_bit(distance);
 }
 
-double RadioEnergyModel::receive_energy(double bits) const {
-  if (bits < 0.0) {
+Joules RadioEnergyModel::receive_energy(Bits bits) const {
+  if (bits < Bits{0.0}) {
     throw std::invalid_argument("receive_energy: negative bits");
   }
-  const double energy = bits * params_.rx_per_bit;
-  IMOBIF_ASSERT(std::isfinite(energy),
+  const Joules energy = bits * JoulesPerBit{params_.rx_per_bit};
+  IMOBIF_ASSERT(util::isfinite(energy),
                 "receive energy overflowed to non-finite");
   return energy;
 }
 
-double RadioEnergyModel::range_for_power(double power_per_bit_j) const {
-  if (power_per_bit_j <= params_.a) return 0.0;
-  return std::pow((power_per_bit_j - params_.a) / params_.b,
-                  1.0 / params_.alpha);
+Meters RadioEnergyModel::range_for_power(JoulesPerBit power) const {
+  if (power.value() <= params_.a) return Meters{0.0};
+  return Meters{std::pow((power.value() - params_.a) / params_.b,
+                         1.0 / params_.alpha)};
 }
 
 }  // namespace imobif::energy

@@ -5,9 +5,17 @@
 //
 // `a` is the distance-independent electronics cost per bit, `b` the amplifier
 // coefficient, and alpha the path-loss exponent (2 or 3 in the evaluation).
+//
+// RadioParams stays raw double on purpose: b's unit, J * m^-alpha / bit,
+// depends on the *runtime* exponent alpha and therefore cannot be expressed
+// as a static util::Quantity dimension. The model's methods are the typed
+// boundary — they accept and return strong units and keep the alpha-dependent
+// algebra internal.
 #pragma once
 
 #include <cstdint>
+
+#include "util/units.hpp"
 
 namespace imobif::energy {
 
@@ -33,21 +41,22 @@ class RadioEnergyModel {
   const RadioParams& params() const { return params_; }
 
   /// Minimum per-bit transmission power to reach distance d: P(d) [J/bit].
-  double power_per_bit(double distance_m) const;
+  util::JoulesPerBit power_per_bit(util::Meters distance) const;
 
-  /// Energy to transmit `bits` across `distance_m`: E_T(d, l) [J].
-  double transmit_energy(double distance_m, double bits) const;
+  /// Energy to transmit `bits` across `distance`: E_T(d, l) [J].
+  util::Joules transmit_energy(util::Meters distance, util::Bits bits) const;
 
-  /// Number of bits transmittable across `distance_m` with `energy_j` joules
+  /// Number of bits transmittable across `distance` with `energy` joules
   /// — the paper's "sustainable data bits" for a fixed next-hop distance.
-  double sustainable_bits(double distance_m, double energy_j) const;
+  util::Bits sustainable_bits(util::Meters distance,
+                              util::Joules energy) const;
 
   /// Largest distance reachable with per-bit power `power` (inverse of P).
-  double range_for_power(double power_per_bit_j) const;
+  util::Meters range_for_power(util::JoulesPerBit power) const;
 
   /// Energy drawn by a receiver for `bits` received bits (0 in the paper's
   /// sender-pays model).
-  double receive_energy(double bits) const;
+  util::Joules receive_energy(util::Bits bits) const;
 
  private:
   RadioParams params_;

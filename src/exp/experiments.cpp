@@ -12,19 +12,22 @@ double safe_ratio(double numerator, double denominator) {
 }  // namespace
 
 double ComparisonPoint::energy_ratio_cost_unaware() const {
-  return safe_ratio(cost_unaware.total_energy_j, baseline.total_energy_j);
+  return safe_ratio(cost_unaware.total_energy_j.value(),
+                    baseline.total_energy_j.value());
 }
 
 double ComparisonPoint::energy_ratio_informed() const {
-  return safe_ratio(informed.total_energy_j, baseline.total_energy_j);
+  return safe_ratio(informed.total_energy_j.value(),
+                    baseline.total_energy_j.value());
 }
 
 double ComparisonPoint::lifetime_ratio_cost_unaware() const {
-  return safe_ratio(cost_unaware.lifetime_s, baseline.lifetime_s);
+  return safe_ratio(cost_unaware.lifetime_s.value(),
+                    baseline.lifetime_s.value());
 }
 
 double ComparisonPoint::lifetime_ratio_informed() const {
-  return safe_ratio(informed.lifetime_s, baseline.lifetime_s);
+  return safe_ratio(informed.lifetime_s.value(), baseline.lifetime_s.value());
 }
 
 std::vector<ComparisonPoint> run_comparison(const ScenarioParams& params,

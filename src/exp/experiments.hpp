@@ -13,7 +13,7 @@ namespace imobif::exp {
 
 /// One flow instance's outcome under all three approaches.
 struct ComparisonPoint {
-  double flow_bits = 0.0;
+  util::Bits flow_bits{0.0};
   std::size_t hops = 0;
 
   RunResult baseline;      // no mobility
@@ -41,8 +41,8 @@ struct PlacementSnapshot {
   std::vector<net::NodeId> path;
   std::vector<geom::Vec2> initial_positions;  ///< path nodes, in order
   std::vector<geom::Vec2> final_positions;    ///< path nodes, in order
-  std::vector<double> initial_energies;
-  std::vector<double> final_energies;
+  std::vector<util::Joules> initial_energies;
+  std::vector<util::Joules> final_energies;
   RunResult run;
 };
 

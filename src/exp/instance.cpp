@@ -49,8 +49,8 @@ FlowInstance sample_instance(const ScenarioParams& params, util::Rng& rng) {
     FlowInstance inst;
     inst.positions.reserve(params.node_count);
     for (std::size_t i = 0; i < params.node_count; ++i) {
-      inst.positions.emplace_back(rng.uniform(0.0, params.area_m),
-                                  rng.uniform(0.0, params.area_m));
+      inst.positions.emplace_back(rng.uniform(0.0, params.area_m.value()),
+                                  rng.uniform(0.0, params.area_m.value()));
     }
     for (int pair = 0; pair < kPairAttempts; ++pair) {
       const auto src = static_cast<net::NodeId>(
@@ -59,20 +59,22 @@ FlowInstance sample_instance(const ScenarioParams& params, util::Rng& rng) {
           rng.uniform_int(0, params.node_count - 1));
       if (src == dst) continue;
       auto path =
-          greedy_path(inst.positions, params.comm_range_m, src, dst);
+          greedy_path(inst.positions, params.comm_range_m.value(), src, dst);
       if (path.empty() || path.size() < params.min_hops + 1) continue;
 
       inst.source = src;
       inst.destination = dst;
       inst.initial_path = std::move(path);
       // At least one packet worth of data.
-      inst.flow_bits = std::max(params.packet_bits,
-                                rng.exponential(params.mean_flow_bits));
+      inst.flow_bits = util::max(
+          params.packet_bits,
+          util::Bits{rng.exponential(params.mean_flow_bits.value())});
       inst.energies.reserve(params.node_count);
       for (std::size_t i = 0; i < params.node_count; ++i) {
         inst.energies.push_back(
             params.random_energy
-                ? rng.uniform(params.energy_lo_j, params.energy_hi_j)
+                ? util::Joules{rng.uniform(params.energy_lo_j.value(),
+                                           params.energy_hi_j.value())}
                 : params.initial_energy_j);
       }
       return inst;

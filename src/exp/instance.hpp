@@ -9,15 +9,16 @@
 #include "geom/vec2.hpp"
 #include "net/ids.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace imobif::exp {
 
 struct FlowInstance {
   std::vector<geom::Vec2> positions;
-  std::vector<double> energies;
+  std::vector<util::Joules> energies;
   net::NodeId source = net::kInvalidNode;
   net::NodeId destination = net::kInvalidNode;
-  double flow_bits = 0.0;
+  util::Bits flow_bits{0.0};
   /// Greedy path over the initial placement (oracle), source..destination.
   std::vector<net::NodeId> initial_path;
 };

@@ -26,16 +26,16 @@ InstanceRun::InstanceRun(const FlowInstance& instance,
 
 void InstanceRun::build_network() {
   net::NetworkConfig config;
-  config.medium.comm_range_m = params_.comm_range_m;
+  config.medium.comm_range_m = params_.comm_range_m.value();
   config.node.hello_interval =
-      sim::Time::from_seconds(params_.hello_interval_s);
+      sim::Time::from_seconds(params_.hello_interval_s.value());
   config.node.neighbor_timeout =
-      sim::Time::from_seconds(4.5 * params_.hello_interval_s);
+      sim::Time::from_seconds(4.5 * params_.hello_interval_s.value());
   config.node.charge_hello_energy = params_.charge_hello_energy;
   config.node.position_error_m = params_.position_error_m;
   config.node.notify_retry_cap = params_.notify_retry_cap;
   config.node.notify_retry_timeout =
-      sim::Time::from_seconds(params_.notify_retry_timeout_s);
+      sim::Time::from_seconds(params_.notify_retry_timeout_s.value());
   config.radio = params_.radio;
 
   network_ = std::make_unique<net::Network>(config);
@@ -71,10 +71,10 @@ void InstanceRun::build_network() {
 }
 
 void InstanceRun::compute_horizon() {
-  const double ideal_duration_s = instance_.flow_bits / params_.rate_bps;
-  const double horizon_s =
-      ideal_duration_s * options_.horizon_factor + options_.horizon_slack_s;
-  horizon_ = flow_start_ + sim::Time::from_seconds(horizon_s);
+  const util::Seconds ideal_duration = instance_.flow_bits / params_.rate_bps;
+  const util::Seconds horizon_s =
+      ideal_duration * options_.horizon_factor + options_.horizon_slack_s;
+  horizon_ = flow_start_ + sim::Time::from_seconds(horizon_s.value());
 }
 
 std::unique_ptr<InstanceRun> InstanceRun::create(const FlowInstance& instance,
@@ -125,7 +125,7 @@ std::unique_ptr<InstanceRun> InstanceRun::create_shell(
   return run;
 }
 
-void InstanceRun::restore_run_state(double warmup_consumed,
+void InstanceRun::restore_run_state(util::Joules warmup_consumed,
                                     sim::Time flow_start, bool in_chunk,
                                     sim::Time chunk_end, bool done) {
   warmup_consumed_ = warmup_consumed;
@@ -188,10 +188,10 @@ RunResult InstanceRun::result() {
   result.mode = mode_;
   result.completed = prog.completed;
   result.delivered_bits = prog.delivered_bits;
-  result.completion_s =
+  result.completion_s = util::Seconds{
       prog.completion_time.has_value()
           ? (*prog.completion_time - flow_start_).seconds()
-          : (network.simulator().now() - flow_start_).seconds();
+          : (network.simulator().now() - flow_start_).seconds()};
 
   result.transmit_energy_j = network.total_transmit_energy();
   result.movement_energy_j = network.total_movement_energy();
@@ -206,10 +206,10 @@ RunResult InstanceRun::result() {
   result.moved_distance_m = policy_->total_distance_moved();
 
   result.any_death = network.first_death_time().has_value();
-  result.lifetime_s =
+  result.lifetime_s = util::Seconds{
       result.any_death
           ? (*network.first_death_time() - flow_start_).seconds()
-          : (network.simulator().now() - flow_start_).seconds();
+          : (network.simulator().now() - flow_start_).seconds()};
 
   result.path = trace_flow_path(network, kMainFlowId);
   result.final_positions = network.positions();

@@ -81,7 +81,7 @@ class InstanceRun {
   const ScenarioParams& params() const { return params_; }
   core::MobilityMode mode() const { return mode_; }
   const RunOptions& options() const { return options_; }
-  double warmup_consumed_j() const { return warmup_consumed_; }
+  util::Joules warmup_consumed_j() const { return warmup_consumed_; }
   sim::Time flow_start() const { return flow_start_; }
   sim::Time horizon() const { return horizon_; }
   bool in_chunk() const { return in_chunk_; }
@@ -105,7 +105,7 @@ class InstanceRun {
 
   /// Checkpoint restore: overwrites the loop bookkeeping that is not
   /// derivable from the network (src/snap only).
-  void restore_run_state(double warmup_consumed, sim::Time flow_start,
+  void restore_run_state(util::Joules warmup_consumed, sim::Time flow_start,
                          bool in_chunk, sim::Time chunk_end, bool done);
 
  private:
@@ -126,7 +126,7 @@ class InstanceRun {
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<core::ImobifPolicy> policy_;
 
-  double warmup_consumed_ = 0.0;
+  util::Joules warmup_consumed_{0.0};
   sim::Time flow_start_ = sim::Time::zero();
   sim::Time horizon_ = sim::Time::zero();
   sim::Time stall_window_ = sim::Time::zero();

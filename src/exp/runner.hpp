@@ -9,25 +9,26 @@
 #include "exp/instance.hpp"
 #include "exp/scenario.hpp"
 #include "net/network.hpp"
+#include "util/units.hpp"
 
 namespace imobif::exp {
 
 struct RunResult {
   core::MobilityMode mode = core::MobilityMode::kNoMobility;
   bool completed = false;
-  double delivered_bits = 0.0;
-  double completion_s = 0.0;  ///< simulated seconds from flow start
+  util::Bits delivered_bits{0.0};
+  util::Seconds completion_s{0.0};  ///< simulated seconds from flow start
 
-  double transmit_energy_j = 0.0;  ///< data + notification transmissions
-  double movement_energy_j = 0.0;
-  double total_energy_j = 0.0;
+  util::Joules transmit_energy_j{0.0};  ///< data + notification transmissions
+  util::Joules movement_energy_j{0.0};
+  util::Joules total_energy_j{0.0};
 
   std::uint64_t notifications = 0;  ///< status-change packets from the dest
   std::uint64_t notify_retries = 0; ///< notification retransmissions
   std::uint64_t notifications_applied = 0;  ///< flips applied at the source
   std::uint64_t recruits = 0;       ///< relays recruited into the flow (E2)
   std::uint64_t movements = 0;
-  double moved_distance_m = 0.0;
+  util::Meters moved_distance_m{0.0};
 
   /// Medium-level drop counters (out-of-range, dead/faulted receivers,
   /// injected channel loss, ...) accumulated over warmup + flow.
@@ -35,14 +36,14 @@ struct RunResult {
 
   /// Simulated time (from flow start) until the first node died; equals the
   /// run duration when nobody died (censored).
-  double lifetime_s = 0.0;
+  util::Seconds lifetime_s{0.0};
   bool any_death = false;
 
   /// Flow path (source..destination) pinned by the first packet, and the
   /// path nodes' final positions / residual energies (Fig 5 snapshots).
   std::vector<net::NodeId> path;
-  std::vector<geom::Vec2> final_positions;   ///< all nodes
-  std::vector<double> final_energies;        ///< all nodes
+  std::vector<geom::Vec2> final_positions;    ///< all nodes
+  std::vector<util::Joules> final_energies;   ///< all nodes
 };
 
 struct RunOptions {
@@ -50,7 +51,7 @@ struct RunOptions {
   bool stop_on_first_death = false;
   /// Wall on simulated time, as a multiple of the ideal flow duration.
   double horizon_factor = 4.0;
-  double horizon_slack_s = 600.0;
+  util::Seconds horizon_slack_s{600.0};
   /// Extension toggle: blend targets across flows at shared relays.
   bool multi_flow_blending = false;
   /// Additional flows started alongside the main flow (multi-flow runs).

@@ -5,30 +5,39 @@
 namespace imobif::exp {
 
 void ScenarioParams::validate() const {
-  if (area_m <= 0.0) throw std::invalid_argument("Scenario: area <= 0");
+  using util::Bits;
+  using util::BitsPerSecond;
+  using util::Joules;
+  using util::Meters;
+  using util::Seconds;
+  if (area_m <= Meters{0.0}) {
+    throw std::invalid_argument("Scenario: area <= 0");
+  }
   if (node_count < 2) throw std::invalid_argument("Scenario: < 2 nodes");
-  if (comm_range_m <= 0.0) {
+  if (comm_range_m <= Meters{0.0}) {
     throw std::invalid_argument("Scenario: comm_range <= 0");
   }
   radio.validate();
   mobility.validate();
-  if (initial_energy_j <= 0.0) {
+  if (initial_energy_j <= Joules{0.0}) {
     throw std::invalid_argument("Scenario: initial energy <= 0");
   }
-  if (random_energy && !(energy_lo_j > 0.0 && energy_hi_j >= energy_lo_j)) {
+  if (random_energy &&
+      !(energy_lo_j > Joules{0.0} && energy_hi_j >= energy_lo_j)) {
     throw std::invalid_argument("Scenario: bad random energy range");
   }
-  if (mean_flow_bits <= 0.0 || packet_bits <= 0.0 || rate_bps <= 0.0) {
+  if (mean_flow_bits <= Bits{0.0} || packet_bits <= Bits{0.0} ||
+      rate_bps <= BitsPerSecond{0.0}) {
     throw std::invalid_argument("Scenario: bad flow parameters");
   }
-  if (hello_interval_s <= 0.0 || warmup_s < 0.0) {
+  if (hello_interval_s <= Seconds{0.0} || warmup_s < Seconds{0.0}) {
     throw std::invalid_argument("Scenario: bad control-plane timing");
   }
   if (length_estimate_factor < 0.0) {
     throw std::invalid_argument("Scenario: negative estimate factor");
   }
   fault.validate();
-  if (notify_retry_timeout_s <= 0.0) {
+  if (notify_retry_timeout_s <= Seconds{0.0}) {
     throw std::invalid_argument("Scenario: notify retry timeout <= 0");
   }
 }

@@ -13,14 +13,15 @@
 #include "energy/radio_model.hpp"
 #include "net/fault.hpp"
 #include "net/packet.hpp"
+#include "util/units.hpp"
 
 namespace imobif::exp {
 
 struct ScenarioParams {
   // Topology.
-  double area_m = 1000.0;
+  util::Meters area_m{1000.0};
   std::size_t node_count = 100;
-  double comm_range_m = 180.0;
+  util::Meters comm_range_m{180.0};
   /// Sampled (source, destination) pairs must be greedy-routable with at
   /// least this many hops (a 1-hop "flow" has no relays to move).
   std::size_t min_hops = 3;
@@ -36,24 +37,24 @@ struct ScenarioParams {
   // Node energy. When `random_energy`, initial charge ~ U[lo, hi]
   // (Fig 8: U[5, 100] J, "intentionally low"); otherwise every node starts
   // at `initial_energy_j` (Fig 6: ample, so no node dies mid-flow).
-  double initial_energy_j = 2000.0;
+  util::Joules initial_energy_j{2000.0};
   bool random_energy = false;
-  double energy_lo_j = 5.0;
-  double energy_hi_j = 100.0;
+  util::Joules energy_lo_j{5.0};
+  util::Joules energy_hi_j{100.0};
 
   // Flow workload. Lengths are exponential with this mean (Fig 6: 100 KB
   // short / 1 MB long; 8 bits per byte).
-  double mean_flow_bits = 100.0 * 1024.0 * 8.0;
-  double packet_bits = 8192.0;
-  double rate_bps = 8192.0;
+  util::Bits mean_flow_bits{100.0 * 1024.0 * 8.0};
+  util::Bits packet_bits{8192.0};
+  util::BitsPerSecond rate_bps{8192.0};
   double length_estimate_factor = 1.0;  ///< ablation A2
 
   // Control plane.
-  double hello_interval_s = 10.0;
-  double warmup_s = 25.0;
+  util::Seconds hello_interval_s{10.0};
+  util::Seconds warmup_s{25.0};
   /// Localization error radius for advertised positions (Assumption 2
   /// backed by src/loc instead of GPS); 0 = perfect (ablation A9).
-  double position_error_m = 0.0;
+  util::Meters position_error_m{0.0};
   /// HELLO beacons are free by default in experiments so the measured
   /// energy isolates the paper's E_T + E_M terms; the protocol itself
   /// always runs.
@@ -88,7 +89,7 @@ struct ScenarioParams {
   /// status-change request up to this many times with doubling backoff.
   /// 0 = the paper's fire-and-forget notification (default).
   std::uint32_t notify_retry_cap = 0;
-  double notify_retry_timeout_s = 2.0;
+  util::Seconds notify_retry_timeout_s{2.0};
 
   std::uint64_t seed = 1;
 

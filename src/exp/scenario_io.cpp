@@ -75,11 +75,19 @@ std::vector<net::FaultPlan::CrashEvent> parse_crashes(
 }
 
 void apply_config(const util::Config& config, ScenarioParams& params) {
-  params.area_m = config.get_double("area_m", params.area_m);
+  // This parser is the raw-double I/O boundary: every typed quantity is
+  // unwrapped with .value() for defaulting and re-wrapped on assignment.
+  using util::Bits;
+  using util::BitsPerSecond;
+  using util::Joules;
+  using util::Meters;
+  using util::Seconds;
+  params.area_m = Meters{config.get_double("area_m", params.area_m.value())};
   params.node_count = static_cast<std::size_t>(
       config.get_int("node_count",
                      static_cast<std::int64_t>(params.node_count)));
-  params.comm_range_m = config.get_double("comm_range_m", params.comm_range_m);
+  params.comm_range_m =
+      Meters{config.get_double("comm_range_m", params.comm_range_m.value())};
   params.min_hops = static_cast<std::size_t>(
       config.get_int("min_hops", static_cast<std::int64_t>(params.min_hops)));
 
@@ -92,29 +100,34 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
   params.mobility.max_step_m =
       config.get_double("max_step_m", params.mobility.max_step_m);
 
-  params.initial_energy_j =
-      config.get_double("initial_energy_j", params.initial_energy_j);
+  params.initial_energy_j = Joules{
+      config.get_double("initial_energy_j", params.initial_energy_j.value())};
   params.random_energy =
       config.get_bool("random_energy", params.random_energy);
-  params.energy_lo_j = config.get_double("energy_lo_j", params.energy_lo_j);
-  params.energy_hi_j = config.get_double("energy_hi_j", params.energy_hi_j);
+  params.energy_lo_j =
+      Joules{config.get_double("energy_lo_j", params.energy_lo_j.value())};
+  params.energy_hi_j =
+      Joules{config.get_double("energy_hi_j", params.energy_hi_j.value())};
 
   if (config.has("mean_flow_kb")) {
     params.mean_flow_bits =
-        config.get_double("mean_flow_kb", 0.0) * 1024.0 * 8.0;
+        Bits{config.get_double("mean_flow_kb", 0.0) * 1024.0 * 8.0};
   }
-  params.packet_bits = config.get_double("packet_bits", params.packet_bits);
-  params.rate_bps = config.get_double("rate_bps", params.rate_bps);
+  params.packet_bits =
+      Bits{config.get_double("packet_bits", params.packet_bits.value())};
+  params.rate_bps =
+      BitsPerSecond{config.get_double("rate_bps", params.rate_bps.value())};
   params.length_estimate_factor = config.get_double(
       "length_estimate_factor", params.length_estimate_factor);
 
-  params.hello_interval_s =
-      config.get_double("hello_interval_s", params.hello_interval_s);
-  params.warmup_s = config.get_double("warmup_s", params.warmup_s);
+  params.hello_interval_s = Seconds{
+      config.get_double("hello_interval_s", params.hello_interval_s.value())};
+  params.warmup_s =
+      Seconds{config.get_double("warmup_s", params.warmup_s.value())};
   params.charge_hello_energy =
       config.get_bool("charge_hello_energy", params.charge_hello_energy);
-  params.position_error_m =
-      config.get_double("position_error_m", params.position_error_m);
+  params.position_error_m = Meters{
+      config.get_double("position_error_m", params.position_error_m.value())};
 
   if (config.has("strategy")) {
     const std::string name = config.get_string("strategy");
@@ -160,8 +173,8 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
   }
   params.notify_retry_cap = static_cast<std::uint32_t>(config.get_int(
       "notify_retry_cap", static_cast<std::int64_t>(params.notify_retry_cap)));
-  params.notify_retry_timeout_s = config.get_double(
-      "notify_retry_timeout_s", params.notify_retry_timeout_s);
+  params.notify_retry_timeout_s = Seconds{config.get_double(
+      "notify_retry_timeout_s", params.notify_retry_timeout_s.value())};
 
   params.seed = static_cast<std::uint64_t>(
       config.get_int("seed", static_cast<std::int64_t>(params.seed)));
@@ -169,9 +182,9 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
 
 std::string to_config_string(const ScenarioParams& p) {
   std::ostringstream os;
-  os << "area_m = " << num(p.area_m) << "\n"
+  os << "area_m = " << num(p.area_m.value()) << "\n"
      << "node_count = " << p.node_count << "\n"
-     << "comm_range_m = " << num(p.comm_range_m) << "\n"
+     << "comm_range_m = " << num(p.comm_range_m.value()) << "\n"
      << "min_hops = " << p.min_hops << "\n"
      << "radio_a = " << num(p.radio.a) << "\n"
      << "radio_b = " << num(p.radio.b) << "\n"
@@ -179,21 +192,22 @@ std::string to_config_string(const ScenarioParams& p) {
      << "radio_rx_per_bit = " << num(p.radio.rx_per_bit) << "\n"
      << "k = " << num(p.mobility.k) << "\n"
      << "max_step_m = " << num(p.mobility.max_step_m) << "\n"
-     << "initial_energy_j = " << num(p.initial_energy_j) << "\n"
+     << "initial_energy_j = " << num(p.initial_energy_j.value()) << "\n"
      << "random_energy = " << (p.random_energy ? "true" : "false") << "\n"
-     << "energy_lo_j = " << num(p.energy_lo_j) << "\n"
-     << "energy_hi_j = " << num(p.energy_hi_j) << "\n"
+     << "energy_lo_j = " << num(p.energy_lo_j.value()) << "\n"
+     << "energy_hi_j = " << num(p.energy_hi_j.value()) << "\n"
      // Division by 2^13 is exact in binary floating point, so the
      // kb <-> bits conversion round-trips losslessly.
-     << "mean_flow_kb = " << num(p.mean_flow_bits / (1024.0 * 8.0)) << "\n"
-     << "packet_bits = " << num(p.packet_bits) << "\n"
-     << "rate_bps = " << num(p.rate_bps) << "\n"
+     << "mean_flow_kb = " << num(p.mean_flow_bits.value() / (1024.0 * 8.0))
+     << "\n"
+     << "packet_bits = " << num(p.packet_bits.value()) << "\n"
+     << "rate_bps = " << num(p.rate_bps.value()) << "\n"
      << "length_estimate_factor = " << num(p.length_estimate_factor) << "\n"
-     << "hello_interval_s = " << num(p.hello_interval_s) << "\n"
-     << "warmup_s = " << num(p.warmup_s) << "\n"
+     << "hello_interval_s = " << num(p.hello_interval_s.value()) << "\n"
+     << "warmup_s = " << num(p.warmup_s.value()) << "\n"
      << "charge_hello_energy = "
      << (p.charge_hello_energy ? "true" : "false") << "\n"
-     << "position_error_m = " << num(p.position_error_m) << "\n"
+     << "position_error_m = " << num(p.position_error_m.value()) << "\n"
      << "strategy = "
      << (p.strategy == net::StrategyId::kMaxLifetime ? "max-lifetime"
                                                      : "min-energy")
@@ -221,7 +235,8 @@ std::string to_config_string(const ScenarioParams& p) {
     os << "crashes = " << format_crashes(p.fault.crashes) << "\n";
   }
   os << "notify_retry_cap = " << p.notify_retry_cap << "\n"
-     << "notify_retry_timeout_s = " << num(p.notify_retry_timeout_s) << "\n"
+     << "notify_retry_timeout_s = " << num(p.notify_retry_timeout_s.value())
+     << "\n"
      << "seed = " << p.seed << "\n";
   return os.str();
 }

@@ -28,9 +28,11 @@ void apply_config(const util::Config& config, ScenarioParams& params);
 /// each) — valid as a config file, closing the round trip.
 std::string to_config_string(const ScenarioParams& params);
 
-/// Crash-schedule encoding for the `crashes` config key: semicolon-
-/// separated `node:at_s:duration_s` triples (duration < 0 = permanent),
-/// e.g. "7:120:30;12:300:-1". Whitespace around separators is ignored.
+/// Crash-schedule encoding for the `crashes` config key: comma-separated
+/// `node:at_s:duration_s` triples (duration < 0 = permanent), e.g.
+/// "7:120:30,12:300:-1". Whitespace around separators is ignored. The
+/// parser also accepts legacy ';' separators, but only outside config
+/// files (';' starts a comment in the config grammar).
 std::string format_crashes(
     const std::vector<net::FaultPlan::CrashEvent>& crashes);
 std::vector<net::FaultPlan::CrashEvent> parse_crashes(

@@ -5,7 +5,7 @@
 namespace imobif::net {
 
 namespace {
-constexpr double kControlBits = 512.0;
+constexpr util::Bits kControlBits{512.0};
 }  // namespace
 
 NodeId AodvRouting::next_hop(const Node& self, NodeId dest) {

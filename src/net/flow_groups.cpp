@@ -84,9 +84,9 @@ bool group_complete(const Network& network, const std::vector<FlowId>& ids) {
   });
 }
 
-double group_delivered_bits(const Network& network,
-                            const std::vector<FlowId>& ids) {
-  double sum = 0.0;
+util::Bits group_delivered_bits(const Network& network,
+                                const std::vector<FlowId>& ids) {
+  util::Bits sum{0.0};
   for (const FlowId id : ids) sum += network.progress(id).delivered_bits;
   return sum;
 }

@@ -21,9 +21,9 @@ struct OneToManySpec {
   FlowId base_id = kInvalidFlow;  ///< member i gets id base_id + i
   NodeId source = kInvalidNode;
   std::vector<NodeId> destinations;
-  double length_bits_each = 0.0;
-  double packet_bits = 8192.0;
-  double rate_bps = 8192.0;
+  util::Bits length_bits_each{0.0};
+  util::Bits packet_bits{8192.0};
+  util::BitsPerSecond rate_bps{8192.0};
   StrategyId strategy = StrategyId::kMinTotalEnergy;
   bool initially_enabled = false;
 };
@@ -32,9 +32,9 @@ struct ManyToOneSpec {
   FlowId base_id = kInvalidFlow;
   std::vector<NodeId> sources;
   NodeId sink = kInvalidNode;
-  double length_bits_each = 0.0;
-  double packet_bits = 8192.0;
-  double rate_bps = 8192.0;
+  util::Bits length_bits_each{0.0};
+  util::Bits packet_bits{8192.0};
+  util::BitsPerSecond rate_bps{8192.0};
   StrategyId strategy = StrategyId::kMaxLifetime;
   bool initially_enabled = false;
 };
@@ -52,8 +52,8 @@ std::vector<FlowId> start_many_to_one(Network& network,
 
 /// Group-level progress helpers.
 bool group_complete(const Network& network, const std::vector<FlowId>& ids);
-double group_delivered_bits(const Network& network,
-                            const std::vector<FlowId>& ids);
+util::Bits group_delivered_bits(const Network& network,
+                                const std::vector<FlowId>& ids);
 std::uint64_t group_notifications(const Network& network,
                                   const std::vector<FlowId>& ids);
 

@@ -12,6 +12,7 @@
 #include "net/ids.hpp"
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
+#include "util/units.hpp"
 
 namespace imobif::net {
 
@@ -21,7 +22,7 @@ struct FlowEntry {
   NodeId destination = kInvalidNode;
   NodeId prev = kInvalidNode;  ///< upstream flow neighbor (link sender)
   NodeId next = kInvalidNode;  ///< downstream flow neighbor (pinned route)
-  double residual_bits = 0.0;  ///< expected residual flow length
+  util::Bits residual_bits;    ///< expected residual flow length
   StrategyId strategy = StrategyId::kNone;
   bool mobility_enabled = false;
 
@@ -29,7 +30,7 @@ struct FlowEntry {
   std::optional<geom::Vec2> target;
 
   std::uint64_t packets_relayed = 0;
-  double moved_distance = 0.0;
+  util::Meters moved_distance;
 
   /// Destination-side notification damping state (core policy option):
   /// sequence number of the last status-change request sent upstream.

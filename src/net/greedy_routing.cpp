@@ -70,7 +70,7 @@ std::vector<NodeId> greedy_path_oracle(const Medium& medium, NodeId source,
     bool dest_in_range = false;
     for (const Node* cand : medium.all_nodes()) {
       if (cand->id() == current || !cand->alive()) continue;
-      if (geom::distance(cur->position(), cand->position()) >
+      if (util::Meters{geom::distance(cur->position(), cand->position())} >
           medium.comm_range()) {
         continue;
       }

@@ -22,6 +22,7 @@
 #include "net/ids.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "util/units.hpp"
 
 namespace imobif::net {
 
@@ -55,7 +56,9 @@ class Medium {
   /// Ground-truth position (GPS oracle). Throws for unknown ids.
   geom::Vec2 true_position(NodeId id) const;
 
-  double comm_range() const { return config_.comm_range_m; }
+  util::Meters comm_range() const {
+    return util::Meters{config_.comm_range_m};
+  }
 
   /// Delivers to every live node in range of the sender (HELLO beacons).
   void broadcast(const Node& sender, const Packet& pkt);

@@ -5,7 +5,7 @@
 namespace imobif::net {
 
 void NeighborTable::upsert(NodeId id, geom::Vec2 position,
-                           double residual_energy, sim::Time now) {
+                           util::Joules residual_energy, sim::Time now) {
   auto& entry = entries_[id];
   entry.id = id;
   entry.position = position;

@@ -11,13 +11,14 @@
 #include "geom/vec2.hpp"
 #include "net/ids.hpp"
 #include "sim/time.hpp"
+#include "util/units.hpp"
 
 namespace imobif::net {
 
 struct NeighborInfo {
   NodeId id = kInvalidNode;
   geom::Vec2 position;
-  double residual_energy = 0.0;
+  util::Joules residual_energy;
   sim::Time last_heard;
 };
 
@@ -27,7 +28,7 @@ class NeighborTable {
       : timeout_(timeout) {}
 
   /// Inserts or refreshes an entry.
-  void upsert(NodeId id, geom::Vec2 position, double residual_energy,
+  void upsert(NodeId id, geom::Vec2 position, util::Joules residual_energy,
               sim::Time now);
 
   /// Entry lookup; expired entries are treated as absent.

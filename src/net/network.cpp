@@ -5,6 +5,11 @@
 
 namespace imobif::net {
 
+using util::Bits;
+using util::BitsPerSecond;
+using util::Joules;
+using util::Seconds;
+
 Network::Network(NetworkConfig config)
     : config_(config),
       radio_(config.radio),
@@ -23,7 +28,7 @@ Node::Services Network::services() {
   return s;
 }
 
-Node& Network::add_node(geom::Vec2 position, double initial_energy) {
+Node& Network::add_node(geom::Vec2 position, Joules initial_energy) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, position, initial_energy,
                                           services(), config_.node));
@@ -62,9 +67,9 @@ void Network::start_hellos() {
   for (auto& n : nodes_) n->start_hello();
 }
 
-void Network::warmup(double warmup_s) {
+void Network::warmup(Seconds warmup) {
   start_hellos();
-  sim_.run(sim_.now() + sim::Time::from_seconds(warmup_s));
+  sim_.run(sim_.now() + sim::Time::from_seconds(warmup.value()));
 }
 
 void Network::start_flow(const FlowSpec& spec) {
@@ -72,8 +77,8 @@ void Network::start_flow(const FlowSpec& spec) {
       spec.destination >= nodes_.size() || spec.source == spec.destination) {
     throw std::invalid_argument("start_flow: invalid spec");
   }
-  if (spec.length_bits <= 0.0 || spec.packet_bits <= 0.0 ||
-      spec.rate_bps <= 0.0) {
+  if (spec.length_bits <= Bits{0.0} || spec.packet_bits <= Bits{0.0} ||
+      spec.rate_bps <= BitsPerSecond{0.0}) {
     throw std::invalid_argument("start_flow: non-positive sizes");
   }
   auto [it, inserted] = flows_.emplace(spec.id, FlowProgress{});
@@ -90,9 +95,9 @@ void Network::start_flow(const FlowSpec& spec) {
   entry.residual_bits = spec.length_bits;
   entry.mobility_enabled = spec.initially_enabled;
 
-  const double interval_s = spec.packet_bits / spec.rate_bps;
+  const Seconds interval = spec.packet_bits / spec.rate_bps;
   sim_.after(
-      sim::Time::from_seconds(interval_s),
+      sim::Time::from_seconds(interval.value()),
       [this, id = spec.id] { emit_packet(id); },
       sim::EventTag::emit_packet(spec.id));
 }
@@ -106,11 +111,11 @@ void Network::emit_packet(FlowId id) {
     prog.emission_done = true;
     return;
   }
-  if (entry->residual_bits <= 0.0) {
+  if (entry->residual_bits <= Bits{0.0}) {
     prog.emission_done = true;
     return;
   }
-  const double bits = std::min(spec.packet_bits, entry->residual_bits);
+  const Bits bits = util::min(spec.packet_bits, entry->residual_bits);
   entry->residual_bits -= bits;
 
   DataBody data;
@@ -131,12 +136,12 @@ void Network::emit_packet(FlowId id) {
   // an estimate factor != 1 the header value would otherwise be fed back
   // into the next packet's estimate, compounding the factor every packet
   // until the estimate overflows to infinity.
-  const double true_residual_bits = entry->residual_bits;
+  const Bits true_residual_bits = entry->residual_bits;
   src.originate_data(data);
   entry->residual_bits = true_residual_bits;
 
-  const double interval_s = spec.packet_bits / spec.rate_bps;
-  sim_.after(sim::Time::from_seconds(interval_s),
+  const Seconds interval = spec.packet_bits / spec.rate_bps;
+  sim_.after(sim::Time::from_seconds(interval.value()),
              [this, id] { emit_packet(id); },
              sim::EventTag::emit_packet(id));
 }
@@ -179,10 +184,12 @@ bool Network::all_flows_complete() const {
                      [](const auto& kv) { return kv.second.completed; });
 }
 
-double Network::run_flows(double horizon_s, double stall_window_s) {
+Seconds Network::run_flows(Seconds horizon_s, Seconds stall_window_s) {
   const sim::Time start = sim_.now();
-  const sim::Time horizon = start + sim::Time::from_seconds(horizon_s);
-  const sim::Time stall_window = sim::Time::from_seconds(stall_window_s);
+  const sim::Time horizon =
+      start + sim::Time::from_seconds(horizon_s.value());
+  const sim::Time stall_window =
+      sim::Time::from_seconds(stall_window_s.value());
   last_progress_ = sim_.now();
 
   // Chunked execution: between chunks, check completion and stall.
@@ -195,23 +202,23 @@ double Network::run_flows(double horizon_s, double stall_window_s) {
     sim_.run(next);
     if (sim_.pending_events() == 0) break;
   }
-  return (sim_.now() - start).seconds();
+  return Seconds{(sim_.now() - start).seconds()};
 }
 
-double Network::total_transmit_energy() const {
-  double sum = 0.0;
+Joules Network::total_transmit_energy() const {
+  Joules sum{0.0};
   for (const auto& n : nodes_) sum += n->battery().consumed_transmit();
   return sum;
 }
 
-double Network::total_movement_energy() const {
-  double sum = 0.0;
+Joules Network::total_movement_energy() const {
+  Joules sum{0.0};
   for (const auto& n : nodes_) sum += n->battery().consumed_move();
   return sum;
 }
 
-double Network::total_consumed_energy() const {
-  double sum = 0.0;
+Joules Network::total_consumed_energy() const {
+  Joules sum{0.0};
   for (const auto& n : nodes_) sum += n->battery().consumed_total();
   return sum;
 }
@@ -232,7 +239,7 @@ void Network::on_delivered(Node& dest, const DataBody& data) {
   prog.last_delivery_time = sim_.now();
   last_progress_ = sim_.now();
   if (!prog.completed &&
-      prog.delivered_bits >= prog.spec.length_bits - 1e-9) {
+      prog.delivered_bits >= prog.spec.length_bits - Bits{1e-9}) {
     prog.completed = true;
     prog.completion_time = sim_.now();
   }

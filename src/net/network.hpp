@@ -12,6 +12,7 @@
 #include "net/node.hpp"
 #include "net/routing.hpp"
 #include "sim/simulator.hpp"
+#include "util/units.hpp"
 
 namespace imobif::net {
 
@@ -26,9 +27,9 @@ struct FlowSpec {
   FlowId id = kInvalidFlow;
   NodeId source = kInvalidNode;
   NodeId destination = kInvalidNode;
-  double length_bits = 0.0;
-  double packet_bits = 8192.0;  ///< 1 KB payloads
-  double rate_bps = 8192.0;     ///< paper: 1 KBps = 8 Kbps
+  util::Bits length_bits{0.0};
+  util::Bits packet_bits{8192.0};          ///< 1 KB payloads
+  util::BitsPerSecond rate_bps{8192.0};    ///< paper: 1 KBps = 8 Kbps
   StrategyId strategy = StrategyId::kNone;
   bool initially_enabled = false;  ///< paper: "mobility is initially disabled"
   /// Multiplier applied to the true residual length when stamping the
@@ -38,8 +39,8 @@ struct FlowSpec {
 
 struct FlowProgress {
   FlowSpec spec;
-  double emitted_bits = 0.0;
-  double delivered_bits = 0.0;
+  util::Bits emitted_bits{0.0};
+  util::Bits delivered_bits{0.0};
   std::uint64_t packets_emitted = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t notifications_from_dest = 0;
@@ -65,7 +66,7 @@ class Network : public NetworkEvents {
   const NetworkConfig& config() const { return config_; }
 
   /// Adds a node; ids are dense, starting at 0.
-  Node& add_node(geom::Vec2 position, double initial_energy);
+  Node& add_node(geom::Vec2 position, util::Joules initial_energy);
   Node& node(NodeId id);
   const Node& node(NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
@@ -85,7 +86,7 @@ class Network : public NetworkEvents {
   /// Starts HELLO beaconing on every node and runs `warmup_s` simulated
   /// seconds so neighbor tables populate before flows begin.
   void start_hellos();
-  void warmup(double warmup_s);
+  void warmup(util::Seconds warmup);
 
   /// Registers and starts emitting a flow; emissions begin one packet
   /// interval from now.
@@ -96,9 +97,10 @@ class Network : public NetworkEvents {
   bool all_flows_complete() const;
 
   /// Runs until all flows complete, no delivery progress occurs for
-  /// `stall_window_s`, or `horizon_s` elapses — whichever is first.
-  /// Returns simulated seconds elapsed during this call.
-  double run_flows(double horizon_s, double stall_window_s = 120.0);
+  /// `stall_window`, or `horizon` elapses — whichever is first.
+  /// Returns simulated time elapsed during this call.
+  util::Seconds run_flows(util::Seconds horizon,
+                          util::Seconds stall_window = util::Seconds{120.0});
 
   /// Stops the event loop as soon as any node depletes (lifetime runs).
   void set_stop_on_first_death(bool stop) { stop_on_first_death_ = stop; }
@@ -130,9 +132,9 @@ class Network : public NetworkEvents {
   }
 
   /// Aggregate energy drawn across all nodes, by category.
-  double total_transmit_energy() const;
-  double total_movement_energy() const;
-  double total_consumed_energy() const;
+  util::Joules total_transmit_energy() const;
+  util::Joules total_movement_energy() const;
+  util::Joules total_consumed_energy() const;
 
   /// Current positions of all nodes (Fig-5 snapshots).
   std::vector<geom::Vec2> positions() const;

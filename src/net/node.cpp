@@ -10,6 +10,10 @@
 
 namespace imobif::net {
 
+using util::Bits;
+using util::Joules;
+using util::Meters;
+
 const char* to_string(DropReason reason) {
   switch (reason) {
     case DropReason::kDeadNode:
@@ -40,7 +44,7 @@ void NetworkEvents::on_node_depleted(Node&) {}
 void NetworkEvents::on_drop(Node&, PacketType, DropReason) {}
 void NetworkEvents::on_recruited(Node&, const RecruitBody&) {}
 
-Node::Node(NodeId id, geom::Vec2 position, double initial_energy,
+Node::Node(NodeId id, geom::Vec2 position, Joules initial_energy,
            Services services, NodeConfig config)
     : id_(id),
       position_(position),
@@ -76,7 +80,7 @@ void Node::set_position(geom::Vec2 p) {
 }
 
 geom::Vec2 Node::advertised_position() const {
-  if (config_.position_error_m <= 0.0) return position_;
+  if (config_.position_error_m <= Meters{0.0}) return position_;
   // Localization error is a slowly varying per-node *bias*, not white
   // noise: multilateration against quasi-static references drifts over
   // re-localization periods, so the offset is re-drawn once per 100 s
@@ -92,12 +96,12 @@ geom::Vec2 Node::advertised_position() const {
   const double u2 = static_cast<double>(util::splitmix64(state) >> 11) *
                     0x1.0p-53;
   const double angle = 2.0 * M_PI * u1;
-  const double radius = config_.position_error_m * std::sqrt(u2);
+  const double radius = config_.position_error_m.value() * std::sqrt(u2);
   return position_ +
          geom::Vec2{radius * std::cos(angle), radius * std::sin(angle)};
 }
 
-Packet Node::stamp(PacketType type, NodeId link_dest, double size_bits) const {
+Packet Node::stamp(PacketType type, NodeId link_dest, Bits size_bits) const {
   Packet pkt;
   pkt.type = type;
   pkt.sender = SenderStamp{id_, advertised_position(), battery_.residual()};
@@ -133,10 +137,10 @@ void Node::send_hello_now() {
   Packet pkt = stamp(PacketType::kHello, kBroadcast, config_.hello_bits);
   pkt.body = HelloBody{};
   if (config_.charge_hello_energy) {
-    const double cost = services_.radio->transmit_energy(
+    const Joules cost = services_.radio->transmit_energy(
         services_.medium->comm_range(), config_.hello_bits);
-    const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
-    if (drawn + 1e-15 < cost) return;  // died mid-beacon; nothing goes out
+    const Joules drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
+    if (drawn + Joules{1e-15} < cost) return;  // died mid-beacon
   }
   services_.medium->broadcast(*this, pkt);
 }
@@ -159,7 +163,7 @@ NeighborInfo Node::lookup(NodeId other) const {
   NeighborInfo info;
   info.id = other;
   info.position = services_.medium->true_position(other);
-  info.residual_energy = 0.0;
+  info.residual_energy = Joules{0.0};
   info.last_heard = now();
   return info;
 }
@@ -172,10 +176,10 @@ bool Node::transmit(Packet pkt, NodeId next, geom::Vec2 next_position) {
   const Node* peer = services_.medium->find_node(next);
   const geom::Vec2 actual =
       peer != nullptr ? peer->position() : next_position;
-  const double dist = geom::distance(position_, actual);
-  const double cost = services_.radio->transmit_energy(dist, pkt.size_bits);
-  const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
-  if (drawn + 1e-15 < cost) {
+  const Meters dist{geom::distance(position_, actual)};
+  const Joules cost = services_.radio->transmit_energy(dist, pkt.size_bits);
+  const Joules drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
+  if (drawn + Joules{1e-15} < cost) {
     if (services_.events != nullptr) {
       services_.events->on_drop(*this, pkt.type, DropReason::kNoEnergy);
     }
@@ -186,10 +190,10 @@ bool Node::transmit(Packet pkt, NodeId next, geom::Vec2 next_position) {
 
 bool Node::broadcast_packet(Packet pkt) {
   if (!alive() || faulted_) return false;
-  const double cost = services_.radio->transmit_energy(
+  const Joules cost = services_.radio->transmit_energy(
       services_.medium->comm_range(), pkt.size_bits);
-  const double drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
-  if (drawn + 1e-15 < cost) {
+  const Joules drawn = battery_.draw(cost, energy::DrawKind::kTransmit);
+  if (drawn + Joules{1e-15} < cost) {
     if (services_.events != nullptr) {
       services_.events->on_drop(*this, pkt.type, DropReason::kNoEnergy);
     }
@@ -199,22 +203,22 @@ bool Node::broadcast_packet(Packet pkt) {
   return true;
 }
 
-double Node::move_towards(geom::Vec2 target, double max_step,
-                          double cost_per_meter) {
+Meters Node::move_towards(geom::Vec2 target, Meters max_step,
+                          util::JoulesPerMeter cost_per_meter) {
   IMOBIF_ENSURE(std::isfinite(target.x) && std::isfinite(target.y),
                 "movement target must be finite");
-  if (!alive() || faulted_) return 0.0;
-  geom::Vec2 desired = geom::step_towards(position_, target, max_step);
-  double dist = geom::distance(position_, desired);
-  IMOBIF_ASSERT(dist <= max_step * (1.0 + 1e-12) + 1e-9,
+  if (!alive() || faulted_) return Meters{0.0};
+  geom::Vec2 desired = geom::step_towards(position_, target, max_step.value());
+  Meters dist{geom::distance(position_, desired)};
+  IMOBIF_ASSERT(dist <= max_step * (1.0 + 1e-12) + Meters{1e-9},
                 "per-packet mobility step exceeded its bound");
-  if (dist <= 0.0) return 0.0;
-  if (cost_per_meter > 0.0) {
-    const double affordable = battery_.residual() / cost_per_meter;
+  if (dist <= Meters{0.0}) return Meters{0.0};
+  if (cost_per_meter > util::JoulesPerMeter{0.0}) {
+    const Meters affordable = battery_.residual() / cost_per_meter;
     if (affordable < dist) {
       // Move as far as the battery allows, then die en route.
-      desired = geom::step_towards(position_, desired, affordable);
-      dist = geom::distance(position_, desired);
+      desired = geom::step_towards(position_, desired, affordable.value());
+      dist = Meters{geom::distance(position_, desired)};
     }
     battery_.draw(dist * cost_per_meter, energy::DrawKind::kMove);
   }
@@ -228,11 +232,11 @@ double Node::move_towards(geom::Vec2 target, double max_step,
 
 bool Node::originate_data(DataBody data) {
   IMOBIF_ENSURE(
-      std::isfinite(data.payload_bits) && data.payload_bits >= 0.0,
+      util::isfinite(data.payload_bits) && data.payload_bits >= Bits{0.0},
       "payload size must be finite and non-negative");
-  IMOBIF_ENSURE(
-      std::isfinite(data.residual_flow_bits) && data.residual_flow_bits >= 0.0,
-      "residual flow estimate must be finite and non-negative");
+  IMOBIF_ENSURE(util::isfinite(data.residual_flow_bits) &&
+                    data.residual_flow_bits >= Bits{0.0},
+                "residual flow estimate must be finite and non-negative");
   if (!alive()) return false;
   FlowEntry& entry = flows_.ensure(data.flow_id);
   entry.source = data.source;
@@ -274,8 +278,8 @@ void Node::handle_receive(const Packet& pkt) {
   // Receive electronics (0 under the paper's sender-pays model). Drawing
   // may deplete the battery; a node that dies *receiving* still processed
   // the packet's bits, so handling proceeds only if it survives.
-  const double rx_cost = services_.radio->receive_energy(pkt.size_bits);
-  if (rx_cost > 0.0) {
+  const Joules rx_cost = services_.radio->receive_energy(pkt.size_bits);
+  if (rx_cost > Joules{0.0}) {
     battery_.draw(rx_cost, energy::DrawKind::kOther);
     if (!alive()) {
       if (services_.events != nullptr) {
@@ -333,12 +337,13 @@ void Node::handle_data(DataBody data, const SenderStamp& from) {
   // zero-cost hop), but a NaN introduced anywhere upstream would silently
   // poison every comparison downstream of it.
   IMOBIF_ASSERT(
-      !std::isnan(data.agg.bits_mob) && !std::isnan(data.agg.resi_mob) &&
-          !std::isnan(data.agg.bits_nomob) && !std::isnan(data.agg.resi_nomob),
+      !util::isnan(data.agg.bits_mob) && !util::isnan(data.agg.resi_mob) &&
+          !util::isnan(data.agg.bits_nomob) &&
+          !util::isnan(data.agg.resi_nomob),
       "NaN mobility aggregate in DATA header");
-  IMOBIF_ASSERT(
-      std::isfinite(data.residual_flow_bits) && data.residual_flow_bits >= 0.0,
-      "residual flow length must be finite and non-negative");
+  IMOBIF_ASSERT(util::isfinite(data.residual_flow_bits) &&
+                    data.residual_flow_bits >= Bits{0.0},
+                "residual flow length must be finite and non-negative");
   // Figure 1, lines 4-6: fetch or allocate the flow entry, then refresh the
   // fields carried in the header.
   FlowEntry& entry = flows_.get_or_create(data);

@@ -20,6 +20,7 @@
 #include "net/packet.hpp"
 #include "net/routing.hpp"
 #include "sim/simulator.hpp"
+#include "util/units.hpp"
 
 namespace imobif::net {
 
@@ -58,8 +59,8 @@ struct NodeConfig {
   sim::Time hello_interval = sim::Time::from_seconds(10.0);
   sim::Time hello_jitter = sim::Time::from_seconds(1.0);
   sim::Time neighbor_timeout = sim::Time::from_seconds(45.0);
-  double hello_bits = 256.0;
-  double notification_bits = 512.0;
+  util::Bits hello_bits{256.0};
+  util::Bits notification_bits{512.0};
   /// When false, HELLO beacons are free (ideal control plane); when true
   /// they are charged at full-range power like any transmission.
   bool charge_hello_energy = true;
@@ -78,7 +79,7 @@ struct NodeConfig {
   /// uses true distances (the radio, not the position service, handles
   /// that); only *decisions* (routing, strategy targets, cost estimates)
   /// see the error.
-  double position_error_m = 0.0;
+  util::Meters position_error_m{0.0};
 };
 
 class Node {
@@ -92,7 +93,7 @@ class Node {
     NetworkEvents* events = nullptr;
   };
 
-  Node(NodeId id, geom::Vec2 position, double initial_energy,
+  Node(NodeId id, geom::Vec2 position, util::Joules initial_energy,
        Services services, NodeConfig config = {});
 
   Node(const Node&) = delete;
@@ -144,11 +145,11 @@ class Node {
   /// Bounded mobility step: moves at most `max_step` toward `target`,
   /// drawing `cost_per_meter * distance` from the battery (movement is
   /// truncated to what the battery can afford). Returns the distance moved.
-  double move_towards(geom::Vec2 target, double max_step,
-                      double cost_per_meter);
+  util::Meters move_towards(geom::Vec2 target, util::Meters max_step,
+                            util::JoulesPerMeter cost_per_meter);
 
   /// Total distance this node has moved via move_towards().
-  double total_moved() const { return total_moved_; }
+  util::Meters total_moved() const { return total_moved_; }
 
   /// Charges E_T(distance-to-next, size) and hands the packet to the
   /// medium. `next_position` is the sender's local estimate of the next
@@ -169,7 +170,7 @@ class Node {
   /// Overwrites the crash flag without the beacon start/stop side effects
   /// of set_faulted(); pending HELLO events are restored separately.
   void restore_faulted(bool faulted) { faulted_ = faulted; }
-  void restore_total_moved(double meters) { total_moved_ = meters; }
+  void restore_total_moved(util::Meters meters) { total_moved_ = meters; }
   /// Re-arms the periodic HELLO timer at an absolute simulated time.
   void restore_hello_at(sim::Time when);
   /// Re-arms a pending notification retry for `flow` at an absolute time.
@@ -192,7 +193,7 @@ class Node {
   void notify_retry_tick(FlowId flow);
   void schedule_notify_retry(FlowEntry& entry);
   void cancel_notify_retry(FlowEntry& entry);
-  Packet stamp(PacketType type, NodeId link_dest, double size_bits) const;
+  Packet stamp(PacketType type, NodeId link_dest, util::Bits size_bits) const;
 
   NodeId id_;
   geom::Vec2 position_;
@@ -202,7 +203,7 @@ class Node {
   Services services_;
   NodeConfig config_;
   sim::EventId hello_event_ = 0;
-  double total_moved_ = 0.0;
+  util::Meters total_moved_;
   bool faulted_ = false;
 };
 

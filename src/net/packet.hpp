@@ -18,6 +18,7 @@
 
 #include "geom/vec2.hpp"
 #include "net/ids.hpp"
+#include "util/units.hpp"
 
 namespace imobif::net {
 
@@ -45,7 +46,7 @@ const char* to_string(StrategyId id);
 struct SenderStamp {
   NodeId id = kInvalidNode;
   geom::Vec2 position;
-  double residual_energy = 0.0;
+  util::Joules residual_energy;
 };
 
 /// The two application-independent metrics of Section 2, carried twice:
@@ -54,10 +55,10 @@ struct SenderStamp {
 /// strategy-specific function (sum for min-total-energy, min for
 /// max-lifetime).
 struct MobilityAggregate {
-  double bits_mob = 0.0;
-  double resi_mob = 0.0;
-  double bits_nomob = 0.0;
-  double resi_nomob = 0.0;
+  util::Bits bits_mob;
+  util::Joules resi_mob;
+  util::Bits bits_nomob;
+  util::Joules resi_nomob;
 };
 
 struct HelloBody {};
@@ -67,11 +68,11 @@ struct DataBody {
   NodeId source = kInvalidNode;
   NodeId destination = kInvalidNode;
   std::uint32_t seq = 0;
-  double payload_bits = 0.0;
+  util::Bits payload_bits;
   /// Expected residual flow length in bits *after* this packet, as estimated
   /// by the source (Section 2: "the flow length estimate is provided by the
   /// application").
-  double residual_flow_bits = 0.0;
+  util::Bits residual_flow_bits;
   StrategyId strategy = StrategyId::kNone;
   bool mobility_enabled = false;
   MobilityAggregate agg;
@@ -84,7 +85,7 @@ struct DataBody {
   /// positions.
   bool sender_has_plan = false;
   geom::Vec2 sender_target;
-  double sender_move_cost = 0.0;
+  util::Joules sender_move_cost;
 };
 
 /// Destination -> source status-change request (Figure 1,
@@ -134,7 +135,7 @@ struct RecruitBody {
   NodeId upstream = kInvalidNode;    ///< the recruiting relay
   NodeId downstream = kInvalidNode;  ///< the recruiter's old next hop
   StrategyId strategy = StrategyId::kNone;
-  double residual_flow_bits = 0.0;
+  util::Bits residual_flow_bits;
   bool mobility_enabled = false;
 };
 
@@ -142,7 +143,7 @@ struct Packet {
   PacketType type = PacketType::kHello;
   SenderStamp sender;
   NodeId link_dest = kBroadcast;  ///< kBroadcast or a unicast node id
-  double size_bits = 0.0;
+  util::Bits size_bits;
   std::variant<HelloBody, DataBody, NotificationBody, RouteRequestBody,
                RouteReplyBody, RecruitBody>
       body;

@@ -18,6 +18,7 @@
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
 #include "runtime/checkpoint.hpp"
+#include "util/units.hpp"
 
 namespace imobif::runtime {
 
@@ -36,7 +37,7 @@ struct SweepJob {
 
 struct SweepOutcome {
   std::uint64_t seed = 0;  ///< derived seed the instance was sampled with
-  double flow_bits = 0.0;
+  util::Bits flow_bits{0.0};
   std::size_t hops = 0;
   exp::RunResult result;
 };

@@ -11,18 +11,18 @@ util::Json result_to_json(const exp::RunResult& result) {
   util::Json doc = util::Json::object();
   doc.set("mode", util::Json(core::to_string(result.mode)));
   doc.set("completed", util::Json(result.completed));
-  doc.set("delivered_bits", util::Json(result.delivered_bits));
-  doc.set("completion_s", util::Json(result.completion_s));
-  doc.set("transmit_energy_j", util::Json(result.transmit_energy_j));
-  doc.set("movement_energy_j", util::Json(result.movement_energy_j));
-  doc.set("total_energy_j", util::Json(result.total_energy_j));
+  doc.set("delivered_bits", util::Json(result.delivered_bits.value()));
+  doc.set("completion_s", util::Json(result.completion_s.value()));
+  doc.set("transmit_energy_j", util::Json(result.transmit_energy_j.value()));
+  doc.set("movement_energy_j", util::Json(result.movement_energy_j.value()));
+  doc.set("total_energy_j", util::Json(result.total_energy_j.value()));
   doc.set("notifications", util::Json(result.notifications));
   doc.set("notify_retries", util::Json(result.notify_retries));
   doc.set("notifications_applied",
           util::Json(result.notifications_applied));
   doc.set("recruits", util::Json(result.recruits));
   doc.set("movements", util::Json(result.movements));
-  doc.set("moved_distance_m", util::Json(result.moved_distance_m));
+  doc.set("moved_distance_m", util::Json(result.moved_distance_m.value()));
 
   util::Json medium = util::Json::object();
   medium.set("broadcasts", util::Json(result.medium.broadcasts));
@@ -36,7 +36,7 @@ util::Json result_to_json(const exp::RunResult& result) {
   medium.set("dropped_faulted", util::Json(result.medium.dropped_faulted));
   doc.set("medium", std::move(medium));
 
-  doc.set("lifetime_s", util::Json(result.lifetime_s));
+  doc.set("lifetime_s", util::Json(result.lifetime_s.value()));
   doc.set("any_death", util::Json(result.any_death));
 
   util::Json path = util::Json::array();
@@ -55,8 +55,8 @@ util::Json result_to_json(const exp::RunResult& result) {
   doc.set("final_positions", std::move(positions));
 
   util::Json energies = util::Json::array();
-  for (const double e : result.final_energies) {
-    energies.push_back(util::Json(e));
+  for (const util::Joules e : result.final_energies) {
+    energies.push_back(util::Json(e.value()));
   }
   doc.set("final_energies", std::move(energies));
   return doc;
@@ -66,17 +66,17 @@ void encode_run_result(StateWriter& w, const exp::RunResult& result) {
   w.begin_section("result");
   w.u8(static_cast<std::uint8_t>(result.mode));
   w.boolean(result.completed);
-  w.f64(result.delivered_bits);
-  w.f64(result.completion_s);
-  w.f64(result.transmit_energy_j);
-  w.f64(result.movement_energy_j);
-  w.f64(result.total_energy_j);
+  w.f64(result.delivered_bits.value());
+  w.f64(result.completion_s.value());
+  w.f64(result.transmit_energy_j.value());
+  w.f64(result.movement_energy_j.value());
+  w.f64(result.total_energy_j.value());
   w.u64(result.notifications);
   w.u64(result.notify_retries);
   w.u64(result.notifications_applied);
   w.u64(result.recruits);
   w.u64(result.movements);
-  w.f64(result.moved_distance_m);
+  w.f64(result.moved_distance_m.value());
   w.u64(result.medium.broadcasts);
   w.u64(result.medium.unicasts);
   w.u64(result.medium.delivered);
@@ -85,7 +85,7 @@ void encode_run_result(StateWriter& w, const exp::RunResult& result) {
   w.u64(result.medium.dropped_unknown);
   w.u64(result.medium.dropped_injected);
   w.u64(result.medium.dropped_faulted);
-  w.f64(result.lifetime_s);
+  w.f64(result.lifetime_s.value());
   w.boolean(result.any_death);
   w.u64(result.path.size());
   for (const net::NodeId id : result.path) w.u64(id);
@@ -95,7 +95,7 @@ void encode_run_result(StateWriter& w, const exp::RunResult& result) {
     w.f64(p.y);
   }
   w.u64(result.final_energies.size());
-  for (const double e : result.final_energies) w.f64(e);
+  for (const util::Joules e : result.final_energies) w.f64(e.value());
   w.end_section();
 }
 
@@ -109,17 +109,17 @@ exp::RunResult decode_run_result(StateReader& r) {
   }
   result.mode = static_cast<core::MobilityMode>(mode_raw);
   result.completed = r.boolean();
-  result.delivered_bits = r.f64();
-  result.completion_s = r.f64();
-  result.transmit_energy_j = r.f64();
-  result.movement_energy_j = r.f64();
-  result.total_energy_j = r.f64();
+  result.delivered_bits = util::Bits{r.f64()};
+  result.completion_s = util::Seconds{r.f64()};
+  result.transmit_energy_j = util::Joules{r.f64()};
+  result.movement_energy_j = util::Joules{r.f64()};
+  result.total_energy_j = util::Joules{r.f64()};
   result.notifications = r.u64();
   result.notify_retries = r.u64();
   result.notifications_applied = r.u64();
   result.recruits = r.u64();
   result.movements = r.u64();
-  result.moved_distance_m = r.f64();
+  result.moved_distance_m = util::Meters{r.f64()};
   result.medium.broadcasts = r.u64();
   result.medium.unicasts = r.u64();
   result.medium.delivered = r.u64();
@@ -128,7 +128,7 @@ exp::RunResult decode_run_result(StateReader& r) {
   result.medium.dropped_unknown = r.u64();
   result.medium.dropped_injected = r.u64();
   result.medium.dropped_faulted = r.u64();
-  result.lifetime_s = r.f64();
+  result.lifetime_s = util::Seconds{r.f64()};
   result.any_death = r.boolean();
   const std::uint64_t path_count = r.u64();
   result.path.reserve(path_count);
@@ -146,7 +146,7 @@ exp::RunResult decode_run_result(StateReader& r) {
   const std::uint64_t energy_count = r.u64();
   result.final_energies.reserve(energy_count);
   for (std::uint64_t i = 0; i < energy_count; ++i) {
-    result.final_energies.push_back(r.f64());
+    result.final_energies.push_back(util::Joules{r.f64()});
   }
   r.end_section();
   return result;

@@ -20,6 +20,7 @@
 #include "snap/codec.hpp"
 #include "snap/state_hash.hpp"
 #include "util/config.hpp"
+#include "util/units.hpp"
 
 namespace imobif::snap {
 
@@ -29,18 +30,18 @@ namespace {
 
 template <class Sink>
 void encode_agg(Sink& s, const net::MobilityAggregate& agg) {
-  s.f64(agg.bits_mob);
-  s.f64(agg.resi_mob);
-  s.f64(agg.bits_nomob);
-  s.f64(agg.resi_nomob);
+  s.f64(agg.bits_mob.value());
+  s.f64(agg.resi_mob.value());
+  s.f64(agg.bits_nomob.value());
+  s.f64(agg.resi_nomob.value());
 }
 
 net::MobilityAggregate decode_agg(StateReader& r) {
   net::MobilityAggregate agg;
-  agg.bits_mob = r.f64();
-  agg.resi_mob = r.f64();
-  agg.bits_nomob = r.f64();
-  agg.resi_nomob = r.f64();
+  agg.bits_mob = util::Bits{r.f64()};
+  agg.resi_mob = util::Joules{r.f64()};
+  agg.bits_nomob = util::Bits{r.f64()};
+  agg.resi_nomob = util::Joules{r.f64()};
   return agg;
 }
 
@@ -49,9 +50,9 @@ void encode_flow_spec(Sink& s, const net::FlowSpec& spec) {
   s.u64(spec.id);
   s.u64(spec.source);
   s.u64(spec.destination);
-  s.f64(spec.length_bits);
-  s.f64(spec.packet_bits);
-  s.f64(spec.rate_bps);
+  s.f64(spec.length_bits.value());
+  s.f64(spec.packet_bits.value());
+  s.f64(spec.rate_bps.value());
   s.u8(static_cast<std::uint8_t>(spec.strategy));
   s.boolean(spec.initially_enabled);
   s.f64(spec.length_estimate_factor);
@@ -70,9 +71,9 @@ net::FlowSpec decode_flow_spec(StateReader& r) {
   spec.id = static_cast<net::FlowId>(r.u64());
   spec.source = static_cast<net::NodeId>(r.u64());
   spec.destination = static_cast<net::NodeId>(r.u64());
-  spec.length_bits = r.f64();
-  spec.packet_bits = r.f64();
-  spec.rate_bps = r.f64();
+  spec.length_bits = util::Bits{r.f64()};
+  spec.packet_bits = util::Bits{r.f64()};
+  spec.rate_bps = util::BitsPerSecond{r.f64()};
   spec.strategy = decode_strategy(r.u8());
   spec.initially_enabled = r.boolean();
   spec.length_estimate_factor = r.f64();
@@ -85,17 +86,17 @@ void encode_packet(Sink& s, const net::Packet& pkt) {
   s.u64(pkt.sender.id);
   s.f64(pkt.sender.position.x);
   s.f64(pkt.sender.position.y);
-  s.f64(pkt.sender.residual_energy);
+  s.f64(pkt.sender.residual_energy.value());
   s.u64(pkt.link_dest);
-  s.f64(pkt.size_bits);
+  s.f64(pkt.size_bits.value());
   s.u8(static_cast<std::uint8_t>(pkt.body.index()));
   if (const auto* data = std::get_if<net::DataBody>(&pkt.body)) {
     s.u64(data->flow_id);
     s.u64(data->source);
     s.u64(data->destination);
     s.u32(data->seq);
-    s.f64(data->payload_bits);
-    s.f64(data->residual_flow_bits);
+    s.f64(data->payload_bits.value());
+    s.f64(data->residual_flow_bits.value());
     s.u8(static_cast<std::uint8_t>(data->strategy));
     s.boolean(data->mobility_enabled);
     encode_agg(s, data->agg);
@@ -103,7 +104,7 @@ void encode_packet(Sink& s, const net::Packet& pkt) {
     s.boolean(data->sender_has_plan);
     s.f64(data->sender_target.x);
     s.f64(data->sender_target.y);
-    s.f64(data->sender_move_cost);
+    s.f64(data->sender_move_cost.value());
   } else if (const auto* notify =
                  std::get_if<net::NotificationBody>(&pkt.body)) {
     s.u64(notify->flow_id);
@@ -131,7 +132,7 @@ void encode_packet(Sink& s, const net::Packet& pkt) {
     s.u64(recruit->upstream);
     s.u64(recruit->downstream);
     s.u8(static_cast<std::uint8_t>(recruit->strategy));
-    s.f64(recruit->residual_flow_bits);
+    s.f64(recruit->residual_flow_bits.value());
     s.boolean(recruit->mobility_enabled);
   }
   // HelloBody carries no fields.
@@ -143,9 +144,9 @@ net::Packet decode_packet(StateReader& r) {
   pkt.sender.id = static_cast<net::NodeId>(r.u64());
   pkt.sender.position.x = r.f64();
   pkt.sender.position.y = r.f64();
-  pkt.sender.residual_energy = r.f64();
+  pkt.sender.residual_energy = util::Joules{r.f64()};
   pkt.link_dest = static_cast<net::NodeId>(r.u64());
-  pkt.size_bits = r.f64();
+  pkt.size_bits = util::Bits{r.f64()};
   const std::uint8_t body_index = r.u8();
   switch (body_index) {
     case 0:
@@ -157,8 +158,8 @@ net::Packet decode_packet(StateReader& r) {
       data.source = static_cast<net::NodeId>(r.u64());
       data.destination = static_cast<net::NodeId>(r.u64());
       data.seq = r.u32();
-      data.payload_bits = r.f64();
-      data.residual_flow_bits = r.f64();
+      data.payload_bits = util::Bits{r.f64()};
+      data.residual_flow_bits = util::Bits{r.f64()};
       data.strategy = decode_strategy(r.u8());
       data.mobility_enabled = r.boolean();
       data.agg = decode_agg(r);
@@ -166,7 +167,7 @@ net::Packet decode_packet(StateReader& r) {
       data.sender_has_plan = r.boolean();
       data.sender_target.x = r.f64();
       data.sender_target.y = r.f64();
-      data.sender_move_cost = r.f64();
+      data.sender_move_cost = util::Joules{r.f64()};
       pkt.body = data;
       break;
     }
@@ -208,7 +209,7 @@ net::Packet decode_packet(StateReader& r) {
       recruit.upstream = static_cast<net::NodeId>(r.u64());
       recruit.downstream = static_cast<net::NodeId>(r.u64());
       recruit.strategy = decode_strategy(r.u8());
-      recruit.residual_flow_bits = r.f64();
+      recruit.residual_flow_bits = util::Bits{r.f64()};
       recruit.mobility_enabled = r.boolean();
       pkt.body = recruit;
       break;
@@ -229,7 +230,7 @@ void encode_meta(Sink& s, const exp::InstanceRun& run) {
   const exp::RunOptions& options = run.options();
   s.boolean(options.stop_on_first_death);
   s.f64(options.horizon_factor);
-  s.f64(options.horizon_slack_s);
+  s.f64(options.horizon_slack_s.value());
   s.boolean(options.multi_flow_blending);
   s.u64(options.extra_flows.size());
   for (const net::FlowSpec& spec : options.extra_flows) {
@@ -243,10 +244,10 @@ void encode_meta(Sink& s, const exp::InstanceRun& run) {
     s.f64(p.y);
   }
   s.u64(instance.energies.size());
-  for (const double e : instance.energies) s.f64(e);
+  for (const util::Joules e : instance.energies) s.f64(e.value());
   s.u64(instance.source);
   s.u64(instance.destination);
-  s.f64(instance.flow_bits);
+  s.f64(instance.flow_bits.value());
   s.u64(instance.initial_path.size());
   for (const net::NodeId id : instance.initial_path) s.u64(id);
 
@@ -256,7 +257,7 @@ void encode_meta(Sink& s, const exp::InstanceRun& run) {
     for (const std::uint64_t word : *sampler) s.u64(word);
   }
 
-  s.f64(run.warmup_consumed_j());
+  s.f64(run.warmup_consumed_j().value());
   s.i64(run.flow_start().ticks());
   s.boolean(run.in_chunk());
   s.i64(run.chunk_end().ticks());
@@ -286,8 +287,8 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
   s.u64(progress.size());
   for (const net::FlowProgress* prog : progress) {
     encode_flow_spec(s, prog->spec);
-    s.f64(prog->emitted_bits);
-    s.f64(prog->delivered_bits);
+    s.f64(prog->emitted_bits.value());
+    s.f64(prog->delivered_bits.value());
     s.u64(prog->packets_emitted);
     s.u64(prog->packets_delivered);
     s.u64(prog->notifications_from_dest);
@@ -341,14 +342,14 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
     s.f64(node.position().x);
     s.f64(node.position().y);
     s.boolean(node.faulted());
-    s.f64(node.total_moved());
+    s.f64(node.total_moved().value());
 
     const energy::Battery& battery = node.battery();
-    s.f64(battery.initial());
-    s.f64(battery.residual());
-    s.f64(battery.consumed_transmit());
-    s.f64(battery.consumed_move());
-    s.f64(battery.consumed_other());
+    s.f64(battery.initial().value());
+    s.f64(battery.residual().value());
+    s.f64(battery.consumed_transmit().value());
+    s.f64(battery.consumed_move().value());
+    s.f64(battery.consumed_other().value());
 
     const std::vector<net::NeighborInfo> neighbors =
         node.neighbors().all_entries();
@@ -357,7 +358,7 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
       s.u64(info.id);
       s.f64(info.position.x);
       s.f64(info.position.y);
-      s.f64(info.residual_energy);
+      s.f64(info.residual_energy.value());
       s.i64(info.last_heard.ticks());
     }
 
@@ -369,7 +370,7 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
       s.u64(entry->destination);
       s.u64(entry->prev);
       s.u64(entry->next);
-      s.f64(entry->residual_bits);
+      s.f64(entry->residual_bits.value());
       s.u8(static_cast<std::uint8_t>(entry->strategy));
       s.boolean(entry->mobility_enabled);
       s.boolean(entry->target.has_value());
@@ -378,7 +379,7 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
         s.f64(entry->target->y);
       }
       s.u64(entry->packets_relayed);
-      s.f64(entry->moved_distance);
+      s.f64(entry->moved_distance.value());
       s.boolean(entry->last_notify_seq.has_value());
       if (entry->last_notify_seq.has_value()) s.u32(*entry->last_notify_seq);
       s.boolean(entry->pending_status.has_value());
@@ -396,7 +397,7 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
 
   s.begin_section("policy");
   s.u64(run.policy().movements_applied());
-  s.f64(run.policy().total_distance_moved());
+  s.f64(run.policy().total_distance_moved().value());
   s.u64(run.policy().recruits_initiated());
   s.end_section();
 
@@ -459,7 +460,7 @@ struct DecodedMeta {
   exp::FlowInstance instance;
   bool has_sampler = false;
   std::array<std::uint64_t, 4> sampler_state{};
-  double warmup_consumed = 0.0;
+  util::Joules warmup_consumed{0.0};
   sim::Time flow_start = sim::Time::zero();
   bool in_chunk = false;
   sim::Time chunk_end = sim::Time::zero();
@@ -482,7 +483,7 @@ DecodedMeta decode_meta(StateReader& r) {
 
   meta.options.stop_on_first_death = r.boolean();
   meta.options.horizon_factor = r.f64();
-  meta.options.horizon_slack_s = r.f64();
+  meta.options.horizon_slack_s = util::Seconds{r.f64()};
   meta.options.multi_flow_blending = r.boolean();
   const std::uint64_t extra_count = r.u64();
   meta.options.extra_flows.reserve(extra_count);
@@ -501,11 +502,11 @@ DecodedMeta decode_meta(StateReader& r) {
   const std::uint64_t energy_count = r.u64();
   meta.instance.energies.reserve(energy_count);
   for (std::uint64_t i = 0; i < energy_count; ++i) {
-    meta.instance.energies.push_back(r.f64());
+    meta.instance.energies.push_back(util::Joules{r.f64()});
   }
   meta.instance.source = static_cast<net::NodeId>(r.u64());
   meta.instance.destination = static_cast<net::NodeId>(r.u64());
-  meta.instance.flow_bits = r.f64();
+  meta.instance.flow_bits = util::Bits{r.f64()};
   const std::uint64_t path_count = r.u64();
   meta.instance.initial_path.reserve(path_count);
   for (std::uint64_t i = 0; i < path_count; ++i) {
@@ -517,7 +518,7 @@ DecodedMeta decode_meta(StateReader& r) {
     for (std::uint64_t& word : meta.sampler_state) word = r.u64();
   }
 
-  meta.warmup_consumed = r.f64();
+  meta.warmup_consumed = util::Joules{r.f64()};
   meta.flow_start = sim::Time::from_ticks(r.i64());
   meta.in_chunk = r.boolean();
   meta.chunk_end = sim::Time::from_ticks(r.i64());
@@ -573,8 +574,8 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
   for (std::uint64_t i = 0; i < flow_count; ++i) {
     net::FlowProgress prog;
     prog.spec = decode_flow_spec(r);
-    prog.emitted_bits = r.f64();
-    prog.delivered_bits = r.f64();
+    prog.emitted_bits = util::Bits{r.f64()};
+    prog.delivered_bits = util::Bits{r.f64()};
     prog.packets_emitted = r.u64();
     prog.packets_delivered = r.u64();
     prog.notifications_from_dest = r.u64();
@@ -639,13 +640,13 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
     position.y = r.f64();
     node.set_position(position);
     node.restore_faulted(r.boolean());
-    node.restore_total_moved(r.f64());
+    node.restore_total_moved(util::Meters{r.f64()});
 
-    const double battery_initial = r.f64();
-    const double battery_residual = r.f64();
-    const double battery_tx = r.f64();
-    const double battery_move = r.f64();
-    const double battery_other = r.f64();
+    const util::Joules battery_initial{r.f64()};
+    const util::Joules battery_residual{r.f64()};
+    const util::Joules battery_tx{r.f64()};
+    const util::Joules battery_move{r.f64()};
+    const util::Joules battery_other{r.f64()};
     node.battery().restore(battery_initial, battery_residual, battery_tx,
                            battery_move, battery_other);
 
@@ -655,7 +656,7 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
       geom::Vec2 neighbor_position;
       neighbor_position.x = r.f64();
       neighbor_position.y = r.f64();
-      const double residual_energy = r.f64();
+      const util::Joules residual_energy{r.f64()};
       const sim::Time last_heard = sim::Time::from_ticks(r.i64());
       node.neighbors().upsert(id, neighbor_position, residual_energy,
                               last_heard);
@@ -669,7 +670,7 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
       entry.destination = static_cast<net::NodeId>(r.u64());
       entry.prev = static_cast<net::NodeId>(r.u64());
       entry.next = static_cast<net::NodeId>(r.u64());
-      entry.residual_bits = r.f64();
+      entry.residual_bits = util::Bits{r.f64()};
       entry.strategy = decode_strategy(r.u8());
       entry.mobility_enabled = r.boolean();
       const bool has_target = r.boolean();
@@ -680,7 +681,7 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
         entry.target = target;
       }
       entry.packets_relayed = r.u64();
-      entry.moved_distance = r.f64();
+      entry.moved_distance = util::Meters{r.f64()};
       const bool has_last_notify = r.boolean();
       if (has_last_notify) entry.last_notify_seq = r.u32();
       const bool has_pending_status = r.boolean();
@@ -696,7 +697,7 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
 
   r.begin_section("policy");
   const std::uint64_t movements = r.u64();
-  const double distance_moved = r.f64();
+  const util::Meters distance_moved{r.f64()};
   const std::uint64_t recruits = r.u64();
   run->policy().restore_counters(movements, distance_moved, recruits);
   r.end_section();

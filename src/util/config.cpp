@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -69,17 +70,28 @@ std::string Config::get_string(const std::string& key,
 double Config::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  std::size_t consumed = 0;
+  const std::string& text = it->second;
+  // std::from_chars, not std::stod: stod throws out_of_range on subnormal
+  // values such as "5e-324", which the shortest-round-trip formatter
+  // (util::Json::number_to_string) legitimately emits — the parser must
+  // accept everything the formatter produces. from_chars also ignores the
+  // locale and accepts a leading '+' not at all, so normalize that here.
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  if (first != last && *first == '+') ++first;
   double value = 0.0;
-  try {
-    value = std::stod(it->second, &consumed);
-  } catch (const std::exception&) {
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::invalid_argument || first == last) {
     throw std::invalid_argument("Config: key '" + key +
-                                "' is not a number: " + it->second);
+                                "' is not a number: " + text);
   }
-  if (consumed != it->second.size()) {
+  if (ec == std::errc::result_out_of_range) {
+    throw std::invalid_argument("Config: key '" + key +
+                                "' is out of double range: " + text);
+  }
+  if (ptr != last) {
     throw std::invalid_argument("Config: trailing junk in '" + key +
-                                "': " + it->second);
+                                "': " + text);
   }
   return value;
 }

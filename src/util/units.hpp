@@ -1,0 +1,254 @@
+// Compile-time dimensional analysis for the simulator's physical quantities.
+//
+// The paper's whole argument is an energy bookkeeping exercise — radio J/bit
+// versus mobility J/m folded into per-packet header aggregates — so mixing a
+// meter with a joule is the cheapest bug class to eliminate statically.
+// Quantity<D> wraps exactly one double and tracks the dimension D (integer
+// exponents over the four base dimensions energy/length/time/bits) in the
+// type. Arithmetic composes dimensions at compile time:
+//
+//   Joules / Meters        -> JoulesPerMeter
+//   JoulesPerBit * Bits    -> Joules
+//   Joules / Joules        -> double        (dimensionless ratios collapse)
+//   Joules + Meters        -> compile error
+//   Joules < Bits          -> compile error
+//
+// Construction from a raw double is explicit and the only way out is
+// .value(); both are reserved for I/O boundaries (JSON, codec, CLI, text
+// parsers) so a unit cannot silently enter or leave the typed layer.
+// tests/compile_fail/ proves the forbidden mixings do not compile and
+// tools/imobif_lint.py bans raw-double unit-suffixed parameters in the
+// energy/core/net public headers so the layer cannot erode.
+//
+// Deliberately NOT represented: the radio amplifier coefficient b, whose
+// unit J * m^-alpha / bit depends on the *runtime* path-loss exponent alpha.
+// RadioParams therefore stays raw and RadioEnergyModel converts at its own
+// boundary (see energy/radio_model.hpp).
+//
+// Quantity is zero-overhead: sizeof(Quantity) == sizeof(double), trivially
+// copyable, every operation constexpr and inline — bench/micro_hotpaths
+// guards the "no regression" claim.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace imobif::util {
+
+/// Dimension exponents over the simulator's base dimensions. A structural
+/// type so it can be a non-type template parameter (C++20).
+struct Dim {
+  int energy = 0;
+  int length = 0;
+  int time = 0;
+  int bits = 0;
+
+  constexpr bool operator==(const Dim&) const = default;
+};
+
+constexpr Dim operator+(Dim a, Dim b) {
+  return {a.energy + b.energy, a.length + b.length, a.time + b.time,
+          a.bits + b.bits};
+}
+
+constexpr Dim operator-(Dim a, Dim b) {
+  return {a.energy - b.energy, a.length - b.length, a.time - b.time,
+          a.bits - b.bits};
+}
+
+constexpr Dim operator-(Dim a) { return Dim{} - a; }
+
+template <Dim D>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  /// The raw double. I/O boundaries only (JSON/codec/CLI/text parsers);
+  /// typed code composes quantities instead of unwrapping them.
+  constexpr double value() const { return value_; }
+
+  static constexpr Dim dim() { return D; }
+
+  // Same-dimension linear arithmetic. Cross-dimension +/- does not exist:
+  // the operands are different types and there is no conversion.
+  constexpr Quantity operator+(Quantity o) const {
+    return Quantity(value_ + o.value_);
+  }
+  constexpr Quantity operator-(Quantity o) const {
+    return Quantity(value_ - o.value_);
+  }
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+
+  // Dimensionless scaling.
+  constexpr Quantity operator*(double s) const { return Quantity(value_ * s); }
+  constexpr Quantity operator/(double s) const { return Quantity(value_ / s); }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  // Same-dimension comparison only; comparing against a raw double is a
+  // compile error by design (wrap the literal instead). Hand-written rather
+  // than a defaulted <=>: spaceship on double routes relational operators
+  // through std::partial_ordering, which gcc -O2 does not always collapse
+  // back to a bare ucomisd — measurably slower in the evaluate_hop path.
+  constexpr bool operator==(Quantity o) const { return value_ == o.value_; }
+  constexpr bool operator!=(Quantity o) const { return value_ != o.value_; }
+  constexpr bool operator<(Quantity o) const { return value_ < o.value_; }
+  constexpr bool operator<=(Quantity o) const { return value_ <= o.value_; }
+  constexpr bool operator>(Quantity o) const { return value_ > o.value_; }
+  constexpr bool operator>=(Quantity o) const { return value_ >= o.value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+template <Dim D>
+constexpr Quantity<D> operator*(double s, Quantity<D> q) {
+  return Quantity<D>(s * q.value());
+}
+
+/// Dimension-composing multiply; a product that cancels every exponent
+/// collapses to a plain double so ratios read naturally.
+template <Dim A, Dim B>
+constexpr auto operator*(Quantity<A> a, Quantity<B> b) {
+  constexpr Dim kResult = A + B;
+  if constexpr (kResult == Dim{}) {
+    return a.value() * b.value();
+  } else {
+    return Quantity<kResult>(a.value() * b.value());
+  }
+}
+
+/// Dimension-composing divide; same-dimension division yields a double.
+template <Dim A, Dim B>
+constexpr auto operator/(Quantity<A> a, Quantity<B> b) {
+  constexpr Dim kResult = A - B;
+  if constexpr (kResult == Dim{}) {
+    return a.value() / b.value();
+  } else {
+    return Quantity<kResult>(a.value() / b.value());
+  }
+}
+
+template <Dim D>
+constexpr Quantity<-D> operator/(double s, Quantity<D> q) {
+  return Quantity<-D>(s / q.value());
+}
+
+// Dimension-preserving math helpers, so typed code never needs .value()
+// just to clamp or take a magnitude.
+template <Dim D>
+inline bool isfinite(Quantity<D> q) {
+  return std::isfinite(q.value());
+}
+template <Dim D>
+inline bool isnan(Quantity<D> q) {
+  return std::isnan(q.value());
+}
+template <Dim D>
+constexpr Quantity<D> abs(Quantity<D> q) {
+  return Quantity<D>(q.value() < 0.0 ? -q.value() : q.value());
+}
+template <Dim D>
+constexpr Quantity<D> min(Quantity<D> a, Quantity<D> b) {
+  return b < a ? b : a;
+}
+template <Dim D>
+constexpr Quantity<D> max(Quantity<D> a, Quantity<D> b) {
+  return a < b ? b : a;
+}
+template <Dim D>
+constexpr Quantity<D> clamp(Quantity<D> q, Quantity<D> lo, Quantity<D> hi) {
+  return q < lo ? lo : (hi < q ? hi : q);
+}
+
+// The simulator's working set of units.
+using Joules = Quantity<Dim{1, 0, 0, 0}>;
+using Meters = Quantity<Dim{0, 1, 0, 0}>;
+using Seconds = Quantity<Dim{0, 0, 1, 0}>;
+using Bits = Quantity<Dim{0, 0, 0, 1}>;
+using JoulesPerMeter = Quantity<Dim{1, -1, 0, 0}>;   ///< mobility k
+using JoulesPerBit = Quantity<Dim{1, 0, 0, -1}>;     ///< radio P(d)
+using Watts = Quantity<Dim{1, 0, -1, 0}>;            ///< J/s
+using MetersPerSecond = Quantity<Dim{0, 1, -1, 0}>;  ///< node speed
+using BitsPerSecond = Quantity<Dim{0, 0, -1, 1}>;    ///< flow rate
+
+static_assert(sizeof(Joules) == sizeof(double),
+              "Quantity must add no storage over a raw double");
+static_assert(sizeof(JoulesPerBit) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Joules>);
+static_assert(std::is_trivially_destructible_v<Meters>);
+
+// Spot-check the dimension algebra at compile time.
+// lint:allow(float-equality) x3 below: exact constexpr checks on values
+// (6/2, 0.5*8) that are representable without rounding.
+static_assert((Joules{6.0} / Meters{2.0}).value() == 3.0);  // lint:allow(float-equality)
+static_assert(Joules{6.0} / Joules{2.0} == 3.0);  // lint:allow(float-equality)
+static_assert((JoulesPerBit{0.5} * Bits{8.0}).value() == 4.0);  // lint:allow(float-equality)
+static_assert((Meters{3.0} / Seconds{2.0}).dim() == MetersPerSecond::dim());
+static_assert((Joules{4.0} / Seconds{2.0}).dim() == Watts::dim());
+static_assert((Bits{8.0} / BitsPerSecond{2.0}).dim() == Seconds::dim());
+
+inline namespace literals {
+
+constexpr Joules operator""_J(long double v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(long double v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Bits operator""_bits(long double v) {
+  return Bits{static_cast<double>(v)};
+}
+constexpr JoulesPerMeter operator""_J_per_m(long double v) {
+  return JoulesPerMeter{static_cast<double>(v)};
+}
+constexpr JoulesPerBit operator""_J_per_bit(long double v) {
+  return JoulesPerBit{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+constexpr MetersPerSecond operator""_mps(long double v) {
+  return MetersPerSecond{static_cast<double>(v)};
+}
+constexpr BitsPerSecond operator""_bps(long double v) {
+  return BitsPerSecond{static_cast<double>(v)};
+}
+
+constexpr Joules operator""_J(unsigned long long v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Meters operator""_m(unsigned long long v) {
+  return Meters{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Bits operator""_bits(unsigned long long v) {
+  return Bits{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+static_assert(5.0_J + 3.0_J == 8.0_J);
+static_assert(100.0_m > 50.0_m);
+
+}  // namespace imobif::util

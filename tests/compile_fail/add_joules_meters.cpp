@@ -1,0 +1,13 @@
+// Adding a joule to a meter must not compile: operator+ only exists for
+// operands of the same dimension.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return (util::Joules{1.0} + util::Joules{2.0}).value();
+#else
+  return (util::Joules{1.0} + util::Meters{2.0}).value();
+#endif
+}

@@ -1,0 +1,13 @@
+// Adding a raw double to a quantity must not compile; only same-dimension
+// quantities can be summed.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return (util::Bits{8192.0} + util::Bits{1.0}).value();
+#else
+  return (util::Bits{8192.0} + 1.0).value();
+#endif
+}

@@ -1,0 +1,15 @@
+// Assigning a meter into a joule variable must not compile: different
+// dimensions are unrelated types with no conversion between them.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+  util::Joules e{1.0};
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  e = util::Joules{2.0};
+#else
+  e = util::Meters{2.0};
+#endif
+  return e.value();
+}

@@ -1,0 +1,15 @@
+// The energy layer's public API is typed end to end: drawing meters out
+// of a battery must not compile.
+#include "energy/battery.hpp"
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+  energy::Battery b(util::Joules{10.0});
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return b.draw(util::Joules{1.0}, energy::DrawKind::kTransmit).value();
+#else
+  return b.draw(util::Meters{1.0}, energy::DrawKind::kTransmit).value();
+#endif
+}

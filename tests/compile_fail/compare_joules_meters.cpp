@@ -1,0 +1,13 @@
+// Ordering a joule against a meter must not compile: relational operators
+// only accept the same dimension.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+bool probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return util::Joules{1.0} < util::Joules{2.0};
+#else
+  return util::Joules{1.0} < util::Meters{2.0};
+#endif
+}

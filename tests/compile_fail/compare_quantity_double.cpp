@@ -1,0 +1,13 @@
+// Comparing a quantity against a raw double must not compile; the literal
+// has to be wrapped so the dimension is stated explicitly.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+bool probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return util::Meters{100.0} > util::Meters{50.0};
+#else
+  return util::Meters{100.0} > 50.0;
+#endif
+}

@@ -1,0 +1,14 @@
+// Quantity construction from a raw double is explicit: an implicit
+// conversion (copy-initialization) must not compile.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  util::Joules e{5.0};
+#else
+  util::Joules e = 5.0;
+#endif
+  return e.value();
+}

@@ -1,0 +1,14 @@
+// A quantity must not decay to a raw double implicitly; leaving the typed
+// layer requires an explicit .value() at an I/O boundary.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  double d = util::Joules{5.0}.value();
+#else
+  double d = util::Joules{5.0};
+#endif
+  return d;
+}

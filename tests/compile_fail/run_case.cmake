@@ -1,0 +1,52 @@
+# Negative-compilation runner for one tests/compile_fail/ case.
+#
+# Invoked by ctest as
+#   cmake -DCOMPILER=<c++> -DFLAGS=<flags> -DSRC=<case.cpp> -DLOG=<file>
+#         -P run_case.cmake
+#
+# Two phases:
+#   1. Positive control: the file MUST compile with
+#      -DCOMPILE_FAIL_POSITIVE_CONTROL (the corrected expression). This
+#      proves a failure in phase 2 comes from the forbidden mixing, not
+#      from a broken include path or unrelated syntax error.
+#   2. Negative check: without the define the file MUST fail to compile.
+#
+# The full compiler output of both phases is appended to LOG so CI can
+# upload the harness transcript as an artifact.
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+get_filename_component(case_name "${SRC}" NAME_WE)
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -DCOMPILE_FAIL_POSITIVE_CONTROL
+          -fsyntax-only "${SRC}"
+  RESULT_VARIABLE control_result
+  OUTPUT_VARIABLE control_out
+  ERROR_VARIABLE control_err)
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -fsyntax-only "${SRC}"
+  RESULT_VARIABLE negative_result
+  OUTPUT_VARIABLE negative_out
+  ERROR_VARIABLE negative_err)
+
+file(APPEND "${LOG}"
+  "==== ${case_name} ====\n"
+  "-- positive control (must compile): exit ${control_result}\n"
+  "${control_out}${control_err}"
+  "-- negative check (must NOT compile): exit ${negative_result}\n"
+  "${negative_out}${negative_err}\n")
+
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+    "${case_name}: positive control failed to compile - the case is broken, "
+    "not proving anything:\n${control_err}")
+endif()
+
+if(negative_result EQUAL 0)
+  message(FATAL_ERROR
+    "${case_name}: forbidden mixing COMPILED - the units layer lost its "
+    "static guarantee")
+endif()
+
+message(STATUS "${case_name}: control compiles, forbidden mixing rejected")

@@ -1,0 +1,16 @@
+// Compound scaling (*=) takes a dimensionless factor only; scaling a
+// quantity by another quantity in place must not compile (m *= m would
+// silently be m^2 stored as m).
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+  util::Meters m{5.0};
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  m *= 2.0;
+#else
+  m *= util::Meters{2.0};
+#endif
+  return m.value();
+}

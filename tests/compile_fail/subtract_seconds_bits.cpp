@@ -1,0 +1,12 @@
+// Subtracting bits from seconds must not compile.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return (util::Seconds{3.0} - util::Seconds{1.0}).value();
+#else
+  return (util::Seconds{3.0} - util::Bits{1.0}).value();
+#endif
+}

@@ -1,0 +1,19 @@
+// Swapping (distance, bits) in transmit_energy must not compile — the
+// typed signature is exactly the argument-order bug class the units layer
+// exists to kill.
+#include "energy/radio_model.hpp"
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+  energy::RadioParams p;
+  const energy::RadioEnergyModel radio(p);
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  return radio.transmit_energy(util::Meters{150.0}, util::Bits{8192.0})
+      .value();
+#else
+  return radio.transmit_energy(util::Bits{8192.0}, util::Meters{150.0})
+      .value();
+#endif
+}

@@ -1,0 +1,14 @@
+// The dimension algebra runs at compile time: J/m times bits is NOT a
+// joule, so binding the product to Joules must not compile.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  util::Joules e = util::JoulesPerMeter{0.5} * util::Meters{30.0};
+#else
+  util::Joules e = util::JoulesPerMeter{0.5} * util::Bits{30.0};
+#endif
+  return e.value();
+}

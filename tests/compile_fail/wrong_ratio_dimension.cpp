@@ -1,0 +1,14 @@
+// Bits / rate is a duration. Binding it to anything but Seconds (here:
+// Meters) must not compile.
+#include "util/units.hpp"
+
+using namespace imobif;
+
+double probe() {
+#ifdef COMPILE_FAIL_POSITIVE_CONTROL
+  util::Seconds t = util::Bits{8192.0} / util::BitsPerSecond{1024.0};
+#else
+  util::Meters t = util::Bits{8192.0} / util::BitsPerSecond{1024.0};
+#endif
+  return t.value();
+}

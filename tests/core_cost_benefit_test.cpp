@@ -5,6 +5,10 @@
 namespace imobif::core {
 namespace {
 
+using util::Bits;
+using util::Joules;
+using util::Meters;
+
 energy::RadioEnergyModel radio() {
   energy::RadioParams p;
   p.a = 1e-7;
@@ -23,43 +27,51 @@ energy::MobilityEnergyModel mobility(double k = 0.5) {
 TEST(EvaluateLocal, MatchesFigure1Formulas) {
   const auto r = radio();
   const auto m = mobility(0.5);
-  const double e = 100.0;
-  const double L = 1e6;
+  const Joules e{100.0};
+  const Bits L{1e6};
   const geom::Vec2 x{0, 0}, xp{30, 0}, next{150, 0};
 
   const LocalPerformance p =
       evaluate_local(r, m, e, L, x, xp, next, /*cap_bits=*/false);
 
-  const double d_now = 150.0, d_after = 120.0, move = 30.0;
-  EXPECT_DOUBLE_EQ(p.resi_nomob, e - r.transmit_energy(d_now, L));
-  EXPECT_DOUBLE_EQ(p.bits_nomob, e / r.power_per_bit(d_now));
-  EXPECT_DOUBLE_EQ(p.resi_mob,
-                   e - r.transmit_energy(d_after, L) - 0.5 * move);
-  EXPECT_DOUBLE_EQ(p.bits_mob,
-                   (e - 0.5 * move) / r.power_per_bit(d_after));
+  const Meters d_now{150.0}, d_after{120.0}, move{30.0};
+  EXPECT_DOUBLE_EQ(p.resi_nomob.value(),
+                   (e - r.transmit_energy(d_now, L)).value());
+  EXPECT_DOUBLE_EQ(p.bits_nomob.value(), (e / r.power_per_bit(d_now)).value());
+  EXPECT_DOUBLE_EQ(
+      p.resi_mob.value(),
+      (e - r.transmit_energy(d_after, L) - util::JoulesPerMeter{0.5} * move)
+          .value());
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(),
+                   ((e - util::JoulesPerMeter{0.5} * move) /
+                    r.power_per_bit(d_after))
+                       .value());
 }
 
 TEST(EvaluateLocal, CapBindsBothAlternatives) {
   const auto r = radio();
   const auto m = mobility(0.5);
   // Plenty of energy: uncapped bits far exceed the 1000-bit residual flow.
-  const LocalPerformance p = evaluate_local(r, m, 100.0, 1000.0, {0, 0},
-                                            {10, 0}, {150, 0},
-                                            /*cap_bits=*/true);
-  EXPECT_DOUBLE_EQ(p.bits_mob, 1000.0);
-  EXPECT_DOUBLE_EQ(p.bits_nomob, 1000.0);
+  const LocalPerformance p =
+      evaluate_local(r, m, Joules{100.0}, Bits{1000.0}, {0, 0}, {10, 0},
+                     {150, 0},
+                     /*cap_bits=*/true);
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(p.bits_nomob.value(), 1000.0);
 }
 
 TEST(EvaluateLocal, CapDoesNotBindWeakNode) {
   const auto r = radio();
   const auto m = mobility(0.5);
   // Tiny battery: capacity below the residual flow, cap irrelevant.
-  const LocalPerformance capped = evaluate_local(
-      r, m, 1e-3, 1e9, {0, 0}, {10, 0}, {150, 0}, /*cap_bits=*/true);
-  const LocalPerformance raw = evaluate_local(
-      r, m, 1e-3, 1e9, {0, 0}, {10, 0}, {150, 0}, /*cap_bits=*/false);
-  EXPECT_DOUBLE_EQ(capped.bits_nomob, raw.bits_nomob);
-  EXPECT_DOUBLE_EQ(capped.bits_mob, raw.bits_mob);
+  const LocalPerformance capped =
+      evaluate_local(r, m, Joules{1e-3}, Bits{1e9}, {0, 0}, {10, 0}, {150, 0},
+                     /*cap_bits=*/true);
+  const LocalPerformance raw =
+      evaluate_local(r, m, Joules{1e-3}, Bits{1e9}, {0, 0}, {10, 0}, {150, 0},
+                     /*cap_bits=*/false);
+  EXPECT_DOUBLE_EQ(capped.bits_nomob.value(), raw.bits_nomob.value());
+  EXPECT_DOUBLE_EQ(capped.bits_mob.value(), raw.bits_mob.value());
 }
 
 TEST(EvaluateLocal, MoveCostExceedingEnergyClampsBits) {
@@ -67,11 +79,11 @@ TEST(EvaluateLocal, MoveCostExceedingEnergyClampsBits) {
   const auto m = mobility(1.0);
   // Moving 200 m at 1 J/m with only 50 J: bits_mob must clamp to zero, not
   // go negative; resi_mob goes negative (the deficit signal).
-  const LocalPerformance p = evaluate_local(r, m, 50.0, 1e6, {0, 0},
-                                            {200, 0}, {250, 0},
-                                            /*cap_bits=*/false);
-  EXPECT_DOUBLE_EQ(p.bits_mob, 0.0);
-  EXPECT_LT(p.resi_mob, 0.0);
+  const LocalPerformance p =
+      evaluate_local(r, m, Joules{50.0}, Bits{1e6}, {0, 0}, {200, 0}, {250, 0},
+                     /*cap_bits=*/false);
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(), 0.0);
+  EXPECT_LT(p.resi_mob, Joules{0.0});
 }
 
 TEST(EvaluateLocal, NoMoveMeansAlternativesCoincide) {
@@ -79,19 +91,20 @@ TEST(EvaluateLocal, NoMoveMeansAlternativesCoincide) {
   const auto m = mobility(0.5);
   const geom::Vec2 x{10, 20};
   const LocalPerformance p =
-      evaluate_local(r, m, 42.0, 5e5, x, x, {150, 20}, true);
-  EXPECT_DOUBLE_EQ(p.bits_mob, p.bits_nomob);
-  EXPECT_DOUBLE_EQ(p.resi_mob, p.resi_nomob);
+      evaluate_local(r, m, Joules{42.0}, Bits{5e5}, x, x, {150, 20}, true);
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(), p.bits_nomob.value());
+  EXPECT_DOUBLE_EQ(p.resi_mob.value(), p.resi_nomob.value());
 }
 
 TEST(EvaluateSource, AlternativesAlwaysCoincide) {
   const auto r = radio();
   const LocalPerformance p =
-      evaluate_source(r, 42.0, 5e5, {0, 0}, {150, 0}, true);
-  EXPECT_DOUBLE_EQ(p.bits_mob, p.bits_nomob);
-  EXPECT_DOUBLE_EQ(p.resi_mob, p.resi_nomob);
-  EXPECT_DOUBLE_EQ(p.resi_nomob,
-                   42.0 - r.transmit_energy(150.0, 5e5));
+      evaluate_source(r, Joules{42.0}, Bits{5e5}, {0, 0}, {150, 0}, true);
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(), p.bits_nomob.value());
+  EXPECT_DOUBLE_EQ(p.resi_mob.value(), p.resi_nomob.value());
+  EXPECT_DOUBLE_EQ(
+      p.resi_nomob.value(),
+      (Joules{42.0} - r.transmit_energy(Meters{150.0}, Bits{5e5})).value());
 }
 
 TEST(EvaluateHop, UsesPlannedEndpointsForMobility) {
@@ -99,61 +112,68 @@ TEST(EvaluateHop, UsesPlannedEndpointsForMobility) {
   // Sender at (0,0) planning to hold (0,0); receiver at (150,0) planning to
   // move to (100,0): the planned hop is 100 m.
   const LocalPerformance p = evaluate_hop(
-      r, /*sender_energy=*/50.0, /*pending_move=*/0.0, {0, 0}, {0, 0},
-      {150, 0}, {100, 0}, /*residual_bits=*/1e9, /*cap_bits=*/false);
-  EXPECT_DOUBLE_EQ(p.bits_nomob, 50.0 / r.power_per_bit(150.0));
-  EXPECT_DOUBLE_EQ(p.bits_mob, 50.0 / r.power_per_bit(100.0));
+      r, /*sender_energy=*/Joules{50.0}, /*pending_move=*/Joules{0.0}, {0, 0},
+      {0, 0}, {150, 0}, {100, 0}, /*residual_bits=*/Bits{1e9},
+      /*cap_bits=*/false);
+  EXPECT_DOUBLE_EQ(p.bits_nomob.value(),
+                   (Joules{50.0} / r.power_per_bit(Meters{150.0})).value());
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(),
+                   (Joules{50.0} / r.power_per_bit(Meters{100.0})).value());
   EXPECT_GT(p.bits_mob, p.bits_nomob);
 }
 
 TEST(EvaluateHop, SenderMoveCostDebitsMobilityAlternative) {
   const auto r = radio();
-  const LocalPerformance p = evaluate_hop(
-      r, 50.0, /*pending_move=*/20.0, {0, 0}, {50, 0}, {150, 0}, {150, 0},
-      1e6, false);
-  EXPECT_DOUBLE_EQ(p.resi_mob,
-                   50.0 - 20.0 - r.transmit_energy(100.0, 1e6));
-  EXPECT_DOUBLE_EQ(p.bits_mob, 30.0 / r.power_per_bit(100.0));
+  const LocalPerformance p =
+      evaluate_hop(r, Joules{50.0}, /*pending_move=*/Joules{20.0}, {0, 0},
+                   {50, 0}, {150, 0}, {150, 0}, Bits{1e6}, false);
+  EXPECT_DOUBLE_EQ(p.resi_mob.value(),
+                   (Joules{50.0} - Joules{20.0} -
+                    r.transmit_energy(Meters{100.0}, Bits{1e6}))
+                       .value());
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(),
+                   (Joules{30.0} / r.power_per_bit(Meters{100.0})).value());
 }
 
 TEST(EvaluateHop, PendingMoveBeyondEnergyClampsBits) {
   const auto r = radio();
   const LocalPerformance p =
-      evaluate_hop(r, 10.0, 25.0, {0, 0}, {50, 0}, {150, 0}, {150, 0},
-                   1e6, false);
-  EXPECT_DOUBLE_EQ(p.bits_mob, 0.0);
-  EXPECT_LT(p.resi_mob, 0.0);
+      evaluate_hop(r, Joules{10.0}, Joules{25.0}, {0, 0}, {50, 0}, {150, 0},
+                   {150, 0}, Bits{1e6}, false);
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(), 0.0);
+  EXPECT_LT(p.resi_mob, Joules{0.0});
 }
 
 TEST(EvaluateHop, CapAppliesToBothAlternatives) {
   const auto r = radio();
-  const LocalPerformance p = evaluate_hop(r, 1e6, 0.0, {0, 0}, {0, 0},
-                                          {150, 0}, {150, 0},
-                                          /*residual_bits=*/500.0, true);
-  EXPECT_DOUBLE_EQ(p.bits_mob, 500.0);
-  EXPECT_DOUBLE_EQ(p.bits_nomob, 500.0);
+  const LocalPerformance p =
+      evaluate_hop(r, Joules{1e6}, Joules{0.0}, {0, 0}, {0, 0}, {150, 0},
+                   {150, 0},
+                   /*residual_bits=*/Bits{500.0}, true);
+  EXPECT_DOUBLE_EQ(p.bits_mob.value(), 500.0);
+  EXPECT_DOUBLE_EQ(p.bits_nomob.value(), 500.0);
 }
 
 TEST(EvaluateHop, TotalEnergyTradeoffEmergesFromSum) {
   // Sanity for the hop-receiver design: summing (resi_mob - resi_nomob)
   // across hops equals transmission savings minus movement cost.
   const auto r = radio();
-  const double L = 1e6;
+  const Bits L{1e6};
   // Two hops: A(0,0) -> B(150,0) -> C(300,0); B plans to move to (140,0)
   // at a pending cost of 5 J.
-  const LocalPerformance hop1 =
-      evaluate_hop(r, 100.0, 0.0, {0, 0}, {0, 0}, {150, 0}, {140, 0}, L,
-                   false);
-  const LocalPerformance hop2 = evaluate_hop(r, 100.0, 5.0, {150, 0},
-                                             {140, 0}, {300, 0}, {300, 0},
-                                             L, false);
-  const double delta = (hop1.resi_mob - hop1.resi_nomob) +
+  const LocalPerformance hop1 = evaluate_hop(
+      r, Joules{100.0}, Joules{0.0}, {0, 0}, {0, 0}, {150, 0}, {140, 0}, L,
+      false);
+  const LocalPerformance hop2 = evaluate_hop(
+      r, Joules{100.0}, Joules{5.0}, {150, 0}, {140, 0}, {300, 0}, {300, 0},
+      L, false);
+  const Joules delta = (hop1.resi_mob - hop1.resi_nomob) +
                        (hop2.resi_mob - hop2.resi_nomob);
-  const double savings = (r.transmit_energy(150.0, L) -
-                          r.transmit_energy(140.0, L)) +
-                         (r.transmit_energy(150.0, L) -
-                          r.transmit_energy(160.0, L));
-  EXPECT_NEAR(delta, savings - 5.0, 1e-9);
+  const Joules savings = (r.transmit_energy(Meters{150.0}, L) -
+                          r.transmit_energy(Meters{140.0}, L)) +
+                         (r.transmit_energy(Meters{150.0}, L) -
+                          r.transmit_energy(Meters{160.0}, L));
+  EXPECT_NEAR(delta.value(), (savings - Joules{5.0}).value(), 1e-9);
 }
 
 }  // namespace

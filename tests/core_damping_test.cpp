@@ -13,11 +13,12 @@ net::DataBody enable_worthy_packet(std::uint32_t seq) {
   net::DataBody data;
   data.strategy = net::StrategyId::kMinTotalEnergy;
   data.seq = seq;
-  data.residual_flow_bits = 1000.0;
+  data.residual_flow_bits = util::Bits{1000.0};
   data.mobility_enabled = false;
   data.sender_has_plan = true;
-  data.sender_move_cost = 0.0;
-  data.agg = {1e12, 1e12, 1.0, 1.0};  // mobility hugely better
+  data.sender_move_cost = util::Joules{0.0};
+  data.agg = {util::Bits{1e12}, util::Joules{1e12}, util::Bits{1.0},
+              util::Joules{1.0}};  // mobility hugely better
   return data;
 }
 
@@ -84,7 +85,8 @@ TEST(NotificationDamping, GapAppliesAcrossDirectionFlips) {
   auto disable = enable_worthy_packet(1);
   disable.sender_target = h.net().node(0).position();
   disable.mobility_enabled = true;
-  disable.agg = {1.0, 1.0, 1e12, 1e12};
+  disable.agg = {util::Bits{1.0}, util::Joules{1.0}, util::Bits{1e12},
+                 util::Joules{1e12}};
   EXPECT_FALSE(
       h.policy->evaluate_at_destination(h.net().node(1), disable, entry)
           .has_value());
@@ -102,10 +104,10 @@ TEST(NotificationDamping, EndToEndRateBoundHolds) {
   // must be unaffected.
   exp::ScenarioParams p;
   p.mobility.k = 0.1;
-  p.mean_flow_bits = 1024.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{1024.0 * 1024.0 * 8.0};
   p.length_estimate_factor = 4.0;  // oscillation-prone (see ablation A2)
   p.node_count = 60;
-  p.area_m = 800.0;
+  p.area_m = util::Meters{800.0};
   p.seed = 21;
   p.notification_min_gap = 8;
 

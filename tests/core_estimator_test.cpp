@@ -11,6 +11,8 @@ namespace imobif::core {
 namespace {
 
 using test::make_harness;
+using util::Bits;
+using util::Joules;
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -22,7 +24,7 @@ struct Fixture {
   net::DataBody data;
 
   Fixture() {
-    h.net().warmup(25.0);
+    h.net().warmup(util::Seconds{25.0});
     source_entry.id = 1;
     source_entry.source = 0;
     source_entry.destination = 2;
@@ -34,19 +36,19 @@ struct Fixture {
     data.source = 0;
     data.destination = 2;
     data.strategy = net::StrategyId::kMinTotalEnergy;
-    data.residual_flow_bits = 1e6;
+    data.residual_flow_bits = Bits{1e6};
   }
 };
 
 TEST(HopReceiverEstimator, SeedInitializesIdentityAndPlan) {
   Fixture f;
   f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
-  EXPECT_EQ(f.data.agg.bits_mob, kInf);
-  EXPECT_EQ(f.data.agg.bits_nomob, kInf);
-  EXPECT_EQ(f.data.agg.resi_mob, 0.0);  // sum identity for min-energy
+  EXPECT_EQ(f.data.agg.bits_mob, Bits{kInf});
+  EXPECT_EQ(f.data.agg.bits_nomob, Bits{kInf});
+  EXPECT_EQ(f.data.agg.resi_mob, Joules{0.0});  // sum identity for min-energy
   EXPECT_TRUE(f.data.sender_has_plan);
   EXPECT_EQ(f.data.sender_target, f.h.net().node(0).position());
-  EXPECT_DOUBLE_EQ(f.data.sender_move_cost, 0.0);
+  EXPECT_DOUBLE_EQ(f.data.sender_move_cost.value(), 0.0);
 }
 
 TEST(HopReceiverEstimator, RelayFoldsHopAndStampsOwnPlan) {
@@ -55,9 +57,9 @@ TEST(HopReceiverEstimator, RelayFoldsHopAndStampsOwnPlan) {
   f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
 
   // The fold replaced the identities with the source->relay hop values.
-  EXPECT_LT(f.data.agg.bits_mob, kInf);
-  EXPECT_LT(f.data.agg.bits_nomob, kInf);
-  EXPECT_NE(f.data.agg.resi_nomob, 0.0);
+  EXPECT_LT(f.data.agg.bits_mob, Bits{kInf});
+  EXPECT_LT(f.data.agg.bits_nomob, Bits{kInf});
+  EXPECT_NE(f.data.agg.resi_nomob, Joules{0.0});
 
   // The relay stamped its own plan: the min-energy target is the midpoint
   // of source and dest, and the move cost is k times the distance to it.
@@ -66,7 +68,7 @@ TEST(HopReceiverEstimator, RelayFoldsHopAndStampsOwnPlan) {
   EXPECT_EQ(f.data.sender_target, *f.relay_entry.target);
   const double dist = geom::distance(f.h.net().node(1).position(),
                                      *f.relay_entry.target);
-  EXPECT_NEAR(f.data.sender_move_cost, 0.5 * dist, 1e-9);
+  EXPECT_NEAR(f.data.sender_move_cost.value(), 0.5 * dist, 1e-9);
   EXPECT_EQ(*f.relay_entry.target,
             geom::midpoint(f.h.net().node(0).position(),
                            f.h.net().node(2).position()));
@@ -74,20 +76,20 @@ TEST(HopReceiverEstimator, RelayFoldsHopAndStampsOwnPlan) {
 
 TEST(HopReceiverEstimator, CapBindsAggregatedBits) {
   Fixture f;
-  f.data.residual_flow_bits = 1000.0;  // tiny residual: cap binds
+  f.data.residual_flow_bits = Bits{1000.0};  // tiny residual: cap binds
   f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
   f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
-  EXPECT_DOUBLE_EQ(f.data.agg.bits_mob, 1000.0);
-  EXPECT_DOUBLE_EQ(f.data.agg.bits_nomob, 1000.0);
+  EXPECT_DOUBLE_EQ(f.data.agg.bits_mob.value(), 1000.0);
+  EXPECT_DOUBLE_EQ(f.data.agg.bits_nomob.value(), 1000.0);
 }
 
 TEST(HopReceiverEstimator, UncappedExceedsResidual) {
   Fixture f;
   f.h.policy->set_cap_bits(false);
-  f.data.residual_flow_bits = 1000.0;
+  f.data.residual_flow_bits = Bits{1000.0};
   f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
   f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
-  EXPECT_GT(f.data.agg.bits_nomob, 1000.0);
+  EXPECT_GT(f.data.agg.bits_nomob, Bits{1000.0});
 }
 
 TEST(PaperLocalEstimator, SeedCarriesSourceValues) {
@@ -97,16 +99,16 @@ TEST(PaperLocalEstimator, SeedCarriesSourceValues) {
   // No plan stamping in the literal Figure-1 listing.
   EXPECT_FALSE(f.data.sender_has_plan);
   // Source values coincide across alternatives (the source cannot move).
-  EXPECT_DOUBLE_EQ(f.data.agg.bits_mob, f.data.agg.bits_nomob);
-  EXPECT_DOUBLE_EQ(f.data.agg.resi_mob, f.data.agg.resi_nomob);
-  EXPECT_GT(f.data.agg.bits_nomob, 0.0);
+  EXPECT_DOUBLE_EQ(f.data.agg.bits_mob.value(), f.data.agg.bits_nomob.value());
+  EXPECT_DOUBLE_EQ(f.data.agg.resi_mob.value(), f.data.agg.resi_nomob.value());
+  EXPECT_GT(f.data.agg.bits_nomob, Bits{0.0});
 }
 
 TEST(PaperLocalEstimator, RelayAggregatesOwnOutHop) {
   Fixture f;
   f.h.policy->set_estimator(BenefitEstimator::kPaperLocal);
   f.h.policy->seed_at_source(f.h.net().node(0), f.data, f.source_entry);
-  const double seed_resi = f.data.agg.resi_nomob;
+  const Joules seed_resi = f.data.agg.resi_nomob;
   f.h.policy->on_relay(f.h.net().node(1), f.data, f.relay_entry);
   // Sum-aggregation added the relay's own expected residual.
   EXPECT_NE(f.data.agg.resi_nomob, seed_resi);
@@ -123,7 +125,7 @@ TEST(Estimators, NoMobilityModeNeverTouchesHeaders) {
   data.strategy = net::StrategyId::kMinTotalEnergy;
   h.policy->seed_at_source(h.net().node(0), data, entry);
   EXPECT_FALSE(data.sender_has_plan);
-  EXPECT_EQ(data.agg.bits_mob, 0.0);
+  EXPECT_EQ(data.agg.bits_mob, Bits{0.0});
 }
 
 TEST(Estimators, UnknownStrategyIgnored) {

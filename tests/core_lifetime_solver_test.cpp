@@ -10,6 +10,9 @@
 namespace imobif::core {
 namespace {
 
+using util::Joules;
+using util::Meters;
+
 energy::RadioParams radio(double a, double b, double alpha) {
   energy::RadioParams p;
   p.a = a;
@@ -24,7 +27,10 @@ double power(const energy::RadioParams& p, double d) {
 
 TEST(LifetimeSolver, EqualEnergiesSplitInHalf) {
   const auto p = radio(1e-7, 1e-10, 2.0);
-  EXPECT_NEAR(exact_lifetime_split(p, 10.0, 10.0, 200.0), 100.0, 1e-4);
+  EXPECT_NEAR(
+      exact_lifetime_split(p, Joules{10.0}, Joules{10.0}, Meters{200.0})
+          .value(),
+      100.0, 1e-4);
 }
 
 TEST(LifetimeSolver, SolutionSatisfiesTheoremCondition) {
@@ -36,7 +42,9 @@ TEST(LifetimeSolver, SolutionSatisfiesTheoremCondition) {
       const double e_self = rng.uniform(1.0, 100.0);
       const double total = rng.uniform(50.0, 400.0);
       const double d_prev =
-          exact_lifetime_split(p, e_prev, e_self, total, 1e-9);
+          exact_lifetime_split(p, Joules{e_prev}, Joules{e_self},
+                               Meters{total}, Meters{1e-9})
+              .value();
       if (d_prev <= 0.0 || d_prev >= total) continue;  // clamped case
       const double ratio = power(p, d_prev) / power(p, total - d_prev);
       EXPECT_NEAR(ratio, e_prev / e_self, 1e-5 * (e_prev / e_self))
@@ -49,20 +57,28 @@ TEST(LifetimeSolver, ClampsUnreachableRatios) {
   // With a large electronics constant, P varies little; an extreme energy
   // ratio cannot be balanced and the split saturates.
   const auto p = radio(1.0, 1e-10, 2.0);
-  EXPECT_DOUBLE_EQ(exact_lifetime_split(p, 1e9, 1.0, 100.0), 100.0);
-  EXPECT_DOUBLE_EQ(exact_lifetime_split(p, 1.0, 1e9, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      exact_lifetime_split(p, Joules{1e9}, Joules{1.0}, Meters{100.0}).value(),
+      100.0);
+  EXPECT_DOUBLE_EQ(
+      exact_lifetime_split(p, Joules{1.0}, Joules{1e9}, Meters{100.0}).value(),
+      0.0);
 }
 
 TEST(LifetimeSolver, ZeroDistance) {
   const auto p = radio(1e-7, 1e-10, 2.0);
-  EXPECT_DOUBLE_EQ(exact_lifetime_split(p, 5.0, 7.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      exact_lifetime_split(p, Joules{5.0}, Joules{7.0}, Meters{0.0}).value(),
+      0.0);
 }
 
 TEST(LifetimeSolver, Validation) {
   const auto p = radio(1e-7, 1e-10, 2.0);
-  EXPECT_THROW(exact_lifetime_split(p, 1.0, 1.0, -5.0),
-               std::invalid_argument);
-  EXPECT_THROW(exact_lifetime_split(p, 1.0, 1.0, 5.0, 0.0),
+  EXPECT_THROW(
+      exact_lifetime_split(p, Joules{1.0}, Joules{1.0}, Meters{-5.0}),
+      std::invalid_argument);
+  EXPECT_THROW(exact_lifetime_split(p, Joules{1.0}, Joules{1.0}, Meters{5.0},
+                                    Meters{0.0}),
                std::invalid_argument);
 }
 
@@ -70,7 +86,9 @@ TEST(LifetimeSolver, MonotoneInEnergyRatio) {
   const auto p = radio(1e-7, 1e-10, 2.0);
   double prev = -1.0;
   for (double e_prev = 1.0; e_prev <= 200.0; e_prev *= 1.5) {
-    const double d = exact_lifetime_split(p, e_prev, 10.0, 300.0);
+    const double d =
+        exact_lifetime_split(p, Joules{e_prev}, Joules{10.0}, Meters{300.0})
+            .value();
     EXPECT_GE(d, prev);
     prev = d;
   }
@@ -86,8 +104,12 @@ TEST(LifetimeSolver, MatchesApproximationWhenElectronicsVanish) {
     const double e_prev = rng.uniform(1.0, 50.0);
     const double e_self = rng.uniform(1.0, 50.0);
     const double total = rng.uniform(50.0, 300.0);
-    const double exact = exact_lifetime_split(p, e_prev, e_self, total, 1e-9);
-    const double approx_d = approx.split_fraction(e_prev, e_self) * total;
+    const double exact =
+        exact_lifetime_split(p, Joules{e_prev}, Joules{e_self}, Meters{total},
+                             Meters{1e-9})
+            .value();
+    const double approx_d =
+        approx.split_fraction(Joules{e_prev}, Joules{e_self}) * total;
     EXPECT_NEAR(exact, approx_d, 1e-4 * total);
   }
 }
@@ -98,8 +120,11 @@ TEST(LifetimeSolver, DivergesFromApproximationWithElectronics) {
   // energies.
   const auto p = radio(5e-6, 1e-10, 2.0);
   MaxLifetimeStrategy approx(2.0);
-  const double exact = exact_lifetime_split(p, 40.0, 10.0, 200.0);
-  const double approx_d = approx.split_fraction(40.0, 10.0) * 200.0;
+  const double exact =
+      exact_lifetime_split(p, Joules{40.0}, Joules{10.0}, Meters{200.0})
+          .value();
+  const double approx_d =
+      approx.split_fraction(Joules{40.0}, Joules{10.0}) * 200.0;
   EXPECT_GT(exact, approx_d + 1.0);
 }
 
@@ -112,8 +137,8 @@ TEST(ExactStrategy, NextPositionUsesSolver) {
   RelayContext ctx;
   ctx.prev_position = {0.0, 0.0};
   ctx.next_position = {200.0, 0.0};
-  ctx.prev_energy = 30.0;
-  ctx.self_energy = 10.0;
+  ctx.prev_energy = Joules{30.0};
+  ctx.self_energy = Joules{10.0};
   const geom::Vec2 x = exact.next_position(ctx);
   const double ratio =
       power(p, x.x) / power(p, 200.0 - x.x);

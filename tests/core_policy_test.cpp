@@ -24,11 +24,12 @@ test::Harness run_flow(MobilityMode mode, double length_bits,
   test::HarnessOptions opts;
   opts.mode = mode;
   auto h = make_harness(positions, opts);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
   net::FlowSpec spec = default_flow(h.net(), length_bits, strategy);
   spec.initially_enabled = (mode == MobilityMode::kCostUnaware);
   h.net().start_flow(spec);
-  h.net().run_flows(length_bits / spec.rate_bps * 4.0 + 120.0);
+  h.net().run_flows(
+      util::Seconds{length_bits / spec.rate_bps.value() * 4.0 + 120.0});
   return h;
 }
 
@@ -63,14 +64,14 @@ TEST(ImobifPolicy, AlphaPrimeDefaultsToRadioAlpha) {
 TEST(PolicyModes, NoMobilityNeverMoves) {
   auto h = run_flow(MobilityMode::kNoMobility, 8192.0 * 200);
   EXPECT_EQ(h.policy->movements_applied(), 0u);
-  EXPECT_DOUBLE_EQ(h.net().total_movement_energy(), 0.0);
+  EXPECT_DOUBLE_EQ(h.net().total_movement_energy().value(), 0.0);
   EXPECT_TRUE(h.net().progress(1).completed);
 }
 
 TEST(PolicyModes, CostUnawareAlwaysMoves) {
   auto h = run_flow(MobilityMode::kCostUnaware, 8192.0 * 200);
   EXPECT_GT(h.policy->movements_applied(), 0u);
-  EXPECT_GT(h.net().total_movement_energy(), 0.0);
+  EXPECT_GT(h.net().total_movement_energy(), util::Joules{0.0});
   // No cost/benefit evaluation: the destination never sends notifications.
   EXPECT_EQ(h.net().progress(1).notifications_from_dest, 0u);
 }
@@ -99,9 +100,9 @@ TEST(PolicyModes, InformedEnablesForLongFlowsOnBentPath) {
 TEST(PolicyModes, InformedNeverWorseThanBaselineOnShortFlows) {
   auto base = run_flow(MobilityMode::kNoMobility, 8192.0 * 4);
   auto inf = run_flow(MobilityMode::kInformed, 8192.0 * 4);
-  EXPECT_NEAR(inf.net().total_consumed_energy(),
-              base.net().total_consumed_energy(),
-              base.net().total_consumed_energy() * 0.01);
+  EXPECT_NEAR(inf.net().total_consumed_energy().value(),
+              base.net().total_consumed_energy().value(),
+              base.net().total_consumed_energy().value() * 0.01);
 }
 
 TEST(PolicyModes, InformedBeatsBaselineOnLongBentFlows) {
@@ -125,12 +126,13 @@ TEST(PolicyModes, RelaysAdoptCarriedStatus) {
 
 TEST(PolicyModes, MovementDistanceTracked) {
   auto h = run_flow(MobilityMode::kCostUnaware, 8192.0 * 100);
-  EXPECT_GT(h.policy->total_distance_moved(), 0.0);
+  EXPECT_GT(h.policy->total_distance_moved(), util::Meters{0.0});
   double node_sum = 0.0;
   for (std::size_t i = 0; i < h.net().node_count(); ++i) {
-    node_sum += h.net().node(static_cast<net::NodeId>(i)).total_moved();
+    node_sum +=
+        h.net().node(static_cast<net::NodeId>(i)).total_moved().value();
   }
-  EXPECT_NEAR(h.policy->total_distance_moved(), node_sum, 1e-9);
+  EXPECT_NEAR(h.policy->total_distance_moved().value(), node_sum, 1e-9);
 }
 
 TEST(PolicyModes, PaperLocalEstimatorStillRuns) {
@@ -139,9 +141,9 @@ TEST(PolicyModes, PaperLocalEstimatorStillRuns) {
   opts.mode = MobilityMode::kInformed;
   auto h = make_harness(positions, opts);
   h.policy->set_estimator(BenefitEstimator::kPaperLocal);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 50));
-  h.net().run_flows(400.0);
+  h.net().run_flows(util::Seconds{400.0});
   EXPECT_TRUE(h.net().progress(1).completed);
 }
 
@@ -153,13 +155,14 @@ TEST(PolicyModes, EvaluateAtDestinationDecisions) {
   data.strategy = net::StrategyId::kMinTotalEnergy;
   data.sender_has_plan = true;
   data.sender_target = h.net().node(0).position();
-  data.sender_move_cost = 0.0;
-  data.residual_flow_bits = 1000.0;
+  data.sender_move_cost = util::Joules{0.0};
+  data.residual_flow_bits = util::Bits{1000.0};
 
   // Force the aggregate so the final-hop fold cannot flip the comparison:
   // mobility hugely better -> enable request when disabled.
   h.policy->strategy(net::StrategyId::kMinTotalEnergy);
-  data.agg = {1e12, 1e12, 1.0, 1.0};
+  data.agg = {util::Bits{1e12}, util::Joules{1e12}, util::Bits{1.0},
+              util::Joules{1.0}};
   data.mobility_enabled = false;
   auto decision =
       h.policy->evaluate_at_destination(h.net().node(1), data, entry);
@@ -172,7 +175,8 @@ TEST(PolicyModes, EvaluateAtDestinationDecisions) {
                    .has_value());
 
   // Mobility hugely worse -> disable request when enabled.
-  data.agg = {1.0, 1.0, 1e12, 1e12};
+  data.agg = {util::Bits{1.0}, util::Joules{1.0}, util::Bits{1e12},
+              util::Joules{1e12}};
   decision = h.policy->evaluate_at_destination(h.net().node(1), data, entry);
   ASSERT_TRUE(decision.has_value());
   EXPECT_FALSE(*decision);
@@ -185,7 +189,8 @@ TEST(PolicyModes, NonInformedNeverNotifies) {
   entry.prev = 0;
   net::DataBody data;
   data.strategy = net::StrategyId::kMinTotalEnergy;
-  data.agg = {1e12, 1e12, 1.0, 1.0};
+  data.agg = {util::Bits{1e12}, util::Joules{1e12}, util::Bits{1.0},
+              util::Joules{1.0}};
   EXPECT_FALSE(h.policy->evaluate_at_destination(h.net().node(1), data, entry)
                    .has_value());
 }

@@ -22,7 +22,7 @@ net::FlowSpec long_flow(double packets) {
   spec.id = 1;
   spec.source = 0;
   spec.destination = 2;
-  spec.length_bits = 8192.0 * packets;
+  spec.length_bits = util::Bits{8192.0 * packets};
   spec.strategy = net::StrategyId::kMinTotalEnergy;
   return spec;
 }
@@ -30,9 +30,9 @@ net::FlowSpec long_flow(double packets) {
 TEST(Recruitment, DisabledByDefault) {
   auto h = make_harness(chain_with_idle());
   EXPECT_FALSE(h.policy->recruitment_enabled());
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
   h.net().start_flow(long_flow(100));
-  h.net().run_flows(150.0);
+  h.net().run_flows(util::Seconds{150.0});
   EXPECT_EQ(h.policy->recruits_initiated(), 0u);
   EXPECT_TRUE(h.net().progress(1).completed);
 }
@@ -48,9 +48,9 @@ TEST(Recruitment, ParameterValidation) {
 TEST(Recruitment, SplitsExpensiveHopWhenItPays) {
   auto h = make_harness(chain_with_idle());
   h.policy->enable_recruitment(1.2, 16);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
   h.net().start_flow(long_flow(2000));
-  h.net().run_flows(2500.0);
+  h.net().run_flows(util::Seconds{2500.0});
 
   ASSERT_TRUE(h.net().progress(1).completed);
   EXPECT_GE(h.policy->recruits_initiated(), 1u);
@@ -66,16 +66,16 @@ TEST(Recruitment, SplitsExpensiveHopWhenItPays) {
 
 TEST(Recruitment, RecruitmentSavesEnergyOnLongFlows) {
   auto base = make_harness(chain_with_idle());
-  base.net().warmup(25.0);
+  base.net().warmup(util::Seconds{25.0});
   base.net().start_flow(long_flow(2000));
-  base.net().run_flows(2500.0);
+  base.net().run_flows(util::Seconds{2500.0});
   ASSERT_TRUE(base.net().progress(1).completed);
 
   auto rec = make_harness(chain_with_idle());
   rec.policy->enable_recruitment(1.2, 16);
-  rec.net().warmup(25.0);
+  rec.net().warmup(util::Seconds{25.0});
   rec.net().start_flow(long_flow(2000));
-  rec.net().run_flows(2500.0);
+  rec.net().run_flows(util::Seconds{2500.0});
   ASSERT_TRUE(rec.net().progress(1).completed);
 
   EXPECT_LT(rec.net().total_consumed_energy(),
@@ -87,9 +87,9 @@ TEST(Recruitment, ShortFlowsDoNotRecruit) {
   // the recruit's bookkeeping, so the net-gain check must reject it.
   auto h = make_harness(chain_with_idle());
   h.policy->enable_recruitment(1.2, 16);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
   h.net().start_flow(long_flow(4));
-  h.net().run_flows(60.0);
+  h.net().run_flows(util::Seconds{60.0});
   ASSERT_TRUE(h.net().progress(1).completed);
   // With a = 1e-7 and b = 5e-10 the per-bit saving of splitting a 170 m
   // hop is positive, but the relocation margin makes tiny flows
@@ -101,8 +101,8 @@ TEST(Recruitment, ShortFlowsDoNotRecruit) {
 TEST(Recruitment, WorksThroughScenarioKnob) {
   exp::ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 2.0 * 1024.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{2.0 * 1024.0 * 1024.0 * 8.0};
   p.recruit_margin = 1.2;
   p.seed = 8;
   const auto points = exp::run_comparison(p, 3);

@@ -11,6 +11,9 @@
 namespace imobif::core {
 namespace {
 
+using util::Bits;
+using util::Joules;
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 TEST(MinEnergyStrategy, Identity) {
@@ -32,25 +35,28 @@ TEST(MinEnergyStrategy, AggregateMinBitsSumResi) {
   MinEnergyStrategy s;
   net::MobilityAggregate agg;
   s.init_aggregate(agg);
-  EXPECT_EQ(agg.bits_mob, kInf);
-  EXPECT_EQ(agg.resi_mob, 0.0);
+  EXPECT_EQ(agg.bits_mob.value(), kInf);
+  EXPECT_EQ(agg.resi_mob.value(), 0.0);
 
-  s.aggregate(agg, LocalPerformance{100.0, 5.0, 200.0, 7.0});
-  s.aggregate(agg, LocalPerformance{150.0, 3.0, 120.0, 2.0});
-  EXPECT_DOUBLE_EQ(agg.bits_mob, 100.0);
-  EXPECT_DOUBLE_EQ(agg.resi_mob, 8.0);
-  EXPECT_DOUBLE_EQ(agg.bits_nomob, 120.0);
-  EXPECT_DOUBLE_EQ(agg.resi_nomob, 9.0);
+  s.aggregate(agg, LocalPerformance{Bits{100.0}, Joules{5.0}, Bits{200.0},
+                                    Joules{7.0}});
+  s.aggregate(agg, LocalPerformance{Bits{150.0}, Joules{3.0}, Bits{120.0},
+                                    Joules{2.0}});
+  EXPECT_DOUBLE_EQ(agg.bits_mob.value(), 100.0);
+  EXPECT_DOUBLE_EQ(agg.resi_mob.value(), 8.0);
+  EXPECT_DOUBLE_EQ(agg.bits_nomob.value(), 120.0);
+  EXPECT_DOUBLE_EQ(agg.resi_nomob.value(), 9.0);
 }
 
 TEST(MinEnergyStrategy, SeedCopiesSourceValues) {
   MinEnergyStrategy s;
   net::MobilityAggregate agg;
-  s.seed(agg, LocalPerformance{10.0, 1.0, 20.0, 2.0});
-  EXPECT_DOUBLE_EQ(agg.bits_mob, 10.0);
-  EXPECT_DOUBLE_EQ(agg.resi_mob, 1.0);
-  EXPECT_DOUBLE_EQ(agg.bits_nomob, 20.0);
-  EXPECT_DOUBLE_EQ(agg.resi_nomob, 2.0);
+  s.seed(agg, LocalPerformance{Bits{10.0}, Joules{1.0}, Bits{20.0},
+                               Joules{2.0}});
+  EXPECT_DOUBLE_EQ(agg.bits_mob.value(), 10.0);
+  EXPECT_DOUBLE_EQ(agg.resi_mob.value(), 1.0);
+  EXPECT_DOUBLE_EQ(agg.bits_nomob.value(), 20.0);
+  EXPECT_DOUBLE_EQ(agg.resi_nomob.value(), 2.0);
 }
 
 TEST(MaxLifetimeStrategy, RejectsBadAlphaPrime) {
@@ -60,12 +66,12 @@ TEST(MaxLifetimeStrategy, RejectsBadAlphaPrime) {
 
 TEST(MaxLifetimeStrategy, EqualEnergiesSplitEvenly) {
   MaxLifetimeStrategy s(2.0);
-  EXPECT_DOUBLE_EQ(s.split_fraction(10.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.split_fraction(Joules{10.0}, Joules{10.0}), 0.5);
   RelayContext ctx;
   ctx.prev_position = {0.0, 0.0};
   ctx.next_position = {100.0, 0.0};
-  ctx.prev_energy = 5.0;
-  ctx.self_energy = 5.0;
+  ctx.prev_energy = Joules{5.0};
+  ctx.self_energy = Joules{5.0};
   EXPECT_EQ(s.next_position(ctx), (geom::Vec2{50.0, 0.0}));
 }
 
@@ -74,8 +80,8 @@ TEST(MaxLifetimeStrategy, RicherPrevTakesLongerHop) {
   RelayContext ctx;
   ctx.prev_position = {0.0, 0.0};
   ctx.next_position = {100.0, 0.0};
-  ctx.prev_energy = 40.0;
-  ctx.self_energy = 10.0;
+  ctx.prev_energy = Joules{40.0};
+  ctx.self_energy = Joules{10.0};
   // rho = (40/10)^(1/2) = 2; frac = 2/3: we park 2/3 of the way toward
   // next, giving the richer upstream node the longer (2/3) hop.
   const geom::Vec2 target = s.next_position(ctx);
@@ -86,7 +92,7 @@ TEST(MaxLifetimeStrategy, SplitFractionMonotoneInPrevEnergy) {
   MaxLifetimeStrategy s(2.0);
   double prev_frac = 0.0;
   for (double e_prev = 1.0; e_prev <= 100.0; e_prev += 5.0) {
-    const double frac = s.split_fraction(e_prev, 10.0);
+    const double frac = s.split_fraction(Joules{e_prev}, Joules{10.0});
     EXPECT_GT(frac, prev_frac);
     prev_frac = frac;
   }
@@ -96,8 +102,8 @@ TEST(MaxLifetimeStrategy, SplitFractionBounded) {
   MaxLifetimeStrategy s(2.0);
   util::Rng rng(5);
   for (int i = 0; i < 1000; ++i) {
-    const double f =
-        s.split_fraction(rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0));
+    const double f = s.split_fraction(Joules{rng.uniform(0.0, 100.0)},
+                                      Joules{rng.uniform(0.0, 100.0)});
     EXPECT_GE(f, 0.0);
     EXPECT_LE(f, 1.0);
   }
@@ -105,9 +111,9 @@ TEST(MaxLifetimeStrategy, SplitFractionBounded) {
 
 TEST(MaxLifetimeStrategy, DegenerateEnergiesClamped) {
   MaxLifetimeStrategy s(2.0);
-  EXPECT_DOUBLE_EQ(s.split_fraction(0.0, 0.0), 0.5);
-  EXPECT_NEAR(s.split_fraction(0.0, 10.0), 0.0, 1e-3);
-  EXPECT_NEAR(s.split_fraction(10.0, 0.0), 1.0, 1e-3);
+  EXPECT_DOUBLE_EQ(s.split_fraction(Joules{0.0}, Joules{0.0}), 0.5);
+  EXPECT_NEAR(s.split_fraction(Joules{0.0}, Joules{10.0}), 0.0, 1e-3);
+  EXPECT_NEAR(s.split_fraction(Joules{10.0}, Joules{0.0}), 1.0, 1e-3);
 }
 
 // Theorem 1 approximation: with P(d) = b d^alpha (a = 0) and alpha' =
@@ -129,11 +135,11 @@ TEST_P(LifetimeTheorem, PowerRatioMatchesEnergyRatio) {
     RelayContext ctx;
     ctx.prev_position = {0.0, 0.0};
     ctx.next_position = {rng.uniform(50.0, 300.0), 0.0};
-    ctx.prev_energy = rng.uniform(1.0, 100.0);
-    ctx.self_energy = rng.uniform(1.0, 100.0);
+    ctx.prev_energy = Joules{rng.uniform(1.0, 100.0)};
+    ctx.self_energy = Joules{rng.uniform(1.0, 100.0)};
     const geom::Vec2 x = s.next_position(ctx);
-    const double d_prev = geom::distance(ctx.prev_position, x);
-    const double d_self = geom::distance(x, ctx.next_position);
+    const util::Meters d_prev{geom::distance(ctx.prev_position, x)};
+    const util::Meters d_self{geom::distance(x, ctx.next_position)};
     const double power_ratio =
         radio.power_per_bit(d_prev) / radio.power_per_bit(d_self);
     EXPECT_NEAR(power_ratio, ctx.prev_energy / ctx.self_energy,
@@ -148,20 +154,22 @@ TEST(MaxLifetimeStrategy, AggregateBothMin) {
   MaxLifetimeStrategy s(2.0);
   net::MobilityAggregate agg;
   s.init_aggregate(agg);
-  EXPECT_EQ(agg.resi_mob, kInf);
-  s.aggregate(agg, LocalPerformance{100.0, 5.0, 200.0, 7.0});
-  s.aggregate(agg, LocalPerformance{150.0, 3.0, 120.0, 9.0});
-  EXPECT_DOUBLE_EQ(agg.bits_mob, 100.0);
-  EXPECT_DOUBLE_EQ(agg.resi_mob, 3.0);   // min, not sum
-  EXPECT_DOUBLE_EQ(agg.bits_nomob, 120.0);
-  EXPECT_DOUBLE_EQ(agg.resi_nomob, 7.0);
+  EXPECT_EQ(agg.resi_mob.value(), kInf);
+  s.aggregate(agg, LocalPerformance{Bits{100.0}, Joules{5.0}, Bits{200.0},
+                                    Joules{7.0}});
+  s.aggregate(agg, LocalPerformance{Bits{150.0}, Joules{3.0}, Bits{120.0},
+                                    Joules{9.0}});
+  EXPECT_DOUBLE_EQ(agg.bits_mob.value(), 100.0);
+  EXPECT_DOUBLE_EQ(agg.resi_mob.value(), 3.0);   // min, not sum
+  EXPECT_DOUBLE_EQ(agg.bits_nomob.value(), 120.0);
+  EXPECT_DOUBLE_EQ(agg.resi_nomob.value(), 7.0);
 }
 
 TEST(MaxLifetimeStrategy, AlphaPrimeShapesSplit) {
   // Larger alpha' flattens the split toward 1/2 for the same energy ratio.
   MaxLifetimeStrategy sharp(1.0), flat(4.0);
-  const double fs = sharp.split_fraction(40.0, 10.0);
-  const double ff = flat.split_fraction(40.0, 10.0);
+  const double fs = sharp.split_fraction(Joules{40.0}, Joules{10.0});
+  const double ff = flat.split_fraction(Joules{40.0}, Joules{10.0});
   EXPECT_GT(fs, ff);
   EXPECT_GT(ff, 0.5);
 }
@@ -173,8 +181,8 @@ TEST(MaxLifetimeStrategy, TargetOnPrevNextSegment) {
     RelayContext ctx;
     ctx.prev_position = {rng.uniform(-100, 100), rng.uniform(-100, 100)};
     ctx.next_position = {rng.uniform(-100, 100), rng.uniform(-100, 100)};
-    ctx.prev_energy = rng.uniform(0.1, 50.0);
-    ctx.self_energy = rng.uniform(0.1, 50.0);
+    ctx.prev_energy = Joules{rng.uniform(0.1, 50.0)};
+    ctx.self_energy = Joules{rng.uniform(0.1, 50.0)};
     const geom::Vec2 x = s.next_position(ctx);
     const double via = geom::distance(ctx.prev_position, x) +
                        geom::distance(x, ctx.next_position);

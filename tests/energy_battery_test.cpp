@@ -5,107 +5,109 @@
 namespace imobif::energy {
 namespace {
 
+using util::Joules;
+
 TEST(Battery, InitialState) {
-  Battery b(10.0);
-  EXPECT_DOUBLE_EQ(b.residual(), 10.0);
-  EXPECT_DOUBLE_EQ(b.initial(), 10.0);
+  Battery b(Joules{10.0});
+  EXPECT_DOUBLE_EQ(b.residual().value(), 10.0);
+  EXPECT_DOUBLE_EQ(b.initial().value(), 10.0);
   EXPECT_FALSE(b.depleted());
-  EXPECT_DOUBLE_EQ(b.consumed_total(), 0.0);
+  EXPECT_DOUBLE_EQ(b.consumed_total().value(), 0.0);
 }
 
 TEST(Battery, NegativeInitialThrows) {
-  EXPECT_THROW(Battery(-1.0), std::invalid_argument);
+  EXPECT_THROW(Battery(Joules{-1.0}), std::invalid_argument);
 }
 
 TEST(Battery, DrawReducesResidual) {
-  Battery b(10.0);
-  EXPECT_DOUBLE_EQ(b.draw(3.0, DrawKind::kTransmit), 3.0);
-  EXPECT_DOUBLE_EQ(b.residual(), 7.0);
-  EXPECT_DOUBLE_EQ(b.consumed_transmit(), 3.0);
-  EXPECT_DOUBLE_EQ(b.consumed_total(), 3.0);
+  Battery b(Joules{10.0});
+  EXPECT_DOUBLE_EQ(b.draw(Joules{3.0}, DrawKind::kTransmit).value(), 3.0);
+  EXPECT_DOUBLE_EQ(b.residual().value(), 7.0);
+  EXPECT_DOUBLE_EQ(b.consumed_transmit().value(), 3.0);
+  EXPECT_DOUBLE_EQ(b.consumed_total().value(), 3.0);
 }
 
 TEST(Battery, DrawByCategory) {
-  Battery b(10.0);
-  b.draw(1.0, DrawKind::kTransmit);
-  b.draw(2.0, DrawKind::kMove);
-  b.draw(3.0, DrawKind::kOther);
-  EXPECT_DOUBLE_EQ(b.consumed_transmit(), 1.0);
-  EXPECT_DOUBLE_EQ(b.consumed_move(), 2.0);
-  EXPECT_DOUBLE_EQ(b.consumed_other(), 3.0);
-  EXPECT_DOUBLE_EQ(b.consumed_total(), 6.0);
+  Battery b(Joules{10.0});
+  b.draw(Joules{1.0}, DrawKind::kTransmit);
+  b.draw(Joules{2.0}, DrawKind::kMove);
+  b.draw(Joules{3.0}, DrawKind::kOther);
+  EXPECT_DOUBLE_EQ(b.consumed_transmit().value(), 1.0);
+  EXPECT_DOUBLE_EQ(b.consumed_move().value(), 2.0);
+  EXPECT_DOUBLE_EQ(b.consumed_other().value(), 3.0);
+  EXPECT_DOUBLE_EQ(b.consumed_total().value(), 6.0);
 }
 
 TEST(Battery, OverdrawClampsToResidual) {
-  Battery b(5.0);
-  EXPECT_DOUBLE_EQ(b.draw(8.0, DrawKind::kMove), 5.0);
-  EXPECT_DOUBLE_EQ(b.residual(), 0.0);
+  Battery b(Joules{5.0});
+  EXPECT_DOUBLE_EQ(b.draw(Joules{8.0}, DrawKind::kMove).value(), 5.0);
+  EXPECT_DOUBLE_EQ(b.residual().value(), 0.0);
   EXPECT_TRUE(b.depleted());
 }
 
 TEST(Battery, NegativeDrawThrows) {
-  Battery b(5.0);
-  EXPECT_THROW(b.draw(-1.0, DrawKind::kOther), std::invalid_argument);
+  Battery b(Joules{5.0});
+  EXPECT_THROW(b.draw(Joules{-1.0}, DrawKind::kOther), std::invalid_argument);
 }
 
 TEST(Battery, DepletionCallbackFiresExactlyOnce) {
-  Battery b(5.0);
+  Battery b(Joules{5.0});
   int calls = 0;
   b.set_depletion_callback([&] { ++calls; });
-  b.draw(4.0, DrawKind::kTransmit);
+  b.draw(Joules{4.0}, DrawKind::kTransmit);
   EXPECT_EQ(calls, 0);
-  b.draw(2.0, DrawKind::kTransmit);
+  b.draw(Joules{2.0}, DrawKind::kTransmit);
   EXPECT_EQ(calls, 1);
-  b.draw(1.0, DrawKind::kTransmit);  // already dead; no second call
+  b.draw(Joules{1.0}, DrawKind::kTransmit);  // already dead; no second call
   EXPECT_EQ(calls, 1);
 }
 
 TEST(Battery, CanAfford) {
-  Battery b(5.0);
-  EXPECT_TRUE(b.can_afford(5.0));
-  EXPECT_FALSE(b.can_afford(5.1));
-  b.draw(3.0, DrawKind::kMove);
-  EXPECT_TRUE(b.can_afford(2.0));
-  EXPECT_FALSE(b.can_afford(2.1));
+  Battery b(Joules{5.0});
+  EXPECT_TRUE(b.can_afford(Joules{5.0}));
+  EXPECT_FALSE(b.can_afford(Joules{5.1}));
+  b.draw(Joules{3.0}, DrawKind::kMove);
+  EXPECT_TRUE(b.can_afford(Joules{2.0}));
+  EXPECT_FALSE(b.can_afford(Joules{2.1}));
 }
 
 TEST(Battery, DrawZeroIsNoOp) {
-  Battery b(5.0);
-  EXPECT_DOUBLE_EQ(b.draw(0.0, DrawKind::kOther), 0.0);
-  EXPECT_DOUBLE_EQ(b.residual(), 5.0);
+  Battery b(Joules{5.0});
+  EXPECT_DOUBLE_EQ(b.draw(Joules{0.0}, DrawKind::kOther).value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.residual().value(), 5.0);
 }
 
 TEST(Battery, ZeroInitialIsBornDepleted) {
-  Battery b(0.0);
+  Battery b(Joules{0.0});
   EXPECT_TRUE(b.depleted());
 }
 
 TEST(Battery, RechargeResetsEverything) {
-  Battery b(5.0);
+  Battery b(Joules{5.0});
   int calls = 0;
   b.set_depletion_callback([&] { ++calls; });
-  b.draw(5.0, DrawKind::kTransmit);
+  b.draw(Joules{5.0}, DrawKind::kTransmit);
   EXPECT_EQ(calls, 1);
-  b.recharge(8.0);
-  EXPECT_DOUBLE_EQ(b.residual(), 8.0);
+  b.recharge(Joules{8.0});
+  EXPECT_DOUBLE_EQ(b.residual().value(), 8.0);
   EXPECT_FALSE(b.depleted());
-  EXPECT_DOUBLE_EQ(b.consumed_total(), 0.0);
-  EXPECT_DOUBLE_EQ(b.consumed_transmit(), 0.0);
-  b.draw(9.0, DrawKind::kTransmit);
+  EXPECT_DOUBLE_EQ(b.consumed_total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(b.consumed_transmit().value(), 0.0);
+  b.draw(Joules{9.0}, DrawKind::kTransmit);
   EXPECT_EQ(calls, 2);  // callback survives recharge
-  EXPECT_THROW(b.recharge(-1.0), std::invalid_argument);
+  EXPECT_THROW(b.recharge(Joules{-1.0}), std::invalid_argument);
 }
 
 TEST(Battery, ConservationInvariant) {
-  Battery b(100.0);
+  Battery b(Joules{100.0});
   for (int i = 0; i < 50; ++i) {
-    b.draw(1.3, DrawKind::kTransmit);
-    b.draw(0.4, DrawKind::kMove);
+    b.draw(Joules{1.3}, DrawKind::kTransmit);
+    b.draw(Joules{0.4}, DrawKind::kMove);
   }
-  EXPECT_NEAR(b.residual() + b.consumed_total(), 100.0, 1e-9);
-  EXPECT_NEAR(b.consumed_transmit() + b.consumed_move() +
-                  b.consumed_other(),
-              b.consumed_total(), 1e-9);
+  EXPECT_NEAR((b.residual() + b.consumed_total()).value(), 100.0, 1e-9);
+  EXPECT_NEAR((b.consumed_transmit() + b.consumed_move() +
+               b.consumed_other()).value(),
+              b.consumed_total().value(), 1e-9);
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 namespace imobif::energy {
 namespace {
 
+using util::Joules;
+using util::Meters;
+
 MobilityParams params(double k, double max_step) {
   MobilityParams p;
   p.k = k;
@@ -23,33 +26,33 @@ TEST(MobilityParams, Validation) {
 
 TEST(MobilityModel, MoveEnergyLinear) {
   const MobilityEnergyModel m(params(0.5, 1.0));
-  EXPECT_DOUBLE_EQ(m.move_energy(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(m.move_energy(10.0), 5.0);
-  EXPECT_DOUBLE_EQ(m.move_energy(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(Meters{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(Meters{10.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(Meters{100.0}).value(), 50.0);
 }
 
 TEST(MobilityModel, NegativeDistanceThrows) {
   const MobilityEnergyModel m(params(0.5, 1.0));
-  EXPECT_THROW(m.move_energy(-1.0), std::invalid_argument);
+  EXPECT_THROW(m.move_energy(Meters{-1.0}), std::invalid_argument);
 }
 
 TEST(MobilityModel, RangeForEnergyInverts) {
   const MobilityEnergyModel m(params(0.5, 1.0));
-  EXPECT_DOUBLE_EQ(m.range_for_energy(5.0), 10.0);
-  EXPECT_DOUBLE_EQ(m.range_for_energy(0.0), 0.0);
-  EXPECT_DOUBLE_EQ(m.range_for_energy(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.range_for_energy(Joules{5.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(m.range_for_energy(Joules{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.range_for_energy(Joules{-3.0}).value(), 0.0);
 }
 
 TEST(MobilityModel, FreeMovementHasInfiniteRange) {
   const MobilityEnergyModel m(params(0.0, 1.0));
-  EXPECT_EQ(m.range_for_energy(1.0),
+  EXPECT_EQ(m.range_for_energy(Joules{1.0}).value(),
             std::numeric_limits<double>::infinity());
-  EXPECT_DOUBLE_EQ(m.move_energy(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(Meters{100.0}).value(), 0.0);
 }
 
 TEST(MobilityModel, MaxStepExposed) {
   const MobilityEnergyModel m(params(0.5, 2.5));
-  EXPECT_DOUBLE_EQ(m.max_step(), 2.5);
+  EXPECT_DOUBLE_EQ(m.max_step().value(), 2.5);
 }
 
 // Parameterized over the paper's k values.
@@ -57,7 +60,8 @@ class MobilityK : public ::testing::TestWithParam<double> {};
 
 TEST_P(MobilityK, EnergyProportionalToK) {
   const MobilityEnergyModel m(params(GetParam(), 1.0));
-  EXPECT_DOUBLE_EQ(m.move_energy(42.0), GetParam() * 42.0);
+  EXPECT_DOUBLE_EQ(m.move_energy(Meters{42.0}).value(),
+                   GetParam() * 42.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(PaperKs, MobilityK,

@@ -5,6 +5,9 @@
 namespace imobif::energy {
 namespace {
 
+using util::JoulesPerBit;
+using util::Meters;
+
 RadioEnergyModel test_model() {
   RadioParams p;
   p.a = 1e-7;
@@ -14,57 +17,62 @@ RadioEnergyModel test_model() {
 }
 
 TEST(PowerDistanceTable, RejectsBadConfig) {
-  EXPECT_THROW(PowerDistanceTable(0.0, 100.0), std::invalid_argument);
-  EXPECT_THROW(PowerDistanceTable(10.0, 10.0), std::invalid_argument);
-  EXPECT_THROW(PowerDistanceTable(10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(PowerDistanceTable(Meters{0.0}, Meters{100.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PowerDistanceTable(Meters{10.0}, Meters{10.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PowerDistanceTable(Meters{10.0}, Meters{5.0}),
+               std::invalid_argument);
 }
 
 TEST(PowerDistanceTable, EmptyTableKnowsNothing) {
-  PowerDistanceTable t(10.0, 200.0);
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
   EXPECT_EQ(t.populated_bins(), 0u);
-  EXPECT_FALSE(t.min_power(50.0).has_value());
+  EXPECT_FALSE(t.min_power(Meters{50.0}).has_value());
 }
 
 TEST(PowerDistanceTable, ObserveThenLookup) {
-  PowerDistanceTable t(10.0, 200.0);
-  t.observe(55.0, 3e-7);
-  const auto p = t.min_power(52.0);
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
+  t.observe(Meters{55.0}, JoulesPerBit{3e-7});
+  const auto p = t.min_power(Meters{52.0});
   ASSERT_TRUE(p.has_value());
-  EXPECT_DOUBLE_EQ(*p, 3e-7);
+  EXPECT_DOUBLE_EQ(p->value(), 3e-7);
 }
 
 TEST(PowerDistanceTable, KeepsMinimumPerBin) {
-  PowerDistanceTable t(10.0, 200.0);
-  t.observe(55.0, 5e-7);
-  t.observe(57.0, 3e-7);
-  t.observe(51.0, 4e-7);
-  EXPECT_DOUBLE_EQ(*t.min_power(55.0), 3e-7);
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
+  t.observe(Meters{55.0}, JoulesPerBit{5e-7});
+  t.observe(Meters{57.0}, JoulesPerBit{3e-7});
+  t.observe(Meters{51.0}, JoulesPerBit{4e-7});
+  EXPECT_DOUBLE_EQ(t.min_power(Meters{55.0})->value(), 3e-7);
 }
 
 TEST(PowerDistanceTable, FartherBinCoversNearerQuery) {
-  PowerDistanceTable t(10.0, 200.0);
-  t.observe(150.0, 9e-7);  // only a far observation
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
+  t.observe(Meters{150.0}, JoulesPerBit{9e-7});  // only a far observation
   // A nearer query can use the far bin's power (conservative).
-  const auto p = t.min_power(40.0);
+  const auto p = t.min_power(Meters{40.0});
   ASSERT_TRUE(p.has_value());
-  EXPECT_DOUBLE_EQ(*p, 9e-7);
+  EXPECT_DOUBLE_EQ(p->value(), 9e-7);
 }
 
 TEST(PowerDistanceTable, BeyondTableIsUnknown) {
-  PowerDistanceTable t(10.0, 200.0);
-  t.observe(50.0, 1e-7);
-  EXPECT_FALSE(t.min_power(250.0).has_value());
-  EXPECT_FALSE(t.min_power(-1.0).has_value());
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
+  t.observe(Meters{50.0}, JoulesPerBit{1e-7});
+  EXPECT_FALSE(t.min_power(Meters{250.0}).has_value());
+  EXPECT_FALSE(t.min_power(Meters{-1.0}).has_value());
 }
 
 TEST(PowerDistanceTable, NegativeObservationThrows) {
-  PowerDistanceTable t(10.0, 200.0);
-  EXPECT_THROW(t.observe(-5.0, 1e-7), std::invalid_argument);
-  EXPECT_THROW(t.observe(5.0, -1e-7), std::invalid_argument);
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
+  EXPECT_THROW(t.observe(Meters{-5.0}, JoulesPerBit{1e-7}),
+               std::invalid_argument);
+  EXPECT_THROW(t.observe(Meters{5.0}, JoulesPerBit{-1e-7}),
+               std::invalid_argument);
 }
 
 TEST(PowerDistanceTable, SeedFromModelPopulatesAllBins) {
-  PowerDistanceTable t(10.0, 200.0);
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
   t.seed_from_model(test_model());
   EXPECT_EQ(t.populated_bins(), t.bin_count());
 }
@@ -72,24 +80,26 @@ TEST(PowerDistanceTable, SeedFromModelPopulatesAllBins) {
 TEST(PowerDistanceTable, SeededValuesAreSufficient) {
   // Property (Assumption 4 soundness): the table's answer is always enough
   // power to actually reach the queried distance under the true model.
-  PowerDistanceTable t(5.0, 200.0);
+  PowerDistanceTable t(Meters{5.0}, Meters{200.0});
   const RadioEnergyModel model = test_model();
   t.seed_from_model(model);
   for (double d = 1.0; d < 200.0; d += 3.7) {
-    const auto p = t.min_power(d);
+    const auto p = t.min_power(Meters{d});
     ASSERT_TRUE(p.has_value()) << "d=" << d;
-    EXPECT_GE(*p, model.power_per_bit(d) - 1e-15) << "d=" << d;
+    EXPECT_GE(*p, model.power_per_bit(Meters{d}) - JoulesPerBit{1e-15})
+        << "d=" << d;
     // And not absurdly conservative: at most one bin-width worth extra.
-    EXPECT_LE(*p, model.power_per_bit(d + t.bin_width()) + 1e-15);
+    EXPECT_LE(*p, model.power_per_bit(Meters{d} + t.bin_width()) +
+                      JoulesPerBit{1e-15});
   }
 }
 
 TEST(PowerDistanceTable, LearningRefinesSeededTable) {
-  PowerDistanceTable t(10.0, 200.0);
+  PowerDistanceTable t(Meters{10.0}, Meters{200.0});
   t.seed_from_model(test_model());
-  const double seeded = *t.min_power(45.0);
-  t.observe(49.0, seeded * 0.5);  // hardware did better than the model
-  EXPECT_DOUBLE_EQ(*t.min_power(45.0), seeded * 0.5);
+  const JoulesPerBit seeded = *t.min_power(Meters{45.0});
+  t.observe(Meters{49.0}, seeded * 0.5);  // hardware did better than the model
+  EXPECT_DOUBLE_EQ(t.min_power(Meters{45.0})->value(), (seeded * 0.5).value());
 }
 
 }  // namespace

@@ -7,6 +7,11 @@
 namespace imobif::energy {
 namespace {
 
+using util::Bits;
+using util::Joules;
+using util::JoulesPerBit;
+using util::Meters;
+
 RadioParams params(double a, double b, double alpha) {
   RadioParams p;
   p.a = a;
@@ -25,37 +30,43 @@ TEST(RadioParams, ValidationRejectsBadValues) {
 
 TEST(RadioModel, PowerPerBitMatchesFormula) {
   const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
-  EXPECT_DOUBLE_EQ(m.power_per_bit(0.0), 1e-7);
-  EXPECT_DOUBLE_EQ(m.power_per_bit(100.0), 1e-7 + 1e-10 * 1e4);
+  EXPECT_DOUBLE_EQ(m.power_per_bit(Meters{0.0}).value(), 1e-7);
+  EXPECT_DOUBLE_EQ(m.power_per_bit(Meters{100.0}).value(),
+                   1e-7 + 1e-10 * 1e4);
 }
 
 TEST(RadioModel, NegativeDistanceThrows) {
   const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
-  EXPECT_THROW(m.power_per_bit(-1.0), std::invalid_argument);
+  EXPECT_THROW(m.power_per_bit(Meters{-1.0}), std::invalid_argument);
 }
 
 TEST(RadioModel, TransmitEnergyLinearInBits) {
   const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
-  const double one = m.transmit_energy(100.0, 1.0);
-  EXPECT_DOUBLE_EQ(m.transmit_energy(100.0, 1000.0), 1000.0 * one);
-  EXPECT_DOUBLE_EQ(m.transmit_energy(100.0, 0.0), 0.0);
-  EXPECT_THROW(m.transmit_energy(100.0, -1.0), std::invalid_argument);
+  const Joules one = m.transmit_energy(Meters{100.0}, Bits{1.0});
+  EXPECT_DOUBLE_EQ(m.transmit_energy(Meters{100.0}, Bits{1000.0}).value(),
+                   (1000.0 * one).value());
+  EXPECT_DOUBLE_EQ(m.transmit_energy(Meters{100.0}, Bits{0.0}).value(), 0.0);
+  EXPECT_THROW(m.transmit_energy(Meters{100.0}, Bits{-1.0}),
+               std::invalid_argument);
 }
 
 TEST(RadioModel, SustainableBitsInvertsTransmit) {
   const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
-  const double bits = m.sustainable_bits(150.0, 10.0);
-  EXPECT_NEAR(m.transmit_energy(150.0, bits), 10.0, 1e-9);
-  EXPECT_DOUBLE_EQ(m.sustainable_bits(150.0, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(m.sustainable_bits(150.0, -5.0), 0.0);
+  const Bits bits = m.sustainable_bits(Meters{150.0}, Joules{10.0});
+  EXPECT_NEAR(m.transmit_energy(Meters{150.0}, bits).value(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.sustainable_bits(Meters{150.0}, Joules{0.0}).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(m.sustainable_bits(Meters{150.0}, Joules{-5.0}).value(),
+                   0.0);
 }
 
 TEST(RadioModel, RangeForPowerInvertsPower) {
   const RadioEnergyModel m(params(1e-7, 1e-10, 2.0));
-  const double p = m.power_per_bit(123.0);
-  EXPECT_NEAR(m.range_for_power(p), 123.0, 1e-9);
-  EXPECT_DOUBLE_EQ(m.range_for_power(1e-7), 0.0);   // only electronics
-  EXPECT_DOUBLE_EQ(m.range_for_power(1e-8), 0.0);   // below electronics
+  const JoulesPerBit p = m.power_per_bit(Meters{123.0});
+  EXPECT_NEAR(m.range_for_power(p).value(), 123.0, 1e-9);
+  // Only electronics / below electronics: zero range either way.
+  EXPECT_DOUBLE_EQ(m.range_for_power(JoulesPerBit{1e-7}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.range_for_power(JoulesPerBit{1e-8}).value(), 0.0);
 }
 
 // Parameterized over path-loss exponents: monotonicity and convexity of P.
@@ -63,9 +74,9 @@ class RadioAlpha : public ::testing::TestWithParam<double> {};
 
 TEST_P(RadioAlpha, PowerMonotoneIncreasing) {
   const RadioEnergyModel m(params(1e-7, 1e-10, GetParam()));
-  double prev = m.power_per_bit(0.0);
+  JoulesPerBit prev = m.power_per_bit(Meters{0.0});
   for (double d = 10.0; d <= 300.0; d += 10.0) {
-    const double cur = m.power_per_bit(d);
+    const JoulesPerBit cur = m.power_per_bit(Meters{d});
     EXPECT_GT(cur, prev);
     prev = cur;
   }
@@ -78,16 +89,18 @@ TEST_P(RadioAlpha, EvenSplitNeverWorseThanDirect) {
   // the line optimal).
   const RadioEnergyModel m(params(0.0, 1e-10, GetParam()));
   for (double d = 20.0; d <= 300.0; d += 20.0) {
-    const double direct = m.transmit_energy(d, 1000.0);
-    const double two_hop = 2.0 * m.transmit_energy(d / 2.0, 1000.0);
-    EXPECT_LE(two_hop, direct + 1e-12);
+    const Joules direct = m.transmit_energy(Meters{d}, Bits{1000.0});
+    const Joules two_hop =
+        2.0 * m.transmit_energy(Meters{d / 2.0}, Bits{1000.0});
+    EXPECT_LE(two_hop, direct + Joules{1e-12});
   }
 }
 
 TEST_P(RadioAlpha, RangeForPowerRoundTrip) {
   const RadioEnergyModel m(params(1e-7, 1e-10, GetParam()));
   for (double d = 1.0; d <= 250.0; d += 7.0) {
-    EXPECT_NEAR(m.range_for_power(m.power_per_bit(d)), d, 1e-6);
+    EXPECT_NEAR(m.range_for_power(m.power_per_bit(Meters{d})).value(), d,
+                1e-6);
   }
 }
 

@@ -7,14 +7,18 @@
 namespace imobif::energy {
 namespace {
 
+using util::Bits;
+using util::Joules;
+using util::Seconds;
+
 TEST(RadioRxModel, ValidationAndAccessors) {
   RadioParams p;
   p.rx_per_bit = 5e-8;
   EXPECT_NO_THROW(p.validate());
   const RadioEnergyModel m(p);
-  EXPECT_DOUBLE_EQ(m.receive_energy(1000.0), 5e-5);
-  EXPECT_DOUBLE_EQ(m.receive_energy(0.0), 0.0);
-  EXPECT_THROW(m.receive_energy(-1.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(m.receive_energy(Bits{1000.0}).value(), 5e-5);
+  EXPECT_DOUBLE_EQ(m.receive_energy(Bits{0.0}).value(), 0.0);
+  EXPECT_THROW(m.receive_energy(Bits{-1.0}), std::invalid_argument);
 
   p.rx_per_bit = -1e-9;
   EXPECT_THROW(p.validate(), std::invalid_argument);
@@ -22,7 +26,7 @@ TEST(RadioRxModel, ValidationAndAccessors) {
 
 TEST(RadioRxModel, DefaultIsSenderPaysOnly) {
   const RadioEnergyModel m{RadioParams{}};
-  EXPECT_DOUBLE_EQ(m.receive_energy(1e6), 0.0);
+  EXPECT_DOUBLE_EQ(m.receive_energy(Bits{1e6}).value(), 0.0);
 }
 
 TEST(RadioRxModel, ReceiverChargedPerPacket) {
@@ -30,47 +34,48 @@ TEST(RadioRxModel, ReceiverChargedPerPacket) {
   config.radio.rx_per_bit = 1e-6;
   config.node.charge_hello_energy = false;  // isolate rx accounting
   imobif::net::Network network(config);
-  network.add_node({0, 0}, 100.0);
-  network.add_node({100, 0}, 100.0);
+  network.add_node({0, 0}, Joules{100.0});
+  network.add_node({100, 0}, Joules{100.0});
   network.set_routing(
       std::make_unique<imobif::net::GreedyRouting>(network.medium()));
-  network.warmup(15.0);
+  network.warmup(Seconds{15.0});
 
-  const double before = network.node(1).battery().residual();
+  const Joules before = network.node(1).battery().residual();
   imobif::net::FlowSpec spec;
   spec.id = 1;
   spec.source = 0;
   spec.destination = 1;
-  spec.length_bits = 8192.0 * 2;
+  spec.length_bits = util::Bits{8192.0 * 2};
   network.start_flow(spec);
-  network.run_flows(30.0);
+  network.run_flows(Seconds{30.0});
 
   ASSERT_TRUE(network.progress(1).completed);
   // Two data packets of 8192 bits at 1e-6 J/bit, plus the source's HELLOs
   // overheard during the run (hello energy is charged at the sender only,
   // but *receiving* hellos costs too under this model).
-  const double drawn = before - network.node(1).battery().residual();
-  EXPECT_GE(drawn, 2 * 8192.0 * 1e-6 - 1e-9);
-  EXPECT_DOUBLE_EQ(network.node(1).battery().consumed_transmit(), 0.0);
+  const Joules drawn = before - network.node(1).battery().residual();
+  EXPECT_GE(drawn.value(), 2 * 8192.0 * 1e-6 - 1e-9);
+  EXPECT_DOUBLE_EQ(network.node(1).battery().consumed_transmit().value(),
+                   0.0);
 }
 
 TEST(RadioRxModel, ReceiverCanDieReceiving) {
   imobif::net::NetworkConfig config;
   config.radio.rx_per_bit = 1e-3;  // receiving one packet costs 8.2 J
   imobif::net::Network network(config);
-  network.add_node({0, 0}, 100.0);
-  network.add_node({100, 0}, 4.0);  // cannot even afford one packet
+  network.add_node({0, 0}, Joules{100.0});
+  network.add_node({100, 0}, Joules{4.0});  // cannot even afford one packet
   network.set_routing(
       std::make_unique<imobif::net::GreedyRouting>(network.medium()));
-  network.warmup(15.0);
+  network.warmup(Seconds{15.0});
 
   imobif::net::FlowSpec spec;
   spec.id = 1;
   spec.source = 0;
   spec.destination = 1;
-  spec.length_bits = 8192.0;
+  spec.length_bits = util::Bits{8192.0};
   network.start_flow(spec);
-  network.run_flows(30.0, 10.0);
+  network.run_flows(Seconds{30.0}, Seconds{10.0});
 
   EXPECT_FALSE(network.progress(1).completed);
   EXPECT_FALSE(network.node(1).alive());

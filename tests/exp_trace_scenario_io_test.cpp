@@ -16,14 +16,15 @@ namespace {
 using test::default_flow;
 using test::line_positions;
 using test::make_harness;
+using util::Seconds;
 
 TEST(TraceRecorder, CapturesDeliveries) {
   auto h = make_harness(line_positions(3, 300.0));
   TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 3));
-  h.net().run_flows(60.0);
+  h.net().run_flows(Seconds{60.0});
 
   EXPECT_EQ(trace.count(TraceRecorder::Kind::kDelivered), 3u);
   ASSERT_FALSE(trace.entries().empty());
@@ -44,9 +45,9 @@ TEST(TraceRecorder, CapturesNotifications) {
   auto h = make_harness(bent, opts);
   TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 4000));
-  h.net().run_flows(8192.0 * 4000 / 8192.0 * 4.0);
+  h.net().run_flows(Seconds{8192.0 * 4000 / 8192.0 * 4.0});
 
   EXPECT_GE(trace.count(TraceRecorder::Kind::kNotificationInitiated), 1u);
   EXPECT_GE(trace.count(TraceRecorder::Kind::kNotificationAtSource), 1u);
@@ -54,13 +55,13 @@ TEST(TraceRecorder, CapturesNotifications) {
 
 TEST(TraceRecorder, CapturesDeaths) {
   test::HarnessOptions opts;
-  opts.initial_energy_j = 0.2;
+  opts.initial_energy_j = util::Joules{0.2};
   auto h = make_harness(line_positions(3, 300.0), opts);
   TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(5.0);
+  h.net().warmup(Seconds{5.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 1000));
-  h.net().run_flows(300.0, 30.0);
+  h.net().run_flows(Seconds{300.0}, Seconds{30.0});
   EXPECT_GE(trace.count(TraceRecorder::Kind::kNodeDepleted), 1u);
 }
 
@@ -68,9 +69,9 @@ TEST(TraceRecorder, TableRendersAllRows) {
   auto h = make_harness(line_positions(3, 300.0));
   TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 2));
-  h.net().run_flows(60.0);
+  h.net().run_flows(Seconds{60.0});
   const util::Table table = trace.to_table();
   EXPECT_EQ(table.row_count(), trace.entries().size());
   std::ostringstream os;
@@ -87,9 +88,9 @@ TEST(TraceRecorder, JsonlRoundTripsExactly) {
   auto h = make_harness(bent, opts);
   TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 4000));
-  h.net().run_flows(8192.0 * 4000 / 8192.0 * 4.0);
+  h.net().run_flows(Seconds{8192.0 * 4000 / 8192.0 * 4.0});
   ASSERT_GE(trace.entries().size(), 2u);
 
   const std::string jsonl = trace.to_jsonl();
@@ -121,9 +122,9 @@ TEST(TraceRecorder, ClearEmpties) {
   TraceRecorder trace;
   auto h = make_harness(line_positions(3, 300.0));
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0));
-  h.net().run_flows(30.0);
+  h.net().run_flows(Seconds{30.0});
   EXPECT_FALSE(trace.entries().empty());
   trace.clear();
   EXPECT_TRUE(trace.entries().empty());
@@ -145,7 +146,7 @@ TEST(ScenarioIo, AppliesOverrides) {
   EXPECT_DOUBLE_EQ(p.mobility.k, 0.1);
   EXPECT_DOUBLE_EQ(p.radio.alpha, 3.0);
   EXPECT_DOUBLE_EQ(p.radio.b, 3e-12);
-  EXPECT_DOUBLE_EQ(p.mean_flow_bits, 1024.0 * 1024.0 * 8.0);
+  EXPECT_DOUBLE_EQ(p.mean_flow_bits.value(), 1024.0 * 1024.0 * 8.0);
   EXPECT_EQ(p.strategy, net::StrategyId::kMaxLifetime);
   EXPECT_TRUE(p.random_energy);
   EXPECT_EQ(p.notification_min_gap, 4u);
@@ -175,7 +176,7 @@ TEST(ScenarioIo, ConfigStringRoundTrips) {
   p.strategy = net::StrategyId::kMaxLifetime;
   p.exact_lifetime_split = true;
   p.seed = 123;
-  p.mean_flow_bits = 512.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{512.0 * 1024.0 * 8.0};
 
   ScenarioParams q;  // defaults differ from p
   apply_config(util::Config::from_string(to_config_string(p)), q);
@@ -183,7 +184,7 @@ TEST(ScenarioIo, ConfigStringRoundTrips) {
   EXPECT_EQ(q.strategy, p.strategy);
   EXPECT_TRUE(q.exact_lifetime_split);
   EXPECT_EQ(q.seed, 123u);
-  EXPECT_DOUBLE_EQ(q.mean_flow_bits, p.mean_flow_bits);
+  EXPECT_DOUBLE_EQ(q.mean_flow_bits.value(), p.mean_flow_bits.value());
   EXPECT_DOUBLE_EQ(q.radio.b, p.radio.b);
 }
 
@@ -203,12 +204,12 @@ TEST(ScenarioIo, EveryOptionalKeyRoundTrips) {
   p.fault.seed = 991;
   p.fault.crashes = {{3, 12.5, -1.0}, {7, 30.25, 5.125}, {11, 0.1, 0.0}};
   p.notify_retry_cap = 9;
-  p.notify_retry_timeout_s = 1.75;
+  p.notify_retry_timeout_s = util::Seconds{1.75};
   p.multi_flow_blending = true;
   p.random_energy = true;
-  p.energy_lo_j = 123.25;
-  p.energy_hi_j = 456.75;
-  p.position_error_m = 2.5;
+  p.energy_lo_j = util::Joules{123.25};
+  p.energy_hi_j = util::Joules{456.75};
+  p.position_error_m = util::Meters{2.5};
 
   ScenarioParams q;  // starts at defaults
   apply_config(util::Config::from_string(to_config_string(p)), q);
@@ -227,12 +228,12 @@ TEST(ScenarioIo, EveryOptionalKeyRoundTrips) {
     EXPECT_EQ(q.fault.crashes[i].duration_s, p.fault.crashes[i].duration_s);
   }
   EXPECT_EQ(q.notify_retry_cap, 9u);
-  EXPECT_DOUBLE_EQ(q.notify_retry_timeout_s, 1.75);
+  EXPECT_DOUBLE_EQ(q.notify_retry_timeout_s.value(), 1.75);
   EXPECT_TRUE(q.multi_flow_blending);
   EXPECT_TRUE(q.random_energy);
-  EXPECT_DOUBLE_EQ(q.energy_lo_j, 123.25);
-  EXPECT_DOUBLE_EQ(q.energy_hi_j, 456.75);
-  EXPECT_DOUBLE_EQ(q.position_error_m, 2.5);
+  EXPECT_DOUBLE_EQ(q.energy_lo_j.value(), 123.25);
+  EXPECT_DOUBLE_EQ(q.energy_hi_j.value(), 456.75);
+  EXPECT_DOUBLE_EQ(q.position_error_m.value(), 2.5);
 
   // The decisive check (what snapshot embedding relies on): a second
   // generation of the config string is byte-identical to the first.

@@ -1,0 +1,44 @@
+// Fuzz target for the scenario text pipeline: util::Config's key=value
+// grammar, exp::apply_config's typed binding, and the crash-schedule
+// mini-language. Malformed text must surface as std::invalid_argument /
+// std::out_of_range / std::runtime_error — never UB. Well-formed text
+// must additionally survive the format/re-parse round trip.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "exp/scenario_io.hpp"
+#include "util/config.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  try {
+    const imobif::util::Config config =
+        imobif::util::Config::from_string(text);
+    imobif::exp::ScenarioParams params;
+    imobif::exp::apply_config(config, params);
+    // If the input parsed, its formatted dump is a config file by contract
+    // — re-parsing it must not throw.
+    const std::string dumped = imobif::exp::to_config_string(params);
+    const imobif::util::Config round =
+        imobif::util::Config::from_string(dumped);
+    imobif::exp::ScenarioParams again;
+    imobif::exp::apply_config(round, again);
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  } catch (const std::runtime_error&) {
+  }
+
+  // The crash-schedule grammar also accepts raw text directly.
+  try {
+    const auto crashes = imobif::exp::parse_crashes(text);
+    // Round trip: formatting a parsed schedule must re-parse cleanly.
+    (void)imobif::exp::parse_crashes(imobif::exp::format_crashes(crashes));
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  return 0;
+}

@@ -12,6 +12,8 @@ namespace {
 
 using test::default_flow;
 using test::make_harness;
+using util::Joules;
+using util::Seconds;
 
 // A visibly crooked 6-node path; hops stay within the 180 m radio range.
 std::vector<geom::Vec2> crooked_path() {
@@ -31,7 +33,7 @@ TEST(MinEnergyConvergence, RelaysConvergeToSourceDestLine) {
   test::HarnessOptions opts;
   opts.mode = MobilityMode::kCostUnaware;  // unconditional movement
   auto h = make_harness(crooked_path(), opts);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
 
   const geom::Segment line{h.net().node(0).position(),
                            h.net().node(5).position()};
@@ -45,7 +47,7 @@ TEST(MinEnergyConvergence, RelaysConvergeToSourceDestLine) {
   net::FlowSpec spec = default_flow(h.net(), 8192.0 * 2000);
   spec.initially_enabled = true;
   h.net().start_flow(spec);
-  h.net().run_flows(3000.0);
+  h.net().run_flows(Seconds{3000.0});
 
   for (const auto id : relays(h)) {
     EXPECT_LT(line.distance_to(h.net().node(id).position()), 2.0)
@@ -57,11 +59,11 @@ TEST(MinEnergyConvergence, RelaysEndEvenlySpaced) {
   test::HarnessOptions opts;
   opts.mode = MobilityMode::kCostUnaware;
   auto h = make_harness(crooked_path(), opts);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   net::FlowSpec spec = default_flow(h.net(), 8192.0 * 3000);
   spec.initially_enabled = true;
   h.net().start_flow(spec);
-  h.net().run_flows(4000.0);
+  h.net().run_flows(Seconds{4000.0});
 
   // Hop lengths along the chain should be within a few meters of D/5.
   const double total =
@@ -80,20 +82,20 @@ TEST(MinEnergyConvergence, SteadyStateReducesPerPacketCost) {
   test::HarnessOptions opts;
   opts.mode = MobilityMode::kCostUnaware;
   auto h = make_harness(crooked_path(), opts);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   net::FlowSpec spec = default_flow(h.net(), 8192.0 * 2000);
   spec.initially_enabled = true;
   h.net().start_flow(spec);
-  h.net().run_flows(3000.0);
+  h.net().run_flows(Seconds{3000.0});
   ASSERT_TRUE(h.net().progress(1).completed);
 
   // Baseline (static) energy for the same workload.
   test::HarnessOptions base_opts;
   base_opts.mode = MobilityMode::kNoMobility;
   auto base = make_harness(crooked_path(), base_opts);
-  base.net().warmup(25.0);
+  base.net().warmup(Seconds{25.0});
   base.net().start_flow(default_flow(base.net(), 8192.0 * 2000));
-  base.net().run_flows(3000.0);
+  base.net().run_flows(Seconds{3000.0});
   ASSERT_TRUE(base.net().progress(1).completed);
 
   EXPECT_LT(h.net().total_transmit_energy(),
@@ -111,16 +113,16 @@ TEST(MaxLifetimeConvergence, HopLengthsFollowResidualEnergy) {
   opts.k = 0.0;  // isolate the placement rule from energy death
   auto h = make_harness(positions, opts);
   // Rich relay 1, poor relay 2, rich relay 3.
-  h.net().node(1).battery().recharge(2000.0);
-  h.net().node(2).battery().recharge(200.0);
-  h.net().node(3).battery().recharge(2000.0);
-  h.net().warmup(25.0);
+  h.net().node(1).battery().recharge(Joules{2000.0});
+  h.net().node(2).battery().recharge(Joules{200.0});
+  h.net().node(3).battery().recharge(Joules{2000.0});
+  h.net().warmup(Seconds{25.0});
 
   net::FlowSpec spec =
       default_flow(h.net(), 8192.0 * 2000, net::StrategyId::kMaxLifetime);
   spec.initially_enabled = true;
   h.net().start_flow(spec);
-  h.net().run_flows(3000.0);
+  h.net().run_flows(Seconds{3000.0});
 
   // Hops: 0->1 (rich src 2000 vs rich 2000), 1->2 (rich prev),
   // 2->3 (poor prev), 3->4.
@@ -143,13 +145,13 @@ TEST(MaxLifetimeConvergence, DiffersFromMinEnergyPlacement) {
     opts.mode = MobilityMode::kCostUnaware;
     opts.k = 0.0;
     auto h = make_harness(positions, opts);
-    h.net().node(1).battery().recharge(3000.0);
-    h.net().node(2).battery().recharge(300.0);
-    h.net().warmup(25.0);
+    h.net().node(1).battery().recharge(Joules{3000.0});
+    h.net().node(2).battery().recharge(Joules{300.0});
+    h.net().warmup(Seconds{25.0});
     net::FlowSpec spec = default_flow(h.net(), 8192.0 * 1500, strategy);
     spec.initially_enabled = true;
     h.net().start_flow(spec);
-    h.net().run_flows(2500.0);
+    h.net().run_flows(Seconds{2500.0});
     return h.net().positions();
   };
   const auto min_energy = run(net::StrategyId::kMinTotalEnergy);
@@ -168,23 +170,25 @@ TEST(EnergyConservation, DrawsBalanceAcrossTheRun) {
   opts.mode = MobilityMode::kCostUnaware;
   opts.charge_hello_energy = true;
   auto h = make_harness(crooked_path(), opts);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   net::FlowSpec spec = default_flow(h.net(), 8192.0 * 300);
   spec.initially_enabled = true;
   h.net().start_flow(spec);
-  h.net().run_flows(600.0);
+  h.net().run_flows(Seconds{600.0});
 
   for (std::size_t i = 0; i < h.net().node_count(); ++i) {
     const auto& b = h.net().node(static_cast<net::NodeId>(i)).battery();
-    EXPECT_NEAR(b.initial(), b.residual() + b.consumed_total(), 1e-6);
-    EXPECT_NEAR(b.consumed_total(),
-                b.consumed_transmit() + b.consumed_move() +
-                    b.consumed_other(),
+    EXPECT_NEAR(b.initial().value(),
+                (b.residual() + b.consumed_total()).value(), 1e-6);
+    EXPECT_NEAR(b.consumed_total().value(),
+                (b.consumed_transmit() + b.consumed_move() +
+                 b.consumed_other())
+                    .value(),
                 1e-6);
   }
   // Movement energy equals k times distance moved.
-  EXPECT_NEAR(h.net().total_movement_energy(),
-              0.5 * h.policy->total_distance_moved(), 1e-6);
+  EXPECT_NEAR(h.net().total_movement_energy().value(),
+              0.5 * h.policy->total_distance_moved().value(), 1e-6);
 }
 
 }  // namespace

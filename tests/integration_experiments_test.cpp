@@ -10,8 +10,8 @@ namespace {
 ScenarioParams small_params() {
   ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 100.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{100.0 * 1024.0 * 8.0};
   p.seed = 5;
   return p;
 }
@@ -32,7 +32,7 @@ TEST(SampleInstance, ProducesRoutableMultiHopPairs) {
     for (std::size_t j = 0; j + 1 < inst.initial_path.size(); ++j) {
       EXPECT_LE(geom::distance(inst.positions[inst.initial_path[j]],
                                inst.positions[inst.initial_path[j + 1]]),
-                p.comm_range_m + 1e-9);
+                p.comm_range_m.value() + 1e-9);
     }
   }
 }
@@ -41,15 +41,16 @@ TEST(SampleInstance, EnergiesMatchScenario) {
   ScenarioParams p = small_params();
   util::Rng rng(7);
   const FlowInstance fixed = sample_instance(p, rng);
-  for (double e : fixed.energies) EXPECT_DOUBLE_EQ(e, p.initial_energy_j);
+  for (const util::Joules e : fixed.energies)
+    EXPECT_DOUBLE_EQ(e.value(), p.initial_energy_j.value());
 
   p.random_energy = true;
-  p.energy_lo_j = 5.0;
-  p.energy_hi_j = 50.0;
+  p.energy_lo_j = util::Joules{5.0};
+  p.energy_hi_j = util::Joules{50.0};
   const FlowInstance random = sample_instance(p, rng);
-  for (double e : random.energies) {
-    EXPECT_GE(e, 5.0);
-    EXPECT_LE(e, 50.0);
+  for (const util::Joules e : random.energies) {
+    EXPECT_GE(e, util::Joules{5.0});
+    EXPECT_LE(e, util::Joules{50.0});
   }
 }
 
@@ -60,14 +61,14 @@ TEST(SampleInstance, DeterministicGivenRngState) {
   const FlowInstance ib = sample_instance(p, b);
   EXPECT_EQ(ia.source, ib.source);
   EXPECT_EQ(ia.destination, ib.destination);
-  EXPECT_DOUBLE_EQ(ia.flow_bits, ib.flow_bits);
+  EXPECT_DOUBLE_EQ(ia.flow_bits.value(), ib.flow_bits.value());
   EXPECT_EQ(ia.initial_path, ib.initial_path);
 }
 
 TEST(SampleInstance, ThrowsWhenNoPathPossible) {
   ScenarioParams p = small_params();
   p.node_count = 3;
-  p.area_m = 10000.0;  // nodes far beyond radio range of each other
+  p.area_m = util::Meters{10000.0};
   util::Rng rng(1);
   EXPECT_THROW(sample_instance(p, rng), std::runtime_error);
 }
@@ -81,8 +82,8 @@ TEST(RunInstance, DeterministicReplay) {
   const RunResult b =
       run_instance(inst, p, core::MobilityMode::kInformed);
   EXPECT_EQ(a.completed, b.completed);
-  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
-  EXPECT_DOUBLE_EQ(a.movement_energy_j, b.movement_energy_j);
+  EXPECT_DOUBLE_EQ(a.total_energy_j.value(), b.total_energy_j.value());
+  EXPECT_DOUBLE_EQ(a.movement_energy_j.value(), b.movement_energy_j.value());
   EXPECT_EQ(a.notifications, b.notifications);
   EXPECT_EQ(a.path, b.path);
 }
@@ -94,10 +95,10 @@ TEST(RunInstance, BaselineHasNoMovement) {
   const RunResult r =
       run_instance(inst, p, core::MobilityMode::kNoMobility);
   EXPECT_TRUE(r.completed);
-  EXPECT_DOUBLE_EQ(r.movement_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.movement_energy_j.value(), 0.0);
   EXPECT_EQ(r.movements, 0u);
   EXPECT_EQ(r.notifications, 0u);
-  EXPECT_GT(r.transmit_energy_j, 0.0);
+  EXPECT_GT(r.transmit_energy_j, util::Joules{0.0});
 }
 
 TEST(RunInstance, PathTracedSourceToDestination) {
@@ -129,7 +130,7 @@ TEST(RunComparison, ShortFlowsMakeCostUnawareExpensive) {
   // Fig 6(a): for short flows the cost-unaware approach burns far more
   // energy than the static baseline on average.
   ScenarioParams p = small_params();
-  p.mean_flow_bits = 50.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{50.0 * 1024.0 * 8.0};
   const auto points = run_comparison(p, 6);
   double ratio_sum = 0.0;
   for (const auto& pt : points) ratio_sum += pt.energy_ratio_cost_unaware();
@@ -141,11 +142,11 @@ TEST(RunComparison, DeterministicAcrossCalls) {
   const auto a = run_comparison(p, 3);
   const auto b = run_comparison(p, 3);
   for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_DOUBLE_EQ(a[i].flow_bits, b[i].flow_bits);
-    EXPECT_DOUBLE_EQ(a[i].informed.total_energy_j,
-                     b[i].informed.total_energy_j);
-    EXPECT_DOUBLE_EQ(a[i].cost_unaware.total_energy_j,
-                     b[i].cost_unaware.total_energy_j);
+    EXPECT_DOUBLE_EQ(a[i].flow_bits.value(), b[i].flow_bits.value());
+    EXPECT_DOUBLE_EQ(a[i].informed.total_energy_j.value(),
+                     b[i].informed.total_energy_j.value());
+    EXPECT_DOUBLE_EQ(a[i].cost_unaware.total_energy_j.value(),
+                     b[i].cost_unaware.total_energy_j.value());
   }
 }
 
@@ -153,16 +154,16 @@ TEST(RunComparison, LifetimeRunsRecordDeaths) {
   ScenarioParams p = small_params();
   p.strategy = net::StrategyId::kMaxLifetime;
   p.random_energy = true;
-  p.energy_lo_j = 2.0;
-  p.energy_hi_j = 20.0;
-  p.mean_flow_bits = 1024.0 * 1024.0 * 8.0;
+  p.energy_lo_j = util::Joules{2.0};
+  p.energy_hi_j = util::Joules{20.0};
+  p.mean_flow_bits = util::Bits{1024.0 * 1024.0 * 8.0};
   RunOptions opt;
   opt.stop_on_first_death = true;
   const auto points = run_comparison(p, 3, opt);
   int deaths = 0;
   for (const auto& pt : points) {
     if (pt.baseline.any_death) ++deaths;
-    EXPECT_GT(pt.baseline.lifetime_s, 0.0);
+    EXPECT_GT(pt.baseline.lifetime_s, util::Seconds{0.0});
     EXPECT_GT(pt.lifetime_ratio_informed(), 0.0);
   }
   EXPECT_GT(deaths, 0);  // low-energy nodes must actually die
@@ -170,7 +171,7 @@ TEST(RunComparison, LifetimeRunsRecordDeaths) {
 
 TEST(RunPlacement, SnapshotsAreConsistent) {
   ScenarioParams p = small_params();
-  p.mean_flow_bits = 2.0 * 1024.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{2.0 * 1024.0 * 1024.0 * 8.0};
   const PlacementSnapshot snap =
       run_placement(p, core::MobilityMode::kCostUnaware);
   ASSERT_GE(snap.path.size(), 4u);
@@ -195,11 +196,11 @@ TEST(ScenarioParams, ValidationCatchesBadConfigs) {
   p.node_count = 1;
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_params();
-  p.rate_bps = 0.0;
+  p.rate_bps = util::BitsPerSecond{0.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_params();
   p.random_energy = true;
-  p.energy_hi_j = p.energy_lo_j - 1.0;
+  p.energy_hi_j = p.energy_lo_j - util::Joules{1.0};
   EXPECT_THROW(p.validate(), std::invalid_argument);
   p = small_params();
   p.length_estimate_factor = -1.0;

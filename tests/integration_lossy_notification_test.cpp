@@ -22,7 +22,7 @@ TEST(LossyNotification, StatusConvergesWithRetriesUnderLoss) {
   test::HarnessOptions opts;
   opts.mode = core::MobilityMode::kInformed;
   opts.notify_retry_cap = 6;
-  opts.notify_retry_timeout_s = 1.5;
+  opts.notify_retry_timeout_s = util::Seconds{1.5};
   auto h = test::make_harness(bent_path(), opts);
 
   FaultPlan plan;
@@ -32,14 +32,15 @@ TEST(LossyNotification, StatusConvergesWithRetriesUnderLoss) {
 
   exp::TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
 
   // Long enough that straightening the bent path pays (the clean-channel
   // equivalent in core_policy_test flips at this length).
   const double length_bits = 8192.0 * 4000;
   net::FlowSpec spec = test::default_flow(h.net(), length_bits);
   h.net().start_flow(spec);
-  h.net().run_flows(length_bits / spec.rate_bps * 4.0 + 120.0);
+  h.net().run_flows(
+      util::Seconds{length_bits / spec.rate_bps.value() * 4.0 + 120.0});
 
   const net::FlowProgress& prog = h.net().progress(1);
   // Despite 30% per-hop loss, the destination's decision reached the
@@ -65,26 +66,27 @@ TEST(LossyNotification, StatusConvergesWithRetriesUnderLoss) {
   const double frames = static_cast<double>(prog.notifications_from_dest +
                                             prog.notification_retries);
   EXPECT_GE(h.net().node(dest_id).battery().consumed_transmit(),
-            frames * per_frame_floor);
+            util::Joules{frames * per_frame_floor});
 }
 
 TEST(LossyNotification, RetryCapBoundsAttempts) {
   test::HarnessOptions opts;
   opts.mode = core::MobilityMode::kInformed;
   opts.notify_retry_cap = 3;
-  opts.notify_retry_timeout_s = 1.0;
+  opts.notify_retry_timeout_s = util::Seconds{1.0};
   auto h = test::make_harness(bent_path(), opts);
 
   FaultPlan plan;
   plan.loss_rate = 0.6;  // harsh: per-attempt 3-hop success is ~6%
   plan.seed = 5;
   h.net().medium().install_fault_plan(plan);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
 
   const double length_bits = 8192.0 * 4000;
   net::FlowSpec spec = test::default_flow(h.net(), length_bits);
   h.net().start_flow(spec);
-  h.net().run_flows(length_bits / spec.rate_bps * 4.0 + 120.0);
+  h.net().run_flows(
+      util::Seconds{length_bits / spec.rate_bps.value() * 4.0 + 120.0});
 
   const net::FlowProgress& prog = h.net().progress(1);
   // Enough data survives the channel for the destination to decide at
@@ -108,7 +110,7 @@ TEST(LossyNotification, SourceRejectsStaleDecisions) {
   auto h = test::make_harness(test::line_positions(2, 100.0), opts);
   exp::TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(15.0);
+  h.net().warmup(util::Seconds{15.0});
   h.net().start_flow(test::default_flow(h.net(), 8192.0 * 1000));
 
   Node& src = h.net().node(0);
@@ -126,7 +128,7 @@ TEST(LossyNotification, SourceRejectsStaleDecisions) {
     pkt.type = PacketType::kNotification;
     pkt.sender.id = 1;
     pkt.link_dest = 0;
-    pkt.size_bits = 512.0;
+    pkt.size_bits = util::Bits{512.0};
     pkt.body = body;
     src.handle_receive(pkt);
   };
@@ -182,13 +184,13 @@ void expect_same_run(const exp::RunResult& a, const exp::RunResult& b) {
 TEST(LossyNotification, ZeroLossResultsBitIdenticalWithRetryCap) {
   exp::ScenarioParams base;
   base.node_count = 40;
-  base.area_m = 700.0;
-  base.mean_flow_bits = 50.0 * 1024.0 * 8.0;
+  base.area_m = util::Meters{700.0};
+  base.mean_flow_bits = util::Bits{50.0 * 1024.0 * 8.0};
   base.seed = 7;
 
   exp::ScenarioParams armed = base;
   armed.notify_retry_cap = 6;
-  armed.notify_retry_timeout_s = 1.5;
+  armed.notify_retry_timeout_s = util::Seconds{1.5};
 
   const auto legacy = runtime::run_comparison_parallel(base, 2, {}, 1);
   const auto reliable = runtime::run_comparison_parallel(armed, 2, {}, 1);
@@ -207,8 +209,8 @@ TEST(LossyNotification, ModerateLossStillDeliversMostTraffic) {
   // progress on the data plane.
   exp::ScenarioParams p;
   p.node_count = 40;
-  p.area_m = 700.0;
-  p.mean_flow_bits = 30.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{700.0};
+  p.mean_flow_bits = util::Bits{30.0 * 1024.0 * 8.0};
   p.seed = 11;
   p.fault.loss_rate = 0.1;
   p.fault.seed = 99;
@@ -217,8 +219,8 @@ TEST(LossyNotification, ModerateLossStillDeliversMostTraffic) {
   const auto points = runtime::run_comparison_parallel(p, 2, {}, 2);
   for (const auto& pt : points) {
     EXPECT_GT(pt.informed.medium.dropped_injected, 0u);
-    EXPECT_GT(pt.informed.delivered_bits, 0.0);
-    EXPECT_LT(pt.informed.delivered_bits, pt.flow_bits + 1.0);
+    EXPECT_GT(pt.informed.delivered_bits, util::Bits{0.0});
+    EXPECT_LT(pt.informed.delivered_bits, pt.flow_bits + util::Bits{1.0});
   }
 }
 

@@ -17,8 +17,8 @@ namespace {
 ScenarioParams scenario(std::uint64_t seed) {
   ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 512.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{512.0 * 1024.0 * 8.0};
   p.mobility.k = 0.3;
   p.seed = seed;
   return p;
@@ -32,7 +32,7 @@ TEST_P(SafetyAcrossSeeds, InformedEnergyNeverMateriallyWorse) {
     ASSERT_TRUE(pt.baseline.completed);
     ASSERT_TRUE(pt.informed.completed);
     EXPECT_LE(pt.energy_ratio_informed(), 1.02)
-        << "flow of " << pt.flow_bits / 8192.0 << " KB";
+        << "flow of " << pt.flow_bits.value() / 8192.0 << " KB";
   }
 }
 
@@ -53,9 +53,9 @@ TEST_P(SafetyAcrossSeeds, LifetimeMostlyPreservedOrImproved) {
   ScenarioParams p = scenario(GetParam());
   p.strategy = net::StrategyId::kMaxLifetime;
   p.random_energy = true;
-  p.energy_lo_j = 5.0;
-  p.energy_hi_j = 100.0;
-  p.mean_flow_bits = 1024.0 * 1024.0 * 8.0;
+  p.energy_lo_j = util::Joules{5.0};
+  p.energy_hi_j = util::Joules{100.0};
+  p.mean_flow_bits = util::Bits{1024.0 * 1024.0 * 8.0};
   RunOptions opt;
   opt.stop_on_first_death = true;
   const auto points = run_comparison(p, 3, opt);
@@ -75,10 +75,10 @@ TEST_P(SafetyAcrossSeeds, DeterministicReplay) {
   const auto a = run_comparison(scenario(GetParam()), 2);
   const auto b = run_comparison(scenario(GetParam()), 2);
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].informed.total_energy_j,
-                     b[i].informed.total_energy_j);
-    EXPECT_DOUBLE_EQ(a[i].cost_unaware.moved_distance_m,
-                     b[i].cost_unaware.moved_distance_m);
+    EXPECT_DOUBLE_EQ(a[i].informed.total_energy_j.value(),
+                     b[i].informed.total_energy_j.value());
+    EXPECT_DOUBLE_EQ(a[i].cost_unaware.moved_distance_m.value(),
+                     b[i].cost_unaware.moved_distance_m.value());
     EXPECT_EQ(a[i].informed.notifications, b[i].informed.notifications);
   }
 }
@@ -88,12 +88,13 @@ TEST_P(SafetyAcrossSeeds, EnergyDecompositionConsistent) {
   for (const auto& pt : points) {
     for (const RunResult* run :
          {&pt.baseline, &pt.cost_unaware, &pt.informed}) {
-      EXPECT_NEAR(run->total_energy_j,
-                  run->transmit_energy_j + run->movement_energy_j, 1e-6);
-      EXPECT_GE(run->movement_energy_j, 0.0);
-      EXPECT_GT(run->transmit_energy_j, 0.0);
+      EXPECT_NEAR(run->total_energy_j.value(),
+                  (run->transmit_energy_j + run->movement_energy_j).value(),
+                  1e-6);
+      EXPECT_GE(run->movement_energy_j, util::Joules{0.0});
+      EXPECT_GT(run->transmit_energy_j, util::Joules{0.0});
     }
-    EXPECT_DOUBLE_EQ(pt.baseline.movement_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(pt.baseline.movement_energy_j.value(), 0.0);
   }
 }
 

@@ -36,12 +36,12 @@ TEST_P(StressAcrossModes, InvariantsHold) {
   }
   test::HarnessOptions opts;
   opts.mode = param.mode;
-  opts.initial_energy_j = 50.0;  // some nodes will die mid-run
+  opts.initial_energy_j = util::Joules{50.0};
   opts.k = 0.3;
   auto h = test::make_harness(positions, opts);
   exp::TraceRecorder trace;
   h.net().set_event_tap(&trace);
-  h.net().warmup(25.0);
+  h.net().warmup(util::Seconds{25.0});
 
   // Several random flows; some pairs may be unroutable — that is part of
   // the stress (the pump emits, greedy fails, drops count).
@@ -52,7 +52,7 @@ TEST_P(StressAcrossModes, InvariantsHold) {
     spec.source = static_cast<NodeId>(rng.uniform_int(0, n - 1));
     spec.destination = static_cast<NodeId>(rng.uniform_int(0, n - 1));
     if (spec.source == spec.destination) continue;
-    spec.length_bits = 8192.0 * rng.uniform(1.0, 200.0);
+    spec.length_bits = util::Bits{8192.0 * rng.uniform(1.0, 200.0)};
     spec.strategy = (id % 2 == 0) ? StrategyId::kMaxLifetime
                                   : StrategyId::kMinTotalEnergy;
     spec.initially_enabled = (param.mode == core::MobilityMode::kCostUnaware);
@@ -61,26 +61,30 @@ TEST_P(StressAcrossModes, InvariantsHold) {
   }
   ASSERT_GT(started, 0);
 
-  const double elapsed = h.net().run_flows(2500.0, 60.0);
-  EXPECT_GT(elapsed, 0.0);
+  const util::Seconds elapsed =
+      h.net().run_flows(util::Seconds{2500.0}, util::Seconds{60.0});
+  EXPECT_GT(elapsed, util::Seconds{0.0});
 
   // Energy conservation and decomposition, every node.
   for (std::size_t i = 0; i < h.net().node_count(); ++i) {
     const auto& b = h.net().node(static_cast<NodeId>(i)).battery();
-    EXPECT_NEAR(b.initial(), b.residual() + b.consumed_total(), 1e-6);
-    EXPECT_NEAR(b.consumed_total(),
-                b.consumed_transmit() + b.consumed_move() +
-                    b.consumed_other(),
+    EXPECT_NEAR(b.initial().value(),
+                (b.residual() + b.consumed_total()).value(), 1e-6);
+    EXPECT_NEAR(b.consumed_total().value(),
+                (b.consumed_transmit() + b.consumed_move() +
+                 b.consumed_other())
+                    .value(),
                 1e-6);
-    EXPECT_GE(b.residual(), 0.0);
+    EXPECT_GE(b.residual(), util::Joules{0.0});
   }
 
   // Flow accounting.
   for (const FlowProgress* prog : h.net().all_progress()) {
-    EXPECT_LE(prog->delivered_bits, prog->emitted_bits + 1e-9);
+    EXPECT_LE(prog->delivered_bits, prog->emitted_bits + util::Bits{1e-9});
     EXPECT_LE(prog->packets_delivered, prog->packets_emitted);
     if (prog->completed) {
-      EXPECT_NEAR(prog->delivered_bits, prog->spec.length_bits, 1e-6);
+      EXPECT_NEAR(prog->delivered_bits.value(),
+                  prog->spec.length_bits.value(), 1e-6);
       ASSERT_TRUE(prog->completion_time.has_value());
     }
   }
@@ -94,9 +98,10 @@ TEST_P(StressAcrossModes, InvariantsHold) {
   // Movement bookkeeping agrees between policy and nodes.
   double node_moved = 0.0;
   for (std::size_t i = 0; i < h.net().node_count(); ++i) {
-    node_moved += h.net().node(static_cast<NodeId>(i)).total_moved();
+    node_moved +=
+        h.net().node(static_cast<NodeId>(i)).total_moved().value();
   }
-  EXPECT_NEAR(h.policy->total_distance_moved(), node_moved, 1e-9);
+  EXPECT_NEAR(h.policy->total_distance_moved().value(), node_moved, 1e-9);
   if (param.mode == core::MobilityMode::kNoMobility) {
     EXPECT_DOUBLE_EQ(node_moved, 0.0);
   }

@@ -1,0 +1,236 @@
+// Round-trip proofs for every I/O boundary that carries doubles out of
+// the typed core: util::Json (shortest-form decimal), the snapshot codec
+// (IEEE-754 bit pattern), and the scenario config text. The units layer
+// guarantees dimensions inside the process; these tests guarantee the
+// values survive leaving and re-entering it bit for bit, which is what
+// makes checkpoints resumable and result artifacts diffable.
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario_io.hpp"
+#include "snap/codec.hpp"
+#include "util/config.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace imobif;
+
+std::uint64_t bits_of(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// from_chars, not stod: stod throws out_of_range on subnormals, which the
+// shortest-form serializer legitimately produces.
+double parse_exact(const std::string& text) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  EXPECT_TRUE(ec == std::errc{} && ptr == text.data() + text.size())
+      << "unparsable: \"" << text << "\"";
+  return value;
+}
+
+// Adversarial but finite doubles: signed zeros, denormals, extremes of
+// the exponent range, classic non-terminating binary fractions, and
+// domain-typical magnitudes.
+std::vector<double> finite_battery() {
+  return {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      0.1,
+      0.1 + 0.2,
+      1.0 / 3.0,
+      3.141592653589793,
+      5e-324,                                    // smallest denormal
+      2.2250738585072014e-308,                   // DBL_MIN
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      6.02214076e23,
+      1e-7,
+      123456789.123456789,
+      9007199254740992.0,                        // 2^53
+      2000.0,
+      1500.5,
+  };
+}
+
+// splitmix64 drives a deterministic sweep over raw bit patterns.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TEST(JsonRoundTrip, ShortestFormRecoversExactDouble) {
+  for (double v : finite_battery()) {
+    const std::string text = util::Json::number_to_string(v);
+    const double back = parse_exact(text);
+    EXPECT_EQ(bits_of(v), bits_of(back)) << "via \"" << text << "\"";
+  }
+}
+
+TEST(JsonRoundTrip, RandomFiniteBitPatternsRecoverExactly) {
+  std::uint64_t rng = 0x8f7d3c2a1b4e5f60ull;
+  int tested = 0;
+  while (tested < 10000) {
+    const double v = std::bit_cast<double>(splitmix64(rng));
+    if (!std::isfinite(v)) continue;
+    ++tested;
+    const double back = parse_exact(util::Json::number_to_string(v));
+    ASSERT_EQ(bits_of(v), bits_of(back));
+  }
+}
+
+TEST(JsonRoundTrip, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(util::Json::number_to_string(
+                std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(util::Json::number_to_string(
+                std::numeric_limits<double>::quiet_NaN()),
+            "null");
+}
+
+TEST(SnapCodecRoundTrip, F64BatteryIsBitExact) {
+  snap::StateWriter writer;
+  auto battery = finite_battery();
+  // The codec moves raw bit patterns, so non-finite values — NaN payload
+  // included — must survive too (unlike JSON).
+  battery.push_back(std::numeric_limits<double>::infinity());
+  battery.push_back(std::bit_cast<double>(0x7ff800000000beefull));
+  for (double v : battery) writer.f64(v);
+
+  snap::StateReader reader(writer.data());
+  for (double v : battery) {
+    EXPECT_EQ(bits_of(v), bits_of(reader.f64()));
+  }
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(SnapCodecRoundTrip, RandomBitPatternsAreBitExact) {
+  std::uint64_t rng = 0x243f6a8885a308d3ull;
+  snap::StateWriter writer;
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(std::bit_cast<double>(splitmix64(rng)));
+    writer.f64(values.back());
+  }
+  snap::StateReader reader(writer.data());
+  for (double v : values) {
+    ASSERT_EQ(bits_of(v), bits_of(reader.f64()));
+  }
+  EXPECT_TRUE(reader.at_end());
+}
+
+// Fills every double-valued scenario field with an awkward value, pushes
+// the params through format -> parse -> bind, and demands bit equality.
+TEST(ScenarioConfigRoundTrip, AwkwardDoublesSurviveBitExact) {
+  exp::ScenarioParams p;
+  p.area_m = util::Meters{1000.0 / 3.0};
+  p.comm_range_m = util::Meters{0.1 + 0.2};
+  p.radio.a = 1e-7;
+  p.radio.b = 1.3e-10;
+  p.radio.alpha = 3.141592653589793;
+  p.radio.rx_per_bit = 5e-324;
+  p.mobility.k = 1.0 / 7.0;
+  p.mobility.max_step_m = 2.2250738585072014e-308;
+  p.initial_energy_j = util::Joules{123456789.123456789};
+  p.energy_lo_j = util::Joules{800.0001};
+  p.energy_hi_j = util::Joules{2399.9999};
+  p.mean_flow_bits = util::Bits{512.25 * 1024.0 * 8.0};
+  p.packet_bits = util::Bits{8192.0};
+  p.rate_bps = util::BitsPerSecond{250000.5};
+  p.length_estimate_factor = 1.0 / 3.0;
+  p.hello_interval_s = util::Seconds{10.1};
+  p.warmup_s = util::Seconds{1e-3};
+  p.position_error_m = util::Meters{0.30000000000000004};
+  p.alpha_prime = 0.7 / 3.0;
+  p.line_bias_weight = 0.123456789012345678;
+  p.recruit_margin = 1.05e-2;
+  p.fault.loss_rate = 0.15000000000000002;
+  p.fault.p_good_to_bad = 0.02;
+  p.fault.p_bad_to_good = 0.4;
+  p.fault.loss_good = 0.01;
+  p.fault.loss_bad = 0.6;
+  p.notify_retry_timeout_s = util::Seconds{2.5000000000000004};
+  p.fault.crashes.push_back({7, 120.5, 30.25});
+  p.fault.crashes.push_back({12, 1.0 / 3.0, -1.0});
+
+  const std::string text = exp::to_config_string(p);
+  exp::ScenarioParams q;  // defaults, then overridden by every key
+  exp::apply_config(util::Config::from_string(text), q);
+
+  EXPECT_EQ(bits_of(p.area_m.value()), bits_of(q.area_m.value()));
+  EXPECT_EQ(bits_of(p.comm_range_m.value()), bits_of(q.comm_range_m.value()));
+  EXPECT_EQ(bits_of(p.radio.a), bits_of(q.radio.a));
+  EXPECT_EQ(bits_of(p.radio.b), bits_of(q.radio.b));
+  EXPECT_EQ(bits_of(p.radio.alpha), bits_of(q.radio.alpha));
+  EXPECT_EQ(bits_of(p.radio.rx_per_bit), bits_of(q.radio.rx_per_bit));
+  EXPECT_EQ(bits_of(p.mobility.k), bits_of(q.mobility.k));
+  EXPECT_EQ(bits_of(p.mobility.max_step_m), bits_of(q.mobility.max_step_m));
+  EXPECT_EQ(bits_of(p.initial_energy_j.value()),
+            bits_of(q.initial_energy_j.value()));
+  EXPECT_EQ(bits_of(p.energy_lo_j.value()), bits_of(q.energy_lo_j.value()));
+  EXPECT_EQ(bits_of(p.energy_hi_j.value()), bits_of(q.energy_hi_j.value()));
+  EXPECT_EQ(bits_of(p.mean_flow_bits.value()),
+            bits_of(q.mean_flow_bits.value()));
+  EXPECT_EQ(bits_of(p.packet_bits.value()), bits_of(q.packet_bits.value()));
+  EXPECT_EQ(bits_of(p.rate_bps.value()), bits_of(q.rate_bps.value()));
+  EXPECT_EQ(bits_of(p.length_estimate_factor),
+            bits_of(q.length_estimate_factor));
+  EXPECT_EQ(bits_of(p.hello_interval_s.value()),
+            bits_of(q.hello_interval_s.value()));
+  EXPECT_EQ(bits_of(p.warmup_s.value()), bits_of(q.warmup_s.value()));
+  EXPECT_EQ(bits_of(p.position_error_m.value()),
+            bits_of(q.position_error_m.value()));
+  EXPECT_EQ(bits_of(p.alpha_prime), bits_of(q.alpha_prime));
+  EXPECT_EQ(bits_of(p.line_bias_weight), bits_of(q.line_bias_weight));
+  EXPECT_EQ(bits_of(p.recruit_margin), bits_of(q.recruit_margin));
+  EXPECT_EQ(bits_of(p.fault.loss_rate), bits_of(q.fault.loss_rate));
+  EXPECT_EQ(bits_of(p.fault.p_good_to_bad), bits_of(q.fault.p_good_to_bad));
+  EXPECT_EQ(bits_of(p.fault.p_bad_to_good), bits_of(q.fault.p_bad_to_good));
+  EXPECT_EQ(bits_of(p.fault.loss_good), bits_of(q.fault.loss_good));
+  EXPECT_EQ(bits_of(p.fault.loss_bad), bits_of(q.fault.loss_bad));
+  EXPECT_EQ(bits_of(p.notify_retry_timeout_s.value()),
+            bits_of(q.notify_retry_timeout_s.value()));
+  ASSERT_EQ(p.fault.crashes.size(), q.fault.crashes.size());
+  for (std::size_t i = 0; i < p.fault.crashes.size(); ++i) {
+    EXPECT_EQ(p.fault.crashes[i].node, q.fault.crashes[i].node);
+    EXPECT_EQ(bits_of(p.fault.crashes[i].at_s),
+              bits_of(q.fault.crashes[i].at_s));
+    EXPECT_EQ(bits_of(p.fault.crashes[i].duration_s),
+              bits_of(q.fault.crashes[i].duration_s));
+  }
+
+  // Fixed point: the re-bound params format to the identical string, so a
+  // second trip cannot drift either.
+  EXPECT_EQ(text, exp::to_config_string(q));
+}
+
+TEST(ScenarioConfigRoundTrip, CrashScheduleFormatParseIsExact) {
+  std::vector<net::FaultPlan::CrashEvent> crashes = {
+      {0, 0.0, 0.0},
+      {7, 120.5, 30.25},
+      {12, 1.0 / 3.0, -1.0},
+      {255, 86399.999999999, 0.30000000000000004},
+  };
+  const auto parsed = exp::parse_crashes(exp::format_crashes(crashes));
+  ASSERT_EQ(parsed.size(), crashes.size());
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    EXPECT_EQ(parsed[i].node, crashes[i].node);
+    EXPECT_EQ(bits_of(parsed[i].at_s), bits_of(crashes[i].at_s));
+    EXPECT_EQ(bits_of(parsed[i].duration_s), bits_of(crashes[i].duration_s));
+  }
+}
+
+}  // namespace

@@ -108,7 +108,7 @@ TEST(Aodv, UnreachableTargetYieldsNoRoute) {
 
 TEST(Aodv, ControlTrafficConsumesEnergy) {
   AodvFixture f(line_positions(4, 450.0));
-  const double before = f.h.net().node(1).battery().residual();
+  const util::Joules before = f.h.net().node(1).battery().residual();
   f.discover(0, 3);
   EXPECT_LT(f.h.net().node(1).battery().residual(), before);
 }
@@ -117,7 +117,7 @@ TEST(Aodv, DataFlowRunsOverDiscoveredRoutes) {
   AodvFixture f(line_positions(4, 450.0));
   f.discover(0, 3);
   f.h.net().start_flow(test::default_flow(f.h.net(), 8192.0 * 2));
-  f.h.net().run_flows(30.0);
+  f.h.net().run_flows(util::Seconds{30.0});
   EXPECT_TRUE(f.h.net().progress(1).completed);
 }
 

@@ -165,7 +165,7 @@ TEST(MediumFaults, DisabledPlanIsANoOp) {
   auto h = test::make_harness(test::line_positions(3, 200.0));
   h.net().medium().install_fault_plan(FaultPlan{});
   EXPECT_EQ(h.net().medium().fault_injector(), nullptr);
-  h.net().warmup(30.0);
+  h.net().warmup(util::Seconds{30.0});
   EXPECT_EQ(h.net().medium().counters().dropped_injected, 0u);
   EXPECT_EQ(h.net().medium().counters().dropped_faulted, 0u);
   EXPECT_GT(h.net().medium().counters().delivered, 0u);

@@ -8,6 +8,8 @@ namespace imobif::net {
 namespace {
 
 using test::make_harness;
+using util::Bits;
+using util::Seconds;
 
 // A fan topology: source 0 reaches destinations 4 and 5 through the shared
 // relays 1 and 2; destination 6 hangs off relay 2 as well.
@@ -21,18 +23,19 @@ std::vector<geom::Vec2> fan() {
 
 TEST(FlowGroups, OneToManyDeliversToEveryDestination) {
   auto h = make_harness(fan());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   OneToManySpec spec;
   spec.base_id = 10;
   spec.source = 0;
   spec.destinations = {3, 4, 5};
-  spec.length_bits_each = 8192.0 * 4;
+  spec.length_bits_each = Bits{8192.0 * 4};
   const auto ids = start_one_to_many(h.net(), spec);
   EXPECT_EQ(ids, (std::vector<FlowId>{10, 11, 12}));
-  h.net().run_flows(120.0);
+  h.net().run_flows(Seconds{120.0});
 
   EXPECT_TRUE(group_complete(h.net(), ids));
-  EXPECT_DOUBLE_EQ(group_delivered_bits(h.net(), ids), 3 * 8192.0 * 4);
+  EXPECT_DOUBLE_EQ(group_delivered_bits(h.net(), ids).value(),
+                   3 * 8192.0 * 4);
   for (const FlowId id : ids) {
     EXPECT_TRUE(h.net().progress(id).completed);
   }
@@ -40,14 +43,14 @@ TEST(FlowGroups, OneToManyDeliversToEveryDestination) {
 
 TEST(FlowGroups, OneToManySharesTrunkRelays) {
   auto h = make_harness(fan());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   OneToManySpec spec;
   spec.base_id = 10;
   spec.source = 0;
   spec.destinations = {3, 4, 5};
-  spec.length_bits_each = 8192.0 * 4;
+  spec.length_bits_each = Bits{8192.0 * 4};
   const auto ids = start_one_to_many(h.net(), spec);
-  h.net().run_flows(120.0);
+  h.net().run_flows(Seconds{120.0});
 
   const auto trunk = shared_relays(h.net(), ids, /*min_flows=*/3);
   // Relays 1 and 2 carry all three member flows.
@@ -59,7 +62,7 @@ TEST(FlowGroups, OneToManyValidation) {
   OneToManySpec spec;
   spec.base_id = 10;
   spec.source = 0;
-  spec.length_bits_each = 8192.0;
+  spec.length_bits_each = Bits{8192.0};
   spec.destinations = {};
   EXPECT_THROW(start_one_to_many(h.net(), spec), std::invalid_argument);
   spec.destinations = {3, 3};
@@ -73,15 +76,15 @@ TEST(FlowGroups, OneToManyValidation) {
 
 TEST(FlowGroups, ManyToOneConverges) {
   auto h = make_harness(fan());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   ManyToOneSpec spec;
   spec.base_id = 20;
   spec.sources = {3, 4, 5};
   spec.sink = 0;
-  spec.length_bits_each = 8192.0 * 3;
+  spec.length_bits_each = Bits{8192.0 * 3};
   spec.strategy = StrategyId::kMaxLifetime;
   const auto ids = start_many_to_one(h.net(), spec);
-  h.net().run_flows(120.0);
+  h.net().run_flows(Seconds{120.0});
 
   EXPECT_TRUE(group_complete(h.net(), ids));
   // The sink's flow table has an entry per member flow.
@@ -95,21 +98,21 @@ TEST(FlowGroups, ManyToOneValidation) {
   ManyToOneSpec spec;
   spec.base_id = 20;
   spec.sink = 0;
-  spec.length_bits_each = 8192.0;
+  spec.length_bits_each = Bits{8192.0};
   spec.sources = {0, 3};
   EXPECT_THROW(start_many_to_one(h.net(), spec), std::invalid_argument);
 }
 
 TEST(FlowGroups, GroupNotificationsAggregates) {
   auto h = make_harness(fan());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   OneToManySpec spec;
   spec.base_id = 10;
   spec.source = 0;
   spec.destinations = {3, 4};
-  spec.length_bits_each = 8192.0 * 2;
+  spec.length_bits_each = Bits{8192.0 * 2};
   const auto ids = start_one_to_many(h.net(), spec);
-  h.net().run_flows(60.0);
+  h.net().run_flows(Seconds{60.0});
   // Short flows: no destination asks for mobility.
   EXPECT_EQ(group_notifications(h.net(), ids), 0u);
 }
@@ -122,15 +125,15 @@ TEST(FlowGroups, BlendedRelayServesBothBranches) {
   opts.k = 0.0;
   auto h = make_harness(fan(), opts);
   h.policy->set_multi_flow_blending(true);
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   OneToManySpec spec;
   spec.base_id = 10;
   spec.source = 0;
   spec.destinations = {3, 5};  // symmetric branches up/down
-  spec.length_bits_each = 8192.0 * 500;
+  spec.length_bits_each = Bits{8192.0 * 500};
   spec.initially_enabled = true;
   const auto ids = start_one_to_many(h.net(), spec);
-  h.net().run_flows(2500.0);
+  h.net().run_flows(Seconds{2500.0});
   EXPECT_TRUE(group_complete(h.net(), ids));
   // Relay 2 feeds both branches symmetrically: blending keeps it near
   // y = 0 instead of oscillating toward either branch.

@@ -74,7 +74,8 @@ TEST(GreedyPathOracle, DeadEndReturnsEmpty) {
 
 TEST(GreedyPathOracle, SkipsDeadNodes) {
   auto h = make_harness(line_positions(5, 600.0));
-  h.net().node(2).battery().draw(1e9, energy::DrawKind::kOther);
+  h.net().node(2).battery().draw(util::Joules{1e9},
+                                 energy::DrawKind::kOther);
   // With relay 2 dead the chain is broken (hops of 300 m exceed range).
   EXPECT_TRUE(greedy_path_oracle(h.net().medium(), 0, 4).empty());
 }

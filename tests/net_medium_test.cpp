@@ -14,7 +14,7 @@ Packet hello_from(const Node& n) {
   pkt.type = PacketType::kHello;
   pkt.sender = SenderStamp{n.id(), n.position(), n.battery().residual()};
   pkt.link_dest = kBroadcast;
-  pkt.size_bits = 256.0;
+  pkt.size_bits = util::Bits{256.0};
   pkt.body = HelloBody{};
   return pkt;
 }
@@ -77,7 +77,8 @@ TEST(Medium, UnicastOutOfRangeDroppedWhenGated) {
 
 TEST(Medium, UnicastToDeadNodeDropped) {
   auto h = make_harness({{0, 0}, {100, 0}});
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
+  h.net().node(1).battery().draw(util::Joules{1e9},
+                                 energy::DrawKind::kOther);
   EXPECT_FALSE(
       h.net().medium().unicast(h.net().node(0), 1, hello_from(h.net().node(0))));
   EXPECT_EQ(h.net().medium().counters().dropped_dead, 1u);
@@ -124,8 +125,8 @@ TEST(Medium, DuplicateNodeIdRejected) {
   services.sim = &sim;
   services.medium = &medium;
   services.radio = &radio;
-  Node a(1, {0, 0}, 10.0, services);
-  Node dup(1, {5, 5}, 10.0, services);
+  Node a(1, {0, 0}, util::Joules{10.0}, services);
+  Node dup(1, {5, 5}, util::Joules{10.0}, services);
   medium.attach(a);
   EXPECT_THROW(medium.attach(dup), std::invalid_argument);
 }

@@ -10,6 +10,8 @@ namespace {
 using test::default_flow;
 using test::line_positions;
 using test::make_harness;
+using util::Joules;
+using util::Seconds;
 
 TEST(Network, AddNodeAssignsDenseIds) {
   auto h = make_harness({{0, 0}, {1, 1}, {2, 2}});
@@ -39,10 +41,10 @@ TEST(Network, StartFlowValidatesSpec) {
 
 TEST(Network, FlowEmitsExpectedPacketCount) {
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   FlowSpec spec = default_flow(h.net(), 8192.0 * 5);
   h.net().start_flow(spec);
-  h.net().run_flows(60.0);
+  h.net().run_flows(Seconds{60.0});
   const FlowProgress& prog = h.net().progress(spec.id);
   EXPECT_EQ(prog.packets_emitted, 5u);
   EXPECT_EQ(prog.packets_delivered, 5u);
@@ -52,23 +54,23 @@ TEST(Network, FlowEmitsExpectedPacketCount) {
 
 TEST(Network, PartialFinalPacket) {
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   FlowSpec spec = default_flow(h.net(), 8192.0 * 2.5);
   h.net().start_flow(spec);
-  h.net().run_flows(60.0);
+  h.net().run_flows(Seconds{60.0});
   const FlowProgress& prog = h.net().progress(spec.id);
   EXPECT_EQ(prog.packets_emitted, 3u);  // 2 full + 1 half packet
   EXPECT_TRUE(prog.completed);
-  EXPECT_DOUBLE_EQ(prog.delivered_bits, 8192.0 * 2.5);
+  EXPECT_DOUBLE_EQ(prog.delivered_bits.value(), 8192.0 * 2.5);
 }
 
 TEST(Network, FlowPacingMatchesRate) {
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   const double start_s = h.net().simulator().now().seconds();
   FlowSpec spec = default_flow(h.net(), 8192.0 * 10);  // 10 packets at 1/s
   h.net().start_flow(spec);
-  h.net().run_flows(120.0);
+  h.net().run_flows(Seconds{120.0});
   const FlowProgress& prog = h.net().progress(spec.id);
   ASSERT_TRUE(prog.completion_time.has_value());
   const double elapsed = prog.completion_time->seconds() - start_s;
@@ -77,10 +79,10 @@ TEST(Network, FlowPacingMatchesRate) {
 
 TEST(Network, RunFlowsStopsOnCompletion) {
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0));
-  const double elapsed = h.net().run_flows(10000.0);
-  EXPECT_LT(elapsed, 100.0);  // returned long before the horizon
+  const Seconds elapsed = h.net().run_flows(Seconds{10000.0});
+  EXPECT_LT(elapsed, Seconds{100.0});  // returned long before the horizon
   EXPECT_TRUE(h.net().all_flows_complete());
 }
 
@@ -88,34 +90,35 @@ TEST(Network, StallDetectionEndsRun) {
   // Break the path by killing the middle relay: the flow can never finish,
   // and run_flows must give up after the stall window.
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
+  h.net().warmup(Seconds{25.0});
+  h.net().node(1).battery().draw(Joules{1e9}, energy::DrawKind::kOther);
   h.net().start_flow(default_flow(h.net(), 8192.0 * 100));
-  const double elapsed = h.net().run_flows(10000.0, /*stall_window_s=*/30.0);
+  const Seconds elapsed =
+      h.net().run_flows(Seconds{10000.0}, /*stall_window=*/Seconds{30.0});
   EXPECT_FALSE(h.net().progress(1).completed);
-  EXPECT_LT(elapsed, 200.0);
+  EXPECT_LT(elapsed, Seconds{200.0});
 }
 
 TEST(Network, FirstDeathRecorded) {
   test::HarnessOptions opts;
-  opts.initial_energy_j = 0.2;  // relays die quickly
+  opts.initial_energy_j = util::Joules{0.2};
   auto h = make_harness(line_positions(3, 300.0), opts);
-  h.net().warmup(5.0);
+  h.net().warmup(Seconds{5.0});
   EXPECT_FALSE(h.net().first_death_time().has_value());
   h.net().start_flow(default_flow(h.net(), 8192.0 * 1000));
-  h.net().run_flows(300.0, 30.0);
+  h.net().run_flows(Seconds{300.0}, Seconds{30.0});
   EXPECT_TRUE(h.net().first_death_time().has_value());
   EXPECT_GT(h.net().dead_node_count(), 0u);
 }
 
 TEST(Network, StopOnFirstDeathEndsRunImmediately) {
   test::HarnessOptions opts;
-  opts.initial_energy_j = 0.2;
+  opts.initial_energy_j = util::Joules{0.2};
   auto h = make_harness(line_positions(3, 300.0), opts);
   h.net().set_stop_on_first_death(true);
-  h.net().warmup(5.0);
+  h.net().warmup(Seconds{5.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 1000));
-  h.net().run_flows(5000.0, 1000.0);
+  h.net().run_flows(Seconds{5000.0}, Seconds{1000.0});
   ASSERT_TRUE(h.net().first_death_time().has_value());
   // The run ended at (or just after) the death, not at the stall window.
   EXPECT_LE((h.net().simulator().now() - *h.net().first_death_time())
@@ -125,19 +128,19 @@ TEST(Network, StopOnFirstDeathEndsRunImmediately) {
 
 TEST(Network, EnergyAccountingSumsNodeBatteries) {
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 4));
-  h.net().run_flows(60.0);
-  double tx = 0.0, move = 0.0, total = 0.0;
+  h.net().run_flows(Seconds{60.0});
+  Joules tx{0.0}, move{0.0}, total{0.0};
   for (NodeId id = 0; id < 3; ++id) {
     tx += h.net().node(id).battery().consumed_transmit();
     move += h.net().node(id).battery().consumed_move();
     total += h.net().node(id).battery().consumed_total();
   }
-  EXPECT_DOUBLE_EQ(h.net().total_transmit_energy(), tx);
-  EXPECT_DOUBLE_EQ(h.net().total_movement_energy(), move);
-  EXPECT_DOUBLE_EQ(h.net().total_consumed_energy(), total);
-  EXPECT_GT(tx, 0.0);
+  EXPECT_DOUBLE_EQ(h.net().total_transmit_energy().value(), tx.value());
+  EXPECT_DOUBLE_EQ(h.net().total_movement_energy().value(), move.value());
+  EXPECT_DOUBLE_EQ(h.net().total_consumed_energy().value(), total.value());
+  EXPECT_GT(tx, Joules{0.0});
 }
 
 TEST(Network, PositionsSnapshot) {
@@ -154,7 +157,7 @@ TEST(Network, ProgressUnknownFlowThrows) {
 
 TEST(Network, AllProgressListsFlows) {
   auto h = make_harness(line_positions(3, 300.0));
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   FlowSpec a = default_flow(h.net(), 8192.0);
   FlowSpec b = default_flow(h.net(), 8192.0);
   b.id = 2;
@@ -163,7 +166,7 @@ TEST(Network, AllProgressListsFlows) {
   h.net().start_flow(a);
   h.net().start_flow(b);
   EXPECT_EQ(h.net().all_progress().size(), 2u);
-  h.net().run_flows(60.0);
+  h.net().run_flows(Seconds{60.0});
   EXPECT_TRUE(h.net().all_flows_complete());
 }
 

@@ -37,7 +37,7 @@ TEST(DataBody, DefaultsAreSane) {
   EXPECT_FALSE(d.mobility_enabled);
   EXPECT_FALSE(d.sender_has_plan);
   EXPECT_EQ(d.hop_count, 0);
-  EXPECT_DOUBLE_EQ(d.agg.bits_mob, 0.0);
+  EXPECT_DOUBLE_EQ(d.agg.bits_mob.value(), 0.0);
 }
 
 TEST(Packet, StreamFormatBroadcast) {

@@ -10,6 +10,10 @@ namespace {
 
 using test::default_flow;
 using test::make_harness;
+using util::Bits;
+using util::Joules;
+using util::Meters;
+using util::Seconds;
 
 // A diamond: 0 can reach 3 via relay 1 (preferred, closer to the line) or
 // relay 2 (fallback).
@@ -19,26 +23,26 @@ std::vector<geom::Vec2> diamond() {
 
 TEST(RouteRepair, GreedySkipsDeadCandidates) {
   auto h = make_harness(diamond());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   GreedyRouting routing(h.net().medium());
   ASSERT_EQ(routing.next_hop(h.net().node(0), 3), 1u);
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
+  h.net().node(1).battery().draw(Joules{1e9}, energy::DrawKind::kOther);
   EXPECT_EQ(routing.next_hop(h.net().node(0), 3), 2u);
 }
 
 TEST(RouteRepair, FlowSurvivesRelayDeathMidFlow) {
   auto h = make_harness(diamond());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 20));
   // Let a few packets flow through relay 1, then kill it *between*
   // packets (repair protects packets the sender still holds; a packet
   // physically in flight at death is lost — the paper's model has no
   // end-to-end retransmission).
-  h.net().run_flows(5.1);
+  h.net().run_flows(Seconds{5.1});
   ASSERT_FALSE(h.net().progress(1).completed);
   ASSERT_GT(h.net().progress(1).packets_delivered, 2u);
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
-  h.net().run_flows(120.0);
+  h.net().node(1).battery().draw(Joules{1e9}, energy::DrawKind::kOther);
+  h.net().run_flows(Seconds{120.0});
 
   const FlowProgress& prog = h.net().progress(1);
   EXPECT_TRUE(prog.completed);
@@ -53,11 +57,11 @@ TEST(RouteRepair, NoAlternativeStillDrops) {
   // A pure chain: the only relay dies, repair finds nothing, the flow
   // stalls (and the stall window ends the run).
   auto h = make_harness({{0, 0}, {150, 0}, {300, 0}});
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 50));
-  h.net().run_flows(3.0);
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
-  h.net().run_flows(300.0, /*stall_window_s=*/30.0);
+  h.net().run_flows(Seconds{3.0});
+  h.net().node(1).battery().draw(Joules{1e9}, energy::DrawKind::kOther);
+  h.net().run_flows(Seconds{300.0}, /*stall_window=*/Seconds{30.0});
   EXPECT_FALSE(h.net().progress(1).completed);
   EXPECT_GT(h.net().total_data_drops(), 0u);
 }
@@ -66,18 +70,17 @@ TEST(RouteRepair, DeadRelayAvoidedAtFlowStart) {
   // A relay already known dead is skipped by routing before the first
   // packet — no energy is wasted probing it.
   auto h = make_harness(diamond());
-  h.net().warmup(25.0);
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
-  const double before = h.net().node(0).battery().consumed_transmit();
+  h.net().warmup(Seconds{25.0});
+  h.net().node(1).battery().draw(Joules{1e9}, energy::DrawKind::kOther);
+  const Joules before = h.net().node(0).battery().consumed_transmit();
   h.net().start_flow(default_flow(h.net(), 8192.0));
-  h.net().run_flows(30.0);
+  h.net().run_flows(Seconds{30.0});
   EXPECT_TRUE(h.net().progress(1).completed);
-  const double spent =
+  const Joules spent =
       h.net().node(0).battery().consumed_transmit() - before;
-  const double one_hop_to_2 =
-      h.net().radio().transmit_energy(geom::distance({0, 0}, {140, -70}),
-                                      8192.0);
-  EXPECT_NEAR(spent, one_hop_to_2, 1e-9);
+  const Joules one_hop_to_2 = h.net().radio().transmit_energy(
+      Meters{geom::distance({0, 0}, {140, -70})}, Bits{8192.0});
+  EXPECT_NEAR(spent.value(), one_hop_to_2.value(), 1e-9);
 }
 
 TEST(RouteRepair, RepairChargesTheFailedAttempt) {
@@ -85,26 +88,24 @@ TEST(RouteRepair, RepairChargesTheFailedAttempt) {
   // doomed transmission (the radio cannot know the receiver is gone)
   // before the repaired copy goes out — check both were paid for.
   auto h = make_harness(diamond());
-  h.net().warmup(25.0);
+  h.net().warmup(Seconds{25.0});
   h.net().start_flow(default_flow(h.net(), 8192.0 * 2));
-  h.net().run_flows(1.2);  // first packet pinned the route through 1
+  h.net().run_flows(Seconds{1.2});  // first packet pinned the route through 1
   ASSERT_EQ(h.net().node(0).flows().find(1)->next, 1u);
-  h.net().node(1).battery().draw(1e9, energy::DrawKind::kOther);
-  const double before = h.net().node(0).battery().consumed_transmit();
-  h.net().run_flows(60.0);
+  h.net().node(1).battery().draw(Joules{1e9}, energy::DrawKind::kOther);
+  const Joules before = h.net().node(0).battery().consumed_transmit();
+  h.net().run_flows(Seconds{60.0});
   EXPECT_TRUE(h.net().progress(1).completed);
 
-  const double spent =
+  const Joules spent =
       h.net().node(0).battery().consumed_transmit() - before;
-  const double one_hop_to_1 =
-      h.net().radio().transmit_energy(geom::distance({0, 0}, {150, 10}),
-                                      8192.0);
-  const double one_hop_to_2 =
-      h.net().radio().transmit_energy(geom::distance({0, 0}, {140, -70}),
-                                      8192.0);
+  const Joules one_hop_to_1 = h.net().radio().transmit_energy(
+      Meters{geom::distance({0, 0}, {150, 10})}, Bits{8192.0});
+  const Joules one_hop_to_2 = h.net().radio().transmit_energy(
+      Meters{geom::distance({0, 0}, {140, -70})}, Bits{8192.0});
   // Second (and last) packet: failed attempt toward 1 + repaired copy
   // toward 2.
-  EXPECT_NEAR(spent, one_hop_to_1 + one_hop_to_2, 1e-9);
+  EXPECT_NEAR(spent.value(), (one_hop_to_1 + one_hop_to_2).value(), 1e-9);
 }
 
 }  // namespace

@@ -9,14 +9,16 @@ namespace {
 
 sim::Time sec(double s) { return sim::Time::from_seconds(s); }
 
+using util::Joules;
+
 TEST(NeighborTable, UpsertAndFind) {
   NeighborTable t(sec(30.0));
-  t.upsert(5, {1.0, 2.0}, 9.5, sec(0.0));
+  t.upsert(5, {1.0, 2.0}, Joules{9.5}, sec(0.0));
   const auto hit = t.find(5, sec(10.0));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->id, 5u);
   EXPECT_EQ(hit->position, (geom::Vec2{1.0, 2.0}));
-  EXPECT_DOUBLE_EQ(hit->residual_energy, 9.5);
+  EXPECT_DOUBLE_EQ(hit->residual_energy.value(), 9.5);
 }
 
 TEST(NeighborTable, MissingIsAbsent) {
@@ -26,27 +28,27 @@ TEST(NeighborTable, MissingIsAbsent) {
 
 TEST(NeighborTable, UpsertRefreshes) {
   NeighborTable t(sec(30.0));
-  t.upsert(5, {1.0, 2.0}, 9.5, sec(0.0));
-  t.upsert(5, {3.0, 4.0}, 8.0, sec(10.0));
+  t.upsert(5, {1.0, 2.0}, Joules{9.5}, sec(0.0));
+  t.upsert(5, {3.0, 4.0}, Joules{8.0}, sec(10.0));
   const auto hit = t.find(5, sec(15.0));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->position, (geom::Vec2{3.0, 4.0}));
-  EXPECT_DOUBLE_EQ(hit->residual_energy, 8.0);
+  EXPECT_DOUBLE_EQ(hit->residual_energy.value(), 8.0);
   EXPECT_EQ(hit->last_heard, sec(10.0));
   EXPECT_EQ(t.size(), 1u);
 }
 
 TEST(NeighborTable, ExpiredEntriesAreHidden) {
   NeighborTable t(sec(30.0));
-  t.upsert(5, {1.0, 2.0}, 9.5, sec(0.0));
+  t.upsert(5, {1.0, 2.0}, Joules{9.5}, sec(0.0));
   EXPECT_TRUE(t.find(5, sec(30.0)).has_value());   // exactly at timeout: ok
   EXPECT_FALSE(t.find(5, sec(30.1)).has_value());  // past timeout: gone
 }
 
 TEST(NeighborTable, PurgeRemovesExpired) {
   NeighborTable t(sec(30.0));
-  t.upsert(1, {0, 0}, 1.0, sec(0.0));
-  t.upsert(2, {0, 0}, 1.0, sec(20.0));
+  t.upsert(1, {0, 0}, Joules{1.0}, sec(0.0));
+  t.upsert(2, {0, 0}, Joules{1.0}, sec(20.0));
   t.purge(sec(40.0));
   EXPECT_EQ(t.size(), 1u);
   EXPECT_TRUE(t.find(2, sec(40.0)).has_value());
@@ -54,8 +56,8 @@ TEST(NeighborTable, PurgeRemovesExpired) {
 
 TEST(NeighborTable, SnapshotExcludesExpired) {
   NeighborTable t(sec(30.0));
-  t.upsert(1, {0, 0}, 1.0, sec(0.0));
-  t.upsert(2, {0, 0}, 1.0, sec(25.0));
+  t.upsert(1, {0, 0}, Joules{1.0}, sec(0.0));
+  t.upsert(2, {0, 0}, Joules{1.0}, sec(25.0));
   const auto snap = t.snapshot(sec(40.0));
   ASSERT_EQ(snap.size(), 1u);
   EXPECT_EQ(snap[0].id, 2u);
@@ -63,7 +65,7 @@ TEST(NeighborTable, SnapshotExcludesExpired) {
 
 TEST(NeighborTable, TimeoutAdjustable) {
   NeighborTable t(sec(30.0));
-  t.upsert(1, {0, 0}, 1.0, sec(0.0));
+  t.upsert(1, {0, 0}, Joules{1.0}, sec(0.0));
   t.set_timeout(sec(100.0));
   EXPECT_TRUE(t.find(1, sec(90.0)).has_value());
 }

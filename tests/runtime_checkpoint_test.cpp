@@ -22,8 +22,8 @@ namespace {
 exp::ScenarioParams sweep_params(std::uint64_t seed) {
   exp::ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 40.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{40.0 * 1024.0 * 8.0};
   p.seed = seed;
   return p;
 }

@@ -15,8 +15,8 @@ namespace {
 exp::ScenarioParams small_params() {
   exp::ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 60.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{60.0 * 1024.0 * 8.0};
   p.seed = 42;
   return p;
 }
@@ -27,7 +27,7 @@ exp::ScenarioParams small_params() {
 /// send notifications, so the retry machinery is exercised too.
 exp::ScenarioParams lossy_params() {
   exp::ScenarioParams p;  // paper defaults: 100 nodes / 1000 m
-  p.mean_flow_bits = 1024.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{1024.0 * 1024.0 * 8.0};
   p.seed = 20050610;
   p.fault.loss_rate = 0.2;
   p.fault.seed = 777;
@@ -158,7 +158,7 @@ TEST(SweepReport, LossyJsonPayloadIdenticalAcrossJobCounts) {
     std::uint64_t injected = 0;
     for (const auto& pt : points) {
       retries.push_back(static_cast<double>(pt.informed.notify_retries));
-      delivered.push_back(pt.informed.delivered_bits);
+      delivered.push_back(pt.informed.delivered_bits.value());
       injected += pt.informed.medium.dropped_injected;
     }
     report.set_meta("seed", p.seed);

@@ -23,8 +23,8 @@ namespace {
 exp::ScenarioParams base_params() {
   exp::ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 60.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{60.0 * 1024.0 * 8.0};
   p.seed = 42;
   return p;
 }
@@ -113,9 +113,9 @@ TEST(SnapCheckpoint, MultiflowScenarioEquivalent) {
   extra.id = 2;
   extra.source = instance.destination;
   extra.destination = instance.source;
-  extra.length_bits = 30.0 * 1024.0 * 8.0;
-  extra.packet_bits = params.packet_bits;
-  extra.rate_bps = params.rate_bps;
+  extra.length_bits = util::Bits{30.0 * 1024.0 * 8.0};
+  extra.packet_bits = util::Bits{params.packet_bits};
+  extra.rate_bps = util::BitsPerSecond{params.rate_bps};
   extra.strategy = params.strategy;
   options.extra_flows.push_back(extra);
 

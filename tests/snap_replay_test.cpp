@@ -17,14 +17,14 @@ namespace {
 exp::ScenarioParams replay_params(std::uint64_t fault_seed) {
   exp::ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
-  p.mean_flow_bits = 40.0 * 1024.0 * 8.0;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{40.0 * 1024.0 * 8.0};
   p.seed = 42;
   // No warmup: drop decisions happen when deliveries are *scheduled*, so
   // any executed warmup traffic would already split the fault worlds.
   // With zero warmup both runs start from the identical pristine state and
   // diverge at the first differing drop decision during the scan.
-  p.warmup_s = 0.0;
+  p.warmup_s = util::Seconds{0.0};
   p.fault.loss_rate = 0.25;
   p.fault.seed = fault_seed;
   return p;
@@ -94,7 +94,7 @@ TEST(SnapReplay, PerturbedRestoreIsDetected) {
   // Nudge one node's battery by a microjoule — the hash flags it at once.
   net::Node& node = perturbed->network().node(0);
   const energy::Battery& b = node.battery();
-  node.battery().restore(b.initial(), b.residual() - 1e-6,
+  node.battery().restore(b.initial(), b.residual() - util::Joules{1e-6},
                          b.consumed_transmit(), b.consumed_move(),
                          b.consumed_other());
   const Divergence d = find_divergence(*original, *perturbed);

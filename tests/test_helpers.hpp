@@ -20,7 +20,7 @@ struct Harness {
 
 struct HarnessOptions {
   double comm_range_m = 180.0;
-  double initial_energy_j = 2000.0;
+  util::Joules initial_energy_j{2000.0};
   double k = 0.5;
   double max_step_m = 1.0;
   double radio_a = 1e-7;
@@ -33,7 +33,7 @@ struct HarnessOptions {
   double alpha_prime = 0.0;
   /// Notification reliability (0 keeps the fire-and-forget default).
   std::uint32_t notify_retry_cap = 0;
-  double notify_retry_timeout_s = 2.0;
+  util::Seconds notify_retry_timeout_s{2.0};
 };
 
 /// Builds a network with nodes at the given positions (ids 0..n-1), greedy
@@ -50,7 +50,7 @@ inline Harness make_harness(const std::vector<geom::Vec2>& positions,
   config.node.charge_hello_energy = opts.charge_hello_energy;
   config.node.notify_retry_cap = opts.notify_retry_cap;
   config.node.notify_retry_timeout =
-      sim::Time::from_seconds(opts.notify_retry_timeout_s);
+      sim::Time::from_seconds(opts.notify_retry_timeout_s.value());
   config.radio.a = opts.radio_a;
   config.radio.b = opts.radio_b;
   config.radio.alpha = opts.radio_alpha;
@@ -95,7 +95,7 @@ inline net::FlowSpec default_flow(const net::Network& network,
   spec.id = 1;
   spec.source = 0;
   spec.destination = static_cast<net::NodeId>(network.node_count() - 1);
-  spec.length_bits = length_bits;
+  spec.length_bits = util::Bits{length_bits};
   spec.strategy = strategy;
   return spec;
 }

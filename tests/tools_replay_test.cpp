@@ -24,10 +24,10 @@ namespace {
 exp::ScenarioParams tool_params() {
   exp::ScenarioParams p;
   p.node_count = 60;
-  p.area_m = 800.0;
+  p.area_m = util::Meters{800.0};
   // Long enough that the advance() caps below pause mid-run: the
   // checkpoints these tests exercise are genuinely mid-flight.
-  p.mean_flow_bits = 200.0 * 1024.0 * 8.0;
+  p.mean_flow_bits = util::Bits{200.0 * 1024.0 * 8.0};
   p.seed = 4242;
   return p;
 }
@@ -96,7 +96,7 @@ TEST(ToolsReplay, BisectReportsIdenticalAndPerturbedCheckpoints) {
   auto perturbed = snap::restore_file(ckpt);
   net::Node& node = perturbed->network().node(0);
   const energy::Battery& b = node.battery();
-  node.battery().restore(b.initial(), b.residual() - 1e-6,
+  node.battery().restore(b.initial(), b.residual() - util::Joules{1e-6},
                          b.consumed_transmit(), b.consumed_move(),
                          b.consumed_other());
   snap::save(*perturbed, bad);

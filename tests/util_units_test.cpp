@@ -1,0 +1,123 @@
+// Quantity<Dim> semantics: dimension algebra, ratio collapse, helpers, and
+// the zero-overhead layout claims. The *negative* space — what must not
+// compile — is covered by tests/compile_fail/.
+#include "util/units.hpp"
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace imobif::util {
+namespace {
+
+TEST(Units, DefaultConstructsToZero) {
+  Joules e;
+  EXPECT_EQ(e.value(), 0.0);
+  EXPECT_EQ(e, Joules{0.0});
+}
+
+TEST(Units, SameDimensionArithmetic) {
+  Joules a{5.0};
+  Joules b{3.0};
+  EXPECT_EQ((a + b).value(), 8.0);
+  EXPECT_EQ((a - b).value(), 2.0);
+  EXPECT_EQ((-a).value(), -5.0);
+  a += b;
+  EXPECT_EQ(a.value(), 8.0);
+  a -= Joules{1.0};
+  EXPECT_EQ(a.value(), 7.0);
+}
+
+TEST(Units, ScalarScaling) {
+  Meters d{10.0};
+  EXPECT_EQ((d * 2.0).value(), 20.0);
+  EXPECT_EQ((2.0 * d).value(), 20.0);
+  EXPECT_EQ((d / 4.0).value(), 2.5);
+  d *= 3.0;
+  EXPECT_EQ(d.value(), 30.0);
+  d /= 10.0;
+  EXPECT_EQ(d.value(), 3.0);
+}
+
+TEST(Units, DimensionComposition) {
+  // The motivating identities of the energy model.
+  Joules e = JoulesPerBit{2e-7} * Bits{1000.0};
+  EXPECT_DOUBLE_EQ(e.value(), 2e-4);
+
+  JoulesPerMeter k = Joules{5.0} / Meters{10.0};
+  EXPECT_DOUBLE_EQ(k.value(), 0.5);
+
+  Meters range = Joules{5.0} / JoulesPerMeter{0.5};
+  EXPECT_DOUBLE_EQ(range.value(), 10.0);
+
+  Bits sustainable = Joules{1.0} / JoulesPerBit{1e-6};
+  EXPECT_DOUBLE_EQ(sustainable.value(), 1e6);
+
+  Watts p = Joules{10.0} / Seconds{2.0};
+  EXPECT_DOUBLE_EQ(p.value(), 5.0);
+
+  Seconds t = Bits{8192.0} / BitsPerSecond{8192.0};
+  EXPECT_DOUBLE_EQ(t.value(), 1.0);
+}
+
+TEST(Units, SameDimensionRatioCollapsesToDouble) {
+  auto ratio = Joules{6.0} / Joules{2.0};
+  static_assert(std::is_same_v<decltype(ratio), double>);
+  EXPECT_DOUBLE_EQ(ratio, 3.0);
+
+  auto product = JoulesPerBit{2.0} * (Bits{4.0} / Joules{1.0});
+  static_assert(std::is_same_v<decltype(product), double>);
+  EXPECT_DOUBLE_EQ(product, 8.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Meters{1.0}, Meters{2.0});
+  EXPECT_GE(Bits{5.0}, Bits{5.0});
+  EXPECT_NE(Seconds{1.0}, Seconds{2.0});
+}
+
+TEST(Units, Helpers) {
+  EXPECT_TRUE(isfinite(Joules{1.0}));
+  EXPECT_FALSE(isfinite(Joules{1.0} / 0.0));
+  EXPECT_TRUE(isnan(Joules{0.0} / 0.0));
+  EXPECT_EQ(abs(Meters{-3.0}), Meters{3.0});
+  EXPECT_EQ(min(Bits{1.0}, Bits{2.0}), Bits{1.0});
+  EXPECT_EQ(max(Bits{1.0}, Bits{2.0}), Bits{2.0});
+  EXPECT_EQ(clamp(Joules{5.0}, Joules{0.0}, Joules{2.0}), Joules{2.0});
+  EXPECT_EQ(clamp(Joules{-1.0}, Joules{0.0}, Joules{2.0}), Joules{0.0});
+  EXPECT_EQ(clamp(Joules{1.0}, Joules{0.0}, Joules{2.0}), Joules{1.0});
+}
+
+TEST(Units, UserDefinedLiterals) {
+  EXPECT_EQ(5.0_J, Joules{5.0});
+  EXPECT_EQ(100.0_m, Meters{100.0});
+  EXPECT_EQ(2.5_s, Seconds{2.5});
+  EXPECT_EQ(8192.0_bits, Bits{8192.0});
+  EXPECT_EQ(0.5_J_per_m, JoulesPerMeter{0.5});
+  EXPECT_EQ(1e-7_J_per_bit, JoulesPerBit{1e-7});
+  EXPECT_EQ(3.0_W, Watts{3.0});
+  EXPECT_EQ(1.5_mps, MetersPerSecond{1.5});
+  EXPECT_EQ(8192.0_bps, BitsPerSecond{8192.0});
+  EXPECT_EQ(5_J, Joules{5.0});
+  EXPECT_EQ(100_m, Meters{100.0});
+}
+
+TEST(Units, BoundaryRoundTripIsBitExact) {
+  // The I/O boundary contract: wrap(x).value() is the identical bit
+  // pattern, for every representable double.
+  for (double x : {0.0, -0.0, 1e-300, 5e-10, 1.0 / 3.0, 1e17,
+                   -123.456789e-12}) {
+    Joules q{x};
+    EXPECT_EQ(q.value(), x);
+    // lint:allow(float-equality) — bit-exactness is the property under test.
+    EXPECT_TRUE(q.value() == x);
+  }
+}
+
+// Layout: the refactor's zero-overhead claim, enforced at compile time.
+static_assert(sizeof(Quantity<Dim{1, 2, 3, 4}>) == sizeof(double));
+static_assert(alignof(Joules) == alignof(double));
+static_assert(std::is_trivially_copyable_v<Bits>);
+
+}  // namespace
+}  // namespace imobif::util

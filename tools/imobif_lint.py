@@ -21,16 +21,29 @@ hatches outright in library code (``src/``):
                    with a tolerance or restructure.
   include-hygiene  no parent-relative ("../") includes, and a .cpp file's
                    first project include is its own header.
+  raw-unit-double  a raw ``double`` parameter with a unit-suffixed name
+                   (``*_j``, ``*_m``, ``*_s``, ``*_bits``) in a public
+                   header of the typed layers (src/energy, src/core,
+                   src/net): these must take util::Quantity types
+                   (util::Joules, util::Meters, ...) so the dimension is
+                   checked at compile time (see src/util/units.hpp).
 
 A finding can be waived by putting ``// lint:allow(<rule>)`` on the same
 line or the line directly above it; use sparingly and leave a comment
 explaining why the exact construct is safe.
 
-Usage: imobif_lint.py [--rules] [PATH ...]   (default path: src)
+When a compile database is available (``--compile-db`` or an auto-found
+``build/compile_commands.json``), translation units not listed in it are
+skipped instead of globbed blindly — dead files cannot then hide findings
+or fail the gate. Headers are always linted (they never appear in the DB).
+
+Usage: imobif_lint.py [--rules] [--compile-db PATH] [PATH ...]
+       (default path: src)
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -42,6 +55,8 @@ RULES = {
     "pragma-once": "header must contain #pragma once",
     "float-equality": "==/!= on floating-point quantities",
     "include-hygiene": "include style violation",
+    "raw-unit-double": "raw double parameter with unit-suffixed name in a "
+                       "typed-layer public header; use util::Quantity",
 }
 
 HEADER_EXTS = (".hpp", ".h")
@@ -73,6 +88,14 @@ FLOAT_EQ_RE = re.compile(
 )
 PARENT_INCLUDE_RE = re.compile(r'#\s*include\s*"[^"]*\.\./')
 PROJECT_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+# A function parameter (preceded by '(' or ',') declared as a raw double
+# whose name carries a unit suffix. Fields and locals start a declaration
+# statement instead and are not matched.
+RAW_UNIT_DOUBLE_RE = re.compile(
+    r"[(,]\s*(?:const\s+)?double\s+\w+_(?:j|m|s|bits)\b"
+)
+# Directories whose public headers form the typed (units-bearing) layers.
+TYPED_LAYER_DIRS = ("energy", "core", "net")
 
 
 def strip_code(line, in_block_comment):
@@ -155,6 +178,11 @@ def lint_file(path):
     if is_header and not any(pragma_re.match(l) for l in raw_lines):
         report(1, "pragma-once", RULES["pragma-once"])
 
+    norm = path.replace(os.sep, "/")
+    in_typed_layer_header = is_header and any(
+        f"src/{d}/" in norm for d in TYPED_LAYER_DIRS
+    )
+
     in_block = False
     first_project_include = None
     for no, raw in enumerate(raw_lines, 1):
@@ -169,6 +197,8 @@ def lint_file(path):
             report(no, "iostream", RULES["iostream"])
         if FLOAT_EQ_RE.search(line):
             report(no, "float-equality", RULES["float-equality"])
+        if in_typed_layer_header and RAW_UNIT_DOUBLE_RE.search(line):
+            report(no, "raw-unit-double", RULES["raw-unit-double"])
         # Include directives carry their payload inside string quotes, so
         # match them against the raw line, not the literal-stripped one.
         if PARENT_INCLUDE_RE.search(raw):
@@ -193,7 +223,43 @@ def lint_file(path):
     return findings
 
 
-def collect_files(paths):
+def load_compile_db(explicit_path):
+    """Returns the set of absolute TU paths in the compile database.
+
+    With an explicit path, failure to read it is a hard usage error.
+    Otherwise a ``build/compile_commands.json`` next to the repo root is
+    picked up opportunistically and None is returned when absent (lint
+    falls back to pure globbing, e.g. on a fresh checkout).
+    """
+    path = explicit_path
+    if path is None:
+        candidate = os.path.join("build", "compile_commands.json")
+        if not os.path.exists(candidate):
+            return None
+        path = candidate
+    try:
+        with open(path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"imobif_lint: cannot read compile db {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    tus = set()
+    for entry in entries:
+        src = entry.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", ""), src)
+        tus.add(os.path.realpath(src))
+    return tus
+
+
+def collect_files(paths, compile_db=None):
+    """Walks `paths` for lintable sources.
+
+    When a compile DB is given, translation units (non-headers) that the
+    build never compiles are skipped; headers are always kept. Files named
+    on the command line directly are linted unconditionally.
+    """
     files = []
     for p in paths:
         if os.path.isfile(p):
@@ -201,8 +267,14 @@ def collect_files(paths):
         elif os.path.isdir(p):
             for root, _dirs, names in os.walk(p):
                 for name in sorted(names):
-                    if name.endswith(SOURCE_EXTS):
-                        files.append(os.path.join(root, name))
+                    if not name.endswith(SOURCE_EXTS):
+                        continue
+                    full = os.path.join(root, name)
+                    if (compile_db is not None
+                            and not name.endswith(HEADER_EXTS)
+                            and os.path.realpath(full) not in compile_db):
+                        continue
+                    files.append(full)
         else:
             print(f"imobif_lint: no such path: {p}", file=sys.stderr)
             sys.exit(2)
@@ -214,6 +286,10 @@ def main(argv):
     parser.add_argument("paths", nargs="*", default=None)
     parser.add_argument("--rules", action="store_true",
                         help="list rule names and exit")
+    parser.add_argument("--compile-db", metavar="PATH", default=None,
+                        help="compile_commands.json restricting which TUs "
+                             "are linted (default: auto-discover "
+                             "build/compile_commands.json)")
     args = parser.parse_args(argv)
 
     if args.rules:
@@ -223,7 +299,7 @@ def main(argv):
 
     paths = args.paths or ["src"]
     findings = []
-    files = collect_files(paths)
+    files = collect_files(paths, load_compile_db(args.compile_db))
     for path in files:
         findings.extend(lint_file(path))
 

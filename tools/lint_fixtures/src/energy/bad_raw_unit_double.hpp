@@ -1,0 +1,18 @@
+// Fixture: unit-suffixed raw-double parameters in a typed-layer header.
+// The fixture tree mirrors src/energy/ so the rule's path gate engages.
+#pragma once
+
+namespace imobif::energy {
+
+// Both declarations bypass util::Quantity despite unit-suffixed names;
+// one finding per line.
+double bad_transmit(double distance_m, double payload_bits);
+double bad_window(const double horizon_s);
+
+// Out of scope for the rule: unsuffixed parameters, fields, and locals.
+struct Params {
+  double idle_power_w = 0.0;
+};
+inline double ok_scale(double factor) { return factor * 2.0; }
+
+}  // namespace imobif::energy

@@ -1,0 +1,11 @@
+// Fixture: a waived raw-unit-double at a declared codec boundary.
+#pragma once
+
+namespace imobif::energy {
+
+// Wire-format boundary: the codec hands us a raw f64, wrapping happens
+// one frame up.  lint:allow is the documented escape hatch.
+// lint:allow(raw-unit-double)
+double decode_residual(double raw_j);
+
+}  // namespace imobif::energy

@@ -1,0 +1,9 @@
+// Fixture: unit-suffixed raw doubles OUTSIDE the typed layers are fine —
+// src/util is where the boundary conversions live.
+#pragma once
+
+namespace imobif::util {
+
+double json_number(double raw_j, double raw_s);
+
+}  // namespace imobif::util

@@ -7,9 +7,11 @@ clean code passes, and finally that the real src/ tree is clean (the same
 gate CI enforces).
 """
 
+import json
 import os
 import subprocess
 import sys
+import tempfile
 
 TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(TOOLS_DIR)
@@ -54,6 +56,25 @@ def check_clean(fixture):
     expect(f"{fixture}: clean", code == 0, out)
 
 
+def check_compile_db():
+    """TUs absent from a compile DB are skipped; headers never are."""
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in ("linted.cpp", "dead.cpp"):
+            with open(os.path.join(tmp, name), "w", encoding="utf-8") as f:
+                f.write("int noise() { return std::random_device{}(); }\n")
+        with open(os.path.join(tmp, "hdr.hpp"), "w", encoding="utf-8") as f:
+            f.write("// deliberately missing pragma once\n")
+        db = os.path.join(tmp, "compile_commands.json")
+        with open(db, "w", encoding="utf-8") as f:
+            json.dump([{"directory": tmp, "file": "linted.cpp",
+                        "command": "c++ -c linted.cpp"}], f)
+        code, out = run_linter("--compile-db", db, tmp)
+        expect("compile-db: lints listed TU",
+               code == 1 and "linted.cpp" in out, out)
+        expect("compile-db: skips unlisted TU", "dead.cpp" not in out, out)
+        expect("compile-db: still lints headers", "hdr.hpp" in out, out)
+
+
 def main():
     check_fires("bad_rand.cpp", "banned-random", expected_count=2)
     check_fires("bad_wallclock.cpp", "wall-clock", expected_count=2)
@@ -61,14 +82,19 @@ def main():
     check_fires("bad_float_eq.cpp", "float-equality", expected_count=2)
     check_fires("bad_missing_pragma.hpp", "pragma-once", expected_count=1)
     check_fires("bad_include.cpp", "include-hygiene", expected_count=1)
+    check_fires(os.path.join("src", "energy", "bad_raw_unit_double.hpp"),
+                "raw-unit-double", expected_count=2)
     check_clean("waived_ok.cpp")
     check_clean("clean_ok.cpp")
+    check_clean(os.path.join("src", "energy", "waived_raw_unit_double.hpp"))
+    check_clean(os.path.join("src", "util", "clean_raw_double.hpp"))
+    check_compile_db()
 
     # --rules lists every rule the fixtures exercise.
     code, out = run_linter("--rules")
     expect("--rules exits zero", code == 0, out)
     for rule in ("banned-random", "wall-clock", "iostream", "pragma-once",
-                 "float-equality", "include-hygiene"):
+                 "float-equality", "include-hygiene", "raw-unit-double"):
         expect(f"--rules lists {rule}", rule in out, out)
 
     # The production gate: the real library tree is lint-clean.
