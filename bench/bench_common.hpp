@@ -11,6 +11,8 @@
 #include "exp/experiments.hpp"
 #include "runtime/report.hpp"
 #include "runtime/sweep.hpp"
+#include "svc/client.hpp"
+#include "svc/frame.hpp"
 #include "util/args.hpp"
 #include "util/ascii_plot.hpp"
 #include "util/stats.hpp"
@@ -28,6 +30,8 @@ namespace imobif::bench {
 ///   --checkpoint-dir D  persist per-unit results/checkpoints under D
 ///   --resume        reuse results/checkpoints found in --checkpoint-dir
 ///   --checkpoint-every-s T  checkpoint cadence in sim-seconds (default 30)
+///   --remote HOST:PORT  run sweeps on an imobif_sweepd farm instead of
+///                   in-process (results stay bit-identical either way)
 struct BenchConfig {
   std::size_t instances = 0;
   std::uint64_t seed = 0;
@@ -38,6 +42,7 @@ struct BenchConfig {
   std::uint64_t fault_seed = 0;
   bool fault_seed_set = false;
   runtime::CheckpointOptions checkpoint;
+  std::string remote;  ///< "host:port" of an imobif_sweepd coordinator
 };
 
 inline BenchConfig parse_bench_args(int argc, char** argv,
@@ -48,7 +53,7 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
               << " [N] [--instances N] [--seed S] [--jobs N] [--json PATH]"
                  " [--loss P] [--fault-seed S]\n"
                  "       [--checkpoint-dir D] [--resume]"
-                 " [--checkpoint-every-s T]\n"
+                 " [--checkpoint-every-s T] [--remote HOST:PORT]\n"
                  "  N / --instances  flow instances per series (default "
               << default_instances
               << ")\n"
@@ -64,7 +69,9 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
                  "                   checkpoints so a killed sweep can resume\n"
                  "  --resume         reuse files found in --checkpoint-dir\n"
                  "  --checkpoint-every-s  checkpoint cadence in simulated\n"
-                 "                   seconds (default 30)\n";
+                 "                   seconds (default 30)\n"
+                 "  --remote         run sweeps on an imobif_sweepd farm at\n"
+                 "                   HOST:PORT (bit-identical results)\n";
     std::exit(0);
   }
   BenchConfig config;
@@ -91,6 +98,7 @@ inline BenchConfig parse_bench_args(int argc, char** argv,
   config.checkpoint.resume = args.get_bool("resume", false);
   config.checkpoint.every_sim_s =
       args.get_double("checkpoint-every-s", config.checkpoint.every_sim_s);
+  config.remote = args.get_string("remote", "");
   return config;
 }
 
@@ -171,13 +179,15 @@ struct FaultCounters {
   }
 };
 
-/// Adds the drop/retry counters to the artifact, but only when fault
-/// injection is armed: with --loss 0 the "counters" object must stay
-/// absent so fig artifacts remain byte-identical to pre-fault builds.
+/// Adds the drop/retry counters to the artifact. Counters are exported
+/// unconditionally (a --loss 0 run simply reports zero drops): the
+/// "counters" block is part of every report's layout, so downstream
+/// merge logic — the sweep-service coordinator in particular — never
+/// special-cases its absence.
 inline void export_fault_counters(
     runtime::SweepReport& report, const BenchConfig& config,
     const std::vector<exp::ComparisonPoint>& points) {
-  if (config.loss <= 0.0) return;
+  (void)config;
   FaultCounters totals;
   totals.add(points);
   totals.export_to(report);
@@ -189,9 +199,23 @@ inline void export_fault_counters(
 /// from a per-process counter: bench binaries run panels/variants in a
 /// fixed order, so the Nth sweep maps to the same files in the original
 /// and the resuming process, while two sweeps never collide.
+///
+/// With --remote the sweep runs on an imobif_sweepd farm instead; the
+/// instance-indexed RNG derivation makes the returned points — and thus
+/// every artifact built from them — bit-identical to the in-process path.
 inline std::vector<exp::ComparisonPoint> run_comparison(
     const exp::ScenarioParams& params, const BenchConfig& config,
     const exp::RunOptions& options = {}) {
+  if (!config.remote.empty()) {
+    const svc::Endpoint endpoint = svc::parse_endpoint(config.remote);
+    svc::SubmitOptions submit;
+    submit.host = endpoint.host;
+    submit.port = endpoint.port;
+    submit.params = params;
+    submit.instances = config.instances;
+    submit.run_options = options;
+    return svc::submit_sweep(submit).points;
+  }
   static int sweep_counter = 0;
   runtime::CheckpointOptions checkpoint = config.checkpoint;
   checkpoint.scope = "s" + std::to_string(sweep_counter++) + "-";

@@ -104,12 +104,10 @@ int main(int argc, char** argv) {
                     to_doubles(min_energy.final_energies));
   report.add_series("max_lifetime_final_energies",
                     to_doubles(lifetime.final_energies));
-  if (config.loss > 0.0) {
-    bench::FaultCounters totals;
-    totals.add(min_energy.run);
-    totals.add(lifetime.run);
-    totals.export_to(report);
-  }
+  bench::FaultCounters totals;
+  totals.add(min_energy.run);
+  totals.add(lifetime.run);
+  totals.export_to(report);
   bench::export_report(report, config, stopwatch);
   return 0;
 }

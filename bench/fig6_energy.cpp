@@ -38,7 +38,7 @@ void run_panel(const PanelSpec& spec, const bench::BenchConfig& config,
   bench::apply_fault(p, config);
 
   const auto points = bench::run_comparison(p, config);
-  if (config.loss > 0.0) fault_totals.add(points);
+  fault_totals.add(points);
 
   util::Summary cu, in, mobility_j, transmit_j;
   std::vector<double> cu_ratios, in_ratios;
@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
                   panel.mean_flow_bits < bench::kMB,
               report, fault_totals);
   }
-  if (config.loss > 0.0) fault_totals.export_to(report);
+  fault_totals.export_to(report);
   bench::export_report(report, config, stopwatch);
   return 0;
 }

@@ -1,0 +1,78 @@
+#include "runtime/comparison_report.hpp"
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace imobif::runtime {
+
+void add_comparison_counters(SweepReport& report,
+                             const std::vector<exp::ComparisonPoint>& points) {
+  net::Medium::Counters medium;
+  std::uint64_t notify_retries = 0;
+  std::uint64_t notifications_applied = 0;
+  const auto accumulate = [&](const exp::RunResult& run) {
+    medium.broadcasts += run.medium.broadcasts;
+    medium.unicasts += run.medium.unicasts;
+    medium.delivered += run.medium.delivered;
+    medium.dropped_out_of_range += run.medium.dropped_out_of_range;
+    medium.dropped_dead += run.medium.dropped_dead;
+    medium.dropped_unknown += run.medium.dropped_unknown;
+    medium.dropped_injected += run.medium.dropped_injected;
+    medium.dropped_faulted += run.medium.dropped_faulted;
+    notify_retries += run.notify_retries;
+    notifications_applied += run.notifications_applied;
+  };
+  for (const exp::ComparisonPoint& point : points) {
+    accumulate(point.baseline);
+    accumulate(point.cost_unaware);
+    accumulate(point.informed);
+  }
+  report.set_counter("unicasts", medium.unicasts);
+  report.set_counter("delivered", medium.delivered);
+  report.set_counter("dropped_out_of_range", medium.dropped_out_of_range);
+  report.set_counter("dropped_dead", medium.dropped_dead);
+  report.set_counter("dropped_unknown", medium.dropped_unknown);
+  report.set_counter("dropped_injected", medium.dropped_injected);
+  report.set_counter("dropped_faulted", medium.dropped_faulted);
+  report.set_counter("notify_retries", notify_retries);
+  report.set_counter("notifications_applied", notifications_applied);
+}
+
+SweepReport make_comparison_report(
+    const std::string& bench_name, const exp::ScenarioParams& params,
+    const std::vector<exp::ComparisonPoint>& points) {
+  SweepReport report(bench_name);
+  report.set_meta("instances", static_cast<std::uint64_t>(points.size()));
+  report.set_meta("seed", params.seed);
+  report.set_meta("node_count", static_cast<std::uint64_t>(params.node_count));
+  report.set_meta("strategy", net::to_string(params.strategy));
+
+  std::vector<double> energy_cu, energy_in, lifetime_cu, lifetime_in;
+  std::vector<double> flow_kb, notifications;
+  energy_cu.reserve(points.size());
+  energy_in.reserve(points.size());
+  lifetime_cu.reserve(points.size());
+  lifetime_in.reserve(points.size());
+  flow_kb.reserve(points.size());
+  notifications.reserve(points.size());
+  for (const exp::ComparisonPoint& point : points) {
+    energy_cu.push_back(point.energy_ratio_cost_unaware());
+    energy_in.push_back(point.energy_ratio_informed());
+    lifetime_cu.push_back(point.lifetime_ratio_cost_unaware());
+    lifetime_in.push_back(point.lifetime_ratio_informed());
+    flow_kb.push_back(point.flow_bits.value() / 8192.0);
+    notifications.push_back(
+        static_cast<double>(point.informed.notifications));
+  }
+  report.add_series("energy_ratio_cost_unaware", energy_cu);
+  report.add_series("energy_ratio_informed", energy_in);
+  report.add_series("lifetime_ratio_cost_unaware", lifetime_cu);
+  report.add_series("lifetime_ratio_informed", lifetime_in);
+  report.add_series("flow_kb", flow_kb);
+  report.add_series("notifications_informed", notifications);
+  add_comparison_counters(report, points);
+  return report;
+}
+
+}  // namespace imobif::runtime

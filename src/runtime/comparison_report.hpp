@@ -1,0 +1,37 @@
+// Canonical SweepReport for a comparison sweep (DESIGN.md §11).
+//
+// One function builds the report from the ordered ComparisonPoint list,
+// and every path that claims to run "the same sweep" — the in-process
+// reference run, the sweep-service coordinator merging unit results from
+// remote workers — goes through it. Byte-identical reports then reduce to
+// byte-identical points, which the sharded runtime guarantees.
+//
+// The report is fully deterministic: wall_ms is never set here (callers
+// comparing artifacts across runs would have to exclude it anyway), and
+// the "counters" block is always present so downstream merge/diff logic
+// never special-cases its absence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.hpp"
+#include "exp/scenario.hpp"
+#include "runtime/report.hpp"
+
+namespace imobif::runtime {
+
+/// Sums the medium drop counters and notification-reliability totals of
+/// every mode run of every point into `report`'s "counters" block.
+void add_comparison_counters(SweepReport& report,
+                             const std::vector<exp::ComparisonPoint>& points);
+
+/// Builds the canonical report: meta (instances, seed, node_count,
+/// strategy), the energy/lifetime ratio series, per-instance flow sizes
+/// and notification counts, and the aggregated counters.
+SweepReport make_comparison_report(
+    const std::string& bench_name, const exp::ScenarioParams& params,
+    const std::vector<exp::ComparisonPoint>& points);
+
+}  // namespace imobif::runtime

@@ -31,7 +31,10 @@ util::Json SweepReport::to_json() const {
   root.set("bench", bench_name_);
   if (wall_ms_ >= 0.0) root.set("wall_ms", wall_ms_);
   if (!meta_.empty()) root.set("meta", meta_);
-  if (!counters_.empty()) root.set("counters", counters_);
+  // "counters" is always present (possibly empty): merge/diff tooling —
+  // the sweep-service coordinator in particular — must never special-case
+  // its absence.
+  root.set("counters", counters_);
 
   util::Json series = util::Json::object();
   for (const SeriesEntry& entry : series_) {

@@ -24,8 +24,8 @@ class SweepReport {
   void set_meta(const std::string& key, util::Json value);
 
   /// Attaches an event counter under "counters" (insertion-ordered). The
-  /// "counters" object is emitted only when at least one counter was set,
-  /// so reports that never call this keep their exact legacy layout.
+  /// "counters" object is always emitted — empty when nothing was set —
+  /// so report consumers never special-case its absence.
   void set_counter(const std::string& key, std::uint64_t value);
 
   /// Adds a result series. `include_values` false drops the raw values

@@ -1,0 +1,136 @@
+#include "svc/client.hpp"
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario_io.hpp"
+#include "snap/result_io.hpp"
+#include "svc/frame.hpp"
+#include "svc/socket.hpp"
+
+namespace imobif::svc {
+
+SweepResultData submit_sweep(const SubmitOptions& options) {
+  const auto log = [&options](const std::string& message) {
+    if (options.log) options.log(message);
+  };
+  if (options.instances == 0) {
+    throw SvcError(ErrCode::kSubmitRejected, "instances must be > 0");
+  }
+  if (!options.run_options.extra_flows.empty()) {
+    // Multi-flow workloads are a driver-local construction; the wire
+    // format deliberately does not carry them (messages.hpp).
+    throw SvcError(ErrCode::kSubmitRejected,
+                   "extra_flows cannot travel over the wire");
+  }
+
+  Socket socket = Socket::connect_to(options.host, options.port,
+                                     options.connect_timeout_ms);
+  HelloMsg hello;
+  hello.role = PeerRole::kClient;
+  hello.name = options.bench_name;
+  socket.write_all(encode_frame(hello.to_frame()), options.send_timeout_ms);
+
+  SubmitMsg submit;
+  submit.bench_name = options.bench_name;
+  submit.scenario_text = exp::to_config_string(options.params);
+  submit.instances = options.instances;
+  submit.options = RunOptionsWire::from_run_options(options.run_options);
+  submit.unit_size = options.unit_size;
+  socket.write_all(encode_frame(submit.to_frame()), options.send_timeout_ms);
+
+  FrameDecoder decoder;
+  std::string chunk;
+  std::int64_t last_activity_ms = steady_now_ms();
+  while (true) {
+    std::vector<PollItem> items;
+    items.push_back(
+        {socket.fd(), /*want_read=*/true, false, false, false, false});
+    poll_wait(items, /*timeout_ms=*/500);
+    const std::int64_t now_ms = steady_now_ms();
+    if (!items.front().readable && !items.front().closed) {
+      if (now_ms - last_activity_ms > options.idle_timeout_ms) {
+        throw SvcError(ErrCode::kTimeout,
+                       "coordinator silent for " +
+                           std::to_string(now_ms - last_activity_ms) + " ms");
+      }
+      continue;
+    }
+
+    chunk.clear();
+    const Socket::ReadStatus status = socket.read_available(chunk);
+    if (!chunk.empty()) {
+      decoder.feed(chunk);
+      last_activity_ms = now_ms;
+    }
+    while (auto frame = decoder.next()) {
+      switch (frame->type) {
+        case MsgType::kHelloAck:
+          break;
+        case MsgType::kSubmitAck: {
+          const SubmitAckMsg ack = SubmitAckMsg::from_frame(*frame);
+          log("sweep " + std::to_string(ack.sweep_id) + " accepted: " +
+              std::to_string(ack.unit_count) + " units");
+          break;
+        }
+        case MsgType::kProgress: {
+          const ProgressMsg progress = ProgressMsg::from_frame(*frame);
+          if (options.on_progress) options.on_progress(progress);
+          break;
+        }
+        case MsgType::kSweepDone: {
+          const SweepDoneMsg done = SweepDoneMsg::from_frame(*frame);
+          SweepResultData result;
+          result.report_json = done.report_json;
+          result.points =
+              snap::comparison_points_from_bytes(done.points_blob);
+          return result;
+        }
+        case MsgType::kError: {
+          const ErrorMsg err = ErrorMsg::from_frame(*frame);
+          throw SvcError(err.code, "coordinator: " + err.detail);
+        }
+        default:
+          throw SvcError(ErrCode::kProtocolViolation,
+                         std::string("unexpected ") +
+                             to_string(frame->type));
+      }
+    }
+    if (status == Socket::ReadStatus::kEof || items.front().closed) {
+      throw SvcError(ErrCode::kIo,
+                     "coordinator closed the connection mid-sweep");
+    }
+  }
+}
+
+void request_shutdown(const std::string& host, std::uint16_t port,
+                      int timeout_ms) {
+  Socket socket = Socket::connect_to(host, port, timeout_ms);
+  HelloMsg hello;
+  hello.role = PeerRole::kClient;
+  hello.name = "shutdown";
+  socket.write_all(encode_frame(hello.to_frame()), timeout_ms);
+  socket.write_all(encode_frame(make_shutdown()), timeout_ms);
+  // Wait for the coordinator to drop the connection so the daemon is
+  // actually gone (not merely asked) when this returns.
+  FrameDecoder decoder;
+  std::string chunk;
+  const std::int64_t deadline_ms = steady_now_ms() + timeout_ms;
+  while (steady_now_ms() < deadline_ms) {
+    std::vector<PollItem> items;
+    items.push_back(
+        {socket.fd(), /*want_read=*/true, false, false, false, false});
+    poll_wait(items, /*timeout_ms=*/100);
+    if (!items.front().readable && !items.front().closed) continue;
+    chunk.clear();
+    if (socket.read_available(chunk) == Socket::ReadStatus::kEof) return;
+    if (!chunk.empty()) {
+      decoder.feed(chunk);
+      while (decoder.next()) {
+        // Drain the HelloAck (and anything else) until EOF.
+      }
+    }
+  }
+}
+
+}  // namespace imobif::svc

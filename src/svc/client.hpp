@@ -1,0 +1,56 @@
+// Sweep-submission client (DESIGN.md §11): opens one connection to the
+// coordinator, submits a scenario, streams progress callbacks, and
+// returns the final report with the full decoded point list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "svc/messages.hpp"
+
+namespace imobif::svc {
+
+struct SubmitOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string bench_name = "remote_sweep";
+  exp::ScenarioParams params;
+  std::uint64_t instances = 0;
+  exp::RunOptions run_options;
+  /// Instances per work unit; 0 lets the coordinator pick.
+  std::uint64_t unit_size = 0;
+  int connect_timeout_ms = 5'000;
+  int send_timeout_ms = 10'000;
+  /// Give up when the coordinator is silent this long (no progress, no
+  /// result). Generous by default: a sweep's first progress frame only
+  /// arrives once some worker finishes an instance.
+  int idle_timeout_ms = 600'000;
+  std::function<void(const ProgressMsg&)> on_progress;
+  std::function<void(const std::string&)> log;
+};
+
+struct SweepResultData {
+  /// Pretty-printed runtime::SweepReport JSON, byte-identical to what a
+  /// local run of the same sweep writes (minus wall_ms, which neither
+  /// side sets).
+  std::string report_json;
+  /// The full ordered point list, for callers that rebuild their own
+  /// artifact shapes (bench --remote).
+  std::vector<exp::ComparisonPoint> points;
+};
+
+/// Blocks until the sweep completes. Throws SvcError on connection
+/// failure, protocol breakage, a coordinator-reported error, or idle
+/// timeout.
+SweepResultData submit_sweep(const SubmitOptions& options);
+
+/// Asks a coordinator to shut down. Throws SvcError when unreachable.
+void request_shutdown(const std::string& host, std::uint16_t port,
+                      int timeout_ms = 5'000);
+
+}  // namespace imobif::svc

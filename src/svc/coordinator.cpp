@@ -1,0 +1,408 @@
+#include "svc/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/experiments.hpp"
+#include "exp/scenario_io.hpp"
+#include "runtime/comparison_report.hpp"
+#include "snap/result_io.hpp"
+#include "util/config.hpp"
+
+namespace imobif::svc {
+
+std::string sweep_checkpoint_scope(std::uint64_t sweep_id) {
+  return "swp" + std::to_string(sweep_id) + "-";
+}
+
+Coordinator::Coordinator(SendFn send, Options options, Logger log)
+    : send_(std::move(send)), options_(options), log_(std::move(log)) {}
+
+void Coordinator::log(const std::string& message) const {
+  if (log_) log_(message);
+}
+
+void Coordinator::on_connect(std::uint64_t peer_id) {
+  Peer peer;
+  peer.id = peer_id;
+  peers_[peer_id] = std::move(peer);
+}
+
+void Coordinator::on_frame(std::uint64_t peer_id, const Frame& frame,
+                           std::int64_t now_ms) {
+  const auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return;  // already flagged for closing
+  Peer& peer = it->second;
+  peer.last_active_ms = now_ms;
+  try {
+    if (!peer.role.has_value()) {
+      if (frame.type != MsgType::kHello) {
+        protocol_error(peer, ErrCode::kProtocolViolation,
+                       std::string("expected Hello, got ") +
+                           to_string(frame.type));
+        return;
+      }
+      handle_hello(peer, frame, now_ms);
+      return;
+    }
+    switch (frame.type) {
+      case MsgType::kSubmit:
+        handle_submit(peer, frame);
+        break;
+      case MsgType::kUnitProgress:
+        handle_unit_progress(peer, frame);
+        break;
+      case MsgType::kUnitResult:
+        handle_unit_result(peer, frame);
+        break;
+      case MsgType::kHeartbeat:
+        break;  // last_active_ms already refreshed
+      case MsgType::kShutdown:
+        log("shutdown requested by peer " + std::to_string(peer.id));
+        shutdown_requested_ = true;
+        break;
+      case MsgType::kError: {
+        // A peer reporting a failure (e.g. a worker whose unit threw).
+        // Close it; on_disconnect requeues anything it was assigned.
+        const ErrorMsg err = ErrorMsg::from_frame(frame);
+        log("peer " + std::to_string(peer.id) + " reported " +
+            to_string(err.code) + ": " + err.detail);
+        peers_to_close_.push_back(peer.id);
+        break;
+      }
+      default:
+        protocol_error(peer, ErrCode::kProtocolViolation,
+                       std::string("unexpected ") + to_string(frame.type));
+        break;
+    }
+  } catch (const SvcError& e) {
+    protocol_error(peer, e.code(), e.what());
+  }
+}
+
+void Coordinator::handle_hello(Peer& peer, const Frame& frame,
+                               std::int64_t now_ms) {
+  const HelloMsg hello = HelloMsg::from_frame(frame);
+  peer.role = hello.role;
+  peer.name = hello.name;
+  peer.last_active_ms = now_ms;
+  HelloAckMsg ack;
+  ack.peer_id = peer.id;
+  send_(peer.id, ack.to_frame());
+  log(std::string(to_string(hello.role)) + " '" + hello.name +
+      "' connected as peer " + std::to_string(peer.id));
+  if (hello.role == PeerRole::kWorker) schedule();
+}
+
+void Coordinator::handle_submit(Peer& peer, const Frame& frame) {
+  if (peer.role != PeerRole::kClient) {
+    protocol_error(peer, ErrCode::kProtocolViolation,
+                   "Submit from a non-client peer");
+    return;
+  }
+  const SubmitMsg submit = SubmitMsg::from_frame(frame);
+
+  Sweep sweep;
+  try {
+    exp::apply_config(util::Config::from_string(submit.scenario_text),
+                      sweep.params);
+  } catch (const std::exception& e) {
+    ErrorMsg err;
+    err.code = ErrCode::kBadScenario;
+    err.detail = e.what();
+    send_(peer.id, err.to_frame());
+    return;
+  }
+  if (submit.instances == 0) {
+    ErrorMsg err;
+    err.code = ErrCode::kSubmitRejected;
+    err.detail = "instances must be > 0";
+    send_(peer.id, err.to_frame());
+    return;
+  }
+
+  sweep.id = next_sweep_id_++;
+  sweep.client_id = peer.id;
+  sweep.bench_name = submit.bench_name;
+  sweep.scenario_text = submit.scenario_text;
+  sweep.options = submit.options;
+  sweep.instances_total = submit.instances;
+  const std::uint64_t unit_size =
+      submit.unit_size > 0 ? submit.unit_size
+                           : std::max<std::uint64_t>(
+                                 1, options_.default_unit_size);
+  for (std::uint64_t begin = 0; begin < submit.instances;
+       begin += unit_size) {
+    Unit unit;
+    unit.begin = begin;
+    unit.end = std::min(begin + unit_size, submit.instances);
+    sweep.units.push_back(unit);
+  }
+
+  SubmitAckMsg ack;
+  ack.sweep_id = sweep.id;
+  ack.unit_count = sweep.units.size();
+  log("sweep " + std::to_string(sweep.id) + ": " +
+      std::to_string(submit.instances) + " instances in " +
+      std::to_string(sweep.units.size()) + " units from peer " +
+      std::to_string(peer.id));
+  sweeps_[sweep.id] = std::move(sweep);
+  send_(peer.id, ack.to_frame());
+  schedule();
+}
+
+void Coordinator::handle_unit_progress(Peer& peer, const Frame& frame) {
+  if (peer.role != PeerRole::kWorker) {
+    protocol_error(peer, ErrCode::kProtocolViolation,
+                   "UnitProgress from a non-worker peer");
+    return;
+  }
+  const UnitProgressMsg msg = UnitProgressMsg::from_frame(frame);
+  const auto it = sweeps_.find(msg.sweep_id);
+  if (it == sweeps_.end()) return;  // sweep cancelled; stale progress
+  Sweep& sweep = it->second;
+  if (msg.unit_index >= sweep.units.size()) return;
+  Unit& unit = sweep.units[msg.unit_index];
+  if (unit.state != UnitState::kAssigned || unit.worker_id != peer.id) {
+    return;  // reassigned elsewhere; stale progress
+  }
+  unit.instances_done =
+      std::min<std::uint64_t>(msg.instances_done, unit.end - unit.begin);
+  send_progress(sweep);
+}
+
+void Coordinator::handle_unit_result(Peer& peer, const Frame& frame) {
+  if (peer.role != PeerRole::kWorker) {
+    protocol_error(peer, ErrCode::kProtocolViolation,
+                   "UnitResult from a non-worker peer");
+    return;
+  }
+  const UnitResultMsg msg = UnitResultMsg::from_frame(frame);
+  // The worker is free again regardless of what the result is for: a
+  // stale result from a cancelled sweep still means the unit finished.
+  if (peer.busy && peer.sweep_id == msg.sweep_id &&
+      peer.unit_index == msg.unit_index) {
+    peer.busy = false;
+  }
+  const auto it = sweeps_.find(msg.sweep_id);
+  if (it == sweeps_.end()) {
+    schedule();
+    return;
+  }
+  Sweep& sweep = it->second;
+  if (msg.unit_index >= sweep.units.size()) {
+    protocol_error(peer, ErrCode::kProtocolViolation,
+                   "UnitResult for unit " + std::to_string(msg.unit_index) +
+                       " of " + std::to_string(sweep.units.size()));
+    return;
+  }
+  Unit& unit = sweep.units[msg.unit_index];
+  if (unit.state == UnitState::kDone) {
+    // Exactly-once merge: a presumed-lost worker delivering late loses
+    // the race; the first accepted result stands.
+    log("sweep " + std::to_string(sweep.id) + " unit " +
+        std::to_string(msg.unit_index) + ": duplicate result ignored");
+    schedule();
+    return;
+  }
+  unit.state = UnitState::kDone;
+  unit.instances_done = unit.end - unit.begin;
+  unit.points_blob = msg.points_blob;
+  ++sweep.units_done;
+  log("sweep " + std::to_string(sweep.id) + " unit " +
+      std::to_string(msg.unit_index) + " done (" +
+      std::to_string(sweep.units_done) + "/" +
+      std::to_string(sweep.units.size()) + ")");
+  send_progress(sweep);
+  if (sweep.units_done == sweep.units.size()) {
+    finalize(sweep);
+    sweeps_.erase(it);
+  }
+  schedule();
+}
+
+void Coordinator::send_progress(const Sweep& sweep) {
+  ProgressMsg msg;
+  msg.sweep_id = sweep.id;
+  msg.instances_total = sweep.instances_total;
+  for (const Unit& unit : sweep.units) {
+    msg.instances_done += unit.instances_done;
+  }
+  msg.units_total = sweep.units.size();
+  msg.units_done = sweep.units_done;
+  send_(sweep.client_id, msg.to_frame());
+}
+
+void Coordinator::finalize(Sweep& sweep) {
+  std::vector<exp::ComparisonPoint> points;
+  points.reserve(sweep.instances_total);
+  try {
+    for (const Unit& unit : sweep.units) {
+      std::vector<exp::ComparisonPoint> part =
+          snap::comparison_points_from_bytes(unit.points_blob);
+      if (part.size() != unit.end - unit.begin) {
+        throw std::runtime_error(
+            "unit point count " + std::to_string(part.size()) +
+            " != instance range " + std::to_string(unit.end - unit.begin));
+      }
+      points.insert(points.end(), part.begin(), part.end());
+    }
+  } catch (const std::exception& e) {
+    ErrorMsg err;
+    err.code = ErrCode::kRemote;
+    err.detail = std::string("unit result merge failed: ") + e.what();
+    send_(sweep.client_id, err.to_frame());
+    return;
+  }
+
+  const runtime::SweepReport report =
+      runtime::make_comparison_report(sweep.bench_name, sweep.params, points);
+  SweepDoneMsg done;
+  done.sweep_id = sweep.id;
+  done.report_json = report.to_string();
+  done.points_blob = snap::comparison_points_to_bytes(points);
+  send_(sweep.client_id, done.to_frame());
+  log("sweep " + std::to_string(sweep.id) + " complete");
+}
+
+void Coordinator::schedule() {
+  for (auto& [sweep_id, sweep] : sweeps_) {
+    for (std::size_t unit_index = 0; unit_index < sweep.units.size();
+         ++unit_index) {
+      Unit& unit = sweep.units[unit_index];
+      if (unit.state != UnitState::kPending) continue;
+      Peer* idle = nullptr;
+      for (auto& [peer_id, peer] : peers_) {
+        if (peer.role == PeerRole::kWorker && !peer.busy) {
+          idle = &peer;
+          break;
+        }
+      }
+      if (idle == nullptr) return;  // no capacity; retry on next event
+      unit.state = UnitState::kAssigned;
+      unit.worker_id = idle->id;
+      unit.instances_done = 0;
+      idle->busy = true;
+      idle->sweep_id = sweep_id;
+      idle->unit_index = unit_index;
+
+      AssignUnitMsg assign;
+      assign.sweep_id = sweep_id;
+      assign.unit_index = unit_index;
+      assign.begin = unit.begin;
+      assign.end = unit.end;
+      assign.scenario_text = sweep.scenario_text;
+      assign.options = sweep.options;
+      assign.checkpoint_scope = sweep_checkpoint_scope(sweep_id);
+      send_(idle->id, assign.to_frame());
+      log("sweep " + std::to_string(sweep_id) + " unit " +
+          std::to_string(unit_index) + " [" + std::to_string(unit.begin) +
+          ", " + std::to_string(unit.end) + ") -> worker " +
+          std::to_string(idle->id));
+    }
+  }
+}
+
+void Coordinator::requeue_assigned_unit(Peer& worker) {
+  if (!worker.busy) return;
+  worker.busy = false;
+  const auto it = sweeps_.find(worker.sweep_id);
+  if (it == sweeps_.end()) return;
+  Sweep& sweep = it->second;
+  if (worker.unit_index >= sweep.units.size()) return;
+  Unit& unit = sweep.units[worker.unit_index];
+  if (unit.state == UnitState::kAssigned && unit.worker_id == worker.id) {
+    unit.state = UnitState::kPending;
+    unit.instances_done = 0;
+    log("sweep " + std::to_string(sweep.id) + " unit " +
+        std::to_string(worker.unit_index) + " requeued (worker " +
+        std::to_string(worker.id) + " lost)");
+  }
+}
+
+void Coordinator::on_disconnect(std::uint64_t peer_id) {
+  const auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return;
+  Peer peer = std::move(it->second);
+  peers_.erase(it);
+  if (peer.role == PeerRole::kWorker) {
+    requeue_assigned_unit(peer);
+    schedule();
+    return;
+  }
+  if (peer.role == PeerRole::kClient) {
+    // Drop the client's sweeps: nobody is left to receive the result.
+    // Workers still crunching their units deliver into handle_unit_result,
+    // which ignores unknown sweeps and frees the worker.
+    for (auto sweep_it = sweeps_.begin(); sweep_it != sweeps_.end();) {
+      if (sweep_it->second.client_id == peer_id) {
+        log("sweep " + std::to_string(sweep_it->first) +
+            " dropped (client disconnected)");
+        sweep_it = sweeps_.erase(sweep_it);
+      } else {
+        ++sweep_it;
+      }
+    }
+  }
+}
+
+void Coordinator::on_tick(std::int64_t now_ms) {
+  for (auto& [peer_id, peer] : peers_) {
+    if (peer.role != PeerRole::kWorker || !peer.busy) continue;
+    if (now_ms - peer.last_active_ms < options_.heartbeat_timeout_ms) {
+      continue;
+    }
+    // Per-instance UnitProgress doubles as the heartbeat, so a busy
+    // worker this silent is hung (a crashed one drops the connection
+    // instead). Close it; on_disconnect requeues the unit.
+    log("worker " + std::to_string(peer_id) + " heartbeat timeout (" +
+        std::to_string(now_ms - peer.last_active_ms) + " ms silent)");
+    peers_to_close_.push_back(peer_id);
+  }
+}
+
+void Coordinator::protocol_error(Peer& peer, ErrCode code,
+                                 const std::string& detail) {
+  log("peer " + std::to_string(peer.id) + ": " + to_string(code) + ": " +
+      detail);
+  ErrorMsg err;
+  err.code = code;
+  err.detail = detail;
+  send_(peer.id, err.to_frame());
+  peers_to_close_.push_back(peer.id);
+}
+
+std::vector<std::uint64_t> Coordinator::take_peers_to_close() {
+  std::vector<std::uint64_t> out;
+  out.swap(peers_to_close_);
+  return out;
+}
+
+std::size_t Coordinator::connected_workers() const {
+  std::size_t count = 0;
+  for (const auto& [peer_id, peer] : peers_) {
+    if (peer.role == PeerRole::kWorker) ++count;
+  }
+  return count;
+}
+
+std::size_t Coordinator::idle_workers() const {
+  std::size_t count = 0;
+  for (const auto& [peer_id, peer] : peers_) {
+    if (peer.role == PeerRole::kWorker && !peer.busy) ++count;
+  }
+  return count;
+}
+
+std::size_t Coordinator::pending_units(std::uint64_t sweep_id) const {
+  const auto it = sweeps_.find(sweep_id);
+  if (it == sweeps_.end()) return 0;
+  std::size_t count = 0;
+  for (const Unit& unit : it->second.units) {
+    if (unit.state == UnitState::kPending) ++count;
+  }
+  return count;
+}
+
+}  // namespace imobif::svc

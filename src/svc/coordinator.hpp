@@ -1,0 +1,161 @@
+// Sweep-farm coordinator state machine (DESIGN.md §11).
+//
+// The coordinator owns no sockets: the serve loop (serve.hpp) feeds it
+// connection lifecycle events and decoded frames, hands it a SendFn for
+// replies, and drives time explicitly through on_tick(now_ms). That keeps
+// every scheduling, retry, and merge decision in a deterministic,
+// sleep-free unit-testable core — tests replay an event sequence with
+// hand-picked timestamps and assert on the emitted frames.
+//
+// Determinism contract: a sweep submitted here produces a SweepReport
+// byte-identical to a local run of the same scenario. Three properties
+// carry that guarantee:
+//   - units are instance ranges [begin, end) over the submitted count,
+//     and the sharded runtime derives instance i's RNG from the absolute
+//     index, so any unit partition reproduces the local per-instance
+//     streams;
+//   - results merge keyed by unit index, never by arrival order, and only
+//     the FIRST result per unit is accepted (exactly-once even when a
+//     presumed-lost worker later delivers a duplicate);
+//   - the final report comes from make_comparison_report, the same
+//     builder the local reference path uses, with wall_ms never set.
+//
+// Worker failure: a dead worker's connection drops (on_disconnect) or its
+// heartbeat goes stale (on_tick); either way its assigned units return to
+// the pending queue and are reassigned. Units carry the sweep's
+// deterministic checkpoint scope, so when workers share a checkpoint
+// directory the replacement resumes the lost worker's files instead of
+// recomputing finished instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "svc/frame.hpp"
+#include "svc/messages.hpp"
+
+namespace imobif::svc {
+
+class Coordinator {
+ public:
+  /// Delivers a frame to a connected peer. Transport failures must be
+  /// reported back as disconnects, not exceptions out of the send.
+  using SendFn = std::function<void(std::uint64_t peer_id, const Frame&)>;
+  using Logger = std::function<void(const std::string&)>;
+
+  struct Options {
+    /// Instances per work unit when a submission leaves unit_size at 0.
+    std::uint64_t default_unit_size = 4;
+    /// A busy worker silent for longer than this is presumed lost and its
+    /// units are reassigned. Idle workers are exempt (a dead idle worker
+    /// surfaces as a plain disconnect).
+    std::int64_t heartbeat_timeout_ms = 30'000;
+  };
+
+  Coordinator(SendFn send, Options options, Logger log = {});
+
+  /// A transport connection opened; the peer must Hello before anything
+  /// else.
+  void on_connect(std::uint64_t peer_id);
+
+  /// A decoded frame arrived from `peer_id`. Protocol violations emit a
+  /// kError frame and flag the peer for closing; they never throw.
+  void on_frame(std::uint64_t peer_id, const Frame& frame,
+                std::int64_t now_ms);
+
+  /// The transport lost `peer_id`: requeue its units, drop its sweeps.
+  void on_disconnect(std::uint64_t peer_id);
+
+  /// Periodic heartbeat sweep; call at least every few hundred ms.
+  void on_tick(std::int64_t now_ms);
+
+  /// Peers the serve loop must close (protocol violators, stale workers).
+  /// Closing triggers on_disconnect, which is where state is cleaned up.
+  std::vector<std::uint64_t> take_peers_to_close();
+
+  /// Set once a client sent kShutdown; the serve loop drains and exits.
+  bool shutdown_requested() const { return shutdown_requested_; }
+
+  // Introspection for tests and status logging.
+  std::size_t connected_workers() const;
+  std::size_t idle_workers() const;
+  std::size_t active_sweeps() const { return sweeps_.size(); }
+  std::size_t pending_units(std::uint64_t sweep_id) const;
+
+ private:
+  enum class UnitState : std::uint8_t { kPending, kAssigned, kDone };
+
+  struct Unit {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    UnitState state = UnitState::kPending;
+    std::uint64_t worker_id = 0;       ///< valid when kAssigned
+    std::uint64_t instances_done = 0;  ///< progress within the unit
+    std::string points_blob;           ///< set when kDone
+  };
+
+  struct Sweep {
+    std::uint64_t id = 0;
+    std::uint64_t client_id = 0;
+    std::string bench_name;
+    std::string scenario_text;
+    exp::ScenarioParams params;
+    RunOptionsWire options;
+    std::vector<Unit> units;
+    std::uint64_t instances_total = 0;
+    std::uint64_t units_done = 0;
+  };
+
+  struct Peer {
+    std::uint64_t id = 0;
+    std::optional<PeerRole> role;  ///< empty until Hello
+    std::string name;
+    bool busy = false;                 ///< worker: has an assigned unit
+    std::uint64_t sweep_id = 0;        ///< worker: assigned unit's sweep
+    std::uint64_t unit_index = 0;      ///< worker: assigned unit
+    std::int64_t last_active_ms = 0;   ///< worker: last frame timestamp
+  };
+
+  void handle_hello(Peer& peer, const Frame& frame, std::int64_t now_ms);
+  void handle_submit(Peer& peer, const Frame& frame);
+  void handle_unit_progress(Peer& peer, const Frame& frame);
+  void handle_unit_result(Peer& peer, const Frame& frame);
+  void protocol_error(Peer& peer, ErrCode code, const std::string& detail);
+
+  /// Assigns pending units (sweeps in id order, units in index order) to
+  /// idle workers (peer id order) until one side runs out.
+  void schedule();
+
+  /// Returns the unit to the pending queue and frees the worker slot.
+  void requeue_assigned_unit(Peer& worker);
+
+  /// Sends the client a ProgressMsg reflecting the sweep's current state.
+  void send_progress(const Sweep& sweep);
+
+  /// All units done: merge points in unit order, build the canonical
+  /// report, send SweepDone, drop the sweep.
+  void finalize(Sweep& sweep);
+
+  void log(const std::string& message) const;
+
+  SendFn send_;
+  Options options_;
+  Logger log_;
+  std::map<std::uint64_t, Peer> peers_;
+  std::map<std::uint64_t, Sweep> sweeps_;
+  std::vector<std::uint64_t> peers_to_close_;
+  std::uint64_t next_sweep_id_ = 1;
+  bool shutdown_requested_ = false;
+};
+
+/// Checkpoint scope shared by every unit of a sweep ("swp<id>-"): workers
+/// prefix their unit files with it, so a reassigned unit finds the files
+/// its dead predecessor left in a shared checkpoint directory.
+std::string sweep_checkpoint_scope(std::uint64_t sweep_id);
+
+}  // namespace imobif::svc

@@ -1,0 +1,42 @@
+#include "svc/errors.hpp"
+
+namespace imobif::svc {
+
+const char* to_string(ErrCode code) {
+  switch (code) {
+    case ErrCode::kBadMagic:
+      return "bad-magic";
+    case ErrCode::kVersionMismatch:
+      return "version-mismatch";
+    case ErrCode::kOversizedFrame:
+      return "oversized-frame";
+    case ErrCode::kBadFrame:
+      return "bad-frame";
+    case ErrCode::kBadMessage:
+      return "bad-message";
+    case ErrCode::kProtocolViolation:
+      return "protocol-violation";
+    case ErrCode::kUnknownSweep:
+      return "unknown-sweep";
+    case ErrCode::kWorkerLost:
+      return "worker-lost";
+    case ErrCode::kBadScenario:
+      return "bad-scenario";
+    case ErrCode::kSubmitRejected:
+      return "submit-rejected";
+    case ErrCode::kIo:
+      return "io";
+    case ErrCode::kTimeout:
+      return "timeout";
+    case ErrCode::kRemote:
+      return "remote";
+  }
+  return "unknown";
+}
+
+SvcError::SvcError(ErrCode code, const std::string& reason)
+    : std::runtime_error(std::string("svc [") + to_string(code) + "] " +
+                         reason),
+      code_(code) {}
+
+}  // namespace imobif::svc

@@ -1,0 +1,54 @@
+// Typed errors for the distributed sweep service (DESIGN.md §11).
+//
+// Every failure the service layer can produce carries an ErrCode, so
+// callers branch on the class of failure instead of parsing strings, and
+// the coordinator can forward a machine-readable code to the remote peer
+// in an ErrorMsg frame. The enum follows the typed error/peer-handling
+// idiom of networked-daemon codebases (one small enum, one exception type
+// carrying it) rather than a per-failure exception hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace imobif::svc {
+
+enum class ErrCode : std::uint16_t {
+  // Problems with an incoming byte stream / frame.
+  kBadMagic = 1,         ///< frame header does not start with kFrameMagic
+  kVersionMismatch = 2,  ///< peer speaks a different protocol version
+  kOversizedFrame = 3,   ///< declared payload exceeds kMaxFramePayload
+  kBadFrame = 4,         ///< unknown message type or malformed header
+  kBadMessage = 5,       ///< payload does not decode as the typed message
+
+  // Protocol-level violations (well-formed frames at the wrong time).
+  kProtocolViolation = 6,  ///< e.g. a message before the Hello handshake
+  kUnknownSweep = 7,       ///< frame references a sweep id we do not track
+
+  // Scheduling / execution failures.
+  kWorkerLost = 8,      ///< a unit exhausted its reassignment budget
+  kBadScenario = 9,     ///< submitted scenario failed to parse or validate
+  kSubmitRejected = 10, ///< coordinator refused the submission
+
+  // Transport failures.
+  kIo = 11,       ///< socket syscall failure (connect/bind/send/...)
+  kTimeout = 12,  ///< a bounded wait elapsed
+  kRemote = 13,   ///< the peer reported an error (detail holds its text)
+};
+
+const char* to_string(ErrCode code);
+
+/// The one exception type of the service layer; carries the typed code
+/// plus a human-readable reason.
+class SvcError : public std::runtime_error {
+ public:
+  SvcError(ErrCode code, const std::string& reason);
+
+  ErrCode code() const { return code_; }
+
+ private:
+  ErrCode code_;
+};
+
+}  // namespace imobif::svc

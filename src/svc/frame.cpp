@@ -1,0 +1,159 @@
+#include "svc/frame.hpp"
+
+#include <cstddef>
+
+namespace imobif::svc {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const std::string& buf, std::size_t pos) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + 1]))
+          << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + 2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos + 3]))
+          << 24);
+}
+
+bool valid_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         raw <= static_cast<std::uint8_t>(MsgType::kShutdown);
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kHelloAck:
+      return "hello-ack";
+    case MsgType::kSubmit:
+      return "submit";
+    case MsgType::kSubmitAck:
+      return "submit-ack";
+    case MsgType::kAssignUnit:
+      return "assign-unit";
+    case MsgType::kUnitProgress:
+      return "unit-progress";
+    case MsgType::kUnitResult:
+      return "unit-result";
+    case MsgType::kProgress:
+      return "progress";
+    case MsgType::kSweepDone:
+      return "sweep-done";
+    case MsgType::kError:
+      return "error";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    throw SvcError(ErrCode::kOversizedFrame,
+                   "encode: payload of " +
+                       std::to_string(frame.payload.size()) +
+                       " bytes exceeds cap of " +
+                       std::to_string(kMaxFramePayload));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  put_u32(out, kFrameMagic);
+  put_u32(out, kProtocolVersion);
+  out.push_back(static_cast<char>(frame.type));
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+}
+
+void FrameDecoder::poison(ErrCode code, const std::string& reason) {
+  poisoned_ = true;
+  poison_code_ = code;
+  poison_reason_ = reason;
+  throw SvcError(code, reason);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw SvcError(poison_code_, poison_reason_);
+  if (buffered() < kFrameHeaderBytes) return std::nullopt;
+
+  const std::uint32_t magic = get_u32(buf_, pos_);
+  if (magic != kFrameMagic) {
+    poison(ErrCode::kBadMagic, "frame magic 0x" + std::to_string(magic) +
+                                   " at stream offset " + std::to_string(pos_));
+  }
+  const std::uint32_t version = get_u32(buf_, pos_ + 4);
+  if (version != kProtocolVersion) {
+    poison(ErrCode::kVersionMismatch,
+           "peer protocol version " + std::to_string(version) +
+               ", this build speaks " + std::to_string(kProtocolVersion));
+  }
+  const auto raw_type = static_cast<std::uint8_t>(buf_[pos_ + 8]);
+  if (!valid_type(raw_type)) {
+    poison(ErrCode::kBadFrame,
+           "unknown message type " + std::to_string(raw_type));
+  }
+  const std::uint32_t length = get_u32(buf_, pos_ + 9);
+  if (length > kMaxFramePayload) {
+    poison(ErrCode::kOversizedFrame,
+           "declared payload of " + std::to_string(length) +
+               " bytes exceeds cap of " + std::to_string(kMaxFramePayload));
+  }
+  if (buffered() < kFrameHeaderBytes + length) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<MsgType>(raw_type);
+  frame.payload = buf_.substr(pos_ + kFrameHeaderBytes, length);
+  pos_ += kFrameHeaderBytes + length;
+  // Compact once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return frame;
+}
+
+Endpoint parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= text.size()) {
+    throw SvcError(ErrCode::kBadMessage,
+                   "endpoint '" + text + "' is not host:port");
+  }
+  Endpoint ep;
+  ep.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  std::size_t consumed = 0;
+  unsigned long port = 0;  // NOLINT(google-runtime-int): stoul interface
+  try {
+    port = std::stoul(port_text, &consumed);
+  } catch (const std::exception&) {
+    throw SvcError(ErrCode::kBadMessage,
+                   "endpoint '" + text + "' has a non-numeric port");
+  }
+  if (consumed != port_text.size() || port == 0 || port > 65535) {
+    throw SvcError(ErrCode::kBadMessage,
+                   "endpoint '" + text + "' has an invalid port");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+}  // namespace imobif::svc

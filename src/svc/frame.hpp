@@ -1,0 +1,106 @@
+// Length-prefixed binary framing for the sweep-service protocol
+// (DESIGN.md §11).
+//
+// Wire layout of one frame, all multi-byte fields little-endian:
+//
+//   u32 magic   "ISWP" (0x50575349)
+//   u32 version kProtocolVersion — rejected on mismatch, so two builds
+//               speaking different protocols fail fast and typed instead
+//               of misinterpreting each other's payloads
+//   u8  type    MsgType
+//   u32 length  payload byte count, capped at kMaxFramePayload
+//   ...payload  `length` bytes; every message payload is a snap codec
+//               stream (snap::StateWriter), so the payload carries its own
+//               magic/version and per-value type tags on top of this
+//               header's checks
+//
+// FrameDecoder is incremental: feed() arbitrary byte chunks as they
+// arrive from a socket, next() yields complete frames. Malformed input
+// (bad magic, foreign version, oversized or unknown-type frames) throws a
+// typed SvcError naming the failure; a merely incomplete frame is not an
+// error, next() simply returns nothing until more bytes arrive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "svc/errors.hpp"
+
+namespace imobif::svc {
+
+/// Bumped whenever the frame header or any message layout changes.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// "ISWP" read as a little-endian u32.
+inline constexpr std::uint32_t kFrameMagic = 0x50575349u;
+
+/// Hard cap on a single frame's payload; a unit result for a very large
+/// sweep fits comfortably, while a garbage length field cannot make the
+/// decoder attempt a multi-gigabyte allocation.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+/// Frame header byte count (magic + version + type + length).
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,         ///< peer -> coordinator: role handshake
+  kHelloAck = 2,      ///< coordinator -> peer: assigned peer id
+  kSubmit = 3,        ///< client -> coordinator: scenario + instance count
+  kSubmitAck = 4,     ///< coordinator -> client: sweep id + unit count
+  kAssignUnit = 5,    ///< coordinator -> worker: run one instance range
+  kUnitProgress = 6,  ///< worker -> coordinator: instances done in unit
+  kUnitResult = 7,    ///< worker -> coordinator: encoded points of a unit
+  kProgress = 8,      ///< coordinator -> client: sweep-level progress
+  kSweepDone = 9,     ///< coordinator -> client: final report + points
+  kError = 10,        ///< either direction: typed failure
+  kHeartbeat = 11,    ///< worker -> coordinator: idle keepalive
+  kShutdown = 12,     ///< client -> coordinator: stop serving
+};
+
+const char* to_string(MsgType type);
+
+struct Frame {
+  MsgType type = MsgType::kHeartbeat;
+  std::string payload;
+};
+
+/// Serializes header + payload. Throws SvcError(kOversizedFrame) when the
+/// payload exceeds kMaxFramePayload.
+std::string encode_frame(const Frame& frame);
+
+/// Incremental frame parser over a growing byte buffer.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes received from the transport.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame, or std::nullopt when the buffer
+  /// holds only a partial frame. Throws SvcError on malformed input; the
+  /// decoder is then poisoned and every further call rethrows (a byte
+  /// stream is unrecoverable once framing is lost).
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  [[noreturn]] void poison(ErrCode code, const std::string& reason);
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  ErrCode poison_code_ = ErrCode::kBadFrame;
+  std::string poison_reason_;
+};
+
+/// "host:port" -> (host, port). Throws SvcError(kBadMessage) on malformed
+/// input (missing colon, non-numeric or out-of-range port).
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+Endpoint parse_endpoint(const std::string& text);
+
+}  // namespace imobif::svc

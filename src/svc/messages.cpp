@@ -1,0 +1,327 @@
+#include "svc/messages.hpp"
+
+#include <utility>
+
+#include "snap/codec.hpp"
+
+namespace imobif::svc {
+
+namespace {
+
+/// Decodes a payload section with typed-error wrapping: a frame of the
+/// wrong type is a protocol violation, a payload that fails the codec or
+/// leaves trailing bytes is a bad message.
+template <typename Fn>
+auto decode_payload(const Frame& frame, MsgType expected, Fn&& fn) {
+  if (frame.type != expected) {
+    throw SvcError(ErrCode::kProtocolViolation,
+                   std::string("expected ") + to_string(expected) +
+                       " frame, got " + to_string(frame.type));
+  }
+  try {
+    snap::StateReader reader(frame.payload);
+    auto msg = fn(reader);
+    if (!reader.at_end()) {
+      throw std::runtime_error("trailing bytes after message");
+    }
+    return msg;
+  } catch (const SvcError&) {
+    throw;
+  } catch (const std::exception& err) {
+    throw SvcError(ErrCode::kBadMessage, std::string(to_string(expected)) +
+                                             " payload: " + err.what());
+  }
+}
+
+void encode_options(snap::StateWriter& w, const RunOptionsWire& options) {
+  w.boolean(options.stop_on_first_death);
+  w.f64(options.horizon_factor);
+  w.f64(options.horizon_slack_s);
+  w.boolean(options.multi_flow_blending);
+}
+
+RunOptionsWire decode_options(snap::StateReader& r) {
+  RunOptionsWire options;
+  options.stop_on_first_death = r.boolean();
+  options.horizon_factor = r.f64();
+  options.horizon_slack_s = r.f64();
+  options.multi_flow_blending = r.boolean();
+  return options;
+}
+
+}  // namespace
+
+const char* to_string(PeerRole role) {
+  switch (role) {
+    case PeerRole::kClient:
+      return "client";
+    case PeerRole::kWorker:
+      return "worker";
+  }
+  return "unknown";
+}
+
+exp::RunOptions RunOptionsWire::to_run_options() const {
+  exp::RunOptions options;
+  options.stop_on_first_death = stop_on_first_death;
+  options.horizon_factor = horizon_factor;
+  options.horizon_slack_s = util::Seconds{horizon_slack_s};
+  options.multi_flow_blending = multi_flow_blending;
+  return options;
+}
+
+RunOptionsWire RunOptionsWire::from_run_options(
+    const exp::RunOptions& options) {
+  RunOptionsWire wire;
+  wire.stop_on_first_death = options.stop_on_first_death;
+  wire.horizon_factor = options.horizon_factor;
+  wire.horizon_slack_s = options.horizon_slack_s.value();
+  wire.multi_flow_blending = options.multi_flow_blending;
+  return wire;
+}
+
+Frame HelloMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("hello");
+  w.u8(static_cast<std::uint8_t>(role));
+  w.str(name);
+  w.end_section();
+  return {MsgType::kHello, w.data()};
+}
+
+HelloMsg HelloMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kHello, [](snap::StateReader& r) {
+    r.begin_section("hello");
+    HelloMsg msg;
+    const std::uint8_t raw = r.u8();
+    if (raw != static_cast<std::uint8_t>(PeerRole::kClient) &&
+        raw != static_cast<std::uint8_t>(PeerRole::kWorker)) {
+      throw std::runtime_error("unknown peer role " + std::to_string(raw));
+    }
+    msg.role = static_cast<PeerRole>(raw);
+    msg.name = r.str();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame HelloAckMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("hello-ack");
+  w.u64(peer_id);
+  w.end_section();
+  return {MsgType::kHelloAck, w.data()};
+}
+
+HelloAckMsg HelloAckMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kHelloAck, [](snap::StateReader& r) {
+    r.begin_section("hello-ack");
+    HelloAckMsg msg;
+    msg.peer_id = r.u64();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame SubmitMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("submit");
+  w.str(bench_name);
+  w.str(scenario_text);
+  w.u64(instances);
+  encode_options(w, options);
+  w.u64(unit_size);
+  w.end_section();
+  return {MsgType::kSubmit, w.data()};
+}
+
+SubmitMsg SubmitMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kSubmit, [](snap::StateReader& r) {
+    r.begin_section("submit");
+    SubmitMsg msg;
+    msg.bench_name = r.str();
+    msg.scenario_text = r.str();
+    msg.instances = r.u64();
+    msg.options = decode_options(r);
+    msg.unit_size = r.u64();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame SubmitAckMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("submit-ack");
+  w.u64(sweep_id);
+  w.u64(unit_count);
+  w.end_section();
+  return {MsgType::kSubmitAck, w.data()};
+}
+
+SubmitAckMsg SubmitAckMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kSubmitAck, [](snap::StateReader& r) {
+    r.begin_section("submit-ack");
+    SubmitAckMsg msg;
+    msg.sweep_id = r.u64();
+    msg.unit_count = r.u64();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame AssignUnitMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("assign-unit");
+  w.u64(sweep_id);
+  w.u64(unit_index);
+  w.u64(begin);
+  w.u64(end);
+  w.str(scenario_text);
+  encode_options(w, options);
+  w.str(checkpoint_scope);
+  w.end_section();
+  return {MsgType::kAssignUnit, w.data()};
+}
+
+AssignUnitMsg AssignUnitMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kAssignUnit, [](snap::StateReader& r) {
+    r.begin_section("assign-unit");
+    AssignUnitMsg msg;
+    msg.sweep_id = r.u64();
+    msg.unit_index = r.u64();
+    msg.begin = r.u64();
+    msg.end = r.u64();
+    if (msg.end < msg.begin) {
+      throw std::runtime_error("unit range end before begin");
+    }
+    msg.scenario_text = r.str();
+    msg.options = decode_options(r);
+    msg.checkpoint_scope = r.str();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame UnitProgressMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("unit-progress");
+  w.u64(sweep_id);
+  w.u64(unit_index);
+  w.u64(instances_done);
+  w.end_section();
+  return {MsgType::kUnitProgress, w.data()};
+}
+
+UnitProgressMsg UnitProgressMsg::from_frame(const Frame& frame) {
+  return decode_payload(
+      frame, MsgType::kUnitProgress, [](snap::StateReader& r) {
+        r.begin_section("unit-progress");
+        UnitProgressMsg msg;
+        msg.sweep_id = r.u64();
+        msg.unit_index = r.u64();
+        msg.instances_done = r.u64();
+        r.end_section();
+        return msg;
+      });
+}
+
+Frame UnitResultMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("unit-result");
+  w.u64(sweep_id);
+  w.u64(unit_index);
+  w.str(points_blob);
+  w.end_section();
+  return {MsgType::kUnitResult, w.data()};
+}
+
+UnitResultMsg UnitResultMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kUnitResult, [](snap::StateReader& r) {
+    r.begin_section("unit-result");
+    UnitResultMsg msg;
+    msg.sweep_id = r.u64();
+    msg.unit_index = r.u64();
+    msg.points_blob = r.str();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame ProgressMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("progress");
+  w.u64(sweep_id);
+  w.u64(instances_done);
+  w.u64(instances_total);
+  w.u64(units_done);
+  w.u64(units_total);
+  w.end_section();
+  return {MsgType::kProgress, w.data()};
+}
+
+ProgressMsg ProgressMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kProgress, [](snap::StateReader& r) {
+    r.begin_section("progress");
+    ProgressMsg msg;
+    msg.sweep_id = r.u64();
+    msg.instances_done = r.u64();
+    msg.instances_total = r.u64();
+    msg.units_done = r.u64();
+    msg.units_total = r.u64();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame SweepDoneMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("sweep-done");
+  w.u64(sweep_id);
+  w.str(report_json);
+  w.str(points_blob);
+  w.end_section();
+  return {MsgType::kSweepDone, w.data()};
+}
+
+SweepDoneMsg SweepDoneMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kSweepDone, [](snap::StateReader& r) {
+    r.begin_section("sweep-done");
+    SweepDoneMsg msg;
+    msg.sweep_id = r.u64();
+    msg.report_json = r.str();
+    msg.points_blob = r.str();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame ErrorMsg::to_frame() const {
+  snap::StateWriter w;
+  w.begin_section("error");
+  w.u32(static_cast<std::uint32_t>(code));
+  w.str(detail);
+  w.end_section();
+  return {MsgType::kError, w.data()};
+}
+
+ErrorMsg ErrorMsg::from_frame(const Frame& frame) {
+  return decode_payload(frame, MsgType::kError, [](snap::StateReader& r) {
+    r.begin_section("error");
+    ErrorMsg msg;
+    const std::uint32_t raw = r.u32();
+    if (raw < static_cast<std::uint32_t>(ErrCode::kBadMagic) ||
+        raw > static_cast<std::uint32_t>(ErrCode::kRemote)) {
+      throw std::runtime_error("unknown error code " + std::to_string(raw));
+    }
+    msg.code = static_cast<ErrCode>(raw);
+    msg.detail = r.str();
+    r.end_section();
+    return msg;
+  });
+}
+
+Frame make_heartbeat() { return {MsgType::kHeartbeat, std::string()}; }
+
+Frame make_shutdown() { return {MsgType::kShutdown, std::string()}; }
+
+}  // namespace imobif::svc

@@ -1,0 +1,145 @@
+// Typed messages of the sweep-service protocol (DESIGN.md §11).
+//
+// Every message is a plain struct with a to_frame() encoder and a static
+// from_frame() decoder. Payloads are snap codec streams (tagged values
+// inside one named section per message), so a field-order or type bug
+// surfaces as a typed mismatch with a byte offset rather than garbled
+// state. from_frame() verifies the frame type, requires the payload to be
+// consumed exactly, and wraps codec failures in SvcError(kBadMessage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "svc/errors.hpp"
+#include "svc/frame.hpp"
+
+namespace imobif::svc {
+
+enum class PeerRole : std::uint8_t {
+  kClient = 1,
+  kWorker = 2,
+};
+
+const char* to_string(PeerRole role);
+
+/// The RunOptions subset that travels with a sweep. extra_flows is
+/// deliberately absent: multi-flow workloads are a driver-local
+/// construction and remote submission rejects them at the client.
+struct RunOptionsWire {
+  bool stop_on_first_death = false;
+  double horizon_factor = 4.0;
+  double horizon_slack_s = 600.0;
+  bool multi_flow_blending = false;
+
+  exp::RunOptions to_run_options() const;
+  static RunOptionsWire from_run_options(const exp::RunOptions& options);
+};
+
+struct HelloMsg {
+  PeerRole role = PeerRole::kClient;
+  std::string name;  ///< free-form peer label for logs
+
+  Frame to_frame() const;
+  static HelloMsg from_frame(const Frame& frame);
+};
+
+struct HelloAckMsg {
+  std::uint64_t peer_id = 0;
+
+  Frame to_frame() const;
+  static HelloAckMsg from_frame(const Frame& frame);
+};
+
+struct SubmitMsg {
+  std::string bench_name;     ///< report's "bench" field
+  std::string scenario_text;  ///< canonical exp::to_config_string dump
+  std::uint64_t instances = 0;
+  RunOptionsWire options;
+  std::uint64_t unit_size = 0;  ///< instances per work unit; 0 = server pick
+
+  Frame to_frame() const;
+  static SubmitMsg from_frame(const Frame& frame);
+};
+
+struct SubmitAckMsg {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t unit_count = 0;
+
+  Frame to_frame() const;
+  static SubmitAckMsg from_frame(const Frame& frame);
+};
+
+struct AssignUnitMsg {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t unit_index = 0;
+  std::uint64_t begin = 0;  ///< first instance index of the unit
+  std::uint64_t end = 0;    ///< one past the last instance index
+  std::string scenario_text;
+  RunOptionsWire options;
+  /// Checkpoint scope for the unit's files ("swp<id>-"); deterministic per
+  /// sweep, so a reassigned unit resumes the dead worker's files when the
+  /// workers share a checkpoint directory.
+  std::string checkpoint_scope;
+
+  Frame to_frame() const;
+  static AssignUnitMsg from_frame(const Frame& frame);
+};
+
+struct UnitProgressMsg {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t unit_index = 0;
+  std::uint64_t instances_done = 0;  ///< within the unit
+
+  Frame to_frame() const;
+  static UnitProgressMsg from_frame(const Frame& frame);
+};
+
+struct UnitResultMsg {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t unit_index = 0;
+  /// snap::comparison_points_to_bytes of the unit's ordered points.
+  std::string points_blob;
+
+  Frame to_frame() const;
+  static UnitResultMsg from_frame(const Frame& frame);
+};
+
+struct ProgressMsg {
+  std::uint64_t sweep_id = 0;
+  std::uint64_t instances_done = 0;
+  std::uint64_t instances_total = 0;
+  std::uint64_t units_done = 0;
+  std::uint64_t units_total = 0;
+
+  Frame to_frame() const;
+  static ProgressMsg from_frame(const Frame& frame);
+};
+
+struct SweepDoneMsg {
+  std::uint64_t sweep_id = 0;
+  /// The aggregated runtime::SweepReport, pretty-printed — exactly what a
+  /// local run of the same sweep writes.
+  std::string report_json;
+  /// The full ordered point list, so callers (bench --remote) can rebuild
+  /// any artifact shape from the raw results.
+  std::string points_blob;
+
+  Frame to_frame() const;
+  static SweepDoneMsg from_frame(const Frame& frame);
+};
+
+struct ErrorMsg {
+  ErrCode code = ErrCode::kRemote;
+  std::string detail;
+
+  Frame to_frame() const;
+  static ErrorMsg from_frame(const Frame& frame);
+};
+
+/// kHeartbeat and kShutdown carry empty payloads.
+Frame make_heartbeat();
+Frame make_shutdown();
+
+}  // namespace imobif::svc

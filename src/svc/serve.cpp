@@ -1,0 +1,146 @@
+#include "svc/serve.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svc/frame.hpp"
+#include "svc/socket.hpp"
+
+namespace imobif::svc {
+
+namespace {
+
+struct Conn {
+  Socket socket;
+  FrameDecoder decoder;
+};
+
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  // Write to a temp name then rename: readers polling for the file never
+  // observe a partial write.
+  const std::filesystem::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw SvcError(ErrCode::kIo, "cannot write " + tmp.string());
+    out << port << "\n";
+  }
+  std::filesystem::rename(tmp, target);
+}
+
+}  // namespace
+
+int serve(const ServeOptions& options) {
+  const auto log = [&options](const std::string& message) {
+    if (options.log) options.log(message);
+  };
+
+  Socket listener = Socket::listen_on(options.port);
+  const std::uint16_t port = listener.local_port();
+  if (!options.port_file.empty()) write_port_file(options.port_file, port);
+  log("listening on 127.0.0.1:" + std::to_string(port));
+
+  std::map<std::uint64_t, Conn> conns;
+  std::uint64_t next_peer_id = 1;
+  std::vector<std::uint64_t> dead;
+
+  Coordinator coordinator(
+      [&conns, &dead, &options, &log](std::uint64_t peer_id,
+                                      const Frame& frame) {
+        const auto it = conns.find(peer_id);
+        if (it == conns.end()) return;
+        try {
+          it->second.socket.write_all(encode_frame(frame),
+                                      options.send_timeout_ms);
+        } catch (const SvcError& e) {
+          log("send to peer " + std::to_string(peer_id) +
+              " failed: " + e.what());
+          dead.push_back(peer_id);
+        }
+      },
+      options.coordinator, options.log);
+
+  const auto drop_peer = [&conns, &coordinator,
+                          &log](std::uint64_t peer_id) {
+    const auto it = conns.find(peer_id);
+    if (it == conns.end()) return;
+    conns.erase(it);
+    coordinator.on_disconnect(peer_id);
+    log("peer " + std::to_string(peer_id) + " disconnected");
+  };
+
+  std::string chunk;
+  while (!coordinator.shutdown_requested()) {
+    std::vector<PollItem> items;
+    std::vector<std::uint64_t> item_peers;  // parallel to items[1..]
+    items.push_back({listener.fd(), /*want_read=*/true, false, false,
+                     false, false});
+    for (const auto& [peer_id, conn] : conns) {
+      items.push_back({conn.socket.fd(), /*want_read=*/true, false, false,
+                       false, false});
+      item_peers.push_back(peer_id);
+    }
+    poll_wait(items, options.poll_interval_ms);
+
+    if (items.front().readable) {
+      while (auto accepted = listener.accept_conn()) {
+        const std::uint64_t peer_id = next_peer_id++;
+        Conn conn;
+        conn.socket = std::move(*accepted);
+        conns[peer_id] = std::move(conn);
+        coordinator.on_connect(peer_id);
+        log("peer " + std::to_string(peer_id) + " connected");
+      }
+    }
+
+    const std::int64_t now_ms = steady_now_ms();
+    for (std::size_t i = 0; i < item_peers.size(); ++i) {
+      const PollItem& item = items[i + 1];
+      const std::uint64_t peer_id = item_peers[i];
+      if (!item.readable && !item.closed) continue;
+      const auto it = conns.find(peer_id);
+      if (it == conns.end()) continue;
+      Conn& conn = it->second;
+      bool lost = item.closed;
+      if (item.readable) {
+        chunk.clear();
+        const Socket::ReadStatus status = conn.socket.read_available(chunk);
+        if (status == Socket::ReadStatus::kEof) lost = true;
+        if (!chunk.empty()) {
+          conn.decoder.feed(chunk);
+          try {
+            while (auto frame = conn.decoder.next()) {
+              coordinator.on_frame(peer_id, *frame, now_ms);
+            }
+          } catch (const SvcError& e) {
+            log("peer " + std::to_string(peer_id) +
+                ": malformed frame: " + e.what());
+            lost = true;
+          }
+        }
+      }
+      if (lost) dead.push_back(peer_id);
+    }
+
+    coordinator.on_tick(now_ms);
+    for (const std::uint64_t peer_id : coordinator.take_peers_to_close()) {
+      dead.push_back(peer_id);
+    }
+    for (const std::uint64_t peer_id : dead) drop_peer(peer_id);
+    dead.clear();
+  }
+  log("shutting down");
+  return 0;
+}
+
+}  // namespace imobif::svc

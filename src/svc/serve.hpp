@@ -1,0 +1,36 @@
+// Poll-based event loop binding the Coordinator to TCP (DESIGN.md §11).
+//
+// One thread, one poll set: the listening socket plus every peer
+// connection. Frames are sent synchronously with a bounded timeout — the
+// service is loopback-only and its frames are small except SweepDone, so
+// a per-send deadline is simpler and safer than per-peer outboxes; a peer
+// that cannot drain a frame within the timeout is treated as lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "svc/coordinator.hpp"
+
+namespace imobif::svc {
+
+struct ServeOptions {
+  /// Port to listen on (loopback only); 0 picks an ephemeral port.
+  std::uint16_t port = 0;
+  /// When non-empty, the bound port is written here once listening —
+  /// tests and scripts using port 0 read it back.
+  std::string port_file;
+  /// Per-send deadline for a frame to a peer.
+  int send_timeout_ms = 10'000;
+  /// Poll granularity; also bounds heartbeat-check latency.
+  int poll_interval_ms = 200;
+  Coordinator::Options coordinator;
+  Coordinator::Logger log;
+};
+
+/// Runs the coordinator until a client sends kShutdown. Returns 0 on a
+/// clean shutdown; throws SvcError when the listener cannot be set up.
+int serve(const ServeOptions& options);
+
+}  // namespace imobif::svc

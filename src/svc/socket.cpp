@@ -1,0 +1,233 @@
+#include "svc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace imobif::svc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw SvcError(ErrCode::kIo, what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in loopback_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SvcError(ErrCode::kIo, "not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket Socket::listen_on(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = loopback_addr("127.0.0.1", port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) < 0) throw_errno("listen");
+  set_nonblocking(fd);
+  return sock;
+}
+
+std::uint16_t Socket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port,
+                          int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket sock(fd);
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const sockaddr_in addr = loopback_addr(host, port);
+  // Non-blocking connect: EINPROGRESS is the expected path; completion is
+  // a bounded poll for writability, never an unbounded block.
+  // lint:allow(socket-timeout) non-blocking fd, completion polled below
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (rc < 0) {
+    std::vector<PollItem> items(1);
+    items[0].fd = fd;
+    items[0].want_write = true;
+    if (poll_wait(items, timeout_ms) == 0 || !items[0].writable) {
+      throw SvcError(ErrCode::kTimeout,
+                     "connect to " + host + ":" + std::to_string(port) +
+                         " timed out after " + std::to_string(timeout_ms) +
+                         " ms");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      errno = err != 0 ? err : errno;
+      throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+    }
+  }
+  return sock;
+}
+
+std::optional<Socket> Socket::accept_conn() {
+  // Listener fd is non-blocking (set in listen_on), so a dry accept
+  // returns EAGAIN instead of blocking.
+  // lint:allow(socket-timeout) non-blocking listener, EAGAIN on dry accept
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return std::nullopt;
+    }
+    throw_errno("accept");
+  }
+  Socket sock(conn);
+  set_nonblocking(conn);
+  const int one = 1;
+  ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Socket::ReadStatus Socket::read_available(std::string& out) {
+  char buf[16384];
+  bool any = false;
+  for (;;) {
+    // The fd is non-blocking; the caller polled for readability, and a
+    // drained buffer returns EAGAIN immediately.
+    // lint:allow(socket-timeout) non-blocking fd, readiness from poll_wait
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      any = true;
+      continue;
+    }
+    if (n == 0) return ReadStatus::kEof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return any ? ReadStatus::kData : ReadStatus::kWouldBlock;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return ReadStatus::kEof;
+    throw_errno("recv");
+  }
+}
+
+void Socket::write_all(std::string_view bytes, int timeout_ms) {
+  std::size_t off = 0;
+  const std::int64_t deadline = steady_now_ms() + timeout_ms;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      throw_errno("send");
+    }
+    const std::int64_t remaining = deadline - steady_now_ms();
+    if (remaining <= 0) {
+      throw SvcError(ErrCode::kTimeout,
+                     "send stalled for " + std::to_string(timeout_ms) +
+                         " ms with " + std::to_string(bytes.size() - off) +
+                         " bytes unsent");
+    }
+    std::vector<PollItem> items(1);
+    items[0].fd = fd_;
+    items[0].want_write = true;
+    poll_wait(items, static_cast<int>(remaining));
+    if (items[0].closed) {
+      throw SvcError(ErrCode::kIo, "peer closed during send");
+    }
+  }
+}
+
+int poll_wait(std::vector<PollItem>& items, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(items.size());
+  for (const PollItem& item : items) {
+    pollfd p{};
+    p.fd = item.fd;
+    p.events = static_cast<short>((item.want_read ? POLLIN : 0) |
+                                  (item.want_write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  int rc;
+  for (;;) {
+    rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc >= 0) break;
+    if (errno != EINTR) throw_errno("poll");
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].readable = (fds[i].revents & POLLIN) != 0;
+    items[i].writable = (fds[i].revents & POLLOUT) != 0;
+    items[i].closed = (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return rc;
+}
+
+std::int64_t steady_now_ms() {
+  // Service-layer heartbeat/deadline clock; the simulation itself never
+  // consults it, so results stay seed-deterministic.
+  // lint:allow(wall-clock) transport deadlines need real monotonic time
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace imobif::svc

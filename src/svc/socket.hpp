@@ -1,0 +1,97 @@
+// Poll-based POSIX socket layer for the sweep service (DESIGN.md §11).
+//
+// Every descriptor this layer hands out is non-blocking; readiness always
+// comes from poll_wait() with an explicit timeout, never from letting a
+// read block. The repo's socket-timeout lint rule enforces exactly that
+// discipline for src/svc/: raw blocking-read syscalls are banned outside
+// this file's waived call sites.
+//
+// The simulator's determinism story is untouched by this layer: socket
+// scheduling orders *when* frames arrive, but the coordinator's merge is
+// keyed on unit indices, so results never depend on arrival order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/errors.hpp"
+
+namespace imobif::svc {
+
+/// Movable RAII wrapper over a non-blocking socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Binds 127.0.0.1:<port> (port 0 = kernel-chosen) and listens.
+  /// Loopback-only by design: the service trusts its peers and must not
+  /// be reachable from outside the host unless deliberately proxied.
+  /// Throws SvcError(kIo).
+  static Socket listen_on(std::uint16_t port);
+
+  /// Port actually bound (resolves port 0). Throws SvcError(kIo).
+  std::uint16_t local_port() const;
+
+  /// Connects to host:port, waiting at most timeout_ms for the handshake.
+  /// Throws SvcError(kIo / kTimeout).
+  static Socket connect_to(const std::string& host, std::uint16_t port,
+                           int timeout_ms);
+
+  /// Accepts one pending connection, or nullopt when none is ready.
+  std::optional<Socket> accept_conn();
+
+  enum class ReadStatus {
+    kData,        ///< bytes were appended to `out`
+    kWouldBlock,  ///< nothing available right now
+    kEof,         ///< orderly shutdown or connection reset by the peer
+  };
+
+  /// Drains whatever is immediately available into `out` (non-blocking;
+  /// call after poll_wait reports readability). Throws SvcError(kIo) on
+  /// hard errors other than reset-by-peer, which reads as kEof.
+  ReadStatus read_available(std::string& out);
+
+  /// Writes the whole buffer, polling for writability between partial
+  /// sends; gives up after timeout_ms. Throws SvcError(kIo / kTimeout).
+  void write_all(std::string_view bytes, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// One descriptor's poll request/result pair.
+struct PollItem {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  // Filled by poll_wait().
+  bool readable = false;
+  bool writable = false;
+  bool closed = false;  ///< HUP/ERR/NVAL: treat as disconnect
+};
+
+/// poll(2) over `items` with a bounded timeout; fills the result flags
+/// and returns the number of descriptors with any event. Throws
+/// SvcError(kIo) on syscall failure (EINTR retries internally).
+int poll_wait(std::vector<PollItem>& items, int timeout_ms);
+
+/// Milliseconds on a monotonic clock, for heartbeat bookkeeping and poll
+/// deadlines. Service-layer wall time only — simulation time always comes
+/// from sim::Simulator.
+std::int64_t steady_now_ms();
+
+}  // namespace imobif::svc

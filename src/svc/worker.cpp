@@ -1,0 +1,145 @@
+#include "svc/worker.hpp"
+
+#include <unistd.h>
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/scenario_io.hpp"
+#include "snap/result_io.hpp"
+#include "svc/messages.hpp"
+#include "svc/socket.hpp"
+#include "util/config.hpp"
+
+namespace imobif::svc {
+
+namespace {
+
+void run_unit(Socket& socket, const WorkerOptions& options,
+              const AssignUnitMsg& assign,
+              std::uint64_t& instances_completed) {
+  exp::ScenarioParams params;
+  exp::apply_config(util::Config::from_string(assign.scenario_text), params);
+
+  runtime::CheckpointOptions checkpoint = options.checkpoint;
+  checkpoint.scope = assign.checkpoint_scope;
+  // A farm worker always resumes: finding a lost predecessor's files is
+  // the normal case, not an opt-in.
+  checkpoint.resume = !checkpoint.dir.empty();
+
+  const auto on_instance_done = [&](std::size_t absolute_index) {
+    ++instances_completed;
+    if (options.crash_after_instances > 0 &&
+        instances_completed >= options.crash_after_instances) {
+      // Deterministic stand-in for a worker dying mid-unit: skip atexit
+      // handlers and flushes, exactly like a SIGKILL would, but at a
+      // reproducible instance boundary. The progress frame for this
+      // instance is deliberately never sent.
+      _exit(1);
+    }
+    UnitProgressMsg progress;
+    progress.sweep_id = assign.sweep_id;
+    progress.unit_index = assign.unit_index;
+    progress.instances_done = absolute_index - assign.begin + 1;
+    socket.write_all(encode_frame(progress.to_frame()),
+                     options.send_timeout_ms);
+  };
+
+  const std::vector<exp::ComparisonPoint> points =
+      runtime::run_comparison_shard(params, assign.begin, assign.end,
+                                    assign.options.to_run_options(),
+                                    /*workers=*/1, checkpoint,
+                                    on_instance_done);
+
+  UnitResultMsg result;
+  result.sweep_id = assign.sweep_id;
+  result.unit_index = assign.unit_index;
+  result.points_blob = snap::comparison_points_to_bytes(points);
+  socket.write_all(encode_frame(result.to_frame()), options.send_timeout_ms);
+}
+
+}  // namespace
+
+int run_worker(const WorkerOptions& options) {
+  const auto log = [&options](const std::string& message) {
+    if (options.log) options.log(message);
+  };
+
+  Socket socket = Socket::connect_to(options.host, options.port,
+                                     options.connect_timeout_ms);
+  HelloMsg hello;
+  hello.role = PeerRole::kWorker;
+  hello.name = options.name;
+  socket.write_all(encode_frame(hello.to_frame()), options.send_timeout_ms);
+
+  FrameDecoder decoder;
+  std::string chunk;
+  std::uint64_t instances_completed = 0;
+  bool acked = false;
+  while (true) {
+    std::vector<PollItem> items;
+    items.push_back(
+        {socket.fd(), /*want_read=*/true, false, false, false, false});
+    poll_wait(items, /*timeout_ms=*/500);
+    if (!items.front().readable && !items.front().closed) continue;
+
+    chunk.clear();
+    const Socket::ReadStatus status = socket.read_available(chunk);
+    if (!chunk.empty()) decoder.feed(chunk);
+    while (auto frame = decoder.next()) {
+      switch (frame->type) {
+        case MsgType::kHelloAck: {
+          const HelloAckMsg ack = HelloAckMsg::from_frame(*frame);
+          acked = true;
+          log("registered as peer " + std::to_string(ack.peer_id));
+          break;
+        }
+        case MsgType::kAssignUnit: {
+          if (!acked) {
+            throw SvcError(ErrCode::kProtocolViolation,
+                           "AssignUnit before HelloAck");
+          }
+          const AssignUnitMsg assign = AssignUnitMsg::from_frame(*frame);
+          log("unit " + std::to_string(assign.unit_index) + " of sweep " +
+              std::to_string(assign.sweep_id) + ": instances [" +
+              std::to_string(assign.begin) + ", " +
+              std::to_string(assign.end) + ")");
+          try {
+            run_unit(socket, options, assign, instances_completed);
+          } catch (const SvcError&) {
+            throw;  // transport failure: no coordinator to report to
+          } catch (const std::exception& e) {
+            // The unit itself failed (bad scenario, checkpoint I/O).
+            // Report and bail: rerunning a deterministic failure on the
+            // same worker would loop forever.
+            ErrorMsg err;
+            err.code = ErrCode::kRemote;
+            err.detail = std::string("unit execution failed: ") + e.what();
+            socket.write_all(encode_frame(err.to_frame()),
+                             options.send_timeout_ms);
+            throw SvcError(ErrCode::kRemote, err.detail);
+          }
+          break;
+        }
+        case MsgType::kShutdown:
+          log("shutdown from coordinator");
+          return 0;
+        case MsgType::kError: {
+          const ErrorMsg err = ErrorMsg::from_frame(*frame);
+          throw SvcError(err.code, "coordinator: " + err.detail);
+        }
+        default:
+          throw SvcError(ErrCode::kProtocolViolation,
+                         std::string("unexpected ") + to_string(frame->type));
+      }
+    }
+    if (status == Socket::ReadStatus::kEof || items.front().closed) {
+      log("coordinator closed the connection");
+      return 0;
+    }
+  }
+}
+
+}  // namespace imobif::svc

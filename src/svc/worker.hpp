@@ -1,0 +1,44 @@
+// Sweep-farm worker (DESIGN.md §11): connects to a coordinator, executes
+// assigned work units through the checkpoint-aware sharded sweep runtime,
+// and streams per-instance progress.
+//
+// A unit runs single-threaded and blocking: while it computes, the only
+// traffic the worker produces is one UnitProgress per finished instance,
+// which doubles as the heartbeat the coordinator's liveness check keys
+// on. Crash recovery is the checkpoint layer's job — units carry the
+// sweep's deterministic scope, so when --checkpoint-dir is shared between
+// workers, a reassigned unit resumes the dead worker's per-instance
+// results instead of recomputing them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/sweep.hpp"
+
+namespace imobif::svc {
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "worker";
+  /// Checkpoint base options; `scope` is overwritten per assigned unit
+  /// with the sweep's scope, and resume is forced on whenever a directory
+  /// is set (a worker exists to pick up where a lost one stopped).
+  runtime::CheckpointOptions checkpoint;
+  /// Test hook: _exit(1) after this many instances completed across all
+  /// units, before the instance's progress frame is sent — a
+  /// deterministic stand-in for "worker died mid-unit". 0 disables.
+  std::uint64_t crash_after_instances = 0;
+  int connect_timeout_ms = 5'000;
+  int send_timeout_ms = 10'000;
+  std::function<void(const std::string&)> log;
+};
+
+/// Runs until the coordinator closes the connection or sends kShutdown.
+/// Returns 0 on orderly exit; throws SvcError when the coordinator is
+/// unreachable or the protocol breaks.
+int run_worker(const WorkerOptions& options);
+
+}  // namespace imobif::svc

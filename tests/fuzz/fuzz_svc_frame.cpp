@@ -1,0 +1,89 @@
+// Fuzz target for the sweep-service frame decoder and message codecs:
+// arbitrary untrusted bytes arriving on a farm socket must be rejected
+// with a typed svc::SvcError — never a crash, hang, over-allocation, or
+// undefined behavior. The frame stream is the service's trust boundary:
+// anything on the loopback port can write to it.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "snap/result_io.hpp"
+#include "svc/frame.hpp"
+#include "svc/messages.hpp"
+
+namespace {
+
+using imobif::svc::Frame;
+using imobif::svc::FrameDecoder;
+
+// Decodes one frame's payload as every typed message; each must either
+// succeed or throw SvcError (a std::runtime_error).
+void probe_messages(const Frame& frame) {
+  const auto probe = [](auto&& decode) {
+    try {
+      (void)decode();
+    } catch (const std::runtime_error&) {
+      // Expected for malformed or mistyped payloads.
+    }
+  };
+  using namespace imobif::svc;
+  probe([&] { return HelloMsg::from_frame(frame); });
+  probe([&] { return HelloAckMsg::from_frame(frame); });
+  probe([&] { return SubmitMsg::from_frame(frame); });
+  probe([&] { return SubmitAckMsg::from_frame(frame); });
+  probe([&] { return AssignUnitMsg::from_frame(frame); });
+  probe([&] { return UnitProgressMsg::from_frame(frame); });
+  probe([&] { return UnitResultMsg::from_frame(frame); });
+  probe([&] { return ProgressMsg::from_frame(frame); });
+  probe([&] { return SweepDoneMsg::from_frame(frame); });
+  probe([&] { return ErrorMsg::from_frame(frame); });
+  probe([&] {
+    return imobif::snap::comparison_points_from_bytes(frame.payload);
+  });
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // Whole-buffer feed: the decoder either yields frames or poisons with a
+  // typed error; a poisoned decoder must keep rethrowing, not recover.
+  {
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    try {
+      while (std::optional<Frame> frame = decoder.next()) {
+        probe_messages(*frame);
+      }
+    } catch (const std::runtime_error&) {
+      try {
+        (void)decoder.next();
+      } catch (const std::runtime_error&) {
+      }
+    }
+  }
+
+  // Split feed: the same bytes across two feed() calls must behave
+  // identically (incremental reassembly takes different code paths).
+  {
+    FrameDecoder decoder;
+    decoder.feed(bytes.substr(0, size / 2));
+    try {
+      while (decoder.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+    decoder.feed(bytes.substr(size / 2));
+    try {
+      while (decoder.next()) {
+      }
+    } catch (const std::runtime_error&) {
+    }
+  }
+  return 0;
+}

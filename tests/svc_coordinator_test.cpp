@@ -1,0 +1,281 @@
+// Coordinator state machine, driven without sockets: a recording SendFn
+// plus explicit timestamps exercise scheduling, exactly-once merge,
+// worker-loss requeue, heartbeat expiry, and the submit failure paths.
+// The merge test feeds real unit results and checks the emitted report
+// byte-equals the local reference builder's output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+#include "exp/scenario_io.hpp"
+#include "runtime/comparison_report.hpp"
+#include "runtime/sweep.hpp"
+#include "snap/result_io.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/messages.hpp"
+
+namespace {
+
+using namespace imobif;
+
+exp::ScenarioParams small_params() {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{60.0 * 1024.0 * 8.0};
+  p.seed = 42;
+  return p;
+}
+
+/// Records every frame the coordinator sends, per peer.
+struct Outbox {
+  std::map<std::uint64_t, std::vector<svc::Frame>> frames;
+
+  svc::Coordinator::SendFn fn() {
+    return [this](std::uint64_t peer_id, const svc::Frame& frame) {
+      frames[peer_id].push_back(frame);
+    };
+  }
+
+  /// Frames of `type` sent to `peer_id`, in order.
+  std::vector<svc::Frame> of(std::uint64_t peer_id, svc::MsgType type) const {
+    std::vector<svc::Frame> out;
+    const auto it = frames.find(peer_id);
+    if (it == frames.end()) return out;
+    for (const svc::Frame& frame : it->second) {
+      if (frame.type == type) out.push_back(frame);
+    }
+    return out;
+  }
+};
+
+constexpr std::uint64_t kClient = 1;
+constexpr std::uint64_t kWorkerA = 2;
+constexpr std::uint64_t kWorkerB = 3;
+
+void connect_peer(svc::Coordinator& coordinator, std::uint64_t peer_id,
+                  svc::PeerRole role, std::int64_t now_ms = 0) {
+  coordinator.on_connect(peer_id);
+  svc::HelloMsg hello;
+  hello.role = role;
+  hello.name = role == svc::PeerRole::kClient ? "client" : "worker";
+  coordinator.on_frame(peer_id, hello.to_frame(), now_ms);
+}
+
+svc::Frame submit_frame(const exp::ScenarioParams& params,
+                        std::uint64_t instances, std::uint64_t unit_size) {
+  svc::SubmitMsg submit;
+  submit.bench_name = "coordinator_test";
+  submit.scenario_text = exp::to_config_string(params);
+  submit.instances = instances;
+  submit.unit_size = unit_size;
+  return submit.to_frame();
+}
+
+TEST(SvcCoordinator, MessageBeforeHelloIsRejected) {
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  coordinator.on_connect(kClient);
+  coordinator.on_frame(kClient, submit_frame(small_params(), 4, 2), 0);
+  const auto errors = outbox.of(kClient, svc::MsgType::kError);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(svc::ErrorMsg::from_frame(errors.front()).code,
+            svc::ErrCode::kProtocolViolation);
+  const auto to_close = coordinator.take_peers_to_close();
+  ASSERT_EQ(to_close.size(), 1u);
+  EXPECT_EQ(to_close.front(), kClient);
+}
+
+TEST(SvcCoordinator, SubmitValidation) {
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+
+  coordinator.on_frame(kClient, submit_frame(small_params(), 0, 2), 0);
+  auto errors = outbox.of(kClient, svc::MsgType::kError);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(svc::ErrorMsg::from_frame(errors.front()).code,
+            svc::ErrCode::kSubmitRejected);
+
+  svc::SubmitMsg bad;
+  bad.bench_name = "x";
+  bad.scenario_text = "node_count = banana\n";
+  bad.instances = 4;
+  coordinator.on_frame(kClient, bad.to_frame(), 0);
+  errors = outbox.of(kClient, svc::MsgType::kError);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(svc::ErrorMsg::from_frame(errors.back()).code,
+            svc::ErrCode::kBadScenario);
+  EXPECT_EQ(coordinator.active_sweeps(), 0u);
+}
+
+TEST(SvcCoordinator, ShardsAndSchedulesInOrder) {
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  connect_peer(coordinator, kWorkerA, svc::PeerRole::kWorker);
+  connect_peer(coordinator, kWorkerB, svc::PeerRole::kWorker);
+  EXPECT_EQ(coordinator.connected_workers(), 2u);
+
+  coordinator.on_frame(kClient, submit_frame(small_params(), 10, 4), 0);
+  const auto acks = outbox.of(kClient, svc::MsgType::kSubmitAck);
+  ASSERT_EQ(acks.size(), 1u);
+  const svc::SubmitAckMsg ack = svc::SubmitAckMsg::from_frame(acks.front());
+  EXPECT_EQ(ack.unit_count, 3u);  // ceil(10 / 4)
+
+  // Units 0 and 1 go to workers A and B (peer-id order); unit 2 pends.
+  const auto to_a = outbox.of(kWorkerA, svc::MsgType::kAssignUnit);
+  const auto to_b = outbox.of(kWorkerB, svc::MsgType::kAssignUnit);
+  ASSERT_EQ(to_a.size(), 1u);
+  ASSERT_EQ(to_b.size(), 1u);
+  const auto unit_a = svc::AssignUnitMsg::from_frame(to_a.front());
+  const auto unit_b = svc::AssignUnitMsg::from_frame(to_b.front());
+  EXPECT_EQ(unit_a.unit_index, 0u);
+  EXPECT_EQ(unit_a.begin, 0u);
+  EXPECT_EQ(unit_a.end, 4u);
+  EXPECT_EQ(unit_a.checkpoint_scope,
+            svc::sweep_checkpoint_scope(ack.sweep_id));
+  EXPECT_EQ(unit_b.unit_index, 1u);
+  EXPECT_EQ(unit_b.begin, 4u);
+  EXPECT_EQ(unit_b.end, 8u);
+  EXPECT_EQ(coordinator.pending_units(ack.sweep_id), 1u);
+  EXPECT_EQ(coordinator.idle_workers(), 0u);
+}
+
+TEST(SvcCoordinator, WorkerLossRequeuesItsUnit) {
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  connect_peer(coordinator, kWorkerA, svc::PeerRole::kWorker);
+  coordinator.on_frame(kClient, submit_frame(small_params(), 4, 4), 0);
+  const auto ack = svc::SubmitAckMsg::from_frame(
+      outbox.of(kClient, svc::MsgType::kSubmitAck).front());
+  EXPECT_EQ(coordinator.pending_units(ack.sweep_id), 0u);
+
+  // Worker dies; the unit goes back to pending...
+  coordinator.on_disconnect(kWorkerA);
+  EXPECT_EQ(coordinator.pending_units(ack.sweep_id), 1u);
+
+  // ...and a newly arriving worker picks it up, same range, same scope.
+  connect_peer(coordinator, kWorkerB, svc::PeerRole::kWorker);
+  const auto to_b = outbox.of(kWorkerB, svc::MsgType::kAssignUnit);
+  ASSERT_EQ(to_b.size(), 1u);
+  const auto unit = svc::AssignUnitMsg::from_frame(to_b.front());
+  EXPECT_EQ(unit.unit_index, 0u);
+  EXPECT_EQ(unit.begin, 0u);
+  EXPECT_EQ(unit.end, 4u);
+  EXPECT_EQ(unit.checkpoint_scope, svc::sweep_checkpoint_scope(ack.sweep_id));
+}
+
+TEST(SvcCoordinator, HeartbeatTimeoutFlagsBusyWorkerOnly) {
+  Outbox outbox;
+  svc::Coordinator::Options options;
+  options.heartbeat_timeout_ms = 1'000;
+  svc::Coordinator coordinator(outbox.fn(), options);
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient, 0);
+  connect_peer(coordinator, kWorkerA, svc::PeerRole::kWorker, 0);
+  connect_peer(coordinator, kWorkerB, svc::PeerRole::kWorker, 0);
+  coordinator.on_frame(kClient, submit_frame(small_params(), 4, 4), 0);
+  // Worker A is busy with the only unit; B idles.
+
+  coordinator.on_tick(500);
+  EXPECT_TRUE(coordinator.take_peers_to_close().empty());
+
+  // A progress frame refreshes the deadline.
+  svc::UnitProgressMsg progress;
+  progress.sweep_id = 1;
+  progress.unit_index = 0;
+  progress.instances_done = 1;
+  coordinator.on_frame(kWorkerA, progress.to_frame(), 800);
+  coordinator.on_tick(1'500);
+  EXPECT_TRUE(coordinator.take_peers_to_close().empty());
+
+  // Silence past the timeout: only the busy worker is flagged.
+  coordinator.on_tick(2'000);
+  const auto to_close = coordinator.take_peers_to_close();
+  ASSERT_EQ(to_close.size(), 1u);
+  EXPECT_EQ(to_close.front(), kWorkerA);
+}
+
+TEST(SvcCoordinator, MergePreservesUnitOrderAndMatchesLocalReport) {
+  const exp::ScenarioParams params = small_params();
+  constexpr std::uint64_t kInstances = 6;
+  constexpr std::uint64_t kUnitSize = 4;
+
+  // Local reference: the full sweep in one go, through the shared
+  // report builder.
+  const auto all_points =
+      runtime::run_comparison_shard(params, 0, kInstances);
+  const std::string expected =
+      runtime::make_comparison_report("coordinator_test", params, all_points)
+          .to_string();
+
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  connect_peer(coordinator, kWorkerA, svc::PeerRole::kWorker);
+  connect_peer(coordinator, kWorkerB, svc::PeerRole::kWorker);
+  coordinator.on_frame(kClient, submit_frame(params, kInstances, kUnitSize),
+                       0);
+  const auto ack = svc::SubmitAckMsg::from_frame(
+      outbox.of(kClient, svc::MsgType::kSubmitAck).front());
+  ASSERT_EQ(ack.unit_count, 2u);
+
+  // Unit results computed per shard, delivered OUT of unit order, with
+  // unit 1's result duplicated: the merge must key on unit index and
+  // accept only the first copy.
+  const auto unit0 = runtime::run_comparison_shard(params, 0, 4);
+  const auto unit1 = runtime::run_comparison_shard(params, 4, 6);
+  svc::UnitResultMsg result1;
+  result1.sweep_id = ack.sweep_id;
+  result1.unit_index = 1;
+  result1.points_blob = snap::comparison_points_to_bytes(unit1);
+  coordinator.on_frame(kWorkerB, result1.to_frame(), 0);
+  coordinator.on_frame(kWorkerB, result1.to_frame(), 0);  // duplicate
+
+  svc::UnitResultMsg result0;
+  result0.sweep_id = ack.sweep_id;
+  result0.unit_index = 0;
+  result0.points_blob = snap::comparison_points_to_bytes(unit0);
+  coordinator.on_frame(kWorkerA, result0.to_frame(), 0);
+
+  const auto done_frames = outbox.of(kClient, svc::MsgType::kSweepDone);
+  ASSERT_EQ(done_frames.size(), 1u);
+  const svc::SweepDoneMsg done =
+      svc::SweepDoneMsg::from_frame(done_frames.front());
+  EXPECT_EQ(done.report_json, expected);
+  const auto merged = snap::comparison_points_from_bytes(done.points_blob);
+  ASSERT_EQ(merged.size(), kInstances);
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    EXPECT_EQ(merged[i].flow_bits, all_points[i].flow_bits);
+    EXPECT_EQ(merged[i].hops, all_points[i].hops);
+  }
+  EXPECT_EQ(coordinator.active_sweeps(), 0u);
+  // No duplicate-triggered second finalize.
+  EXPECT_EQ(outbox.of(kClient, svc::MsgType::kSweepDone).size(), 1u);
+}
+
+TEST(SvcCoordinator, ClientDisconnectDropsItsSweeps) {
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  coordinator.on_frame(kClient, submit_frame(small_params(), 4, 2), 0);
+  EXPECT_EQ(coordinator.active_sweeps(), 1u);
+  coordinator.on_disconnect(kClient);
+  EXPECT_EQ(coordinator.active_sweeps(), 0u);
+}
+
+TEST(SvcCoordinator, ShutdownFlag) {
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  EXPECT_FALSE(coordinator.shutdown_requested());
+  coordinator.on_frame(kClient, svc::make_shutdown(), 0);
+  EXPECT_TRUE(coordinator.shutdown_requested());
+}
+
+}  // namespace

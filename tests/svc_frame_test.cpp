@@ -1,0 +1,158 @@
+// Frame codec: round trips, incremental delivery, and the malformed-input
+// taxonomy (truncated, oversized, garbage, foreign protocol version).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "svc/errors.hpp"
+#include "svc/frame.hpp"
+
+namespace {
+
+using namespace imobif;
+
+std::string encode(svc::MsgType type, const std::string& payload) {
+  svc::Frame frame;
+  frame.type = type;
+  frame.payload = payload;
+  return svc::encode_frame(frame);
+}
+
+svc::ErrCode decode_error(const std::string& bytes) {
+  svc::FrameDecoder decoder;
+  decoder.feed(bytes);
+  try {
+    (void)decoder.next();
+  } catch (const svc::SvcError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "decoder accepted malformed input";
+  return svc::ErrCode::kRemote;
+}
+
+TEST(SvcFrame, RoundTripsPayload) {
+  const std::string payload("hello\0world", 11);  // embedded NUL survives
+  const std::string wire = encode(svc::MsgType::kSubmit, payload);
+  EXPECT_EQ(wire.size(), svc::kFrameHeaderBytes + payload.size());
+
+  svc::FrameDecoder decoder;
+  decoder.feed(wire);
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, svc::MsgType::kSubmit);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(SvcFrame, RoundTripsEmptyPayload) {
+  svc::FrameDecoder decoder;
+  decoder.feed(encode(svc::MsgType::kHeartbeat, ""));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, svc::MsgType::kHeartbeat);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(SvcFrame, ReassemblesByteAtATimeDelivery) {
+  const std::string wire = encode(svc::MsgType::kProgress, "0123456789");
+  svc::FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.feed(std::string_view(&wire[i], 1));
+    EXPECT_FALSE(decoder.next().has_value()) << "frame complete early at " << i;
+  }
+  decoder.feed(std::string_view(&wire[wire.size() - 1], 1));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, "0123456789");
+}
+
+TEST(SvcFrame, DrainsBackToBackFrames) {
+  svc::FrameDecoder decoder;
+  decoder.feed(encode(svc::MsgType::kHello, "a") +
+               encode(svc::MsgType::kHelloAck, "bb") +
+               encode(svc::MsgType::kShutdown, ""));
+  EXPECT_EQ(decoder.next()->type, svc::MsgType::kHello);
+  EXPECT_EQ(decoder.next()->payload, "bb");
+  EXPECT_EQ(decoder.next()->type, svc::MsgType::kShutdown);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(SvcFrame, TruncatedFrameIsNotAnError) {
+  const std::string wire = encode(svc::MsgType::kSubmit, "payload");
+  svc::FrameDecoder decoder;
+  decoder.feed(wire.substr(0, wire.size() - 1));
+  EXPECT_FALSE(decoder.next().has_value());  // incomplete, not malformed
+  EXPECT_EQ(decoder.buffered(), wire.size() - 1);
+}
+
+TEST(SvcFrame, RejectsBadMagic) {
+  std::string wire = encode(svc::MsgType::kHello, "x");
+  wire[0] = 'X';
+  EXPECT_EQ(decode_error(wire), svc::ErrCode::kBadMagic);
+}
+
+TEST(SvcFrame, RejectsForeignProtocolVersion) {
+  std::string wire = encode(svc::MsgType::kHello, "x");
+  wire[4] = static_cast<char>(svc::kProtocolVersion + 1);
+  EXPECT_EQ(decode_error(wire), svc::ErrCode::kVersionMismatch);
+}
+
+TEST(SvcFrame, RejectsUnknownMessageType) {
+  std::string wire = encode(svc::MsgType::kHello, "x");
+  wire[8] = 99;
+  EXPECT_EQ(decode_error(wire), svc::ErrCode::kBadFrame);
+}
+
+TEST(SvcFrame, RejectsOversizedDeclaredLength) {
+  // Header declaring a payload over the cap; no payload bytes needed —
+  // the decoder must refuse before attempting the allocation.
+  std::string wire = encode(svc::MsgType::kHello, "");
+  const std::uint32_t huge = svc::kMaxFramePayload + 1;
+  wire[9] = static_cast<char>(huge & 0xff);
+  wire[10] = static_cast<char>((huge >> 8) & 0xff);
+  wire[11] = static_cast<char>((huge >> 16) & 0xff);
+  wire[12] = static_cast<char>((huge >> 24) & 0xff);
+  EXPECT_EQ(decode_error(wire), svc::ErrCode::kOversizedFrame);
+}
+
+TEST(SvcFrame, RejectsGarbageStream) {
+  EXPECT_EQ(decode_error(std::string(64, '\x5a')), svc::ErrCode::kBadMagic);
+}
+
+TEST(SvcFrame, PoisonedDecoderKeepsThrowing) {
+  svc::FrameDecoder decoder;
+  decoder.feed(std::string(32, '\xff'));
+  EXPECT_THROW((void)decoder.next(), svc::SvcError);
+  // Even after feeding a perfectly valid frame: framing is lost for good.
+  decoder.feed(encode(svc::MsgType::kHello, "ok"));
+  EXPECT_THROW((void)decoder.next(), svc::SvcError);
+}
+
+TEST(SvcFrame, EncodeRejectsOversizedPayload) {
+  svc::Frame frame;
+  frame.type = svc::MsgType::kUnitResult;
+  frame.payload.resize(svc::kMaxFramePayload + 1);
+  try {
+    (void)svc::encode_frame(frame);
+    FAIL() << "oversized payload encoded";
+  } catch (const svc::SvcError& e) {
+    EXPECT_EQ(e.code(), svc::ErrCode::kOversizedFrame);
+  }
+}
+
+TEST(SvcFrame, ParsesEndpoints) {
+  const svc::Endpoint ep = svc::parse_endpoint("127.0.0.1:7477");
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7477);
+  EXPECT_THROW(svc::parse_endpoint("no-port"), svc::SvcError);
+  EXPECT_THROW(svc::parse_endpoint(":123"), svc::SvcError);
+  EXPECT_THROW(svc::parse_endpoint("host:"), svc::SvcError);
+  EXPECT_THROW(svc::parse_endpoint("host:abc"), svc::SvcError);
+  EXPECT_THROW(svc::parse_endpoint("host:0"), svc::SvcError);
+  EXPECT_THROW(svc::parse_endpoint("host:65536"), svc::SvcError);
+  EXPECT_THROW(svc::parse_endpoint("host:12x"), svc::SvcError);
+}
+
+}  // namespace

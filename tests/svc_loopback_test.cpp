@@ -1,0 +1,141 @@
+// End-to-end sweep farm on loopback, with real processes (binary paths
+// injected by CMake): an imobif_sweepd coordinator, one worker rigged to
+// die mid-sweep (--crash-after-instances), and one healthy worker sharing
+// its checkpoint directory. The submitted sweep must survive the crash —
+// unit requeued, checkpointed instances resumed, result merged exactly
+// once — and the final report must byte-equal the in-process local run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace {
+
+std::filesystem::path scratch_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+/// Waits for the coordinator to publish its ephemeral port.
+std::string wait_for_port(const std::filesystem::path& port_file) {
+  for (int i = 0; i < 100; ++i) {
+    if (std::filesystem::exists(port_file)) {
+      std::string port = slurp(port_file);
+      while (!port.empty() && (port.back() == '\n' || port.back() == '\r')) {
+        port.pop_back();
+      }
+      if (!port.empty()) return port;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return "";
+}
+
+TEST(SvcLoopback, FarmWithWorkerCrashMatchesLocalRunByteForByte) {
+  const std::filesystem::path dir = scratch_dir("svc_loopback");
+  const std::filesystem::path port_file = dir / "sweepd.port";
+  const std::filesystem::path ckpt = dir / "ckpt";
+  const std::filesystem::path scenario = dir / "scenario.conf";
+  std::filesystem::create_directories(ckpt);
+  {
+    std::ofstream out(scenario);
+    out << "node_count = 60\narea_m = 800\nmean_flow_kb = 60\nseed = 42\n";
+  }
+
+  // Coordinator in the background; its log doubles as the assertion
+  // record for the crash-retry path.
+  const std::filesystem::path sweepd_log = dir / "sweepd.log";
+  ASSERT_EQ(run_command(std::string(IMOBIF_SWEEPD_BIN) + " --port-file " +
+                        port_file.string() + " > " + sweepd_log.string() +
+                        " 2>&1 & echo $! > " + (dir / "sweepd.pid").string()),
+            0);
+  const std::string port = wait_for_port(port_file);
+  ASSERT_FALSE(port.empty()) << "coordinator never published a port";
+  const std::string endpoint = "127.0.0.1:" + port;
+
+  // Worker 1 dies (exit 1, no result frame) after two instances; worker 2
+  // is healthy. Both share the checkpoint directory, so the requeued
+  // unit resumes the dead worker's finished instances.
+  ASSERT_EQ(run_command(std::string(IMOBIF_WORKER_BIN) + " --connect " +
+                        endpoint + " --name crashy --checkpoint-dir " +
+                        ckpt.string() + " --crash-after-instances 2 > " +
+                        (dir / "crashy.log").string() + " 2>&1 &"),
+            0);
+  ASSERT_EQ(run_command(std::string(IMOBIF_WORKER_BIN) + " --connect " +
+                        endpoint + " --name steady --checkpoint-dir " +
+                        ckpt.string() + " > " +
+                        (dir / "steady.log").string() + " 2>&1 &"),
+            0);
+
+  // Both workers must have completed their handshake before the sweep is
+  // submitted, so each holds one of the two units and the rigged crash is
+  // guaranteed to hit an assigned unit.
+  bool both_connected = false;
+  for (int i = 0; i < 100 && !both_connected; ++i) {
+    const std::string log = slurp(sweepd_log);
+    both_connected = log.find("worker 'crashy'") != std::string::npos &&
+                     log.find("worker 'steady'") != std::string::npos;
+    if (!both_connected) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  ASSERT_TRUE(both_connected) << slurp(sweepd_log);
+
+  // Submit through the farm (blocking), then run the identical sweep
+  // in-process.
+  const std::filesystem::path remote_json = dir / "remote.json";
+  const std::filesystem::path local_json = dir / "local.json";
+  const std::string common_args = " --config " + scenario.string() +
+                                  " --instances 6 --unit-size 4 --quiet";
+  EXPECT_EQ(run_command("timeout 240 " + std::string(IMOBIF_SUBMIT_BIN) +
+                        " --connect " + endpoint + common_args + " --json " +
+                        remote_json.string() + " > " +
+                        (dir / "submit.log").string() + " 2>&1"),
+            0)
+      << slurp(dir / "submit.log") << "\n--- sweepd ---\n"
+      << slurp(sweepd_log);
+  EXPECT_EQ(run_command("timeout 240 " + std::string(IMOBIF_SUBMIT_BIN) +
+                        " --local" + common_args + " --json " +
+                        local_json.string() + " > /dev/null 2>&1"),
+            0);
+
+  const std::string remote = slurp(remote_json);
+  const std::string local = slurp(local_json);
+  ASSERT_FALSE(remote.empty());
+  EXPECT_EQ(remote, local)
+      << "farm report diverged from the local reference run";
+
+  // The crash-retry path must actually have fired: the rigged worker died
+  // and its unit was requeued.
+  const std::string log = slurp(sweepd_log);
+  EXPECT_NE(log.find("requeued"), std::string::npos)
+      << "no unit requeue in coordinator log:\n"
+      << log;
+
+  // Tear the farm down; workers exit when the coordinator goes away.
+  EXPECT_EQ(run_command("timeout 30 " + std::string(IMOBIF_SUBMIT_BIN) +
+                        " --connect " + endpoint +
+                        " --shutdown > /dev/null 2>&1"),
+            0);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Typed protocol messages: field-exact round trips through the snap
+// payload codec, plus the decode failure taxonomy (wrong frame type,
+// garbage payload, trailing bytes).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/runner.hpp"
+#include "svc/errors.hpp"
+#include "svc/frame.hpp"
+#include "svc/messages.hpp"
+
+namespace {
+
+using namespace imobif;
+
+TEST(SvcMessages, HelloRoundTrips) {
+  svc::HelloMsg msg;
+  msg.role = svc::PeerRole::kWorker;
+  msg.name = "bench-box-3";
+  const svc::HelloMsg back = svc::HelloMsg::from_frame(msg.to_frame());
+  EXPECT_EQ(back.role, svc::PeerRole::kWorker);
+  EXPECT_EQ(back.name, "bench-box-3");
+}
+
+TEST(SvcMessages, HelloAckRoundTrips) {
+  svc::HelloAckMsg msg;
+  msg.peer_id = 0xfeedbeefcafe1234ull;
+  EXPECT_EQ(svc::HelloAckMsg::from_frame(msg.to_frame()).peer_id,
+            msg.peer_id);
+}
+
+TEST(SvcMessages, SubmitRoundTrips) {
+  svc::SubmitMsg msg;
+  msg.bench_name = "fig6";
+  msg.scenario_text = "node_count = 30\nseed = 7\n";
+  msg.instances = 40;
+  msg.unit_size = 5;
+  msg.options.stop_on_first_death = true;
+  msg.options.horizon_factor = 2.5;
+  msg.options.horizon_slack_s = 120.0;
+  msg.options.multi_flow_blending = true;
+  const svc::SubmitMsg back = svc::SubmitMsg::from_frame(msg.to_frame());
+  EXPECT_EQ(back.bench_name, "fig6");
+  EXPECT_EQ(back.scenario_text, msg.scenario_text);
+  EXPECT_EQ(back.instances, 40u);
+  EXPECT_EQ(back.unit_size, 5u);
+  EXPECT_TRUE(back.options.stop_on_first_death);
+  EXPECT_EQ(back.options.horizon_factor, 2.5);
+  EXPECT_EQ(back.options.horizon_slack_s, 120.0);
+  EXPECT_TRUE(back.options.multi_flow_blending);
+}
+
+TEST(SvcMessages, RunOptionsWireMapsToRunOptions) {
+  svc::RunOptionsWire wire;
+  wire.stop_on_first_death = true;
+  wire.horizon_factor = 3.0;
+  wire.horizon_slack_s = 60.0;
+  const exp::RunOptions options = wire.to_run_options();
+  EXPECT_TRUE(options.stop_on_first_death);
+  EXPECT_EQ(options.horizon_factor, 3.0);
+  EXPECT_EQ(options.horizon_slack_s.value(), 60.0);
+  EXPECT_TRUE(options.extra_flows.empty());
+
+  const svc::RunOptionsWire back =
+      svc::RunOptionsWire::from_run_options(options);
+  EXPECT_TRUE(back.stop_on_first_death);
+  EXPECT_EQ(back.horizon_factor, 3.0);
+  EXPECT_EQ(back.horizon_slack_s, 60.0);
+}
+
+TEST(SvcMessages, AssignUnitRoundTrips) {
+  svc::AssignUnitMsg msg;
+  msg.sweep_id = 3;
+  msg.unit_index = 7;
+  msg.begin = 28;
+  msg.end = 32;
+  msg.scenario_text = "seed = 11\n";
+  msg.checkpoint_scope = "swp3-";
+  const svc::AssignUnitMsg back =
+      svc::AssignUnitMsg::from_frame(msg.to_frame());
+  EXPECT_EQ(back.sweep_id, 3u);
+  EXPECT_EQ(back.unit_index, 7u);
+  EXPECT_EQ(back.begin, 28u);
+  EXPECT_EQ(back.end, 32u);
+  EXPECT_EQ(back.scenario_text, "seed = 11\n");
+  EXPECT_EQ(back.checkpoint_scope, "swp3-");
+}
+
+TEST(SvcMessages, AssignUnitRejectsInvertedRange) {
+  svc::AssignUnitMsg msg;
+  msg.begin = 10;
+  msg.end = 5;
+  try {
+    (void)svc::AssignUnitMsg::from_frame(msg.to_frame());
+    FAIL() << "inverted range decoded";
+  } catch (const svc::SvcError& e) {
+    EXPECT_EQ(e.code(), svc::ErrCode::kBadMessage);
+  }
+}
+
+TEST(SvcMessages, ProgressAndResultRoundTrip) {
+  svc::UnitProgressMsg progress;
+  progress.sweep_id = 1;
+  progress.unit_index = 2;
+  progress.instances_done = 3;
+  const svc::UnitProgressMsg progress_back =
+      svc::UnitProgressMsg::from_frame(progress.to_frame());
+  EXPECT_EQ(progress_back.unit_index, 2u);
+  EXPECT_EQ(progress_back.instances_done, 3u);
+
+  svc::UnitResultMsg result;
+  result.sweep_id = 1;
+  result.unit_index = 2;
+  result.points_blob = std::string("\x00\x01\x02binary", 9);
+  const svc::UnitResultMsg result_back =
+      svc::UnitResultMsg::from_frame(result.to_frame());
+  EXPECT_EQ(result_back.points_blob, result.points_blob);
+
+  svc::ProgressMsg sweep_progress;
+  sweep_progress.sweep_id = 9;
+  sweep_progress.instances_done = 12;
+  sweep_progress.instances_total = 40;
+  sweep_progress.units_done = 2;
+  sweep_progress.units_total = 8;
+  const svc::ProgressMsg sp_back =
+      svc::ProgressMsg::from_frame(sweep_progress.to_frame());
+  EXPECT_EQ(sp_back.instances_done, 12u);
+  EXPECT_EQ(sp_back.units_total, 8u);
+}
+
+TEST(SvcMessages, SweepDoneAndErrorRoundTrip) {
+  svc::SweepDoneMsg done;
+  done.sweep_id = 4;
+  done.report_json = "{\n  \"bench\": \"x\"\n}\n";
+  done.points_blob = "blob";
+  const svc::SweepDoneMsg done_back =
+      svc::SweepDoneMsg::from_frame(done.to_frame());
+  EXPECT_EQ(done_back.report_json, done.report_json);
+  EXPECT_EQ(done_back.points_blob, "blob");
+
+  svc::ErrorMsg err;
+  err.code = svc::ErrCode::kBadScenario;
+  err.detail = "unknown key";
+  const svc::ErrorMsg err_back = svc::ErrorMsg::from_frame(err.to_frame());
+  EXPECT_EQ(err_back.code, svc::ErrCode::kBadScenario);
+  EXPECT_EQ(err_back.detail, "unknown key");
+}
+
+TEST(SvcMessages, WrongFrameTypeIsProtocolViolation) {
+  svc::HelloMsg msg;
+  try {
+    (void)svc::SubmitMsg::from_frame(msg.to_frame());
+    FAIL() << "Hello frame decoded as Submit";
+  } catch (const svc::SvcError& e) {
+    EXPECT_EQ(e.code(), svc::ErrCode::kProtocolViolation);
+  }
+}
+
+TEST(SvcMessages, GarbagePayloadIsBadMessage) {
+  svc::Frame frame;
+  frame.type = svc::MsgType::kHello;
+  frame.payload = "this is not a snap codec stream";
+  try {
+    (void)svc::HelloMsg::from_frame(frame);
+    FAIL() << "garbage payload decoded";
+  } catch (const svc::SvcError& e) {
+    EXPECT_EQ(e.code(), svc::ErrCode::kBadMessage);
+  }
+}
+
+TEST(SvcMessages, TrailingBytesAreBadMessage) {
+  svc::Frame frame = svc::HelloAckMsg{42}.to_frame();
+  frame.payload += "extra";
+  try {
+    (void)svc::HelloAckMsg::from_frame(frame);
+    FAIL() << "trailing bytes accepted";
+  } catch (const svc::SvcError& e) {
+    EXPECT_EQ(e.code(), svc::ErrCode::kBadMessage);
+  }
+}
+
+TEST(SvcMessages, HeartbeatAndShutdownAreEmpty) {
+  EXPECT_EQ(svc::make_heartbeat().type, svc::MsgType::kHeartbeat);
+  EXPECT_TRUE(svc::make_heartbeat().payload.empty());
+  EXPECT_EQ(svc::make_shutdown().type, svc::MsgType::kShutdown);
+  EXPECT_TRUE(svc::make_shutdown().payload.empty());
+}
+
+}  // namespace

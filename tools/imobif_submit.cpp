@@ -1,0 +1,124 @@
+// Sweep-submission client for the imobif sweep farm: sends a scenario to
+// an imobif_sweepd coordinator, streams progress, and writes the final
+// SweepReport JSON. --local runs the identical sweep in-process through
+// the same sharded runtime and report builder — the reference a farm run
+// must match byte-for-byte.
+// See DESIGN.md §11 and README.md "Distributed sweeps".
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/scenario_io.hpp"
+#include "runtime/comparison_report.hpp"
+#include "runtime/sweep.hpp"
+#include "snap/codec.hpp"
+#include "svc/client.hpp"
+#include "svc/frame.hpp"
+#include "util/args.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+void print_usage(const std::string& program) {
+  std::cout
+      << "usage: " << program
+      << " --connect HOST:PORT --instances N [--json PATH]\n"
+         "       [--config FILE] [--seed S] [--bench-name NAME]\n"
+         "       [--unit-size N] [--quiet]\n"
+         "   or: " << program
+      << " --local --instances N [--json PATH] [--config FILE] [...]\n"
+         "   or: " << program << " --connect HOST:PORT --shutdown\n"
+         "  --connect    coordinator endpoint, e.g. 127.0.0.1:7477\n"
+         "  --local      run the sweep in-process instead (the reference\n"
+         "               a farm run must reproduce byte-for-byte)\n"
+         "  --instances  flow instances to sweep\n"
+         "  --config     scenario config file (default: scenario defaults)\n"
+         "  --seed       override the scenario seed\n"
+         "  --bench-name report's \"bench\" field (default remote_sweep)\n"
+         "  --unit-size  instances per work unit (default: server picks)\n"
+         "  --json       write the final report here (default: stdout)\n"
+         "  --shutdown   ask the coordinator to exit, then return\n"
+         "  --quiet      suppress progress lines\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const util::Args args(argc, argv);
+  const bool local = args.get_bool("local", false);
+  if (args.has("help") || (!local && !args.has("connect"))) {
+    print_usage(args.program());
+    return args.has("help") ? 0 : 2;
+  }
+
+  try {
+    svc::Endpoint endpoint;
+    if (!local) endpoint = svc::parse_endpoint(args.get_string("connect", ""));
+    if (args.get_bool("shutdown", false)) {
+      svc::request_shutdown(endpoint.host, endpoint.port);
+      std::cout << "coordinator shut down\n";
+      return 0;
+    }
+
+    exp::ScenarioParams params;
+    const std::string config_path = args.get_string("config", "");
+    if (!config_path.empty()) {
+      exp::apply_config(util::Config::from_file(config_path), params);
+    }
+    if (args.has("seed")) {
+      params.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+    }
+    const auto instances =
+        static_cast<std::uint64_t>(args.get_int("instances", 0));
+    const std::string bench_name =
+        args.get_string("bench-name", "remote_sweep");
+    const std::string json_path = args.get_string("json", "");
+    const bool quiet = args.get_bool("quiet", false);
+
+    std::string report_json;
+    if (local) {
+      const std::vector<exp::ComparisonPoint> points =
+          runtime::run_comparison_shard(params, 0,
+                                        static_cast<std::size_t>(instances));
+      report_json =
+          runtime::make_comparison_report(bench_name, params, points)
+              .to_string();
+    } else {
+      svc::SubmitOptions options;
+      options.host = endpoint.host;
+      options.port = endpoint.port;
+      options.bench_name = bench_name;
+      options.params = params;
+      options.instances = instances;
+      options.unit_size =
+          static_cast<std::uint64_t>(args.get_int("unit-size", 0));
+      if (!quiet) {
+        options.on_progress = [](const svc::ProgressMsg& progress) {
+          std::cout << "progress: " << progress.instances_done << "/"
+                    << progress.instances_total << " instances, "
+                    << progress.units_done << "/" << progress.units_total
+                    << " units\n"
+                    << std::flush;
+        };
+        options.log = [](const std::string& message) {
+          std::cout << message << "\n" << std::flush;
+        };
+      }
+      report_json = svc::submit_sweep(options).report_json;
+    }
+
+    if (json_path.empty()) {
+      std::cout << report_json;
+    } else {
+      snap::write_file_atomic(json_path, report_json);
+      if (!quiet) std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "imobif_submit: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+// Sweep-farm coordinator daemon: listens on loopback TCP, shards
+// submitted sweeps into work units, schedules them across connected
+// workers, and merges unit results into the canonical SweepReport.
+// See DESIGN.md §11 and README.md "Distributed sweeps".
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "svc/serve.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+void print_usage(const std::string& program) {
+  std::cout
+      << "usage: " << program
+      << " [--port P] [--port-file PATH] [--unit-size N]\n"
+         "       [--heartbeat-timeout-ms T] [--quiet]\n"
+         "  --port       TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+         "  --port-file  write the bound port here once listening\n"
+         "               (how scripts discover an ephemeral port)\n"
+         "  --unit-size  instances per work unit when the submission\n"
+         "               does not choose (default 4)\n"
+         "  --heartbeat-timeout-ms  reassign a busy worker's unit after\n"
+         "               this much silence (default 30000)\n"
+         "  --quiet      suppress per-event log lines\n"
+         "Runs until a client sends a shutdown request\n"
+         "(imobif_submit --shutdown).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    print_usage(args.program());
+    return 0;
+  }
+
+  svc::ServeOptions options;
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  options.port_file = args.get_string("port-file", "");
+  options.coordinator.default_unit_size =
+      static_cast<std::uint64_t>(args.get_int("unit-size", 4));
+  options.coordinator.heartbeat_timeout_ms =
+      args.get_int("heartbeat-timeout-ms", 30'000);
+  if (!args.get_bool("quiet", false)) {
+    options.log = [](const std::string& message) {
+      std::cout << "[sweepd] " << message << "\n" << std::flush;
+    };
+  }
+
+  try {
+    return svc::serve(options);
+  } catch (const std::exception& e) {
+    std::cerr << "imobif_sweepd: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+// Sweep-farm worker: connects to an imobif_sweepd coordinator and
+// executes assigned work units through the checkpoint-aware sweep
+// runtime. Point --checkpoint-dir of every worker on one host at the same
+// directory so a unit reassigned from a dead worker resumes its
+// per-instance results instead of recomputing them.
+// See DESIGN.md §11 and README.md "Distributed sweeps".
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "svc/frame.hpp"
+#include "svc/worker.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+void print_usage(const std::string& program) {
+  std::cout
+      << "usage: " << program
+      << " --connect HOST:PORT [--name NAME] [--checkpoint-dir D]\n"
+         "       [--checkpoint-every-s T] [--quiet]\n"
+         "  --connect    coordinator endpoint, e.g. 127.0.0.1:7477\n"
+         "  --name       worker label in coordinator logs (default\n"
+         "               \"worker\")\n"
+         "  --checkpoint-dir  persist per-instance results/checkpoints\n"
+         "               here; shared across workers, it is what makes\n"
+         "               unit retry resume instead of recompute\n"
+         "  --checkpoint-every-s  checkpoint cadence in simulated seconds\n"
+         "               (default 30)\n"
+         "  --crash-after-instances N  TEST HOOK: die (exit 1) after N\n"
+         "               instances, before reporting the Nth\n"
+         "  --quiet      suppress log lines\n"
+         "Runs units until the coordinator shuts down or drops the\n"
+         "connection.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace imobif;
+  const util::Args args(argc, argv);
+  if (args.has("help") || !args.has("connect")) {
+    print_usage(args.program());
+    return args.has("help") ? 0 : 2;
+  }
+
+  try {
+    const svc::Endpoint endpoint =
+        svc::parse_endpoint(args.get_string("connect", ""));
+    svc::WorkerOptions options;
+    options.host = endpoint.host;
+    options.port = endpoint.port;
+    options.name = args.get_string("name", "worker");
+    options.checkpoint.dir = args.get_string("checkpoint-dir", "");
+    options.checkpoint.every_sim_s = args.get_double(
+        "checkpoint-every-s", options.checkpoint.every_sim_s);
+    options.crash_after_instances = static_cast<std::uint64_t>(
+        args.get_int("crash-after-instances", 0));
+    if (!args.get_bool("quiet", false)) {
+      const std::string tag = "[" + options.name + "] ";
+      options.log = [tag](const std::string& message) {
+        std::cout << tag << message << "\n" << std::flush;
+      };
+    }
+    return svc::run_worker(options);
+  } catch (const std::exception& e) {
+    std::cerr << "imobif_worker: " << e.what() << "\n";
+    return 1;
+  }
+}

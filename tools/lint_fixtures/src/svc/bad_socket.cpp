@@ -1,0 +1,9 @@
+// Fixture: raw blocking socket syscalls in the sweep-service layer must
+// trip [socket-timeout] — reads have to sit behind poll_wait() deadlines.
+#include "svc/bad_socket.hpp"
+
+int leak_blocking_reads(int fd, char* buf, unsigned len) {
+  sockaddr* addr = nullptr;
+  (void)::accept(fd, addr, nullptr);           // finding 1
+  return static_cast<int>(recv(fd, buf, len, 0));  // finding 2
+}

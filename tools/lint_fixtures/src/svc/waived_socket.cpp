@@ -1,0 +1,12 @@
+// Fixture: the socket-timeout waiver on the marker line or the line
+// directly above suppresses the finding — the pattern socket.cpp's
+// blessed non-blocking call sites use.
+#include "svc/waived_socket.hpp"
+
+int waived_blocking_reads(int fd, char* buf, unsigned len) {
+  // Non-blocking fd; readiness came from poll_wait() with a deadline.
+  // lint:allow(socket-timeout)
+  const long got = ::recv(fd, buf, len, 0);
+  ::connect(fd, nullptr, 0);  // lint:allow(socket-timeout)
+  return static_cast<int>(got);
+}

@@ -84,17 +84,21 @@ def main():
     check_fires("bad_include.cpp", "include-hygiene", expected_count=1)
     check_fires(os.path.join("src", "energy", "bad_raw_unit_double.hpp"),
                 "raw-unit-double", expected_count=2)
+    check_fires(os.path.join("src", "svc", "bad_socket.cpp"),
+                "socket-timeout", expected_count=2)
     check_clean("waived_ok.cpp")
     check_clean("clean_ok.cpp")
     check_clean(os.path.join("src", "energy", "waived_raw_unit_double.hpp"))
     check_clean(os.path.join("src", "util", "clean_raw_double.hpp"))
+    check_clean(os.path.join("src", "svc", "waived_socket.cpp"))
     check_compile_db()
 
     # --rules lists every rule the fixtures exercise.
     code, out = run_linter("--rules")
     expect("--rules exits zero", code == 0, out)
     for rule in ("banned-random", "wall-clock", "iostream", "pragma-once",
-                 "float-equality", "include-hygiene", "raw-unit-double"):
+                 "float-equality", "include-hygiene", "raw-unit-double",
+                 "socket-timeout"):
         expect(f"--rules lists {rule}", rule in out, out)
 
     # The production gate: the real library tree is lint-clean.
