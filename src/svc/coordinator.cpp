@@ -1,6 +1,7 @@
 #include "svc/coordinator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -8,12 +9,27 @@
 #include "exp/scenario_io.hpp"
 #include "runtime/comparison_report.hpp"
 #include "snap/result_io.hpp"
+#include "snap/state_hash.hpp"
 #include "util/config.hpp"
 
 namespace imobif::svc {
 
-std::string sweep_checkpoint_scope(std::uint64_t sweep_id) {
-  return "swp" + std::to_string(sweep_id) + "-";
+std::string sweep_checkpoint_scope(const std::string& scenario_text,
+                                   const RunOptionsWire& options,
+                                   std::uint64_t instances) {
+  snap::StateHash hash;
+  hash.begin_section("sweep-scope");
+  hash.str(scenario_text);
+  hash.boolean(options.stop_on_first_death);
+  hash.f64(options.horizon_factor);
+  hash.f64(options.horizon_slack_s);
+  hash.boolean(options.multi_flow_blending);
+  hash.u64(instances);
+  hash.end_section();
+  char digest[17];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(hash.digest()));
+  return std::string("swp") + digest + "-";
 }
 
 Coordinator::Coordinator(SendFn send, Options options, Logger log)
@@ -128,6 +144,8 @@ void Coordinator::handle_submit(Peer& peer, const Frame& frame) {
   sweep.scenario_text = submit.scenario_text;
   sweep.options = submit.options;
   sweep.instances_total = submit.instances;
+  sweep.checkpoint_scope = sweep_checkpoint_scope(
+      sweep.scenario_text, sweep.options, sweep.instances_total);
   const std::uint64_t unit_size =
       submit.unit_size > 0 ? submit.unit_size
                            : std::max<std::uint64_t>(
@@ -262,7 +280,24 @@ void Coordinator::finalize(Sweep& sweep) {
   done.sweep_id = sweep.id;
   done.report_json = report.to_string();
   done.points_blob = snap::comparison_points_to_bytes(points);
-  send_(sweep.client_id, done.to_frame());
+  const Frame frame = done.to_frame();
+  if (frame.payload.size() > kMaxFramePayload) {
+    // Per-unit results fit under the frame cap, but their concatenation
+    // may not; encode_frame throwing inside the serve SendFn would drop
+    // the client with no explanation, so reject with a typed error
+    // instead.
+    ErrorMsg err;
+    err.code = ErrCode::kOversizedFrame;
+    err.detail = "sweep result too large for one frame (" +
+                 std::to_string(frame.payload.size()) + " > " +
+                 std::to_string(kMaxFramePayload) +
+                 " bytes); resubmit as smaller sweeps";
+    send_(sweep.client_id, err.to_frame());
+    log("sweep " + std::to_string(sweep.id) + " result oversized (" +
+        std::to_string(frame.payload.size()) + " bytes)");
+    return;
+  }
+  send_(sweep.client_id, frame);
   log("sweep " + std::to_string(sweep.id) + " complete");
 }
 
@@ -283,6 +318,7 @@ void Coordinator::schedule() {
       unit.state = UnitState::kAssigned;
       unit.worker_id = idle->id;
       unit.instances_done = 0;
+      ++unit.attempts;
       idle->busy = true;
       idle->sweep_id = sweep_id;
       idle->unit_index = unit_index;
@@ -294,7 +330,7 @@ void Coordinator::schedule() {
       assign.end = unit.end;
       assign.scenario_text = sweep.scenario_text;
       assign.options = sweep.options;
-      assign.checkpoint_scope = sweep_checkpoint_scope(sweep_id);
+      assign.checkpoint_scope = sweep.checkpoint_scope;
       send_(idle->id, assign.to_frame());
       log("sweep " + std::to_string(sweep_id) + " unit " +
           std::to_string(unit_index) + " [" + std::to_string(unit.begin) +
@@ -313,12 +349,34 @@ void Coordinator::requeue_assigned_unit(Peer& worker) {
   if (worker.unit_index >= sweep.units.size()) return;
   Unit& unit = sweep.units[worker.unit_index];
   if (unit.state == UnitState::kAssigned && unit.worker_id == worker.id) {
+    if (options_.max_unit_attempts > 0 &&
+        unit.attempts >= options_.max_unit_attempts) {
+      fail_sweep(sweep.id, ErrCode::kWorkerLost,
+                 "unit " + std::to_string(worker.unit_index) + " lost " +
+                     std::to_string(unit.attempts) +
+                     " workers in a row; giving up");
+      return;
+    }
     unit.state = UnitState::kPending;
     unit.instances_done = 0;
     log("sweep " + std::to_string(sweep.id) + " unit " +
         std::to_string(worker.unit_index) + " requeued (worker " +
-        std::to_string(worker.id) + " lost)");
+        std::to_string(worker.id) + " lost, attempt " +
+        std::to_string(unit.attempts) + "/" +
+        std::to_string(options_.max_unit_attempts) + ")");
   }
+}
+
+void Coordinator::fail_sweep(std::uint64_t sweep_id, ErrCode code,
+                             const std::string& detail) {
+  const auto it = sweeps_.find(sweep_id);
+  if (it == sweeps_.end()) return;
+  ErrorMsg err;
+  err.code = code;
+  err.detail = detail;
+  send_(it->second.client_id, err.to_frame());
+  log("sweep " + std::to_string(sweep_id) + " failed: " + detail);
+  sweeps_.erase(it);
 }
 
 void Coordinator::on_disconnect(std::uint64_t peer_id) {

@@ -22,10 +22,12 @@
 //
 // Worker failure: a dead worker's connection drops (on_disconnect) or its
 // heartbeat goes stale (on_tick); either way its assigned units return to
-// the pending queue and are reassigned. Units carry the sweep's
-// deterministic checkpoint scope, so when workers share a checkpoint
-// directory the replacement resumes the lost worker's files instead of
-// recomputing finished instances.
+// the pending queue and are reassigned, up to max_unit_attempts
+// assignments per unit — a unit that keeps losing workers fails the whole
+// sweep with a typed kWorkerLost error instead of cycling forever. Units
+// carry the sweep's content-derived checkpoint scope, so when workers
+// share a checkpoint directory the replacement resumes the lost worker's
+// files instead of recomputing finished instances.
 #pragma once
 
 #include <cstdint>
@@ -53,8 +55,15 @@ class Coordinator {
     std::uint64_t default_unit_size = 4;
     /// A busy worker silent for longer than this is presumed lost and its
     /// units are reassigned. Idle workers are exempt (a dead idle worker
-    /// surfaces as a plain disconnect).
+    /// surfaces as a plain disconnect). Executing workers stream periodic
+    /// kHeartbeat frames between instances, so this must exceed the
+    /// worker heartbeat interval, not the per-instance runtime.
     std::int64_t heartbeat_timeout_ms = 30'000;
+    /// Times a unit may be handed to a worker before the coordinator
+    /// gives up on the sweep and reports kWorkerLost to the client. Caps
+    /// the kill/requeue cycle a deterministically failing unit would
+    /// otherwise loop through forever. 0 disables the cap.
+    int max_unit_attempts = 5;
   };
 
   Coordinator(SendFn send, Options options, Logger log = {});
@@ -96,6 +105,7 @@ class Coordinator {
     UnitState state = UnitState::kPending;
     std::uint64_t worker_id = 0;       ///< valid when kAssigned
     std::uint64_t instances_done = 0;  ///< progress within the unit
+    int attempts = 0;                  ///< workers this unit was handed to
     std::string points_blob;           ///< set when kDone
   };
 
@@ -106,6 +116,7 @@ class Coordinator {
     std::string scenario_text;
     exp::ScenarioParams params;
     RunOptionsWire options;
+    std::string checkpoint_scope;  ///< content-derived, set at submit
     std::vector<Unit> units;
     std::uint64_t instances_total = 0;
     std::uint64_t units_done = 0;
@@ -131,8 +142,16 @@ class Coordinator {
   /// idle workers (peer id order) until one side runs out.
   void schedule();
 
-  /// Returns the unit to the pending queue and frees the worker slot.
+  /// Returns the unit to the pending queue and frees the worker slot;
+  /// fails the sweep instead when the unit's reassignment budget
+  /// (max_unit_attempts) is exhausted.
   void requeue_assigned_unit(Peer& worker);
+
+  /// Reports a typed failure to the sweep's client and drops the sweep.
+  /// Workers still crunching its units deliver into handle_unit_result,
+  /// which ignores unknown sweeps and frees the worker.
+  void fail_sweep(std::uint64_t sweep_id, ErrCode code,
+                  const std::string& detail);
 
   /// Sends the client a ProgressMsg reflecting the sweep's current state.
   void send_progress(const Sweep& sweep);
@@ -153,9 +172,19 @@ class Coordinator {
   bool shutdown_requested_ = false;
 };
 
-/// Checkpoint scope shared by every unit of a sweep ("swp<id>-"): workers
-/// prefix their unit files with it, so a reassigned unit finds the files
-/// its dead predecessor left in a shared checkpoint directory.
-std::string sweep_checkpoint_scope(std::uint64_t sweep_id);
+/// Checkpoint scope shared by every unit of a sweep
+/// ("swp<16-hex-digit digest>-"): workers prefix their unit files with
+/// it, so a reassigned unit finds the files its dead predecessor left in
+/// a shared checkpoint directory. The digest hashes the sweep's content —
+/// scenario text, run options, instance count — not its daemon-local id:
+/// sweep ids restart at 1 with the daemon, so an id-based scope would
+/// resume a previous, different scenario's persisted .result files after
+/// a restart. Content addressing makes collisions possible only between
+/// identical sweeps, whose checkpoint files are interchangeable by the
+/// determinism contract (so resuming them is correct, and a welcome
+/// warm-start).
+std::string sweep_checkpoint_scope(const std::string& scenario_text,
+                                   const RunOptionsWire& options,
+                                   std::uint64_t instances);
 
 }  // namespace imobif::svc

@@ -78,9 +78,11 @@ struct AssignUnitMsg {
   std::uint64_t end = 0;    ///< one past the last instance index
   std::string scenario_text;
   RunOptionsWire options;
-  /// Checkpoint scope for the unit's files ("swp<id>-"); deterministic per
-  /// sweep, so a reassigned unit resumes the dead worker's files when the
-  /// workers share a checkpoint directory.
+  /// Checkpoint scope for the unit's files ("swp<content digest>-",
+  /// see sweep_checkpoint_scope); deterministic per sweep *content*, so a
+  /// reassigned unit resumes the dead worker's files when the workers
+  /// share a checkpoint directory, and a daemon restart cannot alias a
+  /// new sweep onto a different scenario's leftover files.
   std::string checkpoint_scope;
 
   Frame to_frame() const;

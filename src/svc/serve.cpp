@@ -136,7 +136,10 @@ int serve(const ServeOptions& options) {
     for (const std::uint64_t peer_id : coordinator.take_peers_to_close()) {
       dead.push_back(peer_id);
     }
-    for (const std::uint64_t peer_id : dead) drop_peer(peer_id);
+    // drop_peer -> on_disconnect -> schedule() can fail a send and append
+    // to `dead` mid-drain, so index instead of iterating: appended peers
+    // are handled in this same pass and no iterator is invalidated.
+    for (std::size_t i = 0; i < dead.size(); ++i) drop_peer(dead[i]);
     dead.clear();
   }
   log("shutting down");

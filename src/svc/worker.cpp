@@ -2,8 +2,12 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/scenario.hpp"
@@ -17,6 +21,50 @@ namespace imobif::svc {
 
 namespace {
 
+/// Sends kHeartbeat at a fixed cadence until stop() is called, taking
+/// `send_mu` around each write so frames never interleave with the unit's
+/// progress/result frames. A single instance can run far longer than the
+/// coordinator's heartbeat timeout; without this thread the coordinator
+/// would declare the worker hung and requeue the unit mid-compute.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(Socket& socket, std::mutex& send_mu, int interval_ms,
+                int send_timeout_ms) {
+    if (interval_ms <= 0) return;
+    thread_ = std::thread([this, &socket, &send_mu, interval_ms,
+                           send_timeout_ms] {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                           [this] { return stop_; })) {
+        try {
+          const std::lock_guard<std::mutex> send_lock(send_mu);
+          socket.write_all(encode_frame(make_heartbeat()), send_timeout_ms);
+        } catch (const SvcError&) {
+          return;  // transport gone; the unit's next send fails the same way
+        }
+      }
+    });
+  }
+
+  ~HeartbeatPump() { stop(); }
+
+  void stop() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
 void run_unit(Socket& socket, const WorkerOptions& options,
               const AssignUnitMsg& assign,
               std::uint64_t& instances_completed) {
@@ -28,6 +76,10 @@ void run_unit(Socket& socket, const WorkerOptions& options,
   // A farm worker always resumes: finding a lost predecessor's files is
   // the normal case, not an opt-in.
   checkpoint.resume = !checkpoint.dir.empty();
+
+  std::mutex send_mu;
+  HeartbeatPump heartbeat(socket, send_mu, options.heartbeat_interval_ms,
+                          options.send_timeout_ms);
 
   const auto on_instance_done = [&](std::size_t absolute_index) {
     ++instances_completed;
@@ -43,6 +95,7 @@ void run_unit(Socket& socket, const WorkerOptions& options,
     progress.sweep_id = assign.sweep_id;
     progress.unit_index = assign.unit_index;
     progress.instances_done = absolute_index - assign.begin + 1;
+    const std::lock_guard<std::mutex> send_lock(send_mu);
     socket.write_all(encode_frame(progress.to_frame()),
                      options.send_timeout_ms);
   };
@@ -52,6 +105,7 @@ void run_unit(Socket& socket, const WorkerOptions& options,
                                     assign.options.to_run_options(),
                                     /*workers=*/1, checkpoint,
                                     on_instance_done);
+  heartbeat.stop();
 
   UnitResultMsg result;
   result.sweep_id = assign.sweep_id;

@@ -2,13 +2,15 @@
 // assigned work units through the checkpoint-aware sharded sweep runtime,
 // and streams per-instance progress.
 //
-// A unit runs single-threaded and blocking: while it computes, the only
-// traffic the worker produces is one UnitProgress per finished instance,
-// which doubles as the heartbeat the coordinator's liveness check keys
-// on. Crash recovery is the checkpoint layer's job — units carry the
-// sweep's deterministic scope, so when --checkpoint-dir is shared between
-// workers, a reassigned unit resumes the dead worker's per-instance
-// results instead of recomputing them.
+// A unit computes single-threaded, streaming one UnitProgress per
+// finished instance; a companion heartbeat thread sends kHeartbeat at a
+// fixed cadence for as long as the unit runs, so the coordinator's
+// liveness check never mistakes one long instance for a hung worker (the
+// frames share the socket behind a mutex). Crash recovery is the
+// checkpoint layer's job — units carry the sweep's deterministic scope,
+// so when --checkpoint-dir is shared between workers, a reassigned unit
+// resumes the dead worker's per-instance results instead of recomputing
+// them.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +35,11 @@ struct WorkerOptions {
   std::uint64_t crash_after_instances = 0;
   int connect_timeout_ms = 5'000;
   int send_timeout_ms = 10'000;
+  /// kHeartbeat cadence while a unit executes. Must stay well under the
+  /// coordinator's heartbeat timeout (default 30 s) or a single slow
+  /// instance gets this worker declared dead and its unit requeued.
+  /// 0 disables mid-unit heartbeats (tests only).
+  int heartbeat_interval_ms = 5'000;
   std::function<void(const std::string&)> log;
 };
 

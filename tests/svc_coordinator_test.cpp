@@ -138,7 +138,8 @@ TEST(SvcCoordinator, ShardsAndSchedulesInOrder) {
   EXPECT_EQ(unit_a.begin, 0u);
   EXPECT_EQ(unit_a.end, 4u);
   EXPECT_EQ(unit_a.checkpoint_scope,
-            svc::sweep_checkpoint_scope(ack.sweep_id));
+            svc::sweep_checkpoint_scope(exp::to_config_string(small_params()),
+                                        svc::RunOptionsWire{}, 10));
   EXPECT_EQ(unit_b.unit_index, 1u);
   EXPECT_EQ(unit_b.begin, 4u);
   EXPECT_EQ(unit_b.end, 8u);
@@ -168,7 +169,9 @@ TEST(SvcCoordinator, WorkerLossRequeuesItsUnit) {
   EXPECT_EQ(unit.unit_index, 0u);
   EXPECT_EQ(unit.begin, 0u);
   EXPECT_EQ(unit.end, 4u);
-  EXPECT_EQ(unit.checkpoint_scope, svc::sweep_checkpoint_scope(ack.sweep_id));
+  EXPECT_EQ(unit.checkpoint_scope,
+            svc::sweep_checkpoint_scope(exp::to_config_string(small_params()),
+                                        svc::RunOptionsWire{}, 4));
 }
 
 TEST(SvcCoordinator, HeartbeatTimeoutFlagsBusyWorkerOnly) {
@@ -257,6 +260,127 @@ TEST(SvcCoordinator, MergePreservesUnitOrderAndMatchesLocalReport) {
   EXPECT_EQ(coordinator.active_sweeps(), 0u);
   // No duplicate-triggered second finalize.
   EXPECT_EQ(outbox.of(kClient, svc::MsgType::kSweepDone).size(), 1u);
+}
+
+// The scope must survive a daemon restart: it is a function of the
+// sweep's content, never of the daemon-local sweep id (which restarts at
+// 1), so persistent checkpoint files can only ever be resumed by a sweep
+// they are actually valid for.
+TEST(SvcCoordinator, CheckpointScopeIsContentDerived) {
+  const std::string scenario = exp::to_config_string(small_params());
+  const std::string scope =
+      svc::sweep_checkpoint_scope(scenario, svc::RunOptionsWire{}, 6);
+  // Stable and well-formed: "swp" + 16 hex digits + "-".
+  EXPECT_EQ(scope,
+            svc::sweep_checkpoint_scope(scenario, svc::RunOptionsWire{}, 6));
+  ASSERT_EQ(scope.size(), 3u + 16u + 1u);
+  EXPECT_EQ(scope.substr(0, 3), "swp");
+  EXPECT_EQ(scope.back(), '-');
+  EXPECT_EQ(scope.find_first_not_of("0123456789abcdef", 3), scope.size() - 1);
+
+  // Any content change — scenario, run options, instance count — moves
+  // the scope, so leftover files from a different sweep are never found.
+  exp::ScenarioParams other = small_params();
+  other.seed = 43;
+  EXPECT_NE(scope, svc::sweep_checkpoint_scope(exp::to_config_string(other),
+                                               svc::RunOptionsWire{}, 6));
+  svc::RunOptionsWire stopping;
+  stopping.stop_on_first_death = true;
+  EXPECT_NE(scope, svc::sweep_checkpoint_scope(scenario, stopping, 6));
+  EXPECT_NE(scope,
+            svc::sweep_checkpoint_scope(scenario, svc::RunOptionsWire{}, 7));
+
+  // Two coordinators (daemon restarted) assign the same scope to the same
+  // submission even though both call it sweep 1.
+  Outbox outbox_a, outbox_b;
+  svc::Coordinator first(outbox_a.fn(), {});
+  svc::Coordinator second(outbox_b.fn(), {});
+  for (auto* coordinator : {&first, &second}) {
+    connect_peer(*coordinator, kClient, svc::PeerRole::kClient);
+    connect_peer(*coordinator, kWorkerA, svc::PeerRole::kWorker);
+    coordinator->on_frame(kClient, submit_frame(small_params(), 6, 6), 0);
+  }
+  const auto scope_of = [](const Outbox& outbox) {
+    return svc::AssignUnitMsg::from_frame(
+               outbox.of(kWorkerA, svc::MsgType::kAssignUnit).front())
+        .checkpoint_scope;
+  };
+  EXPECT_EQ(scope_of(outbox_a), scope_of(outbox_b));
+  EXPECT_EQ(scope_of(outbox_a),
+            svc::sweep_checkpoint_scope(scenario, svc::RunOptionsWire{}, 6));
+}
+
+TEST(SvcCoordinator, UnitAttemptBudgetFailsSweepWithTypedError) {
+  Outbox outbox;
+  svc::Coordinator::Options options;
+  options.max_unit_attempts = 2;
+  svc::Coordinator coordinator(outbox.fn(), options);
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  connect_peer(coordinator, kWorkerA, svc::PeerRole::kWorker);
+  coordinator.on_frame(kClient, submit_frame(small_params(), 4, 4), 0);
+  const auto ack = svc::SubmitAckMsg::from_frame(
+      outbox.of(kClient, svc::MsgType::kSubmitAck).front());
+
+  // First loss: one attempt spent, budget left, unit requeued.
+  coordinator.on_disconnect(kWorkerA);
+  EXPECT_EQ(coordinator.pending_units(ack.sweep_id), 1u);
+  EXPECT_EQ(coordinator.active_sweeps(), 1u);
+
+  // Second worker picks it up (attempt 2) and also dies: budget spent,
+  // the sweep fails with kWorkerLost instead of cycling forever.
+  connect_peer(coordinator, kWorkerB, svc::PeerRole::kWorker);
+  EXPECT_EQ(outbox.of(kWorkerB, svc::MsgType::kAssignUnit).size(), 1u);
+  coordinator.on_disconnect(kWorkerB);
+  EXPECT_EQ(coordinator.active_sweeps(), 0u);
+  const auto errors = outbox.of(kClient, svc::MsgType::kError);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(svc::ErrorMsg::from_frame(errors.front()).code,
+            svc::ErrCode::kWorkerLost);
+}
+
+// A sweep whose merged result cannot fit one frame must fail with a
+// typed error to the client; letting encode_frame throw inside the serve
+// SendFn would silently drop the client instead.
+TEST(SvcCoordinator, OversizedMergedResultYieldsTypedError) {
+  exp::ComparisonPoint point;
+  point.flow_bits = util::Bits{8192.0};
+  point.hops = 2;
+  for (exp::RunResult* run :
+       {&point.baseline, &point.cost_unaware, &point.informed}) {
+    run->completed = true;
+    run->total_energy_j = util::Joules{1.0};
+    run->lifetime_s = util::Seconds{1.0};
+  }
+  // Marginal encoded size (the blob also carries fixed stream overhead),
+  // so `instances` points are guaranteed to overflow the frame cap.
+  const std::size_t bytes_per_point =
+      snap::comparison_points_to_bytes({point, point}).size() -
+      snap::comparison_points_to_bytes({point}).size();
+  const std::uint64_t instances = svc::kMaxFramePayload / bytes_per_point + 2;
+  const std::vector<exp::ComparisonPoint> points(instances, point);
+
+  Outbox outbox;
+  svc::Coordinator coordinator(outbox.fn(), {});
+  connect_peer(coordinator, kClient, svc::PeerRole::kClient);
+  connect_peer(coordinator, kWorkerA, svc::PeerRole::kWorker);
+  coordinator.on_frame(kClient,
+                       submit_frame(small_params(), instances, instances), 0);
+  const auto ack = svc::SubmitAckMsg::from_frame(
+      outbox.of(kClient, svc::MsgType::kSubmitAck).front());
+
+  svc::UnitResultMsg result;
+  result.sweep_id = ack.sweep_id;
+  result.unit_index = 0;
+  result.points_blob = snap::comparison_points_to_bytes(points);
+  coordinator.on_frame(kWorkerA, result.to_frame(), 0);
+
+  EXPECT_TRUE(outbox.of(kClient, svc::MsgType::kSweepDone).empty());
+  const auto errors = outbox.of(kClient, svc::MsgType::kError);
+  ASSERT_EQ(errors.size(), 1u);
+  const svc::ErrorMsg err = svc::ErrorMsg::from_frame(errors.front());
+  EXPECT_EQ(err.code, svc::ErrCode::kOversizedFrame);
+  EXPECT_NE(err.detail.find("too large"), std::string::npos);
+  EXPECT_EQ(coordinator.active_sweeps(), 0u);
 }
 
 TEST(SvcCoordinator, ClientDisconnectDropsItsSweeps) {

@@ -16,7 +16,8 @@ void print_usage(const std::string& program) {
   std::cout
       << "usage: " << program
       << " [--port P] [--port-file PATH] [--unit-size N]\n"
-         "       [--heartbeat-timeout-ms T] [--quiet]\n"
+         "       [--heartbeat-timeout-ms T] [--max-unit-attempts N]\n"
+         "       [--quiet]\n"
          "  --port       TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
          "  --port-file  write the bound port here once listening\n"
          "               (how scripts discover an ephemeral port)\n"
@@ -24,6 +25,8 @@ void print_usage(const std::string& program) {
          "               does not choose (default 4)\n"
          "  --heartbeat-timeout-ms  reassign a busy worker's unit after\n"
          "               this much silence (default 30000)\n"
+         "  --max-unit-attempts  fail a sweep after one of its units\n"
+         "               lost this many workers (default 5, 0 = no cap)\n"
          "  --quiet      suppress per-event log lines\n"
          "Runs until a client sends a shutdown request\n"
          "(imobif_submit --shutdown).\n";
@@ -46,6 +49,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("unit-size", 4));
   options.coordinator.heartbeat_timeout_ms =
       args.get_int("heartbeat-timeout-ms", 30'000);
+  options.coordinator.max_unit_attempts = args.get_int(
+      "max-unit-attempts", options.coordinator.max_unit_attempts);
   if (!args.get_bool("quiet", false)) {
     options.log = [](const std::string& message) {
       std::cout << "[sweepd] " << message << "\n" << std::flush;

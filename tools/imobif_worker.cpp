@@ -19,7 +19,8 @@ void print_usage(const std::string& program) {
   std::cout
       << "usage: " << program
       << " --connect HOST:PORT [--name NAME] [--checkpoint-dir D]\n"
-         "       [--checkpoint-every-s T] [--quiet]\n"
+         "       [--checkpoint-every-s T] [--heartbeat-every-ms T]\n"
+         "       [--quiet]\n"
          "  --connect    coordinator endpoint, e.g. 127.0.0.1:7477\n"
          "  --name       worker label in coordinator logs (default\n"
          "               \"worker\")\n"
@@ -28,6 +29,9 @@ void print_usage(const std::string& program) {
          "               unit retry resume instead of recompute\n"
          "  --checkpoint-every-s  checkpoint cadence in simulated seconds\n"
          "               (default 30)\n"
+         "  --heartbeat-every-ms  keepalive cadence while a unit executes\n"
+         "               (default 5000; keep well under the coordinator's\n"
+         "               --heartbeat-timeout-ms)\n"
          "  --crash-after-instances N  TEST HOOK: die (exit 1) after N\n"
          "               instances, before reporting the Nth\n"
          "  --quiet      suppress log lines\n"
@@ -57,6 +61,8 @@ int main(int argc, char** argv) {
         "checkpoint-every-s", options.checkpoint.every_sim_s);
     options.crash_after_instances = static_cast<std::uint64_t>(
         args.get_int("crash-after-instances", 0));
+    options.heartbeat_interval_ms =
+        args.get_int("heartbeat-every-ms", options.heartbeat_interval_ms);
     if (!args.get_bool("quiet", false)) {
       const std::string tag = "[" + options.name + "] ";
       options.log = [tag](const std::string& message) {
