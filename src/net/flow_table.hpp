@@ -73,6 +73,13 @@ class FlowTable {
 
   std::vector<const FlowEntry*> all() const;
 
+  /// Visits every entry without allocating (hash-map order; use only for
+  /// order-insensitive folds like the NodeStore aggregate roll-up).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [id, entry] : entries_) fn(entry);
+  }
+
  private:
   std::unordered_map<FlowId, FlowEntry> entries_;
 };

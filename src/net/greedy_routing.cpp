@@ -58,36 +58,50 @@ std::vector<NodeId> greedy_path_oracle(const Medium& medium, NodeId source,
                                        NodeId dest) {
   std::vector<NodeId> path{source};
   const geom::Vec2 dest_pos = medium.true_position(dest);
+  const Node* dest_node = medium.find_node(dest);
   NodeId current = source;
   // Greedy progress is strictly decreasing in distance, so the path length
   // is bounded; the cap guards against degenerate configurations.
   const std::size_t cap = medium.node_count() + 1;
   while (current != dest && path.size() <= cap) {
     const Node* cur = medium.find_node(current);
-    const double cur_dist = geom::distance(cur->position(), dest_pos);
-    NodeId best = kInvalidNode;
-    double best_dist = cur_dist;
-    bool dest_in_range = false;
-    for (const Node* cand : medium.all_nodes()) {
-      if (cand->id() == current || !cand->alive()) continue;
-      if (util::Meters{geom::distance(cur->position(), cand->position())} >
-          medium.comm_range()) {
-        continue;
-      }
-      if (cand->id() == dest) {
-        dest_in_range = true;
-        break;
-      }
-      const double d = geom::distance(cand->position(), dest_pos);
-      if (d < best_dist) {
-        best_dist = d;
-        best = cand->id();
-      }
-    }
-    if (dest_in_range) {
+    const geom::Vec2 cur_pos = cur->position();
+    // A live destination in range ends the walk immediately, exactly like
+    // the in-network protocol's "destination is my neighbor" case.
+    if (dest_node->alive() &&
+        util::Meters{geom::distance(cur_pos, dest_pos)} <=
+            medium.comm_range()) {
       path.push_back(dest);
       return path;
     }
+    const double cur_dist = geom::distance(cur_pos, dest_pos);
+    NodeId best = kInvalidNode;
+    double best_dist = cur_dist;
+    // Candidates come from the grid, not an all_nodes() scan. The query
+    // radius carries a relative pad so the grid's squared-distance cut
+    // can never exclude a point the exact linear check below admits; ties
+    // in remaining distance break to the lowest id, which reproduces the
+    // historical ascending-id scan winner under any visit order.
+    medium.grid().for_each_in_range(
+        cur_pos, medium.comm_range().value() * (1.0 + 1e-9),
+        [&](NodeId cand, geom::Vec2 cand_pos) {
+          if (cand == current || cand == dest) return;
+          if (util::Meters{geom::distance(cur_pos, cand_pos)} >
+              medium.comm_range()) {
+            return;
+          }
+          const Node* node = medium.find_node(cand);
+          if (node == nullptr || !node->alive()) return;
+          const double d = geom::distance(cand_pos, dest_pos);
+          const bool better =
+              best == kInvalidNode
+                  ? d < best_dist
+                  : d < best_dist || (!(best_dist < d) && cand < best);
+          if (better) {
+            best_dist = d;
+            best = cand;
+          }
+        });
     if (best == kInvalidNode) return {};  // dead end
     path.push_back(best);
     current = best;

@@ -16,23 +16,24 @@ Medium::Medium(sim::Simulator& sim, MediumConfig config)
 }
 
 void Medium::attach(Node& node) {
-  if (by_id_.count(node.id()) != 0) {
+  const NodeId id = node.id();
+  if (id < by_id_.size() && by_id_[id] != nullptr) {
     throw std::invalid_argument("Medium: duplicate node id");
   }
+  if (id >= by_id_.size()) by_id_.resize(id + 1, nullptr);
   nodes_.push_back(&node);
-  by_id_.emplace(node.id(), &node);
-  index_.insert(node.id(), node.position());
+  by_id_[id] = &node;
+  index_.insert(id, node.position());
 }
 
 void Medium::node_moved(NodeId id, geom::Vec2 new_position) {
   // Nodes not (yet) attached to this medium are ignored: tests construct
   // free-standing nodes, and attach() will index the final position.
-  if (by_id_.count(id) != 0) index_.update(id, new_position);
+  if (find_node(id) != nullptr) index_.update(id, new_position);
 }
 
 Node* Medium::find_node(NodeId id) const {
-  const auto it = by_id_.find(id);
-  return it == by_id_.end() ? nullptr : it->second;
+  return id < by_id_.size() ? by_id_[id] : nullptr;
 }
 
 geom::Vec2 Medium::true_position(NodeId id) const {
@@ -80,7 +81,7 @@ void Medium::broadcast(const Node& sender, const Packet& pkt) {
   index_.for_each_in_range(
       origin, config_.comm_range_m, [&](NodeId id, geom::Vec2) {
         if (id == sender.id()) return;
-        Node* node = by_id_.at(id);
+        Node* node = by_id_[id];
         if (!node->alive()) return;
         if (node->faulted()) {
           ++counters_.dropped_faulted;

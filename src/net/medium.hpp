@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -59,6 +58,11 @@ class Medium {
   util::Meters comm_range() const {
     return util::Meters{config_.comm_range_m};
   }
+
+  /// The spatial index over attached nodes — the one neighbor-discovery
+  /// path (DESIGN.md §12); routing oracles query it instead of scanning
+  /// all_nodes().
+  const GridIndex& grid() const { return index_; }
 
   /// Delivers to every live node in range of the sender (HELLO beacons).
   void broadcast(const Node& sender, const Packet& pkt);
@@ -114,7 +118,10 @@ class Medium {
   sim::Simulator& sim_;
   MediumConfig config_;
   std::vector<Node*> nodes_;
-  std::unordered_map<NodeId, Node*> by_id_;
+  /// Dense id -> node table (ids are dense in practice; sparse ids cost
+  /// vector slack, not correctness). One array read on the per-recipient
+  /// broadcast path where a hash lookup used to be.
+  std::vector<Node*> by_id_;
   GridIndex index_;
   Counters counters_;
   std::unique_ptr<FaultInjector> injector_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace imobif::net {
 
 using util::Bits;
@@ -25,11 +27,14 @@ Node::Services Network::services() {
   s.routing = routing_.get();
   s.policy = policy_;
   s.events = this;
+  s.store = &store_;
   return s;
 }
 
 Node& Network::add_node(geom::Vec2 position, Joules initial_energy) {
   const auto id = static_cast<NodeId>(nodes_.size());
+  const NodeStore::Index slot = store_.add(position, initial_energy);
+  IMOBIF_ASSERT(slot == id, "NodeStore slots must track dense node ids");
   nodes_.push_back(std::make_unique<Node>(id, position, initial_energy,
                                           services(), config_.node));
   medium_.attach(*nodes_.back());
@@ -94,6 +99,7 @@ void Network::start_flow(const FlowSpec& spec) {
   entry.strategy = spec.strategy;
   entry.residual_bits = spec.length_bits;
   entry.mobility_enabled = spec.initially_enabled;
+  src.sync_flow_aggregate();
 
   const Seconds interval = spec.packet_bits / spec.rate_bps;
   sim_.after(

@@ -65,11 +65,15 @@ class Network : public NetworkEvents {
   const energy::RadioEnergyModel& radio() const { return radio_; }
   const NetworkConfig& config() const { return config_; }
 
-  /// Adds a node; ids are dense, starting at 0.
+  /// Adds a node; ids are dense, starting at 0. Hot per-node state lives
+  /// in the struct-of-arrays store() and the Node binds to its slot.
   Node& add_node(geom::Vec2 position, util::Joules initial_energy);
   Node& node(NodeId id);
   const Node& node(NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
+
+  /// Struct-of-arrays hot-state columns (DESIGN.md §12), indexed by NodeId.
+  const NodeStore& store() const { return store_; }
 
   /// Installs the routing protocol (owned by the network, shared by nodes).
   void set_routing(std::unique_ptr<RoutingProtocol> routing);
@@ -158,6 +162,7 @@ class Network : public NetworkEvents {
   NetworkConfig config_;
   sim::Simulator sim_;
   energy::RadioEnergyModel radio_;
+  NodeStore store_;
   Medium medium_;
   std::unique_ptr<RoutingProtocol> routing_;
   MobilityPolicy* policy_ = nullptr;

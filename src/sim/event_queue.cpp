@@ -24,35 +24,90 @@ bool EventQueue::cancel(EventId id) {
   const auto it = callbacks_.find(id);
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
-  cancelled_.insert(id);
   --live_count_;
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && cancelled_.count(heap_.front().id) > 0) {
-    cancelled_.erase(heap_.front().id);
+void EventQueue::drop_dead_heap_top() const {
+  while (!heap_.empty() && !entry_live(heap_.front().id)) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
 }
 
+void EventQueue::drop_dead_due_front() const {
+  while (due_head_ < due_.size() && !entry_live(due_[due_head_].id)) {
+    ++due_head_;
+  }
+  if (due_head_ == due_.size() && due_head_ != 0) {
+    due_.clear();
+    due_head_ = 0;
+  }
+}
+
 Time EventQueue::next_time() const {
-  drop_cancelled();
+  drop_dead_due_front();
+  drop_dead_heap_top();
+  if (due_head_ < due_.size()) {
+    // Anything still staged was earliest when the batch was drained; only a
+    // schedule() issued *after* staging could have put an earlier time on
+    // the heap (the simulator never does — its clock already passed it).
+    if (!heap_.empty() && heap_.front().when < due_[due_head_].when) {
+      return heap_.front().when;
+    }
+    return due_[due_head_].when;
+  }
   return heap_.empty() ? Time::infinity() : heap_.front().when;
 }
 
+std::size_t EventQueue::stage_due_batch() {
+  drop_dead_due_front();
+  if (due_head_ < due_.size()) return due_.size() - due_head_;
+  drop_dead_heap_top();
+  if (heap_.empty()) return 0;
+  const Time batch_time = heap_.front().when;
+  // One pass over the heap: pop_heap yields ascending (time, seq), so the
+  // staged vector is already in execution order.
+  while (!heap_.empty() && heap_.front().when == batch_time) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = heap_.back();
+    heap_.pop_back();
+    if (entry_live(entry.id)) due_.push_back(entry);
+    drop_dead_heap_top();
+  }
+  return due_.size();
+}
+
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  const Entry top = heap_.front();
-  IMOBIF_ASSERT(top.when >= last_popped_,
+  stage_due_batch();
+  if (live_count_ == 0) {
+    throw std::logic_error("EventQueue::pop on empty queue");
+  }
+  drop_dead_due_front();
+  drop_dead_heap_top();
+  // Serve whichever source holds the earliest (time, seq). The heap can
+  // only win when a post-staging schedule() targeted an earlier time than
+  // the staged batch (legal for a standalone queue, unreachable through
+  // the simulator).
+  Entry next{};
+  const bool due_has = due_head_ < due_.size();
+  if (due_has && (heap_.empty() || !Later{}(due_[due_head_], heap_.front()))) {
+    next = due_[due_head_++];
+    if (due_head_ == due_.size()) {
+      due_.clear();
+      due_head_ = 0;
+    }
+  } else {
+    IMOBIF_ASSERT(!heap_.empty(), "pop with live events but no entries");
+    next = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+  IMOBIF_ASSERT(next.when >= last_popped_,
                 "event times must be popped in non-decreasing order");
-  last_popped_ = top.when;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  heap_.pop_back();
-  const auto it = callbacks_.find(top.id);
-  Popped out{top.when, std::move(it->second.fn)};
+  last_popped_ = next.when;
+  const auto it = callbacks_.find(next.id);
+  Popped out{next.when, std::move(it->second.fn)};
   callbacks_.erase(it);
   --live_count_;
   return out;
@@ -61,17 +116,27 @@ EventQueue::Popped EventQueue::pop() {
 std::vector<EventQueue::PendingEvent> EventQueue::pending_tagged() const {
   std::vector<PendingEvent> out;
   out.reserve(live_count_);
-  for (const Entry& entry : heap_) {
+  const auto collect = [&](const Entry& entry) {
     const auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;  // cancelled, not yet dropped
+    if (it == callbacks_.end()) return;  // cancelled, not yet dropped
     out.push_back(PendingEvent{entry.when, entry.seq, &it->second.tag});
-  }
+  };
+  for (std::size_t i = due_head_; i < due_.size(); ++i) collect(due_[i]);
+  for (const Entry& entry : heap_) collect(entry);
   std::sort(out.begin(), out.end(),
             [](const PendingEvent& a, const PendingEvent& b) {
               if (a.when != b.when) return a.when < b.when;
               return a.seq < b.seq;
             });
   return out;
+}
+
+std::size_t EventQueue::approx_bytes() const {
+  // Vector storage plus a flat estimate of the node-based callback map;
+  // std::function targets are not walked, so this is a floor.
+  return heap_.capacity() * sizeof(Entry) + due_.capacity() * sizeof(Entry) +
+         callbacks_.size() *
+             (sizeof(std::pair<const EventId, Scheduled>) + 2 * sizeof(void*));
 }
 
 }  // namespace imobif::sim

@@ -1,5 +1,5 @@
 // Discrete-event queue: a binary heap of (time, sequence, callback) with
-// O(log n) push/pop and lazy cancellation.
+// O(log n) push/pop, lazy cancellation, and batched same-tick draining.
 //
 // Ties in time are broken by insertion sequence, so same-tick events run in
 // the order they were scheduled — this determinism is what makes the
@@ -9,12 +9,21 @@
 // std::priority_queue) so live events can be *enumerated* for
 // checkpointing: pending_tagged() returns every live event's (time, seq,
 // tag) in execution order without disturbing the queue.
+//
+// Batching (the 10^5-10^6-node scaling path, DESIGN.md §12): instead of a
+// per-event pop/push cycle against the full heap, pop() drains every event
+// scheduled at next_time() into a staged "due" batch in one heap pass and
+// then serves from that batch with plain vector reads. Events scheduled
+// *during* a batch go to the heap without disturbing the staged entries;
+// because any same-tick newcomer carries a larger sequence number, global
+// (time, seq) execution order — and thus bit-identical replays — is
+// preserved. Staged events remain cancellable and visible to
+// pending_tagged() until they are popped.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/event_tag.hpp"
@@ -32,8 +41,9 @@ class EventQueue {
   /// The optional tag describes the event for checkpointing (event_tag.hpp).
   EventId schedule(Time when, Callback fn, EventTag tag = {});
 
-  /// Cancels a pending event. Returns false when the event already ran,
-  /// was already cancelled, or never existed.
+  /// Cancels a pending event — staged-but-not-yet-popped events included.
+  /// Returns false when the event already ran, was already cancelled, or
+  /// never existed.
   bool cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -47,7 +57,21 @@ class EventQueue {
     Callback fn;
   };
   /// Removes and returns the earliest live event. Requires !empty().
+  /// Internally drains the whole earliest-time batch on the first pop of a
+  /// tick (see stage_due_batch) and serves the rest from the batch.
   Popped pop();
+
+  /// Drains every live event at next_time() into the staged batch in one
+  /// heap pass; no-op when a batch is already staged (a batch never mixes
+  /// two distinct times). Returns the number of staged events not yet
+  /// popped, 0 when the queue is empty. pop() calls this implicitly — the
+  /// method is public so tests and benchmarks can exercise the batch
+  /// machinery directly.
+  std::size_t stage_due_batch();
+
+  /// Staged-but-not-yet-popped events (liveness of individual entries is
+  /// resolved lazily; recently cancelled stragglers may still be counted).
+  std::size_t staged() const { return due_.size() - due_head_; }
 
   /// A live event's schedule entry, for checkpoint enumeration.
   struct PendingEvent {
@@ -55,9 +79,13 @@ class EventQueue {
     std::uint64_t seq = 0;
     const EventTag* tag = nullptr;  ///< owned by the queue; never null
   };
-  /// Every live event in execution order (time, then insertion sequence).
-  /// Tags point into the queue and are invalidated by any mutation.
+  /// Every live event in execution order (time, then insertion sequence),
+  /// staged batch included. Tags point into the queue and are invalidated
+  /// by any mutation.
   std::vector<PendingEvent> pending_tagged() const;
+
+  /// Lower-bound estimate of heap-allocated bytes (scale accounting).
+  std::size_t approx_bytes() const;
 
  private:
   struct Entry {
@@ -76,10 +104,16 @@ class EventQueue {
     EventTag tag;
   };
 
-  void drop_cancelled() const;
+  /// An entry (heap or staged) is live iff its callback is still registered;
+  /// cancel() only erases the callback and the entry is skipped lazily.
+  bool entry_live(EventId id) const { return callbacks_.count(id) != 0; }
+  void drop_dead_heap_top() const;
+  void drop_dead_due_front() const;
 
   mutable std::vector<Entry> heap_;  ///< max-heap under Later (min-time first)
-  mutable std::unordered_set<EventId> cancelled_;
+  /// Staged same-tick batch, ascending (time, seq) from due_head_ on.
+  mutable std::vector<Entry> due_;
+  mutable std::size_t due_head_ = 0;
   std::unordered_map<EventId, Scheduled> callbacks_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

@@ -44,6 +44,10 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t executed_events() const { return executed_; }
 
+  /// Lower-bound estimate of the event queue's heap bytes (scale
+  /// accounting; see EventQueue::approx_bytes).
+  std::size_t queue_approx_bytes() const { return queue_.approx_bytes(); }
+
   /// Time of the earliest pending event; Time::infinity() when none.
   Time next_event_time() const { return queue_.next_time(); }
 

@@ -1,0 +1,102 @@
+// Scale smoke: the 10^4-node scenario the production-scale charter
+// (DESIGN.md §12) treats as its everyday regression point.
+//
+// Three properties, one sampled topology:
+//   1. Wall budget — sampling, construction, warmup, and a six-figure event
+//      drain all complete in seconds, not minutes (the grid-only discovery
+//      path keeps per-event work O(neighborhood), never O(N)).
+//   2. snap::state_hash is identical whether the run advances inline
+//      ("--jobs 1") or on a 4-worker ThreadPool ("--jobs 4") — execution
+//      context must never leak into simulation state.
+//   3. A checkpoint/resume cycle mid-drain hashes equal to the
+//      uninterrupted run after the same total event count.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "exp/instance.hpp"
+#include "exp/instance_run.hpp"
+#include "exp/scenario.hpp"
+#include "runtime/thread_pool.hpp"
+#include "snap/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace imobif {
+namespace {
+
+constexpr std::size_t kNodes = 10000;
+constexpr std::size_t kDrainEvents = 200000;
+constexpr std::size_t kResumeEvents = 50000;
+
+exp::ScenarioParams scale_params() {
+  exp::ScenarioParams p;
+  p.node_count = kNodes;
+  // Constant density: the paper's 100 nodes per 1000 m square, area scaled
+  // with sqrt(N) — same rule as bench/scale_sweep.
+  p.area_m = util::Meters{10000.0};
+  p.seed = 20050610;
+  return p;
+}
+
+std::unique_ptr<exp::InstanceRun> advanced_run(const exp::FlowInstance& inst,
+                                               const exp::ScenarioParams& p,
+                                               std::size_t events) {
+  auto run = exp::InstanceRun::create(inst, p, core::MobilityMode::kInformed);
+  run->advance(events);
+  return run;
+}
+
+TEST(ScaleSmoke, TenThousandNodesUnderWallBudget) {
+  const auto start = std::chrono::steady_clock::now();
+
+  const exp::ScenarioParams params = scale_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance inst = exp::sample_instance(params, rng);
+  ASSERT_EQ(inst.positions.size(), kNodes);
+  ASSERT_GE(inst.initial_path.size(), params.min_hops + 1);
+
+  // "--jobs 1": advance inline on this thread.
+  auto inline_run = advanced_run(inst, params, kDrainEvents);
+  const std::uint64_t inline_hash = snap::state_hash(*inline_run);
+
+  // "--jobs 4": the identical run advanced on a 4-worker pool, with
+  // sibling tasks alive so the pool is genuinely multi-threaded.
+  runtime::ThreadPool pool(4);
+  std::vector<std::future<int>> noise;
+  for (int i = 0; i < 3; ++i) {
+    noise.push_back(pool.submit([i] { return i; }));
+  }
+  auto pooled = pool.submit([&] {
+    auto run = advanced_run(inst, params, kDrainEvents);
+    return snap::state_hash(*run);
+  });
+  for (auto& f : noise) f.get();
+  EXPECT_EQ(pooled.get(), inline_hash)
+      << "simulation state depends on the executing thread context";
+
+  // Checkpoint/resume cycle: snapshot the inline run mid-drain, restore,
+  // drain both for the same additional budget, compare hashes.
+  const std::string bytes = snap::encode(*inline_run);
+  auto restored = snap::restore(bytes);
+  EXPECT_EQ(snap::state_hash(*restored), inline_hash);
+  inline_run->advance(kResumeEvents);
+  restored->advance(kResumeEvents);
+  EXPECT_EQ(restored->network().simulator().executed_events(),
+            inline_run->network().simulator().executed_events());
+  EXPECT_EQ(snap::state_hash(*restored), snap::state_hash(*inline_run));
+
+  // Wall budget: everything above — two full 1e4-node builds, ~half a
+  // million events, a snapshot round-trip — in well under two minutes
+  // even on a loaded single-core CI runner.
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            120)
+      << "scale smoke blew its wall budget";
+}
+
+}  // namespace
+}  // namespace imobif

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 namespace imobif::sim {
@@ -104,6 +106,174 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
   q.pop();
   EXPECT_EQ(q.size(), 0u);
+}
+
+// --- Batched same-tick draining (DESIGN.md §12) ---------------------------
+
+TEST(EventQueueBatch, StageDueBatchDrainsWholeTick) {
+  EventQueue q;
+  const Time t = Time::from_seconds(1.0);
+  for (int i = 0; i < 4; ++i) q.schedule(t, [] {});
+  q.schedule(Time::from_seconds(2.0), [] {});
+  EXPECT_EQ(q.staged(), 0u);
+  EXPECT_EQ(q.stage_due_batch(), 4u);  // the whole 1.0 s tick, not the 2.0 s
+  EXPECT_EQ(q.staged(), 4u);
+  // Idempotent while a batch is in flight: a batch never mixes two times.
+  EXPECT_EQ(q.stage_due_batch(), 4u);
+  EXPECT_EQ(q.size(), 5u);  // staging removes nothing
+}
+
+TEST(EventQueueBatch, SameTickDrainPreservesSeqOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const Time t = Time::from_seconds(3.0);
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  q.stage_due_batch();
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueueBatch, ScheduleDuringBatchRunsAfterStagedPeers) {
+  // An event scheduled mid-batch for the *same* tick carries a larger seq
+  // and must run after every already-staged peer — this is the property
+  // that keeps batched execution bit-identical to per-event popping.
+  EventQueue q;
+  std::vector<int> order;
+  const Time t = Time::from_seconds(1.0);
+  q.schedule(t, [&] {
+    order.push_back(0);
+    q.schedule(t, [&] { order.push_back(9); });  // same tick, mid-batch
+  });
+  q.schedule(t, [&] { order.push_back(1); });
+  q.schedule(t, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventQueueBatch, HeapNewcomerBetweenTicksRunsBeforeLaterBatch) {
+  // An event scheduled mid-batch for a time *between* the staged tick and
+  // the rest of the heap must run in its proper slot: pop() compares the
+  // staged front against the heap front every time.
+  EventQueue q;
+  std::vector<int> order;
+  const Time t1 = Time::from_seconds(1.0);
+  const Time t2 = Time::from_seconds(2.0);
+  q.schedule(t2, [&] { order.push_back(20); });
+  q.schedule(t1, [&] {
+    order.push_back(1);
+    // Newcomer between the staged tick (1.0) and the heap's 2.0.
+    q.schedule(Time::from_seconds(1.5), [&] { order.push_back(15); });
+  });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 15, 20}));
+}
+
+TEST(EventQueueBatch, CancelDuringStagedBatchIsHonored) {
+  EventQueue q;
+  std::vector<int> order;
+  const Time t = Time::from_seconds(1.0);
+  q.schedule(t, [&] { order.push_back(0); });
+  const EventId victim = q.schedule(t, [&] { order.push_back(1); });
+  q.schedule(t, [&] { order.push_back(2); });
+  ASSERT_EQ(q.stage_due_batch(), 3u);
+  EXPECT_TRUE(q.cancel(victim));  // cancel while staged, before its pop
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_FALSE(q.cancel(victim));  // spent handle stays spent
+}
+
+TEST(EventQueueBatch, CancelFromInsideBatchCallback) {
+  // The in-simulation shape: a same-tick event cancels a peer that is
+  // already staged behind it (e.g. a packet arrival cancelling a timeout).
+  EventQueue q;
+  std::vector<int> order;
+  const Time t = Time::from_seconds(1.0);
+  EventId timeout = 0;
+  q.schedule(t, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(q.cancel(timeout));
+  });
+  timeout = q.schedule(t, [&] { order.push_back(1); });
+  q.schedule(t, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventQueueBatch, NextTimeSeesStagedBatch) {
+  EventQueue q;
+  const Time t = Time::from_seconds(1.0);
+  q.schedule(t, [] {});
+  q.schedule(Time::from_seconds(2.0), [] {});
+  q.stage_due_batch();
+  EXPECT_EQ(q.next_time(), t);  // staged entries still count
+  q.pop();
+  EXPECT_EQ(q.next_time(), Time::from_seconds(2.0));
+}
+
+TEST(EventQueueBatch, PendingTaggedMatchesPreBatchEnumeration) {
+  // Property: on a randomized schedule, pending_tagged() enumerates the
+  // same (time, seq) stream whether or not a batch is staged — staging is
+  // invisible to checkpoint enumeration.
+  EventQueue q;
+  std::uint64_t x = 987654321;
+  for (int i = 0; i < 300; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    // Coarse buckets force plenty of same-tick collisions.
+    const auto t = static_cast<std::int64_t>(x % 16);
+    q.schedule(Time::from_ticks(t), [] {}, EventTag{});
+  }
+  const auto before = q.pending_tagged();
+  ASSERT_EQ(before.size(), 300u);
+  q.stage_due_batch();
+  const auto after = q.pending_tagged();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].when, before[i].when) << "index " << i;
+    EXPECT_EQ(after[i].seq, before[i].seq) << "index " << i;
+  }
+  // Execution order equals enumeration order.
+  std::size_t k = 0;
+  Time prev = Time::zero();
+  while (!q.empty()) {
+    const Time cur = q.pop().when;
+    EXPECT_EQ(cur, before[k].when) << "pop " << k;
+    EXPECT_GE(cur, prev);
+    prev = cur;
+    ++k;
+  }
+  EXPECT_EQ(k, before.size());
+}
+
+TEST(EventQueueBatch, BatchedStreamMatchesReferenceOrdering) {
+  // Differential check: run the same randomized schedule through the queue
+  // and through a plain stable-sorted reference; the (time, seq) streams
+  // must be identical, including mid-drain same-tick insertions.
+  EventQueue q;
+  std::vector<std::pair<std::int64_t, int>> reference;  // (ticks, label)
+  std::vector<int> got;
+  std::uint64_t x = 5551212;
+  int label = 0;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto t = static_cast<std::int64_t>(x % 32);
+    const int my_label = label++;
+    reference.emplace_back(t, my_label);
+    q.schedule(Time::from_ticks(t), [&got, my_label] {
+      got.push_back(my_label);
+    });
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(got[i], reference[i].second) << "position " << i;
+  }
 }
 
 TEST(EventQueue, ManyEventsStressOrdering) {

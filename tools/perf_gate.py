@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Perf gate: fail CI when a hot path regresses against the baseline.
+
+Compares a freshly produced micro_hotpaths report against the committed
+``bench/baselines/BENCH_micro.json`` and exits non-zero when any
+benchmark's ``real_ns`` mean is more than ``--threshold`` (default 5%)
+slower than the committed mean.
+
+Only ``<bench>:real_ns`` series are gated — ``cpu_ns`` tracks real_ns and
+would double-report every finding, and the committed numbers are means
+over the bench's own repetitions, which is the stablest signal the
+artifact carries. ``--current`` accepts several reports and gates on the
+per-benchmark *minimum*: scheduler noise and frequency scaling only ever
+inflate a timing, so the best of N runs is the honest estimate of the
+code's speed (run the bench 2-3 times in CI). A benchmark present in the
+baseline but missing from the current run fails the gate (lost coverage
+looks like a speedup to a naive diff); benchmarks new in the current run
+are listed but not gated until they are committed.
+
+Usage:
+    python3 tools/perf_gate.py \
+        --baseline bench/baselines/BENCH_micro.json \
+        --current  bench/out/BENCH_micro.*.json [--threshold 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SUFFIX = ":real_ns"
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    series = report.get("series", {})
+    means = {}
+    for name, block in series.items():
+        if name.endswith(SUFFIX):
+            means[name[: -len(SUFFIX)]] = float(block["mean"])
+    if not means:
+        raise SystemExit(f"perf_gate: no {SUFFIX} series in {path}")
+    return means
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_micro.json")
+    parser.add_argument("--current", required=True, nargs="+",
+                        help="freshly produced BENCH_micro.json report(s); "
+                             "with several, each benchmark is gated on its "
+                             "fastest run")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="allowed fractional slowdown (default 0.05)")
+    args = parser.parse_args()
+
+    baseline = load_means(args.baseline)
+    current: dict[str, float] = {}
+    for path in args.current:
+        for name, mean in load_means(path).items():
+            current[name] = min(mean, current.get(name, mean))
+
+    failures = []
+    width = max(len(n) for n in baseline)
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: {base:.1f} ns -> {cur:.1f} ns "
+                f"(+{(ratio - 1.0) * 100.0:.1f}%)")
+        print(f"  {name:<{width}}  {base:>12.1f} ns  {cur:>12.1f} ns  "
+              f"{(ratio - 1.0) * 100.0:+6.1f}%  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  (new, not gated)")
+
+    if failures:
+        print(f"\nperf_gate: {len(failures)} failure(s) "
+              f"(threshold +{args.threshold * 100.0:.0f}%):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nperf_gate: all {len(baseline)} benchmarks within "
+          f"+{args.threshold * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
