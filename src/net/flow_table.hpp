@@ -77,6 +77,8 @@ class FlowTable {
   /// order-insensitive folds like the NodeStore aggregate roll-up).
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    // Callers are order-insensitive folds by contract (doc comment above).
+    // astlint:allow(unordered-iteration): contract-order-insensitive fold
     for (const auto& [id, entry] : entries_) fn(entry);
   }
 

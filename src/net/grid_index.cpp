@@ -132,6 +132,7 @@ std::optional<GridIndex::Hit> GridIndex::nearest(geom::Vec2 center,
 
 std::size_t GridIndex::approx_bytes() const {
   std::size_t bucket_bytes = 0;
+  // astlint:allow(unordered-iteration): integer capacity sum, commutative
   for (const auto& [cell_key, bucket] : buckets_) {
     (void)cell_key;
     bucket_bytes += bucket.capacity() * sizeof(Slot);

@@ -21,6 +21,9 @@ std::optional<NeighborInfo> NeighborTable::find(NodeId id,
 }
 
 void NeighborTable::purge(sim::Time now) {
+  // Only the surviving set matters here, and set membership is
+  // independent of visit order.
+  // astlint:allow(unordered-iteration): erase-if, order-insensitive
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (expired(it->second, now)) {
       it = entries_.erase(it);
@@ -36,6 +39,7 @@ std::vector<NeighborInfo> NeighborTable::snapshot(sim::Time now) const {
   // a prerequisite for bit-identical checkpoint/restore equivalence.
   std::vector<NeighborInfo> out;
   out.reserve(entries_.size());
+  // astlint:allow(unordered-iteration): extract-then-sort; order fixed below
   for (const auto& [id, info] : entries_) {
     if (!expired(info, now)) out.push_back(info);
   }
@@ -49,6 +53,7 @@ std::vector<NeighborInfo> NeighborTable::snapshot(sim::Time now) const {
 std::vector<NeighborInfo> NeighborTable::all_entries() const {
   std::vector<NeighborInfo> out;
   out.reserve(entries_.size());
+  // astlint:allow(unordered-iteration): extract-then-sort; order fixed below
   for (const auto& [id, info] : entries_) out.push_back(info);
   std::sort(out.begin(), out.end(),
             [](const NeighborInfo& a, const NeighborInfo& b) {

@@ -176,6 +176,7 @@ std::vector<const FlowProgress*> Network::all_progress() const {
   // Sorted by flow id for deterministic multi-flow reporting and encoding.
   std::vector<const FlowProgress*> out;
   out.reserve(flows_.size());
+  // astlint:allow(unordered-iteration): extract-then-sort; order fixed below
   for (const auto& [id, prog] : flows_) out.push_back(&prog);
   std::sort(out.begin(), out.end(),
             [](const FlowProgress* a, const FlowProgress* b) {
@@ -186,6 +187,7 @@ std::vector<const FlowProgress*> Network::all_progress() const {
 
 bool Network::all_flows_complete() const {
   if (flows_.empty()) return true;
+  // astlint:allow(unordered-iteration): all_of is a commutative bool fold
   return std::all_of(flows_.begin(), flows_.end(),
                      [](const auto& kv) { return kv.second.completed; });
 }

@@ -19,7 +19,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -33,10 +33,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      IMOBIF_ASSERT(stopping_ || !queue_.empty(),
-                    "worker woke without work or a shutdown request");
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) available_.wait(mutex_);
       // Graceful shutdown: drain the queue before exiting.
       if (queue_.empty()) return;
       task = std::move(queue_.front());

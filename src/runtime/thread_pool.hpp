@@ -6,17 +6,22 @@
 // Shutdown is graceful: the destructor (or an explicit shutdown()) lets
 // every already-queued task finish before joining the workers. Exceptions
 // thrown by a task are captured in its future and rethrown at get().
+//
+// The locking discipline is machine-checked: `mutex_` is an annotated
+// capability and `queue_`/`stopping_` carry IMOBIF_GUARDED_BY, so a clang
+// build with IMOBIF_THREAD_SAFETY=ON rejects any access outside the lock
+// at compile time (DESIGN.md §13).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace imobif::runtime {
 
@@ -40,7 +45,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (stopping_)
         throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.push([task] { (*task)(); });
@@ -57,10 +62,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable available_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  util::CondVar available_;
+  std::queue<std::function<void()>> queue_ IMOBIF_GUARDED_BY(mutex_);
+  bool stopping_ IMOBIF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace imobif::runtime

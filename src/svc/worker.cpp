@@ -2,10 +2,7 @@
 
 #include <unistd.h>
 
-#include <chrono>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +13,7 @@
 #include "svc/messages.hpp"
 #include "svc/socket.hpp"
 #include "util/config.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace imobif::svc {
 
@@ -28,16 +26,22 @@ namespace {
 /// would declare the worker hung and requeue the unit mid-compute.
 class HeartbeatPump {
  public:
-  HeartbeatPump(Socket& socket, std::mutex& send_mu, int interval_ms,
+  HeartbeatPump(Socket& socket, util::Mutex& send_mu, int interval_ms,
                 int send_timeout_ms) {
     if (interval_ms <= 0) return;
     thread_ = std::thread([this, &socket, &send_mu, interval_ms,
                            send_timeout_ms] {
-      std::unique_lock<std::mutex> lock(mu_);
-      while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
-                           [this] { return stop_; })) {
+      util::MutexLock lock(mu_);
+      while (!stop_) {
+        // A notification (or a spurious wakeup) re-checks stop_; only a
+        // full quiet interval emits a heartbeat.
+        if (cv_.wait_for_ms(mu_, interval_ms) !=
+            util::CondVar::WaitStatus::kTimeout) {
+          continue;
+        }
+        if (stop_) break;
         try {
-          const std::lock_guard<std::mutex> send_lock(send_mu);
+          const util::MutexLock send_lock(send_mu);
           socket.write_all(encode_frame(make_heartbeat()), send_timeout_ms);
         } catch (const SvcError&) {
           return;  // transport gone; the unit's next send fails the same way
@@ -51,7 +55,7 @@ class HeartbeatPump {
   void stop() {
     if (!thread_.joinable()) return;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -59,9 +63,9 @@ class HeartbeatPump {
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stop_ IMOBIF_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 
@@ -77,7 +81,9 @@ void run_unit(Socket& socket, const WorkerOptions& options,
   // the normal case, not an opt-in.
   checkpoint.resume = !checkpoint.dir.empty();
 
-  std::mutex send_mu;
+  // Guards the socket's write side: the heartbeat thread and the unit's
+  // progress/result frames must never interleave mid-frame.
+  util::Mutex send_mu;
   HeartbeatPump heartbeat(socket, send_mu, options.heartbeat_interval_ms,
                           options.send_timeout_ms);
 
@@ -95,7 +101,7 @@ void run_unit(Socket& socket, const WorkerOptions& options,
     progress.sweep_id = assign.sweep_id;
     progress.unit_index = assign.unit_index;
     progress.instances_done = absolute_index - assign.begin + 1;
-    const std::lock_guard<std::mutex> send_lock(send_mu);
+    const util::MutexLock send_lock(send_mu);
     socket.write_all(encode_frame(progress.to_frame()),
                      options.send_timeout_ms);
   };

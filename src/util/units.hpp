@@ -193,8 +193,8 @@ static_assert(sizeof(JoulesPerBit) == sizeof(double));
 static_assert(std::is_trivially_copyable_v<Joules>);
 static_assert(std::is_trivially_destructible_v<Meters>);
 
-// Spot-check the dimension algebra at compile time.
-// lint:allow(float-equality) x3 below: exact constexpr checks on values
+// Spot-check the dimension algebra at compile time. The three
+// float-equality waivers below are exact constexpr checks on values
 // (6/2, 0.5*8) that are representable without rounding.
 static_assert((Joules{6.0} / Meters{2.0}).value() == 3.0);  // lint:allow(float-equality)
 static_assert(Joules{6.0} / Joules{2.0} == 3.0);  // lint:allow(float-equality)

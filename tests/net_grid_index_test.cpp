@@ -85,6 +85,59 @@ TEST(GridIndex, LargerRadiusThanCellWidens) {
   EXPECT_EQ(hits.size(), 1u);
 }
 
+TEST(GridIndexNearest, EmptyGridReturnsNullopt) {
+  GridIndex index(100.0);
+  EXPECT_FALSE(index.nearest({0.0, 0.0}, 1000.0).has_value());
+  // Zero radius on an empty grid must not scan anything either.
+  EXPECT_FALSE(index.nearest({0.0, 0.0}, 0.0).has_value());
+}
+
+TEST(GridIndexNearest, SingleOccupiedCellAtQueryOrigin) {
+  GridIndex index(100.0);
+  index.insert(9, {10.0, 20.0});
+  const auto hit = index.nearest({10.0, 20.0}, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 9u);
+  EXPECT_EQ(hit->distance_sq, 0.0);
+  EXPECT_EQ(hit->position.x, 10.0);
+  EXPECT_EQ(hit->position.y, 20.0);
+}
+
+TEST(GridIndexNearest, HitExactlyOnRingExpansionOuterBoundary) {
+  // The only node sits at distance == max_radius, two full cell rings
+  // out: the search must expand past the empty inner rings and the
+  // inclusive radius must keep the boundary hit.
+  GridIndex index(100.0);
+  index.insert(4, {200.0, 0.0});
+  const auto hit = index.nearest({0.0, 0.0}, 200.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 4u);
+  EXPECT_EQ(hit->distance_sq, 200.0 * 200.0);
+  // Just inside the boundary the same node is out of range.
+  EXPECT_FALSE(index.nearest({0.0, 0.0}, 199.999).has_value());
+}
+
+TEST(GridIndexNearest, CloserNodeInOuterRingBeatsRingZeroHit) {
+  // The ring-floor early exit must not stop before a geometrically
+  // closer node one ring further out: a corner hit in the center cell is
+  // ~141 away, the ring-1 node only ~100.
+  GridIndex index(100.0);
+  index.insert(1, {99.0, 99.0});    // center cell, far corner
+  index.insert(2, {100.5, 0.0});    // ring 1, much closer
+  const auto hit = index.nearest({0.0, 0.0}, 500.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 2u);
+}
+
+TEST(GridIndexNearest, EqualDistanceBreaksToLowestId) {
+  GridIndex index(100.0);
+  index.insert(8, {50.0, 0.0});
+  index.insert(3, {-50.0, 0.0});
+  const auto hit = index.nearest({0.0, 0.0}, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->id, 3u);
+}
+
 // Property: query() agrees with brute force over random insert / move /
 // remove workloads.
 TEST(GridIndexProperty, MatchesBruteForce) {

@@ -1,0 +1,16 @@
+// Fixture: MUST stay clean — this file is outside src/, so the
+// determinism and raw-mutex rules do not apply (tools, tests, and bench
+// code may iterate hash maps and use raw primitives freely).
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+inline int sum(const std::unordered_map<int, int>& m) {
+  std::mutex mu;  // fine outside src/
+  int total = 0;
+  for (const auto& kv : m) total += kv.second;  // fine outside src/
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Fixture: MUST fire unordered-iteration three times — a range-for over a
+// member declared in the header (cross-file resolution), a range-for over
+// a local, and a begin() handed to an algorithm.
+#include "bad_iter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace fixture {
+
+double BadIter::sum() const {
+  double total = 0.0;
+  for (const auto& [key, value] : table_) {  // finding: member, cross-file
+    total += value;
+  }
+  return total;
+}
+
+void BadIter::touch_all() {
+  std::unordered_map<int, int> local;
+  for (auto& kv : local) {  // finding: local declaration
+    kv.second += 1;
+  }
+  (void)std::count_if(seen_.begin(), seen_.end(),  // finding: algorithm
+                      [](std::uint32_t v) { return v > 0; });
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: declares the unordered member; the iteration lives in the .cpp.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class BadIter {
+ public:
+  double sum() const;
+  void touch_all();
+
+ private:
+  std::unordered_map<std::uint32_t, double> table_;
+  std::unordered_set<std::uint32_t> seen_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: MUST fire pointer-key-ordered twice — std::map and std::set
+// keyed by a pointer order by allocation address.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Obj {
+  int value = 0;
+};
+
+class BadPtrKey {
+ private:
+  std::map<Obj*, int> by_object_;          // finding
+  std::set<const Obj*> marked_;            // finding
+};
+
+}  // namespace fixture

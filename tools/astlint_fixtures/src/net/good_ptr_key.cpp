@@ -1,0 +1,20 @@
+// Fixture: MUST stay clean for pointer-key-ordered — value keys, pointer
+// mapped-to values, and a pointer-keyed hash map (not address-*ordered*).
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Obj {
+  int value = 0;
+};
+
+class GoodPtrKey {
+ private:
+  std::map<std::uint32_t, Obj*> by_id_;        // pointer is the value
+  std::map<int, int> plain_;
+  std::unordered_map<Obj*, int> scratch_;      // hash lookup, never iterated
+};
+
+}  // namespace fixture

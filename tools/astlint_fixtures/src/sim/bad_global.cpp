@@ -1,0 +1,23 @@
+// Fixture: MUST fire mutable-global three times — a namespace-scope
+// variable, a function-local static, and a static data member.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t g_event_counter = 0;  // finding: namespace-scope mutable
+
+namespace {
+int g_hidden_state;  // finding: anonymous namespace is still per-process
+}  // namespace
+
+class BadGlobal {
+ public:
+  static int instances;  // finding: static data member
+};
+
+int next_id() {
+  static int counter = 0;  // finding: function-local static
+  return ++counter;
+}
+
+}  // namespace fixture

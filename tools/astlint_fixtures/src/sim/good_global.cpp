@@ -1,0 +1,25 @@
+// Fixture: MUST stay clean for mutable-global — constants, enums, static
+// member functions, and ordinary locals are all fine.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr double kSpeedOfLight = 2.998e8;
+const int kRetries = 3;
+
+enum class Phase { kIdle, kActive, kDone };
+
+class GoodGlobal {
+ public:
+  static int make() { return 7; }  // static member *function*
+
+ private:
+  int member_ = 0;  // per-instance state is the whole point
+};
+
+int twice(int x) {
+  int local = x;  // ordinary local
+  return local * 2;
+}
+
+}  // namespace fixture

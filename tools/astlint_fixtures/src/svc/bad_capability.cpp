@@ -1,0 +1,19 @@
+// Fixture: MUST fire unguarded-capability — a util::Mutex member that no
+// annotation in the file ever names guards nothing.
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class BadCapability {
+ public:
+  void bump() {
+    imobif::util::MutexLock lock(mu_);
+    ++count_;  // mutated under the lock, but the linter can't know that
+  }
+
+ private:
+  imobif::util::Mutex mu_;  // finding: nothing is IMOBIF_GUARDED_BY(mu_)
+  int count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: MUST stay clean for raw-mutex and unguarded-capability — the
+// annotated wrapper guards a member via IMOBIF_GUARDED_BY.
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class GoodMutex {
+ public:
+  void bump() {
+    imobif::util::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  imobif::util::Mutex mu_;
+  int count_ IMOBIF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -38,6 +38,11 @@ A finding can be waived by putting ``// lint:allow(<rule>)`` on the same
 line or the line directly above it; use sparingly and leave a comment
 explaining why the exact construct is safe.
 
+Waivers are themselves audited: a ``lint:allow`` that suppresses nothing —
+the offending code was refactored away, or the rule name is misspelled —
+is reported as a ``stale-waiver`` error, so dead escape hatches cannot
+accumulate and silently blanket future regressions.
+
 When a compile database is available (``--compile-db`` or an auto-found
 ``build/compile_commands.json``), translation units not listed in it are
 skipped instead of globbed blindly — dead files cannot then hide findings
@@ -65,6 +70,8 @@ RULES = {
                        "typed-layer public header; use util::Quantity",
     "socket-timeout": "raw socket syscall in src/svc/; sockets must be "
                       "non-blocking with poll_wait() timeouts",
+    "stale-waiver": "lint:allow() that suppresses no finding (refactored "
+                    "code or misspelled rule); remove it",
 }
 
 HEADER_EXTS = (".hpp", ".h")
@@ -176,16 +183,22 @@ def lint_file(path):
     except (OSError, UnicodeDecodeError) as err:
         return [Finding(path, 0, "include-hygiene", f"unreadable file: {err}")]
 
-    waivers = {}  # line_no -> set of rule names covering that line
+    waivers = {}  # line_no -> {rule name -> declaring comment's line}
+    waiver_decls = []  # (comment line, rule) in file order
     for no, line in enumerate(raw_lines, 1):
         m = WAIVER_RE.search(line)
         if m:
-            rules = {r.strip() for r in m.group(1).split(",")}
-            waivers.setdefault(no, set()).update(rules)
-            waivers.setdefault(no + 1, set()).update(rules)
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                waiver_decls.append((no, rule))
+                waivers.setdefault(no, {})[rule] = no
+                waivers.setdefault(no + 1, {})[rule] = no
+
+    used_waivers = set()  # (comment line, rule) that suppressed something
 
     def report(no, rule, detail):
-        if rule in waivers.get(no, set()):
+        decl_line = waivers.get(no, {}).get(rule)
+        if decl_line is not None:
+            used_waivers.add((decl_line, rule))
             return
         findings.append(Finding(path, no, rule, detail))
 
@@ -239,6 +252,19 @@ def lint_file(path):
             report(no, "include-hygiene",
                    f"first project include should be the file's own header "
                    f"({stem}.hpp), found \"{inc}\"")
+
+    # A waiver that suppressed nothing is itself a finding. These bypass
+    # report(): waiving a stale-waiver would just create another stale
+    # waiver.
+    for decl_line, rule in waiver_decls:
+        if rule not in RULES or rule == "stale-waiver":
+            findings.append(Finding(
+                path, decl_line, "stale-waiver",
+                f"lint:allow({rule}) names no known rule"))
+        elif (decl_line, rule) not in used_waivers:
+            findings.append(Finding(
+                path, decl_line, "stale-waiver",
+                f"lint:allow({rule}) suppresses no finding; remove it"))
     return findings
 
 

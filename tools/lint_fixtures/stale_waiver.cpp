@@ -1,0 +1,18 @@
+// Fixture: MUST fire stale-waiver twice — a waiver for code that was
+// refactored away, and a waiver naming a rule that does not exist.
+#include <vector>
+
+namespace fixture {
+
+int stale() {
+  // The rand() call this once covered is gone; the waiver must now fail.
+  // lint:allow(banned-random)
+  return 4;
+}
+
+int misspelled() {
+  // lint:allow(baned-random)
+  return 7;
+}
+
+}  // namespace fixture

@@ -17,10 +17,26 @@ baseline but missing from the current run fails the gate (lost coverage
 looks like a speedup to a naive diff); benchmarks new in the current run
 are listed but not gated until they are committed.
 
+The scale gate works the same way for macro throughput: it compares a
+fresh ``scale_sweep`` report against the committed
+``bench/baselines/BENCH_scale.json`` and fails when ``events_per_sec`` at
+any gated node count (default: 1e4 and 1e5) drops more than
+``--scale-threshold`` (default 10%) below the baseline. Throughput is
+higher-is-better, so the best of N runs is the *maximum*. The 1e2/1e3
+points are dominated by setup noise and the 1e6 point by memory-bandwidth
+variance between CI hosts, so only the middle of the curve is gated.
+
+Either gate (or both) can run in one invocation; pass the corresponding
+``--baseline``/``--current`` or ``--scale-baseline``/``--scale-current``
+pair.
+
 Usage:
     python3 tools/perf_gate.py \
         --baseline bench/baselines/BENCH_micro.json \
-        --current  bench/out/BENCH_micro.*.json [--threshold 0.05]
+        --current  bench/out/BENCH_micro.*.json [--threshold 0.05] \
+        --scale-baseline bench/baselines/BENCH_scale.json \
+        --scale-current  bench/out/BENCH_scale.*.json \
+        [--scale-threshold 0.10] [--scale-points 10000 100000]
 """
 
 from __future__ import annotations
@@ -45,17 +61,105 @@ def load_means(path: str) -> dict[str, float]:
     return means
 
 
+def load_scale_throughput(path: str, points: list[float]) -> dict[float, float]:
+    """Returns {node count -> events_per_sec} at the gated points."""
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    series = report.get("series", {})
+    try:
+        nodes = [float(v) for v in series["nodes"]["values"]]
+        eps = [float(v) for v in series["events_per_sec"]["values"]]
+    except KeyError as err:
+        raise SystemExit(
+            f"perf_gate: {path} lacks a {err} series; not a scale_sweep "
+            "report?")
+    if len(nodes) != len(eps):
+        raise SystemExit(
+            f"perf_gate: {path}: nodes/events_per_sec length mismatch")
+    by_nodes = dict(zip(nodes, eps))
+    out = {}
+    for point in points:
+        if point not in by_nodes:
+            raise SystemExit(
+                f"perf_gate: {path} has no nodes={point:g} point "
+                f"(has {sorted(by_nodes)})")
+        out[point] = by_nodes[point]
+    return out
+
+
+def gate_scale(args) -> list[str]:
+    points = [float(p) for p in args.scale_points]
+    baseline = load_scale_throughput(args.scale_baseline, points)
+    current: dict[float, float] = {}
+    for path in args.scale_current:
+        for point, eps in load_scale_throughput(path, points).items():
+            current[point] = max(eps, current.get(point, eps))
+
+    failures = []
+    print("scale_sweep events/sec (best of "
+          f"{len(args.scale_current)} run(s)):")
+    for point in points:
+        base = baseline[point]
+        cur = current[point]
+        ratio = cur / base if base > 0 else 0.0
+        verdict = "ok"
+        if ratio < 1.0 - args.scale_threshold:
+            verdict = "REGRESSED"
+            failures.append(
+                f"nodes={point:g}: {base:,.0f} ev/s -> {cur:,.0f} ev/s "
+                f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        print(f"  nodes={point:<10g}  {base:>14,.0f}  {cur:>14,.0f}  "
+              f"{(ratio - 1.0) * 100.0:+6.1f}%  {verdict}")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline",
                         help="committed BENCH_micro.json")
-    parser.add_argument("--current", required=True, nargs="+",
+    parser.add_argument("--current", nargs="+",
                         help="freshly produced BENCH_micro.json report(s); "
                              "with several, each benchmark is gated on its "
                              "fastest run")
     parser.add_argument("--threshold", type=float, default=0.05,
                         help="allowed fractional slowdown (default 0.05)")
+    parser.add_argument("--scale-baseline",
+                        help="committed BENCH_scale.json")
+    parser.add_argument("--scale-current", nargs="+",
+                        help="freshly produced BENCH_scale.json report(s); "
+                             "each point is gated on its fastest run")
+    parser.add_argument("--scale-threshold", type=float, default=0.10,
+                        help="allowed fractional throughput drop "
+                             "(default 0.10)")
+    parser.add_argument("--scale-points", nargs="+", type=float,
+                        default=[10000.0, 100000.0],
+                        help="node counts to gate (default: 1e4 1e5)")
     args = parser.parse_args()
+
+    micro = bool(args.baseline or args.current)
+    scale = bool(args.scale_baseline or args.scale_current)
+    if micro and not (args.baseline and args.current):
+        parser.error("--baseline and --current must be given together")
+    if scale and not (args.scale_baseline and args.scale_current):
+        parser.error("--scale-baseline and --scale-current must be given "
+                     "together")
+    if not micro and not scale:
+        parser.error("nothing to gate: give --baseline/--current and/or "
+                     "--scale-baseline/--scale-current")
+
+    scale_failures = gate_scale(args) if scale else []
+    if not micro:
+        if scale_failures:
+            print(f"\nperf_gate: {len(scale_failures)} scale failure(s) "
+                  f"(threshold -{args.scale_threshold * 100.0:.0f}%):",
+                  file=sys.stderr)
+            for line in scale_failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"\nperf_gate: scale throughput within "
+              f"-{args.scale_threshold * 100.0:.0f}% of baseline at all "
+              f"{len(args.scale_points)} gated point(s)")
+        return 0
 
     baseline = load_means(args.baseline)
     current: dict[str, float] = {}
@@ -83,14 +187,19 @@ def main() -> int:
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name:<{width}}  (new, not gated)")
 
+    failures.extend(scale_failures)
     if failures:
         print(f"\nperf_gate: {len(failures)} failure(s) "
-              f"(threshold +{args.threshold * 100.0:.0f}%):", file=sys.stderr)
+              f"(threshold +{args.threshold * 100.0:.0f}% micro, "
+              f"-{args.scale_threshold * 100.0:.0f}% scale):",
+              file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print(f"\nperf_gate: all {len(baseline)} benchmarks within "
-          f"+{args.threshold * 100.0:.0f}% of baseline")
+    gated = f"all {len(baseline)} benchmarks"
+    if scale:
+        gated += f" and {len(args.scale_points)} scale point(s)"
+    print(f"\nperf_gate: {gated} within threshold of baseline")
     return 0
 
 

@@ -86,6 +86,9 @@ def main():
                 "raw-unit-double", expected_count=2)
     check_fires(os.path.join("src", "svc", "bad_socket.cpp"),
                 "socket-timeout", expected_count=2)
+    check_fires("stale_waiver.cpp", "stale-waiver", expected_count=2)
+    # waived_ok.cpp doubles as the stale-waiver negative: every waiver in
+    # it suppresses a live finding, so none may be reported stale.
     check_clean("waived_ok.cpp")
     check_clean("clean_ok.cpp")
     check_clean(os.path.join("src", "energy", "waived_raw_unit_double.hpp"))
@@ -98,7 +101,7 @@ def main():
     expect("--rules exits zero", code == 0, out)
     for rule in ("banned-random", "wall-clock", "iostream", "pragma-once",
                  "float-equality", "include-hygiene", "raw-unit-double",
-                 "socket-timeout"):
+                 "socket-timeout", "stale-waiver"):
         expect(f"--rules lists {rule}", rule in out, out)
 
     # The production gate: the real library tree is lint-clean.
