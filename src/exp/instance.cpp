@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "mob/trace.hpp"
 #include "net/grid_index.hpp"
 
 namespace imobif::exp {
@@ -59,12 +60,28 @@ FlowInstance sample_instance(const ScenarioParams& params, util::Rng& rng) {
   constexpr int kTopologyAttempts = 64;
   constexpr int kPairAttempts = 256;
 
+  // Trace-driven scenarios pin covered nodes to their t=0 trace position.
+  // The file is read once, outside the re-sampling loops.
+  mob::Trace trace;
+  const bool trace_driven = params.mob.model == mob::ModelId::kTrace;
+  if (trace_driven) trace = mob::load_trace(params.mob.trace_file);
+
   for (int topo = 0; topo < kTopologyAttempts; ++topo) {
     FlowInstance inst;
     inst.positions.reserve(params.node_count);
     for (std::size_t i = 0; i < params.node_count; ++i) {
       inst.positions.emplace_back(rng.uniform(0.0, params.area_m.value()),
                                   rng.uniform(0.0, params.area_m.value()));
+    }
+    if (trace_driven) {
+      // Overwrite AFTER drawing, so the RNG stream length (and every later
+      // draw) matches the untraced scenario with the same seed; admission
+      // then runs against the positions the run will actually start from.
+      for (std::size_t i = 0; i < params.node_count; ++i) {
+        if (trace.has(i)) {
+          inst.positions[i] = trace.position_at(i, util::Seconds{0.0});
+        }
+      }
     }
     // One grid per topology; every pair attempt reuses it.
     net::GridIndex grid(params.comm_range_m.value());
@@ -96,6 +113,10 @@ FlowInstance sample_instance(const ScenarioParams& params, util::Rng& rng) {
                                            params.energy_hi_j.value())}
                 : params.initial_energy_j);
       }
+      // Model-zoo seeds come last, and only when enabled: a legacy
+      // scenario's draw sequence ends exactly where it always did.
+      if (params.mob.enabled()) inst.mobility_seed = rng();
+      if (params.traffic.enabled()) inst.traffic_seed = rng();
       return inst;
     }
   }

@@ -21,6 +21,13 @@ struct FlowInstance {
   util::Bits flow_bits{0.0};
   /// Greedy path over the initial placement (oracle), source..destination.
   std::vector<net::NodeId> initial_path;
+  /// Seeds for the background mobility model and traffic generators
+  /// (DESIGN.md §14). Drawn from the sampler's RNG only when the scenario
+  /// enables the respective model — legacy scenarios consume an unchanged
+  /// draw stream — so all comparison modes replay identical ambient
+  /// randomness for the same instance.
+  std::uint64_t mobility_seed = 0;
+  std::uint64_t traffic_seed = 0;
 };
 
 /// Samples a routable instance: uniform node placement, a random

@@ -37,6 +37,8 @@ void InstanceRun::build_network() {
   config.node.notify_retry_timeout =
       sim::Time::from_seconds(params_.notify_retry_timeout_s.value());
   config.radio = params_.radio;
+  config.traffic = params_.traffic;
+  config.traffic_seed = instance_.traffic_seed;
 
   network_ = std::make_unique<net::Network>(config);
   for (std::size_t i = 0; i < instance_.positions.size(); ++i) {
@@ -68,6 +70,14 @@ void InstanceRun::build_network() {
   }
   network_->set_policy(policy_.get());
   network_->set_stop_on_first_death(options_.stop_on_first_death);
+
+  if (params_.mob.enabled()) {
+    // Construct only — create() starts the tick; create_shell leaves it to
+    // the snapshot restore, which re-arms the pending tick event.
+    motion_ = std::make_unique<mob::MotionDriver>(
+        *network_, params_.mob, instance_.mobility_seed, params_.area_m,
+        util::JoulesPerMeter{params_.mobility.k});
+  }
 }
 
 void InstanceRun::compute_horizon() {
@@ -88,6 +98,9 @@ std::unique_ptr<InstanceRun> InstanceRun::create(const FlowInstance& instance,
   net::Network& network = *run->network_;
   network.medium().install_fault_plan(params.fault);
 
+  // Ambient motion runs from t = 0, like fault schedules: nodes drift
+  // during warmup too, so neighbor tables form over the moving topology.
+  if (run->motion_) run->motion_->start();
   network.warmup(params.warmup_s);
   run->warmup_consumed_ = network.total_consumed_energy();
   run->flow_start_ = network.simulator().now();

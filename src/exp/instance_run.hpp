@@ -25,6 +25,7 @@
 #include "exp/instance.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "mob/driver.hpp"
 #include "net/network.hpp"
 
 namespace imobif::exp {
@@ -77,6 +78,9 @@ class InstanceRun {
   const net::Network& network() const { return *network_; }
   core::ImobifPolicy& policy() { return *policy_; }
   const core::ImobifPolicy& policy() const { return *policy_; }
+  /// Background-motion driver; null unless params.mob is enabled.
+  mob::MotionDriver* motion() { return motion_.get(); }
+  const mob::MotionDriver* motion() const { return motion_.get(); }
   const FlowInstance& instance() const { return instance_; }
   const ScenarioParams& params() const { return params_; }
   core::MobilityMode mode() const { return mode_; }
@@ -125,6 +129,7 @@ class InstanceRun {
   energy::MobilityEnergyModel mobility_model_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<core::ImobifPolicy> policy_;
+  std::unique_ptr<mob::MotionDriver> motion_;
 
   util::Joules warmup_consumed_{0.0};
   sim::Time flow_start_ = sim::Time::zero();

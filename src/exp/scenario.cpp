@@ -19,6 +19,8 @@ void ScenarioParams::validate() const {
   }
   radio.validate();
   mobility.validate();
+  mob.validate();
+  traffic.validate();
   if (initial_energy_j <= Joules{0.0}) {
     throw std::invalid_argument("Scenario: initial energy <= 0");
   }

@@ -11,8 +11,10 @@
 
 #include "energy/mobility_model.hpp"
 #include "energy/radio_model.hpp"
+#include "mob/params.hpp"
 #include "net/fault.hpp"
 #include "net/packet.hpp"
+#include "traffic/params.hpp"
 #include "util/units.hpp"
 
 namespace imobif::exp {
@@ -80,6 +82,13 @@ struct ScenarioParams {
   /// Blend strategy targets across flows at shared relays (extension E1);
   /// effective when this OR RunOptions::multi_flow_blending is set.
   bool multi_flow_blending = false;
+
+  // Background mobility and traffic models (DESIGN.md §14). Both default
+  // to disabled/legacy (kNone motion, kCbr traffic), in which case no
+  // events are scheduled, no extra RNG is drawn, and every existing
+  // scenario replays byte-identically.
+  mob::ModelParams mob;
+  traffic::Params traffic;
 
   // Fault model (DESIGN.md §7). The default plan is disabled and injects
   // nothing; with loss/crashes configured, every fault sequence is

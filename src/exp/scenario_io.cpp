@@ -176,6 +176,49 @@ void apply_config(const util::Config& config, ScenarioParams& params) {
   params.notify_retry_timeout_s = Seconds{config.get_double(
       "notify_retry_timeout_s", params.notify_retry_timeout_s.value())};
 
+  // Background mobility / traffic models (DESIGN.md §14). Absent keys keep
+  // the disabled/legacy defaults, so pre-zoo scenario files parse to
+  // byte-identical ScenarioParams.
+  if (config.has("mobility.model")) {
+    params.mob.model = mob::model_from_string(config.get_string(
+        "mobility.model"));
+  }
+  params.mob.update_s = Seconds{
+      config.get_double("mobility.update_s", params.mob.update_s.value())};
+  params.mob.speed_min = util::MetersPerSecond{config.get_double(
+      "mobility.speed_min_mps", params.mob.speed_min.value())};
+  params.mob.speed_max = util::MetersPerSecond{config.get_double(
+      "mobility.speed_max_mps", params.mob.speed_max.value())};
+  params.mob.pause_s = Seconds{
+      config.get_double("mobility.pause_s", params.mob.pause_s.value())};
+  params.mob.gm_alpha =
+      config.get_double("mobility.gm_alpha", params.mob.gm_alpha);
+  params.mob.gm_speed_sigma = util::MetersPerSecond{config.get_double(
+      "mobility.gm_speed_sigma_mps", params.mob.gm_speed_sigma.value())};
+  params.mob.gm_dir_sigma_rad = config.get_double(
+      "mobility.gm_dir_sigma_rad", params.mob.gm_dir_sigma_rad);
+  params.mob.group_count = static_cast<std::size_t>(
+      config.get_int("mobility.group_count",
+                     static_cast<std::int64_t>(params.mob.group_count)));
+  params.mob.group_radius_m = Meters{config.get_double(
+      "mobility.group_radius_m", params.mob.group_radius_m.value())};
+  if (config.has("mobility.trace_file")) {
+    params.mob.trace_file = config.get_string("mobility.trace_file");
+  }
+  params.mob.charge_energy =
+      config.get_bool("mobility.charge_energy", params.mob.charge_energy);
+
+  if (config.has("traffic.model")) {
+    params.traffic.model = traffic::model_from_string(config.get_string(
+        "traffic.model"));
+  }
+  params.traffic.on_mean_s = Seconds{config.get_double(
+      "traffic.on_mean_s", params.traffic.on_mean_s.value())};
+  params.traffic.off_mean_s = Seconds{config.get_double(
+      "traffic.off_mean_s", params.traffic.off_mean_s.value())};
+  params.traffic.pareto_shape = config.get_double(
+      "traffic.pareto_shape", params.traffic.pareto_shape);
+
   params.seed = static_cast<std::uint64_t>(
       config.get_int("seed", static_cast<std::int64_t>(params.seed)));
 }
@@ -236,8 +279,38 @@ std::string to_config_string(const ScenarioParams& p) {
   }
   os << "notify_retry_cap = " << p.notify_retry_cap << "\n"
      << "notify_retry_timeout_s = " << num(p.notify_retry_timeout_s.value())
-     << "\n"
-     << "seed = " << p.seed << "\n";
+     << "\n";
+  // Model-zoo keys are emitted only when a model is enabled: disabled
+  // scenarios keep the pre-zoo config text byte-for-byte, which also keeps
+  // svc checkpoint-scope digests (content-derived from this string) stable
+  // for every legacy sweep.
+  if (p.mob.enabled()) {
+    os << "mobility.model = " << mob::to_string(p.mob.model) << "\n"
+       << "mobility.update_s = " << num(p.mob.update_s.value()) << "\n"
+       << "mobility.speed_min_mps = " << num(p.mob.speed_min.value()) << "\n"
+       << "mobility.speed_max_mps = " << num(p.mob.speed_max.value()) << "\n"
+       << "mobility.pause_s = " << num(p.mob.pause_s.value()) << "\n"
+       << "mobility.gm_alpha = " << num(p.mob.gm_alpha) << "\n"
+       << "mobility.gm_speed_sigma_mps = " << num(p.mob.gm_speed_sigma.value())
+       << "\n"
+       << "mobility.gm_dir_sigma_rad = " << num(p.mob.gm_dir_sigma_rad)
+       << "\n"
+       << "mobility.group_count = " << p.mob.group_count << "\n"
+       << "mobility.group_radius_m = " << num(p.mob.group_radius_m.value())
+       << "\n";
+    if (!p.mob.trace_file.empty()) {
+      os << "mobility.trace_file = " << p.mob.trace_file << "\n";
+    }
+    os << "mobility.charge_energy = "
+       << (p.mob.charge_energy ? "true" : "false") << "\n";
+  }
+  if (p.traffic.enabled()) {
+    os << "traffic.model = " << traffic::to_string(p.traffic.model) << "\n"
+       << "traffic.on_mean_s = " << num(p.traffic.on_mean_s.value()) << "\n"
+       << "traffic.off_mean_s = " << num(p.traffic.off_mean_s.value()) << "\n"
+       << "traffic.pareto_shape = " << num(p.traffic.pareto_shape) << "\n";
+  }
+  os << "seed = " << p.seed << "\n";
   return os.str();
 }
 

@@ -1,0 +1,61 @@
+// MotionDriver: drives a MobilityModel through the event queue.
+//
+// The driver owns the model and a repeating kMobTick event: every
+// params.update_s it steps the model over the network's current positions
+// and applies the moves — interleaving deterministically with the
+// strategy-driven relay motion, HELLO ticks, and packet events that share
+// the same (time, seq) order. Dead nodes never move; ambient motion is
+// free by default (the paper's background mobility is environmental, not
+// budgeted) unless params.charge_energy opts the scenario into charging
+// the move budget via Node::move_towards.
+//
+// Checkpointing: the driver's dynamic state is (model rng, model state,
+// pending tick time); src/snap encodes all three and restore_tick_at()
+// re-arms the tick callback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mob/model.hpp"
+#include "sim/time.hpp"
+#include "util/units.hpp"
+
+namespace imobif::net {
+class Network;
+}  // namespace imobif::net
+
+namespace imobif::mob {
+
+class MotionDriver {
+ public:
+  /// Reads the nodes' current (initial) positions from `network` to seed
+  /// per-node model state. `move_cost` is the scenario's J/m constant,
+  /// used only when params.charge_energy is set.
+  MotionDriver(net::Network& network, const ModelParams& params,
+               std::uint64_t seed, util::Meters area,
+               util::JoulesPerMeter move_cost);
+  ~MotionDriver();
+  MotionDriver(const MotionDriver&) = delete;
+  MotionDriver& operator=(const MotionDriver&) = delete;
+
+  /// Schedules the first tick one update interval from now.
+  void start();
+
+  /// Re-arms the tick at an absolute time (checkpoint restore).
+  void restore_tick_at(sim::Time when);
+
+  MobilityModel& model() { return *model_; }
+  const MobilityModel& model() const { return *model_; }
+  const ModelParams& params() const { return model_->params(); }
+
+ private:
+  void tick();
+  void schedule_at(sim::Time when);
+
+  net::Network& network_;
+  std::unique_ptr<MobilityModel> model_;
+  util::JoulesPerMeter move_cost_;
+};
+
+}  // namespace imobif::mob

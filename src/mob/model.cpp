@@ -1,0 +1,366 @@
+#include "mob/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "geom/segment.hpp"
+#include "mob/trace.hpp"
+
+namespace imobif::mob {
+
+using util::Meters;
+using util::MetersPerSecond;
+using util::Seconds;
+
+MobilityModel::~MobilityModel() = default;
+
+void MobilityModel::restore_state(const std::vector<double>& state) {
+  if (!state.empty()) {
+    throw std::invalid_argument("mob: unexpected model state");
+  }
+}
+
+double MobilityModel::clamp_coord(double v) const {
+  return std::clamp(v, 0.0, area_.value());
+}
+
+namespace {
+
+void check_state_size(const std::vector<double>& state, std::size_t want,
+                      const char* model) {
+  if (state.size() != want) {
+    throw std::invalid_argument(std::string("mob: bad ") + model +
+                                " state size " +
+                                std::to_string(state.size()));
+  }
+}
+
+/// Waypoint kinematics shared by RandomWaypoint nodes and Group reference
+/// points: move toward the target, pause on arrival, then draw the next
+/// leg. All draws go through the owning model's RNG in a fixed order.
+struct WaypointState {
+  geom::Vec2 target;
+  double speed_mps = 0.0;
+  double pause_left_s = 0.0;
+
+  void draw_leg(util::Rng& rng, const ModelParams& p, double area) {
+    target = geom::Vec2{rng.uniform(0.0, area), rng.uniform(0.0, area)};
+    speed_mps = rng.uniform(p.speed_min.value(), p.speed_max.value());
+  }
+
+  /// Advances `pos` one tick; returns the (possibly unchanged) position.
+  geom::Vec2 advance(geom::Vec2 pos, Seconds dt, util::Rng& rng,
+                     const ModelParams& p, double area) {
+    if (pause_left_s > 0.0) {
+      pause_left_s -= dt.value();
+      if (pause_left_s <= 0.0) {
+        pause_left_s = 0.0;
+        draw_leg(rng, p, area);
+      }
+      return pos;
+    }
+    const double step = speed_mps * dt.value();
+    if (geom::distance(pos, target) <= step) {
+      pos = target;
+      if (p.pause_s > Seconds{0.0}) {
+        pause_left_s = p.pause_s.value();
+      } else {
+        draw_leg(rng, p, area);
+      }
+      return pos;
+    }
+    return geom::step_towards(pos, target, step);
+  }
+};
+
+class RandomWaypointModel final : public MobilityModel {
+ public:
+  RandomWaypointModel(const ModelParams& params, std::uint64_t seed,
+                      Meters area, std::size_t node_count)
+      : MobilityModel(params, seed, area) {
+    nodes_.resize(node_count);
+    for (WaypointState& node : nodes_) {
+      node.draw_leg(rng(), this->params(), this->area().value());
+    }
+  }
+
+  ModelId id() const override { return ModelId::kRandomWaypoint; }
+
+  void step(Seconds /*now_s*/, Seconds dt,
+            std::vector<geom::Vec2>& positions) override {
+    for (std::size_t i = 0; i < nodes_.size() && i < positions.size(); ++i) {
+      positions[i] = nodes_[i].advance(positions[i], dt, rng(), params(),
+                                       area().value());
+    }
+  }
+
+  std::vector<double> state() const override {
+    std::vector<double> out;
+    out.reserve(nodes_.size() * 4);
+    for (const WaypointState& node : nodes_) {
+      out.push_back(node.target.x);
+      out.push_back(node.target.y);
+      out.push_back(node.speed_mps);
+      out.push_back(node.pause_left_s);
+    }
+    return out;
+  }
+
+  void restore_state(const std::vector<double>& state) override {
+    check_state_size(state, nodes_.size() * 4, "random-waypoint");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].target = geom::Vec2{state[i * 4], state[i * 4 + 1]};
+      nodes_[i].speed_mps = state[i * 4 + 2];
+      nodes_[i].pause_left_s = state[i * 4 + 3];
+    }
+  }
+
+ private:
+  std::vector<WaypointState> nodes_;
+};
+
+/// Gauss–Markov: speed and heading follow memory-alpha AR(1) processes
+/// around a per-node mean heading; boundaries reflect both the heading and
+/// its mean so nodes do not stick to walls.
+class GaussMarkovModel final : public MobilityModel {
+ public:
+  GaussMarkovModel(const ModelParams& params, std::uint64_t seed,
+                   Meters area, std::size_t node_count)
+      : MobilityModel(params, seed, area) {
+    nodes_.resize(node_count);
+    const double mean_speed =
+        0.5 * (params.speed_min.value() + params.speed_max.value());
+    for (NodeState& node : nodes_) {
+      node.speed_mps = mean_speed;
+      node.dir_rad = rng().uniform(0.0, 2.0 * M_PI);
+      node.mean_dir_rad = node.dir_rad;
+    }
+  }
+
+  ModelId id() const override { return ModelId::kGaussMarkov; }
+
+  void step(Seconds /*now_s*/, Seconds dt,
+            std::vector<geom::Vec2>& positions) override {
+    const ModelParams& p = params();
+    const double alpha = p.gm_alpha;
+    const double noise = std::sqrt(std::max(0.0, 1.0 - alpha * alpha));
+    const double mean_speed =
+        0.5 * (p.speed_min.value() + p.speed_max.value());
+    for (std::size_t i = 0; i < nodes_.size() && i < positions.size(); ++i) {
+      NodeState& node = nodes_[i];
+      node.speed_mps =
+          std::clamp(alpha * node.speed_mps + (1.0 - alpha) * mean_speed +
+                         noise * rng().normal(0.0, p.gm_speed_sigma.value()),
+                     p.speed_min.value(), p.speed_max.value());
+      node.dir_rad = alpha * node.dir_rad +
+                     (1.0 - alpha) * node.mean_dir_rad +
+                     noise * rng().normal(0.0, p.gm_dir_sigma_rad);
+      geom::Vec2 pos = positions[i];
+      pos.x += node.speed_mps * dt.value() * std::cos(node.dir_rad);
+      pos.y += node.speed_mps * dt.value() * std::sin(node.dir_rad);
+      if (pos.x < 0.0 || pos.x > area().value()) {
+        node.dir_rad = M_PI - node.dir_rad;
+        node.mean_dir_rad = M_PI - node.mean_dir_rad;
+        pos.x = clamp_coord(pos.x);
+      }
+      if (pos.y < 0.0 || pos.y > area().value()) {
+        node.dir_rad = -node.dir_rad;
+        node.mean_dir_rad = -node.mean_dir_rad;
+        pos.y = clamp_coord(pos.y);
+      }
+      positions[i] = pos;
+    }
+  }
+
+  std::vector<double> state() const override {
+    std::vector<double> out;
+    out.reserve(nodes_.size() * 3);
+    for (const NodeState& node : nodes_) {
+      out.push_back(node.speed_mps);
+      out.push_back(node.dir_rad);
+      out.push_back(node.mean_dir_rad);
+    }
+    return out;
+  }
+
+  void restore_state(const std::vector<double>& state) override {
+    check_state_size(state, nodes_.size() * 3, "gauss-markov");
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].speed_mps = state[i * 3];
+      nodes_[i].dir_rad = state[i * 3 + 1];
+      nodes_[i].mean_dir_rad = state[i * 3 + 2];
+    }
+  }
+
+ private:
+  struct NodeState {
+    double speed_mps = 0.0;
+    double dir_rad = 0.0;
+    double mean_dir_rad = 0.0;
+  };
+  std::vector<NodeState> nodes_;
+};
+
+/// Reference-point group mobility: each group's reference point walks like
+/// a random-waypoint node; members ride along at their sampled formation
+/// offset plus a jitter walk bounded by group_radius. Bounding the jitter
+/// (not the whole offset) keeps t = 0 exactly at the admitted placement —
+/// clamping the raw offset would teleport scattered members onto their
+/// centroid on the first tick.
+class GroupModel final : public MobilityModel {
+ public:
+  GroupModel(const ModelParams& params, std::uint64_t seed, Meters area,
+             const std::vector<geom::Vec2>& initial_positions)
+      : MobilityModel(params, seed, area) {
+    const std::size_t node_count = initial_positions.size();
+    const std::size_t group_count =
+        std::max<std::size_t>(1, std::min(params.group_count, node_count));
+    groups_.resize(group_count);
+    formation_.resize(node_count);
+    jitter_.resize(node_count);
+
+    // Reference points start at their members' centroid, so reference +
+    // formation offset reproduces the sampled placement exactly at t = 0.
+    std::vector<std::size_t> members(group_count, 0);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      groups_[i % group_count].reference += initial_positions[i];
+      ++members[i % group_count];
+    }
+    for (std::size_t g = 0; g < group_count; ++g) {
+      if (members[g] > 0) {
+        groups_[g].reference =
+            groups_[g].reference / static_cast<double>(members[g]);
+      }
+      groups_[g].walk.draw_leg(rng(), this->params(), this->area().value());
+    }
+    for (std::size_t i = 0; i < node_count; ++i) {
+      formation_[i] =
+          initial_positions[i] - groups_[i % group_count].reference;
+    }
+  }
+
+  ModelId id() const override { return ModelId::kGroup; }
+
+  void step(Seconds /*now_s*/, Seconds dt,
+            std::vector<geom::Vec2>& positions) override {
+    const ModelParams& p = params();
+    for (Group& group : groups_) {
+      group.reference = group.walk.advance(group.reference, dt, rng(), p,
+                                           area().value());
+    }
+    const double step = p.speed_max.value() * dt.value();
+    const double radius = p.group_radius_m.value();
+    for (std::size_t i = 0; i < jitter_.size() && i < positions.size();
+         ++i) {
+      geom::Vec2 jitter = jitter_[i];
+      jitter.x += rng().uniform(-step, step);
+      jitter.y += rng().uniform(-step, step);
+      const double norm = jitter.norm();
+      if (norm > radius) jitter = jitter * (radius / norm);
+      jitter_[i] = jitter;
+      const geom::Vec2 pos =
+          groups_[i % groups_.size()].reference + formation_[i] + jitter;
+      positions[i] = geom::Vec2{clamp_coord(pos.x), clamp_coord(pos.y)};
+    }
+  }
+
+  std::vector<double> state() const override {
+    std::vector<double> out;
+    out.reserve(groups_.size() * 6 + jitter_.size() * 2);
+    for (const Group& group : groups_) {
+      out.push_back(group.reference.x);
+      out.push_back(group.reference.y);
+      out.push_back(group.walk.target.x);
+      out.push_back(group.walk.target.y);
+      out.push_back(group.walk.speed_mps);
+      out.push_back(group.walk.pause_left_s);
+    }
+    // Formation offsets are reconstructed by the constructor (pure
+    // function of the initial placement); only the jitter walk is state.
+    for (const geom::Vec2& jitter : jitter_) {
+      out.push_back(jitter.x);
+      out.push_back(jitter.y);
+    }
+    return out;
+  }
+
+  void restore_state(const std::vector<double>& state) override {
+    check_state_size(state, groups_.size() * 6 + jitter_.size() * 2,
+                     "group");
+    std::size_t at = 0;
+    for (Group& group : groups_) {
+      group.reference = geom::Vec2{state[at], state[at + 1]};
+      group.walk.target = geom::Vec2{state[at + 2], state[at + 3]};
+      group.walk.speed_mps = state[at + 4];
+      group.walk.pause_left_s = state[at + 5];
+      at += 6;
+    }
+    for (geom::Vec2& jitter : jitter_) {
+      jitter = geom::Vec2{state[at], state[at + 1]};
+      at += 2;
+    }
+  }
+
+ private:
+  struct Group {
+    geom::Vec2 reference;
+    WaypointState walk;
+  };
+  std::vector<Group> groups_;
+  std::vector<geom::Vec2> formation_;  ///< fixed sampled offsets
+  std::vector<geom::Vec2> jitter_;     ///< bounded random walk (state)
+};
+
+/// Trace replay: positions are a pure function of the schedule and the
+/// current time, so the model carries no dynamic state and draws no RNG.
+class TraceReplayModel final : public MobilityModel {
+ public:
+  TraceReplayModel(const ModelParams& params, std::uint64_t seed,
+                   Meters area, Trace trace)
+      : MobilityModel(params, seed, area), trace_(std::move(trace)) {}
+
+  ModelId id() const override { return ModelId::kTrace; }
+
+  void step(Seconds now_s, Seconds /*dt*/,
+            std::vector<geom::Vec2>& positions) override {
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      if (trace_.has(i)) {
+        positions[i] = trace_.position_at(i, now_s);
+      }
+    }
+  }
+
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace
+
+std::unique_ptr<MobilityModel> make_model(
+    const ModelParams& params, std::uint64_t seed, Meters area,
+    const std::vector<geom::Vec2>& initial_positions) {
+  params.validate();
+  switch (params.model) {
+    case ModelId::kNone:
+      break;
+    case ModelId::kRandomWaypoint:
+      return std::make_unique<RandomWaypointModel>(
+          params, seed, area, initial_positions.size());
+    case ModelId::kGaussMarkov:
+      return std::make_unique<GaussMarkovModel>(params, seed, area,
+                                                initial_positions.size());
+    case ModelId::kGroup:
+      return std::make_unique<GroupModel>(params, seed, area,
+                                          initial_positions);
+    case ModelId::kTrace:
+      return std::make_unique<TraceReplayModel>(
+          params, seed, area, load_trace(params.trace_file));
+  }
+  throw std::invalid_argument("mob: make_model needs an enabled model");
+}
+
+}  // namespace imobif::mob

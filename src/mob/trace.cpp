@@ -1,0 +1,134 @@
+#include "mob/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace imobif::mob {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("trace: line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+/// Splits `line` into whitespace-separated tokens, dropping everything
+/// from the first comment character on.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  const std::size_t comment = line.find_first_of("#;");
+  if (comment != std::string_view::npos) line = line.substr(0, comment);
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t start = line.find_first_not_of(" \t\r", pos);
+    if (start == std::string_view::npos) break;
+    const std::size_t end = line.find_first_of(" \t\r", start);
+    tokens.push_back(line.substr(
+        start, end == std::string_view::npos ? line.size() - start
+                                             : end - start));
+    if (end == std::string_view::npos) break;
+    pos = end;
+  }
+  return tokens;
+}
+
+std::uint64_t parse_node(std::string_view token, std::size_t line_no) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    fail(line_no, "bad node id '" + std::string(token) + "'");
+  }
+  if (value >= kMaxTraceNodes) {
+    fail(line_no, "node id " + std::to_string(value) + " exceeds the " +
+                      std::to_string(kMaxTraceNodes) + "-node trace cap");
+  }
+  return value;
+}
+
+double parse_number(std::string_view token, std::size_t line_no,
+                    const char* field) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size() ||
+      !std::isfinite(value)) {
+    fail(line_no,
+         std::string("bad ") + field + " '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+geom::Vec2 Trace::position_at(std::size_t node, util::Seconds when) const {
+  const double time_s = when.value();
+  const std::vector<Waypoint>& schedule = schedules.at(node);
+  if (schedule.empty()) {
+    throw std::out_of_range("trace: node " + std::to_string(node) +
+                            " has no schedule");
+  }
+  const auto after = std::upper_bound(
+      schedule.begin(), schedule.end(), time_s,
+      [](double t, const Waypoint& wp) { return t < wp.time_s; });
+  if (after == schedule.begin()) return schedule.front().position;
+  if (after == schedule.end()) return schedule.back().position;
+  const Waypoint& lo = *(after - 1);
+  const Waypoint& hi = *after;
+  const double span = hi.time_s - lo.time_s;
+  // Strictly increasing times guarantee span > 0.
+  const double frac = (time_s - lo.time_s) / span;
+  return lo.position + (hi.position - lo.position) * frac;
+}
+
+Trace parse_trace(const std::string& text) {
+  Trace trace;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line(
+        text.data() + pos,
+        (eol == std::string::npos ? text.size() : eol) - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::vector<std::string_view> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens.size() != 4) {
+      fail(line_no, "expected '<node> <time_s> <x_m> <y_m>', got " +
+                        std::to_string(tokens.size()) + " field(s)");
+    }
+    const std::uint64_t node = parse_node(tokens[0], line_no);
+    Trace::Waypoint wp;
+    wp.time_s = parse_number(tokens[1], line_no, "time");
+    wp.position.x = parse_number(tokens[2], line_no, "x");
+    wp.position.y = parse_number(tokens[3], line_no, "y");
+    if (wp.time_s < 0.0) fail(line_no, "negative waypoint time");
+
+    if (node >= trace.schedules.size()) trace.schedules.resize(node + 1);
+    std::vector<Trace::Waypoint>& schedule = trace.schedules[node];
+    if (!schedule.empty() && wp.time_s <= schedule.back().time_s) {
+      fail(line_no, "waypoint times must be strictly increasing per node");
+    }
+    schedule.push_back(wp);
+  }
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("trace: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_trace(buffer.str());
+}
+
+}  // namespace imobif::mob

@@ -1,0 +1,54 @@
+// Mobility trace files: external per-node waypoint schedules (the kTrace
+// model's input — DESIGN.md §14).
+//
+// Format, one waypoint per line:
+//
+//   # comment (also ';'); blank lines ignored
+//   <node> <time_s> <x_m> <y_m>
+//
+// Fields are whitespace-separated; times must be strictly increasing per
+// node, all numbers finite. A node's position is the linear interpolation
+// between bracketing waypoints, the first waypoint's position before its
+// schedule starts, and the last one's after it ends (the node parks).
+// Nodes absent from the trace simply keep whatever motion the scenario
+// gives them (none, under kTrace).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "util/units.hpp"
+
+namespace imobif::mob {
+
+/// Hard cap on the node ids a trace may address; larger ids are parse
+/// errors, keeping adversarial inputs from ballooning the schedule table.
+inline constexpr std::size_t kMaxTraceNodes = 1u << 20;
+
+struct Trace {
+  struct Waypoint {
+    double time_s = 0.0;
+    geom::Vec2 position;
+  };
+
+  /// Indexed by node id; nodes without waypoints have empty schedules.
+  std::vector<std::vector<Waypoint>> schedules;
+
+  bool has(std::size_t node) const {
+    return node < schedules.size() && !schedules[node].empty();
+  }
+
+  /// Interpolated position of `node` at `when`; requires has(node).
+  geom::Vec2 position_at(std::size_t node, util::Seconds when) const;
+};
+
+/// Parses trace text; throws std::invalid_argument naming the offending
+/// line on malformed input (fuzzed by tests/fuzz/fuzz_mob_trace.cpp).
+Trace parse_trace(const std::string& text);
+
+/// Reads and parses `path`; throws std::runtime_error when unreadable.
+Trace load_trace(const std::string& path);
+
+}  // namespace imobif::mob

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "traffic/generator.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace imobif::net {
 
@@ -101,11 +104,39 @@ void Network::start_flow(const FlowSpec& spec) {
   entry.mobility_enabled = spec.initially_enabled;
   src.sync_flow_aggregate();
 
-  const Seconds interval = spec.packet_bits / spec.rate_bps;
+  if (config_.traffic.enabled()) {
+    // Per-flow generator stream forked from the instance's traffic seed:
+    // flow id keys the fork so multi-flow runs stay order-independent.
+    std::uint64_t fork = config_.traffic_seed ^
+                         (0x9e3779b97f4a7c15ULL * (spec.id + 1));
+    traffic_.emplace(spec.id, traffic::make_generator(config_.traffic,
+                                                      util::splitmix64(fork)));
+  }
+  const Seconds interval = emission_interval(spec.id, spec);
   sim_.after(
       sim::Time::from_seconds(interval.value()),
       [this, id = spec.id] { emit_packet(id); },
       sim::EventTag::emit_packet(spec.id));
+}
+
+Seconds Network::emission_interval(FlowId id, const FlowSpec& spec) {
+  const Seconds base = spec.packet_bits / spec.rate_bps;
+  const auto it = traffic_.find(id);
+  if (it == traffic_.end()) return base;
+  return it->second->next_interval(base);
+}
+
+void Network::restore_traffic_state(
+    FlowId id, const std::array<std::uint64_t, 4>& rng_state,
+    const std::vector<double>& state) {
+  if (!config_.traffic.enabled()) {
+    throw std::invalid_argument(
+        "restore_traffic_state: network has no traffic model");
+  }
+  auto generator = traffic::make_generator(config_.traffic, 1);
+  generator->rng().set_state(rng_state);
+  generator->restore_state(state);
+  traffic_.insert_or_assign(id, std::move(generator));
 }
 
 void Network::emit_packet(FlowId id) {
@@ -146,7 +177,7 @@ void Network::emit_packet(FlowId id) {
   src.originate_data(data);
   entry->residual_bits = true_residual_bits;
 
-  const Seconds interval = spec.packet_bits / spec.rate_bps;
+  const Seconds interval = emission_interval(id, spec);
   sim_.after(sim::Time::from_seconds(interval.value()),
              [this, id] { emit_packet(id); },
              sim::EventTag::emit_packet(id));

@@ -2,6 +2,8 @@
 // pumps; collects flow progress and fate events for the experiment harness.
 #pragma once
 
+#include <array>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -12,7 +14,12 @@
 #include "net/node.hpp"
 #include "net/routing.hpp"
 #include "sim/simulator.hpp"
+#include "traffic/params.hpp"
 #include "util/units.hpp"
+
+namespace imobif::traffic {
+class Generator;
+}  // namespace imobif::traffic
 
 namespace imobif::net {
 
@@ -20,6 +27,10 @@ struct NetworkConfig {
   MediumConfig medium;
   NodeConfig node;
   energy::RadioParams radio;
+  /// Traffic shaping (DESIGN.md §14). kCbr keeps the legacy inline
+  /// interval computation — no generators are created at all.
+  traffic::Params traffic;
+  std::uint64_t traffic_seed = 0;
 };
 
 /// Everything the source needs to drive one one-to-one flow.
@@ -134,6 +145,16 @@ class Network : public NetworkEvents {
   void restore_total_data_drops(std::uint64_t count) {
     total_data_drops_ = count;
   }
+  /// Per-flow traffic generators, keyed by flow id (empty under CBR).
+  /// std::map so snapshot encoding iterates in flow-id order.
+  const std::map<FlowId, std::unique_ptr<traffic::Generator>>&
+  traffic_generators() const {
+    return traffic_;
+  }
+  /// Recreates flow `id`'s generator from the snapshot's (rng, state) pair.
+  void restore_traffic_state(FlowId id,
+                             const std::array<std::uint64_t, 4>& rng_state,
+                             const std::vector<double>& state);
 
   /// Aggregate energy drawn across all nodes, by category.
   util::Joules total_transmit_energy() const;
@@ -157,6 +178,9 @@ class Network : public NetworkEvents {
 
  private:
   void emit_packet(FlowId id);
+  /// Inter-packet gap for the next emission: the CBR base interval,
+  /// shaped by the flow's generator when one is installed.
+  util::Seconds emission_interval(FlowId id, const FlowSpec& spec);
   Node::Services services();
 
   NetworkConfig config_;
@@ -169,6 +193,7 @@ class Network : public NetworkEvents {
   NetworkEvents* tap_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<FlowId, FlowProgress> flows_;
+  std::map<FlowId, std::unique_ptr<traffic::Generator>> traffic_;
   bool stop_on_first_death_ = false;
   std::optional<sim::Time> first_death_time_;
   std::size_t dead_nodes_ = 0;

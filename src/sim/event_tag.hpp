@@ -26,6 +26,7 @@ struct EventTag {
     kDeliver = 3,       ///< a = receiver node id; payload = the packet
     kNotifyRetry = 4,   ///< a = node id, b = flow id
     kFaultSet = 5,      ///< a = node id, b = 1 (crash) / 0 (resume)
+    kMobTick = 6,       ///< background-motion tick (src/mob)
   };
 
   Kind kind = Kind::kUntagged;
@@ -54,6 +55,7 @@ struct EventTag {
   static EventTag fault_set(std::uint64_t node, bool on) {
     return EventTag{Kind::kFaultSet, node, on ? 1u : 0u, {}};
   }
+  static EventTag mob_tick() { return EventTag{Kind::kMobTick, 0, 0, {}}; }
 };
 
 }  // namespace imobif::sim

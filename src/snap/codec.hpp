@@ -21,7 +21,7 @@ namespace imobif::snap {
 
 /// Bumped whenever the snapshot layout changes; readers reject any other
 /// version with a clear error instead of misinterpreting the stream.
-inline constexpr std::uint32_t kCodecVersion = 1;
+inline constexpr std::uint32_t kCodecVersion = 2;
 
 enum class Tag : std::uint8_t {
   kU8 = 1,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exp/scenario_io.hpp"
+#include "mob/driver.hpp"
 #include "net/fault.hpp"
 #include "net/flow_table.hpp"
 #include "net/neighbor_table.hpp"
@@ -18,6 +19,7 @@
 #include "net/packet.hpp"
 #include "sim/event_tag.hpp"
 #include "snap/codec.hpp"
+#include "traffic/generator.hpp"
 #include "snap/state_hash.hpp"
 #include "util/config.hpp"
 #include "util/units.hpp"
@@ -250,6 +252,8 @@ void encode_meta(Sink& s, const exp::InstanceRun& run) {
   s.f64(instance.flow_bits.value());
   s.u64(instance.initial_path.size());
   for (const net::NodeId id : instance.initial_path) s.u64(id);
+  s.u64(instance.mobility_seed);
+  s.u64(instance.traffic_seed);
 
   const auto& sampler = run.sampler_rng_state();
   s.boolean(sampler.has_value());
@@ -401,6 +405,34 @@ void encode_dynamic(Sink& s, exp::InstanceRun& run) {
   s.u64(run.policy().recruits_initiated());
   s.end_section();
 
+  // Background motion: (rng, model state); the pending tick itself rides
+  // in the events section like every other tagged event.
+  s.begin_section("mob");
+  const mob::MotionDriver* motion = run.motion();
+  s.boolean(motion != nullptr);
+  if (motion != nullptr) {
+    for (const std::uint64_t word : motion->model().rng().state()) {
+      s.u64(word);
+    }
+    const std::vector<double> model_state = motion->model().state();
+    s.u64(model_state.size());
+    for (const double v : model_state) s.f64(v);
+  }
+  s.end_section();
+
+  // Traffic generators, in flow-id (map) order.
+  s.begin_section("traffic");
+  const auto& generators = network.traffic_generators();
+  s.u64(generators.size());
+  for (const auto& [flow_id, generator] : generators) {
+    s.u64(flow_id);
+    for (const std::uint64_t word : generator->rng().state()) s.u64(word);
+    const std::vector<double> gen_state = generator->state();
+    s.u64(gen_state.size());
+    for (const double v : gen_state) s.f64(v);
+  }
+  s.end_section();
+
   s.begin_section("events");
   const std::vector<sim::EventQueue::PendingEvent> pending =
       sim.pending_tagged();
@@ -512,6 +544,8 @@ DecodedMeta decode_meta(StateReader& r) {
   for (std::uint64_t i = 0; i < path_count; ++i) {
     meta.instance.initial_path.push_back(static_cast<net::NodeId>(r.u64()));
   }
+  meta.instance.mobility_seed = r.u64();
+  meta.instance.traffic_seed = r.u64();
 
   meta.has_sampler = r.boolean();
   if (meta.has_sampler) {
@@ -705,6 +739,35 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
   run->policy().restore_counters(movements, distance_moved, recruits);
   r.end_section();
 
+  r.begin_section("mob");
+  const bool has_motion = r.boolean();
+  if (has_motion) {
+    mob::MotionDriver* motion = run->motion();
+    if (motion == nullptr) {
+      throw std::runtime_error(
+          "snapshot: motion state but the scenario has no mobility model");
+    }
+    std::array<std::uint64_t, 4> rng_state{};
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    motion->model().rng().set_state(rng_state);
+    std::vector<double> model_state(r.u64());
+    for (double& v : model_state) v = r.f64();
+    motion->model().restore_state(model_state);
+  }
+  r.end_section();
+
+  r.begin_section("traffic");
+  const std::uint64_t generator_count = r.u64();
+  for (std::uint64_t i = 0; i < generator_count; ++i) {
+    const net::FlowId flow_id = static_cast<net::FlowId>(r.u64());
+    std::array<std::uint64_t, 4> rng_state{};
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    std::vector<double> gen_state(r.u64());
+    for (double& v : gen_state) v = r.f64();
+    network.restore_traffic_state(flow_id, rng_state, gen_state);
+  }
+  r.end_section();
+
   // Events last, in encoded (time, sequence) order: the queue hands out
   // fresh sequence numbers in insertion order, so same-tick events keep
   // their exact relative ordering.
@@ -735,6 +798,13 @@ std::unique_ptr<exp::InstanceRun> restore(const std::string& data) {
       case sim::EventTag::Kind::kFaultSet:
         network.medium().restore_fault_event_at(static_cast<net::NodeId>(a),
                                                 b != 0, when);
+        break;
+      case sim::EventTag::Kind::kMobTick:
+        if (run->motion() == nullptr) {
+          throw std::runtime_error(
+              "snapshot: mob tick but the scenario has no mobility model");
+        }
+        run->motion()->restore_tick_at(when);
         break;
       default:
         throw std::runtime_error("snapshot: unknown event kind " +

@@ -1,0 +1,39 @@
+#include "traffic/params.hpp"
+
+#include <stdexcept>
+
+namespace imobif::traffic {
+
+const char* to_string(ModelId id) {
+  switch (id) {
+    case ModelId::kCbr:
+      return "cbr";
+    case ModelId::kOnOff:
+      return "onoff";
+    case ModelId::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+ModelId model_from_string(const std::string& name) {
+  if (name == "cbr") return ModelId::kCbr;
+  if (name == "onoff" || name == "on-off") return ModelId::kOnOff;
+  if (name == "pareto") return ModelId::kPareto;
+  throw std::invalid_argument("traffic: unknown model '" + name + "'");
+}
+
+void Params::validate() const {
+  using util::Seconds;
+  if (!enabled()) return;
+  if (model == ModelId::kOnOff &&
+      !(on_mean_s > Seconds{0.0} && off_mean_s > Seconds{0.0})) {
+    throw std::invalid_argument("traffic: on/off means must be > 0");
+  }
+  if (model == ModelId::kPareto && !(pareto_shape > 1.0)) {
+    throw std::invalid_argument(
+        "traffic: pareto shape must exceed 1 (finite mean)");
+  }
+}
+
+}  // namespace imobif::traffic

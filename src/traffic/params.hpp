@@ -1,0 +1,41 @@
+// Traffic model parameters: which inter-packet arrival process drives a
+// flow's source (src/traffic replaces the single hard-coded CBR packet
+// train with a small model zoo — DESIGN.md §14).
+//
+// kCbr is the legacy train and is byte-identical to a build without this
+// layer: it never draws randomness and never carries checkpoint state, so
+// every committed figure keeps its exact bytes under the defaults.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace imobif::traffic {
+
+enum class ModelId : std::uint8_t {
+  kCbr = 0,     ///< constant bit rate: the legacy packet train
+  kOnOff = 1,   ///< exponential ON/OFF bursts at a boosted peak rate
+  kPareto = 2,  ///< heavy-tailed Pareto inter-arrival gaps
+};
+
+const char* to_string(ModelId id);
+ModelId model_from_string(const std::string& name);
+
+struct Params {
+  ModelId model = ModelId::kCbr;
+  /// Mean lengths of the exponential ON and OFF periods (kOnOff).
+  util::Seconds on_mean_s{5.0};
+  util::Seconds off_mean_s{5.0};
+  /// Pareto tail index (kPareto); must exceed 1 so the mean gap exists.
+  double pareto_shape = 1.5;
+
+  /// True when the model deviates from the legacy CBR source — the only
+  /// case that consumes a traffic seed or carries checkpoint state.
+  bool enabled() const { return model != ModelId::kCbr; }
+
+  void validate() const;
+};
+
+}  // namespace imobif::traffic

@@ -1,0 +1,34 @@
+// Fuzz target for the mobility-trace parser: the waypoint grammar must
+// reject malformed lines with std::invalid_argument — never UB — and a
+// parsed trace's interpolation must be total over covered nodes (finite
+// queries at any time, including before/after the schedule).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "mob/trace.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  try {
+    const imobif::mob::Trace trace = imobif::mob::parse_trace(text);
+    // A trace that parsed is fully queryable: exercise interpolation
+    // before, inside, and far past every schedule.
+    for (std::size_t node = 0; node < trace.schedules.size(); ++node) {
+      if (!trace.has(node)) continue;
+      const auto& schedule = trace.schedules[node];
+      const double first = schedule.front().time_s;
+      const double last = schedule.back().time_s;
+      using imobif::util::Seconds;
+      (void)trace.position_at(node, Seconds{first - 1.0});
+      (void)trace.position_at(node, Seconds{(first + last) / 2.0});
+      (void)trace.position_at(node, Seconds{last + 1e6});
+    }
+  } catch (const std::invalid_argument&) {
+    // Malformed input: the only contracted failure mode.
+  }
+  return 0;
+}

@@ -1,0 +1,239 @@
+// Model-zoo unit tests: trace parsing/interpolation, per-model motion and
+// determinism, and the (rng, state) checkpoint contract (DESIGN.md §14).
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mob/model.hpp"
+#include "mob/params.hpp"
+#include "mob/trace.hpp"
+
+namespace imobif::mob {
+namespace {
+
+using geom::Vec2;
+using util::Meters;
+using util::Seconds;
+
+std::vector<Vec2> square_positions() {
+  return {Vec2{100.0, 100.0}, Vec2{900.0, 100.0}, Vec2{100.0, 900.0},
+          Vec2{900.0, 900.0}, Vec2{500.0, 500.0}, Vec2{250.0, 750.0}};
+}
+
+ModelParams params_for(ModelId id) {
+  ModelParams p;
+  p.model = id;
+  p.update_s = Seconds{1.0};
+  p.speed_min = util::MetersPerSecond{0.5};
+  p.speed_max = util::MetersPerSecond{2.0};
+  p.pause_s = Seconds{2.0};
+  p.group_count = 2;
+  return p;
+}
+
+// --- trace parsing ---
+
+TEST(MobTrace, ParsesCommentsBlanksAndInterpolates) {
+  const Trace trace = parse_trace(
+      "# header comment\n"
+      "\n"
+      "0 0 100 200 ; trailing comment\n"
+      "0 10 300 400\n"
+      "2 5 50 60\n");
+  ASSERT_TRUE(trace.has(0));
+  EXPECT_FALSE(trace.has(1));
+  ASSERT_TRUE(trace.has(2));
+
+  // Before / between / after the schedule.
+  EXPECT_EQ(trace.position_at(0, Seconds{-1.0}), (Vec2{100.0, 200.0}));
+  EXPECT_EQ(trace.position_at(0, Seconds{0.0}), (Vec2{100.0, 200.0}));
+  EXPECT_EQ(trace.position_at(0, Seconds{5.0}), (Vec2{200.0, 300.0}));
+  EXPECT_EQ(trace.position_at(0, Seconds{10.0}), (Vec2{300.0, 400.0}));
+  EXPECT_EQ(trace.position_at(0, Seconds{99.0}), (Vec2{300.0, 400.0}));
+  // Single-waypoint node parks forever.
+  EXPECT_EQ(trace.position_at(2, Seconds{0.0}), (Vec2{50.0, 60.0}));
+  EXPECT_EQ(trace.position_at(2, Seconds{1000.0}), (Vec2{50.0, 60.0}));
+}
+
+TEST(MobTrace, RejectsMalformedLinesWithLineNumbers) {
+  const auto expect_fail = [](const std::string& text,
+                              const std::string& needle) {
+    try {
+      parse_trace(text);
+      FAIL() << "expected rejection of: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fail("0 1 2\n", "line 1");                        // field count
+  expect_fail("x 0 1 2\n", "bad node id");                 // node id
+  expect_fail("0 zero 1 2\n", "bad time");                 // time
+  expect_fail("0 0 nan 2\n", "bad x");                     // non-finite
+  expect_fail("0 -1 1 2\n", "negative");                   // negative time
+  expect_fail("0 5 1 2\n0 5 3 4\n", "strictly increasing");
+  expect_fail("0 5 1 2\n0 4 3 4\n", "line 2");
+  expect_fail("9999999999 0 1 2\n", "cap");                // node cap
+}
+
+TEST(MobTrace, PositionAtRequiresASchedule) {
+  const Trace trace = parse_trace("1 0 5 5\n");
+  EXPECT_THROW(trace.position_at(0, Seconds{0.0}), std::out_of_range);
+  EXPECT_THROW(trace.position_at(7, Seconds{0.0}), std::out_of_range);
+}
+
+TEST(MobTrace, LoadTraceThrowsOnMissingFile) {
+  EXPECT_THROW(load_trace("/nonexistent/imobif.trace"), std::runtime_error);
+}
+
+// --- model zoo ---
+
+class MobModelSuite : public ::testing::TestWithParam<ModelId> {};
+
+TEST_P(MobModelSuite, MovesNodesAndStaysInsideArena) {
+  const std::vector<Vec2> initial = square_positions();
+  const auto model =
+      make_model(params_for(GetParam()), 42, Meters{1000.0}, initial);
+  std::vector<Vec2> positions = initial;
+  bool any_moved = false;
+  for (int tick = 1; tick <= 50; ++tick) {
+    model->step(Seconds{static_cast<double>(tick)}, Seconds{1.0}, positions);
+    for (const Vec2& p : positions) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 1000.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 1000.0);
+    }
+    if (positions != initial) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST_P(MobModelSuite, SameSeedSamePath) {
+  const std::vector<Vec2> initial = square_positions();
+  const ModelParams p = params_for(GetParam());
+  const auto a = make_model(p, 7, Meters{1000.0}, initial);
+  const auto b = make_model(p, 7, Meters{1000.0}, initial);
+  std::vector<Vec2> pa = initial;
+  std::vector<Vec2> pb = initial;
+  for (int tick = 1; tick <= 25; ++tick) {
+    a->step(Seconds{static_cast<double>(tick)}, Seconds{1.0}, pa);
+    b->step(Seconds{static_cast<double>(tick)}, Seconds{1.0}, pb);
+    ASSERT_EQ(pa, pb) << "diverged at tick " << tick;
+  }
+}
+
+// The checkpoint contract: (rng state, state()) restored into a fresh
+// model reproduces the original's future positions exactly.
+TEST_P(MobModelSuite, RngPlusStateRestoresMidFlight) {
+  const std::vector<Vec2> initial = square_positions();
+  const ModelParams p = params_for(GetParam());
+  const auto original = make_model(p, 99, Meters{1000.0}, initial);
+  std::vector<Vec2> positions = initial;
+  for (int tick = 1; tick <= 10; ++tick) {
+    original->step(Seconds{static_cast<double>(tick)}, Seconds{1.0},
+                   positions);
+  }
+
+  const auto restored = make_model(p, 1, Meters{1000.0}, initial);
+  restored->rng().set_state(original->rng().state());
+  restored->restore_state(original->state());
+
+  std::vector<Vec2> pa = positions;
+  std::vector<Vec2> pb = positions;
+  for (int tick = 11; tick <= 30; ++tick) {
+    original->step(Seconds{static_cast<double>(tick)}, Seconds{1.0}, pa);
+    restored->step(Seconds{static_cast<double>(tick)}, Seconds{1.0}, pb);
+    ASSERT_EQ(pa, pb) << "diverged at tick " << tick;
+  }
+}
+
+TEST_P(MobModelSuite, RestoreStateRejectsWrongSize) {
+  const auto model = make_model(params_for(GetParam()), 3, Meters{1000.0},
+                                square_positions());
+  std::vector<double> state = model->state();
+  state.push_back(0.0);
+  EXPECT_THROW(model->restore_state(state), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, MobModelSuite,
+                         ::testing::Values(ModelId::kRandomWaypoint,
+                                           ModelId::kGaussMarkov,
+                                           ModelId::kGroup));
+
+TEST(MobModel, GroupMembersStayWithinRadiusOfReference) {
+  ModelParams p = params_for(ModelId::kGroup);
+  p.group_radius_m = Meters{50.0};
+  const std::vector<Vec2> initial = square_positions();
+  const auto model = make_model(p, 5, Meters{1000.0}, initial);
+  std::vector<Vec2> positions = initial;
+  std::vector<Vec2> previous = positions;
+  for (int tick = 1; tick <= 100; ++tick) {
+    model->step(Seconds{static_cast<double>(tick)}, Seconds{1.0}, positions);
+    // Group cohesion: per-tick displacement is bounded by the reference
+    // speed plus the jitter, never a cross-arena teleport.
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_LT(geom::distance(positions[i], previous[i]),
+                p.speed_max.value() * (1.0 + 2.0) + 1e-9);
+    }
+    previous = positions;
+  }
+}
+
+TEST(MobModel, TraceReplayIsAPureFunctionOfTime) {
+  ModelParams p;
+  p.model = ModelId::kTrace;
+  p.trace_file = "unused";  // construct via parse, not the factory
+  const Trace trace = parse_trace("0 0 0 0\n0 100 1000 0\n");
+  // Factory needs a real file; test the interpolation contract directly.
+  std::vector<Vec2> positions = {Vec2{123.0, 456.0}, Vec2{50.0, 50.0}};
+  EXPECT_EQ(trace.position_at(0, Seconds{25.0}), (Vec2{250.0, 0.0}));
+  EXPECT_FALSE(trace.has(1));
+  (void)positions;
+}
+
+TEST(MobModel, FactoryRejectsDisabledParams) {
+  EXPECT_THROW(make_model(ModelParams{}, 1, Meters{1000.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(MobParams, StringRoundTrip) {
+  for (const ModelId id :
+       {ModelId::kNone, ModelId::kRandomWaypoint, ModelId::kGaussMarkov,
+        ModelId::kGroup, ModelId::kTrace}) {
+    EXPECT_EQ(model_from_string(to_string(id)), id);
+  }
+  EXPECT_EQ(model_from_string("rwp"), ModelId::kRandomWaypoint);
+  EXPECT_EQ(model_from_string("rpgm"), ModelId::kGroup);
+  EXPECT_THROW(model_from_string("teleport"), std::invalid_argument);
+}
+
+TEST(MobParams, ValidateCatchesBadRanges) {
+  ModelParams p = params_for(ModelId::kRandomWaypoint);
+  p.update_s = Seconds{0.0};
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = params_for(ModelId::kGaussMarkov);
+  p.gm_alpha = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = params_for(ModelId::kTrace);
+  EXPECT_THROW(p.validate(), std::invalid_argument);  // empty trace_file
+  p.trace_file = "has # comment";
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.trace_file = " leading-space";
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.trace_file = "/tmp/fine.trace";
+  EXPECT_NO_THROW(p.validate());
+
+  // Disabled params never validate their knobs.
+  ModelParams off;
+  off.update_s = Seconds{-1.0};
+  EXPECT_NO_THROW(off.validate());
+}
+
+}  // namespace
+}  // namespace imobif::mob

@@ -107,7 +107,9 @@ TEST(SnapCodec, UnknownVersionRejectedWithClearError) {
     const std::string what = e.what();
     EXPECT_NE(what.find("unsupported codec version 99"), std::string::npos)
         << what;
-    EXPECT_NE(what.find("reads version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("reads version " + std::to_string(kCodecVersion)),
+              std::string::npos)
+        << what;
   }
 }
 
@@ -129,7 +131,9 @@ TEST(SnapCodec, DebugDumpRendersSectionsAndScalars) {
   w.str("abc");
   w.end_section();
   const std::string json = debug_dump(w.data());
-  EXPECT_NE(json.find("\"codec_version\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"codec_version\": " + std::to_string(kCodecVersion)),
+            std::string::npos)
+      << json;
   EXPECT_NE(json.find("\"section\": \"sim\""), std::string::npos) << json;
   EXPECT_NE(json.find("-5"), std::string::npos) << json;
   EXPECT_NE(json.find("1.5"), std::string::npos) << json;

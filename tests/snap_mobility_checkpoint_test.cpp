@@ -1,0 +1,186 @@
+// Checkpoint/restore equivalence for the mobility & traffic model zoo
+// (DESIGN.md §14): a run with background motion and shaped traffic
+// snapshotted at an arbitrary event boundary must hash equal, re-encode
+// byte-identically, and finish with the reference result — and a
+// trace-driven comparison sweep resumed from checkpoints must produce a
+// byte-identical SweepReport.
+#include "snap/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/instance.hpp"
+#include "mob/params.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/report.hpp"
+#include "runtime/sweep.hpp"
+#include "snap/result_io.hpp"
+#include "traffic/params.hpp"
+#include "util/rng.hpp"
+
+namespace imobif::snap {
+namespace {
+
+/// Writes a small waypoint schedule covering the first ten nodes and
+/// returns its path (the trace_file embedded in scenario text).
+std::string demo_trace_path() {
+  const std::string path =
+      ::testing::TempDir() + "imobif_snap_mobility.trace";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  for (int node = 0; node < 10; ++node) {
+    const double x0 = 50.0 + 70.0 * node;
+    out << node << " 0 " << x0 << " 100\n"
+        << node << " 120 " << (750.0 - 60.0 * node) << " 650\n"
+        << node << " 300 " << x0 << " 400\n";
+  }
+  return path;
+}
+
+exp::ScenarioParams zoo_params() {
+  exp::ScenarioParams p;
+  p.node_count = 60;
+  p.area_m = util::Meters{800.0};
+  p.mean_flow_bits = util::Bits{60.0 * 1024.0 * 8.0};
+  p.seed = 42;
+  p.mob.model = mob::ModelId::kRandomWaypoint;
+  p.mob.update_s = util::Seconds{1.0};
+  p.mob.speed_min = util::MetersPerSecond{0.5};
+  p.mob.speed_max = util::MetersPerSecond{2.0};
+  p.mob.pause_s = util::Seconds{5.0};
+  p.traffic.model = traffic::ModelId::kOnOff;
+  return p;
+}
+
+exp::ScenarioParams trace_params() {
+  exp::ScenarioParams p = zoo_params();
+  p.seed = 97;
+  p.mob.model = mob::ModelId::kTrace;
+  p.mob.trace_file = demo_trace_path();
+  p.traffic.model = traffic::ModelId::kPareto;
+  return p;
+}
+
+std::string result_json(exp::InstanceRun& run) {
+  return result_to_json(run.result()).dump(2);
+}
+
+/// Mirror of snap_checkpoint_test's equivalence harness: uninterrupted
+/// reference run vs a run snapshotted at `boundary_events` and restored
+/// into a fresh object graph.
+void expect_checkpoint_equivalence(const exp::ScenarioParams& params,
+                                   std::size_t boundary_events) {
+  SCOPED_TRACE("boundary_events=" + std::to_string(boundary_events));
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+
+  auto reference = exp::InstanceRun::create(
+      instance, params, core::MobilityMode::kInformed, {});
+  EXPECT_TRUE(reference->advance());
+  const std::string expected = result_json(*reference);
+
+  util::Rng rng2(params.seed);
+  const exp::FlowInstance instance2 = exp::sample_instance(params, rng2);
+  auto original = exp::InstanceRun::create(
+      instance2, params, core::MobilityMode::kInformed, {});
+  original->set_sampler_rng_state(rng2.state());
+  original->advance(boundary_events);
+
+  const std::uint64_t hash_before = state_hash(*original);
+  const std::string bytes = encode(*original);
+
+  auto restored = restore(bytes);
+  EXPECT_EQ(state_hash(*restored), hash_before);
+  EXPECT_EQ(encode(*restored), bytes);
+
+  EXPECT_TRUE(restored->advance());
+  EXPECT_EQ(result_json(*restored), expected);
+  EXPECT_TRUE(original->advance());
+  EXPECT_EQ(result_json(*original), expected);
+}
+
+TEST(SnapMobilityCheckpoint, WaypointOnOffScenarioEquivalent) {
+  // Boundaries straddle motion ticks: with update_s = 1 s the queue
+  // carries a kMobTick roughly every ~40 events at this density.
+  for (const std::size_t boundary :
+       {std::size_t{1}, std::size_t{487}, std::size_t{5000}}) {
+    expect_checkpoint_equivalence(zoo_params(), boundary);
+  }
+}
+
+TEST(SnapMobilityCheckpoint, TraceParetoScenarioEquivalent) {
+  for (const std::size_t boundary : {std::size_t{311}, std::size_t{4000}}) {
+    expect_checkpoint_equivalence(trace_params(), boundary);
+  }
+}
+
+TEST(SnapMobilityCheckpoint, GaussMarkovAndGroupEquivalent) {
+  exp::ScenarioParams p = zoo_params();
+  p.mob.model = mob::ModelId::kGaussMarkov;
+  expect_checkpoint_equivalence(p, 1500);
+  p.mob.model = mob::ModelId::kGroup;
+  p.mob.group_count = 4;
+  expect_checkpoint_equivalence(p, 1500);
+}
+
+TEST(SnapMobilityCheckpoint, MotionStateRejectedWithoutAModel) {
+  // A snapshot carrying mob/traffic state must not restore into a
+  // scenario whose params lost the model (config drift protection).
+  exp::ScenarioParams params = zoo_params();
+  util::Rng rng(params.seed);
+  const exp::FlowInstance instance = exp::sample_instance(params, rng);
+  auto run = exp::InstanceRun::create(instance, params,
+                                      core::MobilityMode::kInformed, {});
+  run->advance(500);
+  const std::string json = debug_json(*run);
+  EXPECT_NE(json.find("\"section\": \"mob\""), std::string::npos);
+  EXPECT_NE(json.find("\"section\": \"traffic\""), std::string::npos);
+}
+
+// The trace-driven sweep acceptance check: a checkpointed + resumed
+// comparison sweep reports byte-identically to a plain one.
+TEST(SnapMobilityCheckpoint, TraceDrivenSweepReportBitIdenticalOnResume) {
+  const exp::ScenarioParams params = trace_params();
+
+  const auto report_from = [](const std::vector<exp::ComparisonPoint>& pts) {
+    runtime::SweepReport report("snap_mobility_resume");
+    std::vector<double> unaware;
+    std::vector<double> informed;
+    for (const auto& pt : pts) {
+      unaware.push_back(pt.energy_ratio_cost_unaware());
+      informed.push_back(pt.energy_ratio_informed());
+    }
+    report.add_series("ratio_unaware", unaware);
+    report.add_series("ratio_informed", informed);
+    return report.to_string();
+  };
+
+  const std::vector<exp::ComparisonPoint> plain =
+      runtime::run_comparison_parallel(params, 2);
+
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "snap_mob_resume";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  runtime::CheckpointOptions checkpoint;
+  checkpoint.dir = dir.string();
+  checkpoint.every_sim_s = 15.0;
+  const std::vector<exp::ComparisonPoint> checked =
+      runtime::run_comparison_parallel(params, 2, {}, 1, checkpoint);
+
+  // Resume from the .result files at a different worker count.
+  checkpoint.resume = true;
+  const std::vector<exp::ComparisonPoint> resumed =
+      runtime::run_comparison_parallel(params, 2, {}, 4, checkpoint);
+
+  const std::string expected = report_from(plain);
+  EXPECT_EQ(report_from(checked), expected);
+  EXPECT_EQ(report_from(resumed), expected);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace imobif::snap

@@ -1,0 +1,27 @@
+// Fixture: MUST fire unordered-iteration twice in the mobility layer — a
+// range-for over an unordered local and a begin() handed to an algorithm.
+// Proves the DET_LAYERS gate covers src/mob/.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double drift_sum() {
+  std::unordered_map<std::uint32_t, double> drift;
+  double total = 0.0;
+  for (const auto& [node, metres] : drift) {  // finding: local declaration
+    total += metres;
+  }
+  return total;
+}
+
+std::size_t parked_count() {
+  std::unordered_set<std::uint32_t> parked;
+  return static_cast<std::size_t>(
+      std::count_if(parked.begin(), parked.end(),  // finding: algorithm
+                    [](std::uint32_t v) { return v > 0; }));
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: MUST fire unordered-iteration twice in the traffic layer — a
+// range-for over an unordered local and a begin() handed to an algorithm.
+// Proves the DET_LAYERS gate covers src/traffic/.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+double interval_sum() {
+  std::unordered_map<std::uint64_t, double> intervals;
+  double total = 0.0;
+  for (const auto& [flow, gap] : intervals) {  // finding: local declaration
+    total += gap;
+  }
+  return total;
+}
+
+std::size_t bursty_count() {
+  std::unordered_set<std::uint64_t> bursty;
+  return static_cast<std::size_t>(
+      std::count_if(bursty.begin(), bursty.end(),  // finding: algorithm
+                    [](std::uint64_t v) { return v > 0; }));
+}
+
+}  // namespace fixture

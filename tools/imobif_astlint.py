@@ -74,7 +74,8 @@ RULES = {
                             "REQUIRES reference in the file",
 }
 
-DET_LAYERS = ("sim", "net", "core", "exp", "energy", "snap")
+DET_LAYERS = ("sim", "net", "core", "exp", "energy", "snap", "mob",
+              "traffic")
 HEADER_EXTS = (".hpp", ".h")
 SOURCE_EXTS = (".cpp", ".cc", ".cxx") + HEADER_EXTS
 EXEMPT_SUFFIX = "util/thread_annotations.hpp"

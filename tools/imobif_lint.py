@@ -110,7 +110,7 @@ RAW_UNIT_DOUBLE_RE = re.compile(
     r"[(,]\s*(?:const\s+)?double\s+\w+_(?:j|m|s|bits)\b"
 )
 # Directories whose public headers form the typed (units-bearing) layers.
-TYPED_LAYER_DIRS = ("energy", "core", "net")
+TYPED_LAYER_DIRS = ("energy", "core", "net", "mob", "traffic")
 # A raw socket syscall that can block forever on a peer: banned in the
 # sweep-service layer, where every read must sit behind a poll_wait()
 # deadline. `_`-suffixed names (read_available, accept_conn, connect_to —

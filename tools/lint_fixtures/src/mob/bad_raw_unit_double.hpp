@@ -1,0 +1,19 @@
+// Fixture: unit-suffixed raw-double parameters in a typed-layer header.
+// The fixture tree mirrors src/mob/ so the rule's path gate engages for
+// the mobility model zoo.
+#pragma once
+
+namespace imobif::mob {
+
+// Both declarations bypass util::Quantity despite unit-suffixed names;
+// one finding per line.
+double bad_leg_length(double distance_m, double speed_factor);
+double bad_pause(const double pause_s);
+
+// Out of scope for the rule: unsuffixed parameters, fields, and locals.
+struct Knobs {
+  double gm_alpha = 0.75;
+};
+inline double ok_blend(double alpha) { return alpha * 0.5; }
+
+}  // namespace imobif::mob

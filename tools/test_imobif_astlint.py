@@ -89,6 +89,12 @@ def main():
                 label="bad_iter.{hpp,cpp}")
     check_fires(fixture("src", "net", "bad_ptr_key.cpp"),
                 "pointer-key-ordered", expected_count=2)
+    # The model-zoo layers are deterministic too: the DET_LAYERS gate must
+    # cover src/mob/ and src/traffic/.
+    check_fires(fixture("src", "mob", "bad_iter.cpp"),
+                "unordered-iteration", expected_count=2)
+    check_fires(fixture("src", "traffic", "bad_iter.cpp"),
+                "unordered-iteration", expected_count=2)
     check_fires(fixture("src", "sim", "bad_global.cpp"),
                 "mutable-global", expected_count=4)
     check_fires(fixture("src", "svc", "bad_mutex.cpp"),

@@ -84,6 +84,9 @@ def main():
     check_fires("bad_include.cpp", "include-hygiene", expected_count=1)
     check_fires(os.path.join("src", "energy", "bad_raw_unit_double.hpp"),
                 "raw-unit-double", expected_count=2)
+    # The model-zoo layer is typed too: the same rule must gate src/mob/.
+    check_fires(os.path.join("src", "mob", "bad_raw_unit_double.hpp"),
+                "raw-unit-double", expected_count=2)
     check_fires(os.path.join("src", "svc", "bad_socket.cpp"),
                 "socket-timeout", expected_count=2)
     check_fires("stale_waiver.cpp", "stale-waiver", expected_count=2)
