@@ -56,6 +56,7 @@ enum class BenefitEstimator : std::uint8_t {
 
 const char* to_string(BenefitEstimator estimator);
 
+// snap:transient(policy config and strategy registry rebuilt from scenario params by create_shell; counters restored via restore_counters)
 class ImobifPolicy : public net::MobilityPolicy {
  public:
   ImobifPolicy(const energy::RadioEnergyModel& radio,

@@ -27,6 +27,7 @@
 
 namespace imobif::core {
 
+// snap:transient(strategy constants rebuilt from scenario params by make_default_policy)
 class MaxLifetimeStrategy : public MobilityStrategy {
  public:
   /// Approximate mode (the paper's): `alpha_prime` must be positive.

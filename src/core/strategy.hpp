@@ -21,6 +21,7 @@ namespace imobif::core {
 /// Locally available flow-neighbor information at a relay: position and
 /// residual energy of the previous node (from its packet stamp / HELLOs),
 /// this node, and the position of the next node.
+// snap:transient(per-decision value type, lives only within one policy evaluation)
 struct RelayContext {
   geom::Vec2 prev_position;
   util::Joules prev_energy;

@@ -28,7 +28,7 @@ Joules Battery::draw(Joules amount, DrawKind kind) {
                 "battery residual can never go negative");
   switch (kind) {
     case DrawKind::kTransmit:
-      consumed_tx_ += drawn;
+      consumed_transmit_ += drawn;
       break;
     case DrawKind::kMove:
       consumed_move_ += drawn;
@@ -50,7 +50,7 @@ void Battery::restore(Joules initial, Joules residual, Joules consumed_tx,
   }
   initial_ = initial;
   res() = residual;
-  consumed_tx_ = consumed_tx;
+  consumed_transmit_ = consumed_tx;
   consumed_move_ = consumed_move;
   consumed_other_ = consumed_other;
 }
@@ -62,7 +62,7 @@ void Battery::recharge(Joules initial) {
   }
   initial_ = initial;
   res() = initial;
-  consumed_tx_ = consumed_move_ = consumed_other_ = Joules{0.0};
+  consumed_transmit_ = consumed_move_ = consumed_other_ = Joules{0.0};
 }
 
 }  // namespace imobif::energy

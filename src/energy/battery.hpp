@@ -43,7 +43,7 @@ class Battery {
   bool can_afford(util::Joules amount) const { return res() >= amount; }
 
   util::Joules consumed_total() const { return initial_ - res(); }
-  util::Joules consumed_transmit() const { return consumed_tx_; }
+  util::Joules consumed_transmit() const { return consumed_transmit_; }
   util::Joules consumed_move() const { return consumed_move_; }
   util::Joules consumed_other() const { return consumed_other_; }
 
@@ -73,10 +73,12 @@ class Battery {
 
   util::Joules initial_;
   util::Joules residual_;
-  util::Joules consumed_tx_;
+  util::Joules consumed_transmit_;
   util::Joules consumed_move_;
   util::Joules consumed_other_;
+  // snap:derived(bind_residual_cell)
   util::Joules* cell_ = nullptr;
+  // snap:transient(depletion callback wired by the owning node at attach time)
   std::function<void()> on_depleted_;
 };
 

@@ -12,6 +12,7 @@
 
 namespace imobif::energy {
 
+// snap:transient(config struct, persisted wholesale as scenario text in the meta section)
 struct MobilityParams {
   double k = 0.5;          ///< J/m, movement cost per meter
   double max_step_m = 1.0; ///< maximum travel distance per mobility step

@@ -16,6 +16,7 @@
 
 namespace imobif::energy {
 
+// snap:transient(standalone empirical lookup, not owned by any checkpointed run object)
 class PowerDistanceTable {
  public:
   /// `bin_width` controls quantization; `max_distance` the table extent.

@@ -19,6 +19,7 @@
 
 namespace imobif::energy {
 
+// snap:transient(config struct, persisted wholesale as scenario text in the meta section)
 struct RadioParams {
   double a = 1e-7;    ///< J/bit, electronics energy
   double b = 1e-10;   ///< J * m^-alpha / bit, amplifier energy

@@ -37,6 +37,7 @@ std::vector<ComparisonPoint> run_comparison(const ScenarioParams& params,
 
 /// Fig 5: one instance run to steady state under a given mode+strategy;
 /// exposes the flow path with initial/final positions and energies.
+// snap:transient(experiment output value, not live run state)
 struct PlacementSnapshot {
   std::vector<net::NodeId> path;
   std::vector<geom::Vec2> initial_positions;  ///< path nodes, in order

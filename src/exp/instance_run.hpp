@@ -126,6 +126,7 @@ class InstanceRun {
 
   /// Owned here because the policy keeps a reference to it for the run's
   /// whole lifetime.
+  // snap:derived(create_shell)
   energy::MobilityEnergyModel mobility_model_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<core::ImobifPolicy> policy_;

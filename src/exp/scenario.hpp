@@ -19,6 +19,7 @@
 
 namespace imobif::exp {
 
+// snap:transient(persisted wholesale as config text in the meta section via to_config_string and apply_config)
 struct ScenarioParams {
   // Topology.
   util::Meters area_m{1000.0};

@@ -11,6 +11,7 @@
 
 namespace imobif::exp {
 
+// snap:transient(diagnostic trace output, not restored by snapshots)
 class TraceRecorder : public net::NetworkEvents {
  public:
   enum class Kind {
@@ -23,6 +24,7 @@ class TraceRecorder : public net::NetworkEvents {
     kRecruited,
   };
 
+  // snap:transient(trace record value type)
   struct Entry {
     double time_s = 0.0;
     Kind kind = Kind::kDelivered;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/units.hpp"
+
 namespace imobif::loc {
 
 LocalizationResult localize_network(const std::vector<geom::Vec2>& truth,
@@ -52,7 +54,8 @@ LocalizationResult localize_network(const std::vector<geom::Vec2>& truth,
         continue;
       }
       centroid = centroid / static_cast<double>(samples.size());
-      const auto estimate = multilaterate(samples, centroid, 50, 1e-9,
+      const auto estimate = multilaterate(samples, centroid, 50,
+                                          util::Meters{1e-9},
                                           config.min_relative_det);
       if (!estimate.has_value()) continue;
       if (range_rms(samples, *estimate) > rms_gate) continue;

@@ -16,7 +16,7 @@ double range_rms(const std::vector<RangeSample>& samples, geom::Vec2 x) {
 
 std::optional<geom::Vec2> multilaterate(
     const std::vector<RangeSample>& samples, geom::Vec2 initial_guess,
-    int max_iterations, double tolerance_m, double min_relative_det) {
+    int max_iterations, util::Meters tolerance, double min_relative_det) {
   if (samples.size() < 3) return std::nullopt;
 
   geom::Vec2 x = initial_guess;
@@ -53,7 +53,7 @@ std::optional<geom::Vec2> multilaterate(
     const geom::Vec2 step{-(jtj11 * jtr0 - jtj01 * jtr1) / det,
                           -(jtj00 * jtr1 - jtj01 * jtr0) / det};
     x += step;
-    if (step.norm() < tolerance_m) return x;
+    if (step.norm() < tolerance.value()) return x;
   }
   return x;  // ran out of iterations; best effort
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "geom/vec2.hpp"
+#include "util/units.hpp"
 
 namespace imobif::loc {
 
@@ -25,7 +26,7 @@ struct RangeSample {
 /// Requires >= 3 samples; with fewer, or when the references are (nearly)
 /// collinear so the normal equations degenerate, returns nullopt. The
 /// iteration starts from `initial_guess` (a centroid of the references
-/// works well) and stops when the step drops below `tolerance_m`.
+/// works well) and stops when the step drops below `tolerance`.
 /// `min_relative_det` rejects ill-conditioned reference geometry: the
 /// Gauss-Newton normal matrix must satisfy det >= threshold * trace^2
 /// (a well-spread reference triangle scores ~0.1-0.25; nearly collinear
@@ -33,7 +34,7 @@ struct RangeSample {
 /// small residuals — score near 0).
 std::optional<geom::Vec2> multilaterate(
     const std::vector<RangeSample>& samples, geom::Vec2 initial_guess,
-    int max_iterations = 50, double tolerance_m = 1e-9,
+    int max_iterations = 50, util::Meters tolerance = util::Meters{1e-9},
     double min_relative_det = 1e-6);
 
 /// Root-mean-square range residual of a position against the samples —

@@ -55,6 +55,7 @@ class MotionDriver {
 
   net::Network& network_;
   std::unique_ptr<MobilityModel> model_;
+  // snap:transient(per-meter cost constant re-derived from scenario params by create_shell)
   util::JoulesPerMeter move_cost_;
 };
 

@@ -60,6 +60,7 @@ class MobilityModel {
  private:
   ModelParams params_;
   util::Rng rng_;
+  // snap:transient(immutable area config; models are rebuilt by make_model before state restore)
   util::Meters area_;
 };
 

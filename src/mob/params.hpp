@@ -26,6 +26,7 @@ enum class ModelId : std::uint8_t {
 const char* to_string(ModelId id);
 ModelId model_from_string(const std::string& name);
 
+// snap:transient(config struct, persisted wholesale as scenario text in the meta section)
 struct ModelParams {
   ModelId model = ModelId::kNone;
   /// Background-motion tick: every enabled model advances all nodes once

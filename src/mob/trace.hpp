@@ -27,7 +27,9 @@ namespace imobif::mob {
 /// errors, keeping adversarial inputs from ballooning the schedule table.
 inline constexpr std::size_t kMaxTraceNodes = 1u << 20;
 
+// snap:transient(immutable trace input reloaded from params.trace_file)
 struct Trace {
+  // snap:transient(trace waypoint value type)
   struct Waypoint {
     double time_s = 0.0;
     geom::Vec2 position;

@@ -23,6 +23,7 @@
 
 namespace imobif::net {
 
+// snap:transient(AODV soft state re-forms on demand via RREQ; checkpointed runs install the greedy routers in create_shell)
 class AodvRouting : public RoutingProtocol {
  public:
   explicit AodvRouting(Medium& medium) : medium_(medium) {}
@@ -33,6 +34,7 @@ class AodvRouting : public RoutingProtocol {
   void handle_control(Node& self, const Packet& pkt) override;
   void prepare_route(Node& origin, NodeId dest) override;
 
+  // snap:transient(AODV soft state, re-forms on demand)
   struct RouteInfo {
     NodeId next_hop = kInvalidNode;
     std::uint16_t hop_count = 0;
@@ -46,6 +48,7 @@ class AodvRouting : public RoutingProtocol {
   std::uint64_t rrep_sent() const { return rrep_sent_; }
 
  private:
+  // snap:transient(AODV soft state, re-forms on demand)
   struct NodeState {
     std::unordered_map<NodeId, RouteInfo> routes;
     std::unordered_set<std::uint64_t> seen_requests;  // origin<<32 | req id

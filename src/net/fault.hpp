@@ -18,6 +18,7 @@
 
 namespace imobif::net {
 
+// snap:transient(pure-data plan, persisted wholesale as scenario config text)
 struct FaultPlan {
   /// Independent per-delivery drop probability in [0, 1), applied to every
   /// unicast delivery and to each broadcast receiver separately. Channel
@@ -43,6 +44,7 @@ struct FaultPlan {
   /// later, otherwise the crash is permanent. Deliveries to a crashed node
   /// fail link-layer-visibly (like a dead node), so routing can repair
   /// around it.
+  // snap:transient(fault plan value type, persisted as scenario config text)
   struct CrashEvent {
     NodeId node = kInvalidNode;
     double at_s = 0.0;
@@ -105,7 +107,9 @@ class FaultInjector {
   double link_uniform(std::uint64_t link_key, std::uint64_t index,
                       std::uint64_t draw) const;
 
+  // snap:transient(pure-data config, re-installed from the scenario by create_shell)
   FaultPlan plan_;
+  // snap:derived(restore_link)
   std::unordered_map<std::uint64_t, LinkState> links_;
   std::uint64_t decisions_ = 0;
   std::uint64_t drops_ = 0;

@@ -17,6 +17,7 @@
 
 namespace imobif::net {
 
+// snap:transient(experiment input spec, not run state)
 struct OneToManySpec {
   FlowId base_id = kInvalidFlow;  ///< member i gets id base_id + i
   NodeId source = kInvalidNode;
@@ -28,6 +29,7 @@ struct OneToManySpec {
   bool initially_enabled = false;
 };
 
+// snap:transient(experiment input spec, not run state)
 struct ManyToOneSpec {
   FlowId base_id = kInvalidFlow;
   std::vector<NodeId> sources;

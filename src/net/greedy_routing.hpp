@@ -43,6 +43,7 @@ class LineBiasedGreedyRouting : public GreedyRouting {
   NodeId next_hop(const Node& self, NodeId dest) override;
 
  private:
+  // snap:transient(routing config rebuilt from scenario params by create_shell)
   double line_weight_;
 };
 

@@ -25,6 +25,7 @@
 
 namespace imobif::net {
 
+// snap:transient(spatial mirror of node positions, refilled by the node-restore loop)
 class GridIndex {
  public:
   using Id = std::uint32_t;
@@ -49,6 +50,7 @@ class GridIndex {
   /// larger radii widen the scanned block automatically.
   std::vector<Id> query(geom::Vec2 center, double radius) const;
 
+  // snap:transient(query result value type)
   struct Hit {
     Id id = 0;
     geom::Vec2 position{};

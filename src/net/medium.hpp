@@ -27,6 +27,7 @@ namespace imobif::net {
 
 class Node;
 
+// snap:transient(config struct, persisted wholesale as scenario text)
 struct MediumConfig {
   double comm_range_m = 180.0;
   sim::Time prop_delay = sim::Time::from_seconds(0.005);
@@ -37,6 +38,7 @@ struct MediumConfig {
   bool unicast_range_gated = false;
 };
 
+// snap:transient(wiring rebuilt by create_shell and attach)
 class Medium {
  public:
   Medium(sim::Simulator& sim, MediumConfig config);
@@ -124,6 +126,7 @@ class Medium {
   std::vector<Node*> by_id_;
   GridIndex index_;
   Counters counters_;
+  // snap:derived(restore_fault_injector)
   std::unique_ptr<FaultInjector> injector_;
 };
 

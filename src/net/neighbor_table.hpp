@@ -56,7 +56,9 @@ class NeighborTable {
     return now - info.last_heard > timeout_;
   }
 
+  // snap:transient(config from NodeConfig, re-applied at construction)
   sim::Time timeout_;
+  // snap:derived(upsert)
   std::unordered_map<NodeId, NeighborInfo> entries_;
 };
 

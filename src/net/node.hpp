@@ -56,6 +56,7 @@ class NetworkEvents {
   virtual void on_recruited(Node& recruit, const RecruitBody& body);
 };
 
+// snap:transient(per-node config, persisted wholesale as scenario text)
 struct NodeConfig {
   sim::Time hello_interval = sim::Time::from_seconds(10.0);
   sim::Time hello_jitter = sim::Time::from_seconds(1.0);
@@ -85,6 +86,7 @@ struct NodeConfig {
 
 class Node {
  public:
+  // snap:transient(non-owning wiring re-established by rebind_services during create_shell)
   struct Services {
     sim::Simulator* sim = nullptr;
     Medium* medium = nullptr;
@@ -215,13 +217,18 @@ class Node {
 
   NodeId id_;
   geom::Vec2 position_;
+  // snap:transient(rebound to the NodeStore cell at construction)
   geom::Vec2* pos_cell_ = nullptr;
+  // snap:transient(rebound to the NodeStore cell at construction)
   FlowAggregate* flow_cell_ = nullptr;
   energy::Battery battery_;
   NeighborTable neighbors_;
   FlowTable flows_;
+  // snap:transient(non-owning wiring re-established by rebind_services during create_shell)
   Services services_;
+  // snap:transient(per-node config, persisted wholesale as scenario text)
   NodeConfig config_;
+  // snap:derived(restore_hello_at)
   sim::EventId hello_event_ = 0;
   util::Meters total_moved_;
   bool faulted_ = false;

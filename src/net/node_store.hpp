@@ -32,10 +32,12 @@ namespace imobif::net {
 /// rebuilt from the flow tables after a checkpoint restore, never
 /// checkpointed itself.
 struct FlowAggregate {
+  // snap:derived(Node::sync_flow_aggregate)
   std::uint32_t active_flows = 0;
   std::uint64_t packets_relayed = 0;
 };
 
+// snap:transient(SoA mirror refilled by the node-restore loop)
 class NodeStore {
  public:
   using Index = std::uint32_t;
@@ -67,6 +69,7 @@ class NodeStore {
 
  private:
   /// Append-only column in fixed-size chunks: cell addresses never move.
+  // snap:transient(SoA column storage, refilled via the owning store)
   template <typename T>
   class Column {
    public:

@@ -33,6 +33,7 @@ namespace imobif::sim {
 
 using EventId = std::uint64_t;
 
+// snap:transient(pending events are re-armed through the schedule path from the snapshot events section)
 class EventQueue {
  public:
   using Callback = std::function<void()>;
@@ -52,6 +53,7 @@ class EventQueue {
   /// Time of the earliest live event; Time::infinity() when empty.
   Time next_time() const;
 
+  // snap:transient(pop result value type carrying the callback)
   struct Popped {
     Time when;
     Callback fn;
@@ -99,6 +101,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  // snap:transient(schedule-slot value type carrying the callback)
   struct Scheduled {
     Callback fn;
     EventTag tag;

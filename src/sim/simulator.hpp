@@ -10,6 +10,7 @@
 
 namespace imobif::sim {
 
+// snap:transient(event plumbing; the events section re-arms the queue and restore_clock restores the clock)
 class Simulator {
  public:
   Time now() const { return now_; }
@@ -70,6 +71,7 @@ class Simulator {
   EventQueue queue_;
   Time now_ = Time::zero();
   bool stopped_ = false;
+  // snap:derived(restore_clock)
   std::size_t executed_ = 0;
   std::size_t event_budget_ = 0;
 };

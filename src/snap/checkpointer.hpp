@@ -29,6 +29,7 @@ struct CheckpointPolicy {
   }
 };
 
+// snap:transient(checkpoint driver machinery, not simulated run state)
 class Checkpointer {
  public:
   Checkpointer(std::string path, CheckpointPolicy policy);

@@ -40,6 +40,7 @@ const char* to_string(Tag tag);
 /// Serializes tagged values into an in-memory byte string. Also the model
 /// for the Sink concept shared with snap::StateHash: any type with this
 /// method set can consume the same encode_*() template.
+// snap:transient(codec machinery, not simulated run state)
 class StateWriter {
  public:
   StateWriter();
@@ -73,6 +74,7 @@ class StateWriter {
 /// Consumes a StateWriter stream with per-value type checking. Every
 /// mismatch (wrong tag, wrong section name, truncation, unknown version)
 /// throws std::runtime_error naming the byte offset and what was expected.
+// snap:transient(codec machinery, not simulated run state)
 class StateReader {
  public:
   /// Validates magic and version. Rejects any version other than

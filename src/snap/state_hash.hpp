@@ -16,6 +16,7 @@
 
 namespace imobif::snap {
 
+// snap:transient(hash accumulator, not simulated run state)
 class StateHash {
  public:
   void u8(std::uint8_t v);

@@ -23,6 +23,7 @@ enum class ModelId : std::uint8_t {
 const char* to_string(ModelId id);
 ModelId model_from_string(const std::string& name);
 
+// snap:transient(config struct, persisted wholesale as scenario text in the meta section)
 struct Params {
   ModelId model = ModelId::kCbr;
   /// Mean lengths of the exponential ON and OFF periods (kOnOff).

@@ -1,0 +1,19 @@
+// Fixture: MUST fire unordered-iteration in the geometry layer — an
+// explicit-iterator loop over an unordered local. Proves the DET_LAYERS
+// gate widened to src/geom/ (PR 10): the grid index underpins neighbor
+// discovery, so hash-order traversal there breaks bit-reproducibility.
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t occupied_cells_key() {
+  std::unordered_set<std::uint64_t> cells;
+  std::uint64_t key = 0;
+  for (auto it = cells.begin(); it != cells.end(); ++it) {  // finding
+    key = key * 31 + *it;
+  }
+  return key;
+}
+
+}  // namespace fixture

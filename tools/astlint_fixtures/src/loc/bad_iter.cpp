@@ -1,0 +1,24 @@
+// Fixture: MUST fire unordered-iteration in the localization layer — a
+// range-for over an unordered member. Proves the DET_LAYERS gate widened
+// to src/loc/ (PR 10): iterative multilateration sweeps must visit nodes
+// in a deterministic order or the refinement rounds diverge across runs.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+class BadLocIter {
+ public:
+  double residual_sum() const {
+    double total = 0.0;
+    for (const auto& [node, rms] : residuals_) {  // finding: member
+      total += rms;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, double> residuals_;
+};
+
+}  // namespace fixture

@@ -49,6 +49,12 @@ line or the line directly above. The marker is distinct from
 imobif_lint's ``lint:allow`` so each linter's stale-waiver accounting
 only ever sees its own waivers.
 
+Waivers are themselves audited (same contract as imobif_lint): an
+``astlint:allow`` that suppresses nothing across every engine that ran —
+the offending code was refactored away, or the rule name is misspelled —
+is reported as a ``stale-waiver`` error, so dead escape hatches cannot
+accumulate and silently blanket future regressions.
+
 Usage: imobif_astlint.py [--rules] [--frontend auto|syntax|clang|both]
                          [--compile-db PATH] [--report PATH] [PATH ...]
        (default path: src)
@@ -61,6 +67,11 @@ import os
 import re
 import sys
 
+from lint_common import (HEADER_EXTS, SOURCE_EXTS, Finding, WaiverSet,
+                         collect_files, iter_statements, load_compile_db,
+                         match_angle_block, norm_path, split_top_level,
+                         strip_code)
+
 RULES = {
     "unordered-iteration": "iteration over unordered container in a "
                            "deterministic layer (hash-order dependent)",
@@ -72,12 +83,13 @@ RULES = {
                  "annotated wrappers in util/thread_annotations.hpp",
     "unguarded-capability": "util::Mutex member with no IMOBIF_GUARDED_BY/"
                             "REQUIRES reference in the file",
+    "stale-waiver": "astlint:allow() that suppresses no finding in any "
+                    "engine that ran (refactored code or misspelled rule); "
+                    "remove it",
 }
 
 DET_LAYERS = ("sim", "net", "core", "exp", "energy", "snap", "mob",
-              "traffic")
-HEADER_EXTS = (".hpp", ".h")
-SOURCE_EXTS = (".cpp", ".cc", ".cxx") + HEADER_EXTS
+              "traffic", "geom", "loc")
 EXEMPT_SUFFIX = "util/thread_annotations.hpp"
 
 WAIVER_RE = re.compile(r"//\s*astlint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
@@ -105,71 +117,10 @@ CAPABILITY_MEMBER_RE = re.compile(
 BEGIN_RE = re.compile(
     r"\b([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\("
 )
-METHOD_OWNER_RE = re.compile(r"(\w+)\s*::\s*~?\w+\s*\($")
-TYPE_NAME_RE = re.compile(r"\b(?:class|struct|union)\s+(\w+)")
-CONTROL_KEYWORDS = ("for", "if", "while", "switch", "catch", "do", "else",
-                    "try")
 NS_DECL_EXCLUDE = ("using", "typedef", "friend", "template", "extern",
                    "static_assert", "struct", "class", "union", "enum",
                    "namespace", "public", "private", "protected", "case",
                    "default", "return", "goto", "operator")
-
-
-class Finding:
-    def __init__(self, path, line_no, rule, detail):
-        self.path = path
-        self.line_no = line_no
-        self.rule = rule
-        self.detail = detail
-
-    def key(self):
-        return (self.path, self.line_no, self.rule)
-
-    def __str__(self):
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.detail}"
-
-
-def strip_code(line, in_block_comment):
-    """Removes comments and string/char literal contents from a line."""
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end == -1:
-                return "".join(out), True
-            i = end + 2
-            in_block_comment = False
-            continue
-        c = line[i]
-        nxt = line[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            break
-        if c == "/" and nxt == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        if c in "\"'":
-            quote = c
-            out.append(c)
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    out.append(quote)
-                    i += 1
-                    break
-                i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out), in_block_comment
-
-
-def norm_path(path):
-    return path.replace(os.sep, "/")
 
 
 def in_det_layer(path):
@@ -179,40 +130,6 @@ def in_det_layer(path):
 
 def in_src(path):
     return "src/" in norm_path(path)
-
-
-def split_top_level(text, sep=","):
-    """Splits `text` at top-level `sep` (ignoring <>, (), [] nesting)."""
-    parts, depth, start = [], 0, 0
-    i = 0
-    while i < len(text):
-        c = text[i]
-        if c in "<([":
-            depth += 1
-        elif c in ">)]":
-            depth -= 1
-        elif c == sep and depth == 0:
-            parts.append(text[start:i])
-            start = i + 1
-        i += 1
-    parts.append(text[start:])
-    return parts
-
-
-def match_angle_block(text, open_pos):
-    """Returns the index one past the '>' matching the '<' at open_pos."""
-    depth = 0
-    i = open_pos
-    while i < len(text):
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return -1
 
 
 def container_decls(text):
@@ -241,12 +158,12 @@ def first_arg_is_pointer(args):
         or re.search(r"\*\s*(const)?$", first) is not None
 
 
-class Scope:
-    def __init__(self, kind, name=None, class_name=None):
-        self.kind = kind            # 'ns' | 'type' | 'fn' | 'block' | 'expr'
-        self.name = name            # type name for 'type' scopes
-        self.class_name = class_name  # enclosing class for 'fn' scopes
-        self.locals = {}            # name -> container kind ('fn' scopes)
+def _register_container_params(scope, params_text):
+    """Records container-typed function parameters as locals of `scope`."""
+    for kind, _args, name in container_decls(params_text):
+        if name:
+            scope.locals[name] = (
+                "unordered" if kind in UNORDERED_KINDS else "ordered")
 
 
 class SyntaxEngine:
@@ -484,105 +401,9 @@ class SyntaxEngine:
         return file_vars.get(name)
 
     def _statements(self, raw_lines):
-        """Yields (scope_stack, statement_text, start_line) for every
-        semicolon-terminated statement and every brace opener."""
-        stack = []
-        buf = []
-        buf_line = [1]
-        in_block = False
-        paren_depth = 0
-        in_pp = False  # inside a (possibly continued) preprocessor directive
-
-        def flush():
-            text = "".join(buf)
-            line = buf_line[0]
-            buf.clear()
-            return text, line
-
-        for no, raw in enumerate(raw_lines, 1):
-            line, in_block = strip_code(raw, in_block)
-            stripped = line.strip()
-            if in_pp:
-                in_pp = raw.rstrip().endswith("\\")
-                continue
-            if stripped.startswith("#"):
-                in_pp = raw.rstrip().endswith("\\")
-                continue
-            if not buf:
-                buf_line[0] = no
-            for c in line:
-                if c == "(":
-                    paren_depth += 1
-                elif c == ")":
-                    paren_depth = max(0, paren_depth - 1)
-                if c == "{" and paren_depth == 0:
-                    opener, line_no = flush()
-                    yield list(stack), opener, line_no
-                    stack.append(self._classify(opener, stack))
-                    buf_line[0] = no
-                elif c == "}" and paren_depth == 0:
-                    if buf and "".join(buf).strip():
-                        stmt, line_no = flush()
-                        yield list(stack), stmt, line_no
-                    else:
-                        buf.clear()
-                    if stack:
-                        stack.pop()
-                    buf_line[0] = no
-                elif c == ";" and paren_depth == 0:
-                    stmt, line_no = flush()
-                    if stmt.strip():
-                        yield list(stack), stmt, line_no
-                    buf_line[0] = no
-                else:
-                    buf.append(c)
-            if buf:
-                buf.append("\n")
-        if buf and "".join(buf).strip():
-            stmt, line_no = flush()
-            yield list(stack), stmt, line_no
-
-    def _classify(self, opener, stack):
-        text = opener.strip()
-        enclosing_class = None
-        for s in reversed(stack):
-            if s.kind == "type" and s.name:
-                enclosing_class = s.name
-                break
-            if s.kind == "fn" and s.class_name:
-                enclosing_class = s.class_name
-                break
-        first_word = re.match(r"[A-Za-z_]\w*", text)
-        first = first_word.group(0) if first_word else ""
-        if first in CONTROL_KEYWORDS:
-            return Scope("block")
-        if re.search(r"\bnamespace\b", text) or text.startswith("extern"):
-            return Scope("ns")
-        if re.search(r"\benum\b", text):
-            return Scope("expr")
-        if re.search(r"\)\s*(const|noexcept|override|final|mutable|"
-                     r"->\s*[\w:<>,*&\s]+)?\s*$", text) or text.endswith(")"):
-            owners = re.findall(r"(\w+)\s*::\s*~?\w+\s*\(", text)
-            cls = owners[-1] if owners else enclosing_class
-            scope = Scope("fn", class_name=cls)
-            # Function parameters are locals of the body.
-            paren = text.find("(")
-            if paren != -1:
-                for kind, _args, name in container_decls(text[paren:]):
-                    if name:
-                        scope.locals[name] = (
-                            "unordered" if kind in UNORDERED_KINDS
-                            else "ordered")
-            return scope
-        m = TYPE_NAME_RE.search(text)
-        if m:
-            return Scope("type", name=m.group(1))
-        innermost = stack[-1].kind if stack else "ns"
-        if innermost in ("fn", "block"):
-            return Scope("expr" if text else "block")
-        if "=" in text:
-            return Scope("expr")
-        return Scope("block")
+        """Yields (scope_stack, statement_text, start_line); container-typed
+        function parameters are registered as locals of each 'fn' scope."""
+        return iter_statements(raw_lines, _register_container_params)
 
 
 # ---------------------------------------------------------------------------
@@ -757,64 +578,6 @@ class ClangEngine:
 # driver
 # ---------------------------------------------------------------------------
 
-def read_waivers(raw_lines):
-    waivers = {}
-    for no, line in enumerate(raw_lines, 1):
-        m = WAIVER_RE.search(line)
-        if m:
-            rules = {r.strip() for r in m.group(1).split(",")}
-            waivers.setdefault(no, set()).update(rules)
-            waivers.setdefault(no + 1, set()).update(rules)
-    return waivers
-
-
-def load_compile_db(explicit_path):
-    if explicit_path == "none":
-        return None  # fixture/self-test runs: lint every file found
-    path = explicit_path
-    if path is None:
-        candidate = os.path.join("build", "compile_commands.json")
-        if not os.path.exists(candidate):
-            return None
-        path = candidate
-    try:
-        with open(path, encoding="utf-8") as f:
-            entries = json.load(f)
-    except (OSError, ValueError) as err:
-        print(f"imobif_astlint: cannot read compile db {path}: {err}",
-              file=sys.stderr)
-        sys.exit(2)
-    db = {}
-    for entry in entries:
-        src = entry.get("file", "")
-        if not os.path.isabs(src):
-            src = os.path.join(entry.get("directory", ""), src)
-        db[os.path.realpath(src)] = entry
-    return db
-
-
-def collect_files(paths, compile_db):
-    files = []
-    for p in paths:
-        if os.path.isfile(p):
-            files.append(p)
-        elif os.path.isdir(p):
-            for root, _dirs, names in os.walk(p):
-                for name in sorted(names):
-                    if not name.endswith(SOURCE_EXTS):
-                        continue
-                    full = os.path.join(root, name)
-                    if (compile_db is not None
-                            and not name.endswith(HEADER_EXTS)
-                            and os.path.realpath(full) not in compile_db):
-                        continue
-                    files.append(full)
-        else:
-            print(f"imobif_astlint: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return files
-
-
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("paths", nargs="*", default=None)
@@ -838,8 +601,8 @@ def main(argv):
         return 0
 
     paths = args.paths or ["src"]
-    compile_db = load_compile_db(args.compile_db)
-    files = collect_files(paths, compile_db)
+    compile_db = load_compile_db(args.compile_db, "imobif_astlint")
+    files = collect_files(paths, compile_db, "imobif_astlint")
 
     want_clang = args.frontend in ("auto", "clang", "both")
     want_syntax = args.frontend in ("auto", "syntax", "both")
@@ -864,20 +627,23 @@ def main(argv):
         want_syntax = False
 
     file_lines = {}
-    waivers = {}
+    waivers = {}  # relpath -> WaiverSet
     suppressed = []
     findings = {}
 
-    def report(path, line, rule, detail):
-        rel = os.path.relpath(path) if os.path.isabs(path) else path
+    def waiver_set(rel):
         if rel not in waivers:
             try:
                 with open(rel, encoding="utf-8") as f:
                     raw = f.read().splitlines()
             except OSError:
                 raw = []
-            waivers[rel] = read_waivers(raw)
-        if rule in waivers[rel].get(line, set()):
+            waivers[rel] = WaiverSet(raw, WAIVER_RE)
+        return waivers[rel]
+
+    def report(path, line, rule, detail):
+        rel = os.path.relpath(path) if os.path.isabs(path) else path
+        if waiver_set(rel).try_suppress(line, rule):
             suppressed.append((rel, line, rule))
             return
         f = Finding(rel, line, rule, detail)
@@ -917,6 +683,17 @@ def main(argv):
         for problem in clang_problems:
             print(f"imobif_astlint: warning: clang engine: {problem}",
                   file=sys.stderr)
+
+    # Stale-waiver audit (ported from imobif_lint): every astlint:allow in
+    # a linted file must have suppressed at least one finding in at least
+    # one engine that ran. These bypass report() — waiving a stale-waiver
+    # would just create another stale waiver.
+    for path in files:
+        rel = os.path.relpath(path) if os.path.isabs(path) else path
+        for decl_line, detail in waiver_set(rel).stale(RULES,
+                                                       "astlint:allow"):
+            f = Finding(rel, decl_line, "stale-waiver", detail)
+            findings[f.key()] = f
 
     ordered = sorted(findings.values(), key=lambda f: f.key())
     for finding in ordered:

@@ -54,10 +54,12 @@ Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 import argparse
-import json
 import os
 import re
 import sys
+
+from lint_common import (HEADER_EXTS, Finding, WaiverSet, collect_files,
+                         load_compile_db, strip_code)
 
 RULES = {
     "banned-random": "ambient randomness is banned; use util::Rng",
@@ -73,9 +75,6 @@ RULES = {
     "stale-waiver": "lint:allow() that suppresses no finding (refactored "
                     "code or misspelled rule); remove it",
 }
-
-HEADER_EXTS = (".hpp", ".h")
-SOURCE_EXTS = (".cpp", ".cc", ".cxx") + HEADER_EXTS
 
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
 
@@ -110,7 +109,7 @@ RAW_UNIT_DOUBLE_RE = re.compile(
     r"[(,]\s*(?:const\s+)?double\s+\w+_(?:j|m|s|bits)\b"
 )
 # Directories whose public headers form the typed (units-bearing) layers.
-TYPED_LAYER_DIRS = ("energy", "core", "net", "mob", "traffic")
+TYPED_LAYER_DIRS = ("energy", "core", "net", "mob", "traffic", "loc")
 # A raw socket syscall that can block forever on a peer: banned in the
 # sweep-service layer, where every read must sit behind a poll_wait()
 # deadline. `_`-suffixed names (read_available, accept_conn, connect_to —
@@ -121,60 +120,6 @@ SOCKET_CALL_RE = re.compile(
 )
 
 
-def strip_code(line, in_block_comment):
-    """Removes comments and string/char literal contents from a line.
-
-    Returns (stripped_line, in_block_comment). Keeps the line's length
-    roughly intact where it matters (matching is content-based).
-    """
-    out = []
-    i, n = 0, len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end == -1:
-                return "".join(out), True
-            i = end + 2
-            in_block_comment = False
-            continue
-        c = line[i]
-        nxt = line[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            break  # rest of line is a comment
-        if c == "/" and nxt == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        if c in "\"'":
-            quote = c
-            out.append(c)
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    out.append(quote)
-                    i += 1
-                    break
-                i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out), in_block_comment
-
-
-class Finding:
-    def __init__(self, path, line_no, rule, detail):
-        self.path = path
-        self.line_no = line_no
-        self.rule = rule
-        self.detail = detail
-
-    def __str__(self):
-        return f"{self.path}:{self.line_no}: [{self.rule}] {self.detail}"
-
-
 def lint_file(path):
     findings = []
     try:
@@ -183,22 +128,10 @@ def lint_file(path):
     except (OSError, UnicodeDecodeError) as err:
         return [Finding(path, 0, "include-hygiene", f"unreadable file: {err}")]
 
-    waivers = {}  # line_no -> {rule name -> declaring comment's line}
-    waiver_decls = []  # (comment line, rule) in file order
-    for no, line in enumerate(raw_lines, 1):
-        m = WAIVER_RE.search(line)
-        if m:
-            for rule in (r.strip() for r in m.group(1).split(",")):
-                waiver_decls.append((no, rule))
-                waivers.setdefault(no, {})[rule] = no
-                waivers.setdefault(no + 1, {})[rule] = no
-
-    used_waivers = set()  # (comment line, rule) that suppressed something
+    waivers = WaiverSet(raw_lines, WAIVER_RE)
 
     def report(no, rule, detail):
-        decl_line = waivers.get(no, {}).get(rule)
-        if decl_line is not None:
-            used_waivers.add((decl_line, rule))
+        if waivers.try_suppress(no, rule):
             return
         findings.append(Finding(path, no, rule, detail))
 
@@ -256,74 +189,9 @@ def lint_file(path):
     # A waiver that suppressed nothing is itself a finding. These bypass
     # report(): waiving a stale-waiver would just create another stale
     # waiver.
-    for decl_line, rule in waiver_decls:
-        if rule not in RULES or rule == "stale-waiver":
-            findings.append(Finding(
-                path, decl_line, "stale-waiver",
-                f"lint:allow({rule}) names no known rule"))
-        elif (decl_line, rule) not in used_waivers:
-            findings.append(Finding(
-                path, decl_line, "stale-waiver",
-                f"lint:allow({rule}) suppresses no finding; remove it"))
+    for decl_line, detail in waivers.stale(RULES, "lint:allow"):
+        findings.append(Finding(path, decl_line, "stale-waiver", detail))
     return findings
-
-
-def load_compile_db(explicit_path):
-    """Returns the set of absolute TU paths in the compile database.
-
-    With an explicit path, failure to read it is a hard usage error.
-    Otherwise a ``build/compile_commands.json`` next to the repo root is
-    picked up opportunistically and None is returned when absent (lint
-    falls back to pure globbing, e.g. on a fresh checkout).
-    """
-    path = explicit_path
-    if path is None:
-        candidate = os.path.join("build", "compile_commands.json")
-        if not os.path.exists(candidate):
-            return None
-        path = candidate
-    try:
-        with open(path, encoding="utf-8") as f:
-            entries = json.load(f)
-    except (OSError, ValueError) as err:
-        print(f"imobif_lint: cannot read compile db {path}: {err}",
-              file=sys.stderr)
-        sys.exit(2)
-    tus = set()
-    for entry in entries:
-        src = entry.get("file", "")
-        if not os.path.isabs(src):
-            src = os.path.join(entry.get("directory", ""), src)
-        tus.add(os.path.realpath(src))
-    return tus
-
-
-def collect_files(paths, compile_db=None):
-    """Walks `paths` for lintable sources.
-
-    When a compile DB is given, translation units (non-headers) that the
-    build never compiles are skipped; headers are always kept. Files named
-    on the command line directly are linted unconditionally.
-    """
-    files = []
-    for p in paths:
-        if os.path.isfile(p):
-            files.append(p)
-        elif os.path.isdir(p):
-            for root, _dirs, names in os.walk(p):
-                for name in sorted(names):
-                    if not name.endswith(SOURCE_EXTS):
-                        continue
-                    full = os.path.join(root, name)
-                    if (compile_db is not None
-                            and not name.endswith(HEADER_EXTS)
-                            and os.path.realpath(full) not in compile_db):
-                        continue
-                    files.append(full)
-        else:
-            print(f"imobif_lint: no such path: {p}", file=sys.stderr)
-            sys.exit(2)
-    return files
 
 
 def main(argv):
@@ -344,7 +212,9 @@ def main(argv):
 
     paths = args.paths or ["src"]
     findings = []
-    files = collect_files(paths, load_compile_db(args.compile_db))
+    files = collect_files(paths, load_compile_db(args.compile_db,
+                                                 "imobif_lint"),
+                          "imobif_lint")
     for path in files:
         findings.extend(lint_file(path))
 

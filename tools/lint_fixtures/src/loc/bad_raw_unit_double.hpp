@@ -1,0 +1,19 @@
+// Fixture: unit-suffixed raw-double parameters in the localization layer.
+// The fixture tree mirrors src/loc/ so the rule's path gate engages for
+// the range-based positioning module (PR 10 widened TYPED_LAYER_DIRS).
+#pragma once
+
+namespace imobif::loc {
+
+// Both declarations bypass util::Quantity despite unit-suffixed names;
+// one finding per line.
+double bad_range_gate(double range_m, int min_references);
+double bad_settle(const double settle_s);
+
+// Out of scope for the rule: dimensionless parameters and fields.
+struct SolverKnobs {
+  double min_relative_det = 1e-6;
+};
+inline double ok_scale(double det_ratio) { return det_ratio * 2.0; }
+
+}  // namespace imobif::loc

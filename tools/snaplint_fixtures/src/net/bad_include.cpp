@@ -1,0 +1,13 @@
+// Fixture: MUST fire layer-violation 1x under the fixture DAG — net
+// depends only on util, so the traffic include goes against the layering.
+// The non-layer-shaped include must be skipped, not reported.
+#include "net/good_state.hpp"
+#include "traffic/shaper.hpp"
+#include "util/sink.hpp"
+#include "vendor/external.hpp"
+
+namespace fixture {
+
+int unused() { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: linted together with ../snap/encode_bad.cpp it MUST fire
+//   unpersisted-field 1x  (dropped_ is neither encoded nor annotated)
+//   bad-rebuilder    1x  (rebuild_totals is not a member of LeakyState)
+//   stale-annotation 2x  (a snap:transient lie on a field the codec
+//                         demonstrably persists, and a dangling
+//                         annotation that binds to nothing)
+// Linted WITHOUT any src/snap evidence file, unpersisted-field must NOT
+// fire (the persisted set is unknowable) while the other findings stay.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+class LeakyState {
+ public:
+  std::uint64_t sent() const { return sent_; }
+  void clear();
+
+ private:
+  // snap:transient(claims scratch, but the codec persists this field)
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  // snap:derived(rebuild_totals)
+  double totals_ = 0.0;
+  // snap:derived(clear)
+};
+
+}  // namespace fixture

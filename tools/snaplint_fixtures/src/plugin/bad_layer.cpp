@@ -1,0 +1,8 @@
+// Fixture: MUST fire unknown-layer 1x — src/plugin/ is not registered in
+// the fixture layer DAG, and new layers must be added to the DAG before
+// code lands in them.
+namespace fixture {
+
+int orphan() { return 1; }
+
+}  // namespace fixture

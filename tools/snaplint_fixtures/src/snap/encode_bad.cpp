@@ -1,0 +1,12 @@
+// Fixture evidence for bad_state.hpp: persists LeakyState::sent_ through
+// a typed receiver (making the snap:transient on it a provable lie) and
+// deliberately never touches dropped_.
+#include "net/bad_state.hpp"
+
+namespace fixture {
+
+void encode_leaky(const LeakyState& state, Sink& sink) {
+  sink.u64(state.sent());
+}
+
+}  // namespace fixture

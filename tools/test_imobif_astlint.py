@@ -95,6 +95,15 @@ def main():
                 "unordered-iteration", expected_count=2)
     check_fires(fixture("src", "traffic", "bad_iter.cpp"),
                 "unordered-iteration", expected_count=2)
+    # PR 10 widened DET_LAYERS to the geometry and localization layers.
+    check_fires(fixture("src", "geom", "bad_iter.cpp"),
+                "unordered-iteration", expected_count=1)
+    check_fires(fixture("src", "loc", "bad_iter.cpp"),
+                "unordered-iteration", expected_count=1)
+    # Waiver audit: an allow() that suppresses nothing (or misspells the
+    # rule) is itself a finding; good_iter.cpp below is the negative.
+    check_fires(fixture("src", "net", "bad_stale_waiver.cpp"),
+                "stale-waiver", expected_count=2)
     check_fires(fixture("src", "sim", "bad_global.cpp"),
                 "mutable-global", expected_count=4)
     check_fires(fixture("src", "svc", "bad_mutex.cpp"),
@@ -114,7 +123,8 @@ def main():
     code, out = run_linter("--rules")
     expect("--rules exits zero", code == 0, out)
     for rule in ("unordered-iteration", "pointer-key-ordered",
-                 "mutable-global", "raw-mutex", "unguarded-capability"):
+                 "mutable-global", "raw-mutex", "unguarded-capability",
+                 "stale-waiver"):
         expect(f"--rules lists {rule}", rule in out, out)
 
     # The production gate: the real library tree is clean (waivers at the

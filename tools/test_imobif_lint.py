@@ -87,6 +87,9 @@ def main():
     # The model-zoo layer is typed too: the same rule must gate src/mob/.
     check_fires(os.path.join("src", "mob", "bad_raw_unit_double.hpp"),
                 "raw-unit-double", expected_count=2)
+    # The localization layer joined TYPED_LAYER_DIRS in PR 10.
+    check_fires(os.path.join("src", "loc", "bad_raw_unit_double.hpp"),
+                "raw-unit-double", expected_count=2)
     check_fires(os.path.join("src", "svc", "bad_socket.cpp"),
                 "socket-timeout", expected_count=2)
     check_fires("stale_waiver.cpp", "stale-waiver", expected_count=2)
